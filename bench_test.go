@@ -1,0 +1,106 @@
+package pacc
+
+// Benchmark harness: one testing.B benchmark per figure and table of the
+// paper's evaluation, plus the ablations. Each benchmark regenerates its
+// artifact through the experiment registry at a reduced scale so `go test
+// -bench` finishes in minutes; run `cmd/powercoll -exp all` for the
+// paper-fidelity outputs recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+)
+
+// benchScale keeps each iteration around a second of wall time.
+const benchScale = 0.05
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment(id, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) == 0 && len(res.Tables) == 0 {
+			b.Fatalf("%s: empty result", id)
+		}
+	}
+}
+
+// Figure 2: motivation — contention and phase breakdowns.
+func BenchmarkFig2a(b *testing.B) { benchmarkExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B) { benchmarkExperiment(b, "fig2b") }
+func BenchmarkFig2c(b *testing.B) { benchmarkExperiment(b, "fig2c") }
+
+// Figure 6: polling vs blocking progression.
+func BenchmarkFig6a(b *testing.B) { benchmarkExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B) { benchmarkExperiment(b, "fig6b") }
+
+// Figure 7: power-aware alltoall.
+func BenchmarkFig7a(b *testing.B) { benchmarkExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B) { benchmarkExperiment(b, "fig7b") }
+
+// Figure 8: power-aware broadcast.
+func BenchmarkFig8a(b *testing.B) { benchmarkExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B) { benchmarkExperiment(b, "fig8b") }
+
+// Figure 9 / Table I: CPMD.
+func BenchmarkFig9(b *testing.B)   { benchmarkExperiment(b, "fig9") }
+func BenchmarkTable1(b *testing.B) { benchmarkExperiment(b, "table1") }
+
+// Figure 10 / Table II: NAS FT and IS.
+func BenchmarkFig10(b *testing.B)  { benchmarkExperiment(b, "fig10") }
+func BenchmarkTable2(b *testing.B) { benchmarkExperiment(b, "table2") }
+
+// Ablations beyond the paper's headline results.
+func BenchmarkAblCoreThrottle(b *testing.B) { benchmarkExperiment(b, "abl-corethrottle") }
+func BenchmarkAblTStates(b *testing.B)      { benchmarkExperiment(b, "abl-tstates") }
+func BenchmarkAblODVFS(b *testing.B)        { benchmarkExperiment(b, "abl-odvfs") }
+func BenchmarkAblSensitivity(b *testing.B)  { benchmarkExperiment(b, "abl-sensitivity") }
+func BenchmarkAblBlackBox(b *testing.B)     { benchmarkExperiment(b, "abl-blackbox") }
+
+// Extensions: rack-aware collectives with rack-level throttling, and
+// dynamic link power management (both §VIII directions).
+func BenchmarkExtTopoRack(b *testing.B) { benchmarkExperiment(b, "ext-toporack") }
+func BenchmarkExtNetPower(b *testing.B) { benchmarkExperiment(b, "ext-netpower") }
+func BenchmarkExtP2PPower(b *testing.B) { benchmarkExperiment(b, "ext-p2ppower") }
+
+// Micro-benchmarks of the simulator itself: how fast the discrete-event
+// core executes one collective on the full 64-rank testbed.
+
+func benchmarkCollective(b *testing.B, body func(r *Rank)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		w, err := NewWorld(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Launch(body)
+		if _, err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimAlltoall64(b *testing.B) {
+	benchmarkCollective(b, func(r *Rank) {
+		Alltoall(CommWorld(r), 256<<10, CollectiveOptions{})
+	})
+}
+
+func BenchmarkSimAlltoallProposed64(b *testing.B) {
+	benchmarkCollective(b, func(r *Rank) {
+		Alltoall(CommWorld(r), 256<<10, CollectiveOptions{Power: Proposed})
+	})
+}
+
+func BenchmarkSimBcast64(b *testing.B) {
+	benchmarkCollective(b, func(r *Rank) {
+		Bcast(CommWorld(r), 0, 1<<20, CollectiveOptions{})
+	})
+}
+
+func BenchmarkSimBarrier64(b *testing.B) {
+	benchmarkCollective(b, func(r *Rank) {
+		Barrier(CommWorld(r))
+	})
+}

@@ -1,0 +1,274 @@
+// Command osu runs OSU-microbenchmark-style latency/power sweeps of the
+// simulated collectives, the measurement loop behind the paper's
+// Figures 6-8.
+//
+// Usage:
+//
+//	osu -op alltoall -procs 64 -ppn 8 -mode proposed
+//	osu -op bcast -sizes 16K,256K,1M -iters 5 -progression blocking
+//	osu -op alltoall -size 256K -trace timeline.json   # Chrome trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pacc"
+)
+
+// bwWindow is the number of in-flight messages in the bw test.
+const bwWindow = 64
+
+var ops = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions){
+	"alltoall": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.AlltoallPairwise(c, b, o) },
+	"bruck":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.AlltoallBruck(c, b, o) },
+	"bcast":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Bcast(c, 0, b, o) },
+	"reduce":   func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Reduce(c, 0, b, o) },
+	"allgather": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
+		pacc.Allgather(c, b, o)
+	},
+	"allreduce": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Allreduce(c, b, o) },
+	"gather":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Gather(c, 0, b, o) },
+	"scatter":   func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Scatter(c, 0, b, o) },
+	"barrier": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
+		start := c.Owner().Now()
+		pacc.Barrier(c)
+		o.Trace.Add("total", c.Owner().Now().Sub(start))
+	},
+	// bw is the osu_bw windowed streaming bandwidth test: rank 0 keeps
+	// bwWindow sends in flight toward a remote rank, which acknowledges
+	// the window with a zero-byte message.
+	"bw": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
+		me := c.Rank()
+		peer := c.Size() / 2
+		tag := c.TagBlock()
+		switch me {
+		case 0:
+			start := c.Owner().Now()
+			reqs := make([]*pacc.Request, bwWindow)
+			for i := range reqs {
+				reqs[i] = c.Isend(peer, b, tag+i)
+			}
+			pacc.WaitAll(reqs...)
+			c.Recv(peer, 0, tag+bwWindow)
+			o.Trace.Add("total", c.Owner().Now().Sub(start))
+		case peer:
+			reqs := make([]*pacc.Request, bwWindow)
+			for i := range reqs {
+				reqs[i] = c.Irecv(0, b, tag+i)
+			}
+			pacc.WaitAll(reqs...)
+			c.Send(0, 0, tag+bwWindow)
+		}
+	},
+	// latency is the osu_latency ping-pong between rank 0 and a rank on
+	// another node; the reported figure is the one-way latency (half the
+	// round trip).
+	"latency": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
+		me := c.Rank()
+		peer := c.Size() / 2
+		tag := c.TagBlock()
+		switch me {
+		case 0:
+			start := c.Owner().Now()
+			c.Send(peer, b, tag)
+			c.Recv(peer, b, tag+1)
+			o.Trace.Add("total", (c.Owner().Now().Sub(start))/2)
+		case peer:
+			c.Recv(0, b, tag)
+			c.Send(0, b, tag+1)
+		}
+	},
+}
+
+func opNames() string {
+	names := make([]string, 0, len(ops))
+	for k := range ops {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func parseMode(s string) (pacc.PowerMode, error) {
+	switch s {
+	case "no-power", "default":
+		return pacc.NoPower, nil
+	case "freq-scaling", "dvfs":
+		return pacc.FreqScaling, nil
+	case "proposed", "power-aware":
+		return pacc.Proposed, nil
+	default:
+		return 0, fmt.Errorf("unknown power mode %q (no-power, freq-scaling, proposed)", s)
+	}
+}
+
+func main() {
+	var (
+		op          = flag.String("op", "alltoall", "collective: "+opNames())
+		procs       = flag.Int("procs", 64, "number of ranks")
+		ppn         = flag.Int("ppn", 8, "ranks per node")
+		modeStr     = flag.String("mode", "no-power", "power scheme: no-power, freq-scaling, proposed")
+		sizesStr    = flag.String("sizes", "1K,4K,16K,64K,256K,1M", "comma-separated message sizes")
+		oneSize     = flag.String("size", "", "single message size (overrides -sizes)")
+		iters       = flag.Int("iters", 3, "timed iterations per size")
+		progression = flag.String("progression", "polling", "polling or blocking")
+		traceOut    = flag.String("trace", "", "write a Chrome trace of the last run to this file")
+		configPath  = flag.String("config", "", "load the base cluster configuration from a JSON file")
+		dumpConfig  = flag.String("dump-config", "", "write the default configuration to this file and exit")
+	)
+	flag.Parse()
+
+	if *dumpConfig != "" {
+		if err := pacc.SaveConfig(*dumpConfig, pacc.DefaultConfig()); err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote default configuration to %s\n", *dumpConfig)
+		return
+	}
+	baseCfg := pacc.DefaultConfig()
+	if *configPath != "" {
+		var err error
+		baseCfg, err = pacc.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(1)
+		}
+	}
+
+	call, ok := ops[*op]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "osu: unknown op %q (have: %s)\n", *op, opNames())
+		os.Exit(2)
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osu:", err)
+		os.Exit(2)
+	}
+	var sizes []int64
+	src := *sizesStr
+	if *oneSize != "" {
+		src = *oneSize
+	}
+	for _, tok := range strings.Split(src, ",") {
+		v, err := parseSize(tok)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(2)
+		}
+		sizes = append(sizes, v)
+	}
+	if *op == "barrier" {
+		sizes = []int64{0}
+	}
+
+	fmt.Printf("# OSU-style %s benchmark (simulated)\n", *op)
+	fmt.Printf("# %d ranks, %d per node, %s progression, %s scheme, %d iterations\n",
+		*procs, *ppn, *progression, mode, *iters)
+	fmt.Printf("%-12s %14s %14s\n", "size(B)", "latency(us)", "cluster(W)")
+
+	for _, size := range sizes {
+		lat, watts, rec, w, err := measure(baseCfg, call, size, *procs, *ppn, mode, *progression, *iters, *traceOut != "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(1)
+		}
+		if *op == "bw" && lat > 0 {
+			mbps := float64(bwWindow) * float64(size) / (lat / 1e6) / 1e6
+			fmt.Printf("%-12d %14.2f %14.0f   %10.1f MB/s\n", size, lat, watts, mbps)
+		} else {
+			fmt.Printf("%-12d %14.2f %14.0f\n", size, lat, watts)
+		}
+		if *traceOut != "" && size == sizes[len(sizes)-1] {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "osu:", err)
+				os.Exit(1)
+			}
+			if err := rec.WriteChromeTrace(f, w.Engine().Now()); err != nil {
+				fmt.Fprintln(os.Stderr, "osu:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "osu:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("# wrote Chrome trace to %s\n", *traceOut)
+		}
+	}
+}
+
+// measure runs one barrier-separated OSU loop on a fresh world and
+// returns the mean per-call latency (µs, from rank 0's trace) and mean
+// cluster power over the whole run.
+func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOptions), size int64,
+	procs, ppn int, mode pacc.PowerMode, progression string, iters int, wantTrace bool) (
+	float64, float64, *pacc.TraceRecorder, *pacc.World, error) {
+
+	cfg.NProcs = procs
+	cfg.PPN = ppn
+	if procs%ppn != 0 {
+		return 0, 0, nil, nil, fmt.Errorf("procs %d not a multiple of ppn %d", procs, ppn)
+	}
+	cfg.Topo.Nodes = procs / ppn
+	switch progression {
+	case "polling":
+		cfg.Mode = pacc.Polling
+	case "blocking":
+		cfg.Mode = pacc.Blocking
+	default:
+		return 0, 0, nil, nil, fmt.Errorf("unknown progression %q", progression)
+	}
+	w, err := pacc.NewWorld(cfg)
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	var rec *pacc.TraceRecorder
+	if wantTrace {
+		rec = pacc.AttachTrace(w)
+	}
+	var tr0 *pacc.Trace
+	w.Launch(func(r *pacc.Rank) {
+		c := pacc.CommWorld(r)
+		tr := pacc.NewTrace()
+		if r.ID() == 0 {
+			tr0 = tr
+		}
+		call(c, size, pacc.CollectiveOptions{Power: mode}) // warm-up
+		for i := 0; i < iters; i++ {
+			pacc.Barrier(c)
+			call(c, size, pacc.CollectiveOptions{Power: mode, Trace: tr})
+		}
+	})
+	elapsed, err := w.Run()
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	lat := tr0.Phase("total").Micros() / float64(iters)
+	watts := w.Station().EnergyJoules() / elapsed.Seconds()
+	return lat, watts, rec, w, nil
+}

@@ -1,0 +1,92 @@
+// Command powercoll regenerates the figures and tables of Kandalla et al.
+// (ICPP 2010) from the pacc simulation.
+//
+// Usage:
+//
+//	powercoll -list                 # show available experiments
+//	powercoll -exp fig7a            # run one experiment, print text
+//	powercoll -exp all -scale 0.2   # run everything at reduced scale
+//	powercoll -exp table1 -csv out/ # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pacc"
+	"pacc/internal/report"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
+		scale = flag.Float64("scale", 1.0, "experiment scale in (0,1]; 1 = paper fidelity")
+		csv   = flag.String("csv", "", "directory to write CSV series/tables into")
+		htmlP = flag.String("html", "", "write an HTML report (inline SVG charts) to this file")
+		list  = flag.Bool("list", false, "list registered experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, s := range pacc.Experiments() {
+			fmt.Printf("  %-17s %s\n", s.ID, s.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, s := range pacc.Experiments() {
+			ids = append(ids, s.ID)
+		}
+	} else {
+		ids = []string{*exp}
+	}
+
+	failed := false
+	var collected []*pacc.ExperimentResult
+	for _, id := range ids {
+		start := time.Now()
+		res, err := pacc.RunExperiment(id, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powercoll: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		res.Render(os.Stdout)
+		fmt.Printf("\n(%s completed in %.1fs wall time)\n\n", id, time.Since(start).Seconds())
+		collected = append(collected, res)
+		if *csv != "" {
+			if err := res.WriteCSV(*csv); err != nil {
+				fmt.Fprintf(os.Stderr, "powercoll: writing CSV for %s: %v\n", id, err)
+				failed = true
+			}
+		}
+	}
+	if *htmlP != "" && len(collected) > 0 {
+		f, err := os.Create(*htmlP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powercoll:", err)
+			os.Exit(1)
+		}
+		title := fmt.Sprintf("pacc reproduction results (scale %.2f)", *scale)
+		if err := report.WriteHTML(f, title, collected); err != nil {
+			fmt.Fprintln(os.Stderr, "powercoll:", err)
+			failed = true
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "powercoll:", err)
+			failed = true
+		}
+		fmt.Printf("wrote HTML report to %s\n", *htmlP)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

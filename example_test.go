@@ -1,0 +1,72 @@
+package pacc_test
+
+import (
+	"fmt"
+
+	"pacc"
+)
+
+// The basic workflow: build a world, launch an SPMD body, run, and read
+// time and energy.
+func Example() {
+	cfg := pacc.DefaultConfig()
+	w, err := pacc.NewWorld(cfg)
+	if err != nil {
+		panic(err)
+	}
+	w.Launch(func(r *pacc.Rank) {
+		c := pacc.CommWorld(r)
+		pacc.Barrier(c)
+	})
+	if _, err := w.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println(w.Size(), "ranks synchronized")
+	// Output: 64 ranks synchronized
+}
+
+// Comparing the paper's three power schemes on one collective call. The
+// simulation is deterministic, so the ordering is stable.
+func Example_powerSchemes() {
+	var energies []float64
+	for _, mode := range []pacc.PowerMode{pacc.NoPower, pacc.FreqScaling, pacc.Proposed} {
+		w, err := pacc.NewWorld(pacc.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		w.Launch(func(r *pacc.Rank) {
+			pacc.Alltoall(pacc.CommWorld(r), 256<<10, pacc.CollectiveOptions{Power: mode})
+		})
+		if _, err := w.Run(); err != nil {
+			panic(err)
+		}
+		energies = append(energies, w.Station().EnergyJoules())
+	}
+	fmt.Println("default > freq-scaling:", energies[0] > energies[1])
+	fmt.Println("freq-scaling > proposed:", energies[1] > energies[2])
+	// Output:
+	// default > freq-scaling: true
+	// freq-scaling > proposed: true
+}
+
+// Running one of the paper's application skeletons.
+func Example_workload() {
+	app, err := pacc.CPMDApp("wat-32-inp-1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(app.Name)
+	// Output: cpmd/wat-32-inp-1
+}
+
+// Using the analytical model of Section VI: equation (1) predicts the
+// pairwise alltoall time from the contention factor Cnet.
+func Example_model() {
+	par := pacc.ModelFromConfig(pacc.DefaultConfig())
+	par.Cnet = 4                        // 4 concurrent senders per uplink
+	t4 := par.AlltoallTime(8, 4, 1<<20) // 4-way
+	par.Cnet = 8
+	t8 := par.AlltoallTime(4, 8, 1<<20) // 8-way
+	fmt.Println("8-way slower than 4-way:", t8 > t4)
+	// Output: 8-way slower than 4-way: true
+}

@@ -1,0 +1,50 @@
+// CPMD energy study: reproduce the structure of the paper's Table I for
+// one dataset — run the CPMD skeleton at 32 and 64 processes under the
+// three power schemes and report runtime, alltoall time, energy, and the
+// savings of the power-aware schemes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pacc"
+)
+
+func main() {
+	dataset := flag.String("dataset", "wat-32-inp-1",
+		"CPMD dataset: wat-32-inp-1, wat-32-inp-2, or ta-inp-md")
+	flag.Parse()
+
+	app, err := pacc.CPMDApp(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CPMD %s (strong scaling)\n\n", *dataset)
+	for _, procs := range []int{32, 64} {
+		cfg, err := pacc.ClusterFor(procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d processes on %d nodes:\n", procs, cfg.Topo.Nodes)
+		var baseline float64
+		for _, mode := range []pacc.PowerMode{pacc.NoPower, pacc.FreqScaling, pacc.Proposed} {
+			rep, err := pacc.RunApp(app, cfg, mode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			saving := ""
+			if mode == pacc.NoPower {
+				baseline = rep.EnergyJ
+			} else if baseline > 0 {
+				saving = fmt.Sprintf("  (saves %.1f%%)", 100*(1-rep.EnergyJ/baseline))
+			}
+			fmt.Printf("  %-14v total %7.2fs  alltoall %6.2fs  energy %8.2f KJ%s\n",
+				mode, rep.Elapsed.Seconds(), rep.AlltoallTime.Seconds(), rep.EnergyKJ(), saving)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The paper's Table I reports ~5-8% energy savings for the proposed")
+	fmt.Println("scheme on these datasets, with 2-5% runtime overhead.")
+}

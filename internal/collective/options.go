@@ -1,0 +1,177 @@
+// Package collective implements MPI collective communication algorithms —
+// the default MVAPICH2-style algorithms and the power-aware redesigns of
+// Kandalla et al. (ICPP 2010).
+//
+// Every collective is an SPMD call: all members of the communicator call
+// the same function with the same arguments (sizes, options), exactly like
+// MPI collectives. Power behavior is selected per call through
+// Options.Power:
+//
+//   - NoPower: run at whatever P/T-state the cores are in (fmax, T0 in a
+//     default job) — the paper's "Default (No-Power)" scheme.
+//   - FreqScaling: per-call DVFS — every core drops to fmin at the start
+//     of the collective and returns to fmax at the end (§V, the scheme
+//     the paper compares against, after [5], [6]).
+//   - Proposed: the paper's algorithms, which add phased CPU throttling
+//     on top of the per-call DVFS (§V-A for Alltoall, §V-B for the
+//     shared-memory collectives).
+package collective
+
+import (
+	"fmt"
+
+	"pacc/internal/mpi"
+	"pacc/internal/power"
+	"pacc/internal/simtime"
+)
+
+// PowerMode selects the power scheme for one collective call.
+type PowerMode int
+
+const (
+	// NoPower runs the default algorithm with no power transitions.
+	NoPower PowerMode = iota
+	// FreqScaling brackets the call with DVFS to fmin and back.
+	FreqScaling
+	// Proposed runs the paper's power-aware algorithm: DVFS plus
+	// phased CPU throttling.
+	Proposed
+)
+
+func (m PowerMode) String() string {
+	switch m {
+	case NoPower:
+		return "no-power"
+	case FreqScaling:
+		return "freq-scaling"
+	case Proposed:
+		return "proposed"
+	default:
+		return fmt.Sprintf("PowerMode(%d)", int(m))
+	}
+}
+
+// Options tunes one collective call.
+type Options struct {
+	// Power selects the power scheme (default NoPower).
+	Power PowerMode
+	// Trace, when non-nil, receives this rank's per-phase timings.
+	Trace *Trace
+	// ReduceBytesPerSec is the local reduction rate at full speed for
+	// Reduce/Allreduce (combining two buffers). Zero selects 3 GB/s.
+	ReduceBytesPerSec float64
+	// CoreGranularThrottle enables the ablation of §V-B/VI-B: a
+	// future architecture that throttles per core rather than per
+	// socket, keeping the leader core at T0 and all other cores at T7
+	// during the network phase.
+	CoreGranularThrottle bool
+	// DeepThrottle overrides the T-state used for cores with no work
+	// during a phase (the paper uses T7). Zero selects T7.
+	DeepThrottle power.TState
+	// PartialThrottle overrides the T-state of the leader socket during
+	// the network phase of shared-memory collectives (the paper uses
+	// T4). Zero selects T4.
+	PartialThrottle power.TState
+	// PowerThreshold is the per-rank message size below which the
+	// power-aware schemes pass through to the default algorithm at full
+	// speed: for latency-bound collectives the DVFS and throttle
+	// transition costs exceed any possible savings (the paper's methods
+	// target the medium/large messages of Figures 7-8). Zero selects
+	// DefaultPowerThreshold; negative applies the scheme at any size.
+	PowerThreshold int64
+}
+
+// DefaultPowerThreshold is the passthrough cutoff used when
+// Options.PowerThreshold is zero.
+const DefaultPowerThreshold = 16 << 10
+
+// effectivePower resolves the scheme for a call moving bytes per rank.
+func (o Options) effectivePower(bytes int64) PowerMode {
+	if o.Power == NoPower {
+		return NoPower
+	}
+	th := o.PowerThreshold
+	if th == 0 {
+		th = DefaultPowerThreshold
+	}
+	if th > 0 && bytes < th {
+		return NoPower
+	}
+	return o.Power
+}
+
+// deepT returns the T-state for fully idled cores.
+func (o Options) deepT() power.TState {
+	if o.DeepThrottle == power.T0 {
+		return power.T7
+	}
+	return o.DeepThrottle
+}
+
+// partialT returns the T-state for the leader socket.
+func (o Options) partialT() power.TState {
+	if o.PartialThrottle == power.T0 {
+		return power.T4
+	}
+	return o.PartialThrottle
+}
+
+func (o Options) reduceRate() float64 {
+	if o.ReduceBytesPerSec > 0 {
+		return o.ReduceBytesPerSec
+	}
+	return 3e9
+}
+
+// Trace accumulates per-phase wall-clock durations observed by one rank.
+type Trace struct {
+	phases map[string]simtime.Duration
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{phases: map[string]simtime.Duration{}} }
+
+// Add accrues d into the named phase.
+func (t *Trace) Add(name string, d simtime.Duration) {
+	if t == nil {
+		return
+	}
+	if t.phases == nil {
+		t.phases = map[string]simtime.Duration{}
+	}
+	t.phases[name] += d
+}
+
+// Phase returns the accumulated duration of a phase.
+func (t *Trace) Phase(name string) simtime.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.phases[name]
+}
+
+// timePhase runs fn and accrues its duration under name.
+func timePhase(c *mpi.Comm, tr *Trace, name string, fn func()) {
+	start := c.Owner().Now()
+	fn()
+	tr.Add(name, c.Owner().Now().Sub(start))
+}
+
+// withFreqScaling brackets body with the per-call DVFS transitions used by
+// both power-aware schemes: all cores to fmin before, back to fmax after.
+func withFreqScaling(c *mpi.Comm, body func()) {
+	r := c.Owner()
+	r.ScaleDown()
+	body()
+	r.ScaleUp()
+}
+
+// Standard phase names used by the built-in collectives.
+const (
+	PhaseTotal   = "total"
+	PhaseIntra   = "intra"
+	PhaseNetwork = "network"
+	PhasePhase2  = "phase2"
+	PhasePhase3  = "phase3"
+	PhasePhase4  = "phase4"
+)

@@ -1,0 +1,129 @@
+package collective
+
+import (
+	"pacc/internal/mpi"
+)
+
+// ReduceScatter reduces a P-block vector across all ranks and leaves
+// block i on rank i, using recursive halving for power-of-two
+// communicators (each round exchanges half the remaining vector) and a
+// pairwise fallback otherwise. blockBytes is the size of one block.
+func ReduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
+	opt.Power = opt.effectivePower(blockBytes)
+	timePhase(c, opt.Trace, PhaseTotal, func() {
+		run := func() { reduceScatter(c, blockBytes, opt) }
+		if opt.Power == FreqScaling || opt.Power == Proposed {
+			withFreqScaling(c, run)
+			return
+		}
+		run()
+	})
+}
+
+func reduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
+	n, me := c.Size(), c.Rank()
+	if n == 1 {
+		return
+	}
+	block := c.TagBlock()
+	if n&(n-1) == 0 {
+		// Recursive halving: the exchanged volume halves each round,
+		// starting at half the full vector.
+		vol := int64(n) / 2 * blockBytes
+		round := 0
+		for mask := n / 2; mask >= 1; mask >>= 1 {
+			peer := me ^ mask
+			tag := c.PairTag(block, me, peer) + (1<<17)*round
+			rq := c.Irecv(peer, vol, tag)
+			sq := c.Isend(peer, vol, tag)
+			mpi.WaitAll(sq, rq)
+			reduceOp(c, vol, opt)
+			vol /= 2
+			round++
+		}
+		return
+	}
+	// Non-power-of-two: pairwise exchange of single blocks; every rank
+	// receives and folds one block from every peer.
+	for i := 1; i < n; i++ {
+		to := (me + i) % n
+		from := (me - i + n) % n
+		tag := c.PairTag(block, 0, 0) + (1 << 17) + i
+		rq := c.Irecv(from, blockBytes, tag+from)
+		sq := c.Isend(to, blockBytes, tag+me)
+		mpi.WaitAll(sq, rq)
+		reduceOp(c, blockBytes, opt)
+	}
+}
+
+// AllreduceRabenseifner runs the Rabenseifner algorithm [23]: a
+// reduce-scatter (recursive halving) followed by an allgather (recursive
+// doubling). For large vectors it moves ~2x less data per rank than
+// recursive doubling, the classic bandwidth-optimal trade.
+func AllreduceRabenseifner(c *mpi.Comm, bytes int64, opt Options) {
+	opt.Power = opt.effectivePower(bytes)
+	timePhase(c, opt.Trace, PhaseTotal, func() {
+		n := c.Size()
+		if n == 1 {
+			return
+		}
+		if n&(n-1) != 0 {
+			// The classic formulation needs a power of two; fall
+			// back to the composition.
+			inner := opt
+			inner.Trace = nil
+			Reduce(c, 0, bytes, inner)
+			Bcast(c, 0, bytes, inner)
+			return
+		}
+		run := func() {
+			blockBytes := (bytes + int64(n) - 1) / int64(n)
+			reduceScatter(c, blockBytes, opt)
+			recursiveDoublingAllgather(c, blockBytes, c.TagBlock())
+		}
+		if opt.Power == FreqScaling || opt.Power == Proposed {
+			withFreqScaling(c, run)
+			return
+		}
+		run()
+	})
+}
+
+// AlltoallRing runs the store-and-forward ring alltoall: every step each
+// rank forwards to its right neighbor the blocks that have not reached
+// their destination yet ((n-s) blocks at step s). Each block travels hop
+// by hop, so total traffic is ~n/2 times the pairwise schedule's — the
+// ring trades bandwidth for nearest-neighbor-only communication and
+// minimal buffering, which is why systems use it only under memory or
+// torus-wiring constraints.
+func AlltoallRing(c *mpi.Comm, bytes int64, opt Options) {
+	opt.Power = opt.effectivePower(bytes)
+	timePhase(c, opt.Trace, PhaseTotal, func() {
+		run := func() { alltoallRing(c, bytes, opt) }
+		if opt.Power == FreqScaling || opt.Power == Proposed {
+			withFreqScaling(c, run)
+			return
+		}
+		run()
+	})
+}
+
+func alltoallRing(c *mpi.Comm, bytes int64, opt Options) {
+	n, me := c.Size(), c.Rank()
+	localCopy(c, bytes)
+	if n == 1 {
+		return
+	}
+	block := c.TagBlock()
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	for s := 1; s < n; s++ {
+		vol := int64(n-s) * bytes
+		tag := block + s
+		rq := c.Irecv(left, vol, tag)
+		sq := c.Isend(right, vol, tag)
+		mpi.WaitAll(sq, rq)
+		// Drop off the block that just arrived home.
+		localCopy(c, bytes)
+	}
+}

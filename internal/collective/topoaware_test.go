@@ -1,0 +1,217 @@
+package collective
+
+import (
+	"testing"
+
+	"pacc/internal/mpi"
+	"pacc/internal/simtime"
+)
+
+// rackConfig builds the paper's 8-node testbed arranged as two racks of
+// four nodes behind 2:1-oversubscribed rack uplinks.
+func rackConfig() mpi.Config {
+	cfg := mpi.DefaultConfig()
+	cfg.Net.NodesPerRack = 4
+	cfg.Net.RackUplinkBytesPerSec = 2 * cfg.Net.LinkBytesPerSec
+	return cfg
+}
+
+func TestScatterTopoAwareCompletes(t *testing.T) {
+	for _, mode := range []PowerMode{NoPower, FreqScaling, Proposed} {
+		done := 0
+		run(t, rackConfig(), func(r *mpi.Rank) {
+			ScatterTopoAware(mpi.CommWorld(r), 0, 16<<10, Options{Power: mode})
+			done++
+		})
+		if done != 64 {
+			t.Fatalf("mode=%v: %d/64 finished", mode, done)
+		}
+	}
+}
+
+func TestGatherTopoAwareCompletes(t *testing.T) {
+	for _, mode := range []PowerMode{NoPower, FreqScaling, Proposed} {
+		done := 0
+		run(t, rackConfig(), func(r *mpi.Rank) {
+			GatherTopoAware(mpi.CommWorld(r), 0, 16<<10, Options{Power: mode})
+			done++
+		})
+		if done != 64 {
+			t.Fatalf("mode=%v: %d/64 finished", mode, done)
+		}
+	}
+}
+
+// TestTopoAwareWorksWithoutRacks: with a single-switch fabric the
+// hierarchy degenerates to one rack and must still work.
+func TestTopoAwareWorksWithoutRacks(t *testing.T) {
+	done := 0
+	run(t, cfg64(), func(r *mpi.Rank) {
+		c := mpi.CommWorld(r)
+		ScatterTopoAware(c, 0, 8<<10, Options{Power: Proposed})
+		GatherTopoAware(c, 0, 8<<10, Options{Power: Proposed})
+		done++
+	})
+	if done != 64 {
+		t.Fatalf("%d/64 finished", done)
+	}
+}
+
+// TestTopoAwareBeatsFlatScatterAcrossRacks: on a heavily oversubscribed
+// two-rack fabric with a root whose binomial tree misaligns with the rack
+// boundary, routing through rack leaders crosses racks once per byte and
+// beats the flat scatter in both inter-rack volume and latency.
+func TestTopoAwareBeatsFlatScatterAcrossRacks(t *testing.T) {
+	const bytes = 256 << 10
+	const root = 20 // misaligns the vrank rotation with the rack split
+	cfg := rackConfig()
+	cfg.Net.RackUplinkBytesPerSec = cfg.Net.LinkBytesPerSec / 4 // 16:1
+	measure := func(body func(c *mpi.Comm)) (simtime.Duration, int64) {
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Launch(func(r *mpi.Rank) { body(mpi.CommWorld(r)) })
+		d, err := w.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, w.Fabric().InterRackBytes()
+	}
+	flatT, flatX := measure(func(c *mpi.Comm) { Scatter(c, root, bytes, Options{}) })
+	topoT, topoX := measure(func(c *mpi.Comm) { ScatterTopoAware(c, root, bytes, Options{}) })
+	// Minimal inter-rack volume: the 32 blocks destined for the other
+	// rack cross once.
+	minimal := int64(32) * bytes
+	if topoX != minimal {
+		t.Fatalf("topology-aware crossed %d inter-rack bytes, want minimal %d", topoX, minimal)
+	}
+	if flatX <= topoX {
+		t.Fatalf("flat scatter crossed %d bytes, expected more than topo-aware's %d", flatX, topoX)
+	}
+	if topoT >= flatT {
+		t.Fatalf("topology-aware scatter (%v) not faster than flat (%v) across racks", topoT, flatT)
+	}
+}
+
+// TestTopoAwarePowerOrdering: the §VIII schedule must draw less power
+// than no-power, with bounded overhead.
+func TestTopoAwarePowerOrdering(t *testing.T) {
+	const bytes = 128 << 10
+	measure := func(mode PowerMode) (simtime.Duration, float64) {
+		d, e := run(t, rackConfig(), func(r *mpi.Rank) {
+			c := mpi.CommWorld(r)
+			for i := 0; i < 3; i++ {
+				Barrier(c)
+				ScatterTopoAware(c, 0, bytes, Options{Power: mode})
+			}
+		})
+		return d, e / d.Seconds()
+	}
+	dNo, pNo := measure(NoPower)
+	dPr, pPr := measure(Proposed)
+	if pPr >= pNo {
+		t.Fatalf("proposed mean power %.0f W not below default %.0f W", pPr, pNo)
+	}
+	if dPr.Seconds() > 1.5*dNo.Seconds() {
+		t.Fatalf("proposed overhead too high: %v vs %v", dPr, dNo)
+	}
+}
+
+// TestGatherTopoAwareRestoresThrottle: the release cascade must leave all
+// cores at T0 / fmax.
+func TestGatherTopoAwareRestoresThrottle(t *testing.T) {
+	cfg := rackConfig()
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(func(r *mpi.Rank) {
+		GatherTopoAware(mpi.CommWorld(r), 0, 32<<10, Options{Power: Proposed})
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NProcs; i++ {
+		core := w.Rank(i).Core()
+		if core.Throttle() != 0 || core.FreqGHz() != cfg.Power.FMaxGHz {
+			t.Fatalf("rank %d left at %v / %.2f GHz", i, core.Throttle(), core.FreqGHz())
+		}
+	}
+}
+
+// TestTopoAwareByteConservation: scatter through the hierarchy moves each
+// rack block once inter-rack and each node block once intra-rack.
+func TestTopoAwareByteConservation(t *testing.T) {
+	const bytes = 4 << 10
+	cfg := rackConfig()
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(func(r *mpi.Rank) {
+		ScatterTopoAware(mpi.CommWorld(r), 0, bytes, Options{})
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Root (rack 0 leader) sends rack 1's block: 32 ranks * bytes.
+	// Each rack leader sends 3 node blocks of 8*bytes.
+	want := int64(32)*bytes + 2*3*8*bytes
+	if got := w.Fabric().BytesMoved(); got != want {
+		t.Fatalf("moved %d wire bytes, want %d", got, want)
+	}
+}
+
+func TestBcastTopoAwareCompletes(t *testing.T) {
+	for _, mode := range []PowerMode{NoPower, FreqScaling, Proposed} {
+		done := 0
+		run(t, rackConfig(), func(r *mpi.Rank) {
+			BcastTopoAware(mpi.CommWorld(r), 0, 128<<10, Options{Power: mode})
+			done++
+		})
+		if done != 64 {
+			t.Fatalf("mode=%v: %d/64 finished", mode, done)
+		}
+	}
+}
+
+// TestBcastTopoAwareByteConservation: one payload per rack leader plus
+// one per non-leader node.
+func TestBcastTopoAwareByteConservation(t *testing.T) {
+	const bytes = 64 << 10
+	cfg := rackConfig()
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(func(r *mpi.Rank) {
+		BcastTopoAware(mpi.CommWorld(r), 0, bytes, Options{})
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 inter-rack send (to rack 1's leader) + 2 racks x 3 node-leader
+	// sends.
+	want := int64(1+2*3) * bytes
+	if got := w.Fabric().BytesMoved(); got != want {
+		t.Fatalf("moved %d wire bytes, want %d", got, want)
+	}
+}
+
+// TestBcastTopoAwarePowerOrdering mirrors the scatter check.
+func TestBcastTopoAwarePowerOrdering(t *testing.T) {
+	measure := func(mode PowerMode) float64 {
+		d, e := run(t, rackConfig(), func(r *mpi.Rank) {
+			c := mpi.CommWorld(r)
+			for i := 0; i < 3; i++ {
+				Barrier(c)
+				BcastTopoAware(c, 0, 256<<10, Options{Power: mode})
+			}
+		})
+		return e / d.Seconds()
+	}
+	if pNo, pPr := measure(NoPower), measure(Proposed); pPr >= pNo {
+		t.Fatalf("proposed %.0f W not below default %.0f W", pPr, pNo)
+	}
+}

@@ -1,0 +1,132 @@
+package collective
+
+import (
+	"pacc/internal/mpi"
+)
+
+// Scatterv distributes variable-size blocks from root: sizeOf(i) is the
+// number of bytes destined for communicator rank i. All ranks must pass
+// agreeing size functions. The schedule is the binomial range split, so
+// subtree volumes are the sums of their members' blocks.
+func Scatterv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) {
+	timePhase(c, opt.Trace, PhaseTotal, func() {
+		run := func() { binomialScatterv(c, root, sizeOf, c.TagBlock()) }
+		if opt.Power == FreqScaling || opt.Power == Proposed {
+			withFreqScaling(c, run)
+			return
+		}
+		run()
+	})
+}
+
+// Gatherv collects variable-size blocks onto root (the reverse schedule).
+func Gatherv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) {
+	timePhase(c, opt.Trace, PhaseTotal, func() {
+		run := func() { binomialGatherv(c, root, sizeOf, c.TagBlock()) }
+		if opt.Power == FreqScaling || opt.Power == Proposed {
+			withFreqScaling(c, run)
+			return
+		}
+		run()
+	})
+}
+
+// vrangeBytes sums the block sizes of the vrank range [lo, hi) for a
+// communicator rotated by root.
+func vrangeBytes(c *mpi.Comm, root, lo, hi int, sizeOf func(int) int64) int64 {
+	n := c.Size()
+	var total int64
+	for vr := lo; vr < hi; vr++ {
+		total += sizeOf((vr + root) % n)
+	}
+	return total
+}
+
+func binomialScatterv(c *mpi.Comm, root int, sizeOf func(int) int64, block int) {
+	n, me := c.Size(), c.Rank()
+	if n == 1 {
+		return
+	}
+	vr := (me - root + n) % n
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		half := (hi - lo) / 2
+		upper := hi - half
+		size := vrangeBytes(c, root, upper, hi, sizeOf)
+		if vr < upper {
+			if vr == lo {
+				dst := (upper + root) % n
+				c.Send(dst, size, c.PairTag(block, me, dst))
+			}
+			hi = upper
+		} else {
+			if vr == upper {
+				src := (lo + root) % n
+				c.Recv(src, size, c.PairTag(block, src, me))
+			}
+			lo = upper
+		}
+	}
+}
+
+func binomialGatherv(c *mpi.Comm, root int, sizeOf func(int) int64, block int) {
+	n, me := c.Size(), c.Rank()
+	if n == 1 {
+		return
+	}
+	vr := (me - root + n) % n
+	type split struct{ lo, upper, hi int }
+	var splits []split
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		half := (hi - lo) / 2
+		upper := hi - half
+		splits = append(splits, split{lo, upper, hi})
+		if vr < upper {
+			hi = upper
+		} else {
+			lo = upper
+		}
+	}
+	for i := len(splits) - 1; i >= 0; i-- {
+		s := splits[i]
+		size := vrangeBytes(c, root, s.upper, s.hi, sizeOf)
+		if vr == s.upper {
+			dst := (s.lo + root) % n
+			c.Send(dst, size, c.PairTag(block, me, dst))
+		}
+		if vr == s.lo {
+			src := (s.upper + root) % n
+			c.Recv(src, size, c.PairTag(block, src, me))
+		}
+	}
+}
+
+// Allgatherv gathers variable-size blocks to all ranks with the ring
+// schedule: step s forwards the block originally owned by (me-s+1).
+func Allgatherv(c *mpi.Comm, sizeOf func(rank int) int64, opt Options) {
+	timePhase(c, opt.Trace, PhaseTotal, func() {
+		run := func() {
+			n, me := c.Size(), c.Rank()
+			if n == 1 {
+				return
+			}
+			block := c.TagBlock()
+			right := (me + 1) % n
+			left := (me - 1 + n) % n
+			for s := 0; s < n-1; s++ {
+				sendOwner := (me - s + n) % n
+				recvOwner := (left - s + n) % n
+				tag := block + s
+				rq := c.Irecv(left, sizeOf(recvOwner), tag)
+				sq := c.Isend(right, sizeOf(sendOwner), tag)
+				mpi.WaitAll(sq, rq)
+			}
+		}
+		if opt.Power == FreqScaling || opt.Power == Proposed {
+			withFreqScaling(c, run)
+			return
+		}
+		run()
+	})
+}

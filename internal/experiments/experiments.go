@@ -1,0 +1,249 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (Section VII), plus the ablations DESIGN.md calls out. Each
+// experiment is a registered Spec producing a Result of named series
+// (figures) and tables, rendered as aligned text or CSV.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Table is a rendered table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Series []Series
+	Tables []Table
+	Notes  []string
+}
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale in (0, 1] shrinks iteration counts and sweep densities for
+	// quick runs (benchmarks use small scales; 1.0 reproduces the
+	// paper-fidelity configuration).
+	Scale float64
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 || o.Scale > 1 {
+		return 1
+	}
+	return o.Scale
+}
+
+// scaledIters shrinks an iteration count, never below 1.
+func (o Options) scaledIters(base int) int {
+	n := int(float64(base)*o.scale() + 0.5)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// scaledSizes thins a sweep: scale >= 1 keeps all points, smaller scales
+// keep the endpoints and every other interior point.
+func (o Options) scaledSizes(sizes []int64) []int64 {
+	if o.scale() >= 0.99 || len(sizes) <= 2 {
+		return sizes
+	}
+	out := []int64{sizes[0]}
+	for i := 1; i < len(sizes)-1; i += 2 {
+		out = append(out, sizes[i])
+	}
+	return append(out, sizes[len(sizes)-1])
+}
+
+// Spec describes a registered experiment.
+type Spec struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(opt Options) (*Result, error)
+}
+
+var registry []Spec
+
+// canonicalOrder presents experiments in the paper's order regardless of
+// which file's init() registered them first.
+var canonicalOrder = []string{
+	"fig2a", "fig2b", "fig2c",
+	"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b",
+	"fig9", "table1", "fig10", "table2",
+	"abl-corethrottle", "abl-tstates", "abl-odvfs", "abl-sensitivity", "abl-blackbox",
+	"ext-toporack", "ext-netpower", "ext-p2ppower",
+}
+
+func register(s Spec) {
+	registry = append(registry, s)
+}
+
+func orderOf(id string) int {
+	for i, c := range canonicalOrder {
+		if c == id {
+			return i
+		}
+	}
+	return len(canonicalOrder)
+}
+
+// All returns the experiments in the paper's presentation order.
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		oi, oj := orderOf(out[i].ID), orderOf(out[j].ID)
+		if oi != oj {
+			return oi < oj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// IDs lists all experiment ids.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, s := range registry {
+		ids[i] = s.ID
+	}
+	return ids
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Spec, bool) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Render writes the result as aligned text.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "\n-- %s --\n", s.Name)
+		fmt.Fprintf(w, "%-14s %-14s\n", s.XLabel, s.YLabel)
+		for i := range s.X {
+			fmt.Fprintf(w, "%-14.6g %-14.6g\n", s.X[i], s.Y[i])
+		}
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "\n-- %s --\n", t.Title)
+		widths := make([]int, len(t.Header))
+		for i, h := range t.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range t.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		line := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, cell := range cells {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			}
+			fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		}
+		line(t.Header)
+		for _, row := range t.Rows {
+			line(row)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "\nnote: %s\n", n)
+	}
+}
+
+// WriteCSV writes one CSV file per series/table into dir.
+func (r *Result) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	for _, s := range r.Series {
+		name := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", r.ID, sanitize(s.Name)))
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s,%s\n", esc(s.XLabel), esc(s.YLabel))
+		for i := range s.X {
+			fmt.Fprintf(&b, "%g,%g\n", s.X[i], s.Y[i])
+		}
+		if err := os.WriteFile(name, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	for ti, t := range r.Tables {
+		name := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", r.ID, ti+1))
+		var b strings.Builder
+		cells := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			cells[i] = esc(h)
+		}
+		b.WriteString(strings.Join(cells, ",") + "\n")
+		for _, row := range t.Rows {
+			rc := make([]string, len(row))
+			for i, c := range row {
+				rc[i] = esc(c)
+			}
+			b.WriteString(strings.Join(rc, ",") + "\n")
+		}
+		if err := os.WriteFile(name, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// sortedKeys is a helper for deterministic map iteration in reports.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

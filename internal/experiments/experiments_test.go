@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pacc/internal/stats"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2a", "fig2b", "fig2c", "fig6a", "fig6b",
+		"fig7a", "fig7b", "fig8a", "fig8b",
+		"fig9", "table1", "fig10", "table2",
+		"abl-corethrottle", "abl-tstates", "abl-odvfs",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d specs, want >= %d", len(All()), len(want))
+	}
+	for _, s := range All() {
+		if s.Title == "" || s.Description == "" || s.Run == nil {
+			t.Errorf("spec %q incomplete", s.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig2a"); !ok {
+		t.Error("fig2a not found")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("bogus id found")
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	o := Options{}
+	if o.scale() != 1 {
+		t.Error("zero scale should default to 1")
+	}
+	o = Options{Scale: 0.25}
+	if got := o.scaledIters(8); got != 2 {
+		t.Errorf("scaledIters(8) at 0.25 = %d", got)
+	}
+	if got := o.scaledIters(1); got != 1 {
+		t.Errorf("scaledIters floor broken: %d", got)
+	}
+	sizes := []int64{1, 2, 3, 4, 5, 6}
+	thinned := o.scaledSizes(sizes)
+	if thinned[0] != 1 || thinned[len(thinned)-1] != 6 {
+		t.Errorf("scaledSizes must keep endpoints, got %v", thinned)
+	}
+	if len(thinned) >= len(sizes) {
+		t.Errorf("scaledSizes did not thin: %v", thinned)
+	}
+	full := Options{Scale: 1}
+	if got := full.scaledSizes(sizes); len(got) != len(sizes) {
+		t.Errorf("scale 1 must keep all sizes")
+	}
+}
+
+// quick runs an experiment at a small scale and sanity-checks the result.
+func quick(t *testing.T, id string) *Result {
+	t.Helper()
+	spec, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %q missing", id)
+	}
+	res, err := spec.Run(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.ID != id {
+		t.Fatalf("%s: result id %q", id, res.ID)
+	}
+	if len(res.Series) == 0 && len(res.Tables) == 0 {
+		t.Fatalf("%s: empty result", id)
+	}
+	return res
+}
+
+func TestFig2aShape(t *testing.T) {
+	res := quick(t, "fig2a")
+	if len(res.Series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(res.Series))
+	}
+	s4, s8 := res.Series[0], res.Series[1]
+	last := len(s4.Y) - 1
+	if !(s8.Y[last] > s4.Y[last]) {
+		t.Errorf("8-way (%v us) not slower than 4-way (%v us) at largest size", s8.Y[last], s4.Y[last])
+	}
+	// Latency must grow with message size.
+	if !(s4.Y[last] > s4.Y[0]) {
+		t.Error("4-way latency not increasing with size")
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	res := quick(t, "fig2b")
+	total, network := res.Series[0], res.Series[1]
+	last := len(total.Y) - 1
+	if network.Y[last] >= total.Y[last] {
+		t.Error("network phase exceeds total")
+	}
+	if network.Y[last] < 0.5*total.Y[last] {
+		t.Errorf("network phase %.0f us should dominate total %.0f us", network.Y[last], total.Y[last])
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	res := quick(t, "fig6a")
+	poll, block := res.Series[0], res.Series[1]
+	for i := range poll.Y {
+		if block.Y[i] <= poll.Y[i] {
+			t.Errorf("size %v: blocking (%v) not slower than polling (%v)", poll.X[i], block.Y[i], poll.Y[i])
+		}
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	res := quick(t, "fig7a")
+	noP, _, prop := res.Series[0], res.Series[1], res.Series[2]
+	last := len(noP.Y) - 1
+	overhead := stats.PercentDelta(noP.Y[last], prop.Y[last])
+	if overhead < 0 || overhead > 30 {
+		t.Errorf("proposed overhead %.1f%% outside [0, 30] (paper: ~10%%)", overhead)
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	res := quick(t, "fig7b")
+	if len(res.Series) != 3 {
+		t.Fatalf("want 3 series")
+	}
+	means := make([]float64, 3)
+	for i, s := range res.Series {
+		means[i] = stats.Mean(s.Y)
+	}
+	if !(means[0] > means[1] && means[1] > means[2]) {
+		t.Errorf("power levels not ordered: %.0f / %.0f / %.0f W", means[0], means[1], means[2])
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res := quick(t, "table2")
+	tab := res.Tables[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 scheme rows, got %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "Default (No-Power)" || tab.Rows[2][0] != "Proposed" {
+		t.Errorf("row labels: %v", [2]string{tab.Rows[0][0], tab.Rows[2][0]})
+	}
+	// Energy in every column must be ordered Default > Proposed.
+	for col := 1; col < len(tab.Header); col++ {
+		var def, prop float64
+		if _, err := sscan(tab.Rows[0][col], &def); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(tab.Rows[2][col], &prop); err != nil {
+			t.Fatal(err)
+		}
+		if prop >= def {
+			t.Errorf("column %s: proposed %.3f not below default %.3f", tab.Header[col], prop, def)
+		}
+	}
+}
+
+func TestAblTStatesShape(t *testing.T) {
+	res := quick(t, "abl-tstates")
+	powS := res.Series[1]
+	if !(powS.Y[len(powS.Y)-1] < powS.Y[0]) {
+		t.Errorf("deeper throttle should reduce power: %v", powS.Y)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	res := quick(t, "fig2c")
+	var sb strings.Builder
+	res.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "fig2c") || !strings.Contains(out, "Network-phase") {
+		t.Errorf("render output missing content:\n%s", out)
+	}
+	dir := t.TempDir()
+	if err := res.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "fig2c_*.csv"))
+	if err != nil || len(files) < 2 {
+		t.Fatalf("expected csv files, got %v (%v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ",") {
+		t.Error("csv has no separators")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("Alltoall-4way X"); got != "alltoall_4way_x" {
+		t.Errorf("sanitize = %q", got)
+	}
+}
+
+// sscan parses a float cell.
+func sscan(s string, out *float64) (int, error) {
+	return fmt.Sscan(s, out)
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pacc/internal/collective"
+	"pacc/internal/mpi"
+	"pacc/internal/power"
+	"pacc/internal/simtime"
+)
+
+// jobConfig builds an mpi.Config for nprocs ranks at ppn per node on a
+// cluster with exactly the nodes the job needs (the paper powers and
+// meters only active nodes).
+func jobConfig(nprocs, ppn int) mpi.Config {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs = nprocs
+	cfg.PPN = ppn
+	cfg.Topo.Nodes = nprocs / ppn
+	return cfg
+}
+
+// latencyResult is one point of a latency sweep.
+type latencyResult struct {
+	// TotalUs is the mean per-call completion time observed by rank 0.
+	TotalUs float64
+	// NetworkUs is the mean time rank 0 spent in the collective's
+	// network phase (leader-based collectives only).
+	NetworkUs float64
+	// IntraUs is the mean intra-node phase time.
+	IntraUs float64
+	// MeanWatts is cluster energy over the timed region divided by its
+	// duration.
+	MeanWatts float64
+}
+
+// runLatency measures a collective's per-call latency OSU-style: an
+// untimed warm-up call, then iters barrier-separated timed calls.
+func runLatency(cfg mpi.Config, iters int, call func(c *mpi.Comm, tr *collective.Trace)) (latencyResult, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return latencyResult{}, err
+	}
+	var tr0 *collective.Trace
+	var t0, t1 simtime.Time
+	var e0, e1 float64
+	w.Launch(func(r *mpi.Rank) {
+		c := mpi.CommWorld(r)
+		tr := collective.NewTrace()
+		if r.ID() == 0 {
+			tr0 = tr
+		}
+		call(c, nil) // warm-up
+		collective.Barrier(c)
+		if r.ID() == 0 {
+			t0 = r.Now()
+			e0 = w.Station().EnergyJoules()
+		}
+		for i := 0; i < iters; i++ {
+			call(c, tr)
+			collective.Barrier(c)
+		}
+		if r.ID() == 0 {
+			t1 = r.Now()
+			e1 = w.Station().EnergyJoules()
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		return latencyResult{}, err
+	}
+	span := t1.Sub(t0).Seconds()
+	if span <= 0 {
+		return latencyResult{}, fmt.Errorf("experiments: empty timed region")
+	}
+	res := latencyResult{
+		TotalUs:   tr0.Phase(collective.PhaseTotal).Micros() / float64(iters),
+		NetworkUs: tr0.Phase(collective.PhaseNetwork).Micros() / float64(iters),
+		IntraUs:   tr0.Phase(collective.PhaseIntra).Micros() / float64(iters),
+		MeanWatts: (e1 - e0) / span,
+	}
+	return res, nil
+}
+
+// runTimeline runs barrier-separated iterations of a collective while a
+// 0.5 s meter samples cluster power, returning the power-vs-time series
+// (the clamp-meter plots of Figures 6b, 7b, 8b).
+func runTimeline(cfg mpi.Config, iters int, name string, call func(c *mpi.Comm)) (Series, error) {
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return Series{}, err
+	}
+	meter := power.NewMeter(w.Station(), 500*simtime.Millisecond)
+	meter.Start()
+	w.Launch(func(r *mpi.Rank) {
+		c := mpi.CommWorld(r)
+		for i := 0; i < iters; i++ {
+			call(c)
+			collective.Barrier(c)
+		}
+		if r.ID() == 0 {
+			meter.Stop()
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		return Series{}, err
+	}
+	s := Series{Name: name, XLabel: "time_s", YLabel: "watts"}
+	for _, sm := range meter.Samples() {
+		s.X = append(s.X, sm.At.Seconds())
+		s.Y = append(s.Y, sm.Watts)
+	}
+	return s, nil
+}
+
+// itersForWindow estimates how many calls fill the given virtual-time
+// window by measuring one call on a fresh world.
+func itersForWindow(cfg mpi.Config, window simtime.Duration, call func(c *mpi.Comm)) (int, error) {
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var span simtime.Duration
+	w.Launch(func(r *mpi.Rank) {
+		c := mpi.CommWorld(r)
+		call(c) // warm-up
+		collective.Barrier(c)
+		start := r.Now()
+		call(c)
+		collective.Barrier(c)
+		if r.ID() == 0 {
+			span = r.Now().Sub(start)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		return 0, err
+	}
+	if span <= 0 {
+		return 1, nil
+	}
+	n := int(window.Seconds() / span.Seconds())
+	if n < 2 {
+		n = 2
+	}
+	if n > 2000 {
+		n = 2000
+	}
+	return n, nil
+}
+
+// alltoallCall builds a collective call closure for the sweep helpers.
+func alltoallCall(bytes int64, mode collective.PowerMode) func(c *mpi.Comm, tr *collective.Trace) {
+	return func(c *mpi.Comm, tr *collective.Trace) {
+		collective.AlltoallPairwise(c, bytes, collective.Options{Power: mode, Trace: tr})
+	}
+}
+
+func bcastCall(bytes int64, mode collective.PowerMode) func(c *mpi.Comm, tr *collective.Trace) {
+	return func(c *mpi.Comm, tr *collective.Trace) {
+		collective.Bcast(c, 0, bytes, collective.Options{Power: mode, Trace: tr})
+	}
+}
+
+func reduceCall(bytes int64, mode collective.PowerMode) func(c *mpi.Comm, tr *collective.Trace) {
+	return func(c *mpi.Comm, tr *collective.Trace) {
+		collective.Reduce(c, 0, bytes, collective.Options{Power: mode, Trace: tr})
+	}
+}

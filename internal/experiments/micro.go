@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pacc/internal/collective"
+	"pacc/internal/model"
+	"pacc/internal/mpi"
+	"pacc/internal/simtime"
+	"pacc/internal/stats"
+)
+
+// Message-size sweeps used by the paper's figures.
+var (
+	sizesFig2a = []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	sizesFig2b = []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	sizesFig2c = []int64{4, 16, 64, 256, 1 << 10, 4 << 10}
+	sizesLarge = []int64{16 << 10, 64 << 10, 256 << 10, 1 << 20}
+)
+
+func init() {
+	register(Spec{
+		ID:          "fig2a",
+		Title:       "Alltoall scalability: 32 processes, 4-way vs 8-way vs theoretical",
+		Description: "Pairwise-exchange alltoall latency for 32 ranks placed 4-per-node across 8 nodes and 8-per-node across 4 nodes, with the eq (1) estimate.",
+		Run:         runFig2a,
+	})
+	register(Spec{
+		ID:          "fig2b",
+		Title:       "Bcast: overall time vs network phase (64 processes)",
+		Description: "Multi-core aware broadcast total latency against its inter-leader (network) phase.",
+		Run:         runFig2b,
+	})
+	register(Spec{
+		ID:          "fig2c",
+		Title:       "Reduce: overall time vs network phase (64 processes)",
+		Description: "Multi-core aware reduce total latency against its inter-leader phase for small messages.",
+		Run:         runFig2c,
+	})
+	register(Spec{
+		ID:          "fig6a",
+		Title:       "Alltoall polling vs blocking: latency (64 processes)",
+		Description: "Pairwise alltoall latency under the two progression modes.",
+		Run:         runFig6a,
+	})
+	register(Spec{
+		ID:          "fig6b",
+		Title:       "Alltoall polling vs blocking: power over time (64 processes)",
+		Description: "Clamp-meter style power samples while repeating a 256 KB alltoall.",
+		Run:         runFig6b,
+	})
+	register(Spec{
+		ID:          "fig7a",
+		Title:       "Alltoall: No-Power vs Freq-Scaling vs Proposed latency (64 processes)",
+		Description: "Pairwise alltoall latency under the three power schemes.",
+		Run:         runFig7a,
+	})
+	register(Spec{
+		ID:          "fig7b",
+		Title:       "Alltoall: power over time for the three schemes (64 processes)",
+		Description: "Power samples while repeating a 256 KB alltoall under each scheme.",
+		Run:         runFig7b,
+	})
+	register(Spec{
+		ID:          "fig8a",
+		Title:       "Bcast: No-Power vs Freq-Scaling vs Proposed latency (64 processes)",
+		Description: "Multi-core aware broadcast latency under the three power schemes.",
+		Run:         runFig8a,
+	})
+	register(Spec{
+		ID:          "fig8b",
+		Title:       "Bcast: power over time for the three schemes (64 processes)",
+		Description: "Power samples while repeating a 1 MB broadcast under each scheme.",
+		Run:         runFig8b,
+	})
+}
+
+func runFig2a(opt Options) (*Result, error) {
+	sizes := opt.scaledSizes(sizesFig2a)
+	iters := opt.scaledIters(3)
+	res := &Result{ID: "fig2a", Title: "Alltoall scalability with 32 processes"}
+	cfg4 := jobConfig(32, 4)
+	cfg8 := jobConfig(32, 8)
+	s4 := Series{Name: "Alltoall-4way", XLabel: "bytes", YLabel: "latency_us"}
+	s8 := Series{Name: "Alltoall-8way", XLabel: "bytes", YLabel: "latency_us"}
+	sm := Series{Name: "Alltoall-Theoretical", XLabel: "bytes", YLabel: "latency_us"}
+	par := model.FromConfig(cfg4)
+	par.Cnet = float64(cfg4.PPN)
+	for _, m := range sizes {
+		r4, err := runLatency(cfg4, iters, alltoallCall(m, collective.NoPower))
+		if err != nil {
+			return nil, err
+		}
+		r8, err := runLatency(cfg8, iters, alltoallCall(m, collective.NoPower))
+		if err != nil {
+			return nil, err
+		}
+		s4.X = append(s4.X, float64(m))
+		s4.Y = append(s4.Y, r4.TotalUs)
+		s8.X = append(s8.X, float64(m))
+		s8.Y = append(s8.Y, r8.TotalUs)
+		sm.X = append(sm.X, float64(m))
+		sm.Y = append(sm.Y, par.AlltoallTime(8, 4, m)*1e6)
+	}
+	res.Series = []Series{s4, s8, sm}
+	gap := stats.PercentDelta(s4.Y[len(s4.Y)-1], s8.Y[len(s8.Y)-1])
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"8-way is %.0f%% slower than 4-way at %s (paper: ~54%%)",
+		gap, stats.FormatBytes(sizes[len(sizes)-1])))
+	return res, nil
+}
+
+func runPhaseSweep(id, title string, sizes []int64, iters int,
+	call func(bytes int64) func(*mpi.Comm, *collective.Trace)) (*Result, error) {
+	res := &Result{ID: id, Title: title}
+	cfg := jobConfig(64, 8)
+	total := Series{Name: "Default", XLabel: "bytes", YLabel: "latency_us"}
+	network := Series{Name: "Network-phase", XLabel: "bytes", YLabel: "latency_us"}
+	for _, m := range sizes {
+		r, err := runLatency(cfg, iters, call(m))
+		if err != nil {
+			return nil, err
+		}
+		total.X = append(total.X, float64(m))
+		total.Y = append(total.Y, r.TotalUs)
+		network.X = append(network.X, float64(m))
+		network.Y = append(network.Y, r.NetworkUs)
+	}
+	res.Series = []Series{total, network}
+	last := len(sizes) - 1
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"network phase is %.0f%% of the total at %s",
+		100*network.Y[last]/total.Y[last], stats.FormatBytes(sizes[last])))
+	return res, nil
+}
+
+func runFig2b(opt Options) (*Result, error) {
+	return runPhaseSweep("fig2b", "Bcast overall vs network time (64 procs)",
+		opt.scaledSizes(sizesFig2b), opt.scaledIters(3),
+		func(m int64) func(*mpi.Comm, *collective.Trace) {
+			return bcastCall(m, collective.NoPower)
+		})
+}
+
+func runFig2c(opt Options) (*Result, error) {
+	return runPhaseSweep("fig2c", "Reduce overall vs network time (64 procs)",
+		opt.scaledSizes(sizesFig2c), opt.scaledIters(3),
+		func(m int64) func(*mpi.Comm, *collective.Trace) {
+			return reduceCall(m, collective.NoPower)
+		})
+}
+
+func runFig6a(opt Options) (*Result, error) {
+	sizes := opt.scaledSizes(sizesLarge)
+	iters := opt.scaledIters(3)
+	res := &Result{ID: "fig6a", Title: "Alltoall polling vs blocking latency (64 procs)"}
+	polling := Series{Name: "Alltoall-Polling", XLabel: "bytes", YLabel: "latency_us"}
+	blocking := Series{Name: "Alltoall-Blocking", XLabel: "bytes", YLabel: "latency_us"}
+	for _, m := range sizes {
+		cfgP := jobConfig(64, 8)
+		rp, err := runLatency(cfgP, iters, alltoallCall(m, collective.NoPower))
+		if err != nil {
+			return nil, err
+		}
+		cfgB := jobConfig(64, 8)
+		cfgB.Mode = mpi.Blocking
+		rb, err := runLatency(cfgB, iters, alltoallCall(m, collective.NoPower))
+		if err != nil {
+			return nil, err
+		}
+		polling.X = append(polling.X, float64(m))
+		polling.Y = append(polling.Y, rp.TotalUs)
+		blocking.X = append(blocking.X, float64(m))
+		blocking.Y = append(blocking.Y, rb.TotalUs)
+	}
+	res.Series = []Series{polling, blocking}
+	last := len(sizes) - 1
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"blocking is %.0f%% slower at %s (paper: blocking clearly slower)",
+		stats.PercentDelta(polling.Y[last], blocking.Y[last]), stats.FormatBytes(sizes[last])))
+	return res, nil
+}
+
+func runFig6b(opt Options) (*Result, error) {
+	const bytes = 256 << 10
+	window := simtime.DurationOf(24 * opt.scale())
+	res := &Result{ID: "fig6b", Title: "Alltoall power vs time: polling vs blocking (64 procs)"}
+	for _, mc := range []struct {
+		name string
+		mode mpi.ProgressionMode
+	}{
+		{"Alltoall-Polling", mpi.Polling},
+		{"Alltoall-Blocking", mpi.Blocking},
+	} {
+		cfg := jobConfig(64, 8)
+		cfg.Mode = mc.mode
+		call := func(c *mpi.Comm) {
+			collective.AlltoallPairwise(c, bytes, collective.Options{})
+		}
+		iters, err := itersForWindow(cfg, window, call)
+		if err != nil {
+			return nil, err
+		}
+		s, err := runTimeline(cfg, iters, mc.name, call)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"mean power: polling %.0f W, blocking %.0f W (paper: blocking lower, ~2.3 vs ~1.9 KW)",
+		stats.Mean(res.Series[0].Y), stats.Mean(res.Series[1].Y)))
+	return res, nil
+}
+
+// runModeSweep compares the three power schemes for one collective.
+func runModeSweep(id, title string, sizes []int64, iters int, prefix string,
+	call func(bytes int64, mode collective.PowerMode) func(*mpi.Comm, *collective.Trace)) (*Result, error) {
+	res := &Result{ID: id, Title: title}
+	cfg := jobConfig(64, 8)
+	names := map[collective.PowerMode]string{
+		collective.NoPower:     prefix + "-No-Power",
+		collective.FreqScaling: prefix + "-Freq-Scaling",
+		collective.Proposed:    prefix + "-Proposed",
+	}
+	order := []collective.PowerMode{collective.NoPower, collective.FreqScaling, collective.Proposed}
+	var series []Series
+	for _, mode := range order {
+		s := Series{Name: names[mode], XLabel: "bytes", YLabel: "latency_us"}
+		for _, m := range sizes {
+			r, err := runLatency(cfg, iters, call(m, mode))
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(m))
+			s.Y = append(s.Y, r.TotalUs)
+		}
+		series = append(series, s)
+	}
+	res.Series = series
+	last := len(sizes) - 1
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("overhead at %s: freq-scaling %.1f%%, proposed %.1f%%",
+			stats.FormatBytes(sizes[last]),
+			stats.PercentDelta(series[0].Y[last], series[1].Y[last]),
+			stats.PercentDelta(series[0].Y[last], series[2].Y[last])))
+	return res, nil
+}
+
+func runFig7a(opt Options) (*Result, error) {
+	return runModeSweep("fig7a", "Alltoall latency under the three power schemes (64 procs)",
+		opt.scaledSizes(sizesLarge), opt.scaledIters(3), "Alltoall",
+		func(m int64, mode collective.PowerMode) func(*mpi.Comm, *collective.Trace) {
+			return alltoallCall(m, mode)
+		})
+}
+
+func runFig8a(opt Options) (*Result, error) {
+	return runModeSweep("fig8a", "Bcast latency under the three power schemes (64 procs)",
+		opt.scaledSizes(sizesLarge), opt.scaledIters(3), "Bcast",
+		func(m int64, mode collective.PowerMode) func(*mpi.Comm, *collective.Trace) {
+			return bcastCall(m, mode)
+		})
+}
+
+// runModeTimeline produces the power-vs-time plots for the three schemes.
+func runModeTimeline(id, title string, bytes int64, opt Options,
+	call func(c *mpi.Comm, mode collective.PowerMode)) (*Result, error) {
+	window := simtime.DurationOf(24 * opt.scale())
+	res := &Result{ID: id, Title: title}
+	prefixes := map[collective.PowerMode]string{
+		collective.NoPower:     "No-Power",
+		collective.FreqScaling: "Freq-Scaling",
+		collective.Proposed:    "Proposed",
+	}
+	var means []float64
+	for _, mode := range []collective.PowerMode{collective.NoPower, collective.FreqScaling, collective.Proposed} {
+		m := mode
+		cfg := jobConfig(64, 8)
+		c := func(cc *mpi.Comm) { call(cc, m) }
+		iters, err := itersForWindow(cfg, window, c)
+		if err != nil {
+			return nil, err
+		}
+		s, err := runTimeline(cfg, iters, prefixes[mode], c)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, s)
+		means = append(means, stats.Mean(s.Y))
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"mean power: no-power %.2f KW, freq-scaling %.2f KW, proposed %.2f KW (paper: ~2.3 / ~1.8 / ~1.6 KW)",
+		means[0]/1000, means[1]/1000, means[2]/1000))
+	return res, nil
+}
+
+func runFig7b(opt Options) (*Result, error) {
+	return runModeTimeline("fig7b", "Alltoall power vs time under the three schemes (64 procs)",
+		256<<10, opt, func(c *mpi.Comm, mode collective.PowerMode) {
+			collective.AlltoallPairwise(c, 256<<10, collective.Options{Power: mode})
+		})
+}
+
+func runFig8b(opt Options) (*Result, error) {
+	return runModeTimeline("fig8b", "Bcast power vs time under the three schemes (64 procs)",
+		1<<20, opt, func(c *mpi.Comm, mode collective.PowerMode) {
+			collective.Bcast(c, 0, 1<<20, collective.Options{Power: mode})
+		})
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"pacc/internal/stats"
+)
+
+// TestAllExperimentsRunQuick executes every registered experiment at a
+// small scale — the smoke test that keeps the whole registry runnable.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			res, err := spec.Run(Options{Scale: 0.05})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != spec.ID {
+				t.Fatalf("result id %q != spec id %q", res.ID, spec.ID)
+			}
+			if len(res.Series) == 0 && len(res.Tables) == 0 {
+				t.Fatal("empty result")
+			}
+			if len(res.Notes) == 0 {
+				t.Error("experiments should summarize themselves in Notes")
+			}
+		})
+	}
+}
+
+func TestFig6bPowerGap(t *testing.T) {
+	res := quick(t, "fig6b")
+	if len(res.Series) != 2 {
+		t.Fatalf("want polling+blocking series")
+	}
+	pollW := stats.Mean(res.Series[0].Y)
+	blockW := stats.Mean(res.Series[1].Y)
+	if blockW >= pollW {
+		t.Fatalf("blocking mean power %.0f W not below polling %.0f W", blockW, pollW)
+	}
+}
+
+func TestFig8bOrdering(t *testing.T) {
+	res := quick(t, "fig8b")
+	m := []float64{
+		stats.Mean(res.Series[0].Y),
+		stats.Mean(res.Series[1].Y),
+		stats.Mean(res.Series[2].Y),
+	}
+	if !(m[0] > m[1] && m[1] > m[2]) {
+		t.Fatalf("bcast power levels not ordered: %v", m)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res := quick(t, "table1")
+	tab := res.Tables[0]
+	if len(tab.Header) != 7 { // scheme + 3 datasets x 2 proc counts
+		t.Fatalf("header = %v", tab.Header)
+	}
+	for col := 1; col < len(tab.Header); col++ {
+		def, err1 := strconv.ParseFloat(tab.Rows[0][col], 64)
+		prop, err2 := strconv.ParseFloat(tab.Rows[2][col], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparsable cells: %v %v", err1, err2)
+		}
+		if prop >= def {
+			t.Errorf("column %s: proposed %.2f not below default %.2f", tab.Header[col], prop, def)
+		}
+	}
+}
+
+func TestFig9And10HaveScalingNotes(t *testing.T) {
+	for _, id := range []string{"fig9", "fig10"} {
+		res := quick(t, id)
+		if len(res.Notes) == 0 {
+			t.Errorf("%s: no scaling notes", id)
+		}
+		if len(res.Tables[0].Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+}
+
+func TestAblCoreThrottleOrdering(t *testing.T) {
+	res := quick(t, "abl-corethrottle")
+	tab := res.Tables[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(tab.Rows))
+	}
+	// Core-granular power must not exceed socket-level power.
+	sockW, _ := strconv.ParseFloat(tab.Rows[2][2], 64)
+	coreW, _ := strconv.ParseFloat(tab.Rows[3][2], 64)
+	if coreW > sockW*1.01 {
+		t.Errorf("core-granular %.0f W above socket-level %.0f W", coreW, sockW)
+	}
+}
+
+func TestAblODVFSMonotone(t *testing.T) {
+	res := quick(t, "abl-odvfs")
+	sim := res.Series[0]
+	if sim.Y[len(sim.Y)-1] <= sim.Y[0] {
+		t.Errorf("latency should grow with transition cost: %v", sim.Y)
+	}
+}
+
+func TestExtTopoRack(t *testing.T) {
+	res := quick(t, "ext-toporack")
+	tab := res.Tables[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 algorithm rows")
+	}
+	flatLat, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	topoLat, _ := strconv.ParseFloat(tab.Rows[1][1], 64)
+	if topoLat >= flatLat {
+		t.Errorf("topology-aware %.0f us not below flat %.0f us", topoLat, flatLat)
+	}
+	flatX, _ := strconv.ParseInt(tab.Rows[0][3], 10, 64)
+	topoX, _ := strconv.ParseInt(tab.Rows[1][3], 10, 64)
+	if topoX >= flatX {
+		t.Errorf("topology-aware inter-rack bytes %d not below flat %d", topoX, flatX)
+	}
+	flatW, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	propW, _ := strconv.ParseFloat(tab.Rows[3][2], 64)
+	if propW >= flatW {
+		t.Errorf("rack-throttled power %.0f W not below default %.0f W", propW, flatW)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pacc/internal/collective"
+	"pacc/internal/mpi"
+	"pacc/internal/stats"
+)
+
+func init() {
+	register(Spec{
+		ID:    "ext-toporack",
+		Title: "Extension: rack-aware scatter with rack-level throttling (§VIII)",
+		Description: "On a two-rack, oversubscribed fabric: flat binomial scatter vs the " +
+			"topology-aware hierarchy, and the §VIII power schedule that throttles whole racks " +
+			"during the inter-rack phase.",
+		Run: runExtTopoRack,
+	})
+}
+
+func runExtTopoRack(opt Options) (*Result, error) {
+	const bytes = 256 << 10
+	const root = 20 // misaligned with the rack boundary
+	iters := opt.scaledIters(3)
+	res := &Result{ID: "ext-toporack", Title: "Rack-aware scatter on a 2-rack, 16:1-oversubscribed fabric"}
+
+	cfg := jobConfig(64, 8)
+	cfg.Net.NodesPerRack = 4
+	cfg.Net.RackUplinkBytesPerSec = cfg.Net.LinkBytesPerSec / 4
+
+	t := Table{
+		Title:  fmt.Sprintf("Scatter %s from rank %d, 64 procs", stats.FormatBytes(bytes), root),
+		Header: []string{"algorithm", "latency_us", "mean_watts", "interrack_bytes"},
+	}
+	type cse struct {
+		name string
+		call func(c *mpi.Comm, tr *collective.Trace)
+	}
+	cases := []cse{
+		{"flat binomial", func(c *mpi.Comm, tr *collective.Trace) {
+			collective.Scatter(c, root, bytes, collective.Options{Trace: tr})
+		}},
+		{"topology-aware", func(c *mpi.Comm, tr *collective.Trace) {
+			collective.ScatterTopoAware(c, root, bytes, collective.Options{Trace: tr})
+		}},
+		{"topology-aware + freq-scaling", func(c *mpi.Comm, tr *collective.Trace) {
+			collective.ScatterTopoAware(c, root, bytes,
+				collective.Options{Power: collective.FreqScaling, Trace: tr})
+		}},
+		{"topology-aware + rack throttling", func(c *mpi.Comm, tr *collective.Trace) {
+			collective.ScatterTopoAware(c, root, bytes,
+				collective.Options{Power: collective.Proposed, Trace: tr})
+		}},
+	}
+	var flatLat, topoLat, flatW, propW float64
+	for i, cs := range cases {
+		r, err := runLatency(cfg, iters, cs.call)
+		if err != nil {
+			return nil, err
+		}
+		// Re-run once on a fresh world for the inter-rack byte count.
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			return nil, err
+		}
+		call := cs.call
+		w.Launch(func(rk *mpi.Rank) { call(mpi.CommWorld(rk), nil) })
+		if _, err := w.Run(); err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			cs.name,
+			fmt.Sprintf("%.1f", r.TotalUs),
+			fmt.Sprintf("%.0f", r.MeanWatts),
+			fmt.Sprintf("%d", w.Fabric().InterRackBytes()),
+		})
+		switch i {
+		case 0:
+			flatLat, flatW = r.TotalUs, r.MeanWatts
+		case 1:
+			topoLat = r.TotalUs
+		case 3:
+			propW = r.MeanWatts
+		}
+	}
+	res.Tables = []Table{t}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"topology-aware is %.1fx faster than flat across racks; rack throttling cuts mean power %.0f%%",
+		flatLat/topoLat, 100*(1-propW/flatW)))
+	return res, nil
+}

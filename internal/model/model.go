@@ -1,0 +1,142 @@
+// Package model implements the analytical performance and power models of
+// Section VI of Kandalla et al. (ICPP 2010), equations (1)-(8). The
+// models extend Thakur/Rabenseifner/Gropp-style collective cost models to
+// multi-core clusters with a network-contention factor Cnet and a
+// throttling degradation factor Cthrottle, and pair them with power
+// integrals over the paper's three schemes.
+//
+// The package is pure arithmetic: experiments use it both for the
+// "theoretical" curves (Figure 2a) and to cross-check the discrete-event
+// simulation against closed forms.
+package model
+
+import (
+	"fmt"
+
+	"pacc/internal/mpi"
+	"pacc/internal/power"
+)
+
+// Params carries the model constants. Times are seconds, rates
+// seconds/byte, power in watts.
+type Params struct {
+	// TsInter / TwInter: startup and per-byte cost of one uncontended
+	// inter-node message.
+	TsInter float64
+	TwInter float64
+	// TsIntra / TwIntra: same for the shared-memory channel.
+	TsIntra float64
+	TwIntra float64
+	// Cnet is the network contention factor (any positive value; §VI-A).
+	// With one switch link per node and c ranks sending concurrently,
+	// Cnet ≈ c.
+	Cnet float64
+	// Cthrottle is the §VI-A.3 degradation factor of a network phase
+	// driven by a throttled (T4) leader socket.
+	Cthrottle float64
+	// ODVFS and OThrottle are the transition latencies.
+	ODVFS     float64
+	OThrottle float64
+
+	// PCoreFmax / PCoreFmin: per-core busy power at the two ends of the
+	// DVFS range.
+	PCoreFmax float64
+	PCoreFmin float64
+	// C4 and C7 are the duty factors of T4 and T7.
+	C4 float64
+	C7 float64
+	// NodeBase is the non-core power per node.
+	NodeBase float64
+}
+
+// FromConfig derives model parameters from a simulator configuration, so
+// the closed forms and the discrete-event simulation share a calibration.
+func FromConfig(cfg mpi.Config) Params {
+	m := cfg.Power
+	return Params{
+		TsInter:   cfg.InterStartup.Seconds(),
+		TwInter:   1/cfg.Net.LinkBytesPerSec + 1/cfg.HostBytesPerSec,
+		TsIntra:   cfg.IntraStartup.Seconds(),
+		TwIntra:   1 / cfg.Shm.CopyBytesPerSec,
+		Cnet:      float64(cfg.PPN),
+		Cthrottle: 1.15,
+		ODVFS:     m.ODVFS.Seconds(),
+		OThrottle: m.OThrottle.Seconds(),
+		PCoreFmax: m.CoreWatts(m.FMaxGHz, power.T0, true),
+		PCoreFmin: m.CoreWatts(m.FMinGHz, power.T0, true),
+		C4:        m.Duty[power.T4],
+		C7:        m.Duty[power.T7],
+		NodeBase:  m.NodeBaseWatts,
+	}
+}
+
+// Validate rejects non-positive rates and factors.
+func (p Params) Validate() error {
+	if p.TwInter <= 0 || p.TwIntra <= 0 {
+		return fmt.Errorf("model: per-byte costs must be positive")
+	}
+	if p.Cnet <= 0 || p.Cthrottle <= 0 {
+		return fmt.Errorf("model: contention factors must be positive")
+	}
+	if p.PCoreFmax < p.PCoreFmin {
+		return fmt.Errorf("model: PCoreFmax below PCoreFmin")
+	}
+	return nil
+}
+
+// AlltoallTime is equation (1): the pairwise-exchange alltoall across
+// P = N*c processes, T = tw_inter * (P-c) * Cnet * M. With one switch
+// link per node, Cnet ≈ c — the fluid-model link sharing realizes the
+// same product.
+func (p Params) AlltoallTime(nodes, ppn int, m int64) float64 {
+	P := nodes * ppn
+	return p.TwInter * float64(P-ppn) * p.Cnet * float64(m)
+}
+
+// BcastTime is equation (2): the inter-leader scatter-allgather
+// broadcast, T = M (N-1) tw_inter (1 + 1/N).
+func (p Params) BcastTime(nodes int, m int64) float64 {
+	n := float64(nodes)
+	return float64(m) * (n - 1) * p.TwInter * (1 + 1/n)
+}
+
+// AlltoallPowerAwareTime is equation (3): the proposed algorithm's
+// phases 2-4 each move the same volume at half the contention
+// (Cnet/4 per phase pair), plus two DVFS transitions and N throttle
+// rounds: T = (3/4) tw N c Cnet M + 2 Odvfs + N Othrottle.
+func (p Params) AlltoallPowerAwareTime(nodes, ppn int, m int64) float64 {
+	return 0.75*p.TwInter*float64(nodes)*float64(ppn)*p.Cnet*float64(m) +
+		2*p.ODVFS + float64(nodes)*p.OThrottle
+}
+
+// BcastPowerAwareTime is equation (4): the §V-B broadcast with the
+// leader socket throttled, T = TBcast * Cthrottle + 2 Odvfs + 2 Othrottle.
+func (p Params) BcastPowerAwareTime(nodes int, m int64) float64 {
+	return p.BcastTime(nodes, m)*p.Cthrottle + 2*p.ODVFS + 2*p.OThrottle
+}
+
+// EnergyDefault is equation (5): all N*c cores at p_core(fmax) for the
+// interval T (core energy only — node base power is reported separately
+// so the three schemes remain comparable on any cluster size).
+func (p Params) EnergyDefault(nodes, ppn int, T float64) float64 {
+	return float64(nodes*ppn) * p.PCoreFmax * T
+}
+
+// EnergyDVFS is equation (6): all cores at p_core(fmin) for the (longer)
+// interval T'.
+func (p Params) EnergyDVFS(nodes, ppn int, T float64) float64 {
+	return float64(nodes*ppn) * p.PCoreFmin * T
+}
+
+// EnergyAlltoallProposed is equation (7): during the inter-node phases
+// each core spends half its time unthrottled at fmin and half at T7, so
+// E = N c p(fmin) T (1 + c7)/2.
+func (p Params) EnergyAlltoallProposed(nodes, ppn int, T float64) float64 {
+	return float64(nodes*ppn) * p.PCoreFmin * T * (1 + p.C7) / 2
+}
+
+// EnergyBcastProposed is equation (8): half the cores (leader socket) at
+// c4·p(fmin) and half at c7·p(fmin): E = (N c / 2)(c4 + c7) p(fmin) T.
+func (p Params) EnergyBcastProposed(nodes, ppn int, T float64) float64 {
+	return float64(nodes*ppn) / 2 * (p.C4 + p.C7) * p.PCoreFmin * T
+}

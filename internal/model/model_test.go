@@ -1,0 +1,207 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pacc/internal/collective"
+	"pacc/internal/mpi"
+	"pacc/internal/simtime"
+)
+
+func defaultParams() Params { return FromConfig(mpi.DefaultConfig()) }
+
+func TestFromConfigValid(t *testing.T) {
+	p := defaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cnet != 8 {
+		t.Errorf("Cnet = %v, want ppn (8)", p.Cnet)
+	}
+	if p.C7 >= p.C4 || p.C4 >= 1 {
+		t.Errorf("duty ordering wrong: c4=%v c7=%v", p.C4, p.C7)
+	}
+	if p.PCoreFmin >= p.PCoreFmax {
+		t.Errorf("power ordering wrong: %v vs %v", p.PCoreFmin, p.PCoreFmax)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	p := defaultParams()
+	p.TwInter = 0
+	if p.Validate() == nil {
+		t.Error("zero TwInter accepted")
+	}
+	p = defaultParams()
+	p.Cnet = -1
+	if p.Validate() == nil {
+		t.Error("negative Cnet accepted")
+	}
+	p = defaultParams()
+	p.PCoreFmax = p.PCoreFmin - 1
+	if p.Validate() == nil {
+		t.Error("inverted power range accepted")
+	}
+}
+
+// TestEq1ScalesLinearly: equation (1) is linear in M and in (P-c).
+func TestEq1ScalesLinearly(t *testing.T) {
+	p := defaultParams()
+	t1 := p.AlltoallTime(8, 8, 1<<20)
+	t2 := p.AlltoallTime(8, 8, 2<<20)
+	if math.Abs(t2/t1-2) > 1e-9 {
+		t.Errorf("doubling M gave ratio %v", t2/t1)
+	}
+}
+
+// TestEq1ContentionGap: the model predicts the 8-way layout is slower
+// than the 4-way one for the same 32 processes — the Figure 2(a) gap.
+func TestEq1ContentionGap(t *testing.T) {
+	p4 := defaultParams()
+	p4.Cnet = 4
+	p8 := defaultParams()
+	p8.Cnet = 8
+	t4 := p4.AlltoallTime(8, 4, 1<<20) // 32 procs, 4-way
+	t8 := p8.AlltoallTime(4, 8, 1<<20) // 32 procs, 8-way
+	if t8 <= t4 {
+		t.Fatalf("model: 8-way (%v) not slower than 4-way (%v)", t8, t4)
+	}
+}
+
+// TestEq3OverheadLinearInNodes: the power-aware alltoall's overhead term
+// grows linearly with the node count (§VI-A.2's observation).
+func TestEq3OverheadLinearInNodes(t *testing.T) {
+	p := defaultParams()
+	base := func(n int) float64 {
+		return p.AlltoallPowerAwareTime(n, 8, 0) // M=0 isolates overhead
+	}
+	o2 := base(2) - 2*p.ODVFS
+	o8 := base(8) - 2*p.ODVFS
+	if math.Abs(o8/o2-4) > 1e-9 {
+		t.Fatalf("throttle overhead ratio %v, want 4 (linear in N)", o8/o2)
+	}
+}
+
+// TestEq4Throttle: power-aware bcast time = default * Cthrottle plus
+// constant transitions.
+func TestEq4Throttle(t *testing.T) {
+	p := defaultParams()
+	d := p.BcastTime(8, 1<<20)
+	pa := p.BcastPowerAwareTime(8, 1<<20)
+	want := d*p.Cthrottle + 2*p.ODVFS + 2*p.OThrottle
+	if math.Abs(pa-want) > 1e-12 {
+		t.Fatalf("eq4 = %v, want %v", pa, want)
+	}
+}
+
+// TestEnergyOrdering: for any fixed interval, eq (5) > eq (6) > eq (7) and
+// eq (6) > eq (8) — the paper's comparison of the three schemes.
+func TestEnergyOrdering(t *testing.T) {
+	p := defaultParams()
+	f := func(tSel uint8) bool {
+		T := 0.001 + float64(tSel)/100
+		e5 := p.EnergyDefault(8, 8, T)
+		e6 := p.EnergyDVFS(8, 8, T)
+		e7 := p.EnergyAlltoallProposed(8, 8, T)
+		e8 := p.EnergyBcastProposed(8, 8, T)
+		return e5 > e6 && e6 > e7 && e6 > e8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestModelMatchesSimulationAlltoall cross-checks eq (1) against the
+// discrete-event simulator for the large-message alltoall. The model
+// ignores startup, rendezvous handshakes and phase effects, so agreement
+// within 40% over a 64x size range validates the shared calibration.
+func TestModelMatchesSimulationAlltoall(t *testing.T) {
+	p := defaultParams()
+	for _, m := range []int64{64 << 10, 512 << 10, 1 << 20} {
+		cfg := mpi.DefaultConfig()
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Launch(func(r *mpi.Rank) {
+			collective.AlltoallPairwise(mpi.CommWorld(r), m, collective.Options{})
+		})
+		got, err := w.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.AlltoallTime(8, 8, m)
+		ratio := got.Seconds() / want
+		if ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("M=%d: sim %.4fs vs model %.4fs (ratio %.2f)", m, got.Seconds(), want, ratio)
+		}
+	}
+}
+
+// TestModelMatchesSimulationBcast cross-checks eq (2) against the
+// simulated inter-leader network phase of the multi-core broadcast.
+func TestModelMatchesSimulationBcast(t *testing.T) {
+	p := defaultParams()
+	for _, m := range []int64{256 << 10, 1 << 20} {
+		cfg := mpi.DefaultConfig()
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces := make([]*collective.Trace, cfg.NProcs)
+		w.Launch(func(r *mpi.Rank) {
+			tr := collective.NewTrace()
+			traces[r.ID()] = tr
+			collective.Bcast(mpi.CommWorld(r), 0, m, collective.Options{Trace: tr})
+		})
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := traces[0].Phase(collective.PhaseNetwork).Seconds()
+		want := p.BcastTime(8, m)
+		ratio := got / want
+		// Equation (2) is loose: it charges full-size chunks in the
+		// allgather term, overestimating by ~4x (the paper's own
+		// Figure 2(b) measurement also sits well below eq (2)). The
+		// check guards the order of magnitude and linearity.
+		if ratio < 0.15 || ratio > 2.0 {
+			t.Errorf("M=%d: sim network %.5fs vs model %.5fs (ratio %.2f)", m, got, want, ratio)
+		}
+	}
+}
+
+// TestModelMatchesSimulationPowerAware: eq (3)'s prediction that the
+// proposed alltoall costs at most modestly more than the default should
+// hold in simulation too.
+func TestModelMatchesSimulationPowerAware(t *testing.T) {
+	const m = 512 << 10
+	elapsed := func(mode collective.PowerMode) simtime.Duration {
+		cfg := mpi.DefaultConfig()
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Launch(func(r *mpi.Rank) {
+			collective.AlltoallPairwise(mpi.CommWorld(r), m, collective.Options{Power: mode})
+		})
+		d, err := w.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	p := defaultParams()
+	modelRatio := p.AlltoallPowerAwareTime(8, 8, m) / p.AlltoallTime(8, 8, m)
+	simRatio := elapsed(collective.Proposed).Seconds() / elapsed(collective.NoPower).Seconds()
+	// Eq (3) predicts a ratio near 3/4 (it credits halved contention);
+	// the simulation realizes serialization the model ignores, so allow
+	// a generous band, but both must stay within ~35% of the default.
+	if simRatio > 1.35 {
+		t.Errorf("sim proposed/default ratio %.2f too high", simRatio)
+	}
+	if modelRatio > 1.35 {
+		t.Errorf("model proposed/default ratio %.2f too high", modelRatio)
+	}
+}

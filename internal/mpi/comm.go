@@ -1,0 +1,229 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"pacc/internal/topology"
+)
+
+// Comm is a communicator: an ordered group of global ranks plus the
+// calling rank's position in it. Like an MPI communicator handle, a Comm
+// is local to one rank; the same group is represented by one Comm per
+// member.
+type Comm struct {
+	r     *Rank
+	group []int // global rank ids; position = communicator rank
+	me    int   // index of r.id in group
+	// id distinguishes tag spaces of different communicators. It is a
+	// rank-local creation counter: because communicators must be
+	// created congruently on all members (SPMD, as in MPI), every
+	// member assigns the same id to the same logical communicator.
+	id int
+	// opSeq numbers collective operations on this communicator, again
+	// kept consistent by congruent calls.
+	opSeq int
+}
+
+// CommWorld returns the communicator containing every rank of the job.
+func CommWorld(r *Rank) *Comm {
+	group := make([]int, r.world.cfg.NProcs)
+	for i := range group {
+		group[i] = i
+	}
+	id := r.commSeq
+	r.commSeq++
+	return &Comm{r: r, group: group, me: r.id, id: id}
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.me }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Global translates a communicator rank to the global rank id.
+func (c *Comm) Global(commRank int) int { return c.group[commRank] }
+
+// Owner returns the Rank object that holds this communicator handle.
+func (c *Comm) Owner() *Rank { return c.r }
+
+// World returns the job.
+func (c *Comm) World() *World { return c.r.world }
+
+// Sub creates a communicator from a subset of this communicator's ranks
+// (given as communicator ranks, in the desired order). Returns nil if the
+// caller is not in the subset. Creation is structural: like communicator
+// caching in MVAPICH2, the cost is paid once at job setup, not per
+// collective.
+func (c *Comm) Sub(commRanks []int) *Comm {
+	// The id is consumed whether or not the caller joins, so members
+	// and non-members stay congruent.
+	id := c.r.commSeq
+	c.r.commSeq++
+	group := make([]int, len(commRanks))
+	me := -1
+	for i, cr := range commRanks {
+		if cr < 0 || cr >= len(c.group) {
+			panic(fmt.Sprintf("mpi: Sub rank %d outside communicator of size %d", cr, len(c.group)))
+		}
+		group[i] = c.group[cr]
+		if group[i] == c.r.id {
+			me = i
+		}
+	}
+	if me == -1 {
+		return nil
+	}
+	return &Comm{r: c.r, group: group, me: me, id: id}
+}
+
+// SplitColor partitions the communicator like MPI_Comm_split: ranks with
+// the same color form a new communicator, ordered by (key, rank). A
+// negative color (MPI_UNDEFINED) yields nil. All members must call
+// congruently with their own (color, key); the full color/key table must
+// be derivable by every rank, so it is passed as functions of the
+// communicator rank. The resulting per-color communicators share one tag
+// space id, which is safe because their member sets are disjoint.
+func (c *Comm) SplitColor(colorOf, keyOf func(commRank int) int) *Comm {
+	myColor := colorOf(c.me)
+	type member struct{ key, rank int }
+	var members []member
+	for cr := 0; cr < len(c.group); cr++ {
+		if colorOf(cr) == myColor {
+			members = append(members, member{keyOf(cr), cr})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].rank < members[j].rank
+	})
+	ranks := make([]int, len(members))
+	for i, m := range members {
+		ranks[i] = m.rank
+	}
+	if myColor < 0 {
+		// Still consume the id for congruence, then drop out.
+		c.Sub(nil)
+		return nil
+	}
+	return c.Sub(ranks)
+}
+
+// TagBlock reserves a fresh block of 2^20 tags for one collective
+// operation on this communicator. Successive collectives get disjoint
+// blocks, and different communicators get disjoint spaces, so a straggler
+// message from a previous operation can never match a later receive.
+func (c *Comm) TagBlock() int {
+	c.opSeq++
+	return c.id*(1<<44) + c.opSeq*(1<<20)
+}
+
+// PairTag returns a canonical tag for the unordered pair (a, b) of
+// communicator ranks inside a tag block: both endpoints derive the same
+// tag regardless of their position in the communication schedule.
+func (c *Comm) PairTag(block, a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	return block + a*len(c.group) + b
+}
+
+// Isend starts a nonblocking send to a communicator rank.
+func (c *Comm) Isend(dst int, bytes int64, tag int) *Request {
+	return c.r.Isend(c.group[dst], bytes, tag)
+}
+
+// Irecv posts a nonblocking receive from a communicator rank.
+func (c *Comm) Irecv(src int, bytes int64, tag int) *Request {
+	return c.r.Irecv(c.group[src], bytes, tag)
+}
+
+// Send is a blocking send to a communicator rank.
+func (c *Comm) Send(dst int, bytes int64, tag int) { c.r.Send(c.group[dst], bytes, tag) }
+
+// Recv is a blocking receive from a communicator rank.
+func (c *Comm) Recv(src int, bytes int64, tag int) { c.r.Recv(c.group[src], bytes, tag) }
+
+// SendRecv exchanges with communicator ranks dst and src.
+func (c *Comm) SendRecv(dst int, sendBytes int64, src int, recvBytes int64, tag int) {
+	c.r.SendRecv(c.group[dst], sendBytes, c.group[src], recvBytes, tag)
+}
+
+// NodeOf returns the node hosting a communicator rank.
+func (c *Comm) NodeOf(commRank int) int {
+	return c.r.world.place.NodeOf(c.group[commRank])
+}
+
+// SocketOf returns the socket of a communicator rank's core.
+func (c *Comm) SocketOf(commRank int) topology.SocketID {
+	return c.r.world.place.SocketOf(c.group[commRank])
+}
+
+// SameNode reports whether two communicator ranks share a node.
+func (c *Comm) SameNode(a, b int) bool { return c.NodeOf(a) == c.NodeOf(b) }
+
+// nodesInOrder returns the distinct node ids of the communicator in first-
+// appearance order.
+func (c *Comm) nodesInOrder() []int {
+	seen := map[int]bool{}
+	var nodes []int
+	for cr := range c.group {
+		n := c.NodeOf(cr)
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// SplitByNode builds the two sub-communicators of MVAPICH2's multi-core
+// aware collectives (§II-D): shmComm groups the caller with all ranks on
+// its node (ordered by communicator rank, so the leader — the smallest —
+// is shm rank 0), and leaderComm groups the per-node leaders (nil for
+// non-leader callers).
+func (c *Comm) SplitByNode() (shmComm, leaderComm *Comm) {
+	perNode := map[int][]int{}
+	for cr := range c.group {
+		n := c.NodeOf(cr)
+		perNode[n] = append(perNode[n], cr)
+	}
+	myNode := c.NodeOf(c.me)
+	mine := append([]int(nil), perNode[myNode]...)
+	sort.Ints(mine)
+	shmComm = c.Sub(mine)
+
+	var leaders []int
+	for _, n := range c.nodesInOrder() {
+		rs := append([]int(nil), perNode[n]...)
+		sort.Ints(rs)
+		leaders = append(leaders, rs[0])
+	}
+	sort.Ints(leaders)
+	leaderComm = c.Sub(leaders) // nil unless caller is a leader
+	return shmComm, leaderComm
+}
+
+// SocketGroups partitions the caller's node-local communicator ranks by
+// socket: groupA holds the ranks on socket A, groupB those on socket B
+// (communicator ranks, ascending). This is the process grouping of the
+// paper's power-aware Alltoall (§V-A, Figure 3).
+func (c *Comm) SocketGroups() (groupA, groupB []int) {
+	myNode := c.NodeOf(c.me)
+	for cr := range c.group {
+		if c.NodeOf(cr) != myNode {
+			continue
+		}
+		if c.SocketOf(cr) == topology.SocketA {
+			groupA = append(groupA, cr)
+		} else {
+			groupB = append(groupB, cr)
+		}
+	}
+	sort.Ints(groupA)
+	sort.Ints(groupB)
+	return groupA, groupB
+}

@@ -1,0 +1,145 @@
+// Package mpi implements an MPI-like message-passing runtime on top of the
+// simulation substrates: ranks are cooperative simulated processes bound
+// to cores, exchanging point-to-point messages over the InfiniBand fabric
+// (inter-node) or the shared-memory channel (intra-node), with eager and
+// rendezvous protocols and MVAPICH2's two progression modes.
+//
+// In "polling" mode a waiting rank spins — its core stays busy and draws
+// full power — and intra-node traffic uses shared memory. In "blocking"
+// mode a waiting rank yields the CPU (idle power), pays an interrupt plus
+// reschedule latency per wakeup, intra-node traffic falls back to the HCA
+// loopback path, and interrupt-driven progression derates achievable
+// bandwidth. These are the trade-offs of §II-B and Figure 6.
+package mpi
+
+import (
+	"fmt"
+
+	"pacc/internal/network"
+	"pacc/internal/power"
+	"pacc/internal/shm"
+	"pacc/internal/simtime"
+	"pacc/internal/topology"
+)
+
+// ProgressionMode selects how ranks wait for messages.
+type ProgressionMode int
+
+const (
+	// Polling spins on completion flags: lowest latency, core fully
+	// busy while waiting. MVAPICH2's default.
+	Polling ProgressionMode = iota
+	// Blocking yields the CPU and waits for an HCA interrupt.
+	Blocking
+)
+
+func (m ProgressionMode) String() string {
+	switch m {
+	case Polling:
+		return "polling"
+	case Blocking:
+		return "blocking"
+	default:
+		return fmt.Sprintf("ProgressionMode(%d)", int(m))
+	}
+}
+
+// Config assembles a complete simulated MPI job.
+type Config struct {
+	Topo  topology.Config
+	Net   network.Config
+	Shm   shm.Config
+	Power *power.Model
+
+	NProcs int
+	PPN    int
+	Bind   topology.BindPolicy
+	Mode   ProgressionMode
+
+	// EagerThreshold is the message size at or below which sends
+	// complete locally after injection (eager protocol); larger
+	// messages use an RTS/CTS rendezvous.
+	EagerThreshold int64
+	// InterStartup is the CPU-side cost to initiate one inter-node
+	// message (descriptor preparation, protocol bookkeeping). Scales
+	// with 1/speed of the initiating core.
+	InterStartup simtime.Duration
+	// IntraStartup is the CPU-side cost of intra-node match/notify
+	// operations. Scales with 1/speed.
+	IntraStartup simtime.Duration
+	// HostBytesPerSec is the CPU-side per-byte processing rate for
+	// inter-node payloads (buffer handling that is not overlapped with
+	// the DMA). It scales with core speed, which is how DVFS and
+	// throttling stretch the network phases of collectives (the
+	// paper's Cthrottle).
+	HostBytesPerSec float64
+	// InterruptLatency is the interrupt + OS reschedule cost paid per
+	// wakeup in blocking mode.
+	InterruptLatency simtime.Duration
+	// BlockingDerate in (0,1] scales effective network bandwidth in
+	// blocking mode: interrupt-driven progression cannot keep the
+	// pipeline full. 1 means no derating.
+	BlockingDerate float64
+	// PowerAwareP2P enables the paper's §VIII intra-node point-to-point
+	// direction: ranks waiting on an intra-node rendezvous scale their
+	// own core to fmin for the wait (core-granular DVFS) and restore it
+	// afterwards. The transition is skipped when the core is already
+	// below fmax (a power-aware collective is managing it).
+	PowerAwareP2P bool
+}
+
+// DefaultConfig returns a job shaped like the paper's testbed runs:
+// 64 ranks, 8 per node, bunch binding, polling progression.
+func DefaultConfig() Config {
+	return Config{
+		Topo:             topology.DefaultConfig(),
+		Net:              network.DefaultConfig(),
+		Shm:              shm.DefaultConfig(),
+		Power:            power.DefaultModel(),
+		NProcs:           64,
+		PPN:              8,
+		Bind:             topology.BindBunch,
+		Mode:             Polling,
+		EagerThreshold:   16 << 10,
+		InterStartup:     simtime.Micros(2.0),
+		IntraStartup:     simtime.Micros(0.5),
+		HostBytesPerSec:  32e9,
+		InterruptLatency: simtime.Micros(12),
+		BlockingDerate:   0.65,
+	}
+}
+
+// Validate checks the whole configuration tree.
+func (c Config) Validate() error {
+	if err := c.Topo.Validate(); err != nil {
+		return err
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if err := c.Shm.Validate(); err != nil {
+		return err
+	}
+	if c.Power == nil {
+		return fmt.Errorf("mpi: nil power model")
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if c.EagerThreshold < 0 {
+		return fmt.Errorf("mpi: negative EagerThreshold")
+	}
+	if c.HostBytesPerSec <= 0 {
+		return fmt.Errorf("mpi: HostBytesPerSec must be positive, got %g", c.HostBytesPerSec)
+	}
+	if c.InterruptLatency < 0 || c.InterStartup < 0 || c.IntraStartup < 0 {
+		return fmt.Errorf("mpi: negative latency constant")
+	}
+	if c.BlockingDerate <= 0 || c.BlockingDerate > 1 {
+		return fmt.Errorf("mpi: BlockingDerate %g outside (0,1]", c.BlockingDerate)
+	}
+	if c.Mode != Polling && c.Mode != Blocking {
+		return fmt.Errorf("mpi: unknown progression mode %d", int(c.Mode))
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+// TestMissingSendDeadlocks: a receive with no matching send surfaces as a
+// DeadlockError naming the stuck rank — failure injection for the
+// engine's liveness reporting.
+func TestMissingSendDeadlocks(t *testing.T) {
+	cfg := testConfig()
+	w := mustWorld(t, cfg)
+	w.Launch(func(r *Rank) {
+		if r.ID() == 2 {
+			r.Recv(0, 128, 42) // never sent
+		}
+	})
+	_, err := w.Run()
+	var dl *simtime.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	found := false
+	for _, b := range dl.Blocked {
+		if b == "rank2 (recv match)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deadlock report %v does not name rank2's wait", dl.Blocked)
+	}
+}
+
+// TestMismatchedTagsDeadlock: tag mismatches between sender and receiver
+// stall both sides (the send is rendezvous).
+func TestMismatchedTagsDeadlock(t *testing.T) {
+	cfg := testConfig()
+	w := mustWorld(t, cfg)
+	bytes := cfg.EagerThreshold * 2
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(2, bytes, 1)
+		case 2:
+			r.Recv(0, bytes, 9) // wrong tag
+		}
+	})
+	if _, err := w.Run(); err == nil {
+		t.Fatal("mismatched tags should deadlock")
+	}
+}
+
+// TestEagerThresholdBoundary: a message exactly at the threshold is
+// eager (sender completes locally); one byte over is rendezvous (sender
+// completes with the receiver).
+func TestEagerThresholdBoundary(t *testing.T) {
+	cfg := testConfig()
+	for _, tc := range []struct {
+		bytes      int64
+		rendezvous bool
+	}{
+		{cfg.EagerThreshold, false},
+		{cfg.EagerThreshold + 1, true},
+	} {
+		w := mustWorld(t, cfg)
+		var sendDone, recvDone simtime.Time
+		w.Launch(func(r *Rank) {
+			switch r.ID() {
+			case 0:
+				r.Send(2, tc.bytes, 1)
+				sendDone = r.Now()
+			case 2:
+				// Delay the post so eager completion is observable.
+				r.Compute(simtime.Millisecond)
+				r.Recv(0, tc.bytes, 1)
+				recvDone = r.Now()
+			}
+		})
+		if _, err := w.Run(); err != nil {
+			t.Fatalf("bytes=%d: %v", tc.bytes, err)
+		}
+		if tc.rendezvous && sendDone != recvDone {
+			t.Errorf("bytes=%d: rendezvous should complete together (%v vs %v)",
+				tc.bytes, sendDone, recvDone)
+		}
+		if !tc.rendezvous && sendDone >= recvDone {
+			t.Errorf("bytes=%d: eager sender should finish before the delayed receiver", tc.bytes)
+		}
+	}
+}
+
+// TestBlockingInterruptCost: in blocking mode a wakeup pays the
+// interrupt + reschedule latency.
+func TestBlockingInterruptCost(t *testing.T) {
+	base := func(mode ProgressionMode) simtime.Duration {
+		cfg := testConfig()
+		cfg.Mode = mode
+		cfg.BlockingDerate = 1.0 // isolate the interrupt term
+		w := mustWorld(t, cfg)
+		var recvDone simtime.Time
+		w.Launch(func(r *Rank) {
+			switch r.ID() {
+			case 0:
+				r.Send(2, 512, 1)
+			case 2:
+				r.Recv(0, 512, 1)
+				recvDone = r.Now()
+			}
+		})
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return simtime.Duration(recvDone)
+	}
+	polling := base(Polling)
+	blocking := base(Blocking)
+	diff := blocking - polling
+	cfg := testConfig()
+	// Blocking pays at least one interrupt latency; it also routes via
+	// loopback (slower than shm for this size), so allow a range.
+	if diff < cfg.InterruptLatency {
+		t.Fatalf("blocking-polling gap %v below one interrupt latency %v", diff, cfg.InterruptLatency)
+	}
+}
+
+// TestRendezvousOverlap: two disjoint rendezvous transfers between
+// different node pairs overlap on the wire — total time is far below the
+// serialized sum.
+func TestRendezvousOverlap(t *testing.T) {
+	cfg := DefaultConfig() // 8 nodes
+	w := mustWorld(t, cfg)
+	bytes := int64(1 << 20)
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(8, bytes, 1) // node 0 -> node 1
+		case 8:
+			r.Recv(0, bytes, 1)
+		case 16:
+			r.Send(24, bytes, 2) // node 2 -> node 3
+		case 24:
+			r.Recv(16, bytes, 2)
+		}
+	})
+	elapsed, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := float64(bytes) / cfg.Net.LinkBytesPerSec
+	if elapsed.Seconds() > 1.5*solo {
+		t.Fatalf("disjoint transfers took %.6fs, want ≈%.6fs (overlapped)", elapsed.Seconds(), solo)
+	}
+}
+
+// TestSerializedSendsToOnePeer: messages from many senders into one
+// receiver share its downlink; total time is at least the serialized wire
+// time.
+func TestSerializedSendsToOnePeer(t *testing.T) {
+	cfg := DefaultConfig()
+	w := mustWorld(t, cfg)
+	bytes := int64(1 << 20)
+	senders := []int{8, 16, 24, 32} // four different nodes
+	w.Launch(func(r *Rank) {
+		for _, s := range senders {
+			if r.ID() == s {
+				r.Send(0, bytes, s)
+			}
+		}
+		if r.ID() == 0 {
+			for _, s := range senders {
+				r.Recv(s, bytes, s)
+			}
+		}
+	})
+	elapsed, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atLeast := float64(len(senders)) * float64(bytes) / cfg.Net.LinkBytesPerSec
+	if elapsed.Seconds() < atLeast {
+		t.Fatalf("incast finished in %.6fs, below the shared-downlink bound %.6fs",
+			elapsed.Seconds(), atLeast)
+	}
+}
+
+// TestEnergyMatchesPowerIntegral: a rank busy for T at fmax must consume
+// exactly CoreWatts * T.
+func TestEnergyMatchesPowerIntegral(t *testing.T) {
+	cfg := testConfig()
+	w := mustWorld(t, cfg)
+	const secs = 2.0
+	w.Launch(func(r *Rank) {
+		if r.ID() == 0 {
+			r.ComputeSeconds(secs)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := cfg.Power
+	want := m.CoreWatts(m.FMaxGHz, 0, true) * secs
+	got := w.Rank(0).Core().EnergyJoules()
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("energy %.6f J, want %.6f J", got, want)
+	}
+}
+
+// TestLaunchBodiesRunOncePerRank verifies SPMD launch semantics.
+func TestLaunchBodiesRunOncePerRank(t *testing.T) {
+	cfg := testConfig()
+	w := mustWorld(t, cfg)
+	counts := make([]int, cfg.NProcs)
+	w.Launch(func(r *Rank) {
+		counts[r.ID()]++
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("rank %d body ran %d times", i, c)
+		}
+	}
+}
+
+// TestMsgStats: the counters classify traffic by transport and protocol.
+func TestMsgStats(t *testing.T) {
+	cfg := testConfig()
+	w := mustWorld(t, cfg)
+	big := cfg.EagerThreshold * 2
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 512, 1) // shm eager
+			r.Send(1, big, 2) // shm rendezvous
+			r.Send(2, 512, 3) // net eager
+			r.Send(2, big, 4) // net rendezvous
+			r.Send(1, 0, 5)   // control
+		case 1:
+			r.Recv(0, 512, 1)
+			r.Recv(0, big, 2)
+			r.Recv(0, 0, 5)
+		case 2:
+			r.Recv(0, 512, 3)
+			r.Recv(0, big, 4)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := w.Stats()
+	if s.ShmEager != 1 || s.ShmRendezvous != 1 || s.NetEager != 1 || s.NetRendezvous != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.Control != 1 {
+		t.Fatalf("control = %d, want 1", s.Control)
+	}
+	if s.ShmBytes != 512+big || s.NetBytes != 512+big {
+		t.Fatalf("bytes wrong: %+v", s)
+	}
+	if s.Messages() != 4 {
+		t.Fatalf("Messages() = %d", s.Messages())
+	}
+}
+
+// TestPairwiseMessageSplit: the §V-A claim — with bunch binding the first
+// c-1 exchange partners are intra-node, the rest inter-node. Verified via
+// the transport counters for a full pairwise alltoall.
+func TestPairwiseMessageSplit(t *testing.T) {
+	cfg := DefaultConfig() // 64 ranks, 8 per node
+	w := mustWorld(t, cfg)
+	const m = int64(1024)
+	w.Launch(func(r *Rank) {
+		c := CommWorld(r)
+		p := c.Size()
+		me := c.Rank()
+		block := c.TagBlock()
+		for i := 1; i < p; i++ {
+			peer := me ^ i
+			tag := c.PairTag(block, me, peer)
+			rq := c.Irecv(peer, m, tag)
+			sq := c.Isend(peer, m, tag)
+			WaitAll(sq, rq)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := w.Stats()
+	// 64 ranks x 7 intra-node peers and 64 x 56 inter-node peers.
+	if s.ShmEager != 64*7 {
+		t.Fatalf("shm messages = %d, want %d", s.ShmEager, 64*7)
+	}
+	if s.NetEager != 64*56 {
+		t.Fatalf("net messages = %d, want %d", s.NetEager, 64*56)
+	}
+}

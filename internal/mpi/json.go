@@ -1,0 +1,54 @@
+package mpi
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pacc/internal/power"
+)
+
+// MarshalJSON-friendly persistence for configurations: every field of
+// Config and its nested structs is a plain value (durations are
+// nanosecond integers), so the standard encoder round-trips it. These
+// helpers add validation and a default power model on load.
+
+// ConfigToJSON renders cfg as indented JSON.
+func ConfigToJSON(cfg Config) ([]byte, error) {
+	return json.MarshalIndent(cfg, "", "  ")
+}
+
+// ConfigFromJSON parses and validates a configuration. Absent fields
+// keep their zero values except the power model, which defaults when
+// null so that hand-written files may omit it.
+func ConfigFromJSON(data []byte) (Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("mpi: parsing config: %w", err)
+	}
+	if cfg.Power == nil {
+		cfg.Power = power.DefaultModel()
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// SaveConfig writes cfg to a JSON file.
+func SaveConfig(path string, cfg Config) error {
+	data, err := ConfigToJSON(cfg)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadConfig reads and validates a JSON configuration file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	return ConfigFromJSON(data)
+}

@@ -1,0 +1,108 @@
+package mpi
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NProcs = 32
+	cfg.Mode = Blocking
+	cfg.PowerAwareP2P = true
+	cfg.Net.NodesPerRack = 4
+	cfg.Net.RackUplinkBytesPerSec = 1e9
+	data, err := ConfigToJSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ConfigFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NProcs != 32 || back.Mode != Blocking || !back.PowerAwareP2P {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if back.Net.NodesPerRack != 4 || back.Net.RackUplinkBytesPerSec != 1e9 {
+		t.Fatalf("network fields lost: %+v", back.Net)
+	}
+	if back.Power == nil || back.Power.FMaxGHz != cfg.Power.FMaxGHz {
+		t.Fatal("power model lost")
+	}
+	if back.Power.Duty != cfg.Power.Duty {
+		t.Fatal("duty table lost")
+	}
+	// A round-tripped config must still build a working world.
+	w, err := NewWorld(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(func(r *Rank) {})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigFromJSONDefaultsPowerModel(t *testing.T) {
+	// A minimal hand-written config without a power model.
+	raw := `{
+		"Topo": {"Nodes": 2, "SocketsPerNode": 2, "CoresPerSocket": 2, "Interleaved": true},
+		"Net": {"LinkBytesPerSec": 3.2e9, "LoopbackBytesPerSec": 2e9},
+		"Shm": {"CopyBytesPerSec": 4e9},
+		"NProcs": 8, "PPN": 4,
+		"EagerThreshold": 16384,
+		"HostBytesPerSec": 3.2e10,
+		"BlockingDerate": 0.65
+	}`
+	cfg, err := ConfigFromJSON([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Power == nil {
+		t.Fatal("power model not defaulted")
+	}
+	if cfg.NProcs != 8 || cfg.Topo.Nodes != 2 {
+		t.Fatalf("fields lost: %+v", cfg)
+	}
+}
+
+func TestConfigFromJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"NProcs": -4}`,
+		`{"Topo": {"Nodes": 2, "SocketsPerNode": 2, "CoresPerSocket": 2},
+		  "Net": {"LinkBytesPerSec": -1, "LoopbackBytesPerSec": 1},
+		  "Shm": {"CopyBytesPerSec": 1},
+		  "NProcs": 8, "PPN": 4, "HostBytesPerSec": 1, "BlockingDerate": 0.5}`,
+	}
+	for i, raw := range cases {
+		if _, err := ConfigFromJSON([]byte(raw)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSaveLoadConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	cfg := DefaultConfig()
+	cfg.NProcs = 16
+	cfg.PPN = 8
+	cfg.Topo.Nodes = 2
+	if err := SaveConfig(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NProcs != 16 || back.Topo.Nodes != 2 {
+		t.Fatalf("loaded config wrong: %+v", back)
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if !strings.HasSuffix(path, ".json") {
+		t.Skip()
+	}
+}

@@ -1,0 +1,270 @@
+package mpi
+
+import (
+	"fmt"
+
+	"pacc/internal/simtime"
+)
+
+// msgKind distinguishes eager payloads from rendezvous request-to-send
+// control messages.
+type msgKind int
+
+const (
+	eagerMsg msgKind = iota
+	rtsMsg
+)
+
+// inMsg is one message as seen by the receiving mailbox.
+type inMsg struct {
+	src, tag int
+	seq      uint64
+	bytes    int64
+	kind     msgKind
+	// intraShm marks an eager message that traveled through shared
+	// memory; the receiver pays the copy-out on pickup.
+	intraShm bool
+	// arrived completes when an eager payload is available at the
+	// receiver.
+	arrived *simtime.Future
+	// snd is the sender-side state of a rendezvous transfer.
+	snd *sendState
+}
+
+// sendState tracks a rendezvous transfer from the sender's perspective.
+type sendState struct {
+	src, dst int
+	bytes    int64
+	intraShm bool
+	// cts completes when the receiver has matched the RTS (clear to
+	// send). Used by the shared-memory single-copy path.
+	cts *simtime.Future
+	// dataDone completes when the payload has fully arrived.
+	dataDone *simtime.Future
+}
+
+// pendingRecv is a posted receive awaiting its match.
+type pendingRecv struct {
+	src, tag int
+	match    *simtime.Future
+	msg      *inMsg
+}
+
+// mailbox holds a rank's unexpected-message and posted-receive queues.
+// Matching is FIFO on (src, tag); collectives disambiguate rounds through
+// tags, preserving MPI's non-overtaking guarantee.
+type mailbox struct {
+	unexpected []*inMsg
+	pending    []*pendingRecv
+}
+
+// deliver runs in event context when a message (eager payload or RTS)
+// reaches dst's node: match a posted receive or queue as unexpected.
+func (w *World) deliver(dst int, m *inMsg) {
+	box := &w.ranks[dst].box
+	for i, pr := range box.pending {
+		if pr.src == m.src && pr.tag == m.tag {
+			box.pending = append(box.pending[:i], box.pending[i+1:]...)
+			pr.msg = m
+			pr.match.Complete()
+			if m.kind == rtsMsg {
+				w.sendCTS(m.snd)
+			}
+			return
+		}
+	}
+	box.unexpected = append(box.unexpected, m)
+}
+
+// wireBytes derates payload size in blocking mode: interrupt-driven
+// progression keeps the pipeline only partially full, so the same payload
+// occupies the wire longer.
+func (w *World) wireBytes(bytes int64) int64 {
+	if w.cfg.Mode == Blocking && bytes > 0 {
+		return int64(float64(bytes) / w.cfg.BlockingDerate)
+	}
+	return bytes
+}
+
+// hostCost is the CPU-side per-byte handling time for inter-node payloads
+// at full speed; busySleep scales it by the current core slowdown.
+func (w *World) hostCost(bytes int64) simtime.Duration {
+	return simtime.DurationOf(float64(bytes) / w.cfg.HostBytesPerSec)
+}
+
+// sendCTS runs in event context when a rendezvous RTS has been matched:
+// notify the sender (shared-memory path) or trigger the payload transfer
+// (network path).
+func (w *World) sendCTS(st *sendState) {
+	if st.intraShm {
+		// The receiver's match flag flips in shared memory; the
+		// sender observes it after a notification delay.
+		w.eng.After(w.cfg.IntraStartup, func() { st.cts.Complete() })
+		return
+	}
+	srcNode := w.place.NodeOf(st.src)
+	dstNode := w.place.NodeOf(st.dst)
+	cts := w.fabric.StartFlow(dstNode, srcNode, 0)
+	cts.Done().Then(func() {
+		// Payload injection: the sender-side CPU feeds the HCA at a
+		// rate set by its *current* speed (a throttled sender injects
+		// slower — the mechanism behind the paper's Cthrottle).
+		inj := simtime.DurationOf(w.hostCost(st.bytes).Seconds() / w.ranks[st.src].copySpeed())
+		w.eng.After(inj, func() {
+			pl := w.fabric.StartFlow(srcNode, dstNode, w.wireBytes(st.bytes))
+			pl.Done().Then(func() { st.dataDone.Complete() })
+		})
+	})
+}
+
+// Isend starts a nonblocking send of bytes to global rank dst. The send
+// follows the eager protocol at or below the eager threshold (local
+// completion after injection) and RTS/CTS rendezvous above it. The
+// returned request must be completed with Wait by this rank.
+func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
+	w := r.world
+	if dst < 0 || dst >= w.cfg.NProcs {
+		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dst))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("mpi: Isend with negative size %d", bytes))
+	}
+	r.sendSeq[dst]++
+	seq := r.sendSeq[dst]
+
+	// Shared memory is only usable with polling progression (§II-B);
+	// blocking mode falls back to the HCA loopback, handled by the
+	// network path below (the fabric routes src==dst via loopback).
+	if w.place.SameNode(r.id, dst) && w.cfg.Mode == Polling {
+		r.busySleep(w.cfg.IntraStartup)
+		w.countShm(bytes, bytes > w.cfg.EagerThreshold)
+		if bytes <= w.cfg.EagerThreshold {
+			// Double copy: sender writes the shared region now;
+			// the receiver copies out on pickup.
+			r.copySleep(w.cfg.Shm.CopyTime(bytes, 1.0))
+			arr := simtime.NewFuture(w.eng)
+			arr.Complete()
+			m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes,
+				kind: eagerMsg, intraShm: true, arrived: arr}
+			w.deliver(dst, m)
+			return completedRequest(r)
+		}
+		// Rendezvous single copy: wait for the match, then copy
+		// straight into the receiver's buffer.
+		st := &sendState{
+			src: r.id, dst: dst, bytes: bytes, intraShm: true,
+			cts:      simtime.NewFuture(w.eng),
+			dataDone: simtime.NewFuture(w.eng),
+		}
+		m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: rtsMsg, snd: st}
+		w.eng.After(w.cfg.IntraStartup, func() { w.deliver(dst, m) })
+		return &Request{r: r, wait: func() {
+			restore := r.p2pScaleDown(st.cts)
+			r.await(st.cts, "shm rendezvous cts")
+			r.copySleep(w.cfg.Shm.CopyTime(bytes, 1.0))
+			st.dataDone.Complete()
+			restore()
+		}}
+	}
+
+	// Network path (inter-node, or intra-node loopback in blocking mode).
+	r.busySleep(w.cfg.InterStartup)
+	w.countNet(bytes, bytes > w.cfg.EagerThreshold)
+	srcNode, dstNode := r.Node(), w.place.NodeOf(dst)
+	if bytes <= w.cfg.EagerThreshold {
+		// Injection copy into HCA buffers, then local completion.
+		r.copySleep(w.hostCost(bytes))
+		arr := simtime.NewFuture(w.eng)
+		m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: eagerMsg, arrived: arr}
+		fl := w.fabric.StartFlow(srcNode, dstNode, w.wireBytes(bytes))
+		fl.Done().Then(func() {
+			arr.Complete()
+			w.deliver(dst, m)
+		})
+		return completedRequest(r)
+	}
+	st := &sendState{
+		src: r.id, dst: dst, bytes: bytes,
+		cts:      simtime.NewFuture(w.eng),
+		dataDone: simtime.NewFuture(w.eng),
+	}
+	m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: rtsMsg, snd: st}
+	rts := w.fabric.StartFlow(srcNode, dstNode, 0)
+	rts.Done().Then(func() { w.deliver(dst, m) })
+	return &Request{r: r, wait: func() {
+		r.await(st.dataDone, "rendezvous data")
+	}}
+}
+
+// Irecv posts a nonblocking receive for a message of exactly bytes from
+// global rank src with the given tag. Matching happens immediately (in
+// event context) so rendezvous handshakes never require the receiver to
+// be inside Wait.
+func (r *Rank) Irecv(src int, bytes int64, tag int) *Request {
+	w := r.world
+	if src < 0 || src >= w.cfg.NProcs {
+		panic(fmt.Sprintf("mpi: Irecv from invalid rank %d", src))
+	}
+	pr := &pendingRecv{src: src, tag: tag, match: simtime.NewFuture(w.eng)}
+	box := &r.box
+	for i, um := range box.unexpected {
+		if um.src == src && um.tag == tag {
+			box.unexpected = append(box.unexpected[:i], box.unexpected[i+1:]...)
+			pr.msg = um
+			pr.match.Complete()
+			if um.kind == rtsMsg {
+				w.sendCTS(um.snd)
+			}
+			break
+		}
+	}
+	if pr.msg == nil {
+		box.pending = append(box.pending, pr)
+	}
+	return &Request{r: r, wait: func() {
+		// §VIII power-aware p2p: an intra-node rendezvous-sized
+		// receive waits at fmin (the wait is event-driven, so only
+		// the two DVFS transitions cost time).
+		restore := func() {}
+		if w.place.SameNode(r.id, src) && w.cfg.Mode == Polling &&
+			bytes > w.cfg.EagerThreshold {
+			restore = r.p2pScaleDown(pr.match)
+		}
+		r.await(pr.match, "recv match")
+		m := pr.msg
+		if m.bytes != bytes {
+			panic(fmt.Sprintf("mpi: rank %d recv size mismatch from %d tag %d: posted %d, got %d",
+				r.id, src, tag, bytes, m.bytes))
+		}
+		switch m.kind {
+		case eagerMsg:
+			r.await(m.arrived, "recv payload")
+			if m.intraShm {
+				// Copy out of the shared region.
+				r.copySleep(w.cfg.Shm.CopyTime(m.bytes, 1.0))
+			}
+		case rtsMsg:
+			r.await(m.snd.dataDone, "recv rendezvous data")
+		}
+		restore()
+	}}
+}
+
+// Send is a blocking send: Isend followed by Wait.
+func (r *Rank) Send(dst int, bytes int64, tag int) {
+	r.Isend(dst, bytes, tag).Wait()
+}
+
+// Recv is a blocking receive: Irecv followed by Wait.
+func (r *Rank) Recv(src int, bytes int64, tag int) {
+	r.Irecv(src, bytes, tag).Wait()
+}
+
+// SendRecv exchanges messages with possibly different peers, completing
+// both operations before returning (the workhorse of pairwise exchange).
+func (r *Rank) SendRecv(dst int, sendBytes int64, src int, recvBytes int64, tag int) {
+	rq := r.Irecv(src, recvBytes, tag)
+	sq := r.Isend(dst, sendBytes, tag)
+	sq.Wait()
+	rq.Wait()
+}

@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+// p2pScenario: rank 1 posts a large intra-node receive early; rank 0
+// computes for a while before sending, so rank 1 spins through a long
+// wait — the window the PowerAwareP2P option targets.
+func p2pScenario(t *testing.T, enabled bool) (elapsed simtime.Duration, energy float64) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.PowerAwareP2P = enabled
+	w := mustWorld(t, cfg)
+	bytes := cfg.EagerThreshold * 16
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Compute(20 * simtime.Millisecond)
+			r.Send(1, bytes, 1)
+		case 1:
+			r.Recv(0, bytes, 1)
+		}
+	})
+	d, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, w.Rank(1).Core().EnergyJoules()
+}
+
+func TestPowerAwareP2PSavesEnergy(t *testing.T) {
+	dOff, eOff := p2pScenario(t, false)
+	dOn, eOn := p2pScenario(t, true)
+	if eOn >= eOff {
+		t.Fatalf("power-aware p2p energy %.3f J not below default %.3f J", eOn, eOff)
+	}
+	// The receiver waits event-driven, so the only slowdown is the two
+	// DVFS transitions; bound it tightly.
+	extra := dOn - dOff
+	if extra > 4*testConfig().Power.ODVFS {
+		t.Fatalf("power-aware p2p added %v, want <= 4 transitions", extra)
+	}
+	saving := 1 - eOn/eOff
+	if saving < 0.15 {
+		t.Fatalf("saving %.1f%% too small for a wait-dominated exchange", saving*100)
+	}
+}
+
+// TestPowerAwareP2PRestoresFrequency: cores must come back to fmax.
+func TestPowerAwareP2PRestoresFrequency(t *testing.T) {
+	cfg := testConfig()
+	cfg.PowerAwareP2P = true
+	w := mustWorld(t, cfg)
+	bytes := cfg.EagerThreshold * 4
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Compute(simtime.Millisecond)
+			r.Send(1, bytes, 1)
+		case 1:
+			r.Recv(0, bytes, 1)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NProcs; i++ {
+		if got := w.Rank(i).Core().FreqGHz(); got != cfg.Power.FMaxGHz {
+			t.Fatalf("rank %d left at %.2f GHz", i, got)
+		}
+	}
+}
+
+// TestPowerAwareP2PSkipsWhenAlreadyScaled: if the core is at fmin (a
+// power-aware collective owns the frequency), the option must not touch
+// it — and must not restore it to fmax behind the collective's back.
+func TestPowerAwareP2PSkipsWhenAlreadyScaled(t *testing.T) {
+	cfg := testConfig()
+	cfg.PowerAwareP2P = true
+	w := mustWorld(t, cfg)
+	bytes := cfg.EagerThreshold * 4
+	freqAfter := make([]float64, 2)
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.ScaleDown()
+			r.Compute(simtime.Millisecond)
+			r.Send(1, bytes, 1)
+			freqAfter[0] = r.Core().FreqGHz()
+			r.ScaleUp()
+		case 1:
+			r.ScaleDown()
+			r.Recv(0, bytes, 1)
+			freqAfter[1] = r.Core().FreqGHz()
+			r.ScaleUp()
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range freqAfter {
+		if f != cfg.Power.FMinGHz {
+			t.Fatalf("rank %d frequency %.2f GHz after p2p; the option must not override an owner at fmin", i, f)
+		}
+	}
+}
+
+// TestPowerAwareP2PNoEffectOnInterNode: the option only covers intra-node
+// rendezvous; an inter-node exchange must be byte-for-byte identical.
+func TestPowerAwareP2PNoEffectOnInterNode(t *testing.T) {
+	measure := func(enabled bool) simtime.Duration {
+		cfg := testConfig()
+		cfg.PowerAwareP2P = enabled
+		w := mustWorld(t, cfg)
+		bytes := cfg.EagerThreshold * 8
+		w.Launch(func(r *Rank) {
+			switch r.ID() {
+			case 0:
+				r.Send(2, bytes, 1)
+			case 2:
+				r.Recv(0, bytes, 1)
+			}
+		})
+		d, err := w.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if off, on := measure(false), measure(true); off != on {
+		t.Fatalf("inter-node timing changed: %v vs %v", off, on)
+	}
+}

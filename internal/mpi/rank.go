@@ -1,0 +1,165 @@
+package mpi
+
+import (
+	"pacc/internal/power"
+	"pacc/internal/simtime"
+	"pacc/internal/topology"
+)
+
+// Rank is one MPI process: a simulated proc pinned to a core, with a
+// mailbox for incoming messages. All methods must be called from the
+// rank's own body (SPMD style), except where noted.
+type Rank struct {
+	world *World
+	id    int
+	proc  *simtime.Proc
+	core  *power.Core
+	box   mailbox
+	// seq numbers outgoing messages per destination for debugging and
+	// deterministic tie-breaks.
+	sendSeq []uint64
+	// commSeq counts communicator creations for congruent tag-space ids.
+	commSeq int
+}
+
+func newRank(w *World, id int, core *power.Core) *Rank {
+	return &Rank{
+		world:   w,
+		id:      id,
+		core:    core,
+		sendSeq: make([]uint64, w.cfg.NProcs),
+	}
+}
+
+// ID returns the global rank number.
+func (r *Rank) ID() int { return r.id }
+
+// World returns the job this rank belongs to.
+func (r *Rank) World() *World { return r.world }
+
+// Core returns the power tracker of the core this rank is bound to.
+func (r *Rank) Core() *power.Core { return r.core }
+
+// Node returns the node index this rank runs on.
+func (r *Rank) Node() int { return r.world.place.NodeOf(r.id) }
+
+// Socket returns the socket this rank's core sits on.
+func (r *Rank) Socket() topology.SocketID { return r.world.place.SocketOf(r.id) }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() simtime.Time { return r.proc.Now() }
+
+// speed is the core's current effective execution speed for clock-bound
+// work.
+func (r *Rank) speed() float64 { return r.core.Speed() }
+
+// copySpeed is the core's effective speed for streaming memory work.
+func (r *Rank) copySpeed() float64 { return r.core.CopySpeed() }
+
+// busySleep advances time by d scaled up by the core's current slowdown.
+// The caller's core is busy throughout (ranks are busy by default).
+func (r *Rank) busySleep(d simtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	r.proc.Sleep(simtime.DurationOf(d.Seconds() / r.speed()))
+}
+
+// copySleep advances time by d scaled by the streaming-copy slowdown.
+func (r *Rank) copySleep(d simtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	r.proc.Sleep(simtime.DurationOf(d.Seconds() / r.copySpeed()))
+}
+
+// MemCopy charges the cost of one streaming copy of the given size
+// through local memory (at the shared-memory channel's bandwidth),
+// stretched by the core's copy slowdown. Collectives use it for
+// self-blocks, buffer rotations, and shared-region reads/writes.
+func (r *Rank) MemCopy(bytes int64) {
+	r.copySleep(r.world.cfg.Shm.CopyTime(bytes, 1.0))
+}
+
+// StreamCompute models memory-streaming computation (e.g. reducing one
+// buffer into another) that would take d at full speed.
+func (r *Rank) StreamCompute(d simtime.Duration) {
+	r.copySleep(d)
+}
+
+// Compute models CPU work that would take the given duration on an
+// unthrottled core at fmax; it stretches with DVFS and throttling.
+func (r *Rank) Compute(atFullSpeed simtime.Duration) {
+	r.busySleep(atFullSpeed)
+}
+
+// ComputeSeconds is Compute with a float64 seconds argument.
+func (r *Rank) ComputeSeconds(secs float64) {
+	r.Compute(simtime.DurationOf(secs))
+}
+
+// await blocks on a future with the configured progression semantics:
+// polling spins (core stays busy), blocking idles the core and pays the
+// interrupt + reschedule latency on wakeup.
+func (r *Rank) await(f *simtime.Future, reason string) {
+	if f.IsDone() {
+		return
+	}
+	if r.world.cfg.Mode == Blocking {
+		r.core.SetBusy(false)
+		f.Await(r.proc, reason)
+		r.core.SetBusy(true)
+		r.busySleep(r.world.cfg.InterruptLatency)
+		return
+	}
+	f.Await(r.proc, reason)
+}
+
+// SetFreq performs one DVFS transition on this rank's core, paying the
+// model's Odvfs latency. The transition is hardware-paced (an MSR write
+// plus PLL settle), so it does not stretch with the core's own slowdown.
+func (r *Rank) SetFreq(ghz float64) {
+	if r.core.FreqGHz() == r.world.cfg.Power.ClampFreq(ghz) {
+		return
+	}
+	r.proc.Sleep(r.world.cfg.Power.ODVFS)
+	r.core.SetFreq(ghz)
+}
+
+// ScaleDown moves the core to fmin (start of a power-aware collective).
+func (r *Rank) ScaleDown() { r.SetFreq(r.world.cfg.Power.FMinGHz) }
+
+// ScaleUp restores the core to fmax (end of a power-aware collective).
+func (r *Rank) ScaleUp() { r.SetFreq(r.world.cfg.Power.FMaxGHz) }
+
+// SetThrottle performs one T-state transition, paying the hardware-paced
+// Othrottle latency.
+func (r *Rank) SetThrottle(t power.TState) {
+	if r.core.Throttle() == t {
+		return
+	}
+	r.proc.Sleep(r.world.cfg.Power.OThrottle)
+	r.core.SetThrottle(t)
+}
+
+// p2pScaleDown implements the PowerAwareP2P option: if enabled, the core
+// is at fmax (no collective is managing it), and the wait is not already
+// over, drop to fmin for the duration of an intra-node rendezvous wait.
+// The returned function restores the previous frequency (no-op when the
+// scale-down was skipped).
+func (r *Rank) p2pScaleDown(pending *simtime.Future) func() {
+	cfg := r.world.cfg
+	if !cfg.PowerAwareP2P || pending.IsDone() || r.core.FreqGHz() < cfg.Power.FMaxGHz {
+		return func() {}
+	}
+	r.SetFreq(cfg.Power.FMinGHz)
+	return func() { r.SetFreq(cfg.Power.FMaxGHz) }
+}
+
+// Idle parks the rank for d of virtual time with the core idle — used by
+// workload skeletons for I/O or imbalance gaps, not by collectives.
+func (r *Rank) Idle(d simtime.Duration) {
+	r.core.SetBusy(false)
+	r.proc.Sleep(d)
+	r.core.SetBusy(true)
+}

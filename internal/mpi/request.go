@@ -1,0 +1,41 @@
+package mpi
+
+// Request is a handle for a nonblocking operation. Wait must be called by
+// the rank that created the request (MPI semantics); progression beyond
+// the initiation happens inside Wait or in simulation event context.
+type Request struct {
+	r    *Rank
+	wait func()
+	done bool
+}
+
+// completedRequest returns a request whose operation finished during
+// initiation (eager sends).
+func completedRequest(r *Rank) *Request {
+	return &Request{r: r, done: true}
+}
+
+// Wait blocks until the operation completes. Calling Wait twice is a
+// no-op.
+func (q *Request) Wait() {
+	if q.done {
+		return
+	}
+	q.wait()
+	q.done = true
+}
+
+// Done reports whether Wait has completed (or was never needed).
+func (q *Request) Done() bool { return q.done }
+
+// WaitAll completes a set of requests in order. With the simulator's
+// synchronous progression the order only affects which request's costs
+// are accounted first; total time is the same as any interleaving because
+// matching and transfers advance in event context.
+func WaitAll(reqs ...*Request) {
+	for _, q := range reqs {
+		if q != nil {
+			q.Wait()
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"testing"
+)
+
+// TestSplitColorGrid: an 8x8 2D decomposition — row and column
+// communicators — the pattern distributed FFT transposes use.
+func TestSplitColorGrid(t *testing.T) {
+	cfg := DefaultConfig() // 64 ranks
+	w := mustWorld(t, cfg)
+	w.Launch(func(r *Rank) {
+		c := CommWorld(r)
+		row := c.SplitColor(
+			func(cr int) int { return cr / 8 },
+			func(cr int) int { return cr % 8 },
+		)
+		col := c.SplitColor(
+			func(cr int) int { return cr % 8 },
+			func(cr int) int { return cr / 8 },
+		)
+		if row == nil || col == nil {
+			t.Errorf("rank %d: nil sub-communicator", r.ID())
+			return
+		}
+		if row.Size() != 8 || col.Size() != 8 {
+			t.Errorf("rank %d: row %d col %d, want 8x8", r.ID(), row.Size(), col.Size())
+		}
+		if row.Rank() != r.ID()%8 {
+			t.Errorf("rank %d: row rank %d", r.ID(), row.Rank())
+		}
+		if col.Rank() != r.ID()/8 {
+			t.Errorf("rank %d: col rank %d", r.ID(), col.Rank())
+		}
+		// Exchange within the row: ring shift by one.
+		right := (row.Rank() + 1) % row.Size()
+		left := (row.Rank() - 1 + row.Size()) % row.Size()
+		tag := row.TagBlock()
+		rq := row.Irecv(left, 4096, tag)
+		sq := row.Isend(right, 4096, tag)
+		WaitAll(sq, rq)
+		// And within the column.
+		up := (col.Rank() + 1) % col.Size()
+		down := (col.Rank() - 1 + col.Size()) % col.Size()
+		ctag := col.TagBlock()
+		crq := col.Irecv(down, 4096, ctag)
+		csq := col.Isend(up, 4096, ctag)
+		WaitAll(csq, crq)
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitColorUndefined: negative color drops the rank out, and the
+// remaining communicators still work.
+func TestSplitColorUndefined(t *testing.T) {
+	cfg := testConfig() // 4 ranks
+	w := mustWorld(t, cfg)
+	var sizes [4]int
+	w.Launch(func(r *Rank) {
+		c := CommWorld(r)
+		sub := c.SplitColor(
+			func(cr int) int {
+				if cr == 3 {
+					return -1
+				}
+				return 0
+			},
+			func(cr int) int { return cr },
+		)
+		if r.ID() == 3 {
+			if sub != nil {
+				t.Errorf("rank 3 should be excluded")
+			}
+			return
+		}
+		sizes[r.ID()] = sub.Size()
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if sizes[i] != 3 {
+			t.Fatalf("rank %d sub size %d, want 3", i, sizes[i])
+		}
+	}
+}
+
+// TestSplitColorKeyOrdering: keys reorder the new communicator.
+func TestSplitColorKeyOrdering(t *testing.T) {
+	cfg := testConfig()
+	w := mustWorld(t, cfg)
+	w.Launch(func(r *Rank) {
+		c := CommWorld(r)
+		// Reverse order via keys.
+		sub := c.SplitColor(
+			func(cr int) int { return 0 },
+			func(cr int) int { return -cr },
+		)
+		want := c.Size() - 1 - r.ID()
+		if sub.Rank() != want {
+			t.Errorf("rank %d: sub rank %d, want %d", r.ID(), sub.Rank(), want)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPingPong: the osu_latency pattern — rank 0 and a remote rank
+// bounce a message; both directions complete and timing is symmetric
+// across iterations.
+func TestPingPong(t *testing.T) {
+	cfg := testConfig()
+	w := mustWorld(t, cfg)
+	const iters = 10
+	done := false
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			for i := 0; i < iters; i++ {
+				r.Send(2, 4096, i)
+				r.Recv(2, 4096, 1000+i)
+			}
+			done = true
+		case 2:
+			for i := 0; i < iters; i++ {
+				r.Recv(0, 4096, i)
+				r.Send(0, 4096, 1000+i)
+			}
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("ping-pong did not complete")
+	}
+}

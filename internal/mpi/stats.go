@@ -1,0 +1,54 @@
+package mpi
+
+// MsgStats counts point-to-point traffic by transport and protocol —
+// the diagnostics behind statements like "the first c steps stay inside
+// the node" (§V-A).
+type MsgStats struct {
+	// ShmEager / ShmRendezvous count intra-node messages through the
+	// shared-memory channel.
+	ShmEager      int64
+	ShmRendezvous int64
+	// NetEager / NetRendezvous count messages through the fabric
+	// (inter-node, or loopback in blocking mode).
+	NetEager      int64
+	NetRendezvous int64
+	// ShmBytes / NetBytes are the corresponding payload volumes.
+	ShmBytes int64
+	NetBytes int64
+	// Control counts zero-byte notifications and barrier signals.
+	Control int64
+}
+
+// Messages returns the total payload message count.
+func (s MsgStats) Messages() int64 {
+	return s.ShmEager + s.ShmRendezvous + s.NetEager + s.NetRendezvous
+}
+
+// Stats returns a snapshot of the job's message counters.
+func (w *World) Stats() MsgStats { return w.stats }
+
+func (w *World) countShm(bytes int64, rendezvous bool) {
+	if bytes == 0 {
+		w.stats.Control++
+		return
+	}
+	if rendezvous {
+		w.stats.ShmRendezvous++
+	} else {
+		w.stats.ShmEager++
+	}
+	w.stats.ShmBytes += bytes
+}
+
+func (w *World) countNet(bytes int64, rendezvous bool) {
+	if bytes == 0 {
+		w.stats.Control++
+		return
+	}
+	if rendezvous {
+		w.stats.NetRendezvous++
+	} else {
+		w.stats.NetEager++
+	}
+	w.stats.NetBytes += bytes
+}

@@ -1,0 +1,114 @@
+package mpi
+
+import (
+	"fmt"
+
+	"pacc/internal/network"
+	"pacc/internal/power"
+	"pacc/internal/simtime"
+	"pacc/internal/topology"
+)
+
+// World is one simulated MPI job: the engine, the hardware, and NProcs
+// ranks. Build it with NewWorld, hand each rank a body with Launch, and
+// execute with Run.
+type World struct {
+	cfg     Config
+	eng     *simtime.Engine
+	cluster *topology.Cluster
+	place   *topology.Placement
+	fabric  *network.Fabric
+	station *power.Station
+	ledger  *power.Ledger
+	ranks   []*Rank
+	stats   MsgStats
+}
+
+// NewWorld validates cfg and instantiates the cluster, fabric, and power
+// domain.
+func NewWorld(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cluster, err := topology.NewCluster(cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
+	place, err := topology.NewPlacement(cluster, cfg.NProcs, cfg.PPN, cfg.Bind)
+	if err != nil {
+		return nil, err
+	}
+	eng := simtime.NewEngine()
+	fabric, err := network.NewFabric(eng, cfg.Topo.Nodes, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	station := power.NewStation(eng, cfg.Power, cfg.Topo.Nodes, cfg.Topo.CoresPerNode())
+	w := &World{
+		cfg:     cfg,
+		eng:     eng,
+		cluster: cluster,
+		place:   place,
+		fabric:  fabric,
+		station: station,
+	}
+	w.ranks = make([]*Rank, cfg.NProcs)
+	for id := 0; id < cfg.NProcs; id++ {
+		core := station.Core(place.CoreOf(id).Global)
+		w.ranks[id] = newRank(w, id, core)
+	}
+	return w, nil
+}
+
+// Config returns the job configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *simtime.Engine { return w.eng }
+
+// Placement returns the rank-to-core binding.
+func (w *World) Placement() *topology.Placement { return w.place }
+
+// Fabric returns the network.
+func (w *World) Fabric() *network.Fabric { return w.fabric }
+
+// Station returns the cluster power domain.
+func (w *World) Station() *power.Station { return w.station }
+
+// Rank returns the rank object with the given id (valid after NewWorld).
+func (w *World) Rank(id int) *Rank { return w.ranks[id] }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// AttachLedger attributes all core energy to the given ledger's phases.
+func (w *World) AttachLedger(l *power.Ledger) {
+	w.ledger = l
+	w.station.AttachLedger(l)
+}
+
+// Ledger returns the attached ledger, or nil.
+func (w *World) Ledger() *power.Ledger { return w.ledger }
+
+// Launch spawns every rank with the given SPMD body. The body runs with
+// the rank's core marked busy; the core goes idle when the body returns.
+// Launch may be called once per World.
+func (w *World) Launch(body func(r *Rank)) {
+	for _, r := range w.ranks {
+		rank := r
+		rank.proc = w.eng.Spawn(fmt.Sprintf("rank%d", rank.id), func(p *simtime.Proc) {
+			rank.core.SetBusy(true)
+			body(rank)
+			rank.core.SetBusy(false)
+		})
+	}
+}
+
+// Run executes the simulation until all ranks finish and returns the
+// total elapsed virtual time.
+func (w *World) Run() (simtime.Duration, error) {
+	if _, err := w.eng.Run(simtime.Infinity); err != nil {
+		return 0, err
+	}
+	return simtime.Duration(w.eng.Now()), nil
+}

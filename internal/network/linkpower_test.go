@@ -1,0 +1,221 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+func lpConfig() Config {
+	cfg := DefaultConfig()
+	cfg.LinkPower = DefaultLinkPower()
+	return cfg
+}
+
+func TestLinkPowerConfigValidate(t *testing.T) {
+	if err := DefaultLinkPower().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (LinkPowerConfig{}).Validate() != nil {
+		t.Error("disabled config should validate")
+	}
+	bad := []LinkPowerConfig{
+		{ActiveWatts: 1, IdleWatts: 2},                // active < idle
+		{ActiveWatts: 3, IdleWatts: 2, SleepWatts: 4}, // sleep > idle
+		{ActiveWatts: 3, IdleWatts: 2, WakeLatency: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestLinkPowerDisabledByDefault(t *testing.T) {
+	eng := simtime.NewEngine()
+	f, err := NewFabric(eng, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NetworkWatts() != 0 || f.NetworkEnergyJoules() != 0 || f.SleepingPorts() != 0 {
+		t.Fatal("disabled link power should report zeros")
+	}
+}
+
+func TestIdlePortsDrawIdlePower(t *testing.T) {
+	eng := simtime.NewEngine()
+	cfg := lpConfig()
+	cfg.LinkPower.SleepAfter = 0 // no sleeping
+	f, err := NewFabric(eng, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 nodes x (up+down) = 8 ports, all idle.
+	want := 8 * cfg.LinkPower.IdleWatts
+	if got := f.NetworkWatts(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("idle fabric draws %v W, want %v", got, want)
+	}
+	eng.Spawn("wait", func(p *simtime.Proc) { p.Sleep(simtime.Second) })
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.NetworkEnergyJoules(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("idle energy over 1s = %v J, want %v", got, want)
+	}
+}
+
+func TestActiveFlowRaisesPortPower(t *testing.T) {
+	eng := simtime.NewEngine()
+	cfg := lpConfig()
+	cfg.LinkPower.SleepAfter = 0
+	f, err := NewFabric(eng, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.StartFlow(0, 1, 8<<20)
+	// node0-up and node1-down active; the other two idle.
+	want := 2*cfg.LinkPower.ActiveWatts + 2*cfg.LinkPower.IdleWatts
+	if got := f.NetworkWatts(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("active fabric draws %v W, want %v", got, want)
+	}
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	// After completion, back to all-idle.
+	want = 4 * cfg.LinkPower.IdleWatts
+	if got := f.NetworkWatts(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("post-flow draw %v W, want %v", got, want)
+	}
+}
+
+func TestPortsSleepAfterTimeout(t *testing.T) {
+	eng := simtime.NewEngine()
+	cfg := lpConfig()
+	f, err := NewFabric(eng, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.StartFlow(0, 1, 1<<20)
+	eng.Spawn("wait", func(p *simtime.Proc) { p.Sleep(100 * simtime.Millisecond) })
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	// All ports idle well past SleepAfter: the two that carried the
+	// flow plus the two never-used ones (never-used ports also time
+	// out only if they ever got a removal event — they start idle and
+	// never arm a timer, so expect at least the used pair asleep).
+	if got := f.SleepingPorts(); got < 2 {
+		t.Fatalf("%d ports asleep, want >= 2", got)
+	}
+}
+
+func TestWakeLatencyDelaysTransfer(t *testing.T) {
+	elapsedWith := func(sleepAfter simtime.Duration) simtime.Time {
+		eng := simtime.NewEngine()
+		cfg := lpConfig()
+		cfg.LinkPower.SleepAfter = sleepAfter
+		f, err := NewFabric(eng, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done simtime.Time
+		eng.Spawn("driver", func(p *simtime.Proc) {
+			fl1 := f.StartFlow(0, 1, 1<<10)
+			fl1.Done().Await(p, "warm")
+			// Idle long enough for ports to sleep (if enabled).
+			p.Sleep(10 * simtime.Millisecond)
+			fl2 := f.StartFlow(0, 1, 1<<10)
+			fl2.Done().Await(p, "second")
+			done = p.Now()
+		})
+		if _, err := eng.Run(simtime.Infinity); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	noSleep := elapsedWith(0)
+	withSleep := elapsedWith(100 * simtime.Microsecond)
+	gap := simtime.Duration(withSleep - noSleep)
+	want := DefaultLinkPower().WakeLatency
+	if gap != want {
+		t.Fatalf("wake penalty = %v, want %v", gap, want)
+	}
+}
+
+// TestSleepSavesEnergy: with a bursty flow pattern, enabling sleep cuts
+// network energy.
+func TestSleepSavesEnergy(t *testing.T) {
+	energyWith := func(sleepAfter simtime.Duration) float64 {
+		eng := simtime.NewEngine()
+		cfg := lpConfig()
+		cfg.LinkPower.SleepAfter = sleepAfter
+		f, err := NewFabric(eng, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Spawn("driver", func(p *simtime.Proc) {
+			for i := 0; i < 5; i++ {
+				fl := f.StartFlow(0, 1, 64<<10)
+				fl.Done().Await(p, "burst")
+				p.Sleep(20 * simtime.Millisecond) // long idle gap
+			}
+		})
+		if _, err := eng.Run(simtime.Infinity); err != nil {
+			t.Fatal(err)
+		}
+		return f.NetworkEnergyJoules()
+	}
+	always := energyWith(0)
+	managed := energyWith(100 * simtime.Microsecond)
+	if managed >= always {
+		t.Fatalf("managed %.4f J not below always-on %.4f J", managed, always)
+	}
+	saving := 1 - managed/always
+	if saving < 0.5 {
+		t.Fatalf("saving %.0f%% below expectation for a mostly-idle pattern", saving*100)
+	}
+}
+
+// TestAllIdlePortsEventuallySleep: every port without traffic drops into
+// the low-power state after the timeout, including never-used ones.
+func TestAllIdlePortsEventuallySleep(t *testing.T) {
+	eng := simtime.NewEngine()
+	f, err := NewFabric(eng, 4, lpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.StartFlow(0, 1, 1024)
+	eng.Spawn("wait", func(p *simtime.Proc) { p.Sleep(simtime.Second) })
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.SleepingPorts(); got != 8 {
+		t.Fatalf("%d ports asleep, want all 8", got)
+	}
+}
+
+func TestZeroByteFlowKeepsPortsAwake(t *testing.T) {
+	eng := simtime.NewEngine()
+	cfg := lpConfig()
+	f, err := NewFabric(eng, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var woke bool
+	eng.Spawn("driver", func(p *simtime.Proc) {
+		fl := f.StartFlow(0, 1, 1024)
+		fl.Done().Await(p, "warm")
+		p.Sleep(10 * simtime.Millisecond) // ports sleep
+		before := f.SleepingPorts()
+		ctl := f.StartFlow(0, 1, 0)
+		ctl.Done().Await(p, "ctl")
+		woke = before > 0 && f.SleepingPorts() < before
+	})
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if !woke {
+		t.Fatal("zero-byte control flow should wake sleeping ports")
+	}
+}

@@ -1,0 +1,448 @@
+// Package network simulates an InfiniBand-style fabric at flow level.
+//
+// Every node owns one full-duplex link (an uplink and a downlink) into a
+// non-blocking crossbar switch, the topology of the paper's testbed (eight
+// nodes on one Mellanox QDR switch). A message transfer is a fluid flow
+// that crosses the sender's uplink and the receiver's downlink; bandwidth
+// on each link is divided among concurrent flows by max-min fairness and
+// recomputed whenever a flow starts or finishes. Link sharing is what
+// produces the paper's network-contention effects (the Cnet term and the
+// 4-way vs 8-way gap of Figure 2a) endogenously.
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pacc/internal/simtime"
+)
+
+// Config holds fabric calibration.
+type Config struct {
+	// LinkBytesPerSec is the usable bandwidth of one link direction.
+	// InfiniBand QDR signals 40 Gbit/s; after 8b/10b coding and
+	// protocol overhead ~3.2 GB/s reaches MPI payloads.
+	LinkBytesPerSec float64
+	// BaseLatency is the end-to-end propagation + switch latency added
+	// to every transfer after its last byte is injected.
+	BaseLatency simtime.Duration
+	// LoopbackBytesPerSec is the bandwidth of the HCA loopback path used
+	// for intra-node traffic when shared memory is unavailable
+	// (blocking-mode progression falls back to it, §II-B).
+	LoopbackBytesPerSec float64
+	// NodesPerRack, when positive, groups nodes into racks behind leaf
+	// switches: traffic between racks additionally crosses the source
+	// rack's uplink and the destination rack's downlink into the spine.
+	// Zero models the paper's single-switch testbed.
+	NodesPerRack int
+	// RackUplinkBytesPerSec is the capacity of each rack's link to the
+	// spine (typically oversubscribed relative to node links). Required
+	// when NodesPerRack > 0.
+	RackUplinkBytesPerSec float64
+	// LinkPower enables per-port power accounting and (optionally)
+	// dynamic link sleep states. The zero value disables it.
+	LinkPower LinkPowerConfig
+}
+
+// DefaultConfig returns QDR-calibrated parameters.
+func DefaultConfig() Config {
+	return Config{
+		LinkBytesPerSec:     3.2e9,
+		BaseLatency:         simtime.Micros(1.5),
+		LoopbackBytesPerSec: 2.0e9,
+	}
+}
+
+// Validate rejects non-positive bandwidths and negative latency.
+func (c Config) Validate() error {
+	if c.LinkBytesPerSec <= 0 {
+		return fmt.Errorf("network: LinkBytesPerSec must be positive, got %g", c.LinkBytesPerSec)
+	}
+	if c.LoopbackBytesPerSec <= 0 {
+		return fmt.Errorf("network: LoopbackBytesPerSec must be positive, got %g", c.LoopbackBytesPerSec)
+	}
+	if c.BaseLatency < 0 {
+		return fmt.Errorf("network: negative BaseLatency")
+	}
+	if c.NodesPerRack < 0 {
+		return fmt.Errorf("network: negative NodesPerRack")
+	}
+	if c.NodesPerRack > 0 && c.RackUplinkBytesPerSec <= 0 {
+		return fmt.Errorf("network: NodesPerRack set but RackUplinkBytesPerSec is %g",
+			c.RackUplinkBytesPerSec)
+	}
+	return c.LinkPower.Validate()
+}
+
+// link is one direction of a node's connection to the switch (or a node's
+// loopback path).
+type link struct {
+	name string
+	cap  float64 // bytes/sec
+	// bytes counts payload delivered over this link (per-link
+	// utilization accounting).
+	bytes int64
+	// scratch used during max-min recomputation
+	residual float64
+	active   int
+}
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	Src, Dst  int // node indices
+	Bytes     int64
+	id        uint64
+	remaining float64
+	rate      float64
+	links     []*link
+	done      *simtime.Future
+	started   simtime.Time
+}
+
+// Done returns a future completed when the last byte has arrived at the
+// destination (including BaseLatency).
+func (fl *Flow) Done() *simtime.Future { return fl.done }
+
+// StartedAt reports when the flow was injected.
+func (fl *Flow) StartedAt() simtime.Time { return fl.started }
+
+// Fabric is the switch plus all node links.
+type Fabric struct {
+	eng      *simtime.Engine
+	cfg      Config
+	nodes    int
+	up       []*link
+	down     []*link
+	loop     []*link
+	rackUp   []*link
+	rackDown []*link
+	flows    map[*Flow]struct{}
+	nextID   uint64
+	// gen invalidates stale completion events after a recompute.
+	gen        uint64
+	lastUpdate simtime.Time
+	// BytesMoved counts payload bytes fully delivered, for throughput
+	// accounting and tests.
+	bytesMoved int64
+	// np tracks per-port power when Config.LinkPower is enabled.
+	np *netPower
+}
+
+// NewFabric builds a fabric for the given node count.
+func NewFabric(eng *simtime.Engine, nodes int, cfg Config) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("network: nodes must be positive, got %d", nodes)
+	}
+	f := &Fabric{
+		eng:   eng,
+		cfg:   cfg,
+		nodes: nodes,
+		flows: make(map[*Flow]struct{}),
+	}
+	for n := 0; n < nodes; n++ {
+		f.up = append(f.up, &link{name: fmt.Sprintf("node%d-up", n), cap: cfg.LinkBytesPerSec})
+		f.down = append(f.down, &link{name: fmt.Sprintf("node%d-down", n), cap: cfg.LinkBytesPerSec})
+		f.loop = append(f.loop, &link{name: fmt.Sprintf("node%d-loop", n), cap: cfg.LoopbackBytesPerSec})
+	}
+	if cfg.NodesPerRack > 0 {
+		racks := (nodes + cfg.NodesPerRack - 1) / cfg.NodesPerRack
+		for rk := 0; rk < racks; rk++ {
+			f.rackUp = append(f.rackUp,
+				&link{name: fmt.Sprintf("rack%d-up", rk), cap: cfg.RackUplinkBytesPerSec})
+			f.rackDown = append(f.rackDown,
+				&link{name: fmt.Sprintf("rack%d-down", rk), cap: cfg.RackUplinkBytesPerSec})
+		}
+	}
+	if cfg.LinkPower.Enabled() {
+		var ports []*link
+		ports = append(ports, f.up...)
+		ports = append(ports, f.down...)
+		ports = append(ports, f.rackUp...)
+		ports = append(ports, f.rackDown...)
+		f.np = newNetPower(eng, cfg.LinkPower, ports)
+	}
+	return f, nil
+}
+
+// NetworkWatts reports the instantaneous draw of all ports (0 when link
+// power accounting is disabled).
+func (f *Fabric) NetworkWatts() float64 {
+	if f.np == nil {
+		return 0
+	}
+	return f.np.watts()
+}
+
+// NetworkEnergyJoules reports total port energy consumed so far.
+func (f *Fabric) NetworkEnergyJoules() float64 {
+	if f.np == nil {
+		return 0
+	}
+	return f.np.energy()
+}
+
+// SleepingPorts counts ports currently in the low-power state.
+func (f *Fabric) SleepingPorts() int {
+	if f.np == nil {
+		return 0
+	}
+	return f.np.sleeping()
+}
+
+// RackOf returns the rack index of a node (0 when racks are disabled).
+func (f *Fabric) RackOf(node int) int {
+	if f.cfg.NodesPerRack <= 0 {
+		return 0
+	}
+	return node / f.cfg.NodesPerRack
+}
+
+// NumRacks returns the rack count (1 when racks are disabled).
+func (f *Fabric) NumRacks() int {
+	if f.cfg.NodesPerRack <= 0 {
+		return 1
+	}
+	return len(f.rackUp)
+}
+
+// InterRackBytes reports payload bytes that crossed rack uplinks (0 when
+// racks are disabled). A topology-aware collective should minimize this.
+func (f *Fabric) InterRackBytes() int64 {
+	var total int64
+	for _, l := range f.rackUp {
+		total += l.bytes
+	}
+	return total
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// NumNodes returns the number of attached nodes.
+func (f *Fabric) NumNodes() int { return f.nodes }
+
+// ActiveFlows reports the number of in-flight transfers.
+func (f *Fabric) ActiveFlows() int { return len(f.flows) }
+
+// BytesMoved reports total payload bytes delivered so far.
+func (f *Fabric) BytesMoved() int64 { return f.bytesMoved }
+
+// StartFlow injects a transfer of the given size from src to dst node.
+// src == dst uses the loopback path. A zero-byte flow completes after
+// BaseLatency. The returned flow's Done future fires on delivery.
+func (f *Fabric) StartFlow(src, dst int, bytes int64) *Flow {
+	if src < 0 || src >= f.nodes || dst < 0 || dst >= f.nodes {
+		panic(fmt.Sprintf("network: flow endpoints %d->%d outside [0,%d)", src, dst, f.nodes))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("network: negative flow size %d", bytes))
+	}
+	f.nextID++
+	fl := &Flow{
+		Src:       src,
+		Dst:       dst,
+		Bytes:     bytes,
+		id:        f.nextID,
+		remaining: float64(bytes),
+		done:      simtime.NewFuture(f.eng),
+		started:   f.eng.Now(),
+	}
+	switch {
+	case src == dst:
+		fl.links = []*link{f.loop[src]}
+	case f.cfg.NodesPerRack > 0 && f.RackOf(src) != f.RackOf(dst):
+		fl.links = []*link{f.up[src], f.rackUp[f.RackOf(src)],
+			f.rackDown[f.RackOf(dst)], f.down[dst]}
+	default:
+		fl.links = []*link{f.up[src], f.down[dst]}
+	}
+	if bytes == 0 {
+		delay := f.cfg.BaseLatency
+		if f.np != nil {
+			// A control message keeps its ports lit (and wakes
+			// sleeping ones).
+			delay += f.np.wakeDelay(fl.links)
+			f.np.flowAdded(fl.links)
+			links := fl.links
+			f.eng.After(delay, func() { f.np.flowRemoved(links) })
+		}
+		f.eng.After(delay, func() {
+			fl.done.Complete()
+		})
+		return fl
+	}
+	start := func() {
+		f.advance()
+		f.flows[fl] = struct{}{}
+		if f.np != nil {
+			f.np.flowAdded(fl.links)
+		}
+		f.reschedule()
+	}
+	if f.np != nil {
+		if d := f.np.wakeDelay(fl.links); d > 0 {
+			f.eng.After(d, start)
+			return fl
+		}
+	}
+	start()
+	return fl
+}
+
+// advance drains bytes from all active flows at their current rates for
+// the interval since the last update.
+func (f *Fabric) advance() {
+	now := f.eng.Now()
+	dt := now.Sub(f.lastUpdate).Seconds()
+	if dt > 0 {
+		for fl := range f.flows {
+			fl.remaining -= fl.rate * dt
+			if fl.remaining < 0 {
+				fl.remaining = 0
+			}
+		}
+	}
+	f.lastUpdate = now
+}
+
+// recompute assigns max-min fair rates to all active flows via
+// water-filling: repeatedly saturate the most-contended link and freeze
+// its flows at that link's fair share.
+func (f *Fabric) recompute() {
+	links := map[*link]struct{}{}
+	for fl := range f.flows {
+		fl.rate = 0
+		for _, l := range fl.links {
+			links[l] = struct{}{}
+		}
+	}
+	for l := range links {
+		l.residual = l.cap
+		l.active = 0
+	}
+	unfrozen := make(map[*Flow]struct{}, len(f.flows))
+	for fl := range f.flows {
+		unfrozen[fl] = struct{}{}
+		for _, l := range fl.links {
+			l.active++
+		}
+	}
+	for len(unfrozen) > 0 {
+		// Find the bottleneck link: minimum fair share among links
+		// still carrying unfrozen flows.
+		var bottleneck *link
+		minShare := math.Inf(1)
+		for l := range links {
+			if l.active == 0 {
+				continue
+			}
+			share := l.residual / float64(l.active)
+			if share < minShare {
+				minShare = share
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		if minShare < 0 {
+			minShare = 0
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for fl := range unfrozen {
+			crosses := false
+			for _, l := range fl.links {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			fl.rate = minShare
+			for _, l := range fl.links {
+				l.residual -= minShare
+				if l.residual < 0 {
+					l.residual = 0
+				}
+				l.active--
+			}
+			delete(unfrozen, fl)
+		}
+	}
+}
+
+// reschedule recomputes rates and arms a completion event for the flow
+// that will finish first.
+func (f *Fabric) reschedule() {
+	f.gen++
+	if len(f.flows) == 0 {
+		return
+	}
+	f.recompute()
+	next := simtime.Duration(math.MaxInt64)
+	for fl := range f.flows {
+		if fl.rate <= 0 {
+			// Should not happen with positive capacities; guard
+			// against an event that never fires.
+			panic(fmt.Sprintf("network: flow %d->%d starved (rate 0)", fl.Src, fl.Dst))
+		}
+		d := simtime.DurationOf(fl.remaining / fl.rate)
+		if d < 1 {
+			// Sub-nanosecond residue must still advance the clock,
+			// or the completion event would re-fire at the same
+			// instant forever.
+			d = 1
+		}
+		if d < next {
+			next = d
+		}
+	}
+	gen := f.gen
+	f.eng.After(next, func() { f.onCompletion(gen) })
+}
+
+// onCompletion fires when the earliest flow should have drained. Stale
+// events (superseded by a newer reschedule) are ignored via gen.
+func (f *Fabric) onCompletion(gen uint64) {
+	if gen != f.gen {
+		return
+	}
+	f.advance()
+	// Sub-byte residue is rounding noise from float rate arithmetic.
+	const eps = 0.5
+	var finished []*Flow
+	for fl := range f.flows {
+		if fl.remaining <= eps {
+			finished = append(finished, fl)
+		}
+	}
+	// Deliver simultaneous completions in injection order so waiter
+	// wakeups — and therefore the whole simulation — are deterministic.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+	for _, fl := range finished {
+		delete(f.flows, fl)
+		f.bytesMoved += fl.Bytes
+		for _, l := range fl.links {
+			l.bytes += fl.Bytes
+		}
+		if f.np != nil {
+			f.np.flowRemoved(fl.links)
+		}
+		done := fl.done
+		f.eng.After(f.cfg.BaseLatency, func() { done.Complete() })
+	}
+	f.reschedule()
+}
+
+// IdealTransferTime returns the uncontended time for one transfer of the
+// given size between distinct nodes: bytes at full link bandwidth plus
+// base latency. Useful as a model reference.
+func (f *Fabric) IdealTransferTime(bytes int64) simtime.Duration {
+	return simtime.DurationOf(float64(bytes)/f.cfg.LinkBytesPerSec) + f.cfg.BaseLatency
+}

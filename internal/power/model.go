@@ -1,0 +1,190 @@
+// Package power models per-core CPU power management — DVFS P-states and
+// CPU-throttling T-states — and integrates energy over virtual time.
+//
+// The model follows Section VI-B of Kandalla et al. (ICPP 2010): an
+// unthrottled busy core at frequency f draws p_core(f); a core throttled to
+// T-state Tj draws c_j * p_core(f) where c_j in [0,1] is the duty cycle of
+// the throttle level (c_0 = 1, c_7 = 0.12 on Nehalem). Energy is the
+// piecewise-constant integral of power across state changes.
+package power
+
+import (
+	"fmt"
+
+	"pacc/internal/simtime"
+)
+
+// NumTStates is the number of throttling levels (T0..T7 on Nehalem).
+const NumTStates = 8
+
+// TState is a CPU throttling level. T0 is fully active; T7 leaves the CPU
+// only ~12% active.
+type TState int
+
+// Throttle level names matching the paper.
+const (
+	T0 TState = iota
+	T1
+	T2
+	T3
+	T4
+	T5
+	T6
+	T7
+)
+
+func (t TState) String() string { return fmt.Sprintf("T%d", int(t)) }
+
+// Valid reports whether t is a defined throttle level.
+func (t TState) Valid() bool { return t >= 0 && t < NumTStates }
+
+// Model holds the calibration constants of the power model. All cores of a
+// simulation share one Model.
+type Model struct {
+	// FMaxGHz and FMinGHz bound the DVFS range (P-states). The paper's
+	// Nehalem parts run 1.6–2.4 GHz.
+	FMaxGHz float64
+	FMinGHz float64
+	// VoltAtFMax / VoltAtFMin define a linear V(f) used by the dynamic
+	// power term P_dyn ∝ f · V(f)².
+	VoltAtFMax float64
+	VoltAtFMin float64
+	// DynWattsAtFMax is the dynamic power of one fully busy, unthrottled
+	// core at FMaxGHz.
+	DynWattsAtFMax float64
+	// StaticWattsPerCore is the frequency-independent per-core power
+	// (leakage plus the core's share of the uncore).
+	StaticWattsPerCore float64
+	// NodeBaseWatts is the per-node power not attributable to cores:
+	// memory, chipset, fans, HCA, PSU losses.
+	NodeBaseWatts float64
+	// IdleActivity is the activity factor of a core that has yielded the
+	// CPU (blocking-mode wait). A polling wait spins and counts as fully
+	// busy.
+	IdleActivity float64
+	// MemBoundFrac is the fraction of streaming-copy throughput that is
+	// limited by the memory system rather than the core clock: lowering
+	// the frequency barely slows that part, so a memcpy at fmin runs at
+	// MemBoundFrac + (1-MemBoundFrac)·(fmin/fmax) of full speed.
+	// Throttling gates whole clock periods, so the T-state duty cycle
+	// scales the whole copy.
+	MemBoundFrac float64
+	// Duty[j] is c_j, the fraction of cycles a core in Tj executes.
+	Duty [NumTStates]float64
+	// ODVFS and OThrottle are the latencies of one DVFS or throttle
+	// transition (10–15 µs on Nehalem per the paper).
+	ODVFS     simtime.Duration
+	OThrottle simtime.Duration
+}
+
+// DefaultModel returns constants calibrated so the paper's 8-node, 64-core
+// testbed draws ≈2.3 KW fully loaded at fmax, ≈1.8 KW at fmin, and ≈1.6 KW
+// with the proposed half-throttled schedules — the levels of Figs 6(b),
+// 7(b) and 8(b).
+func DefaultModel() *Model {
+	m := &Model{
+		FMaxGHz:            2.4,
+		FMinGHz:            1.6,
+		VoltAtFMax:         1.20,
+		VoltAtFMin:         0.94,
+		DynWattsAtFMax:     13.2,
+		StaticWattsPerCore: 4.0,
+		NodeBaseWatts:      150.0,
+		IdleActivity:       0.18,
+		MemBoundFrac:       0.65,
+		ODVFS:              simtime.Micros(12),
+		OThrottle:          simtime.Micros(12),
+	}
+	// Duty cycles fall linearly from 1.0 (T0) to 0.12 (T7), matching
+	// "the CPU being 100% active in the T0 state and only 12% active in
+	// the T7 state".
+	for j := 0; j < NumTStates; j++ {
+		m.Duty[j] = 1.0 - float64(j)*(0.88/7.0)
+	}
+	return m
+}
+
+// Validate checks the model for physically meaningless values.
+func (m *Model) Validate() error {
+	if m.FMinGHz <= 0 || m.FMaxGHz < m.FMinGHz {
+		return fmt.Errorf("power: bad frequency range [%g, %g]", m.FMinGHz, m.FMaxGHz)
+	}
+	if m.VoltAtFMin <= 0 || m.VoltAtFMax < m.VoltAtFMin {
+		return fmt.Errorf("power: bad voltage range [%g, %g]", m.VoltAtFMin, m.VoltAtFMax)
+	}
+	if m.DynWattsAtFMax < 0 || m.StaticWattsPerCore < 0 || m.NodeBaseWatts < 0 {
+		return fmt.Errorf("power: negative power constants")
+	}
+	if m.IdleActivity < 0 || m.IdleActivity > 1 {
+		return fmt.Errorf("power: IdleActivity %g outside [0,1]", m.IdleActivity)
+	}
+	if m.MemBoundFrac < 0 || m.MemBoundFrac > 1 {
+		return fmt.Errorf("power: MemBoundFrac %g outside [0,1]", m.MemBoundFrac)
+	}
+	for j, d := range m.Duty {
+		if d < 0 || d > 1 {
+			return fmt.Errorf("power: Duty[%d]=%g outside [0,1]", j, d)
+		}
+		if j > 0 && d > m.Duty[j-1] {
+			return fmt.Errorf("power: Duty must be non-increasing, Duty[%d]=%g > Duty[%d]=%g",
+				j, d, j-1, m.Duty[j-1])
+		}
+	}
+	return nil
+}
+
+// VoltAt returns the linear-interpolated supply voltage for frequency f,
+// clamped to the model's range.
+func (m *Model) VoltAt(fGHz float64) float64 {
+	f := m.ClampFreq(fGHz)
+	if m.FMaxGHz == m.FMinGHz {
+		return m.VoltAtFMax
+	}
+	frac := (f - m.FMinGHz) / (m.FMaxGHz - m.FMinGHz)
+	return m.VoltAtFMin + frac*(m.VoltAtFMax-m.VoltAtFMin)
+}
+
+// ClampFreq limits f to the DVFS range.
+func (m *Model) ClampFreq(fGHz float64) float64 {
+	if fGHz < m.FMinGHz {
+		return m.FMinGHz
+	}
+	if fGHz > m.FMaxGHz {
+		return m.FMaxGHz
+	}
+	return fGHz
+}
+
+// DynWatts returns the dynamic power of a busy, unthrottled core at f:
+// P_dyn(f) = P_dyn(fmax) · (f/fmax) · (V(f)/V(fmax))².
+func (m *Model) DynWatts(fGHz float64) float64 {
+	f := m.ClampFreq(fGHz)
+	vr := m.VoltAt(f) / m.VoltAtFMax
+	return m.DynWattsAtFMax * (f / m.FMaxGHz) * vr * vr
+}
+
+// CoreWatts returns the instantaneous power of one core in the given
+// state. busy=false models a core that yielded the CPU (blocking wait or
+// OS idle); a polling wait passes busy=true.
+func (m *Model) CoreWatts(fGHz float64, t TState, busy bool) float64 {
+	activity := 1.0
+	if !busy {
+		activity = m.IdleActivity
+	}
+	return m.StaticWattsPerCore + m.Duty[t]*activity*m.DynWatts(fGHz)
+}
+
+// Speed returns the effective execution speed of a core relative to an
+// unthrottled core at fmax for clock-bound work (protocol startup,
+// scalar compute). CPU-driven costs divide by this factor.
+func (m *Model) Speed(fGHz float64, t TState) float64 {
+	return (m.ClampFreq(fGHz) / m.FMaxGHz) * m.Duty[t]
+}
+
+// CopySpeed returns the effective speed for streaming memory work
+// (memcpy, buffer reduction): the frequency component is softened by
+// MemBoundFrac, while throttling's duty cycle applies in full.
+func (m *Model) CopySpeed(fGHz float64, t TState) float64 {
+	fr := m.ClampFreq(fGHz) / m.FMaxGHz
+	return m.Duty[t] * (m.MemBoundFrac + (1-m.MemBoundFrac)*fr)
+}

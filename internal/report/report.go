@@ -1,0 +1,243 @@
+// Package report renders experiment results as a self-contained HTML
+// document with inline SVG charts — the reproduction's counterpart to the
+// paper's figures, generated with the standard library only.
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+
+	"pacc/internal/experiments"
+	"pacc/internal/stats"
+)
+
+// Chart geometry.
+const (
+	chartW  = 680
+	chartH  = 380
+	marginL = 80
+	marginR = 160 // legend space
+	marginT = 24
+	marginB = 56
+)
+
+// palette holds distinguishable series colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf",
+}
+
+// WriteHTML renders the results as one HTML page.
+func WriteHTML(w io.Writer, title string, results []*experiments.Result) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: Georgia, serif; max-width: 900px; margin: 2em auto; color: #222; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3em; }
+h2 { margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; font-size: 0.92em; }
+th, td { border: 1px solid #999; padding: .3em .6em; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+.note { font-style: italic; color: #555; }
+svg { background: #fcfcfc; border: 1px solid #ddd; }
+</style></head><body>`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	// Table of contents.
+	b.WriteString("<ul>\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, `<li><a href="#%s">%s — %s</a></li>`+"\n",
+			html.EscapeString(r.ID), html.EscapeString(r.ID), html.EscapeString(r.Title))
+	}
+	b.WriteString("</ul>\n")
+
+	for _, r := range results {
+		fmt.Fprintf(&b, `<h2 id="%s">%s — %s</h2>`+"\n",
+			html.EscapeString(r.ID), html.EscapeString(r.ID), html.EscapeString(r.Title))
+		if len(r.Series) > 0 {
+			renderChart(&b, r)
+		}
+		for _, t := range r.Tables {
+			renderTable(&b, t)
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, `<p class="note">%s</p>`+"\n", html.EscapeString(n))
+		}
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderTable(b *strings.Builder, t experiments.Table) {
+	fmt.Fprintf(b, "<h3>%s</h3>\n<table>\n<tr>", html.EscapeString(t.Title))
+	for _, h := range t.Header {
+		fmt.Fprintf(b, "<th>%s</th>", html.EscapeString(h))
+	}
+	b.WriteString("</tr>\n")
+	for _, row := range t.Rows {
+		b.WriteString("<tr>")
+		for _, cell := range row {
+			fmt.Fprintf(b, "<td>%s</td>", html.EscapeString(cell))
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+}
+
+// axisScale maps data to pixels, optionally in log2 space (used when the
+// x-axis is a message-size sweep).
+type axisScale struct {
+	min, max float64
+	log      bool
+	pixMin   float64
+	pixMax   float64
+}
+
+func (a axisScale) pos(v float64) float64 {
+	lo, hi, x := a.min, a.max, v
+	if a.log {
+		lo, hi, x = math.Log2(lo), math.Log2(hi), math.Log2(v)
+	}
+	if hi == lo {
+		return (a.pixMin + a.pixMax) / 2
+	}
+	return a.pixMin + (x-lo)/(hi-lo)*(a.pixMax-a.pixMin)
+}
+
+func renderChart(b *strings.Builder, r *experiments.Result) {
+	// Gather extents.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1)
+	for _, s := range r.Series {
+		xmin = math.Min(xmin, stats.Min(s.X))
+		xmax = math.Max(xmax, stats.Max(s.X))
+		ymax = math.Max(ymax, stats.Max(s.Y))
+	}
+	if math.IsInf(xmin, 1) || ymax <= 0 {
+		return
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	xLabel, yLabel := r.Series[0].XLabel, r.Series[0].YLabel
+	logX := xLabel == "bytes" && xmin > 0 && xmax/xmin >= 8
+
+	xs := axisScale{min: xmin, max: xmax, log: logX, pixMin: marginL, pixMax: chartW - marginR}
+	ys := axisScale{min: ymin, max: ymax * 1.05, pixMin: float64(chartH - marginB), pixMax: marginT}
+
+	fmt.Fprintf(b, `<svg width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", chartW, chartH, chartW, chartH)
+	// Axes.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, chartH-marginB, chartW-marginR, chartH-marginB)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, marginT, marginL, chartH-marginB)
+	// X ticks.
+	for _, tv := range ticks(xmin, xmax, logX) {
+		px := xs.pos(tv)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+			px, chartH-marginB, px, chartH-marginB+5)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, chartH-marginB+20, tickLabel(tv, xLabel))
+	}
+	// Y ticks.
+	for _, tv := range ticks(ymin, ymax*1.05, false) {
+		py := ys.pos(tv)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`+"\n",
+			marginL-5, py, marginL, py)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-8, py+4, tickLabel(tv, yLabel))
+	}
+	// Axis labels.
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		(marginL+chartW-marginR)/2, chartH-8, html.EscapeString(xLabel))
+	fmt.Fprintf(b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		(marginT+chartH-marginB)/2, (marginT+chartH-marginB)/2, html.EscapeString(yLabel))
+
+	// Series polylines + legend.
+	for i, s := range r.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xs.pos(s.X[j]), ys.pos(s.Y[j])))
+		}
+		fmt.Fprintf(b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for j := range s.X {
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				xs.pos(s.X[j]), ys.pos(s.Y[j]), color)
+		}
+		ly := marginT + 16 + i*18
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			chartW-marginR+10, ly, chartW-marginR+34, ly, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			chartW-marginR+40, ly+4, html.EscapeString(s.Name))
+	}
+	b.WriteString("</svg>\n")
+}
+
+// ticks picks 4-7 tick values across [lo, hi]; log mode uses powers of 4.
+func ticks(lo, hi float64, log bool) []float64 {
+	if log {
+		var out []float64
+		for v := pow2At(lo); v <= hi*1.0001; v *= 4 {
+			if v >= lo*0.999 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	if hi <= lo {
+		return []float64{lo}
+	}
+	step := niceStep((hi - lo) / 5)
+	var out []float64
+	start := math.Ceil(lo/step) * step
+	for v := start; v <= hi*1.0001; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func pow2At(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return math.Pow(2, math.Floor(math.Log2(v)))
+}
+
+func niceStep(raw float64) float64 {
+	if raw <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag < 1.5:
+		return mag
+	case raw/mag < 3.5:
+		return 2 * mag
+	case raw/mag < 7.5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+// tickLabel formats a tick value for its axis.
+func tickLabel(v float64, label string) string {
+	if label == "bytes" {
+		return stats.FormatBytes(int64(v + 0.5))
+	}
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -1,0 +1,162 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pacc/internal/experiments"
+)
+
+func sampleResults() []*experiments.Result {
+	return []*experiments.Result{
+		{
+			ID:    "figX",
+			Title: "Latency sweep <with markup>",
+			Series: []experiments.Series{
+				{
+					Name: "No-Power", XLabel: "bytes", YLabel: "latency_us",
+					X: []float64{1024, 4096, 16384, 65536},
+					Y: []float64{100, 250, 900, 3200},
+				},
+				{
+					Name: "Proposed", XLabel: "bytes", YLabel: "latency_us",
+					X: []float64{1024, 4096, 16384, 65536},
+					Y: []float64{120, 280, 950, 3300},
+				},
+			},
+			Notes: []string{"overhead < 10% & shrinking"},
+		},
+		{
+			ID:    "tabY",
+			Title: "Energy table",
+			Tables: []experiments.Table{{
+				Title:  "KJ",
+				Header: []string{"scheme", "energy"},
+				Rows:   [][]string{{"Default", "16.4"}, {"Proposed", "15.5"}},
+			}},
+			Notes: []string{"proposed saves 5%"},
+		},
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteHTML(&sb, "pacc results", sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"<svg",
+		"polyline",
+		"No-Power",
+		"Proposed",
+		"<table>",
+		"Default",
+		"proposed saves 5%",
+		`id="figX"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Markup in titles and notes must be escaped.
+	if strings.Contains(out, "<with markup>") {
+		t.Error("unescaped markup in title")
+	}
+	if !strings.Contains(out, "&lt;with markup&gt;") {
+		t.Error("escaped title missing")
+	}
+	if !strings.Contains(out, "overhead &lt; 10% &amp; shrinking") {
+		t.Error("note not escaped")
+	}
+	// Two series -> two polylines.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestWriteHTMLEmptySeriesSkipsChart(t *testing.T) {
+	res := []*experiments.Result{{
+		ID: "empty", Title: "no data",
+		Series: []experiments.Series{{Name: "s", X: nil, Y: nil}},
+	}}
+	var sb strings.Builder
+	if err := WriteHTML(&sb, "t", res); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "<polyline") {
+		t.Error("chart rendered for empty series")
+	}
+}
+
+func TestTicksLinear(t *testing.T) {
+	ts := ticks(0, 100, false)
+	if len(ts) < 4 || len(ts) > 8 {
+		t.Fatalf("tick count %d: %v", len(ts), ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+}
+
+func TestTicksLog(t *testing.T) {
+	ts := ticks(1024, 1<<20, true)
+	if len(ts) < 3 {
+		t.Fatalf("log ticks %v", ts)
+	}
+	for _, v := range ts {
+		if math.Log2(v) != math.Trunc(math.Log2(v)) {
+			t.Fatalf("log tick %v not a power of two", v)
+		}
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{
+		0.9: 1, 1.2: 1, 3: 2, 7: 5, 9: 10, 23: 20, 180: 200,
+	}
+	for in, want := range cases {
+		if got := niceStep(in); got != want {
+			t.Errorf("niceStep(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if niceStep(0) != 1 {
+		t.Error("zero step should default")
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	if got := tickLabel(65536, "bytes"); got != "64K" {
+		t.Errorf("bytes label = %q", got)
+	}
+	if got := tickLabel(2e6, "latency_us"); got != "2M" {
+		t.Errorf("large label = %q", got)
+	}
+	if got := tickLabel(42, "watts"); got != "42" {
+		t.Errorf("int label = %q", got)
+	}
+}
+
+// TestRealExperimentRenders: an actual quick experiment renders without
+// error and with one polyline per series.
+func TestRealExperimentRenders(t *testing.T) {
+	spec, ok := experiments.Lookup("fig2c")
+	if !ok {
+		t.Fatal("fig2c missing")
+	}
+	res, err := spec.Run(experiments.Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteHTML(&sb, "one", []*experiments.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "<polyline"); got != len(res.Series) {
+		t.Errorf("%d polylines for %d series", got, len(res.Series))
+	}
+}

@@ -1,0 +1,57 @@
+// Package shm models the intra-node shared-memory channel used by
+// multi-core-aware collectives: processes exchange data by copying through
+// an explicitly created shared-memory region (§II-D of the paper).
+//
+// A copy is CPU-driven, so its cost scales inversely with the copying
+// core's effective speed — this is how DVFS and CPU throttling slow the
+// intra-node phases of collectives in the simulation.
+package shm
+
+import (
+	"fmt"
+
+	"pacc/internal/simtime"
+)
+
+// Config calibrates the shared-memory channel.
+type Config struct {
+	// CopyBytesPerSec is the single-core memcpy bandwidth through the
+	// shared region at full speed (one side of the double copy).
+	CopyBytesPerSec float64
+	// Startup is the fixed per-operation cost (queue management, flag
+	// updates) at full speed.
+	Startup simtime.Duration
+}
+
+// DefaultConfig returns Nehalem-era calibration: ~4 GB/s single-core copy
+// bandwidth and sub-microsecond startup.
+func DefaultConfig() Config {
+	return Config{
+		CopyBytesPerSec: 4.0e9,
+		Startup:         simtime.Micros(0.4),
+	}
+}
+
+// Validate rejects non-positive bandwidth or negative startup.
+func (c Config) Validate() error {
+	if c.CopyBytesPerSec <= 0 {
+		return fmt.Errorf("shm: CopyBytesPerSec must be positive, got %g", c.CopyBytesPerSec)
+	}
+	if c.Startup < 0 {
+		return fmt.Errorf("shm: negative Startup")
+	}
+	return nil
+}
+
+// CopyTime returns the busy time for one core at the given effective
+// speed (1.0 = unthrottled fmax) to copy bytes through the region.
+func (c Config) CopyTime(bytes int64, speed float64) simtime.Duration {
+	if bytes < 0 {
+		panic(fmt.Sprintf("shm: negative copy size %d", bytes))
+	}
+	if speed <= 0 {
+		speed = 1e-3
+	}
+	secs := c.Startup.Seconds()/speed + float64(bytes)/(c.CopyBytesPerSec*speed)
+	return simtime.DurationOf(secs)
+}

@@ -1,0 +1,87 @@
+package shm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pacc/internal/simtime"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := (Config{CopyBytesPerSec: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth validated")
+	}
+	if err := (Config{CopyBytesPerSec: 1e9, Startup: -1}).Validate(); err == nil {
+		t.Error("negative startup validated")
+	}
+}
+
+func TestCopyTimeFullSpeed(t *testing.T) {
+	c := DefaultConfig()
+	got := c.CopyTime(4_000_000, 1.0)
+	want := c.Startup + simtime.DurationOf(4e6/c.CopyBytesPerSec)
+	if got != want {
+		t.Fatalf("CopyTime = %v, want %v", got, want)
+	}
+}
+
+func TestCopyTimeScalesWithSpeed(t *testing.T) {
+	c := DefaultConfig()
+	full := c.CopyTime(1<<20, 1.0)
+	half := c.CopyTime(1<<20, 0.5)
+	ratio := float64(half) / float64(full)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("half-speed copy ratio = %v, want 2.0", ratio)
+	}
+}
+
+func TestCopyTimeZeroBytes(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.CopyTime(0, 1.0); got != c.Startup {
+		t.Fatalf("zero-byte copy = %v, want startup %v", got, c.Startup)
+	}
+}
+
+func TestCopyTimeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size did not panic")
+		}
+	}()
+	DefaultConfig().CopyTime(-1, 1.0)
+}
+
+func TestCopyTimeSpeedFloor(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.CopyTime(1024, 0); got <= 0 {
+		t.Fatalf("zero speed should still give finite positive time, got %v", got)
+	}
+	if got := c.CopyTime(1024, -1); got <= 0 {
+		t.Fatalf("negative speed should be floored, got %v", got)
+	}
+}
+
+// Property: copy time is monotone in bytes and antitone in speed.
+func TestCopyTimeMonotonicityProperty(t *testing.T) {
+	c := DefaultConfig()
+	f := func(b1, b2 uint32, sSel uint8) bool {
+		s := 0.1 + 0.9*float64(sSel)/255
+		lo, hi := int64(b1), int64(b2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if c.CopyTime(lo, s) > c.CopyTime(hi, s) {
+			return false
+		}
+		return c.CopyTime(hi, s) >= c.CopyTime(hi, 1.0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant so execution order is the order of scheduling.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	procs   []*Proc
+	running bool
+	stopped bool
+	// panicErr records the first process panic; Run returns it.
+	panicErr error
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at time t. Scheduling in the past is an error in
+// the simulation logic and panics: time only moves forward.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d means "now".
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+// Pending events are kept; Run may be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or the clock passes limit (use Infinity for no limit). It returns
+// the number of events executed and an error if, after the queue drained,
+// live processes remain blocked (a deadlock in the simulated system).
+func (e *Engine) Run(limit Time) (int, error) {
+	if e.running {
+		return 0, fmt.Errorf("simtime: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	executed := 0
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > limit {
+			e.now = limit
+			return executed, nil
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+		executed++
+	}
+	if e.panicErr != nil {
+		return executed, e.panicErr
+	}
+	if e.stopped {
+		return executed, nil
+	}
+	if blocked := e.blockedProcs(); len(blocked) > 0 {
+		return executed, &DeadlockError{Now: e.now, Blocked: blocked}
+	}
+	return executed, nil
+}
+
+// blockedProcs returns the names of live processes that are still parked.
+func (e *Engine) blockedProcs() []string {
+	var names []string
+	for _, p := range e.procs {
+		if !p.done {
+			names = append(names, p.describe())
+		}
+	}
+	return names
+}
+
+// DeadlockError reports that the event queue drained while simulated
+// processes were still blocked waiting for conditions nobody will signal.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("simtime: deadlock at %v: %d blocked process(es): %v",
+		d.Now, len(d.Blocked), d.Blocked)
+}

@@ -1,0 +1,213 @@
+package simtime
+
+import "fmt"
+
+// Proc is a cooperative simulated process: a goroutine that runs only when
+// the engine hands it control and yields back whenever it blocks on a
+// primitive. All Proc methods must be called from the process's own
+// goroutine (inside the body passed to Spawn).
+type Proc struct {
+	eng    *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	park   chan struct{}
+	done   bool
+	// blockedOn describes what the process is waiting for; used in
+	// deadlock reports.
+	blockedOn string
+}
+
+// Spawn creates a process named name whose body starts executing at the
+// current virtual time (when the engine reaches that event). The body runs
+// on its own goroutine but is serialized with all other simulation
+// activity.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		park:   make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		defer func() {
+			// A panicking process must still hand control back,
+			// or the engine would block forever on the park
+			// channel. The panic is surfaced as a Run error.
+			if r := recover(); r != nil {
+				if e.panicErr == nil {
+					e.panicErr = &ProcPanicError{Proc: p.name, Value: r}
+				}
+				e.stopped = true
+			}
+			p.done = true
+			p.park <- struct{}{}
+		}()
+		<-p.resume
+		body(p)
+	}()
+	e.At(e.now, func() { e.runProc(p) })
+	return p
+}
+
+// ProcPanicError reports that a simulated process panicked; the engine
+// stops at the panic instant and Run returns this error.
+type ProcPanicError struct {
+	Proc  string
+	Value any
+}
+
+func (e *ProcPanicError) Error() string {
+	return fmt.Sprintf("simtime: process %s panicked: %v", e.Proc, e.Value)
+}
+
+// runProc transfers control to p and blocks until p parks again (or
+// terminates). Must only be called from event context.
+func (e *Engine) runProc(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.park
+}
+
+// yield parks the process and hands control back to the engine; it returns
+// when some event resumes the process.
+func (p *Proc) yield(reason string) {
+	p.blockedOn = reason
+	p.park <- struct{}{}
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's spawn index, unique within its engine.
+func (p *Proc) ID() int { return p.id }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep blocks the process for d of virtual time. Zero or negative d
+// still yields, letting events scheduled for the current instant run.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.After(d, func() { p.eng.runProc(p) })
+	p.yield(fmt.Sprintf("sleep %v", d))
+}
+
+func (p *Proc) describe() string {
+	if p.blockedOn == "" {
+		return p.name
+	}
+	return p.name + " (" + p.blockedOn + ")"
+}
+
+// Cond is a broadcast-style condition variable for simulated processes.
+// Unlike sync.Cond there is no associated lock: the simulation is already
+// serialized, so Wait/Signal/Broadcast need no further synchronization.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition bound to engine e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait parks the calling process until a subsequent Signal or Broadcast.
+func (c *Cond) Wait(p *Proc, reason string) {
+	c.waiters = append(c.waiters, p)
+	p.yield(reason)
+}
+
+// Signal wakes the longest-waiting process, if any. The wakeup is
+// delivered as an event at the current time, after the caller next yields.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.At(c.eng.now, func() { c.eng.runProc(p) })
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		q := p
+		c.eng.At(c.eng.now, func() { c.eng.runProc(q) })
+	}
+}
+
+// Waiters reports how many processes are parked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Future is a one-shot completion: processes can wait on it, and exactly
+// one Complete call releases them all (and all future waiters return
+// immediately). Event-context code can chain work with Then.
+type Future struct {
+	eng       *Engine
+	done      bool
+	at        Time
+	cond      Cond
+	callbacks []func()
+}
+
+// NewFuture returns an incomplete future bound to engine e.
+func NewFuture(e *Engine) *Future { return &Future{eng: e, cond: Cond{eng: e}} }
+
+// Complete marks the future done at the current virtual time and wakes all
+// waiters. Completing twice panics: it indicates a logic error in the
+// simulated protocol.
+func (f *Future) Complete() {
+	if f.done {
+		panic("simtime: Future completed twice")
+	}
+	f.done = true
+	f.at = f.eng.now
+	f.cond.Broadcast()
+	cbs := f.callbacks
+	f.callbacks = nil
+	for _, cb := range cbs {
+		fn := cb
+		f.eng.At(f.eng.now, fn)
+	}
+}
+
+// Then schedules fn to run (as an event) when the future completes; if it
+// already has, fn is scheduled at the current time.
+func (f *Future) Then(fn func()) {
+	if f.done {
+		f.eng.At(f.eng.now, fn)
+		return
+	}
+	f.callbacks = append(f.callbacks, fn)
+}
+
+// IsDone reports whether Complete has been called.
+func (f *Future) IsDone() bool { return f.done }
+
+// CompletedAt returns the time Complete was called; zero if not done.
+func (f *Future) CompletedAt() Time { return f.at }
+
+// Await blocks p until the future completes; returns immediately if it
+// already has.
+func (f *Future) Await(p *Proc, reason string) {
+	if f.done {
+		return
+	}
+	f.cond.Wait(p, reason)
+}

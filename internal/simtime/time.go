@@ -1,0 +1,70 @@
+// Package simtime implements a deterministic discrete-event simulation
+// engine with cooperative processes.
+//
+// The engine owns a virtual clock and an event queue. Simulated processes
+// are ordinary goroutines that run strictly one at a time: a process runs
+// until it blocks on one of the engine primitives (Sleep, Wait, ...), at
+// which point control returns to the engine, which advances the clock to
+// the next scheduled event. Because exactly one goroutine (either the
+// engine or a single process) executes at any instant, simulations are
+// fully deterministic and race-free without locks.
+package simtime
+
+import "fmt"
+
+// Time is an absolute virtual time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Infinity is a time later than any event a simulation will schedule.
+const Infinity Time = 1<<63 - 1
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from s to t.
+func (t Time) Sub(s Time) Duration { return Duration(t - s) }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// DurationOf converts a floating-point number of seconds into a Duration,
+// rounding to the nearest nanosecond. Negative and NaN inputs are clamped
+// to zero; a simulation can only move forward.
+func DurationOf(seconds float64) Duration {
+	if !(seconds > 0) {
+		return 0
+	}
+	return Duration(seconds*1e9 + 0.5)
+}
+
+// Micros constructs a Duration from a floating-point microsecond count.
+func Micros(us float64) Duration { return DurationOf(us / 1e6) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+func (d Duration) String() string {
+	return fmt.Sprintf("%.3fus", d.Micros())
+}

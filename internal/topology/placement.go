@@ -1,0 +1,180 @@
+package topology
+
+import "fmt"
+
+// BindPolicy selects how consecutive node-local ranks are bound to cores.
+type BindPolicy int
+
+const (
+	// BindBunch fills one socket before the next: local ranks 0..k-1 go
+	// to socket A, k..2k-1 to socket B. This is MVAPICH2's default and
+	// the mapping the paper's power-aware algorithms assume (§V-C).
+	BindBunch BindPolicy = iota
+	// BindScatter round-robins ranks across sockets.
+	BindScatter
+	// BindSequential binds local rank i to node-local core i regardless
+	// of sockets (useful to demonstrate the §V-C caveat: the power-aware
+	// algorithms must adapt if the mapping changes).
+	BindSequential
+)
+
+func (b BindPolicy) String() string {
+	switch b {
+	case BindBunch:
+		return "bunch"
+	case BindScatter:
+		return "scatter"
+	case BindSequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("BindPolicy(%d)", int(b))
+	}
+}
+
+// Placement maps global ranks onto cores of a cluster. Ranks are assigned
+// to nodes in blocks ("block" mapping, the common mpirun default): ranks
+// 0..ppn-1 on node 0, and so on.
+type Placement struct {
+	cluster *Cluster
+	policy  BindPolicy
+	ppn     int
+	coreOf  []Core // indexed by rank
+	rankOf  map[int]int
+}
+
+// NewPlacement binds nprocs ranks, ppn per node, using the given policy.
+// nprocs must be an exact multiple of ppn, fit within the cluster, and
+// ppn must not exceed the cores of one node.
+func NewPlacement(cl *Cluster, nprocs, ppn int, policy BindPolicy) (*Placement, error) {
+	if nprocs <= 0 || ppn <= 0 {
+		return nil, fmt.Errorf("topology: nprocs=%d ppn=%d must be positive", nprocs, ppn)
+	}
+	if nprocs%ppn != 0 {
+		return nil, fmt.Errorf("topology: nprocs=%d not a multiple of ppn=%d", nprocs, ppn)
+	}
+	if ppn > cl.cfg.CoresPerNode() {
+		return nil, fmt.Errorf("topology: ppn=%d exceeds %d cores per node", ppn, cl.cfg.CoresPerNode())
+	}
+	if nodes := nprocs / ppn; nodes > cl.cfg.Nodes {
+		return nil, fmt.Errorf("topology: need %d nodes, cluster has %d", nodes, cl.cfg.Nodes)
+	}
+	p := &Placement{
+		cluster: cl,
+		policy:  policy,
+		ppn:     ppn,
+		coreOf:  make([]Core, nprocs),
+		rankOf:  make(map[int]int, nprocs),
+	}
+	for rank := 0; rank < nprocs; rank++ {
+		node := rank / ppn
+		localRank := rank % ppn
+		local, err := bindLocal(cl.cfg, localRank, policy)
+		if err != nil {
+			return nil, err
+		}
+		core := cl.CoreAt(node, local)
+		p.coreOf[rank] = core
+		p.rankOf[core.Global] = rank
+	}
+	return p, nil
+}
+
+// bindLocal returns the node-local core number for node-local rank lr.
+func bindLocal(cfg Config, lr int, policy BindPolicy) (int, error) {
+	switch policy {
+	case BindBunch:
+		// Fill socket 0's cores in OnSock order, then socket 1, ...
+		sock := lr / cfg.CoresPerSocket
+		onSock := lr % cfg.CoresPerSocket
+		if cfg.Interleaved {
+			return onSock*cfg.SocketsPerNode + sock, nil
+		}
+		return sock*cfg.CoresPerSocket + onSock, nil
+	case BindScatter:
+		sock := lr % cfg.SocketsPerNode
+		onSock := lr / cfg.SocketsPerNode
+		if cfg.Interleaved {
+			return onSock*cfg.SocketsPerNode + sock, nil
+		}
+		return sock*cfg.CoresPerSocket + onSock, nil
+	case BindSequential:
+		return lr, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown bind policy %v", policy)
+	}
+}
+
+// Cluster returns the underlying cluster.
+func (p *Placement) Cluster() *Cluster { return p.cluster }
+
+// NumRanks returns the number of bound ranks.
+func (p *Placement) NumRanks() int { return len(p.coreOf) }
+
+// PPN returns ranks per node.
+func (p *Placement) PPN() int { return p.ppn }
+
+// NumNodes returns the number of nodes actually occupied.
+func (p *Placement) NumNodes() int { return len(p.coreOf) / p.ppn }
+
+// Policy returns the binding policy.
+func (p *Placement) Policy() BindPolicy { return p.policy }
+
+// CoreOf returns the core a rank is bound to.
+func (p *Placement) CoreOf(rank int) Core { return p.coreOf[rank] }
+
+// NodeOf returns the node index a rank runs on.
+func (p *Placement) NodeOf(rank int) int { return p.coreOf[rank].Node }
+
+// SocketOf returns the socket a rank's core sits on.
+func (p *Placement) SocketOf(rank int) SocketID { return p.coreOf[rank].Socket }
+
+// RankOnCore returns the rank bound to the given global core, or -1.
+func (p *Placement) RankOnCore(globalCore int) int {
+	if r, ok := p.rankOf[globalCore]; ok {
+		return r
+	}
+	return -1
+}
+
+// SameNode reports whether two ranks share a compute node.
+func (p *Placement) SameNode(a, b int) bool { return p.NodeOf(a) == p.NodeOf(b) }
+
+// RanksOnNode lists the ranks bound to the given node, ascending.
+func (p *Placement) RanksOnNode(node int) []int {
+	out := make([]int, 0, p.ppn)
+	for r := node * p.ppn; r < (node+1)*p.ppn && r < len(p.coreOf); r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Leader returns the node-leader rank of the given node: the smallest rank
+// bound there (MVAPICH2 convention).
+func (p *Placement) Leader(node int) int { return node * p.ppn }
+
+// IsLeader reports whether rank is its node's leader.
+func (p *Placement) IsLeader(rank int) bool { return rank%p.ppn == 0 }
+
+// Leaders lists the node-leader ranks in node order.
+func (p *Placement) Leaders() []int {
+	out := make([]int, p.NumNodes())
+	for n := range out {
+		out[n] = p.Leader(n)
+	}
+	return out
+}
+
+// SocketGroup lists the ranks of one node bound to the given socket,
+// ascending. This is the paper's process group A (SocketA) / B (SocketB).
+func (p *Placement) SocketGroup(node int, sock SocketID) []int {
+	var out []int
+	for _, r := range p.RanksOnNode(node) {
+		if p.SocketOf(r) == sock {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GroupOf returns which socket group (A/B) the rank belongs to.
+func (p *Placement) GroupOf(rank int) SocketID { return p.SocketOf(rank) }

@@ -1,0 +1,140 @@
+// Package topology describes the hardware layout of a simulated cluster —
+// nodes, CPU sockets, cores — and the binding of MPI-style processes onto
+// cores.
+//
+// The default layout mirrors the testbed of Kandalla et al. (ICPP 2010):
+// eight nodes of two Intel "Nehalem" sockets with four cores each, where
+// the node-local core numbering interleaves sockets (cores 0 2 4 6 on
+// socket A and 1 3 5 7 on socket B). The power-aware collective algorithms
+// depend on that mapping, so it is modeled explicitly.
+package topology
+
+import "fmt"
+
+// SocketID distinguishes the sockets within one node. The paper's
+// algorithms only ever split a node in two, but the model supports any
+// socket count.
+type SocketID int
+
+// Conventional names for the two sockets of the paper's testbed.
+const (
+	SocketA SocketID = 0
+	SocketB SocketID = 1
+)
+
+// Config describes the shape of a cluster.
+type Config struct {
+	Nodes          int // number of compute nodes
+	SocketsPerNode int // CPU sockets per node
+	CoresPerSocket int // cores per socket
+	// Interleaved selects Nehalem-style node-local core numbering in
+	// which consecutive core numbers alternate between sockets
+	// (0 2 4 .. on socket 0). When false, numbering is contiguous per
+	// socket (0..k-1 on socket 0, k..2k-1 on socket 1, ...).
+	Interleaved bool
+}
+
+// DefaultConfig returns the paper's 8-node dual-socket quad-core testbed.
+func DefaultConfig() Config {
+	return Config{Nodes: 8, SocketsPerNode: 2, CoresPerSocket: 4, Interleaved: true}
+}
+
+// Validate reports an error for non-positive dimensions.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("topology: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.SocketsPerNode <= 0 {
+		return fmt.Errorf("topology: SocketsPerNode must be positive, got %d", c.SocketsPerNode)
+	}
+	if c.CoresPerSocket <= 0 {
+		return fmt.Errorf("topology: CoresPerSocket must be positive, got %d", c.CoresPerSocket)
+	}
+	return nil
+}
+
+// CoresPerNode is the number of cores in each node.
+func (c Config) CoresPerNode() int { return c.SocketsPerNode * c.CoresPerSocket }
+
+// TotalCores is the number of cores in the cluster.
+func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode() }
+
+// Core identifies one physical core.
+type Core struct {
+	Node   int      // node index, 0-based
+	Local  int      // node-local core number (what the OS would report)
+	Socket SocketID // socket the core sits on
+	OnSock int      // index of the core within its socket
+	Global int      // cluster-wide core index: Node*CoresPerNode + Local
+}
+
+func (c Core) String() string {
+	return fmt.Sprintf("node%d/core%d(sock%d)", c.Node, c.Local, c.Socket)
+}
+
+// Cluster is an instantiated topology with all cores enumerated.
+type Cluster struct {
+	cfg   Config
+	cores []Core // indexed by global core id
+}
+
+// NewCluster enumerates the cores of a validated config.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cl := &Cluster{cfg: cfg}
+	cpn := cfg.CoresPerNode()
+	cl.cores = make([]Core, 0, cfg.TotalCores())
+	for n := 0; n < cfg.Nodes; n++ {
+		for local := 0; local < cpn; local++ {
+			var sock SocketID
+			var onSock int
+			if cfg.Interleaved {
+				sock = SocketID(local % cfg.SocketsPerNode)
+				onSock = local / cfg.SocketsPerNode
+			} else {
+				sock = SocketID(local / cfg.CoresPerSocket)
+				onSock = local % cfg.CoresPerSocket
+			}
+			cl.cores = append(cl.cores, Core{
+				Node:   n,
+				Local:  local,
+				Socket: sock,
+				OnSock: onSock,
+				Global: n*cpn + local,
+			})
+		}
+	}
+	return cl, nil
+}
+
+// Config returns the cluster's configuration.
+func (cl *Cluster) Config() Config { return cl.cfg }
+
+// NumNodes returns the node count.
+func (cl *Cluster) NumNodes() int { return cl.cfg.Nodes }
+
+// Cores returns all cores in global order. The slice must not be modified.
+func (cl *Cluster) Cores() []Core { return cl.cores }
+
+// Core returns the core with the given global index.
+func (cl *Cluster) Core(global int) Core { return cl.cores[global] }
+
+// CoreAt returns the core with node-local number local on node.
+func (cl *Cluster) CoreAt(node, local int) Core {
+	return cl.cores[node*cl.cfg.CoresPerNode()+local]
+}
+
+// SocketCores returns the node-local core numbers on the given socket of a
+// node, in OnSock order.
+func (cl *Cluster) SocketCores(node int, sock SocketID) []int {
+	var out []int
+	base := node * cl.cfg.CoresPerNode()
+	for i := 0; i < cl.cfg.CoresPerNode(); i++ {
+		if cl.cores[base+i].Socket == sock {
+			out = append(out, cl.cores[base+i].Local)
+		}
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Nodes != 8 || cfg.SocketsPerNode != 2 || cfg.CoresPerSocket != 4 {
+		t.Fatalf("unexpected default config %+v", cfg)
+	}
+	if cfg.CoresPerNode() != 8 || cfg.TotalCores() != 64 {
+		t.Fatalf("derived sizes wrong: %d per node, %d total", cfg.CoresPerNode(), cfg.TotalCores())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, SocketsPerNode: 2, CoresPerSocket: 4},
+		{Nodes: 2, SocketsPerNode: 0, CoresPerSocket: 4},
+		{Nodes: 2, SocketsPerNode: 2, CoresPerSocket: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated but should not", cfg)
+		}
+		if _, err := NewCluster(cfg); err == nil {
+			t.Errorf("NewCluster(%+v) succeeded but should not", cfg)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+// TestNehalemInterleaving checks the paper's Figure 5 mapping: cores
+// 0 2 4 6 on socket A, 1 3 5 7 on socket B.
+func TestNehalemInterleaving(t *testing.T) {
+	cl, err := NewCluster(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := []int{0, 2, 4, 6}
+	wantB := []int{1, 3, 5, 7}
+	gotA := cl.SocketCores(0, SocketA)
+	gotB := cl.SocketCores(0, SocketB)
+	if !equalInts(gotA, wantA) || !equalInts(gotB, wantB) {
+		t.Fatalf("socket cores A=%v B=%v, want %v / %v", gotA, gotB, wantA, wantB)
+	}
+}
+
+func TestContiguousNumbering(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Interleaved = false
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.SocketCores(0, SocketA); !equalInts(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("socket A cores = %v", got)
+	}
+	if got := cl.SocketCores(0, SocketB); !equalInts(got, []int{4, 5, 6, 7}) {
+		t.Fatalf("socket B cores = %v", got)
+	}
+}
+
+func TestCoreGlobalIndexing(t *testing.T) {
+	cl, err := NewCluster(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, core := range cl.Cores() {
+		if core.Global != g {
+			t.Fatalf("core %d has Global=%d", g, core.Global)
+		}
+		if got := cl.Core(g); got != core {
+			t.Fatalf("Core(%d) mismatch", g)
+		}
+		if got := cl.CoreAt(core.Node, core.Local); got != core {
+			t.Fatalf("CoreAt(%d,%d) mismatch", core.Node, core.Local)
+		}
+	}
+}
+
+// Property: every core belongs to exactly one socket and socket
+// populations are equal, for arbitrary shapes.
+func TestSocketPartitionProperty(t *testing.T) {
+	f := func(n, s, c uint8) bool {
+		cfg := Config{
+			Nodes:          int(n%4) + 1,
+			SocketsPerNode: int(s%3) + 1,
+			CoresPerSocket: int(c%5) + 1,
+			Interleaved:    n%2 == 0,
+		}
+		cl, err := NewCluster(cfg)
+		if err != nil {
+			return false
+		}
+		for node := 0; node < cfg.Nodes; node++ {
+			seen := map[int]bool{}
+			for sock := 0; sock < cfg.SocketsPerNode; sock++ {
+				cores := cl.SocketCores(node, SocketID(sock))
+				if len(cores) != cfg.CoresPerSocket {
+					return false
+				}
+				for _, c := range cores {
+					if seen[c] {
+						return false
+					}
+					seen[c] = true
+				}
+			}
+			if len(seen) != cfg.CoresPerNode() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlacementBunch64(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	p, err := NewPlacement(cl, 64, 8, BindBunch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §V-C: local ranks 0 1 2 3 on socket A, 4 5 6 7 on socket B.
+	for node := 0; node < 8; node++ {
+		a := p.SocketGroup(node, SocketA)
+		b := p.SocketGroup(node, SocketB)
+		if len(a) != 4 || len(b) != 4 {
+			t.Fatalf("node %d groups: A=%v B=%v", node, a, b)
+		}
+		base := node * 8
+		for i := 0; i < 4; i++ {
+			if a[i] != base+i {
+				t.Fatalf("node %d group A = %v, want first four local ranks", node, a)
+			}
+			if b[i] != base+4+i {
+				t.Fatalf("node %d group B = %v, want last four local ranks", node, b)
+			}
+		}
+	}
+}
+
+func TestPlacementBunchCoreNumbers(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	p, _ := NewPlacement(cl, 8, 8, BindBunch)
+	// Local rank 0→core 0, 1→core 2, 2→core 4, 3→core 6, 4→core 1, ...
+	wantCores := []int{0, 2, 4, 6, 1, 3, 5, 7}
+	for r, want := range wantCores {
+		if got := p.CoreOf(r).Local; got != want {
+			t.Fatalf("rank %d bound to core %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestPlacementScatter(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	p, err := NewPlacement(cl, 8, 8, BindScatter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scatter alternates sockets: ranks 0 2 4 6 on A, 1 3 5 7 on B.
+	for r := 0; r < 8; r++ {
+		want := SocketID(r % 2)
+		if got := p.SocketOf(r); got != want {
+			t.Fatalf("rank %d on socket %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestPlacementSequential(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	p, err := NewPlacement(cl, 8, 8, BindSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if got := p.CoreOf(r).Local; got != r {
+			t.Fatalf("sequential rank %d on core %d", r, got)
+		}
+	}
+}
+
+func TestPlacement4Way(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	// 32 procs, 4 per node across 8 nodes (the paper's 4-way config).
+	p, err := NewPlacement(cl, 32, 4, BindBunch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d, want 8", p.NumNodes())
+	}
+	// With bunch binding all 4 ranks of a node land on socket A.
+	for node := 0; node < 8; node++ {
+		if got := p.SocketGroup(node, SocketA); len(got) != 4 {
+			t.Fatalf("node %d socket A group = %v", node, got)
+		}
+		if got := p.SocketGroup(node, SocketB); len(got) != 0 {
+			t.Fatalf("node %d socket B group = %v, want empty", node, got)
+		}
+	}
+	// 8-way: 32 procs on 4 nodes.
+	p8, err := NewPlacement(cl, 32, 8, BindBunch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p8.NumNodes() != 4 {
+		t.Fatalf("8-way NumNodes = %d, want 4", p8.NumNodes())
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	cases := []struct {
+		nprocs, ppn int
+	}{
+		{0, 4},   // zero procs
+		{32, 0},  // zero ppn
+		{33, 4},  // not a multiple
+		{32, 16}, // ppn exceeds cores per node
+		{128, 8}, // needs 16 nodes, have 8
+		{-8, 4},  // negative
+		{32, -4}, // negative ppn
+	}
+	for _, c := range cases {
+		if _, err := NewPlacement(cl, c.nprocs, c.ppn, BindBunch); err == nil {
+			t.Errorf("NewPlacement(%d,%d) succeeded, want error", c.nprocs, c.ppn)
+		}
+	}
+}
+
+func TestLeaders(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	p, _ := NewPlacement(cl, 64, 8, BindBunch)
+	leaders := p.Leaders()
+	want := []int{0, 8, 16, 24, 32, 40, 48, 56}
+	if !equalInts(leaders, want) {
+		t.Fatalf("leaders = %v, want %v", leaders, want)
+	}
+	for _, l := range leaders {
+		if !p.IsLeader(l) {
+			t.Errorf("rank %d should be leader", l)
+		}
+		if p.IsLeader(l + 1) {
+			t.Errorf("rank %d should not be leader", l+1)
+		}
+	}
+}
+
+func TestRankOnCoreRoundTrip(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	p, _ := NewPlacement(cl, 64, 8, BindBunch)
+	for r := 0; r < 64; r++ {
+		core := p.CoreOf(r)
+		if back := p.RankOnCore(core.Global); back != r {
+			t.Fatalf("rank %d -> core %d -> rank %d", r, core.Global, back)
+		}
+	}
+	// An unused core (none here since fully packed) — use a 4-way layout.
+	p4, _ := NewPlacement(cl, 32, 4, BindBunch)
+	unused := 0
+	for g := 0; g < 64; g++ {
+		if p4.RankOnCore(g) == -1 {
+			unused++
+		}
+	}
+	if unused != 32 {
+		t.Fatalf("4-way: %d unused cores, want 32", unused)
+	}
+}
+
+// Property: placements are injective — no two ranks share a core.
+func TestPlacementInjectiveProperty(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	f := func(ppnSel, polSel uint8) bool {
+		ppns := []int{1, 2, 4, 8}
+		ppn := ppns[int(ppnSel)%len(ppns)]
+		pol := BindPolicy(int(polSel) % 3)
+		nprocs := ppn * 8
+		p, err := NewPlacement(cl, nprocs, ppn, pol)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for r := 0; r < nprocs; r++ {
+			g := p.CoreOf(r).Global
+			if seen[g] {
+				return false
+			}
+			seen[g] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameNode(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	p, _ := NewPlacement(cl, 64, 8, BindBunch)
+	if !p.SameNode(0, 7) {
+		t.Error("ranks 0 and 7 share node 0")
+	}
+	if p.SameNode(7, 8) {
+		t.Error("ranks 7 and 8 are on different nodes")
+	}
+}
+
+func TestBindPolicyString(t *testing.T) {
+	if BindBunch.String() != "bunch" || BindScatter.String() != "scatter" ||
+		BindSequential.String() != "sequential" {
+		t.Error("BindPolicy String() values wrong")
+	}
+	if BindPolicy(99).String() == "" {
+		t.Error("unknown policy should still format")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,156 @@
+// Package trace records per-core power-state timelines from a simulation
+// and exports them in the Chrome trace-event format (load the JSON in
+// chrome://tracing or https://ui.perfetto.dev to see, per core, when it
+// ran at which frequency and throttle level, and when it idled — the
+// phased schedules of the power-aware collectives become directly
+// visible).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"pacc/internal/power"
+	"pacc/internal/simtime"
+)
+
+// span is one interval of constant core state.
+type span struct {
+	core  int
+	start simtime.Time
+	end   simtime.Time
+	state power.StateChange
+}
+
+// Recorder accumulates state changes from a set of cores.
+type Recorder struct {
+	station *power.Station
+	// open holds the last state change per core (the currently open
+	// interval).
+	open  map[int]power.StateChange
+	spans []span
+	// coresPerNode groups core "threads" into node "processes" in the
+	// exported trace.
+	coresPerNode int
+}
+
+// Attach hooks every core of the station. coresPerNode controls the
+// node grouping in the export (pass the topology's CoresPerNode).
+func Attach(st *power.Station, coresPerNode int) *Recorder {
+	if coresPerNode <= 0 {
+		coresPerNode = 1
+	}
+	r := &Recorder{
+		station:      st,
+		open:         make(map[int]power.StateChange),
+		coresPerNode: coresPerNode,
+	}
+	for _, c := range st.Cores() {
+		core := c
+		id := core.ID()
+		core.SetRecorder(func(sc power.StateChange) {
+			r.onChange(id, sc)
+		})
+	}
+	return r
+}
+
+// Detach removes the hooks and closes all open intervals at the current
+// time.
+func (r *Recorder) Detach() {
+	for _, c := range r.station.Cores() {
+		c.SetRecorder(nil)
+	}
+	for id, sc := range r.open {
+		r.closeSpan(id, sc, sc.At)
+	}
+}
+
+func (r *Recorder) onChange(core int, sc power.StateChange) {
+	if prev, ok := r.open[core]; ok && sc.At > prev.At {
+		r.closeSpan(core, prev, sc.At)
+	}
+	r.open[core] = sc
+}
+
+func (r *Recorder) closeSpan(core int, st power.StateChange, end simtime.Time) {
+	if end <= st.At {
+		return
+	}
+	r.spans = append(r.spans, span{core: core, start: st.At, end: end, state: st})
+}
+
+// finish closes intervals still open at `now` without detaching.
+func (r *Recorder) snapshot(now simtime.Time) []span {
+	out := make([]span, len(r.spans))
+	copy(out, r.spans)
+	for id, sc := range r.open {
+		if now > sc.At {
+			out = append(out, span{core: id, start: sc.At, end: now, state: sc})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].core != out[j].core {
+			return out[i].core < out[j].core
+		}
+		return out[i].start < out[j].start
+	})
+	return out
+}
+
+// Spans reports how many closed intervals have been recorded so far.
+func (r *Recorder) Spans() int { return len(r.spans) }
+
+// chromeEvent is one entry of the Chrome trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func stateName(sc power.StateChange) string {
+	act := "idle"
+	if sc.Busy {
+		act = "busy"
+	}
+	return fmt.Sprintf("%s %.1fGHz %v", act, sc.FreqGHz, sc.Throttle)
+}
+
+// WriteChromeTrace exports all recorded spans up to `now` as a Chrome
+// trace: one process per node, one thread per core, one complete event
+// per constant-state interval, with watts in the event args.
+func (r *Recorder) WriteChromeTrace(w io.Writer, now simtime.Time) error {
+	spans := r.snapshot(now)
+	events := make([]chromeEvent, 0, len(spans)+len(r.station.Cores()))
+	model := r.station.Cores()[0].Model()
+	seen := map[int]bool{}
+	for _, sp := range spans {
+		node := sp.core / r.coresPerNode
+		if !seen[sp.core] {
+			seen[sp.core] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: node, Tid: sp.core,
+				Args: map[string]any{"name": fmt.Sprintf("core %d", sp.core)},
+			})
+		}
+		events = append(events, chromeEvent{
+			Name: stateName(sp.state),
+			Ph:   "X",
+			Ts:   sp.start.Micros(),
+			Dur:  sp.end.Sub(sp.start).Micros(),
+			Pid:  node,
+			Tid:  sp.core,
+			Args: map[string]any{
+				"watts": model.CoreWatts(sp.state.FreqGHz, sp.state.Throttle, sp.state.Busy),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

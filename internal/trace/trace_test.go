@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pacc/internal/collective"
+	"pacc/internal/mpi"
+	"pacc/internal/power"
+	"pacc/internal/simtime"
+)
+
+func TestRecorderSpans(t *testing.T) {
+	eng := simtime.NewEngine()
+	st := power.NewStation(eng, power.DefaultModel(), 1, 2)
+	rec := Attach(st, 2)
+	eng.Spawn("driver", func(p *simtime.Proc) {
+		c := st.Core(0)
+		c.SetBusy(true)
+		p.Sleep(simtime.Millisecond)
+		c.SetFreq(1.6)
+		p.Sleep(simtime.Millisecond)
+		c.SetThrottle(power.T7)
+		p.Sleep(simtime.Millisecond)
+		c.SetBusy(false)
+	})
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	// Core 0: initial idle (zero-length at t=0 is dropped), busy@fmax,
+	// busy@fmin, busy@fmin/T7 — three closed spans.
+	if got := rec.Spans(); got != 3 {
+		t.Fatalf("spans = %d, want 3", got)
+	}
+	spans := rec.snapshot(eng.Now())
+	// Snapshot adds core 1's full idle interval; core 0's final idle
+	// state is zero-length (the run ends at that instant) and is
+	// dropped.
+	if len(spans) != 4 {
+		t.Fatalf("snapshot spans = %d, want 4", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		a, b := spans[i-1], spans[i]
+		if a.core == b.core && a.end > b.start {
+			t.Fatalf("overlapping spans on core %d", a.core)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs = 16
+	cfg.PPN = 8
+	cfg.Topo.Nodes = 2
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Attach(w.Station(), cfg.Topo.CoresPerNode())
+	w.Launch(func(r *mpi.Rank) {
+		collective.Alltoall(mpi.CommWorld(r), 64<<10, collective.Options{Power: collective.Proposed})
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf, w.Engine().Now()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(events) < 50 {
+		t.Fatalf("only %d events; a proposed alltoall should produce many state changes", len(events))
+	}
+	var sawT7, sawFmin, sawMeta bool
+	for _, ev := range events {
+		name, _ := ev["name"].(string)
+		switch {
+		case name == "thread_name":
+			sawMeta = true
+		case strings.Contains(name, "T7"):
+			sawT7 = true
+		}
+		if strings.Contains(name, "1.6GHz") {
+			sawFmin = true
+		}
+		if ph, _ := ev["ph"].(string); ph == "X" {
+			if ev["dur"] == nil {
+				t.Fatalf("complete event without duration: %v", ev)
+			}
+		}
+	}
+	if !sawMeta {
+		t.Error("no thread metadata events")
+	}
+	if !sawT7 {
+		t.Error("proposed alltoall should show T7 intervals")
+	}
+	if !sawFmin {
+		t.Error("proposed alltoall should show fmin intervals")
+	}
+}
+
+func TestDetachClosesAndUnhooks(t *testing.T) {
+	eng := simtime.NewEngine()
+	st := power.NewStation(eng, power.DefaultModel(), 1, 1)
+	rec := Attach(st, 1)
+	eng.Spawn("driver", func(p *simtime.Proc) {
+		st.Core(0).SetBusy(true)
+		p.Sleep(simtime.Millisecond)
+	})
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	rec.Detach()
+	n := rec.Spans()
+	// Further changes must not be recorded.
+	st.Core(0).SetBusy(false)
+	st.Core(0).SetBusy(true)
+	if rec.Spans() != n {
+		t.Fatal("recorder still hooked after Detach")
+	}
+}
+
+func TestAttachZeroCoresPerNode(t *testing.T) {
+	eng := simtime.NewEngine()
+	st := power.NewStation(eng, power.DefaultModel(), 1, 1)
+	rec := Attach(st, 0) // must not divide by zero on export
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf, eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+}

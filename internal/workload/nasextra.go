@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"pacc/internal/mpi"
+)
+
+// The paper evaluates FT and IS; CG and MG are provided as library
+// breadth — they exercise the point-to-point and small-allreduce paths
+// the alltoall-heavy kernels do not, and give downstream users the other
+// two communication archetypes of the NPB suite (ring/transpose exchanges
+// and 3-D halo exchanges).
+
+// CGClass parameterizes the NAS CG (conjugate gradient) kernel.
+type CGClass struct {
+	Name string
+	// NA is the matrix order, NonZer the nonzeros per row.
+	NA     int64
+	NonZer int64
+	// OuterIters and InnerIters are the NPB iteration counts.
+	OuterIters int
+	InnerIters int
+}
+
+// NAS CG problem classes.
+var (
+	CGClassA = CGClass{Name: "A", NA: 14000, NonZer: 11, OuterIters: 15, InnerIters: 25}
+	CGClassB = CGClass{Name: "B", NA: 75000, NonZer: 13, OuterIters: 75, InnerIters: 25}
+	CGClassC = CGClass{Name: "C", NA: 150000, NonZer: 15, OuterIters: 75, InnerIters: 25}
+)
+
+// CG builds the conjugate-gradient skeleton: ranks form a 2D grid; every
+// inner iteration does one sparse matrix-vector product (compute +
+// transpose exchange of vector segments along the grid row) and two
+// 8-byte dot-product allreduces — CG's latency-bound signature.
+func CG(class CGClass) App {
+	return App{
+		Name: "cg." + class.Name,
+		Body: func(x *Ctx) {
+			p := x.C.Size()
+			rows := gridRows(p)
+			cols := p / rows
+			// Row communicator: ranks sharing a block row exchange
+			// vector segments.
+			rowC := x.C.SplitColor(
+				func(cr int) int { return cr / cols },
+				func(cr int) int { return cr % cols },
+			)
+			segBytes := class.NA * 8 / int64(cols)
+			flopsPerMatvec := 2 * float64(class.NA) * float64(class.NonZer)
+			for outer := 0; outer < class.OuterIters; outer++ {
+				for inner := 0; inner < class.InnerIters; inner++ {
+					x.ComputeFlops(flopsPerMatvec)
+					// Transpose exchange: swap segments with the
+					// mirrored rank in the row.
+					if rowC != nil && rowC.Size() > 1 {
+						peer := rowC.Size() - 1 - rowC.Rank()
+						if peer != rowC.Rank() {
+							tag := rowC.TagBlock()
+							rowC.SendRecv(peer, segBytes, peer, segBytes, tag)
+						}
+					}
+					x.Allreduce(8) // rho
+					x.Allreduce(8) // alpha denominator
+				}
+				x.Allreduce(8) // residual norm
+			}
+		},
+	}
+}
+
+// gridRows picks the most-square factorization rows*cols = p, rows<=cols.
+func gridRows(p int) int {
+	best := 1
+	for r := 1; r*r <= p; r++ {
+		if p%r == 0 {
+			best = r
+		}
+	}
+	return best
+}
+
+// MGClass parameterizes the NAS MG (multigrid) kernel.
+type MGClass struct {
+	Name string
+	// Dim is the edge of the cubic grid.
+	Dim int
+	// Iters is the number of V-cycles.
+	Iters int
+}
+
+// NAS MG problem classes.
+var (
+	MGClassA = MGClass{Name: "A", Dim: 256, Iters: 4}
+	MGClassB = MGClass{Name: "B", Dim: 256, Iters: 20}
+	MGClassC = MGClass{Name: "C", Dim: 512, Iters: 20}
+)
+
+// MG builds the multigrid skeleton: ranks form a 3D grid; each V-cycle
+// walks the level hierarchy down and up, doing smoothing compute and
+// six-face halo exchanges whose faces shrink fourfold per level — the
+// NPB communication pattern with the widest message-size spread.
+func MG(class MGClass) App {
+	return App{
+		Name: "mg." + class.Name,
+		Body: func(x *Ctx) {
+			p := x.C.Size()
+			px, py, pz := gridFactor3(p)
+			me := x.C.Rank()
+			coord := [3]int{me % px, (me / px) % py, me / (px * py)}
+			dims := [3]int{px, py, pz}
+			neighbor := func(axis, dir int) int {
+				c := coord
+				c[axis] = (c[axis] + dir + dims[axis]) % dims[axis]
+				return c[0] + c[1]*px + c[2]*px*py
+			}
+			levels := 0
+			for d := class.Dim; d >= 4; d /= 2 {
+				levels++
+			}
+			for it := 0; it < class.Iters; it++ {
+				for _, down := range []bool{true, false} {
+					for l := 0; l < levels; l++ {
+						lvl := l
+						if !down {
+							lvl = levels - 1 - l
+						}
+						dim := class.Dim >> lvl
+						pointsPerRank := float64(dim) * float64(dim) * float64(dim) / float64(p)
+						// Smoothing: ~15 flops per point.
+						x.ComputeFlops(15 * pointsPerRank * float64(p))
+						// Halo: one face per direction per axis.
+						local := math.Cbrt(pointsPerRank)
+						faceBytes := int64(local*local) * 8
+						if faceBytes < 8 {
+							faceBytes = 8
+						}
+						for axis := 0; axis < 3; axis++ {
+							if dims[axis] == 1 {
+								continue
+							}
+							plus := neighbor(axis, +1)
+							minus := neighbor(axis, -1)
+							tag := x.C.TagBlock()
+							x.haloExchange(plus, minus, faceBytes, tag)
+						}
+					}
+				}
+				// Residual norm.
+				x.Allreduce(8)
+			}
+		},
+	}
+}
+
+// haloExchange swaps equal faces with the +1 and -1 neighbors along one
+// axis (both directions concurrently).
+func (x *Ctx) haloExchange(plus, minus int, bytes int64, tag int) {
+	if plus == x.C.Rank() || minus == x.C.Rank() {
+		return
+	}
+	start := x.R.Now()
+	rq1 := x.C.Irecv(minus, bytes, tag)
+	rq2 := x.C.Irecv(plus, bytes, tag+1)
+	sq1 := x.C.Isend(plus, bytes, tag)
+	sq2 := x.C.Isend(minus, bytes, tag+1)
+	mpi.WaitAll(sq1, sq2, rq1, rq2)
+	x.comm.Add("total", x.R.Now().Sub(start))
+}
+
+// gridFactor3 factors p into the most-cubic px*py*pz.
+func gridFactor3(p int) (int, int, int) {
+	bestX, bestY, bestZ := 1, 1, p
+	bestScore := math.Inf(1)
+	for xf := 1; xf*xf*xf <= p; xf++ {
+		if p%xf != 0 {
+			continue
+		}
+		rem := p / xf
+		for yf := xf; yf*yf <= rem; yf++ {
+			if rem%yf != 0 {
+				continue
+			}
+			zf := rem / yf
+			score := float64(zf - xf)
+			if score < bestScore {
+				bestScore = score
+				bestX, bestY, bestZ = xf, yf, zf
+			}
+		}
+	}
+	return bestX, bestY, bestZ
+}
+
+// NASExtraApp resolves the CG/MG kernels by NPB name.
+func NASExtraApp(name string) (App, error) {
+	switch name {
+	case "cg.A":
+		return CG(CGClassA), nil
+	case "cg.B":
+		return CG(CGClassB), nil
+	case "cg.C":
+		return CG(CGClassC), nil
+	case "mg.A":
+		return MG(MGClassA), nil
+	case "mg.B":
+		return MG(MGClassB), nil
+	case "mg.C":
+		return MG(MGClassC), nil
+	default:
+		return App{}, fmt.Errorf("workload: unknown NAS kernel %q", name)
+	}
+}

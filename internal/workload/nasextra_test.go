@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"pacc/internal/collective"
+)
+
+func TestGridFactors(t *testing.T) {
+	if r := gridRows(64); r != 8 {
+		t.Errorf("gridRows(64) = %d, want 8", r)
+	}
+	if r := gridRows(32); r != 4 {
+		t.Errorf("gridRows(32) = %d, want 4", r)
+	}
+	if r := gridRows(7); r != 1 {
+		t.Errorf("gridRows(7) = %d, want 1", r)
+	}
+	for _, p := range []int{8, 16, 32, 64, 48} {
+		x, y, z := gridFactor3(p)
+		if x*y*z != p {
+			t.Errorf("gridFactor3(%d) = %d*%d*%d", p, x, y, z)
+		}
+		if x > y || y > z {
+			t.Errorf("gridFactor3(%d) not ordered: %d,%d,%d", p, x, y, z)
+		}
+	}
+	if x, y, z := gridFactor3(64); x != 4 || y != 4 || z != 4 {
+		t.Errorf("gridFactor3(64) = %d,%d,%d, want cubic", x, y, z)
+	}
+}
+
+func TestNASExtraLookup(t *testing.T) {
+	for _, name := range []string{"cg.A", "cg.B", "cg.C", "mg.A", "mg.B", "mg.C"} {
+		app, err := NASExtraApp(name)
+		if err != nil || app.Name != name {
+			t.Errorf("%s: %v / %q", name, err, app.Name)
+		}
+	}
+	if _, err := NASExtraApp("lu.C"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestCGRuns(t *testing.T) {
+	cg := CGClassA
+	cg.OuterIters = 2
+	rep := runSmall(t, CG(cg), collective.NoPower)
+	if rep.Elapsed <= 0 || rep.EnergyJ <= 0 {
+		t.Fatalf("degenerate report %+v", rep)
+	}
+	if rep.CommTime <= 0 {
+		t.Fatal("CG must communicate (allreduces + transpose exchanges)")
+	}
+}
+
+func TestMGRuns(t *testing.T) {
+	mg := MGClassA
+	mg.Iters = 1
+	rep := runSmall(t, MG(mg), collective.NoPower)
+	if rep.Elapsed <= 0 {
+		t.Fatalf("degenerate report %+v", rep)
+	}
+	if rep.CommTime <= 0 {
+		t.Fatal("MG must spend time in halo exchanges")
+	}
+}
+
+// TestCGMGPowerSchemes: the power schemes must run and save energy on the
+// new kernels too (FreqScaling at minimum; CG/MG are latency-bound so
+// savings are small but the ordering must not invert by much).
+func TestCGMGPowerSchemes(t *testing.T) {
+	cg := CGClassA
+	cg.OuterIters = 2
+	mg := MGClassA
+	mg.Iters = 1
+	for _, app := range []App{CG(cg), MG(mg)} {
+		eNo := runSmall(t, app, collective.NoPower).EnergyJ
+		ePr := runSmall(t, app, collective.Proposed).EnergyJ
+		if ePr > eNo*1.02 {
+			t.Errorf("%s: proposed energy %.1f J well above default %.1f J", app.Name, ePr, eNo)
+		}
+	}
+}
+
+// TestMGScales: 32 -> 64 ranks must speed MG up.
+func TestMGScales(t *testing.T) {
+	mg := MGClassB
+	mg.Iters = 2
+	cfg32, _ := ClusterFor(32)
+	cfg64, _ := ClusterFor(64)
+	r32, err := Run(MG(mg), cfg32, collective.NoPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, err := Run(MG(mg), cfg64, collective.NoPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r64.Elapsed >= r32.Elapsed {
+		t.Fatalf("MG did not scale: %v at 32 vs %v at 64", r32.Elapsed, r64.Elapsed)
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if SchemeDefault.String() != "default" || SchemeBlackBox.String() != "black-box phase DVFS" {
+		t.Error("scheme strings wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme should format")
+	}
+}
+
+// TestBlackBoxScheme: phase-detection DVFS saves energy vs default and
+// leaves cores at fmax.
+func TestBlackBoxScheme(t *testing.T) {
+	ds := CPMDWat32Inp1
+	ds.Steps = 2
+	app := CPMD(ds)
+	cfg, err := ClusterFor(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repDef, err := RunScheme(app, cfg, SchemeDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBB, err := RunScheme(app, cfg, SchemeBlackBox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPr, err := RunScheme(app, cfg, SchemeProposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repBB.EnergyJ >= repDef.EnergyJ {
+		t.Fatalf("black-box energy %.1f J not below default %.1f J", repBB.EnergyJ, repDef.EnergyJ)
+	}
+	// The paper's positioning: algorithm-aware throttling beats the
+	// black-box baseline.
+	if repPr.EnergyJ >= repBB.EnergyJ {
+		t.Fatalf("proposed %.1f J not below black-box %.1f J", repPr.EnergyJ, repBB.EnergyJ)
+	}
+	if repBB.Elapsed.Seconds() > repDef.Elapsed.Seconds()*1.10 {
+		t.Fatalf("black-box overhead too high: %v vs %v", repBB.Elapsed, repDef.Elapsed)
+	}
+}

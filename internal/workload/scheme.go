@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+
+	"pacc/internal/collective"
+	"pacc/internal/mpi"
+)
+
+// Scheme is a whole-application power policy. The first three wrap the
+// paper's per-call collective schemes; SchemeBlackBox reproduces the
+// related-work baseline the paper positions against ([5], [6]): an
+// adaptive runtime that detects communication *phases* and holds the CPU
+// at fmin across them, treating the collectives themselves as opaque.
+type Scheme int
+
+const (
+	// SchemeDefault runs everything at fmax.
+	SchemeDefault Scheme = iota
+	// SchemeFreqScaling applies per-call DVFS inside each collective.
+	SchemeFreqScaling
+	// SchemeProposed applies the paper's power-aware algorithms.
+	SchemeProposed
+	// SchemeBlackBox scales to fmin at the first collective of a
+	// communication phase and back to fmax when computation resumes,
+	// without touching the algorithms (no throttling).
+	SchemeBlackBox
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeDefault:
+		return "default"
+	case SchemeFreqScaling:
+		return "freq-scaling (per-call)"
+	case SchemeProposed:
+		return "proposed"
+	case SchemeBlackBox:
+		return "black-box phase DVFS"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// powerMode maps a scheme onto the per-call collective mode.
+func (s Scheme) powerMode() collective.PowerMode {
+	switch s {
+	case SchemeFreqScaling:
+		return collective.FreqScaling
+	case SchemeProposed:
+		return collective.Proposed
+	default:
+		// Default and BlackBox leave the collectives unmodified;
+		// BlackBox manages the frequency around them instead.
+		return collective.NoPower
+	}
+}
+
+// RunScheme executes the app under a whole-application power scheme.
+func RunScheme(app App, cfg mpi.Config, scheme Scheme) (Report, error) {
+	if scheme != SchemeBlackBox {
+		return Run(app, cfg, scheme.powerMode())
+	}
+	wrapped := App{
+		Name: app.Name,
+		Body: func(x *Ctx) {
+			x.blackBox = true
+			app.Body(x)
+			// Leave the core clean at fmax.
+			x.leaveComm()
+		},
+	}
+	return Run(wrapped, cfg, collective.NoPower)
+}
+
+// The black-box hooks live on Ctx: every collective entry marks the rank
+// "in a communication phase" (scale down on the first), and compute
+// marks it out (scale back up). The per-rank granularity mirrors the
+// adaptive per-process DVFS of [5].
+
+func (x *Ctx) enterComm() {
+	if x.blackBox && !x.lowFreq {
+		x.R.ScaleDown()
+		x.lowFreq = true
+	}
+}
+
+func (x *Ctx) leaveComm() {
+	if x.blackBox && x.lowFreq {
+		x.R.ScaleUp()
+		x.lowFreq = false
+	}
+}

@@ -1,0 +1,254 @@
+// Package workload provides phase-level skeletons of the applications the
+// paper evaluates — NAS FT and IS kernels and the CPMD ab-initio MD code —
+// driving the collective library with the real codes' communication
+// patterns and calibrated compute phases.
+//
+// A skeleton preserves what the energy result depends on: the ratio of
+// computation to communication, the alltoall message sizes and counts,
+// and the strong-scaling behavior from 32 to 64 processes. Absolute
+// constants are calibrated so the simulated testbed lands near the
+// paper's Table I/II energies under the Default (No-Power) scheme; the
+// power-aware schemes are then measured, not fitted.
+package workload
+
+import (
+	"fmt"
+
+	"pacc/internal/collective"
+	"pacc/internal/mpi"
+	"pacc/internal/power"
+	"pacc/internal/simtime"
+)
+
+// CoreFlopsPerSec is the effective per-core computation rate at fmax used
+// to convert workload flop counts into compute time (Nehalem-era sustained
+// rate for these codes, not peak).
+const CoreFlopsPerSec = 1.4e9
+
+// Ctx is the per-rank execution context handed to application bodies.
+type Ctx struct {
+	R    *mpi.Rank
+	C    *mpi.Comm
+	Mode collective.PowerMode
+	// a2a accumulates time spent in Alltoall/Alltoallv (the paper's
+	// figures 9 and 10 track it separately); comm accumulates all
+	// collective time.
+	a2a  *collective.Trace
+	comm *collective.Trace
+	// blackBox/lowFreq implement SchemeBlackBox's phase-detection DVFS.
+	blackBox bool
+	lowFreq  bool
+	// ledger attributes this rank's core energy to compute/comm phases.
+	ledger *power.Ledger
+}
+
+// markPhase switches this rank's energy-attribution label, closing the
+// open interval first so attribution is exact.
+func (x *Ctx) markPhase(label string) {
+	if x.ledger == nil {
+		return
+	}
+	x.R.Core().EnergyJoules() // force accrual at the boundary
+	x.ledger.SetPhase(label)
+}
+
+// opts builds collective options for an alltoall-class call.
+func (x *Ctx) a2aOpts() collective.Options {
+	return collective.Options{Power: x.Mode, Trace: x.a2a}
+}
+
+func (x *Ctx) commOpts() collective.Options {
+	return collective.Options{Power: x.Mode, Trace: x.comm}
+}
+
+// Alltoall runs a personalized exchange of bytes per pair.
+func (x *Ctx) Alltoall(bytes int64) {
+	x.enterComm()
+	x.markPhase("comm")
+	collective.Alltoall(x.C, bytes, x.a2aOpts())
+	x.markPhase("compute")
+}
+
+// Alltoallv runs a vector exchange.
+func (x *Ctx) Alltoallv(sizeOf func(src, dst int) int64) {
+	x.enterComm()
+	x.markPhase("comm")
+	collective.Alltoallv(x.C, sizeOf, x.a2aOpts())
+	x.markPhase("compute")
+}
+
+// Allreduce combines bytes across all ranks.
+func (x *Ctx) Allreduce(bytes int64) {
+	x.enterComm()
+	x.markPhase("comm")
+	collective.Allreduce(x.C, bytes, x.commOpts())
+	x.markPhase("compute")
+}
+
+// Bcast broadcasts from rank 0.
+func (x *Ctx) Bcast(bytes int64) {
+	x.enterComm()
+	x.markPhase("comm")
+	collective.Bcast(x.C, 0, bytes, x.commOpts())
+	x.markPhase("compute")
+}
+
+// Reduce reduces to rank 0.
+func (x *Ctx) Reduce(bytes int64) {
+	x.enterComm()
+	x.markPhase("comm")
+	collective.Reduce(x.C, 0, bytes, x.commOpts())
+	x.markPhase("compute")
+}
+
+// Barrier synchronizes the job.
+func (x *Ctx) Barrier() {
+	x.enterComm()
+	x.markPhase("comm")
+	collective.Barrier(x.C)
+	x.markPhase("compute")
+}
+
+// ComputeFlops charges totalFlops of work divided evenly across ranks.
+// Under SchemeBlackBox it ends any open communication phase first.
+func (x *Ctx) ComputeFlops(totalFlops float64) {
+	x.leaveComm()
+	perRank := totalFlops / float64(x.C.Size())
+	x.R.Compute(simtime.DurationOf(perRank / CoreFlopsPerSec))
+}
+
+// App is a runnable application skeleton.
+type App struct {
+	// Name identifies the application and dataset (e.g. "ft.C",
+	// "cpmd/wat-32-inp-1").
+	Name string
+	// Body is the SPMD program.
+	Body func(x *Ctx)
+}
+
+// Report summarizes one application run.
+type Report struct {
+	App     string
+	Procs   int
+	PPN     int
+	Mode    collective.PowerMode
+	Elapsed simtime.Duration
+	// EnergyJ is whole-cluster energy (cores + node base) over the run.
+	EnergyJ float64
+	// AlltoallTime is rank 0's cumulative time inside Alltoall and
+	// Alltoallv calls.
+	AlltoallTime simtime.Duration
+	// CommTime adds the other collectives.
+	CommTime simtime.Duration
+	// CommEnergyJ is the core energy all ranks accrued while inside
+	// collective calls (exact per-rank attribution); ComputeEnergyJ is
+	// the rest of the core energy. The difference to EnergyJ is node
+	// base power.
+	CommEnergyJ    float64
+	ComputeEnergyJ float64
+}
+
+// CommEnergyFraction returns the share of core energy spent communicating.
+func (rep Report) CommEnergyFraction() float64 {
+	total := rep.CommEnergyJ + rep.ComputeEnergyJ
+	if total <= 0 {
+		return 0
+	}
+	return rep.CommEnergyJ / total
+}
+
+// EnergyKJ returns the energy in kilojoules (the paper's table unit).
+func (rep Report) EnergyKJ() float64 { return rep.EnergyJ / 1000 }
+
+func (rep Report) String() string {
+	return fmt.Sprintf("%s p=%d %v: %.2fs, %.2f KJ, alltoall %.2fs",
+		rep.App, rep.Procs, rep.Mode, rep.Elapsed.Seconds(), rep.EnergyKJ(), rep.AlltoallTime.Seconds())
+}
+
+// Run executes the app on a fresh world built from cfg with the given
+// power scheme.
+func Run(app App, cfg mpi.Config, mode collective.PowerMode) (Report, error) {
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	a2aTraces := make([]*collective.Trace, cfg.NProcs)
+	commTraces := make([]*collective.Trace, cfg.NProcs)
+	ledgers := make([]*power.Ledger, cfg.NProcs)
+	w.Launch(func(r *mpi.Rank) {
+		led := power.NewLedger()
+		led.SetPhase("compute")
+		r.Core().AttachLedger(led)
+		ledgers[r.ID()] = led
+		x := &Ctx{
+			R:      r,
+			C:      mpi.CommWorld(r),
+			Mode:   mode,
+			a2a:    collective.NewTrace(),
+			comm:   collective.NewTrace(),
+			ledger: led,
+		}
+		a2aTraces[r.ID()] = x.a2a
+		commTraces[r.ID()] = x.comm
+		app.Body(x)
+		x.markPhase("compute")
+		r.Core().AttachLedger(nil)
+	})
+	elapsed, err := w.Run()
+	if err != nil {
+		return Report{}, fmt.Errorf("workload %s: %w", app.Name, err)
+	}
+	rep := Report{
+		App:          app.Name,
+		Procs:        cfg.NProcs,
+		PPN:          cfg.PPN,
+		Mode:         mode,
+		Elapsed:      elapsed,
+		EnergyJ:      w.Station().EnergyJoules(),
+		AlltoallTime: a2aTraces[0].Phase(collective.PhaseTotal),
+	}
+	rep.CommTime = rep.AlltoallTime + commTraces[0].Phase(collective.PhaseTotal)
+	for _, led := range ledgers {
+		rep.CommEnergyJ += led.Joules("comm")
+		rep.ComputeEnergyJ += led.Joules("compute") + led.Joules("init")
+	}
+	return rep, nil
+}
+
+// ClusterFor returns the paper's job configuration for the given process
+// count: 64 processes fill all 8 nodes; 32 processes use 4 nodes in the
+// 8-way layout (both sockets populated, as the power-aware algorithms
+// assume).
+func ClusterFor(procs int) (mpi.Config, error) {
+	cfg := mpi.DefaultConfig()
+	switch {
+	case procs <= 0 || procs%cfg.Topo.CoresPerNode() != 0:
+		return cfg, fmt.Errorf("workload: procs %d must be a positive multiple of %d",
+			procs, cfg.Topo.CoresPerNode())
+	case procs > cfg.Topo.Nodes*cfg.Topo.CoresPerNode():
+		return cfg, fmt.Errorf("workload: procs %d exceeds the 64-core testbed", procs)
+	}
+	cfg.NProcs = procs
+	cfg.PPN = cfg.Topo.CoresPerNode()
+	cfg.Topo.Nodes = procs / cfg.PPN
+	return cfg, nil
+}
+
+// Schemes lists the paper's three power schemes in presentation order.
+func Schemes() []collective.PowerMode {
+	return []collective.PowerMode{collective.NoPower, collective.FreqScaling, collective.Proposed}
+}
+
+// PowerModeLabel renders the paper's row labels.
+func PowerModeLabel(m collective.PowerMode) string {
+	switch m {
+	case collective.NoPower:
+		return "Default (No-Power)"
+	case collective.FreqScaling:
+		return "Freq-Scaling"
+	case collective.Proposed:
+		return "Proposed"
+	default:
+		return m.String()
+	}
+}

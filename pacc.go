@@ -1,0 +1,278 @@
+// Package pacc (Power-Aware Collective Communication) reproduces, as a
+// simulation-backed Go library, the system of Kandalla, Mancini, Sur and
+// Panda, "Designing Power-Aware Collective Communication Algorithms for
+// InfiniBand Clusters" (ICPP 2010).
+//
+// The library simulates an InfiniBand cluster — nodes, sockets, cores,
+// a QDR-like switched fabric, per-core DVFS (P-states) and CPU throttling
+// (T-states) — and runs MPI-style collective algorithms over it: the
+// MVAPICH2 defaults and the paper's power-aware redesigns, which bracket
+// every collective with DVFS and schedule socket-level throttling through
+// the communication phases. Per-core energy is integrated exactly, so
+// experiments report latency, power draw and energy for each scheme.
+//
+// Quick start:
+//
+//	cfg := pacc.DefaultConfig()             // 8 nodes x 2 sockets x 4 cores
+//	w, _ := pacc.NewWorld(cfg)
+//	w.Launch(func(r *pacc.Rank) {
+//		c := pacc.CommWorld(r)
+//		pacc.Alltoall(c, 256<<10, pacc.CollectiveOptions{Power: pacc.Proposed})
+//	})
+//	elapsed, _ := w.Run()
+//	fmt.Println(elapsed, w.Station().EnergyJoules())
+//
+// The cmd/powercoll tool regenerates every figure and table of the
+// paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package pacc
+
+import (
+	"pacc/internal/collective"
+	"pacc/internal/experiments"
+	"pacc/internal/model"
+	"pacc/internal/mpi"
+	"pacc/internal/network"
+	"pacc/internal/power"
+	"pacc/internal/topology"
+	"pacc/internal/trace"
+	"pacc/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Config assembles a simulated MPI job: topology, network, power
+	// model, rank layout and progression mode.
+	Config = mpi.Config
+	// World is one simulated job.
+	World = mpi.World
+	// Rank is one MPI process.
+	Rank = mpi.Rank
+	// Comm is a communicator handle.
+	Comm = mpi.Comm
+	// Request is a nonblocking-operation handle.
+	Request = mpi.Request
+	// ProgressionMode selects polling or blocking waits.
+	ProgressionMode = mpi.ProgressionMode
+	// PowerModel holds the DVFS/throttling power calibration.
+	PowerModel = power.Model
+	// TState is a CPU throttling level (T0..T7).
+	TState = power.TState
+	// PowerMode selects a power scheme for one collective call.
+	PowerMode = collective.PowerMode
+	// CollectiveOptions tunes one collective call.
+	CollectiveOptions = collective.Options
+	// Trace accumulates per-phase timings of collective calls.
+	Trace = collective.Trace
+	// TopologyConfig describes the cluster shape.
+	TopologyConfig = topology.Config
+	// BindPolicy selects the rank-to-core binding.
+	BindPolicy = topology.BindPolicy
+	// App is a runnable application skeleton.
+	App = workload.App
+	// Report summarizes an application run.
+	Report = workload.Report
+	// ModelParams holds the paper's analytical model constants.
+	ModelParams = model.Params
+	// ExperimentSpec describes one registered paper experiment.
+	ExperimentSpec = experiments.Spec
+	// ExperimentResult is an experiment's output.
+	ExperimentResult = experiments.Result
+	// ExperimentOptions tunes an experiment run.
+	ExperimentOptions = experiments.Options
+)
+
+// Progression modes.
+const (
+	Polling  = mpi.Polling
+	Blocking = mpi.Blocking
+)
+
+// Power schemes (the paper's three comparison points).
+const (
+	NoPower     = collective.NoPower
+	FreqScaling = collective.FreqScaling
+	Proposed    = collective.Proposed
+)
+
+// Binding policies.
+const (
+	BindBunch      = topology.BindBunch
+	BindScatter    = topology.BindScatter
+	BindSequential = topology.BindSequential
+)
+
+// DefaultConfig returns the paper's testbed: 8 Nehalem-style nodes of two
+// quad-core sockets, InfiniBand QDR, 64 ranks bunch-bound, polling mode.
+func DefaultConfig() Config { return mpi.DefaultConfig() }
+
+// DefaultPowerModel returns the calibrated power model (≈2.3 KW loaded).
+func DefaultPowerModel() *PowerModel { return power.DefaultModel() }
+
+// LinkPowerConfig calibrates per-port network power and dynamic link
+// sleep states (set it on Config.Net.LinkPower).
+type LinkPowerConfig = network.LinkPowerConfig
+
+// DefaultLinkPower returns QDR-era per-port power constants with dynamic
+// sleep enabled.
+func DefaultLinkPower() LinkPowerConfig { return network.DefaultLinkPower() }
+
+// NewWorld validates cfg and builds the simulated job.
+func NewWorld(cfg Config) (*World, error) { return mpi.NewWorld(cfg) }
+
+// LoadConfig reads and validates a JSON configuration file (a missing
+// power model defaults).
+func LoadConfig(path string) (Config, error) { return mpi.LoadConfig(path) }
+
+// SaveConfig writes a configuration as indented JSON.
+func SaveConfig(path string, cfg Config) error { return mpi.SaveConfig(path, cfg) }
+
+// CommWorld returns the communicator over all ranks (call from a rank
+// body).
+func CommWorld(r *Rank) *Comm { return mpi.CommWorld(r) }
+
+// WaitAll completes a set of requests in order (nil entries are skipped).
+func WaitAll(reqs ...*Request) { mpi.WaitAll(reqs...) }
+
+// NewTrace returns an empty phase-timing trace.
+func NewTrace() *Trace { return collective.NewTrace() }
+
+// TraceRecorder records per-core power-state timelines for Chrome-trace
+// export (chrome://tracing / Perfetto).
+type TraceRecorder = trace.Recorder
+
+// AttachTrace hooks every core of the world for timeline recording; call
+// before Launch. Export with WriteChromeTrace after Run.
+func AttachTrace(w *World) *TraceRecorder {
+	return trace.Attach(w.Station(), w.Config().Topo.CoresPerNode())
+}
+
+// Collective operations (SPMD: every rank of the communicator calls them
+// with identical arguments).
+
+// Alltoall performs a personalized all-to-all exchange of bytes per pair.
+func Alltoall(c *Comm, bytes int64, opt CollectiveOptions) { collective.Alltoall(c, bytes, opt) }
+
+// Alltoallv performs a personalized exchange with per-pair sizes.
+func Alltoallv(c *Comm, sizeOf func(src, dst int) int64, opt CollectiveOptions) {
+	collective.Alltoallv(c, sizeOf, opt)
+}
+
+// AlltoallPairwise forces the pairwise-exchange algorithm.
+func AlltoallPairwise(c *Comm, bytes int64, opt CollectiveOptions) {
+	collective.AlltoallPairwise(c, bytes, opt)
+}
+
+// AlltoallBruck forces the hypercube algorithm.
+func AlltoallBruck(c *Comm, bytes int64, opt CollectiveOptions) {
+	collective.AlltoallBruck(c, bytes, opt)
+}
+
+// Bcast broadcasts from root with the multi-core aware algorithm.
+func Bcast(c *Comm, root int, bytes int64, opt CollectiveOptions) {
+	collective.Bcast(c, root, bytes, opt)
+}
+
+// Reduce combines onto root with the multi-core aware algorithm.
+func Reduce(c *Comm, root int, bytes int64, opt CollectiveOptions) {
+	collective.Reduce(c, root, bytes, opt)
+}
+
+// Allgather gathers bytes from every rank to every rank.
+func Allgather(c *Comm, bytes int64, opt CollectiveOptions) { collective.Allgather(c, bytes, opt) }
+
+// Allreduce combines bytes across all ranks, result everywhere.
+func Allreduce(c *Comm, bytes int64, opt CollectiveOptions) { collective.Allreduce(c, bytes, opt) }
+
+// Gather collects per-rank blocks onto root.
+func Gather(c *Comm, root int, bytes int64, opt CollectiveOptions) {
+	collective.Gather(c, root, bytes, opt)
+}
+
+// Scatter distributes per-rank blocks from root.
+func Scatter(c *Comm, root int, bytes int64, opt CollectiveOptions) {
+	collective.Scatter(c, root, bytes, opt)
+}
+
+// Barrier synchronizes the communicator.
+func Barrier(c *Comm) { collective.Barrier(c) }
+
+// ScatterTopoAware distributes blocks through the rack hierarchy (the
+// paper's §VIII topology-aware direction), optionally throttling whole
+// racks during the inter-rack phase.
+func ScatterTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) {
+	collective.ScatterTopoAware(c, root, bytes, opt)
+}
+
+// GatherTopoAware collects blocks through the rack hierarchy.
+func GatherTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) {
+	collective.GatherTopoAware(c, root, bytes, opt)
+}
+
+// BcastTopoAware broadcasts through the rack hierarchy.
+func BcastTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) {
+	collective.BcastTopoAware(c, root, bytes, opt)
+}
+
+// Workloads (the paper's applications).
+
+// FTClassC is the NAS FT class C kernel skeleton.
+func FTClassC() App { return workload.FT(workload.FTClassC) }
+
+// ISClassC is the NAS IS class C kernel skeleton.
+func ISClassC() App { return workload.IS(workload.ISClassC) }
+
+// NASApp resolves any provided NPB kernel skeleton by its NPB name:
+// ft/is (the paper's kernels) and cg/mg (library breadth), classes A-C,
+// e.g. "ft.C" or "mg.B".
+func NASApp(name string) (App, error) {
+	if app, err := workload.NASApp(name); err == nil {
+		return app, nil
+	}
+	return workload.NASExtraApp(name)
+}
+
+// CPMDApp returns the CPMD skeleton for one of the paper's datasets
+// ("wat-32-inp-1", "wat-32-inp-2", "ta-inp-md").
+func CPMDApp(dataset string) (App, error) {
+	ds, err := workload.CPMDDatasetByName(dataset)
+	if err != nil {
+		return App{}, err
+	}
+	return workload.CPMD(ds), nil
+}
+
+// ClusterFor returns the paper's job configuration for 32 or 64 ranks.
+func ClusterFor(procs int) (Config, error) { return workload.ClusterFor(procs) }
+
+// RunApp executes an application skeleton under the given power scheme.
+func RunApp(app App, cfg Config, mode PowerMode) (Report, error) {
+	return workload.Run(app, cfg, mode)
+}
+
+// Analytical model.
+
+// ModelFromConfig derives the paper's eq (1)-(8) parameters from a
+// simulator configuration.
+func ModelFromConfig(cfg Config) ModelParams { return model.FromConfig(cfg) }
+
+// Experiments (the paper's figures and tables).
+
+// Experiments lists every registered paper experiment in order.
+func Experiments() []ExperimentSpec { return experiments.All() }
+
+// RunExperiment runs one experiment by id ("fig2a" ... "table2",
+// ablations) at the given scale (1.0 = paper fidelity).
+func RunExperiment(id string, scale float64) (*ExperimentResult, error) {
+	spec, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return spec.Run(experiments.Options{Scale: scale})
+}
+
+// UnknownExperimentError reports an unregistered experiment id.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "pacc: unknown experiment " + e.ID
+}

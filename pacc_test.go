@@ -1,0 +1,102 @@
+package pacc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := DefaultConfig()
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(func(r *Rank) {
+		c := CommWorld(r)
+		Alltoall(c, 64<<10, CollectiveOptions{Power: Proposed})
+		Bcast(c, 0, 64<<10, CollectiveOptions{})
+		Barrier(c)
+	})
+	elapsed, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if w.Station().EnergyJoules() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestFacadeCollectives(t *testing.T) {
+	cfg, err := ClusterFor(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(func(r *Rank) {
+		c := CommWorld(r)
+		AlltoallPairwise(c, 32<<10, CollectiveOptions{})
+		AlltoallBruck(c, 512, CollectiveOptions{})
+		Alltoallv(c, func(src, dst int) int64 { return 1024 }, CollectiveOptions{})
+		Reduce(c, 0, 4<<10, CollectiveOptions{Power: FreqScaling})
+		Allgather(c, 2<<10, CollectiveOptions{})
+		Allreduce(c, 2<<10, CollectiveOptions{})
+		Gather(c, 0, 2<<10, CollectiveOptions{})
+		Scatter(c, 0, 2<<10, CollectiveOptions{})
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeApps(t *testing.T) {
+	app, err := CPMDApp("wat-32-inp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "cpmd/wat-32-inp-1" {
+		t.Fatalf("app name %q", app.Name)
+	}
+	if _, err := CPMDApp("missing"); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+	if FTClassC().Name != "ft.C" || ISClassC().Name != "is.C" {
+		t.Fatal("NAS app names wrong")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) < 13 {
+		t.Fatalf("only %d experiments registered", len(Experiments()))
+	}
+	res, err := RunExperiment("fig2c", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig2c" {
+		t.Fatalf("result id %q", res.ID)
+	}
+	_, err = RunExperiment("not-an-experiment", 1)
+	var ue *UnknownExperimentError
+	if !errors.As(err, &ue) || ue.ID != "not-an-experiment" {
+		t.Fatalf("want UnknownExperimentError, got %v", err)
+	}
+	if ue.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestFacadeModel(t *testing.T) {
+	par := ModelFromConfig(DefaultConfig())
+	if par.AlltoallTime(8, 8, 1<<20) <= 0 {
+		t.Fatal("model time not positive")
+	}
+	if DefaultPowerModel().Validate() != nil {
+		t.Fatal("default power model invalid")
+	}
+}
