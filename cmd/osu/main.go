@@ -135,7 +135,8 @@ func main() {
 		oneSize     = flag.String("size", "", "single message size (overrides -sizes)")
 		iters       = flag.Int("iters", 3, "timed iterations per size")
 		progression = flag.String("progression", "polling", "polling or blocking")
-		traceOut    = flag.String("trace", "", "write a Chrome trace of the last run to this file")
+		traceOut    = flag.String("trace", "", "write a merged Chrome trace (power + MPI + network + collective) of the last size's run to this file")
+		metricsOut  = flag.String("metrics", "", "write a metrics JSON snapshot of the last size's run to this file")
 		configPath  = flag.String("config", "", "load the base cluster configuration from a JSON file")
 		dumpConfig  = flag.String("dump-config", "", "write the default configuration to this file and exit")
 	)
@@ -191,8 +192,9 @@ func main() {
 		*procs, *ppn, *progression, mode, *iters)
 	fmt.Printf("%-12s %14s %14s\n", "size(B)", "latency(us)", "cluster(W)")
 
+	wantObs := *traceOut != "" || *metricsOut != ""
 	for _, size := range sizes {
-		lat, watts, rec, w, err := measure(baseCfg, call, size, *procs, *ppn, mode, *progression, *iters, *traceOut != "")
+		lat, watts, sess, err := measure(baseCfg, call, size, *procs, *ppn, mode, *progression, *iters, wantObs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "osu:", err)
 			os.Exit(1)
@@ -203,21 +205,21 @@ func main() {
 		} else {
 			fmt.Printf("%-12d %14.2f %14.0f\n", size, lat, watts)
 		}
-		if *traceOut != "" && size == sizes[len(sizes)-1] {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "osu:", err)
-				os.Exit(1)
+		if wantObs && size == sizes[len(sizes)-1] {
+			if *traceOut != "" {
+				if err := sess.WriteTraceFile(*traceOut); err != nil {
+					fmt.Fprintln(os.Stderr, "osu:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("# wrote merged Chrome trace to %s\n", *traceOut)
 			}
-			if err := rec.WriteChromeTrace(f, w.Engine().Now()); err != nil {
-				fmt.Fprintln(os.Stderr, "osu:", err)
-				os.Exit(1)
+			if *metricsOut != "" {
+				if err := sess.WriteMetricsFile(*metricsOut); err != nil {
+					fmt.Fprintln(os.Stderr, "osu:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("# wrote metrics snapshot to %s\n", *metricsOut)
 			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "osu:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("# wrote Chrome trace to %s\n", *traceOut)
 		}
 	}
 }
@@ -226,13 +228,13 @@ func main() {
 // returns the mean per-call latency (µs, from rank 0's trace) and mean
 // cluster power over the whole run.
 func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOptions), size int64,
-	procs, ppn int, mode pacc.PowerMode, progression string, iters int, wantTrace bool) (
-	float64, float64, *pacc.TraceRecorder, *pacc.World, error) {
+	procs, ppn int, mode pacc.PowerMode, progression string, iters int, wantObs bool) (
+	float64, float64, *pacc.ObsSession, error) {
 
 	cfg.NProcs = procs
 	cfg.PPN = ppn
 	if procs%ppn != 0 {
-		return 0, 0, nil, nil, fmt.Errorf("procs %d not a multiple of ppn %d", procs, ppn)
+		return 0, 0, nil, fmt.Errorf("procs %d not a multiple of ppn %d", procs, ppn)
 	}
 	cfg.Topo.Nodes = procs / ppn
 	switch progression {
@@ -241,15 +243,15 @@ func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOption
 	case "blocking":
 		cfg.Mode = pacc.Blocking
 	default:
-		return 0, 0, nil, nil, fmt.Errorf("unknown progression %q", progression)
+		return 0, 0, nil, fmt.Errorf("unknown progression %q", progression)
 	}
 	w, err := pacc.NewWorld(cfg)
 	if err != nil {
-		return 0, 0, nil, nil, err
+		return 0, 0, nil, err
 	}
-	var rec *pacc.TraceRecorder
-	if wantTrace {
-		rec = pacc.AttachTrace(w)
+	var sess *pacc.ObsSession
+	if wantObs {
+		sess = pacc.AttachObs(w)
 	}
 	var tr0 *pacc.Trace
 	w.Launch(func(r *pacc.Rank) {
@@ -266,9 +268,9 @@ func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOption
 	})
 	elapsed, err := w.Run()
 	if err != nil {
-		return 0, 0, nil, nil, err
+		return 0, 0, nil, err
 	}
 	lat := tr0.Phase("total").Micros() / float64(iters)
 	watts := w.Station().EnergyJoules() / elapsed.Seconds()
-	return lat, watts, rec, w, nil
+	return lat, watts, sess, nil
 }

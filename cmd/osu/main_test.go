@@ -67,7 +67,7 @@ func TestOpNamesSortedAndComplete(t *testing.T) {
 // TestMeasureSmoke exercises the measurement loop end to end at a small
 // size.
 func TestMeasureSmoke(t *testing.T) {
-	lat, watts, _, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
+	lat, watts, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
 		16, 8, pacc.NoPower, "polling", 2, false)
 	if err != nil {
 		t.Fatal(err)
@@ -75,11 +75,11 @@ func TestMeasureSmoke(t *testing.T) {
 	if lat <= 0 || watts <= 0 {
 		t.Fatalf("degenerate measurement: %v us, %v W", lat, watts)
 	}
-	if _, _, _, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
+	if _, _, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
 		15, 8, pacc.NoPower, "polling", 1, false); err == nil {
 		t.Error("procs not multiple of ppn accepted")
 	}
-	if _, _, _, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
+	if _, _, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
 		16, 8, pacc.NoPower, "warp", 1, false); err == nil {
 		t.Error("bogus progression accepted")
 	}

@@ -7,12 +7,17 @@
 //	powercoll -exp fig7a            # run one experiment, print text
 //	powercoll -exp all -scale 0.2   # run everything at reduced scale
 //	powercoll -exp table1 -csv out/ # also write CSV files
+//	powercoll -trace t.json -metrics m.json -obs alltoall:256K:proposed
+//	                                # capture an instrumented demo run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"pacc"
@@ -21,13 +26,26 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
-		scale = flag.Float64("scale", 1.0, "experiment scale in (0,1]; 1 = paper fidelity")
-		csv   = flag.String("csv", "", "directory to write CSV series/tables into")
-		htmlP = flag.String("html", "", "write an HTML report (inline SVG charts) to this file")
-		list  = flag.Bool("list", false, "list registered experiments and exit")
+		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
+		scale   = flag.Float64("scale", 1.0, "experiment scale in (0,1]; 1 = paper fidelity")
+		csv     = flag.String("csv", "", "directory to write CSV series/tables into")
+		htmlP   = flag.String("html", "", "write an HTML report (inline SVG charts) to this file")
+		list    = flag.Bool("list", false, "list registered experiments and exit")
+		traceP  = flag.String("trace", "", "write a merged Chrome trace of an instrumented demo run to this file")
+		metricP = flag.String("metrics", "", "write a metrics JSON snapshot of the demo run to this file")
+		obsSpec = flag.String("obs", "alltoall:256K:proposed", "demo run for -trace/-metrics as op:size:mode")
 	)
 	flag.Parse()
+
+	if *traceP != "" || *metricP != "" {
+		if err := captureObs(*obsSpec, *traceP, *metricP); err != nil {
+			fmt.Fprintln(os.Stderr, "powercoll:", err)
+			os.Exit(1)
+		}
+		if *exp == "" {
+			return
+		}
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -89,4 +107,103 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// obsOps maps demo-run operation names to collective calls on the paper's
+// default testbed.
+var obsOps = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions){
+	"alltoall":  pacc.Alltoall,
+	"bcast":     func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Bcast(c, 0, b, o) },
+	"reduce":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Reduce(c, 0, b, o) },
+	"allgather": pacc.Allgather,
+	"allreduce": pacc.Allreduce,
+	"gather":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Gather(c, 0, b, o) },
+	"scatter":   func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Scatter(c, 0, b, o) },
+}
+
+// captureObs runs one instrumented collective call on the default testbed
+// and writes the merged trace and/or metrics snapshot.
+func captureObs(spec, tracePath, metricsPath string) error {
+	op, bytes, mode, err := parseObsSpec(spec)
+	if err != nil {
+		return err
+	}
+	call := obsOps[op]
+	w, err := pacc.NewWorld(pacc.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	sess := pacc.AttachObs(w)
+	w.Launch(func(r *pacc.Rank) {
+		call(pacc.CommWorld(r), bytes, pacc.CollectiveOptions{Power: mode})
+	})
+	if _, err := w.Run(); err != nil {
+		return err
+	}
+	if tracePath != "" {
+		if err := sess.WriteTraceFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote merged Chrome trace of %s to %s\n", spec, tracePath)
+	}
+	if metricsPath != "" {
+		if err := sess.WriteMetricsFile(metricsPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics snapshot of %s to %s\n", spec, metricsPath)
+	}
+	return nil
+}
+
+// parseObsSpec splits an op:size:mode demo-run spec, e.g.
+// "alltoall:256K:proposed".
+func parseObsSpec(spec string) (string, int64, pacc.PowerMode, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return "", 0, 0, fmt.Errorf("bad -obs spec %q (want op:size:mode)", spec)
+	}
+	op := parts[0]
+	if _, ok := obsOps[op]; !ok {
+		names := make([]string, 0, len(obsOps))
+		for k := range obsOps {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		return "", 0, 0, fmt.Errorf("unknown -obs op %q (have: %s)", op, strings.Join(names, ", "))
+	}
+	bytes, err := parseSize(parts[1])
+	if err != nil {
+		return "", 0, 0, err
+	}
+	var mode pacc.PowerMode
+	switch parts[2] {
+	case "no-power", "default":
+		mode = pacc.NoPower
+	case "freq-scaling", "dvfs":
+		mode = pacc.FreqScaling
+	case "proposed", "power-aware":
+		mode = pacc.Proposed
+	default:
+		return "", 0, 0, fmt.Errorf("unknown -obs power mode %q (no-power, freq-scaling, proposed)", parts[2])
+	}
+	return op, bytes, mode, nil
+}
+
+// parseSize parses sizes like "512", "256K", "1M".
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
 }

@@ -11,7 +11,7 @@ import (
 // Proposed applies the §V-B throttle schedule during the leader phase.
 func Allgather(c *mpi.Comm, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "allgather", bytes, func() {
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { allgatherMC(c, bytes, opt, true) })
@@ -27,7 +27,7 @@ func Allgather(c *mpi.Comm, bytes int64, opt Options) {
 // one rank's block.
 func AllgatherRing(c *mpi.Comm, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "allgather_ring", bytes, func() {
 		run := func() { ringAllgather(c, bytes, c.TagBlock()) }
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			withFreqScaling(c, run)
@@ -42,7 +42,7 @@ func AllgatherRing(c *mpi.Comm, bytes int64, opt Options) {
 // fall back to the ring.
 func AllgatherRD(c *mpi.Comm, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "allgather_rd", bytes, func() {
 		run := func() {
 			n := c.Size()
 			if n&(n-1) != 0 {

@@ -12,7 +12,7 @@ import (
 // there (the §V-B observation about fully-participating algorithms).
 func Allreduce(c *mpi.Comm, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "allreduce", bytes, func() {
 		n := c.Size()
 		if n == 1 {
 			return
@@ -38,7 +38,7 @@ func Allreduce(c *mpi.Comm, bytes int64, opt Options) {
 // back to the composition otherwise).
 func AllreduceRD(c *mpi.Comm, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "allreduce_rd", bytes, func() {
 		n := c.Size()
 		if n&(n-1) != 0 {
 			inner := opt

@@ -17,7 +17,7 @@ const bruckThreshold = 8 << 10
 // phased, throttling-aware schedule (§V-A).
 func Alltoall(c *mpi.Comm, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "alltoall", bytes, func() {
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() {
@@ -43,7 +43,7 @@ func alltoallDefault(c *mpi.Comm, bytes int64, opt Options) {
 // message size (the paper's large-message baseline).
 func AlltoallPairwise(c *mpi.Comm, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "alltoall_pairwise", bytes, func() {
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { alltoallPowerAware(c, constSize(bytes), opt) })
@@ -58,7 +58,7 @@ func AlltoallPairwise(c *mpi.Comm, bytes int64, opt Options) {
 // AlltoallBruck runs the hypercube algorithm regardless of message size.
 func AlltoallBruck(c *mpi.Comm, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "alltoall_bruck", bytes, func() {
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			// Bruck is only used for small messages, where the
 			// phased schedule has nothing to hide behind; both
@@ -74,7 +74,7 @@ func AlltoallBruck(c *mpi.Comm, bytes int64, opt Options) {
 // sizeOf(src, dst) is the number of bytes src sends to dst (communicator
 // ranks). All ranks must pass size functions that agree.
 func Alltoallv(c *mpi.Comm, sizeOf func(src, dst int) int64, opt Options) {
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "alltoallv", -1, func() {
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { alltoallPowerAware(c, sizeOf, opt) })

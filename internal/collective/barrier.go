@@ -1,6 +1,9 @@
 package collective
 
-import "pacc/internal/mpi"
+import (
+	"pacc/internal/mpi"
+	"pacc/internal/obs"
+)
 
 // Barrier synchronizes all members of the communicator with the
 // dissemination algorithm: ceil(log2 P) rounds; in round k each rank
@@ -9,6 +12,16 @@ func Barrier(c *mpi.Comm) {
 	p := c.Size()
 	if p <= 1 {
 		return
+	}
+	r := c.Owner()
+	if b := r.World().Obs(); b != nil {
+		start := r.Now()
+		defer func() {
+			b.Span(r.ObsTrack(), "barrier", start, r.Now(), nil)
+			if c.Rank() == 0 {
+				b.Add(obs.CollectivePrefix+"barrier.calls", 1)
+			}
+		}()
 	}
 	me := c.Rank()
 	block := c.TagBlock()

@@ -18,7 +18,7 @@ func ctrlTag(block, k int) int { return block + (1 << 18) + k }
 // T4 during the network phase (§V-B, Figure 4).
 func Bcast(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "bcast", bytes, func() {
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { bcastMC(c, root, bytes, opt, true) })
@@ -36,7 +36,7 @@ func Bcast(c *mpi.Comm, root int, bytes int64, opt Options) {
 // without large penalties.
 func BcastBinomial(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "bcast_binomial", bytes, func() {
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			withFreqScaling(c, func() { binomialBcast(c, root, bytes, c.TagBlock()) })
 			return

@@ -9,7 +9,7 @@ import (
 // before forwarding, so message sizes grow toward the root.
 func Gather(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "gather", bytes, func() {
 		run := func() { binomialGather(c, root, bytes, c.TagBlock()) }
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			withFreqScaling(c, run)
@@ -24,7 +24,7 @@ func Gather(c *mpi.Comm, root int, bytes int64, opt Options) {
 // scatter half of the large-message broadcast).
 func Scatter(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "scatter", bytes, func() {
 		run := func() { binomialScatter(c, root, bytes, c.TagBlock()) }
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			withFreqScaling(c, run)

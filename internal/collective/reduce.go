@@ -14,7 +14,7 @@ import (
 // socket to T4 during the network phase).
 func Reduce(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "reduce", bytes, func() {
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { reduceMC(c, root, bytes, opt, true) })
@@ -30,7 +30,7 @@ func Reduce(c *mpi.Comm, root int, bytes int64, opt Options) {
 // topology.
 func ReduceBinomial(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "reduce_binomial", bytes, func() {
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			withFreqScaling(c, func() { binomialReduce(c, root, bytes, opt, c.TagBlock()) })
 			return

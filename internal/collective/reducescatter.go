@@ -10,7 +10,7 @@ import (
 // pairwise fallback otherwise. blockBytes is the size of one block.
 func ReduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
 	opt.Power = opt.effectivePower(blockBytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "reduce_scatter", blockBytes, func() {
 		run := func() { reduceScatter(c, blockBytes, opt) }
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			withFreqScaling(c, run)
@@ -62,7 +62,7 @@ func reduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
 // recursive doubling, the classic bandwidth-optimal trade.
 func AllreduceRabenseifner(c *mpi.Comm, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "allreduce_rabenseifner", bytes, func() {
 		n := c.Size()
 		if n == 1 {
 			return
@@ -98,7 +98,7 @@ func AllreduceRabenseifner(c *mpi.Comm, bytes int64, opt Options) {
 // torus-wiring constraints.
 func AlltoallRing(c *mpi.Comm, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "alltoall_ring", bytes, func() {
 		run := func() { alltoallRing(c, bytes, opt) }
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			withFreqScaling(c, run)

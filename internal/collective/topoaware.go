@@ -67,7 +67,7 @@ func (rl *rackLayout) ranksInRack(rack int) int {
 // DVFS only.
 func ScatterTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "scatter_topo", bytes, func() {
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { scatterTopo(c, root, bytes, opt, true) })
@@ -169,7 +169,7 @@ func scatterTopo(c *mpi.Comm, root int, bytes int64, opt Options, throttle bool)
 // arrives.
 func BcastTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "bcast_topo", bytes, func() {
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { bcastTopo(c, root, bytes, opt, true) })
@@ -256,7 +256,7 @@ func bcastTopo(c *mpi.Comm, root int, bytes int64, opt Options, throttle bool) {
 // throttled until the root confirms completion, then restore T0.
 func GatherTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "gather_topo", bytes, func() {
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { gatherTopo(c, root, bytes, opt, true) })

@@ -9,7 +9,7 @@ import (
 // agreeing size functions. The schedule is the binomial range split, so
 // subtree volumes are the sums of their members' blocks.
 func Scatterv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) {
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "scatterv", -1, func() {
 		run := func() { binomialScatterv(c, root, sizeOf, c.TagBlock()) }
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			withFreqScaling(c, run)
@@ -21,7 +21,7 @@ func Scatterv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) {
 
 // Gatherv collects variable-size blocks onto root (the reverse schedule).
 func Gatherv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) {
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "gatherv", -1, func() {
 		run := func() { binomialGatherv(c, root, sizeOf, c.TagBlock()) }
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			withFreqScaling(c, run)
@@ -105,7 +105,7 @@ func binomialGatherv(c *mpi.Comm, root int, sizeOf func(int) int64, block int) {
 // Allgatherv gathers variable-size blocks to all ranks with the ring
 // schedule: step s forwards the block originally owned by (me-s+1).
 func Allgatherv(c *mpi.Comm, sizeOf func(rank int) int64, opt Options) {
-	timePhase(c, opt.Trace, PhaseTotal, func() {
+	timeCollective(c, opt, "allgatherv", -1, func() {
 		run := func() {
 			n, me := c.Size(), c.Rank()
 			if n == 1 {

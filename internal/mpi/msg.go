@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"pacc/internal/obs"
 	"pacc/internal/simtime"
 )
 
@@ -41,6 +42,20 @@ type sendState struct {
 	cts *simtime.Future
 	// dataDone completes when the payload has fully arrived.
 	dataDone *simtime.Future
+}
+
+// msgSpan opens an async message-lifecycle span on the sender's timeline
+// and returns a closure that ends it; done futures complete in event
+// context, so the closure is handed to Future.Then. Returns nil when
+// observability is off.
+func (r *Rank) msgSpan(kind string, dst int, bytes int64) func() {
+	b := r.world.obs
+	if b == nil {
+		return nil
+	}
+	name := fmt.Sprintf("%s %s %d→%d", kind, obs.SizeLabel(bytes), r.id, dst)
+	id := b.AsyncBegin(r.track, "mpi", name, nil)
+	return func() { b.AsyncEnd(r.track, "mpi", name, id) }
 }
 
 // pendingRecv is a posted receive awaiting its match.
@@ -144,6 +159,10 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 			r.copySleep(w.cfg.Shm.CopyTime(bytes, 1.0))
 			arr := simtime.NewFuture(w.eng)
 			arr.Complete()
+			if b := w.obs; b != nil {
+				b.Instant(r.track, fmt.Sprintf("eager-shm %s %d→%d",
+					obs.SizeLabel(bytes), r.id, dst), nil)
+			}
 			m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes,
 				kind: eagerMsg, intraShm: true, arrived: arr}
 			w.deliver(dst, m)
@@ -155,6 +174,9 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 			src: r.id, dst: dst, bytes: bytes, intraShm: true,
 			cts:      simtime.NewFuture(w.eng),
 			dataDone: simtime.NewFuture(w.eng),
+		}
+		if end := r.msgSpan("rdv-shm", dst, bytes); end != nil {
+			st.dataDone.Then(end)
 		}
 		m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: rtsMsg, snd: st}
 		w.eng.After(w.cfg.IntraStartup, func() { w.deliver(dst, m) })
@@ -175,6 +197,9 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 		// Injection copy into HCA buffers, then local completion.
 		r.copySleep(w.hostCost(bytes))
 		arr := simtime.NewFuture(w.eng)
+		if end := r.msgSpan("eager", dst, bytes); end != nil {
+			arr.Then(end)
+		}
 		m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: eagerMsg, arrived: arr}
 		fl := w.fabric.StartFlow(srcNode, dstNode, w.wireBytes(bytes))
 		fl.Done().Then(func() {
@@ -187,6 +212,9 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 		src: r.id, dst: dst, bytes: bytes,
 		cts:      simtime.NewFuture(w.eng),
 		dataDone: simtime.NewFuture(w.eng),
+	}
+	if end := r.msgSpan("rdv", dst, bytes); end != nil {
+		st.dataDone.Then(end)
 	}
 	m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: rtsMsg, snd: st}
 	rts := w.fabric.StartFlow(srcNode, dstNode, 0)

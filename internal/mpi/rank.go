@@ -1,6 +1,9 @@
 package mpi
 
 import (
+	"fmt"
+
+	"pacc/internal/obs"
 	"pacc/internal/power"
 	"pacc/internal/simtime"
 	"pacc/internal/topology"
@@ -20,6 +23,8 @@ type Rank struct {
 	sendSeq []uint64
 	// commSeq counts communicator creations for congruent tag-space ids.
 	commSeq int
+	// track is this rank's timeline in the observability bus.
+	track obs.Track
 }
 
 func newRank(w *World, id int, core *power.Core) *Rank {
@@ -28,6 +33,7 @@ func newRank(w *World, id int, core *power.Core) *Rank {
 		id:      id,
 		core:    core,
 		sendSeq: make([]uint64, w.cfg.NProcs),
+		track:   obs.RankTrack(w.place.NodeOf(id), id),
 	}
 }
 
@@ -42,6 +48,10 @@ func (r *Rank) Core() *power.Core { return r.core }
 
 // Node returns the node index this rank runs on.
 func (r *Rank) Node() int { return r.world.place.NodeOf(r.id) }
+
+// ObsTrack returns this rank's timeline in the observability bus (used by
+// the collective package for phase spans).
+func (r *Rank) ObsTrack() obs.Track { return r.track }
 
 // Socket returns the socket this rank's core sits on.
 func (r *Rank) Socket() topology.SocketID { return r.world.place.SocketOf(r.id) }
@@ -100,19 +110,36 @@ func (r *Rank) ComputeSeconds(secs float64) {
 
 // await blocks on a future with the configured progression semantics:
 // polling spins (core stays busy), blocking idles the core and pays the
-// interrupt + reschedule latency on wakeup.
+// interrupt + reschedule latency on wakeup. With observability attached,
+// the wait is recorded as a span on the rank's timeline and accrued into
+// the spin/block wait-time metric.
 func (r *Rank) await(f *simtime.Future, reason string) {
 	if f.IsDone() {
 		return
+	}
+	b := r.world.obs
+	var start simtime.Time
+	if b != nil {
+		start = b.Now()
 	}
 	if r.world.cfg.Mode == Blocking {
 		r.core.SetBusy(false)
 		f.Await(r.proc, reason)
 		r.core.SetBusy(true)
 		r.busySleep(r.world.cfg.InterruptLatency)
+		if b != nil {
+			end := b.Now()
+			b.Span(r.track, "wait "+reason, start, end, nil)
+			b.AddDuration(obs.DurWaitBlock, end.Sub(start))
+		}
 		return
 	}
 	f.Await(r.proc, reason)
+	if b != nil {
+		end := b.Now()
+		b.Span(r.track, "wait "+reason, start, end, nil)
+		b.AddDuration(obs.DurWaitSpin, end.Sub(start))
+	}
 }
 
 // SetFreq performs one DVFS transition on this rank's core, paying the
@@ -124,6 +151,11 @@ func (r *Rank) SetFreq(ghz float64) {
 	}
 	r.proc.Sleep(r.world.cfg.Power.ODVFS)
 	r.core.SetFreq(ghz)
+	if b := r.world.obs; b != nil {
+		b.Add(obs.CtrDVFSTransitions, 1)
+		b.AddDuration(obs.DurDVFSOverhead, r.world.cfg.Power.ODVFS)
+		b.Instant(r.track, fmt.Sprintf("dvfs %.1fGHz", r.core.FreqGHz()), nil)
+	}
 }
 
 // ScaleDown moves the core to fmin (start of a power-aware collective).
@@ -140,6 +172,11 @@ func (r *Rank) SetThrottle(t power.TState) {
 	}
 	r.proc.Sleep(r.world.cfg.Power.OThrottle)
 	r.core.SetThrottle(t)
+	if b := r.world.obs; b != nil {
+		b.Add(obs.CtrThrottleTransitions, 1)
+		b.AddDuration(obs.DurThrottleOverhead, r.world.cfg.Power.OThrottle)
+		b.Instant(r.track, fmt.Sprintf("throttle %v", t), nil)
+	}
 }
 
 // p2pScaleDown implements the PowerAwareP2P option: if enabled, the core

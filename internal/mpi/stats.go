@@ -1,5 +1,7 @@
 package mpi
 
+import "pacc/internal/obs"
+
 // MsgStats counts point-to-point traffic by transport and protocol —
 // the diagnostics behind statements like "the first c steps stay inside
 // the node" (§V-A).
@@ -30,25 +32,33 @@ func (w *World) Stats() MsgStats { return w.stats }
 func (w *World) countShm(bytes int64, rendezvous bool) {
 	if bytes == 0 {
 		w.stats.Control++
+		w.obs.Add(obs.CtrControlMsgs, 1)
 		return
 	}
 	if rendezvous {
 		w.stats.ShmRendezvous++
+		w.obs.Add(obs.CtrShmRendezvous, 1)
 	} else {
 		w.stats.ShmEager++
+		w.obs.Add(obs.CtrShmEager, 1)
 	}
 	w.stats.ShmBytes += bytes
+	w.obs.Add(obs.CtrShmBytes, bytes)
 }
 
 func (w *World) countNet(bytes int64, rendezvous bool) {
 	if bytes == 0 {
 		w.stats.Control++
+		w.obs.Add(obs.CtrControlMsgs, 1)
 		return
 	}
 	if rendezvous {
 		w.stats.NetRendezvous++
+		w.obs.Add(obs.CtrNetRendezvous, 1)
 	} else {
 		w.stats.NetEager++
+		w.obs.Add(obs.CtrNetEager, 1)
 	}
 	w.stats.NetBytes += bytes
+	w.obs.Add(obs.CtrNetBytes, bytes)
 }

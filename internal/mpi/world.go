@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pacc/internal/network"
+	"pacc/internal/obs"
 	"pacc/internal/power"
 	"pacc/internal/simtime"
 	"pacc/internal/topology"
@@ -22,6 +23,9 @@ type World struct {
 	ledger  *power.Ledger
 	ranks   []*Rank
 	stats   MsgStats
+	// obs, when non-nil, receives cross-layer trace events and metrics;
+	// every hot-path producer guards on the nil check.
+	obs *obs.Bus
 }
 
 // NewWorld validates cfg and instantiates the cluster, fabric, and power
@@ -89,6 +93,30 @@ func (w *World) AttachLedger(l *power.Ledger) {
 
 // Ledger returns the attached ledger, or nil.
 func (w *World) Ledger() *power.Ledger { return w.ledger }
+
+// AttachObs routes the job's observability events — MPI message
+// lifecycle, wait times, P/T-state transitions, and (through the fabric)
+// network flows and link utilization — into the given bus. Call before
+// Launch. Collective phase spans are emitted by the collective package
+// through Obs.
+func (w *World) AttachObs(b *obs.Bus) {
+	w.obs = b
+	w.fabric.SetObs(b)
+	if b == nil {
+		return
+	}
+	for n := 0; n < w.cfg.Topo.Nodes; n++ {
+		b.SetProcessName(n, fmt.Sprintf("node %d", n))
+	}
+	b.SetProcessName(obs.PIDNetwork, "network")
+	for _, r := range w.ranks {
+		b.SetThreadName(r.track, fmt.Sprintf("rank %d", r.id))
+	}
+}
+
+// Obs returns the attached observability bus, or nil (a valid, disabled
+// bus).
+func (w *World) Obs() *obs.Bus { return w.obs }
 
 // Launch spawns every rank with the given SPMD body. The body runs with
 // the rank's core marked busy; the core goes idle when the body returns.

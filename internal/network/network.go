@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"pacc/internal/obs"
 	"pacc/internal/simtime"
 )
 
@@ -86,6 +87,10 @@ type link struct {
 	// scratch used during max-min recomputation
 	residual float64
 	active   int
+	// obsActive/obsSince track busy intervals (≥1 flow on the link) for
+	// the observability bus; only maintained while a bus is attached.
+	obsActive int
+	obsSince  simtime.Time
 }
 
 // Flow is one in-flight transfer.
@@ -98,6 +103,9 @@ type Flow struct {
 	links     []*link
 	done      *simtime.Future
 	started   simtime.Time
+	// obsEnd closes the flow's trace span and link-busy intervals; nil
+	// when observability is off.
+	obsEnd func()
 }
 
 // Done returns a future completed when the last byte has arrived at the
@@ -127,6 +135,9 @@ type Fabric struct {
 	bytesMoved int64
 	// np tracks per-port power when Config.LinkPower is enabled.
 	np *netPower
+	// obs, when non-nil, receives flow spans and link-utilization
+	// metrics.
+	obs *obs.Bus
 }
 
 // NewFabric builds a fabric for the given node count.
@@ -166,6 +177,35 @@ func NewFabric(eng *simtime.Engine, nodes int, cfg Config) (*Fabric, error) {
 		f.np = newNetPower(eng, cfg.LinkPower, ports)
 	}
 	return f, nil
+}
+
+// SetObs attaches the observability bus (nil detaches). Attach before
+// any traffic starts, or link busy-time accounting will miss the open
+// intervals of in-flight flows.
+func (f *Fabric) SetObs(b *obs.Bus) { f.obs = b }
+
+// obsLinkStart marks one more flow on each link, opening a busy interval
+// on links going 0→1. Callers guard on f.obs != nil.
+func (f *Fabric) obsLinkStart(links []*link) {
+	now := f.eng.Now()
+	for _, l := range links {
+		if l.obsActive == 0 {
+			l.obsSince = now
+		}
+		l.obsActive++
+	}
+}
+
+// obsLinkEnd removes one flow from each link, accruing the busy interval
+// of links going 1→0 into the per-link metric.
+func (f *Fabric) obsLinkEnd(links []*link) {
+	now := f.eng.Now()
+	for _, l := range links {
+		l.obsActive--
+		if l.obsActive == 0 {
+			f.obs.AddDuration(obs.DurLinkBusyPrefix+l.name, now.Sub(l.obsSince))
+		}
+	}
 }
 
 // NetworkWatts reports the instantaneous draw of all ports (0 when link
@@ -260,6 +300,18 @@ func (f *Fabric) StartFlow(src, dst int, bytes int64) *Flow {
 	default:
 		fl.links = []*link{f.up[src], f.down[dst]}
 	}
+	if b := f.obs; b != nil {
+		b.Add(obs.CtrNetFlows, 1)
+		b.Add(obs.CtrNetFlowBytes, bytes)
+		track := obs.NetTrack(src)
+		name := fmt.Sprintf("flow %s %d→%d", obs.SizeLabel(bytes), src, dst)
+		id := b.AsyncBegin(track, "net", name, nil)
+		f.obsLinkStart(fl.links)
+		fl.obsEnd = func() {
+			f.obsLinkEnd(fl.links)
+			b.AsyncEnd(track, "net", name, id)
+		}
+	}
 	if bytes == 0 {
 		delay := f.cfg.BaseLatency
 		if f.np != nil {
@@ -269,6 +321,9 @@ func (f *Fabric) StartFlow(src, dst int, bytes int64) *Flow {
 			f.np.flowAdded(fl.links)
 			links := fl.links
 			f.eng.After(delay, func() { f.np.flowRemoved(links) })
+		}
+		if fl.obsEnd != nil {
+			f.eng.After(delay, fl.obsEnd)
 		}
 		f.eng.After(delay, func() {
 			fl.done.Complete()
@@ -433,6 +488,11 @@ func (f *Fabric) onCompletion(gen uint64) {
 		}
 		if f.np != nil {
 			f.np.flowRemoved(fl.links)
+		}
+		if fl.obsEnd != nil {
+			// The links are free now; the span closes with them
+			// (BaseLatency is propagation, not occupancy).
+			fl.obsEnd()
 		}
 		done := fl.done
 		f.eng.After(f.cfg.BaseLatency, func() { done.Complete() })

@@ -1,0 +1,349 @@
+// Package obs is the unified cross-layer observability substrate of the
+// simulator: a simulation-time event bus collecting named spans, instant
+// events, counters and histograms from every layer — MPI message
+// lifecycle, network flows, collective phases and per-core power states —
+// onto one timeline.
+//
+// The bus is disabled by default: every producer holds a possibly-nil
+// *Bus, and all Bus methods are safe (and nearly free) on a nil receiver,
+// so instrumented hot paths cost one pointer test when observability is
+// off. Attach a bus with mpi.(*World).AttachObs (or the pacc facade's
+// AttachObs) before Launch, run the simulation, then export a merged
+// Chrome/Perfetto trace with WriteChromeTrace and a metrics snapshot with
+// WriteMetricsJSON.
+//
+// Exports are deterministic: events keep their (deterministic) emission
+// order, sorts are stable, and JSON maps marshal with sorted keys, so two
+// identical runs produce byte-identical artifacts.
+package obs
+
+import (
+	"fmt"
+
+	"pacc/internal/simtime"
+)
+
+// Track identifies one timeline row of the exported trace: a Chrome
+// (process, thread) pair. By convention pid is the node index for on-node
+// activity (cores, ranks) and PIDNetwork for the fabric.
+type Track struct {
+	PID int
+	TID int
+}
+
+// PIDNetwork is the trace process that hosts network-flow spans.
+const PIDNetwork = 1 << 20
+
+// TIDRankBase offsets rank timelines above core timelines within a node
+// process: core tids are global core indices, rank tids are
+// TIDRankBase+rank.
+const TIDRankBase = 1 << 12
+
+// RankTrack returns the timeline of one MPI rank (collective phases,
+// message lifecycle, waits).
+func RankTrack(node, rank int) Track {
+	return Track{PID: node, TID: TIDRankBase + rank}
+}
+
+// CoreTrack returns the timeline of one core's power states.
+func CoreTrack(node, core int) Track {
+	return Track{PID: node, TID: core}
+}
+
+// NetTrack returns the fabric timeline keyed by source node.
+func NetTrack(srcNode int) Track {
+	return Track{PID: PIDNetwork, TID: srcNode}
+}
+
+// Well-known metric names shared between the instrumented layers and the
+// exported snapshot. Counters unless noted.
+const (
+	// MPI point-to-point traffic (see mpi.MsgStats).
+	CtrShmEager      = "mpi.msgs.shm_eager"
+	CtrShmRendezvous = "mpi.msgs.shm_rendezvous"
+	CtrNetEager      = "mpi.msgs.net_eager"
+	CtrNetRendezvous = "mpi.msgs.net_rendezvous"
+	CtrControlMsgs   = "mpi.msgs.control"
+	CtrShmBytes      = "mpi.bytes.shm"
+	CtrNetBytes      = "mpi.bytes.net"
+
+	// Wait-time attribution (durations): polling spins keep the core
+	// busy, blocking waits idle it (§II-B).
+	DurWaitSpin  = "mpi.wait.spin"
+	DurWaitBlock = "mpi.wait.block"
+
+	// Network flow accounting.
+	CtrNetFlows     = "net.flows"
+	CtrNetFlowBytes = "net.flow_bytes"
+	// DurLinkBusyPrefix prefixes per-link busy-time durations, e.g.
+	// "net.link_busy.node3-up".
+	DurLinkBusyPrefix = "net.link_busy."
+
+	// P/T-state transition counts and hardware-paced overhead time.
+	CtrDVFSTransitions     = "power.dvfs.transitions"
+	CtrThrottleTransitions = "power.throttle.transitions"
+	DurDVFSOverhead        = "power.dvfs.overhead"
+	DurThrottleOverhead    = "power.throttle.overhead"
+
+	// Per-collective metrics: "collective.<op>.calls" counters,
+	// "collective.<op>.energy_j" histograms (joules per call, observed
+	// by communicator rank 0), "collective.<op>.seconds" histograms.
+	CollectivePrefix = "collective."
+)
+
+// event is one timeline entry, stored in emission order.
+type event struct {
+	name  string
+	cat   string
+	ph    byte // 'X' complete, 'i' instant, 'b'/'e' async begin/end
+	ts    simtime.Time
+	dur   simtime.Duration
+	track Track
+	id    uint64
+	args  map[string]any
+}
+
+// Histogram summarizes a stream of observations.
+type Histogram struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Bus accumulates observability data for one simulation. Construct with
+// NewBus; a nil *Bus is a valid, disabled bus.
+type Bus struct {
+	eng    *simtime.Engine
+	events []event
+	// procNames / threadNames are export metadata ("node 3", "rank 17").
+	procNames   map[int]string
+	threadNames map[Track]string
+	counters    map[string]int64
+	durations   map[string]simtime.Duration
+	hists       map[string]*Histogram
+	nextAsync   uint64
+}
+
+// NewBus returns an enabled bus reading time from eng.
+func NewBus(eng *simtime.Engine) *Bus {
+	return &Bus{
+		eng:         eng,
+		procNames:   make(map[int]string),
+		threadNames: make(map[Track]string),
+		counters:    make(map[string]int64),
+		durations:   make(map[string]simtime.Duration),
+		hists:       make(map[string]*Histogram),
+	}
+}
+
+// Enabled reports whether the bus records anything (false for nil).
+func (b *Bus) Enabled() bool { return b != nil }
+
+// Now returns the bus clock (zero for a nil bus).
+func (b *Bus) Now() simtime.Time {
+	if b == nil {
+		return 0
+	}
+	return b.eng.Now()
+}
+
+// SetProcessName labels a trace process (Perfetto group), e.g. "node 2".
+func (b *Bus) SetProcessName(pid int, name string) {
+	if b == nil {
+		return
+	}
+	b.procNames[pid] = name
+}
+
+// SetThreadName labels one timeline row, e.g. "rank 17".
+func (b *Bus) SetThreadName(t Track, name string) {
+	if b == nil {
+		return
+	}
+	b.threadNames[t] = name
+}
+
+// Span records a complete span over [start, end). Zero-length spans are
+// dropped (they carry no time and clutter the timeline).
+func (b *Bus) Span(t Track, name string, start, end simtime.Time, args map[string]any) {
+	if b == nil || end <= start {
+		return
+	}
+	b.events = append(b.events, event{
+		name: name, ph: 'X', ts: start, dur: end.Sub(start), track: t, args: args,
+	})
+}
+
+// SpanHandle is an open span created by Begin; call End (or EndWith) from
+// the same logical thread when the spanned region finishes. The zero
+// value (from a nil bus) is inert.
+type SpanHandle struct {
+	b     *Bus
+	t     Track
+	name  string
+	start simtime.Time
+	args  map[string]any
+}
+
+// Begin opens a span at the current simulation time.
+func (b *Bus) Begin(t Track, name string, args map[string]any) SpanHandle {
+	if b == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{b: b, t: t, name: name, start: b.eng.Now(), args: args}
+}
+
+// End closes the span at the current simulation time.
+func (s SpanHandle) End() {
+	if s.b == nil {
+		return
+	}
+	s.b.Span(s.t, s.name, s.start, s.b.eng.Now(), s.args)
+}
+
+// EndWith closes the span with extra args merged over Begin's.
+func (s SpanHandle) EndWith(args map[string]any) {
+	if s.b == nil {
+		return
+	}
+	merged := s.args
+	if merged == nil {
+		merged = args
+	} else {
+		for k, v := range args {
+			merged[k] = v
+		}
+	}
+	s.b.Span(s.t, s.name, s.start, s.b.eng.Now(), merged)
+}
+
+// Instant records a zero-duration marker event.
+func (b *Bus) Instant(t Track, name string, args map[string]any) {
+	if b == nil {
+		return
+	}
+	b.events = append(b.events, event{
+		name: name, ph: 'i', ts: b.eng.Now(), track: t, args: args,
+	})
+}
+
+// AsyncBegin opens an asynchronous span — a lifecycle that starts and
+// ends on different logical threads or overlaps others on its track
+// (message deliveries, network flows). It returns the id to pass to
+// AsyncEnd; 0 from a nil bus (AsyncEnd ignores it).
+func (b *Bus) AsyncBegin(t Track, cat, name string, args map[string]any) uint64 {
+	if b == nil {
+		return 0
+	}
+	b.nextAsync++
+	id := b.nextAsync
+	b.events = append(b.events, event{
+		name: name, cat: cat, ph: 'b', ts: b.eng.Now(), track: t, id: id, args: args,
+	})
+	return id
+}
+
+// AsyncEnd closes the asynchronous span with the given id. The cat and
+// name must match AsyncBegin's (Chrome pairs async events by them).
+func (b *Bus) AsyncEnd(t Track, cat, name string, id uint64) {
+	if b == nil || id == 0 {
+		return
+	}
+	b.events = append(b.events, event{
+		name: name, cat: cat, ph: 'e', ts: b.eng.Now(), track: t, id: id,
+	})
+}
+
+// Add accrues delta into a named counter.
+func (b *Bus) Add(name string, delta int64) {
+	if b == nil {
+		return
+	}
+	b.counters[name] += delta
+}
+
+// AddDuration accrues d into a named duration accumulator.
+func (b *Bus) AddDuration(name string, d simtime.Duration) {
+	if b == nil || d <= 0 {
+		return
+	}
+	b.durations[name] += d
+}
+
+// Observe feeds one sample into a named histogram.
+func (b *Bus) Observe(name string, v float64) {
+	if b == nil {
+		return
+	}
+	h := b.hists[name]
+	if h == nil {
+		h = &Histogram{Min: v, Max: v}
+		b.hists[name] = h
+	}
+	if v < h.Min || h.Count == 0 {
+		h.Min = v
+	}
+	if v > h.Max || h.Count == 0 {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+}
+
+// Counter returns the current value of a counter (0 if never touched or
+// the bus is nil).
+func (b *Bus) Counter(name string) int64 {
+	if b == nil {
+		return 0
+	}
+	return b.counters[name]
+}
+
+// Duration returns the accumulated duration under name.
+func (b *Bus) Duration(name string) simtime.Duration {
+	if b == nil {
+		return 0
+	}
+	return b.durations[name]
+}
+
+// Hist returns a copy of the named histogram (zero value if absent).
+func (b *Bus) Hist(name string) Histogram {
+	if b == nil {
+		return Histogram{}
+	}
+	if h := b.hists[name]; h != nil {
+		return *h
+	}
+	return Histogram{}
+}
+
+// Events reports how many timeline events have been recorded.
+func (b *Bus) Events() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.events)
+}
+
+// SizeLabel formats a byte count the way span names do (power-of-two
+// units, e.g. "256KiB"), shared so traces stay uniform across layers.
+func SizeLabel(bytes int64) string {
+	switch {
+	case bytes >= 1<<20 && bytes%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", bytes>>20)
+	case bytes >= 1<<10 && bytes%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", bytes>>10)
+	default:
+		return fmt.Sprintf("%dB", bytes)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+func TestNilBusIsInert(t *testing.T) {
+	var b *Bus
+	if b.Enabled() {
+		t.Fatal("nil bus reports enabled")
+	}
+	// None of these may panic.
+	b.SetProcessName(0, "x")
+	b.SetThreadName(Track{}, "x")
+	b.Span(Track{}, "s", 0, 10, nil)
+	sp := b.Begin(Track{}, "s", nil)
+	sp.End()
+	sp.EndWith(map[string]any{"k": 1})
+	b.Instant(Track{}, "i", nil)
+	id := b.AsyncBegin(Track{}, "c", "a", nil)
+	if id != 0 {
+		t.Fatalf("nil bus async id = %d, want 0", id)
+	}
+	b.AsyncEnd(Track{}, "c", "a", id)
+	b.Add("c", 1)
+	b.AddDuration("d", simtime.Millisecond)
+	b.Observe("h", 1.0)
+	if b.Counter("c") != 0 || b.Duration("d") != 0 || b.Events() != 0 {
+		t.Fatal("nil bus accumulated data")
+	}
+	var buf bytes.Buffer
+	if err := b.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersDurationsHistograms(t *testing.T) {
+	eng := simtime.NewEngine()
+	b := NewBus(eng)
+	b.Add("msgs", 2)
+	b.Add("msgs", 3)
+	if got := b.Counter("msgs"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	b.AddDuration("wait", simtime.Millisecond)
+	b.AddDuration("wait", 2*simtime.Millisecond)
+	b.AddDuration("wait", -simtime.Millisecond) // ignored
+	if got := b.Duration("wait"); got != 3*simtime.Millisecond {
+		t.Fatalf("duration = %v, want 3ms", got)
+	}
+	for _, v := range []float64{4, 1, 9} {
+		b.Observe("h", v)
+	}
+	h := b.Hist("h")
+	if h.Count != 3 || h.Sum != 14 || h.Min != 1 || h.Max != 9 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if h.Mean() != 14.0/3.0 {
+		t.Fatalf("mean = %g", h.Mean())
+	}
+}
+
+func TestSpansAndExportShape(t *testing.T) {
+	eng := simtime.NewEngine()
+	b := NewBus(eng)
+	b.SetProcessName(0, "node 0")
+	b.SetProcessName(PIDNetwork, "network")
+	b.SetThreadName(RankTrack(0, 1), "rank 1")
+
+	done := false
+	eng.Spawn("driver", func(p *simtime.Proc) {
+		sp := b.Begin(RankTrack(0, 1), "alltoall", map[string]any{"bytes": 1024})
+		p.Sleep(simtime.Millisecond)
+		id := b.AsyncBegin(NetTrack(0), "net", "flow 0->1", nil)
+		p.Sleep(simtime.Millisecond)
+		b.AsyncEnd(NetTrack(0), "net", "flow 0->1", id)
+		b.Instant(RankTrack(0, 1), "marker", nil)
+		sp.End()
+		// A zero-length span must be dropped.
+		b.Span(RankTrack(0, 1), "empty", eng.Now(), eng.Now(), nil)
+		done = true
+	})
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("driver did not finish")
+	}
+	if got := b.Events(); got != 4 { // span, async b, async e, instant
+		t.Fatalf("events = %d, want 4", got)
+	}
+
+	var buf bytes.Buffer
+	if err := b.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// 3 metadata + 4 timeline events.
+	if len(events) != 7 {
+		t.Fatalf("exported %d events, want 7", len(events))
+	}
+	// Metadata first; timeline sorted by ts.
+	if events[0]["ph"] != "M" || events[1]["ph"] != "M" || events[2]["ph"] != "M" {
+		t.Fatalf("metadata not first: %v", events[:3])
+	}
+	lastTs := -1.0
+	for _, ev := range events[3:] {
+		ts := ev["ts"].(float64)
+		if ts < lastTs {
+			t.Fatalf("timeline not sorted: %g after %g", ts, lastTs)
+		}
+		lastTs = ts
+	}
+}
+
+func TestMetricsJSONDeterministic(t *testing.T) {
+	mk := func() []byte {
+		eng := simtime.NewEngine()
+		b := NewBus(eng)
+		b.Add("z", 1)
+		b.Add("a", 2)
+		b.AddDuration("m", simtime.Micros(12.5))
+		b.Observe("h", 3.25)
+		b.Observe("h", 1.75)
+		var buf bytes.Buffer
+		if err := b.WriteMetricsJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, c := mk(), mk()
+	if !bytes.Equal(a, c) {
+		t.Fatalf("metrics export not deterministic:\n%s\nvs\n%s", a, c)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Counters["a"] != 2 || doc.Counters["z"] != 1 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0B",
+		512:     "512B",
+		1 << 10: "1KiB",
+		256<<10 + 1: func() string { return "262145B" }(),
+		256 << 10: "256KiB",
+		1 << 20:   "1MiB",
+		3 << 20:   "3MiB",
+	}
+	for in, want := range cases {
+		if got := SizeLabel(in); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

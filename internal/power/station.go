@@ -36,6 +36,9 @@ func (s *Station) Cores() []*Core { return s.cores }
 // NumNodes returns the node count of the domain.
 func (s *Station) NumNodes() int { return s.nodes }
 
+// Now returns the current virtual time of the station's engine.
+func (s *Station) Now() simtime.Time { return s.eng.Now() }
+
 // Watts returns the instantaneous draw of the whole cluster: all cores
 // plus the per-node base power.
 func (s *Station) Watts() float64 {

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 
+	"pacc/internal/obs"
 	"pacc/internal/power"
 	"pacc/internal/simtime"
 )
@@ -58,14 +59,16 @@ func Attach(st *power.Station, coresPerNode int) *Recorder {
 }
 
 // Detach removes the hooks and closes all open intervals at the current
-// time.
+// time. Detaching twice is a no-op the second time.
 func (r *Recorder) Detach() {
 	for _, c := range r.station.Cores() {
 		c.SetRecorder(nil)
 	}
+	now := r.station.Now()
 	for id, sc := range r.open {
-		r.closeSpan(id, sc, sc.At)
+		r.closeSpan(id, sc, now)
 	}
+	r.open = make(map[int]power.StateChange)
 }
 
 func (r *Recorder) onChange(core int, sc power.StateChange) {
@@ -128,10 +131,22 @@ func stateName(sc power.StateChange) string {
 func (r *Recorder) WriteChromeTrace(w io.Writer, now simtime.Time) error {
 	spans := r.snapshot(now)
 	events := make([]chromeEvent, 0, len(spans)+len(r.station.Cores()))
-	model := r.station.Cores()[0].Model()
+	cores := r.station.Cores()
+	if len(cores) == 0 {
+		return json.NewEncoder(w).Encode(events)
+	}
+	model := cores[0].Model()
 	seen := map[int]bool{}
+	seenNode := map[int]bool{}
 	for _, sp := range spans {
 		node := sp.core / r.coresPerNode
+		if !seenNode[node] {
+			seenNode[node] = true
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: node,
+				Args: map[string]any{"name": fmt.Sprintf("node %d", node)},
+			})
+		}
 		if !seen[sp.core] {
 			seen[sp.core] = true
 			events = append(events, chromeEvent{
@@ -153,4 +168,32 @@ func (r *Recorder) WriteChromeTrace(w io.Writer, now simtime.Time) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// ExportToBus replays all recorded power-state spans up to `now` into an
+// observability bus, so the per-core power timeline interleaves with the
+// MPI, network, and collective spans in one merged trace. Core threads
+// share the node process used by the rank timelines; call once, at export
+// time.
+func (r *Recorder) ExportToBus(b *obs.Bus, now simtime.Time) {
+	if b == nil {
+		return
+	}
+	cores := r.station.Cores()
+	if len(cores) == 0 {
+		return
+	}
+	model := cores[0].Model()
+	seen := map[int]bool{}
+	for _, sp := range r.snapshot(now) {
+		node := sp.core / r.coresPerNode
+		t := obs.CoreTrack(node, sp.core)
+		if !seen[sp.core] {
+			seen[sp.core] = true
+			b.SetThreadName(t, fmt.Sprintf("core %d", sp.core))
+		}
+		b.Span(t, stateName(sp.state), sp.start, sp.end, map[string]any{
+			"watts": model.CoreWatts(sp.state.FreqGHz, sp.state.Throttle, sp.state.Busy),
+		})
+	}
 }

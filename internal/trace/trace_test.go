@@ -135,3 +135,104 @@ func TestAttachZeroCoresPerNode(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExportZeroCoreStation(t *testing.T) {
+	eng := simtime.NewEngine()
+	st := power.NewStation(eng, power.DefaultModel(), 0, 0)
+	rec := Attach(st, 1)
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf, eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("zero-core export has %d events, want 0", len(events))
+	}
+}
+
+func TestDetachClosesOpenIntervalsAtNow(t *testing.T) {
+	eng := simtime.NewEngine()
+	st := power.NewStation(eng, power.DefaultModel(), 1, 1)
+	rec := Attach(st, 1)
+	eng.Spawn("driver", func(p *simtime.Proc) {
+		st.Core(0).SetBusy(true)
+		p.Sleep(simtime.Millisecond)
+	})
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	// The busy interval opened at t=0 is still open; Detach must close it
+	// at the current time, not drop it.
+	rec.Detach()
+	spans := rec.snapshot(eng.Now())
+	if len(spans) != 1 {
+		t.Fatalf("spans after Detach = %d, want 1", len(spans))
+	}
+	if spans[0].end != eng.Now() {
+		t.Fatalf("open interval closed at %v, want %v", spans[0].end, eng.Now())
+	}
+	// Detaching again must be a no-op, not duplicate the spans.
+	rec.Detach()
+	if got := rec.Spans(); got != 1 {
+		t.Fatalf("spans after double Detach = %d, want 1", got)
+	}
+}
+
+func TestSnapshotBeforeFirstStateChange(t *testing.T) {
+	eng := simtime.NewEngine()
+	st := power.NewStation(eng, power.DefaultModel(), 1, 2)
+	rec := Attach(st, 2)
+	// No state change has happened; both cores still hold their initial
+	// zero-length open interval at t=0, which a snapshot at t=0 drops.
+	if spans := rec.snapshot(eng.Now()); len(spans) != 0 {
+		t.Fatalf("snapshot before any state change = %d spans, want 0", len(spans))
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf, eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("pristine export has %d events, want 0", len(events))
+	}
+}
+
+func TestProcessNameMetadata(t *testing.T) {
+	eng := simtime.NewEngine()
+	st := power.NewStation(eng, power.DefaultModel(), 2, 2)
+	rec := Attach(st, 2)
+	eng.Spawn("driver", func(p *simtime.Proc) {
+		st.Core(0).SetBusy(true)
+		st.Core(2).SetBusy(true)
+		p.Sleep(simtime.Millisecond)
+		st.Core(0).SetBusy(false)
+		st.Core(2).SetBusy(false)
+	})
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf, eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	names := map[int]string{}
+	for _, ev := range events {
+		if ev["name"] == "process_name" {
+			pid := int(ev["pid"].(float64))
+			names[pid] = ev["args"].(map[string]any)["name"].(string)
+		}
+	}
+	if names[0] != "node 0" || names[1] != "node 1" {
+		t.Fatalf("process_name metadata = %v, want node 0 and node 1", names)
+	}
+}

@@ -1,0 +1,85 @@
+package pacc
+
+import (
+	"io"
+	"os"
+
+	"pacc/internal/obs"
+	"pacc/internal/trace"
+)
+
+// ObsSession bundles the cross-layer observability of one simulated job:
+// an event bus collecting MPI message lifecycles, network flow and
+// link-busy spans, per-rank collective phases, and wait/transition
+// metrics, plus a power-state recorder whose per-core spans are merged
+// into the exported timeline. Obtain one with AttachObs before Launch;
+// export with WriteTrace / WriteMetrics after Run.
+type ObsSession struct {
+	w      *World
+	bus    *obs.Bus
+	rec    *trace.Recorder
+	merged bool
+}
+
+// AttachObs instruments a world for tracing and metrics collection. Call
+// before Launch. Observability is off unless attached; when off, every
+// instrumentation point is a nil-receiver no-op.
+func AttachObs(w *World) *ObsSession {
+	bus := obs.NewBus(w.Engine())
+	w.AttachObs(bus)
+	return &ObsSession{
+		w:   w,
+		bus: bus,
+		rec: trace.Attach(w.Station(), w.Config().Topo.CoresPerNode()),
+	}
+}
+
+// Bus exposes the underlying event bus (for custom instrumentation or
+// metric queries in tests).
+func (s *ObsSession) Bus() *obs.Bus { return s.bus }
+
+// mergePower folds the recorder's power-state spans into the bus once.
+func (s *ObsSession) mergePower() {
+	if s.merged {
+		return
+	}
+	s.merged = true
+	s.rec.ExportToBus(s.bus, s.w.Station().Now())
+}
+
+// WriteTrace exports the merged Chrome trace-event JSON — power-state
+// spans per core interleaved with message, flow, wait, and collective
+// phase spans — viewable in chrome://tracing or https://ui.perfetto.dev.
+// Call after Run.
+func (s *ObsSession) WriteTrace(w io.Writer) error {
+	s.mergePower()
+	return s.bus.WriteChromeTrace(w)
+}
+
+// WriteMetrics exports the metrics snapshot (counters, accumulated
+// durations in seconds, histograms) as indented JSON. Call after Run.
+func (s *ObsSession) WriteMetrics(w io.Writer) error {
+	return s.bus.WriteMetricsJSON(w)
+}
+
+// WriteTraceFile writes the merged trace to a file path.
+func (s *ObsSession) WriteTraceFile(path string) error {
+	return writeFileWith(path, s.WriteTrace)
+}
+
+// WriteMetricsFile writes the metrics snapshot to a file path.
+func (s *ObsSession) WriteMetricsFile(path string) error {
+	return writeFileWith(path, s.WriteMetrics)
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

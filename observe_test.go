@@ -1,0 +1,147 @@
+package pacc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pacc"
+)
+
+// runObserved runs one Alltoall(256KiB, Proposed) on a 2-node world with
+// observability attached and returns the exported trace and metrics.
+func runObserved(t *testing.T) (traceJSON, metricsJSON []byte) {
+	t.Helper()
+	cfg := pacc.DefaultConfig()
+	cfg.NProcs = 16
+	cfg.PPN = 8
+	cfg.Topo.Nodes = 2
+	w, err := pacc.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := pacc.AttachObs(w)
+	w.Launch(func(r *pacc.Rank) {
+		c := pacc.CommWorld(r)
+		pacc.Alltoall(c, 256<<10, pacc.CollectiveOptions{Power: pacc.Proposed})
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var tb, mb bytes.Buffer
+	if err := sess.WriteTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), mb.Bytes()
+}
+
+// TestMergedTraceHasAllLayers is the issue's acceptance scenario: one
+// power-aware Alltoall exports a single merged timeline carrying all four
+// layers — per-core power states, MPI message lifecycles, network flows,
+// and collective phase spans.
+func TestMergedTraceHasAllLayers(t *testing.T) {
+	traceJSON, metricsJSON := runObserved(t)
+
+	var events []map[string]any
+	if err := json.Unmarshal(traceJSON, &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var sawPower, sawMsg, sawFlow, sawCollective, sawWait bool
+	for _, ev := range events {
+		name, _ := ev["name"].(string)
+		cat, _ := ev["cat"].(string)
+		switch {
+		case cat == "mpi":
+			sawMsg = true
+		case cat == "net":
+			sawFlow = true
+		case name == "alltoall" || strings.HasPrefix(name, "phase "):
+			sawCollective = true
+		case strings.HasPrefix(name, "wait "):
+			sawWait = true
+		case strings.Contains(name, "GHz") && (strings.HasPrefix(name, "busy") || strings.HasPrefix(name, "idle")):
+			sawPower = true
+		}
+	}
+	if !sawPower || !sawMsg || !sawFlow || !sawCollective || !sawWait {
+		t.Fatalf("merged trace missing layers: power=%v msg=%v flow=%v collective=%v wait=%v",
+			sawPower, sawMsg, sawFlow, sawCollective, sawWait)
+	}
+
+	var m struct {
+		Counters         map[string]int64   `json:"counters"`
+		DurationsSeconds map[string]float64 `json:"durations_seconds"`
+		Histograms       map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(metricsJSON, &m); err != nil {
+		t.Fatalf("metrics are not valid JSON: %v", err)
+	}
+	for _, ctr := range []string{"mpi.bytes.net", "mpi.msgs.net_rendezvous",
+		"power.dvfs.transitions", "power.throttle.transitions", "net.flows",
+		"collective.alltoall.calls"} {
+		if m.Counters[ctr] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", ctr, m.Counters[ctr])
+		}
+	}
+	if m.DurationsSeconds["mpi.wait.spin"] <= 0 {
+		t.Errorf("mpi.wait.spin = %v, want > 0", m.DurationsSeconds["mpi.wait.spin"])
+	}
+	if m.Histograms["collective.alltoall.energy_j"].Count != 1 {
+		t.Errorf("alltoall energy histogram count = %d, want 1",
+			m.Histograms["collective.alltoall.energy_j"].Count)
+	}
+}
+
+// TestObsExportDeterministic asserts the golden property: two identical
+// runs export byte-identical trace and metrics JSON.
+func TestObsExportDeterministic(t *testing.T) {
+	t1, m1 := runObserved(t)
+	t2, m2 := runObserved(t)
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace JSON differs between identical runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics JSON differs between identical runs")
+	}
+}
+
+// TestObsDisabledIsInert checks the off-by-default contract: a world with
+// no session attached has a nil bus, and simulation results are identical
+// with and without observability.
+func TestObsDisabledIsInert(t *testing.T) {
+	run := func(attach bool) (float64, float64) {
+		cfg := pacc.DefaultConfig()
+		cfg.NProcs = 16
+		cfg.PPN = 8
+		cfg.Topo.Nodes = 2
+		w, err := pacc.NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			pacc.AttachObs(w)
+		} else if w.Obs() != nil {
+			t.Fatal("world has a bus without AttachObs")
+		}
+		w.Launch(func(r *pacc.Rank) {
+			pacc.Alltoall(pacc.CommWorld(r), 256<<10, pacc.CollectiveOptions{Power: pacc.Proposed})
+		})
+		elapsed, err := w.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed.Seconds(), w.Station().EnergyJoules()
+	}
+	offT, offJ := run(false)
+	onT, onJ := run(true)
+	if offT != onT || offJ != onJ {
+		t.Fatalf("observability changed the simulation: off=(%v s, %v J) on=(%v s, %v J)",
+			offT, offJ, onT, onJ)
+	}
+}
