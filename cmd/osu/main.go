@@ -32,6 +32,9 @@ var ops = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions)
 		pacc.Allgather(c, b, o)
 	},
 	"allreduce": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Allreduce(c, b, o) },
+	"allreduce_topo": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
+		pacc.AllreduceTopoAware(c, b, o)
+	},
 	"gather":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Gather(c, 0, b, o) },
 	"scatter":   func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Scatter(c, 0, b, o) },
 	"barrier": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
@@ -139,6 +142,7 @@ func main() {
 		metricsOut  = flag.String("metrics", "", "write a metrics JSON snapshot of the last size's run to this file")
 		configPath  = flag.String("config", "", "load the base cluster configuration from a JSON file")
 		dumpConfig  = flag.String("dump-config", "", "write the default configuration to this file and exit")
+		faultSpec   = flag.String("fault", "", "deterministic fault-injection spec, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5'")
 	)
 	flag.Parse()
 
@@ -158,6 +162,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "osu:", err)
 			os.Exit(1)
 		}
+	}
+	if *faultSpec != "" {
+		spec, err := pacc.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osu:", err)
+			os.Exit(2)
+		}
+		baseCfg.Fault = spec
 	}
 
 	call, ok := ops[*op]
@@ -190,6 +202,9 @@ func main() {
 	fmt.Printf("# OSU-style %s benchmark (simulated)\n", *op)
 	fmt.Printf("# %d ranks, %d per node, %s progression, %s scheme, %d iterations\n",
 		*procs, *ppn, *progression, mode, *iters)
+	if baseCfg.Fault != nil {
+		fmt.Printf("# fault injection: %s\n", baseCfg.Fault.String())
+	}
 	fmt.Printf("%-12s %14s %14s\n", "size(B)", "latency(us)", "cluster(W)")
 
 	wantObs := *traceOut != "" || *metricsOut != ""

@@ -34,11 +34,12 @@ func main() {
 		traceP  = flag.String("trace", "", "write a merged Chrome trace of an instrumented demo run to this file")
 		metricP = flag.String("metrics", "", "write a metrics JSON snapshot of the demo run to this file")
 		obsSpec = flag.String("obs", "alltoall:256K:proposed", "demo run for -trace/-metrics as op:size:mode")
+		faultP  = flag.String("fault", "", "deterministic fault-injection spec for the demo run, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms'")
 	)
 	flag.Parse()
 
 	if *traceP != "" || *metricP != "" {
-		if err := captureObs(*obsSpec, *traceP, *metricP); err != nil {
+		if err := captureObs(*obsSpec, *faultP, *traceP, *metricP); err != nil {
 			fmt.Fprintln(os.Stderr, "powercoll:", err)
 			os.Exit(1)
 		}
@@ -116,20 +117,30 @@ var obsOps = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptio
 	"bcast":     func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Bcast(c, 0, b, o) },
 	"reduce":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Reduce(c, 0, b, o) },
 	"allgather": pacc.Allgather,
-	"allreduce": pacc.Allreduce,
+	"allreduce":      pacc.Allreduce,
+	"allreduce_topo": pacc.AllreduceTopoAware,
 	"gather":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Gather(c, 0, b, o) },
 	"scatter":   func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Scatter(c, 0, b, o) },
 }
 
 // captureObs runs one instrumented collective call on the default testbed
-// and writes the merged trace and/or metrics snapshot.
-func captureObs(spec, tracePath, metricsPath string) error {
+// (optionally under a fault-injection spec) and writes the merged trace
+// and/or metrics snapshot.
+func captureObs(spec, faultSpec, tracePath, metricsPath string) error {
 	op, bytes, mode, err := parseObsSpec(spec)
 	if err != nil {
 		return err
 	}
 	call := obsOps[op]
-	w, err := pacc.NewWorld(pacc.DefaultConfig())
+	cfg := pacc.DefaultConfig()
+	if faultSpec != "" {
+		fs, err := pacc.ParseFaultSpec(faultSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Fault = fs
+	}
+	w, err := pacc.NewWorld(cfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,133 @@
+package pacc_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pacc"
+	"pacc/internal/simtime"
+)
+
+// faultWorkload runs two fault-aware allreduces (with a compute gap in
+// between, so a scheduled fault window can open mid-run) on a 4-node x 4
+// job and returns the elapsed time, per-rank sums and metrics/trace
+// snapshots.
+func faultWorkload(t *testing.T, spec *pacc.FaultSpec) (simtime.Duration, [2][]float64, []byte, []byte) {
+	t.Helper()
+	cfg := pacc.DefaultConfig()
+	cfg.NProcs, cfg.PPN = 16, 4
+	cfg.Fault = spec
+	w, err := pacc.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := pacc.AttachObs(w)
+	var sums [2][]float64
+	sums[0] = make([]float64, cfg.NProcs)
+	sums[1] = make([]float64, cfg.NProcs)
+	w.Launch(func(r *pacc.Rank) {
+		c := pacc.CommWorld(r)
+		sums[0][r.ID()] = pacc.AllreduceSum(c, 64<<10, float64(r.ID()+1), pacc.CollectiveOptions{})
+		pacc.Barrier(c)
+		r.Compute(2 * simtime.Millisecond)
+		sums[1][r.ID()] = pacc.AllreduceSum(c, 64<<10, float64(r.ID()+1), pacc.CollectiveOptions{})
+	})
+	elapsed, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics, tr bytes.Buffer
+	if err := sess.WriteMetrics(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.WriteTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	return elapsed, sums, metrics.Bytes(), tr.Bytes()
+}
+
+// TestFaultRunDeterminism: the same spec and seed reproduce the run
+// bit-identically — same elapsed time, same metrics snapshot.
+func TestFaultRunDeterminism(t *testing.T) {
+	spec, err := pacc.ParseFaultSpec(
+		"seed=7;msgloss=0.05;straggler=1@1.5;jitter=0.2;" +
+			"degrade=node1-up@0.5:100us+50ms;pdelay=10us;retry=10;acktimeout=50us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, s1, m1, _ := faultWorkload(t, spec)
+	e2, s2, m2, _ := faultWorkload(t, spec)
+	if e1 != e2 {
+		t.Fatalf("elapsed differs across identical runs: %v vs %v", e1, e2)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("metrics snapshots differ across identical faulted runs")
+	}
+	for it := range s1 {
+		for i := range s1[it] {
+			if s1[it][i] != s2[it][i] {
+				t.Fatalf("iteration %d rank %d sum differs: %g vs %g",
+					it, i, s1[it][i], s2[it][i])
+			}
+		}
+	}
+}
+
+// TestZeroProbabilitySpecIsNoOp: a spec that cannot inject anything must
+// leave the run bit-identical to one with no fault subsystem attached —
+// the nil-injector guarantee.
+func TestZeroProbabilitySpecIsNoOp(t *testing.T) {
+	inert := &pacc.FaultSpec{Seed: 99, RetryBudget: 7}
+	eSpec, sSpec, mSpec, _ := faultWorkload(t, inert)
+	eNil, sNil, mNil, _ := faultWorkload(t, nil)
+	if eSpec != eNil {
+		t.Fatalf("zero-probability spec changed elapsed time: %v vs %v", eSpec, eNil)
+	}
+	if !bytes.Equal(mSpec, mNil) {
+		t.Fatal("zero-probability spec changed the metrics snapshot")
+	}
+	for it := range sSpec {
+		for i := range sSpec[it] {
+			if sSpec[it][i] != sNil[it][i] {
+				t.Fatalf("iteration %d rank %d sum differs", it, i)
+			}
+		}
+	}
+}
+
+// TestMidRunDegradationFallsBack is the end-to-end acceptance scenario: a
+// link degrades after the first allreduce completes; the second detects
+// it, falls back, still reduces correctly everywhere, and the decision
+// appears in the exported Chrome trace.
+func TestMidRunDegradationFallsBack(t *testing.T) {
+	spec := &pacc.FaultSpec{
+		Seed: 3,
+		LinkFaults: []pacc.LinkFault{
+			// Opens during the compute gap between the two allreduces
+			// (the first finishes well before 1.5ms of virtual time).
+			{Link: "node2-up", Factor: 0.25, Start: 1500 * simtime.Microsecond,
+				Duration: 1000 * simtime.Second},
+		},
+		RetryBudget: 7,
+	}
+	elapsed, sums, _, tr := faultWorkload(t, spec)
+	if elapsed <= 0 {
+		t.Fatal("empty run")
+	}
+	want := float64(16*17) / 2
+	for it := range sums {
+		for i, v := range sums[it] {
+			if v != want {
+				t.Fatalf("iteration %d rank %d sum = %g, want %g", it, i, v, want)
+			}
+		}
+	}
+	trace := string(tr)
+	if !strings.Contains(trace, "fallback") {
+		t.Error("exported trace has no fallback span")
+	}
+	if !strings.Contains(trace, "link fault") {
+		t.Error("exported trace has no link-fault marker")
+	}
+}

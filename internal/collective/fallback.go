@@ -1,0 +1,214 @@
+package collective
+
+import (
+	"pacc/internal/mpi"
+	"pacc/internal/obs"
+)
+
+// Graceful degradation for the topology-aware collectives: when the
+// fabric reports degraded links, the rack-hierarchy schedules — which
+// concentrate traffic on a few leader links — are the wrong shape, so
+// the collectives agree to fall back to contention-minimal flat
+// variants (binomial trees, neighbor rings) for the rest of the run's
+// faulted window. The decision is recorded through the observability
+// bus so it shows up in the exported trace and metrics.
+
+// faultAware reports whether the job runs with an active fault injector;
+// only then do collectives pay for health agreement. The gate is
+// config-derived, so every rank branches identically, and fault-free
+// runs keep their exact historical schedules (the nil-injector no-op
+// guarantee).
+func faultAware(c *mpi.Comm) bool { return c.World().Injector().Enabled() }
+
+// agreeOnFallback decides — consistently across the communicator —
+// whether this collective should abandon its topology-aware schedule.
+// Ranks reach a collective at different simulated times, so each one
+// sampling fabric health independently could diverge and deadlock on
+// mismatched schedules; instead comm rank 0 samples and binomially
+// broadcasts the verdict, the agreement discipline a subnet-manager
+// client would use.
+func agreeOnFallback(c *mpi.Comm, block int) bool {
+	me, n := c.Rank(), c.Size()
+	verdict := 0.0
+	if me == 0 && c.Owner().Degraded() {
+		verdict = 1
+	}
+	for mask := 1; mask < n; mask <<= 1 {
+		if me < mask {
+			if peer := me + mask; peer < n {
+				c.SendValue(peer, 0, ctrlTag(block, (1<<13)+peer), verdict)
+			}
+		} else if me < mask<<1 {
+			v, err := c.RecvValue(me-mask, 0, ctrlTag(block, (1<<13)+me))
+			if err == nil {
+				verdict = v
+			}
+		}
+	}
+	return verdict != 0
+}
+
+// fallbackToFlat runs the health agreement for one topology-aware
+// collective; when the fabric is degraded it records the decision and
+// reports true so the caller runs the flat variant instead.
+func fallbackToFlat(c *mpi.Comm, op string) bool {
+	if !faultAware(c) {
+		return false
+	}
+	if !agreeOnFallback(c, c.TagBlock()) {
+		return false
+	}
+	r := c.Owner()
+	if b := r.World().Obs(); b != nil && c.Rank() == 0 {
+		b.Add(obs.CtrCollectiveFallbacks, 1)
+		b.Instant(r.ObsTrack(), "fallback "+op+" → binomial (degraded fabric)",
+			map[string]any{"links": r.World().Fabric().DegradedLinks()})
+	}
+	return true
+}
+
+// AllreduceTopoAware combines bytes across all ranks through the rack
+// hierarchy: intra-node reduction to node leaders, leader exchange
+// (recursive doubling on a healthy fabric, a neighbor ring after a
+// degradation fallback), intra-node broadcast back.
+func AllreduceTopoAware(c *mpi.Comm, bytes int64, opt Options) {
+	AllreduceSum(c, bytes, 0, opt)
+}
+
+// AllreduceSum is AllreduceTopoAware carrying a real float64 sum through
+// the simulated message schedule (the wire board): every rank
+// contributes v and receives the global sum, so tests can verify data
+// correctness end-to-end under injected faults, not just termination.
+func AllreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) float64 {
+	opt.Power = opt.effectivePower(bytes)
+	out := v
+	timeCollective(c, opt, "allreduce_topo", bytes, func() {
+		run := func() { out = allreduceSum(c, bytes, v, opt) }
+		if opt.Power == FreqScaling || opt.Power == Proposed {
+			withFreqScaling(c, run)
+			return
+		}
+		run()
+	})
+	return out
+}
+
+func allreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) float64 {
+	if c.Size() == 1 {
+		return v
+	}
+	block := c.TagBlock()
+	fallback := faultAware(c) && agreeOnFallback(c, block)
+	shmC, leadC := c.SplitByNode()
+	r := c.Owner()
+	b := r.World().Obs()
+
+	// Phase 1 (intra-node): locals reduce onto the node leader.
+	sum := v
+	timePhase(c, opt.Trace, PhaseIntra, func() {
+		if shmC.Size() <= 1 {
+			return
+		}
+		if shmC.Rank() != 0 {
+			shmC.SendValue(0, bytes, ctrlTag(block, (1<<14)+shmC.Rank()), sum)
+			return
+		}
+		for i := 1; i < shmC.Size(); i++ {
+			x, err := shmC.RecvValue(i, bytes, ctrlTag(block, (1<<14)+i))
+			if err == nil {
+				sum += x
+			}
+			reduceOp(c, bytes, opt)
+		}
+	})
+
+	// Phase 2 (inter-node): leader exchange.
+	if leadC != nil && leadC.Size() > 1 {
+		timePhase(c, opt.Trace, PhaseNetwork, func() {
+			p := leadC.Size()
+			useRing := fallback || p&(p-1) != 0
+			var sp obs.SpanHandle
+			if fallback && leadC.Rank() == 0 {
+				b.Add(obs.CtrCollectiveFallbacks, 1)
+				sp = b.Begin(r.ObsTrack(), "fallback ring (degraded fabric)",
+					map[string]any{"links": r.World().Fabric().DegradedLinks()})
+			}
+			if useRing {
+				sum = ringSum(leadC, c, block, bytes, sum, opt)
+			} else {
+				sum = rdSum(leadC, c, block, bytes, sum, opt)
+			}
+			sp.End()
+		})
+	}
+
+	// Phase 3 (intra-node): leader publishes the result.
+	timePhase(c, opt.Trace, PhaseIntra, func() {
+		if shmC.Size() <= 1 {
+			return
+		}
+		if shmC.Rank() == 0 {
+			for i := 1; i < shmC.Size(); i++ {
+				shmC.SendValue(i, bytes, ctrlTag(block, (1<<15)+i), sum)
+			}
+			return
+		}
+		if x, err := shmC.RecvValue(0, bytes, ctrlTag(block, (1<<15)+shmC.Rank())); err == nil {
+			sum = x
+		}
+	})
+	return sum
+}
+
+// rdSum runs recursive doubling over lc (power-of-two size): log p rounds
+// of pairwise exchange, every leader's link active every round — the
+// fastest schedule on a healthy fabric.
+func rdSum(lc *mpi.Comm, c *mpi.Comm, block int, bytes int64, v float64, opt Options) float64 {
+	n, me := lc.Size(), lc.Rank()
+	for mask := 1; mask < n; mask <<= 1 {
+		peer := me ^ mask
+		tag := lc.PairTag(block, me, peer) + (1<<17)*logOf(mask)
+		rq := lc.Irecv(peer, bytes, tag)
+		lc.SendValue(peer, bytes, tag, v)
+		rq.Wait()
+		if x, ok := takeWireOf(lc, peer, tag); ok {
+			v += x
+		}
+		reduceOp(c, bytes, opt)
+	}
+	return v
+}
+
+// takeWireOf picks up the wire-board value of an already-received message
+// (the Irecv/SendValue split above keeps the exchange deadlock-free).
+func takeWireOf(lc *mpi.Comm, src, tag int) (float64, bool) {
+	return lc.Owner().TakeWire(lc.Global(src), tag)
+}
+
+// ringSum reduces along the neighbor ring to leader 0, then passes the
+// total back around: 2(p-1) sequential hops, but each hop occupies only
+// one uplink/downlink pair, so no transfer shares a degraded link with
+// another — the contention-minimal fallback shape.
+func ringSum(lc *mpi.Comm, c *mpi.Comm, block int, bytes int64, v float64, opt Options) float64 {
+	p, me := lc.Size(), lc.Rank()
+	// Reduce: partial sums flow p-1 → p-2 → … → 0.
+	if me < p-1 {
+		x, err := lc.RecvValue(me+1, bytes, ctrlTag(block, (1<<16)+me))
+		if err == nil {
+			v += x
+		}
+		reduceOp(c, bytes, opt)
+	}
+	if me > 0 {
+		lc.SendValue(me-1, bytes, ctrlTag(block, (1<<16)+me-1), v)
+		// Broadcast: the total flows 0 → 1 → … → p-1.
+		x, err := lc.RecvValue(me-1, bytes, ctrlTag(block, (1<<16)+(1<<10)+me))
+		if err == nil {
+			v = x
+		}
+	}
+	if me < p-1 {
+		lc.SendValue(me+1, bytes, ctrlTag(block, (1<<16)+(1<<10)+me+1), v)
+	}
+	return v
+}

@@ -1,0 +1,152 @@
+package collective
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pacc/internal/fault"
+	"pacc/internal/mpi"
+	"pacc/internal/obs"
+	"pacc/internal/simtime"
+)
+
+// sumWorld runs AllreduceSum on every rank (contribution rank+1) and
+// returns the per-rank results plus the world.
+func sumWorld(t *testing.T, cfg mpi.Config, payload int64, attach bool) ([]float64, *mpi.World, *obs.Bus) {
+	t.Helper()
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b *obs.Bus
+	if attach {
+		b = obs.NewBus(w.Engine())
+		w.AttachObs(b)
+	}
+	got := make([]float64, cfg.NProcs)
+	w.Launch(func(r *mpi.Rank) {
+		c := mpi.CommWorld(r)
+		got[r.ID()] = AllreduceSum(c, payload, float64(r.ID()+1), Options{})
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return got, w, b
+}
+
+func wantSum(n int) float64 { return float64(n*(n+1)) / 2 }
+
+// TestAllreduceSumHealthy: recursive-doubling leader exchange (power-of-2
+// node count) reduces to the exact global sum on every rank.
+func TestAllreduceSumHealthy(t *testing.T) {
+	cfg := cfg32x8() // 4 nodes x 8 ranks
+	got, _, _ := sumWorld(t, cfg, 64<<10, false)
+	for i, v := range got {
+		if v != wantSum(cfg.NProcs) {
+			t.Fatalf("rank %d sum = %g, want %g", i, v, wantSum(cfg.NProcs))
+		}
+	}
+}
+
+// TestAllreduceSumRingLeaders: a non-power-of-2 node count takes the ring
+// leader exchange; the sum must still be exact.
+func TestAllreduceSumRingLeaders(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs, cfg.PPN = 12, 4 // 3 node leaders
+	got, _, _ := sumWorld(t, cfg, 4<<10, false)
+	for i, v := range got {
+		if v != wantSum(cfg.NProcs) {
+			t.Fatalf("rank %d sum = %g, want %g", i, v, wantSum(cfg.NProcs))
+		}
+	}
+}
+
+// TestAllreduceSumSingleNode: with one node the exchange is purely
+// intra-node.
+func TestAllreduceSumSingleNode(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs, cfg.PPN = 8, 8
+	got, _, _ := sumWorld(t, cfg, 1<<10, false)
+	for i, v := range got {
+		if v != wantSum(8) {
+			t.Fatalf("rank %d sum = %g, want %g", i, v, wantSum(8))
+		}
+	}
+}
+
+// TestAllreduceFallbackUnderDegradation is the acceptance scenario: a
+// link-degradation fault active during the collective makes the leaders
+// agree to fall back to the contention-minimal ring, the reduction still
+// produces the right value at every rank, and the decision is visible on
+// the observability bus.
+func TestAllreduceFallbackUnderDegradation(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs, cfg.PPN = 16, 4 // 4 node leaders: healthy path would be rd
+	cfg.Fault = &fault.Spec{Seed: 3, LinkFaults: []fault.LinkFault{
+		{Link: "node1-up", Factor: 0.25, Start: 0, Duration: 1000 * simtime.Second},
+	}}
+	got, _, b := sumWorld(t, cfg, 64<<10, true)
+	for i, v := range got {
+		if v != wantSum(16) {
+			t.Fatalf("rank %d sum under degraded fabric = %g, want %g", i, v, wantSum(16))
+		}
+	}
+	if n := b.Counter(obs.CtrCollectiveFallbacks); n == 0 {
+		t.Error("no fallback recorded on the bus")
+	}
+	var buf bytes.Buffer
+	if err := b.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fallback") {
+		t.Error("exported trace has no fallback span")
+	}
+}
+
+// TestAllreduceNoFallbackWhenHealthy: with an active injector but no link
+// fault the agreement runs and declines; the schedule stays rd and no
+// fallback is recorded.
+func TestAllreduceNoFallbackWhenHealthy(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs, cfg.PPN = 16, 4
+	cfg.Fault = &fault.Spec{Seed: 3, EagerLoss: 0.01, RetryBudget: 7}
+	got, _, b := sumWorld(t, cfg, 64<<10, true)
+	for i, v := range got {
+		if v != wantSum(16) {
+			t.Fatalf("rank %d sum = %g, want %g", i, v, wantSum(16))
+		}
+	}
+	if n := b.Counter(obs.CtrCollectiveFallbacks); n != 0 {
+		t.Errorf("healthy fabric recorded %d fallbacks", n)
+	}
+}
+
+// TestTopoAwareFallbacksToFlat: the scatter/bcast/gather topology-aware
+// variants detect the degraded fabric and complete via their flat
+// fallbacks (recorded on the bus).
+func TestTopoAwareFallbacksToFlat(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs, cfg.PPN = 16, 4
+	cfg.Fault = &fault.Spec{Seed: 5, LinkFaults: []fault.LinkFault{
+		{Link: "node2-up", Factor: 0.5, Start: 0, Duration: 1000 * simtime.Second},
+	}}
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := obs.NewBus(w.Engine())
+	w.AttachObs(b)
+	w.Launch(func(r *mpi.Rank) {
+		c := mpi.CommWorld(r)
+		ScatterTopoAware(c, 0, 16<<10, Options{})
+		BcastTopoAware(c, 0, 16<<10, Options{})
+		GatherTopoAware(c, 0, 16<<10, Options{})
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Counter(obs.CtrCollectiveFallbacks); n < 3 {
+		t.Errorf("recorded %d fallbacks, want one per topo-aware collective (3)", n)
+	}
+}

@@ -68,6 +68,12 @@ func (rl *rackLayout) ranksInRack(rack int) int {
 func ScatterTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "scatter_topo", bytes, func() {
+		if fallbackToFlat(c, "scatter_topo") {
+			inner := opt
+			inner.Trace = nil
+			Scatter(c, root, bytes, inner)
+			return
+		}
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { scatterTopo(c, root, bytes, opt, true) })
@@ -170,6 +176,12 @@ func scatterTopo(c *mpi.Comm, root int, bytes int64, opt Options, throttle bool)
 func BcastTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "bcast_topo", bytes, func() {
+		if fallbackToFlat(c, "bcast_topo") {
+			inner := opt
+			inner.Trace = nil
+			Bcast(c, root, bytes, inner)
+			return
+		}
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { bcastTopo(c, root, bytes, opt, true) })
@@ -257,6 +269,12 @@ func bcastTopo(c *mpi.Comm, root int, bytes int64, opt Options, throttle bool) {
 func GatherTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "gather_topo", bytes, func() {
+		if fallbackToFlat(c, "gather_topo") {
+			inner := opt
+			inner.Trace = nil
+			Gather(c, root, bytes, inner)
+			return
+		}
 		switch opt.Power {
 		case Proposed:
 			withFreqScaling(c, func() { gatherTopo(c, root, bytes, opt, true) })

@@ -1,0 +1,436 @@
+// Package fault implements seeded, deterministic fault injection for the
+// simulated cluster. A Spec declares what goes wrong — per-link bandwidth
+// degradation and transient link down/up windows, packet-level message
+// loss (eager payloads, rendezvous RTS/CTS control messages and data),
+// straggler ranks with per-call compute jitter, and slow or stuck P/T-state
+// transitions — and an Injector turns the spec into reproducible per-event
+// decisions.
+//
+// Determinism is the contract: every decision is a pure hash of the seed
+// and the identity of the event being decided (message class, endpoints,
+// sequence number, attempt), never of wall-clock state or call order
+// across ranks. The same spec and seed therefore produce bit-identical
+// simulations, and a spec with all probabilities at zero and no scheduled
+// faults perturbs nothing — the injector is a no-op exactly like a nil
+// *obs.Bus.
+//
+// The injector itself is passive: it answers questions. The wiring lives
+// in the layers it perturbs — mpi consults it for message loss and retry
+// policy, the network applies its link schedule, and power cores take
+// their transition delays from it.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pacc/internal/simtime"
+)
+
+// MsgClass identifies the protocol message a loss decision applies to.
+type MsgClass int
+
+const (
+	// Eager is a self-contained eager payload.
+	Eager MsgClass = iota
+	// RTS is a rendezvous request-to-send control message.
+	RTS
+	// CTS is a rendezvous clear-to-send control message.
+	CTS
+	// Data is a rendezvous payload transfer (after CTS).
+	Data
+)
+
+func (c MsgClass) String() string {
+	switch c {
+	case Eager:
+		return "eager"
+	case RTS:
+		return "rts"
+	case CTS:
+		return "cts"
+	case Data:
+		return "data"
+	default:
+		return fmt.Sprintf("MsgClass(%d)", int(c))
+	}
+}
+
+// LinkFault degrades one named fabric link for a window of virtual time.
+// Factor scales the link's capacity during the window: 0 takes the link
+// down entirely (flows crossing it stall and new sends are requeued until
+// the window ends), values in (0,1) model a degraded lane/signal.
+type LinkFault struct {
+	// Link is the fabric link name, e.g. "node3-up", "node0-down",
+	// "rack1-up".
+	Link string
+	// Factor is the capacity multiplier in [0,1) applied during the
+	// fault window.
+	Factor float64
+	// Start is when the fault activates.
+	Start simtime.Duration
+	// Duration is how long it lasts; the link restores at Start+Duration.
+	Duration simtime.Duration
+}
+
+// Straggler slows one rank's CPU-side work by a constant factor, with
+// optional per-call jitter (Spec.ComputeJitter).
+type Straggler struct {
+	// Rank is the global rank id.
+	Rank int
+	// Slowdown ≥ 1 stretches all clock-bound work of the rank.
+	Slowdown float64
+}
+
+// Spec is a declarative fault schedule. The zero value injects nothing.
+type Spec struct {
+	// Seed drives every probabilistic decision. Two runs with the same
+	// spec (seed included) are bit-identical.
+	Seed uint64
+
+	// EagerLoss, RTSLoss, CTSLoss, DataLoss are per-message drop
+	// probabilities in [0,1] for the four protocol message classes.
+	EagerLoss float64
+	RTSLoss   float64
+	CTSLoss   float64
+	DataLoss  float64
+
+	// LinkFaults schedules bandwidth degradation and down/up windows.
+	LinkFaults []LinkFault
+
+	// Stragglers lists slow ranks.
+	Stragglers []Straggler
+	// ComputeJitter in [0,1) adds a deterministic per-call multiplicative
+	// jitter of ±ComputeJitter to straggler work.
+	ComputeJitter float64
+
+	// PStateDelay / TStateDelay add hardware settle time to every DVFS /
+	// throttle transition (slow voltage regulators, firmware contention).
+	PStateDelay simtime.Duration
+	TStateDelay simtime.Duration
+	// StickProb in [0,1] is the chance a transition gets "stuck" and
+	// takes stickFactor× the configured extra delay.
+	StickProb float64
+
+	// RetryBudget bounds retransmit attempts per message, mirroring the
+	// 3-bit IB RC Retry Count. Zero selects DefaultRetryBudget; it must
+	// be positive when any loss probability is.
+	RetryBudget int
+	// AckTimeout is the base retransmission timeout (IB Local ACK
+	// Timeout); attempt k retransmits after AckTimeout·2^k. Zero selects
+	// DefaultAckTimeout.
+	AckTimeout simtime.Duration
+}
+
+// Defaults mirroring InfiniBand RC transport constants: a 7-attempt retry
+// count (the maximum of the 3-bit field) and a 100µs local ACK timeout.
+const (
+	DefaultRetryBudget = 7
+	stickFactor        = 10
+)
+
+// DefaultAckTimeout is the base retransmission timeout used when
+// Spec.AckTimeout is zero.
+const DefaultAckTimeout = 100 * simtime.Microsecond
+
+// anyLoss reports whether any message class can be dropped.
+func (s *Spec) anyLoss() bool {
+	return s.EagerLoss > 0 || s.RTSLoss > 0 || s.CTSLoss > 0 || s.DataLoss > 0
+}
+
+// Active reports whether the spec can perturb anything at all. An inactive
+// spec attached to a world is guaranteed not to change its behavior.
+func (s *Spec) Active() bool {
+	if s == nil {
+		return false
+	}
+	return s.anyLoss() || len(s.LinkFaults) > 0 || len(s.Stragglers) > 0 ||
+		s.PStateDelay > 0 || s.TStateDelay > 0
+}
+
+// Validate rejects out-of-range probabilities, negative degradation
+// factors, zero retry budgets under message loss, and malformed schedule
+// entries.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"EagerLoss", s.EagerLoss}, {"RTSLoss", s.RTSLoss},
+		{"CTSLoss", s.CTSLoss}, {"DataLoss", s.DataLoss},
+		{"StickProb", s.StickProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if s.ComputeJitter < 0 || s.ComputeJitter >= 1 {
+		return fmt.Errorf("fault: ComputeJitter %g outside [0,1)", s.ComputeJitter)
+	}
+	for _, lf := range s.LinkFaults {
+		if lf.Link == "" {
+			return fmt.Errorf("fault: link fault with empty link name")
+		}
+		if lf.Factor < 0 || lf.Factor >= 1 {
+			return fmt.Errorf("fault: link %s degradation factor %g outside [0,1)",
+				lf.Link, lf.Factor)
+		}
+		if lf.Start < 0 {
+			return fmt.Errorf("fault: link %s fault starts at negative time %v", lf.Link, lf.Start)
+		}
+		if lf.Duration <= 0 {
+			return fmt.Errorf("fault: link %s fault has non-positive duration %v",
+				lf.Link, lf.Duration)
+		}
+	}
+	for _, st := range s.Stragglers {
+		if st.Rank < 0 {
+			return fmt.Errorf("fault: straggler rank %d is negative", st.Rank)
+		}
+		if st.Slowdown < 1 {
+			return fmt.Errorf("fault: straggler rank %d slowdown %g below 1", st.Rank, st.Slowdown)
+		}
+	}
+	if s.PStateDelay < 0 || s.TStateDelay < 0 {
+		return fmt.Errorf("fault: negative power transition delay")
+	}
+	if s.RetryBudget < 0 {
+		return fmt.Errorf("fault: negative RetryBudget %d", s.RetryBudget)
+	}
+	if s.AckTimeout < 0 {
+		return fmt.Errorf("fault: negative AckTimeout")
+	}
+	if s.anyLoss() && s.RetryBudget == 0 {
+		return fmt.Errorf("fault: zero retry budget with message loss enabled; every lost message would stall its receiver (set RetryBudget >= 1)")
+	}
+	return nil
+}
+
+// Parse reads the -fault command-line syntax: semicolon-separated
+// key=value clauses.
+//
+//	seed=42                        deterministic seed (default 1)
+//	msgloss=0.02                   loss probability for all message classes
+//	eagerloss= rtsloss= ctsloss= dataloss=   per-class overrides
+//	degrade=node0-up@0.25:2ms+10ms link at 25% capacity from 2ms for 10ms
+//	linkdown=node1-up:5ms+1ms      link fully down from 5ms for 1ms
+//	straggler=3@1.5                rank 3 runs 1.5x slower
+//	jitter=0.2                     ±20% per-call jitter on stragglers
+//	pdelay=50us tdelay=20us        extra P-/T-state transition settle time
+//	stick=0.1                      chance a transition sticks (10x delay)
+//	retry=7                        retransmit budget (IB RC Retry Count)
+//	acktimeout=100us               base retransmission timeout
+//
+// degrade, linkdown and straggler may repeat. Durations use Go syntax
+// (ns, us, ms, s).
+func Parse(src string) (*Spec, error) {
+	s := &Spec{Seed: 1}
+	retrySet := false
+	for _, clause := range strings.Split(src, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q is not key=value", clause)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "msgloss":
+			var p float64
+			p, err = parseProb(val)
+			s.EagerLoss, s.RTSLoss, s.CTSLoss, s.DataLoss = p, p, p, p
+		case "eagerloss":
+			s.EagerLoss, err = parseProb(val)
+		case "rtsloss":
+			s.RTSLoss, err = parseProb(val)
+		case "ctsloss":
+			s.CTSLoss, err = parseProb(val)
+		case "dataloss":
+			s.DataLoss, err = parseProb(val)
+		case "degrade":
+			var lf LinkFault
+			lf, err = parseLinkFault(val, true)
+			s.LinkFaults = append(s.LinkFaults, lf)
+		case "linkdown":
+			var lf LinkFault
+			lf, err = parseLinkFault(val, false)
+			s.LinkFaults = append(s.LinkFaults, lf)
+		case "straggler":
+			name, factor, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: straggler %q (want RANK@SLOWDOWN)", val)
+			}
+			st := Straggler{}
+			st.Rank, err = strconv.Atoi(name)
+			if err == nil {
+				st.Slowdown, err = strconv.ParseFloat(factor, 64)
+			}
+			s.Stragglers = append(s.Stragglers, st)
+		case "jitter":
+			s.ComputeJitter, err = strconv.ParseFloat(val, 64)
+		case "pdelay":
+			s.PStateDelay, err = parseDur(val)
+		case "tdelay":
+			s.TStateDelay, err = parseDur(val)
+		case "stick":
+			s.StickProb, err = parseProb(val)
+		case "retry":
+			s.RetryBudget, err = strconv.Atoi(val)
+			retrySet = true
+		case "acktimeout":
+			s.AckTimeout, err = parseDur(val)
+		default:
+			return nil, fmt.Errorf("fault: unknown clause key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+	}
+	if !retrySet {
+		s.RetryBudget = DefaultRetryBudget
+	}
+	if s.AckTimeout == 0 {
+		s.AckTimeout = DefaultAckTimeout
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseProb(v string) (float64, error) {
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	return p, nil
+}
+
+// parseDur parses a Go-style duration into virtual time.
+func parseDur(v string) (simtime.Duration, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, err
+	}
+	return simtime.Duration(d.Nanoseconds()), nil
+}
+
+// parseLinkFault reads LINK@FACTOR:START+DUR (degrade) or LINK:START+DUR
+// (linkdown, factor 0).
+func parseLinkFault(v string, withFactor bool) (LinkFault, error) {
+	lf := LinkFault{}
+	head, window, ok := strings.Cut(v, ":")
+	if !ok {
+		return lf, fmt.Errorf("missing :START+DUR window in %q", v)
+	}
+	if withFactor {
+		link, factor, ok := strings.Cut(head, "@")
+		if !ok {
+			return lf, fmt.Errorf("missing @FACTOR in %q", v)
+		}
+		lf.Link = link
+		f, err := strconv.ParseFloat(factor, 64)
+		if err != nil {
+			return lf, err
+		}
+		lf.Factor = f
+	} else {
+		lf.Link = head
+	}
+	start, dur, ok := strings.Cut(window, "+")
+	if !ok {
+		return lf, fmt.Errorf("window %q is not START+DUR", window)
+	}
+	var err error
+	if lf.Start, err = parseDur(start); err != nil {
+		return lf, err
+	}
+	if lf.Duration, err = parseDur(dur); err != nil {
+		return lf, err
+	}
+	return lf, nil
+}
+
+// String renders the spec back in Parse syntax (canonical clause order).
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	var parts []string
+	add := func(f string, args ...any) { parts = append(parts, fmt.Sprintf(f, args...)) }
+	add("seed=%d", s.Seed)
+	if s.EagerLoss > 0 {
+		add("eagerloss=%g", s.EagerLoss)
+	}
+	if s.RTSLoss > 0 {
+		add("rtsloss=%g", s.RTSLoss)
+	}
+	if s.CTSLoss > 0 {
+		add("ctsloss=%g", s.CTSLoss)
+	}
+	if s.DataLoss > 0 {
+		add("dataloss=%g", s.DataLoss)
+	}
+	for _, lf := range s.LinkFaults {
+		if lf.Factor == 0 {
+			add("linkdown=%s:%s+%s", lf.Link, durStr(lf.Start), durStr(lf.Duration))
+		} else {
+			add("degrade=%s@%g:%s+%s", lf.Link, lf.Factor, durStr(lf.Start), durStr(lf.Duration))
+		}
+	}
+	for _, st := range s.Stragglers {
+		add("straggler=%d@%g", st.Rank, st.Slowdown)
+	}
+	if s.ComputeJitter > 0 {
+		add("jitter=%g", s.ComputeJitter)
+	}
+	if s.PStateDelay > 0 {
+		add("pdelay=%s", durStr(s.PStateDelay))
+	}
+	if s.TStateDelay > 0 {
+		add("tdelay=%s", durStr(s.TStateDelay))
+	}
+	if s.StickProb > 0 {
+		add("stick=%g", s.StickProb)
+	}
+	if s.RetryBudget > 0 {
+		add("retry=%d", s.RetryBudget)
+	}
+	if s.AckTimeout > 0 {
+		add("acktimeout=%s", durStr(s.AckTimeout))
+	}
+	return strings.Join(parts, ";")
+}
+
+func durStr(d simtime.Duration) string {
+	return time.Duration(d).String()
+}
+
+// StragglerRanks returns the straggler ranks ascending (deduplicated).
+func (s *Spec) StragglerRanks() []int {
+	if s == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, st := range s.Stragglers {
+		if !seen[st.Rank] {
+			seen[st.Rank] = true
+			out = append(out, st.Rank)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

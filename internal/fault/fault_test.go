@@ -1,0 +1,307 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+func TestParseFullSpec(t *testing.T) {
+	s, err := Parse("seed=42;msgloss=0.02;ctsloss=0.5;" +
+		"degrade=node0-up@0.25:2ms+10ms;linkdown=node1-up:5ms+1ms;" +
+		"straggler=3@1.5;jitter=0.2;pdelay=50us;tdelay=20us;stick=0.1;" +
+		"retry=5;acktimeout=200us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Spec{
+		Seed:      42,
+		EagerLoss: 0.02, RTSLoss: 0.02, CTSLoss: 0.5, DataLoss: 0.02,
+		LinkFaults: []LinkFault{
+			{Link: "node0-up", Factor: 0.25, Start: 2 * simtime.Millisecond, Duration: 10 * simtime.Millisecond},
+			{Link: "node1-up", Factor: 0, Start: 5 * simtime.Millisecond, Duration: simtime.Millisecond},
+		},
+		Stragglers:    []Straggler{{Rank: 3, Slowdown: 1.5}},
+		ComputeJitter: 0.2,
+		PStateDelay:   50 * simtime.Microsecond,
+		TStateDelay:   20 * simtime.Microsecond,
+		StickProb:     0.1,
+		RetryBudget:   5,
+		AckTimeout:    200 * simtime.Microsecond,
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("parsed spec\n%+v\nwant\n%+v", s, want)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse("msgloss=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 1 {
+		t.Errorf("default seed = %d, want 1", s.Seed)
+	}
+	if s.RetryBudget != DefaultRetryBudget {
+		t.Errorf("default retry budget = %d, want %d", s.RetryBudget, DefaultRetryBudget)
+	}
+	if s.AckTimeout != DefaultAckTimeout {
+		t.Errorf("default ack timeout = %v, want %v", s.AckTimeout, DefaultAckTimeout)
+	}
+	if empty, err := Parse(""); err != nil || empty.Active() {
+		t.Errorf("empty spec: err=%v active=%v", err, empty.Active())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"nonsense",                    // not key=value
+		"warp=9",                      // unknown key
+		"seed=abc",                    // bad integer
+		"msgloss=high",                // bad float
+		"msgloss=1.5",                 // probability out of range
+		"msgloss=-0.1",                // negative probability
+		"degrade=node0-up@0.5",        // missing window
+		"degrade=node0-up:1ms+1ms",    // missing factor
+		"degrade=node0-up@1.0:0+1ms",  // factor not below 1
+		"degrade=@0.5:0+1ms",          // empty link name
+		"linkdown=node0-up:1ms",       // window not START+DUR
+		"linkdown=node0-up:1ms+0s",    // zero duration
+		"linkdown=node0-up:-1ms+1ms",  // negative start
+		"straggler=3",                 // missing slowdown
+		"straggler=x@2",               // bad rank
+		"straggler=-1@2",              // negative rank
+		"straggler=3@0.5",             // slowdown below 1
+		"jitter=1.0",                  // jitter must stay below 1
+		"pdelay=-5us",                 // negative delay
+		"retry=-1",                    // negative budget
+		"msgloss=0.5;retry=0",         // loss with zero retry budget
+		"acktimeout=oops",             // bad duration
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	var s *Spec
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Active() {
+		t.Error("nil spec active")
+	}
+	if s.String() != "" {
+		t.Error("nil spec should render empty")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"seed=7;eagerloss=0.1;degrade=node2-up@0.5:1ms+2ms;straggler=0@2;retry=3;acktimeout=50us",
+		"seed=1;linkdown=rack0-up:100us+1ms;pdelay=10us;stick=0.25;retry=7;acktimeout=100us",
+	}
+	for _, src := range specs {
+		s, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		back, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", src, s.String(), err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Errorf("round trip of %q changed the spec:\n%+v\n%+v", src, s, back)
+		}
+	}
+}
+
+func TestActive(t *testing.T) {
+	if (&Spec{Seed: 9, RetryBudget: 7, AckTimeout: DefaultAckTimeout}).Active() {
+		t.Error("spec with only seed/retry/timeout should be inactive")
+	}
+	active := []Spec{
+		{EagerLoss: 0.1}, {RTSLoss: 0.1}, {CTSLoss: 0.1}, {DataLoss: 0.1},
+		{LinkFaults: []LinkFault{{Link: "node0-up", Start: 0, Duration: 1}}},
+		{Stragglers: []Straggler{{Rank: 0, Slowdown: 2}}},
+		{PStateDelay: 1}, {TStateDelay: 1},
+	}
+	for i, s := range active {
+		if !s.Active() {
+			t.Errorf("spec %d should be active", i)
+		}
+	}
+}
+
+// TestDropDeterminism: drop decisions are a pure function of (seed, event
+// identity) — replaying the same queries yields the same answers, in any
+// order, and a different seed decides differently somewhere.
+func TestDropDeterminism(t *testing.T) {
+	spec := &Spec{Seed: 42, EagerLoss: 0.3, CTSLoss: 0.5, RetryBudget: 7}
+	a, b := NewInjector(spec), NewInjector(spec)
+	type q struct {
+		class    MsgClass
+		src, dst int
+		seq      uint64
+		attempt  int
+	}
+	var queries []q
+	for seq := uint64(0); seq < 50; seq++ {
+		queries = append(queries, q{Eager, 0, 1, seq, 0}, q{CTS, 3, 2, seq, 1})
+	}
+	var got []bool
+	for _, x := range queries {
+		got = append(got, a.Drop(x.class, x.src, x.dst, x.seq, x.attempt))
+	}
+	// Replay reversed on a fresh injector: call order must not matter.
+	for i := len(queries) - 1; i >= 0; i-- {
+		x := queries[i]
+		if b.Drop(x.class, x.src, x.dst, x.seq, x.attempt) != got[i] {
+			t.Fatalf("query %d decided differently on replay", i)
+		}
+	}
+	other := NewInjector(&Spec{Seed: 43, EagerLoss: 0.3, CTSLoss: 0.5, RetryBudget: 7})
+	same := true
+	for i, x := range queries {
+		if other.Drop(x.class, x.src, x.dst, x.seq, x.attempt) != got[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed 43 made the exact same 100 decisions as seed 42")
+	}
+}
+
+// TestDropAttemptsIndependent: retransmissions flip their own coin, so a
+// 50% loss stream must both drop and deliver across attempts.
+func TestDropAttemptsIndependent(t *testing.T) {
+	in := NewInjector(&Spec{Seed: 1, DataLoss: 0.5, RetryBudget: 7})
+	drops, keeps := 0, 0
+	for attempt := 0; attempt < 64; attempt++ {
+		if in.Drop(Data, 0, 1, 1, attempt) {
+			drops++
+		} else {
+			keeps++
+		}
+	}
+	if drops == 0 || keeps == 0 {
+		t.Fatalf("64 attempts at 50%% loss: %d drops, %d deliveries", drops, keeps)
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector enabled")
+	}
+	if in.Drop(Eager, 0, 1, 1, 0) {
+		t.Error("nil injector dropped a message")
+	}
+	if s := in.ComputeScale(0); s != 1 {
+		t.Errorf("nil ComputeScale = %g", s)
+	}
+	if in.RetryBudget() != DefaultRetryBudget {
+		t.Errorf("nil RetryBudget = %d", in.RetryBudget())
+	}
+	if in.AckTimeout() != DefaultAckTimeout {
+		t.Errorf("nil AckTimeout = %v", in.AckTimeout())
+	}
+	if in.PStateExtra(0) != 0 || in.TStateExtra(0) != 0 {
+		t.Error("nil injector added transition delay")
+	}
+	if !reflect.DeepEqual(in.Spec(), Spec{}) {
+		t.Error("nil Spec() not zero")
+	}
+	if NewInjector(nil) != nil {
+		t.Error("NewInjector(nil) should be nil")
+	}
+}
+
+// TestComputeScaleExactOne: healthy ranks must see exactly 1 (no float
+// perturbation), stragglers their slowdown; jitter keeps the scale >= 1
+// and wobbles deterministically per call.
+func TestComputeScale(t *testing.T) {
+	in := NewInjector(&Spec{Seed: 5, Stragglers: []Straggler{{Rank: 2, Slowdown: 2}}})
+	if s := in.ComputeScale(0); s != 1 {
+		t.Errorf("healthy rank scale = %g, want exactly 1", s)
+	}
+	if s := in.ComputeScale(2); s != 2 {
+		t.Errorf("straggler scale = %g, want 2", s)
+	}
+	jit := &Spec{Seed: 5, Stragglers: []Straggler{{Rank: 2, Slowdown: 2}}, ComputeJitter: 0.3}
+	a, b := NewInjector(jit), NewInjector(jit)
+	varied := false
+	prev := 0.0
+	for i := 0; i < 16; i++ {
+		sa, sb := a.ComputeScale(2), b.ComputeScale(2)
+		if sa != sb {
+			t.Fatalf("call %d: jittered scale %g vs %g across identical injectors", i, sa, sb)
+		}
+		if sa < 1 {
+			t.Fatalf("call %d: scale %g below 1", i, sa)
+		}
+		if i > 0 && sa != prev {
+			varied = true
+		}
+		prev = sa
+	}
+	if !varied {
+		t.Error("jitter never varied across 16 calls")
+	}
+}
+
+func TestBackoffExponential(t *testing.T) {
+	in := NewInjector(&Spec{Seed: 1, AckTimeout: 100 * simtime.Microsecond})
+	for k := 0; k < 4; k++ {
+		want := 100 * simtime.Microsecond << uint(k)
+		if got := in.Backoff(k); got != want {
+			t.Errorf("Backoff(%d) = %v, want %v", k, got, want)
+		}
+	}
+	if in.Backoff(40) != in.Backoff(31) {
+		t.Error("backoff shift not capped")
+	}
+}
+
+func TestTransitionExtraStick(t *testing.T) {
+	base := 10 * simtime.Microsecond
+	in := NewInjector(&Spec{Seed: 3, PStateDelay: base, StickProb: 0.5})
+	stuck, normal := 0, 0
+	for i := 0; i < 64; i++ {
+		switch in.PStateExtra(1) {
+		case base:
+			normal++
+		case base * stickFactor:
+			stuck++
+		default:
+			t.Fatal("PStateExtra outside {base, base*stickFactor}")
+		}
+	}
+	if stuck == 0 || normal == 0 {
+		t.Fatalf("64 transitions at 50%% stick: %d stuck, %d normal", stuck, normal)
+	}
+}
+
+func TestStragglerRanks(t *testing.T) {
+	s := &Spec{Stragglers: []Straggler{{Rank: 5, Slowdown: 2}, {Rank: 1, Slowdown: 3}, {Rank: 5, Slowdown: 4}}}
+	got := s.StragglerRanks()
+	if !reflect.DeepEqual(got, []int{1, 5}) {
+		t.Fatalf("StragglerRanks = %v", got)
+	}
+}
+
+func TestMsgClassString(t *testing.T) {
+	for class, want := range map[MsgClass]string{Eager: "eager", RTS: "rts", CTS: "cts", Data: "data"} {
+		if class.String() != want {
+			t.Errorf("%d.String() = %q", int(class), class.String())
+		}
+	}
+	if !strings.Contains(MsgClass(9).String(), "9") {
+		t.Error("unknown class should format its value")
+	}
+}

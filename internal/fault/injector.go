@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"pacc/internal/simtime"
+)
+
+// Injector answers fault-decision queries against a Spec. All methods are
+// safe on a nil receiver (no faults), mirroring the nil-*obs.Bus pattern,
+// so wired layers pay one pointer test when injection is off.
+//
+// Decisions are pure functions of (seed, event identity): message drops
+// hash the class, endpoints, sequence number and attempt; per-call jitter
+// and transition delays hash a per-entity counter. Nothing depends on
+// global call order, so concurrent substrates cannot perturb each other's
+// randomness.
+type Injector struct {
+	spec Spec
+	// straggler maps a global rank to its slowdown factor.
+	straggler map[int]float64
+	// jitterSeq / pSeq / tSeq are per-entity decision counters. The
+	// simulation is single-threaded (cooperative procs), so plain maps
+	// are race-free and, because each entity's calls are ordered by its
+	// own program order, deterministic.
+	jitterSeq map[int]uint64
+	pSeq      map[int]uint64
+	tSeq      map[int]uint64
+}
+
+// NewInjector builds an injector for a validated spec. A nil spec returns
+// a nil injector (inject nothing).
+func NewInjector(spec *Spec) *Injector {
+	if spec == nil {
+		return nil
+	}
+	in := &Injector{
+		spec:      *spec,
+		straggler: map[int]float64{},
+		jitterSeq: map[int]uint64{},
+		pSeq:      map[int]uint64{},
+		tSeq:      map[int]uint64{},
+	}
+	for _, st := range spec.Stragglers {
+		if st.Slowdown > in.straggler[st.Rank] {
+			in.straggler[st.Rank] = st.Slowdown
+		}
+	}
+	return in
+}
+
+// Spec returns a copy of the injector's spec (zero value for nil).
+func (in *Injector) Spec() Spec {
+	if in == nil {
+		return Spec{}
+	}
+	return in.spec
+}
+
+// Enabled reports whether the injector can perturb anything.
+func (in *Injector) Enabled() bool { return in != nil && in.spec.Active() }
+
+// splitmix64 is the SplitMix64 finalizer: a fast, well-mixed 64-bit
+// permutation (Steele et al.), the standard seeding primitive.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash folds the seed and the event identity words into one decision word.
+func (in *Injector) hash(salt uint64, vs ...uint64) uint64 {
+	h := splitmix64(in.spec.Seed ^ salt)
+	for _, v := range vs {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// u01 maps a decision word to [0,1) with 53-bit resolution.
+func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// Salts separating decision families.
+const (
+	saltDrop   = 0xd309
+	saltJitter = 0x5177e3
+	saltPState = 0x9057a7e
+	saltTState = 0x7057a7e
+	saltStick  = 0x5710c
+)
+
+// lossProb returns the drop probability of a message class.
+func (in *Injector) lossProb(class MsgClass) float64 {
+	switch class {
+	case Eager:
+		return in.spec.EagerLoss
+	case RTS:
+		return in.spec.RTSLoss
+	case CTS:
+		return in.spec.CTSLoss
+	case Data:
+		return in.spec.DataLoss
+	default:
+		return 0
+	}
+}
+
+// Drop decides whether delivery attempt (0-based) of one protocol message
+// is lost. Each attempt is an independent coin, so retransmissions can
+// succeed.
+func (in *Injector) Drop(class MsgClass, src, dst int, seq uint64, attempt int) bool {
+	if in == nil {
+		return false
+	}
+	p := in.lossProb(class)
+	if p <= 0 {
+		return false
+	}
+	h := in.hash(saltDrop, uint64(class), uint64(src), uint64(dst), seq, uint64(attempt))
+	return u01(h) < p
+}
+
+// RetryBudget returns the retransmit attempt bound (DefaultRetryBudget
+// when unset or for a nil injector).
+func (in *Injector) RetryBudget() int {
+	if in == nil || in.spec.RetryBudget <= 0 {
+		return DefaultRetryBudget
+	}
+	return in.spec.RetryBudget
+}
+
+// AckTimeout returns the base retransmission timeout (DefaultAckTimeout
+// when unset or for a nil injector).
+func (in *Injector) AckTimeout() simtime.Duration {
+	if in == nil || in.spec.AckTimeout <= 0 {
+		return DefaultAckTimeout
+	}
+	return in.spec.AckTimeout
+}
+
+// Backoff returns how long after a detected loss attempt (0-based) waits
+// before retransmitting: AckTimeout·2^attempt, the IB-style exponential
+// backoff.
+func (in *Injector) Backoff(attempt int) simtime.Duration {
+	d := in.AckTimeout()
+	if attempt > 30 {
+		attempt = 30
+	}
+	return d << uint(attempt)
+}
+
+// ComputeScale returns the multiplicative slowdown of one CPU-bound call
+// on the given rank: exactly 1 for healthy ranks (no float perturbation),
+// slowdown·(1 ± jitter) for stragglers. Each call advances the rank's
+// jitter counter, so a straggler's phases wobble deterministically.
+func (in *Injector) ComputeScale(rank int) float64 {
+	if in == nil {
+		return 1
+	}
+	slow, ok := in.straggler[rank]
+	if !ok {
+		return 1
+	}
+	if j := in.spec.ComputeJitter; j > 0 {
+		n := in.jitterSeq[rank]
+		in.jitterSeq[rank] = n + 1
+		u := u01(in.hash(saltJitter, uint64(rank), n)) // [0,1)
+		slow *= 1 + j*(2*u-1)
+		if slow < 1 {
+			slow = 1
+		}
+	}
+	return slow
+}
+
+// PStateExtra returns the extra settle time of the next DVFS transition on
+// the given core (0 for healthy runs). A stuck transition (StickProb)
+// takes stickFactor times longer.
+func (in *Injector) PStateExtra(core int) simtime.Duration {
+	if in == nil || in.spec.PStateDelay <= 0 {
+		return 0
+	}
+	return in.transitionExtra(core, in.spec.PStateDelay, saltPState, in.pSeq)
+}
+
+// TStateExtra returns the extra settle time of the next throttle
+// transition on the given core.
+func (in *Injector) TStateExtra(core int) simtime.Duration {
+	if in == nil || in.spec.TStateDelay <= 0 {
+		return 0
+	}
+	return in.transitionExtra(core, in.spec.TStateDelay, saltTState, in.tSeq)
+}
+
+func (in *Injector) transitionExtra(core int, base simtime.Duration, salt uint64,
+	seq map[int]uint64) simtime.Duration {
+	n := seq[core]
+	seq[core] = n + 1
+	if p := in.spec.StickProb; p > 0 {
+		if u01(in.hash(saltStick^salt, uint64(core), n)) < p {
+			return base * stickFactor
+		}
+	}
+	return base
+}

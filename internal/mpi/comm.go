@@ -152,6 +152,16 @@ func (c *Comm) SendRecv(dst int, sendBytes int64, src int, recvBytes int64, tag 
 	c.r.SendRecv(c.group[dst], sendBytes, c.group[src], recvBytes, tag)
 }
 
+// SendValue is SendValue addressed by communicator rank.
+func (c *Comm) SendValue(dst int, bytes int64, tag int, v float64) error {
+	return c.r.SendValue(c.group[dst], bytes, tag, v)
+}
+
+// RecvValue is RecvValue addressed by communicator rank.
+func (c *Comm) RecvValue(src int, bytes int64, tag int) (float64, error) {
+	return c.r.RecvValue(c.group[src], bytes, tag)
+}
+
 // NodeOf returns the node hosting a communicator rank.
 func (c *Comm) NodeOf(commRank int) int {
 	return c.r.world.place.NodeOf(c.group[commRank])

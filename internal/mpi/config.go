@@ -15,6 +15,7 @@ package mpi
 import (
 	"fmt"
 
+	"pacc/internal/fault"
 	"pacc/internal/network"
 	"pacc/internal/power"
 	"pacc/internal/shm"
@@ -86,6 +87,11 @@ type Config struct {
 	// afterwards. The transition is skipped when the core is already
 	// below fmax (a power-aware collective is managing it).
 	PowerAwareP2P bool
+	// Fault, when non-nil, attaches the deterministic fault injector:
+	// scheduled link degradation, message loss with IB-style
+	// retransmission, straggler ranks, and slow P/T-state transitions.
+	// Nil (the default) runs the happy path with zero overhead.
+	Fault *fault.Spec
 }
 
 // DefaultConfig returns a job shaped like the paper's testbed runs:
@@ -140,6 +146,17 @@ func (c Config) Validate() error {
 	}
 	if c.Mode != Polling && c.Mode != Blocking {
 		return fmt.Errorf("mpi: unknown progression mode %d", int(c.Mode))
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return fmt.Errorf("mpi: fault spec: %w", err)
+		}
+		for _, st := range c.Fault.Stragglers {
+			if st.Rank >= c.NProcs {
+				return fmt.Errorf("mpi: fault straggler rank %d outside job of %d ranks",
+					st.Rank, c.NProcs)
+			}
+		}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"pacc/internal/fault"
 	"pacc/internal/obs"
 	"pacc/internal/simtime"
 )
@@ -36,6 +37,7 @@ type inMsg struct {
 type sendState struct {
 	src, dst int
 	bytes    int64
+	seq      uint64
 	intraShm bool
 	// cts completes when the receiver has matched the RTS (clear to
 	// send). Used by the shared-memory single-copy path.
@@ -117,17 +119,14 @@ func (w *World) sendCTS(st *sendState) {
 		w.eng.After(w.cfg.IntraStartup, func() { st.cts.Complete() })
 		return
 	}
-	srcNode := w.place.NodeOf(st.src)
-	dstNode := w.place.NodeOf(st.dst)
-	cts := w.fabric.StartFlow(dstNode, srcNode, 0)
-	cts.Done().Then(func() {
+	w.netFlow(fault.CTS, st.dst, st.src, 0, st.seq, func() {
 		// Payload injection: the sender-side CPU feeds the HCA at a
 		// rate set by its *current* speed (a throttled sender injects
 		// slower — the mechanism behind the paper's Cthrottle).
 		inj := simtime.DurationOf(w.hostCost(st.bytes).Seconds() / w.ranks[st.src].copySpeed())
 		w.eng.After(inj, func() {
-			pl := w.fabric.StartFlow(srcNode, dstNode, w.wireBytes(st.bytes))
-			pl.Done().Then(func() { st.dataDone.Complete() })
+			w.netFlow(fault.Data, st.src, st.dst, w.wireBytes(st.bytes), st.seq,
+				func() { st.dataDone.Complete() })
 		})
 	})
 }
@@ -135,14 +134,17 @@ func (w *World) sendCTS(st *sendState) {
 // Isend starts a nonblocking send of bytes to global rank dst. The send
 // follows the eager protocol at or below the eager threshold (local
 // completion after injection) and RTS/CTS rendezvous above it. The
-// returned request must be completed with Wait by this rank.
+// returned request must be completed with Wait by this rank. Invalid
+// arguments return an already-done request whose Err reports the
+// mistake, MPI-error-handler style.
 func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 	w := r.world
 	if dst < 0 || dst >= w.cfg.NProcs {
-		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dst))
+		return errorRequest(r, fmt.Errorf("mpi: Isend to invalid rank %d (job has %d)",
+			dst, w.cfg.NProcs))
 	}
 	if bytes < 0 {
-		panic(fmt.Sprintf("mpi: Isend with negative size %d", bytes))
+		return errorRequest(r, fmt.Errorf("mpi: Isend with negative size %d", bytes))
 	}
 	r.sendSeq[dst]++
 	seq := r.sendSeq[dst]
@@ -192,7 +194,6 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 	// Network path (inter-node, or intra-node loopback in blocking mode).
 	r.busySleep(w.cfg.InterStartup)
 	w.countNet(bytes, bytes > w.cfg.EagerThreshold)
-	srcNode, dstNode := r.Node(), w.place.NodeOf(dst)
 	if bytes <= w.cfg.EagerThreshold {
 		// Injection copy into HCA buffers, then local completion.
 		r.copySleep(w.hostCost(bytes))
@@ -201,15 +202,14 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 			arr.Then(end)
 		}
 		m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: eagerMsg, arrived: arr}
-		fl := w.fabric.StartFlow(srcNode, dstNode, w.wireBytes(bytes))
-		fl.Done().Then(func() {
+		w.netFlow(fault.Eager, r.id, dst, w.wireBytes(bytes), seq, func() {
 			arr.Complete()
 			w.deliver(dst, m)
 		})
 		return completedRequest(r)
 	}
 	st := &sendState{
-		src: r.id, dst: dst, bytes: bytes,
+		src: r.id, dst: dst, bytes: bytes, seq: seq,
 		cts:      simtime.NewFuture(w.eng),
 		dataDone: simtime.NewFuture(w.eng),
 	}
@@ -217,8 +217,7 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 		st.dataDone.Then(end)
 	}
 	m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: rtsMsg, snd: st}
-	rts := w.fabric.StartFlow(srcNode, dstNode, 0)
-	rts.Done().Then(func() { w.deliver(dst, m) })
+	w.netFlow(fault.RTS, r.id, dst, 0, seq, func() { w.deliver(dst, m) })
 	return &Request{r: r, wait: func() {
 		r.await(st.dataDone, "rendezvous data")
 	}}
@@ -231,7 +230,11 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 func (r *Rank) Irecv(src int, bytes int64, tag int) *Request {
 	w := r.world
 	if src < 0 || src >= w.cfg.NProcs {
-		panic(fmt.Sprintf("mpi: Irecv from invalid rank %d", src))
+		return errorRequest(r, fmt.Errorf("mpi: Irecv from invalid rank %d (job has %d)",
+			src, w.cfg.NProcs))
+	}
+	if bytes < 0 {
+		return errorRequest(r, fmt.Errorf("mpi: Irecv with negative size %d", bytes))
 	}
 	pr := &pendingRecv{src: src, tag: tag, match: simtime.NewFuture(w.eng)}
 	box := &r.box
@@ -278,21 +281,30 @@ func (r *Rank) Irecv(src int, bytes int64, tag int) *Request {
 	}}
 }
 
-// Send is a blocking send: Isend followed by Wait.
-func (r *Rank) Send(dst int, bytes int64, tag int) {
-	r.Isend(dst, bytes, tag).Wait()
+// Send is a blocking send: Isend followed by Wait. The error reports
+// invalid arguments; a well-formed send always returns nil.
+func (r *Rank) Send(dst int, bytes int64, tag int) error {
+	q := r.Isend(dst, bytes, tag)
+	q.Wait()
+	return q.Err()
 }
 
 // Recv is a blocking receive: Irecv followed by Wait.
-func (r *Rank) Recv(src int, bytes int64, tag int) {
-	r.Irecv(src, bytes, tag).Wait()
+func (r *Rank) Recv(src int, bytes int64, tag int) error {
+	q := r.Irecv(src, bytes, tag)
+	q.Wait()
+	return q.Err()
 }
 
 // SendRecv exchanges messages with possibly different peers, completing
 // both operations before returning (the workhorse of pairwise exchange).
-func (r *Rank) SendRecv(dst int, sendBytes int64, src int, recvBytes int64, tag int) {
+func (r *Rank) SendRecv(dst int, sendBytes int64, src int, recvBytes int64, tag int) error {
 	rq := r.Irecv(src, recvBytes, tag)
 	sq := r.Isend(dst, sendBytes, tag)
 	sq.Wait()
 	rq.Wait()
+	if sq.Err() != nil {
+		return sq.Err()
+	}
+	return rq.Err()
 }

@@ -67,20 +67,45 @@ func (r *Rank) speed() float64 { return r.core.Speed() }
 func (r *Rank) copySpeed() float64 { return r.core.CopySpeed() }
 
 // busySleep advances time by d scaled up by the core's current slowdown.
-// The caller's core is busy throughout (ranks are busy by default).
+// The caller's core is busy throughout (ranks are busy by default). A
+// straggler rank (fault injection) stretches further by its jittered
+// slowdown; ComputeScale returns exactly 1 for healthy ranks, so the
+// multiply is skipped and fault-free timing is bit-identical.
 func (r *Rank) busySleep(d simtime.Duration) {
 	if d <= 0 {
 		return
 	}
-	r.proc.Sleep(simtime.DurationOf(d.Seconds() / r.speed()))
+	sec := d.Seconds() / r.speed()
+	if s := r.world.inj.ComputeScale(r.id); s != 1 {
+		sec *= s
+	}
+	r.proc.Sleep(simtime.DurationOf(sec))
 }
 
-// copySleep advances time by d scaled by the streaming-copy slowdown.
+// copySleep advances time by d scaled by the streaming-copy slowdown
+// (and a straggler's jittered slowdown, as in busySleep).
 func (r *Rank) copySleep(d simtime.Duration) {
 	if d <= 0 {
 		return
 	}
-	r.proc.Sleep(simtime.DurationOf(d.Seconds() / r.copySpeed()))
+	sec := d.Seconds() / r.copySpeed()
+	if s := r.world.inj.ComputeScale(r.id); s != 1 {
+		sec *= s
+	}
+	r.proc.Sleep(simtime.DurationOf(sec))
+}
+
+// transitionSleep pays one hardware-paced P/T-state transition latency
+// plus any injected extra settle time (a slow or stuck transition).
+func (r *Rank) transitionSleep(base simtime.Duration, dvfs bool) {
+	if extra := r.core.TransitionDelay(dvfs); extra > 0 {
+		base += extra
+		if b := r.world.obs; b != nil {
+			b.Add(obs.CtrFaultPowerDelays, 1)
+			b.AddDuration(obs.DurFaultPowerDelay, extra)
+		}
+	}
+	r.proc.Sleep(base)
 }
 
 // MemCopy charges the cost of one streaming copy of the given size
@@ -149,7 +174,7 @@ func (r *Rank) SetFreq(ghz float64) {
 	if r.core.FreqGHz() == r.world.cfg.Power.ClampFreq(ghz) {
 		return
 	}
-	r.proc.Sleep(r.world.cfg.Power.ODVFS)
+	r.transitionSleep(r.world.cfg.Power.ODVFS, true)
 	r.core.SetFreq(ghz)
 	if b := r.world.obs; b != nil {
 		b.Add(obs.CtrDVFSTransitions, 1)
@@ -170,7 +195,7 @@ func (r *Rank) SetThrottle(t power.TState) {
 	if r.core.Throttle() == t {
 		return
 	}
-	r.proc.Sleep(r.world.cfg.Power.OThrottle)
+	r.transitionSleep(r.world.cfg.Power.OThrottle, false)
 	r.core.SetThrottle(t)
 	if b := r.world.obs; b != nil {
 		b.Add(obs.CtrThrottleTransitions, 1)

@@ -7,6 +7,7 @@ type Request struct {
 	r    *Rank
 	wait func()
 	done bool
+	err  error
 }
 
 // completedRequest returns a request whose operation finished during
@@ -15,8 +16,14 @@ func completedRequest(r *Rank) *Request {
 	return &Request{r: r, done: true}
 }
 
+// errorRequest returns a request that failed argument validation at
+// initiation: Wait is a no-op and Err reports the cause.
+func errorRequest(r *Rank, err error) *Request {
+	return &Request{r: r, done: true, err: err}
+}
+
 // Wait blocks until the operation completes. Calling Wait twice is a
-// no-op.
+// no-op, as is waiting on a request that failed initiation (check Err).
 func (q *Request) Wait() {
 	if q.done {
 		return
@@ -24,6 +31,11 @@ func (q *Request) Wait() {
 	q.wait()
 	q.done = true
 }
+
+// Err reports the initiation error of the request (nil for a valid
+// operation). MPI-style argument mistakes — an out-of-range peer, a
+// negative size — surface here instead of panicking.
+func (q *Request) Err() error { return q.err }
 
 // Done reports whether Wait has completed (or was never needed).
 func (q *Request) Done() bool { return q.done }

@@ -1,8 +1,11 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
+	"pacc/internal/fault"
 	"pacc/internal/network"
 	"pacc/internal/obs"
 	"pacc/internal/power"
@@ -26,6 +29,16 @@ type World struct {
 	// obs, when non-nil, receives cross-layer trace events and metrics;
 	// every hot-path producer guards on the nil check.
 	obs *obs.Bus
+	// inj is the fault injector (nil — inject nothing — without
+	// Config.Fault). All its methods are nil-safe.
+	inj *fault.Injector
+	// retriesExhausted records protocol messages that spent their whole
+	// retry budget; Run folds them into the deadlock report so a lost
+	// rendezvous surfaces as a diagnosable failure, not a bare hang.
+	retriesExhausted []string
+	// wire is the value side channel pairing SendValue payloads with
+	// RecvValue pickups (see fault.go).
+	wire map[wireKey][]float64
 }
 
 // NewWorld validates cfg and instantiates the cluster, fabric, and power
@@ -61,8 +74,32 @@ func NewWorld(cfg Config) (*World, error) {
 		core := station.Core(place.CoreOf(id).Global)
 		w.ranks[id] = newRank(w, id, core)
 	}
+	if cfg.Fault != nil {
+		w.inj = fault.NewInjector(cfg.Fault)
+		for _, lf := range cfg.Fault.LinkFaults {
+			if err := fabric.ScheduleLinkFault(lf.Link, lf.Factor, lf.Start, lf.Duration); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.Fault.PStateDelay > 0 || cfg.Fault.TStateDelay > 0 {
+			cores := cfg.Topo.Nodes * cfg.Topo.CoresPerNode()
+			for g := 0; g < cores; g++ {
+				core, in, id := station.Core(g), w.inj, g
+				core.SetTransitionDelay(func(dvfs bool) simtime.Duration {
+					if dvfs {
+						return in.PStateExtra(id)
+					}
+					return in.TStateExtra(id)
+				})
+			}
+		}
+	}
 	return w, nil
 }
+
+// Injector returns the attached fault injector, or nil (a valid,
+// inject-nothing injector).
+func (w *World) Injector() *fault.Injector { return w.inj }
 
 // Config returns the job configuration.
 func (w *World) Config() Config { return w.cfg }
@@ -136,6 +173,14 @@ func (w *World) Launch(body func(r *Rank)) {
 // total elapsed virtual time.
 func (w *World) Run() (simtime.Duration, error) {
 	if _, err := w.eng.Run(simtime.Infinity); err != nil {
+		var dl *simtime.DeadlockError
+		if len(w.retriesExhausted) > 0 && errors.As(err, &dl) {
+			// The hang has a known root cause: messages that spent
+			// their whole retry budget. Name them alongside the
+			// blocked waits.
+			return 0, fmt.Errorf("mpi: %d message(s) exhausted their retry budget (%s): %w",
+				len(w.retriesExhausted), strings.Join(w.retriesExhausted, "; "), err)
+		}
 		return 0, err
 	}
 	return simtime.Duration(w.eng.Now()), nil

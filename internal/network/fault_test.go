@@ -1,0 +1,166 @@
+package network
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+func TestScheduleLinkFaultArgs(t *testing.T) {
+	eng, f := newTestFabric(t, 2)
+	_ = eng
+	if err := f.ScheduleLinkFault("node9-up", 0.5, 0, simtime.Millisecond); err == nil ||
+		!strings.Contains(err.Error(), "node9-up") {
+		t.Errorf("unknown link: err = %v", err)
+	}
+	if err := f.ScheduleLinkFault("node0-up", 1.0, 0, simtime.Millisecond); err == nil {
+		t.Error("factor 1.0 accepted")
+	}
+	if err := f.ScheduleLinkFault("node0-up", -0.5, 0, simtime.Millisecond); err == nil {
+		t.Error("negative factor accepted")
+	}
+	if err := f.ScheduleLinkFault("node0-up", 0.5, -simtime.Millisecond, simtime.Millisecond); err == nil {
+		t.Error("negative start accepted")
+	}
+	if err := f.ScheduleLinkFault("node0-up", 0.5, 0, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := f.ScheduleLinkFault("node0-up", 0.5, 0, simtime.Millisecond); err != nil {
+		t.Errorf("valid fault rejected: %v", err)
+	}
+}
+
+func TestLinkNames(t *testing.T) {
+	_, f := newTestFabric(t, 2)
+	names := f.LinkNames()
+	for _, want := range []string{"node0-up", "node0-down", "node1-up", "node1-down", "node0-loop"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("link %q missing from %v", want, names)
+		}
+	}
+}
+
+// TestDegradationSlowsFlow: a link at half capacity doubles the transfer
+// time of a flow bottlenecked on it.
+func TestDegradationSlowsFlow(t *testing.T) {
+	const bytes = 8 << 20
+	_, healthy := newTestFabric(t, 2)
+	baseline := healthy.IdealTransferTime(bytes).Seconds()
+
+	eng, f := newTestFabric(t, 2)
+	if err := f.ScheduleLinkFault("node0-up", 0.5, 0, 1000*simtime.Second); err != nil {
+		t.Fatal(err)
+	}
+	fl := f.StartFlow(0, 1, bytes)
+	var doneAt simtime.Time
+	eng.Spawn("w", func(p *simtime.Proc) {
+		fl.Done().Await(p, "flow")
+		doneAt = p.Now()
+	})
+	runAll(t, eng)
+	want := 2*(baseline-f.Config().BaseLatency.Seconds()) + f.Config().BaseLatency.Seconds()
+	if got := doneAt.Seconds(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("flow over half-capacity link took %.6fs, want %.6fs (healthy %.6fs)",
+			got, want, baseline)
+	}
+}
+
+// TestLinkDownStallsAndResumes: a flow crossing an administratively-down
+// link makes no progress until the window closes, then finishes normally.
+func TestLinkDownStallsAndResumes(t *testing.T) {
+	const bytes = 1 << 20
+	down := 2 * simtime.Millisecond
+	eng, f := newTestFabric(t, 2)
+	if err := f.ScheduleLinkFault("node0-up", 0, 0, down); err != nil {
+		t.Fatal(err)
+	}
+	fl := f.StartFlow(0, 1, bytes)
+	var doneAt simtime.Time
+	eng.Spawn("w", func(p *simtime.Proc) {
+		fl.Done().Await(p, "flow")
+		doneAt = p.Now()
+	})
+	runAll(t, eng)
+	want := down.Seconds() + f.IdealTransferTime(bytes).Seconds()
+	if got := doneAt.Seconds(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("flow behind a %v down window finished at %.6fs, want %.6fs", down, got, want)
+	}
+}
+
+// TestHealthQueries: Degraded/PathDegraded/PathDownUntil track the fault
+// window edges.
+func TestHealthQueries(t *testing.T) {
+	eng, f := newTestFabric(t, 3)
+	start, dur := simtime.Millisecond, simtime.Millisecond
+	if err := f.ScheduleLinkFault("node1-up", 0, start, dur); err != nil {
+		t.Fatal(err)
+	}
+	if f.Degraded() {
+		t.Error("fabric degraded before the window opens")
+	}
+	probe := func(at simtime.Duration, wantDeg bool) {
+		eng.At(simtime.Time(0).Add(at), func() {
+			if f.Degraded() != wantDeg {
+				t.Errorf("at %v: Degraded() = %v, want %v", at, f.Degraded(), wantDeg)
+			}
+			if f.PathDegraded(1, 0) != wantDeg {
+				t.Errorf("at %v: PathDegraded(1,0) = %v, want %v", at, f.PathDegraded(1, 0), wantDeg)
+			}
+			if f.PathDegraded(0, 2) {
+				t.Errorf("at %v: path 0→2 reported degraded, node1-up is not on it", at)
+			}
+			until, isDown := f.PathDownUntil(1, 0)
+			if isDown != wantDeg {
+				t.Errorf("at %v: PathDownUntil down = %v, want %v", at, isDown, wantDeg)
+			}
+			if wantDeg {
+				if want := simtime.Time(0).Add(start + dur); until != want {
+					t.Errorf("at %v: down until %v, want %v", at, until, want)
+				}
+				if got := f.DegradedLinks(); len(got) != 1 || got[0] != "node1-up" {
+					t.Errorf("at %v: DegradedLinks = %v", at, got)
+				}
+			}
+		})
+	}
+	probe(start/2, false)
+	probe(start+dur/2, true)
+	probe(start+dur+dur/2, false)
+	runAll(t, eng)
+}
+
+// TestStarvedFlowError: a zero-rate flow on a healthy path is a fabric
+// logic error reported through the engine, not a panic.
+func TestStarvedFlowError(t *testing.T) {
+	eng, f := newTestFabric(t, 2)
+	f.StartFlow(0, 1, 1<<20)
+	// Corrupt the capacity directly (adminFactor stays 1, so the path
+	// counts as healthy) and force a recompute.
+	f.up[0].cap = 0
+	f.advance()
+	f.reschedule()
+	_, err := eng.Run(simtime.Infinity)
+	var sf *StarvedFlowError
+	if !errors.As(err, &sf) {
+		t.Fatalf("Run returned %v, want a StarvedFlowError", err)
+	}
+	if sf.Src != 0 || sf.Dst != 1 || sf.Bytes != 1<<20 {
+		t.Errorf("starved flow identity = %+v", sf)
+	}
+	msg := sf.Error()
+	for _, want := range []string{"starved", "node0-up", "0->1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}

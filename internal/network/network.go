@@ -80,7 +80,14 @@ func (c Config) Validate() error {
 // loopback path).
 type link struct {
 	name string
-	cap  float64 // bytes/sec
+	cap  float64 // current bytes/sec: baseCap * adminFactor
+	// baseCap is the healthy capacity; adminFactor in [0,1] scales it
+	// while a scheduled fault window is open (0 = link down).
+	baseCap     float64
+	adminFactor float64
+	// downUntil is when the current down window (adminFactor == 0) is
+	// scheduled to end; sends routed over a down link requeue until then.
+	downUntil simtime.Time
 	// bytes counts payload delivered over this link (per-link
 	// utilization accounting).
 	bytes int64
@@ -91,6 +98,10 @@ type link struct {
 	// the observability bus; only maintained while a bus is attached.
 	obsActive int
 	obsSince  simtime.Time
+}
+
+func newLink(name string, cap float64) *link {
+	return &link{name: name, cap: cap, baseCap: cap, adminFactor: 1}
 }
 
 // Flow is one in-flight transfer.
@@ -155,17 +166,17 @@ func NewFabric(eng *simtime.Engine, nodes int, cfg Config) (*Fabric, error) {
 		flows: make(map[*Flow]struct{}),
 	}
 	for n := 0; n < nodes; n++ {
-		f.up = append(f.up, &link{name: fmt.Sprintf("node%d-up", n), cap: cfg.LinkBytesPerSec})
-		f.down = append(f.down, &link{name: fmt.Sprintf("node%d-down", n), cap: cfg.LinkBytesPerSec})
-		f.loop = append(f.loop, &link{name: fmt.Sprintf("node%d-loop", n), cap: cfg.LoopbackBytesPerSec})
+		f.up = append(f.up, newLink(fmt.Sprintf("node%d-up", n), cfg.LinkBytesPerSec))
+		f.down = append(f.down, newLink(fmt.Sprintf("node%d-down", n), cfg.LinkBytesPerSec))
+		f.loop = append(f.loop, newLink(fmt.Sprintf("node%d-loop", n), cfg.LoopbackBytesPerSec))
 	}
 	if cfg.NodesPerRack > 0 {
 		racks := (nodes + cfg.NodesPerRack - 1) / cfg.NodesPerRack
 		for rk := 0; rk < racks; rk++ {
 			f.rackUp = append(f.rackUp,
-				&link{name: fmt.Sprintf("rack%d-up", rk), cap: cfg.RackUplinkBytesPerSec})
+				newLink(fmt.Sprintf("rack%d-up", rk), cfg.RackUplinkBytesPerSec))
 			f.rackDown = append(f.rackDown,
-				&link{name: fmt.Sprintf("rack%d-down", rk), cap: cfg.RackUplinkBytesPerSec})
+				newLink(fmt.Sprintf("rack%d-down", rk), cfg.RackUplinkBytesPerSec))
 		}
 	}
 	if cfg.LinkPower.Enabled() {
@@ -291,15 +302,7 @@ func (f *Fabric) StartFlow(src, dst int, bytes int64) *Flow {
 		done:      simtime.NewFuture(f.eng),
 		started:   f.eng.Now(),
 	}
-	switch {
-	case src == dst:
-		fl.links = []*link{f.loop[src]}
-	case f.cfg.NodesPerRack > 0 && f.RackOf(src) != f.RackOf(dst):
-		fl.links = []*link{f.up[src], f.rackUp[f.RackOf(src)],
-			f.rackDown[f.RackOf(dst)], f.down[dst]}
-	default:
-		fl.links = []*link{f.up[src], f.down[dst]}
-	}
+	fl.links = f.route(src, dst)
 	if b := f.obs; b != nil {
 		b.Add(obs.CtrNetFlows, 1)
 		b.Add(obs.CtrNetFlowBytes, bytes)
@@ -346,6 +349,19 @@ func (f *Fabric) StartFlow(src, dst int, bytes int64) *Flow {
 	}
 	start()
 	return fl
+}
+
+// route returns the links a src→dst transfer crosses.
+func (f *Fabric) route(src, dst int) []*link {
+	switch {
+	case src == dst:
+		return []*link{f.loop[src]}
+	case f.cfg.NodesPerRack > 0 && f.RackOf(src) != f.RackOf(dst):
+		return []*link{f.up[src], f.rackUp[f.RackOf(src)],
+			f.rackDown[f.RackOf(dst)], f.down[dst]}
+	default:
+		return []*link{f.up[src], f.down[dst]}
+	}
 }
 
 // advance drains bytes from all active flows at their current rates for
@@ -441,11 +457,23 @@ func (f *Fabric) reschedule() {
 	}
 	f.recompute()
 	next := simtime.Duration(math.MaxInt64)
+	armed := false
 	for fl := range f.flows {
 		if fl.rate <= 0 {
-			// Should not happen with positive capacities; guard
-			// against an event that never fires.
-			panic(fmt.Sprintf("network: flow %d->%d starved (rate 0)", fl.Src, fl.Dst))
+			if pathAdminDown(fl.links) {
+				// Legitimately stalled behind a down link; the
+				// restore event recomputes rates, so no completion
+				// is armed for this flow.
+				continue
+			}
+			// Zero rate with every link up is a fabric logic error;
+			// surface it as a structured failure instead of crashing
+			// the process.
+			f.eng.Fail(&StarvedFlowError{
+				At: f.eng.Now(), Src: fl.Src, Dst: fl.Dst,
+				Bytes: fl.Bytes, Links: linkNames(fl.links),
+			})
+			return
 		}
 		d := simtime.DurationOf(fl.remaining / fl.rate)
 		if d < 1 {
@@ -457,6 +485,11 @@ func (f *Fabric) reschedule() {
 		if d < next {
 			next = d
 		}
+		armed = true
+	}
+	if !armed {
+		// Every active flow is stalled on a down link.
+		return
 	}
 	gen := f.gen
 	f.eng.After(next, func() { f.onCompletion(gen) })

@@ -89,7 +89,28 @@ const (
 	// "collective.<op>.energy_j" histograms (joules per call, observed
 	// by communicator rank 0), "collective.<op>.seconds" histograms.
 	CollectivePrefix = "collective."
+
+	// Fault-injection and resilience accounting (internal/fault).
+	CtrFaultLinkEvents       = "fault.link.events"
+	CtrFaultMsgDrops         = "fault.msg.drops"
+	CtrFaultMsgRetransmits   = "fault.msg.retransmits"
+	CtrFaultMsgRequeues      = "fault.msg.requeues"
+	CtrFaultRetriesExhausted = "fault.msg.retries_exhausted"
+	CtrFaultPowerDelays      = "fault.power.delays"
+	DurFaultPowerDelay       = "fault.power.delay"
+	// CtrCollectiveFallbacks counts collectives that abandoned their
+	// topology-aware schedule for a degradation-tolerant variant.
+	CtrCollectiveFallbacks = "collective.fallbacks"
 )
+
+// TIDFault is the network-process timeline row carrying fault-window
+// markers (link degradation, link down/up).
+const TIDFault = 1 << 16
+
+// FaultTrack returns the timeline of injected fabric fault events.
+func FaultTrack() Track {
+	return Track{PID: PIDNetwork, TID: TIDFault}
+}
 
 // event is one timeline entry, stored in emission order.
 type event struct {

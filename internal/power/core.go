@@ -21,6 +21,11 @@ type Core struct {
 	energyJ    float64
 	ledger     *Ledger
 	recorder   func(StateChange)
+	// transitionDelay, when installed, returns extra settle time for the
+	// next P-state (dvfs=true) or T-state transition on this core. Fault
+	// injection uses it to model slow or stuck transitions; the MPI layer
+	// pays the returned duration in the transitioning rank's timeline.
+	transitionDelay func(dvfs bool) simtime.Duration
 }
 
 // StateChange describes one power-state transition of a core, delivered
@@ -163,6 +168,22 @@ func (c *Core) SetRecorder(fn func(StateChange)) {
 	if fn != nil {
 		fn(c.stateChange())
 	}
+}
+
+// SetTransitionDelay installs a hook consulted before every P/T-state
+// transition; it returns extra hardware settle time beyond the model's
+// ODVFS/OThrottle constants. Pass nil to detach.
+func (c *Core) SetTransitionDelay(fn func(dvfs bool) simtime.Duration) {
+	c.transitionDelay = fn
+}
+
+// TransitionDelay returns the extra settle time of the next transition of
+// the given kind (0 without a hook).
+func (c *Core) TransitionDelay(dvfs bool) simtime.Duration {
+	if c.transitionDelay == nil {
+		return 0
+	}
+	return c.transitionDelay(dvfs)
 }
 
 func (c *Core) stateChange() StateChange {

@@ -76,6 +76,25 @@ func (e *Engine) After(d Duration, fn func()) {
 // Pending events are kept; Run may be called again to continue.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Fail records err as the run's failure and stops the engine; Run returns
+// the first recorded failure. Event-context code (which has no process to
+// panic in) uses it to surface structured errors — an impossible network
+// state, an exhausted protocol — through the same path as process panics
+// and deadlock reports, instead of crashing the host process.
+func (e *Engine) Fail(err error) {
+	if err == nil {
+		return
+	}
+	if e.panicErr == nil {
+		e.panicErr = err
+	}
+	e.stopped = true
+}
+
+// Failure returns the recorded failure (a process panic or an explicit
+// Fail), or nil.
+func (e *Engine) Failure() error { return e.panicErr }
+
 // Run executes events in timestamp order until the queue drains, Stop is
 // called, or the clock passes limit (use Infinity for no limit). It returns
 // the number of events executed and an error if, after the queue drained,

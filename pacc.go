@@ -29,6 +29,7 @@ package pacc
 import (
 	"pacc/internal/collective"
 	"pacc/internal/experiments"
+	"pacc/internal/fault"
 	"pacc/internal/model"
 	"pacc/internal/mpi"
 	"pacc/internal/network"
@@ -79,6 +80,13 @@ type (
 	ExperimentResult = experiments.Result
 	// ExperimentOptions tunes an experiment run.
 	ExperimentOptions = experiments.Options
+	// FaultSpec declares a deterministic fault-injection schedule (set it
+	// on Config.Fault, or parse one with ParseFaultSpec).
+	FaultSpec = fault.Spec
+	// LinkFault is one scheduled link degradation/down window.
+	LinkFault = fault.LinkFault
+	// Straggler marks one rank as computing slower than its peers.
+	Straggler = fault.Straggler
 )
 
 // Progression modes.
@@ -118,6 +126,15 @@ func DefaultLinkPower() LinkPowerConfig { return network.DefaultLinkPower() }
 
 // NewWorld validates cfg and builds the simulated job.
 func NewWorld(cfg Config) (*World, error) { return mpi.NewWorld(cfg) }
+
+// ParseFaultSpec parses a -fault command-line spec: semicolon-separated
+// key=value clauses, e.g.
+//
+//	"seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5;retry=7"
+//
+// See the fault package (and DESIGN.md) for the full clause list. The
+// returned spec validates clean and can be set on Config.Fault.
+func ParseFaultSpec(src string) (*FaultSpec, error) { return fault.Parse(src) }
 
 // LoadConfig reads and validates a JSON configuration file (a missing
 // power model defaults).
@@ -211,6 +228,21 @@ func GatherTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) {
 // BcastTopoAware broadcasts through the rack hierarchy.
 func BcastTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) {
 	collective.BcastTopoAware(c, root, bytes, opt)
+}
+
+// AllreduceTopoAware combines bytes through the node/rack hierarchy,
+// falling back to a contention-minimal ring among leaders when the
+// fabric reports degraded links (fault-aware jobs only).
+func AllreduceTopoAware(c *Comm, bytes int64, opt CollectiveOptions) {
+	collective.AllreduceTopoAware(c, bytes, opt)
+}
+
+// AllreduceSum is AllreduceTopoAware carrying a real float64 sum through
+// the simulated message schedule: every rank contributes v and receives
+// the global sum, so callers can verify end-to-end data correctness
+// under injected faults.
+func AllreduceSum(c *Comm, bytes int64, v float64, opt CollectiveOptions) float64 {
+	return collective.AllreduceSum(c, bytes, v, opt)
 }
 
 // Workloads (the paper's applications).
