@@ -23,29 +23,40 @@ import (
 // bwWindow is the number of in-flight messages in the bw test.
 const bwWindow = 64
 
-var ops = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions){
-	"alltoall": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.AlltoallPairwise(c, b, o) },
-	"bruck":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.AlltoallBruck(c, b, o) },
-	"bcast":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Bcast(c, 0, b, o) },
-	"reduce":   func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Reduce(c, 0, b, o) },
-	"allgather": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
-		pacc.Allgather(c, b, o)
+var ops = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions) error{
+	"alltoall": pacc.AlltoallPairwise,
+	"bruck":    pacc.AlltoallBruck,
+	"bcast": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		return pacc.Bcast(c, 0, b, o)
 	},
-	"allreduce": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Allreduce(c, b, o) },
-	"allreduce_topo": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
-		pacc.AllreduceTopoAware(c, b, o)
+	"bcast_binomial": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		return pacc.BcastBinomial(c, 0, b, o)
 	},
-	"gather":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Gather(c, 0, b, o) },
-	"scatter":   func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Scatter(c, 0, b, o) },
-	"barrier": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
+	"reduce": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		return pacc.Reduce(c, 0, b, o)
+	},
+	"allgather":      pacc.Allgather,
+	"allgather_ring": pacc.AllgatherRing,
+	"allgather_rd":   pacc.AllgatherRD,
+	"allreduce":      pacc.Allreduce,
+	"allreduce_rd":   pacc.AllreduceRD,
+	"allreduce_topo": pacc.AllreduceTopoAware,
+	"gather": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		return pacc.Gather(c, 0, b, o)
+	},
+	"scatter": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		return pacc.Scatter(c, 0, b, o)
+	},
+	"barrier": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
 		start := c.Owner().Now()
 		pacc.Barrier(c)
 		o.Trace.Add("total", c.Owner().Now().Sub(start))
+		return nil
 	},
 	// bw is the osu_bw windowed streaming bandwidth test: rank 0 keeps
 	// bwWindow sends in flight toward a remote rank, which acknowledges
 	// the window with a zero-byte message.
-	"bw": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
+	"bw": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
 		me := c.Rank()
 		peer := c.Size() / 2
 		tag := c.TagBlock()
@@ -67,11 +78,12 @@ var ops = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions)
 			pacc.WaitAll(reqs...)
 			c.Send(0, 0, tag+bwWindow)
 		}
+		return nil
 	},
 	// latency is the osu_latency ping-pong between rank 0 and a rank on
 	// another node; the reported figure is the one-way latency (half the
 	// round trip).
-	"latency": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) {
+	"latency": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
 		me := c.Rank()
 		peer := c.Size() / 2
 		tag := c.TagBlock()
@@ -85,6 +97,7 @@ var ops = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions)
 			c.Recv(0, b, tag)
 			c.Send(0, b, tag+1)
 		}
+		return nil
 	},
 }
 
@@ -143,6 +156,8 @@ func main() {
 		configPath  = flag.String("config", "", "load the base cluster configuration from a JSON file")
 		dumpConfig  = flag.String("dump-config", "", "write the default configuration to this file and exit")
 		faultSpec   = flag.String("fault", "", "deterministic fault-injection spec, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5'")
+		planName    = flag.String("plan", "", "communication plan: a registered builder name, or 'auto' for cost-based selection")
+		planObj     = flag.String("plan-objective", "latency", "objective for -plan auto: latency or energy")
 	)
 	flag.Parse()
 
@@ -182,6 +197,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "osu:", err)
 		os.Exit(2)
 	}
+	opt := pacc.CollectiveOptions{Plan: *planName}
+	switch *planObj {
+	case "latency":
+		opt.PlanObjective = pacc.SelectByLatency
+	case "energy":
+		opt.PlanObjective = pacc.SelectByEnergy
+	default:
+		fmt.Fprintf(os.Stderr, "osu: unknown -plan-objective %q (latency, energy)\n", *planObj)
+		os.Exit(2)
+	}
 	var sizes []int64
 	src := *sizesStr
 	if *oneSize != "" {
@@ -209,7 +234,7 @@ func main() {
 
 	wantObs := *traceOut != "" || *metricsOut != ""
 	for _, size := range sizes {
-		lat, watts, sess, err := measure(baseCfg, call, size, *procs, *ppn, mode, *progression, *iters, wantObs)
+		lat, watts, sess, err := measure(baseCfg, call, size, *procs, *ppn, mode, opt, *progression, *iters, wantObs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "osu:", err)
 			os.Exit(1)
@@ -242,9 +267,9 @@ func main() {
 // measure runs one barrier-separated OSU loop on a fresh world and
 // returns the mean per-call latency (µs, from rank 0's trace) and mean
 // cluster power over the whole run.
-func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOptions), size int64,
-	procs, ppn int, mode pacc.PowerMode, progression string, iters int, wantObs bool) (
-	float64, float64, *pacc.ObsSession, error) {
+func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOptions) error, size int64,
+	procs, ppn int, mode pacc.PowerMode, base pacc.CollectiveOptions, progression string, iters int,
+	wantObs bool) (float64, float64, *pacc.ObsSession, error) {
 
 	cfg.NProcs = procs
 	cfg.PPN = ppn
@@ -269,21 +294,36 @@ func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOption
 		sess = pacc.AttachObs(w)
 	}
 	var tr0 *pacc.Trace
+	var callErr error
 	w.Launch(func(r *pacc.Rank) {
 		c := pacc.CommWorld(r)
 		tr := pacc.NewTrace()
 		if r.ID() == 0 {
 			tr0 = tr
 		}
-		call(c, size, pacc.CollectiveOptions{Power: mode}) // warm-up
+		warm := base
+		warm.Power = mode
+		if err := call(c, size, warm); err != nil { // warm-up
+			if callErr == nil {
+				callErr = err
+			}
+			return
+		}
+		timed := warm
+		timed.Trace = tr
 		for i := 0; i < iters; i++ {
 			pacc.Barrier(c)
-			call(c, size, pacc.CollectiveOptions{Power: mode, Trace: tr})
+			if err := call(c, size, timed); err != nil && callErr == nil {
+				callErr = err
+			}
 		}
 	})
 	elapsed, err := w.Run()
 	if err != nil {
 		return 0, 0, nil, err
+	}
+	if callErr != nil {
+		return 0, 0, nil, callErr
 	}
 	lat := tr0.Phase("total").Micros() / float64(iters)
 	watts := w.Station().EnergyJoules() / elapsed.Seconds()

@@ -35,11 +35,12 @@ func main() {
 		metricP = flag.String("metrics", "", "write a metrics JSON snapshot of the demo run to this file")
 		obsSpec = flag.String("obs", "alltoall:256K:proposed", "demo run for -trace/-metrics as op:size:mode")
 		faultP  = flag.String("fault", "", "deterministic fault-injection spec for the demo run, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms'")
+		planP   = flag.String("plan", "", "communication plan for the demo run: a registered builder name, or 'auto' for cost-based selection")
 	)
 	flag.Parse()
 
 	if *traceP != "" || *metricP != "" {
-		if err := captureObs(*obsSpec, *faultP, *traceP, *metricP); err != nil {
+		if err := captureObs(*obsSpec, *faultP, *planP, *traceP, *metricP); err != nil {
 			fmt.Fprintln(os.Stderr, "powercoll:", err)
 			os.Exit(1)
 		}
@@ -112,21 +113,29 @@ func main() {
 
 // obsOps maps demo-run operation names to collective calls on the paper's
 // default testbed.
-var obsOps = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions){
-	"alltoall":  pacc.Alltoall,
-	"bcast":     func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Bcast(c, 0, b, o) },
-	"reduce":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Reduce(c, 0, b, o) },
-	"allgather": pacc.Allgather,
+var obsOps = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions) error{
+	"alltoall": pacc.Alltoall,
+	"bcast": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		return pacc.Bcast(c, 0, b, o)
+	},
+	"reduce": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		return pacc.Reduce(c, 0, b, o)
+	},
+	"allgather":      pacc.Allgather,
 	"allreduce":      pacc.Allreduce,
 	"allreduce_topo": pacc.AllreduceTopoAware,
-	"gather":    func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Gather(c, 0, b, o) },
-	"scatter":   func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) { pacc.Scatter(c, 0, b, o) },
+	"gather": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		return pacc.Gather(c, 0, b, o)
+	},
+	"scatter": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		return pacc.Scatter(c, 0, b, o)
+	},
 }
 
 // captureObs runs one instrumented collective call on the default testbed
 // (optionally under a fault-injection spec) and writes the merged trace
 // and/or metrics snapshot.
-func captureObs(spec, faultSpec, tracePath, metricsPath string) error {
+func captureObs(spec, faultSpec, planName, tracePath, metricsPath string) error {
 	op, bytes, mode, err := parseObsSpec(spec)
 	if err != nil {
 		return err
@@ -145,11 +154,18 @@ func captureObs(spec, faultSpec, tracePath, metricsPath string) error {
 		return err
 	}
 	sess := pacc.AttachObs(w)
+	var callErr error
 	w.Launch(func(r *pacc.Rank) {
-		call(pacc.CommWorld(r), bytes, pacc.CollectiveOptions{Power: mode})
+		opt := pacc.CollectiveOptions{Power: mode, Plan: planName}
+		if err := call(pacc.CommWorld(r), bytes, opt); err != nil && callErr == nil {
+			callErr = err
+		}
 	})
 	if _, err := w.Run(); err != nil {
 		return err
+	}
+	if callErr != nil {
+		return callErr
 	}
 	if tracePath != "" {
 		if err := sess.WriteTraceFile(tracePath); err != nil {

@@ -28,10 +28,10 @@ func faultWorkload(t *testing.T, spec *pacc.FaultSpec) (simtime.Duration, [2][]f
 	sums[1] = make([]float64, cfg.NProcs)
 	w.Launch(func(r *pacc.Rank) {
 		c := pacc.CommWorld(r)
-		sums[0][r.ID()] = pacc.AllreduceSum(c, 64<<10, float64(r.ID()+1), pacc.CollectiveOptions{})
+		sums[0][r.ID()], _ = pacc.AllreduceSum(c, 64<<10, float64(r.ID()+1), pacc.CollectiveOptions{})
 		pacc.Barrier(c)
 		r.Compute(2 * simtime.Millisecond)
-		sums[1][r.ID()] = pacc.AllreduceSum(c, 64<<10, float64(r.ID()+1), pacc.CollectiveOptions{})
+		sums[1][r.ID()], _ = pacc.AllreduceSum(c, 64<<10, float64(r.ID()+1), pacc.CollectiveOptions{})
 	})
 	elapsed, err := w.Run()
 	if err != nil {

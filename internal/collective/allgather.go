@@ -9,7 +9,10 @@ import (
 // multi-core aware scheme of [15]: intra-node gather to the leader, ring
 // allgather of node-sized blocks across leaders, intra-node distribution.
 // Proposed applies the §V-B throttle schedule during the leader phase.
-func Allgather(c *mpi.Comm, bytes int64, opt Options) {
+func Allgather(c *mpi.Comm, bytes int64, opt Options) error {
+	if err := checkBytes("allgather", bytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "allgather", bytes, func() {
 		switch opt.Power {
@@ -21,42 +24,66 @@ func Allgather(c *mpi.Comm, bytes int64, opt Options) {
 			allgatherMC(c, bytes, opt, false)
 		}
 	})
+	return nil
 }
 
 // AllgatherRing runs the flat ring algorithm: P-1 steps, each forwarding
-// one rank's block.
-func AllgatherRing(c *mpi.Comm, bytes int64, opt Options) {
+// one rank's block. Plan-backed: the call builds (or auto-selects, see
+// Options.Plan) a verified schedule and runs it through the plan
+// executor.
+func AllgatherRing(c *mpi.Comm, bytes int64, opt Options) error {
+	if err := checkBytes("allgather_ring", bytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
+	var err error
 	timeCollective(c, opt, "allgather_ring", bytes, func() {
-		run := func() { ringAllgather(c, bytes, c.TagBlock()) }
-		if opt.Power == FreqScaling || opt.Power == Proposed {
-			withFreqScaling(c, run)
+		if opt.refImperative {
+			run := func() { ringAllgather(c, bytes, c.TagBlock()) }
+			if opt.Power == FreqScaling || opt.Power == Proposed {
+				withFreqScaling(c, run)
+				return
+			}
+			run()
 			return
 		}
-		run()
+		err = runPlanned(c, "allgather", "allgather_ring", planSpec(bytes, nil, opt), opt)
 	})
+	return err
 }
 
 // AllgatherRD runs the recursive-doubling algorithm (power-of-two sizes
 // double the exchanged block each round); non-power-of-two communicators
-// fall back to the ring.
-func AllgatherRD(c *mpi.Comm, bytes int64, opt Options) {
+// fall back to the ring. Plan-backed.
+func AllgatherRD(c *mpi.Comm, bytes int64, opt Options) error {
+	if err := checkBytes("allgather_rd", bytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
+	var err error
 	timeCollective(c, opt, "allgather_rd", bytes, func() {
-		run := func() {
-			n := c.Size()
-			if n&(n-1) != 0 {
-				ringAllgather(c, bytes, c.TagBlock())
+		if opt.refImperative {
+			run := func() {
+				if !isPow2(c.Size()) {
+					ringAllgather(c, bytes, c.TagBlock())
+					return
+				}
+				recursiveDoublingAllgather(c, bytes, c.TagBlock())
+			}
+			if opt.Power == FreqScaling || opt.Power == Proposed {
+				withFreqScaling(c, run)
 				return
 			}
-			recursiveDoublingAllgather(c, bytes, c.TagBlock())
-		}
-		if opt.Power == FreqScaling || opt.Power == Proposed {
-			withFreqScaling(c, run)
+			run()
 			return
 		}
-		run()
+		canonical := "allgather_rd"
+		if !isPow2(c.Size()) {
+			canonical = "allgather_ring"
+		}
+		err = runPlanned(c, "allgather", canonical, planSpec(bytes, nil, opt), opt)
 	})
+	return err
 }
 
 func recursiveDoublingAllgather(c *mpi.Comm, bytes int64, block int) {
@@ -65,20 +92,9 @@ func recursiveDoublingAllgather(c *mpi.Comm, bytes int64, block int) {
 	for mask := 1; mask < n; mask <<= 1 {
 		peer := me ^ mask
 		tag := c.PairTag(block, me, peer) + (1<<17)*logOf(mask)
-		rq := c.Irecv(peer, have, tag)
-		sq := c.Isend(peer, have, tag)
-		mpi.WaitAll(sq, rq)
+		c.Exchange(peer, have, tag, peer, have, tag)
 		have *= 2
 	}
-}
-
-func logOf(mask int) int {
-	l := 0
-	for mask > 1 {
-		mask >>= 1
-		l++
-	}
-	return l
 }
 
 func allgatherMC(c *mpi.Comm, bytes int64, opt Options, throttle bool) {

@@ -10,14 +10,17 @@ import (
 // multi-core aware throttle schedules of both halves; recursive doubling
 // has every rank on the network, so Proposed reduces to per-call DVFS
 // there (the §V-B observation about fully-participating algorithms).
-func Allreduce(c *mpi.Comm, bytes int64, opt Options) {
+func Allreduce(c *mpi.Comm, bytes int64, opt Options) error {
+	if err := checkBytes("allreduce", bytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "allreduce", bytes, func() {
 		n := c.Size()
 		if n == 1 {
 			return
 		}
-		if n&(n-1) == 0 && opt.Power != Proposed {
+		if isPow2(n) && opt.Power != Proposed {
 			run := func() { recursiveDoublingAllreduce(c, bytes, opt) }
 			if opt.Power == FreqScaling {
 				withFreqScaling(c, run)
@@ -32,28 +35,39 @@ func Allreduce(c *mpi.Comm, bytes int64, opt Options) {
 		Reduce(c, 0, bytes, inner)
 		Bcast(c, 0, bytes, inner)
 	})
+	return nil
 }
 
 // AllreduceRD always runs recursive doubling (power-of-two only; falls
-// back to the composition otherwise).
-func AllreduceRD(c *mpi.Comm, bytes int64, opt Options) {
+// back to the composition otherwise). Plan-backed on the power-of-two
+// path.
+func AllreduceRD(c *mpi.Comm, bytes int64, opt Options) error {
+	if err := checkBytes("allreduce_rd", bytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
+	var err error
 	timeCollective(c, opt, "allreduce_rd", bytes, func() {
 		n := c.Size()
-		if n&(n-1) != 0 {
+		if !isPow2(n) {
 			inner := opt
 			inner.Trace = nil
 			Reduce(c, 0, bytes, inner)
 			Bcast(c, 0, bytes, inner)
 			return
 		}
-		run := func() { recursiveDoublingAllreduce(c, bytes, opt) }
-		if opt.Power == FreqScaling || opt.Power == Proposed {
-			withFreqScaling(c, run)
+		if opt.refImperative {
+			run := func() { recursiveDoublingAllreduce(c, bytes, opt) }
+			if opt.Power == FreqScaling || opt.Power == Proposed {
+				withFreqScaling(c, run)
+				return
+			}
+			run()
 			return
 		}
-		run()
+		err = runPlanned(c, "allreduce", "allreduce_rd", planSpec(bytes, nil, opt), opt)
 	})
+	return err
 }
 
 func recursiveDoublingAllreduce(c *mpi.Comm, bytes int64, opt Options) {
@@ -62,9 +76,7 @@ func recursiveDoublingAllreduce(c *mpi.Comm, bytes int64, opt Options) {
 	for mask := 1; mask < n; mask <<= 1 {
 		peer := me ^ mask
 		tag := c.PairTag(block, me, peer) + (1<<17)*logOf(mask)
-		rq := c.Irecv(peer, bytes, tag)
-		sq := c.Isend(peer, bytes, tag)
-		mpi.WaitAll(sq, rq)
+		c.Exchange(peer, bytes, tag, peer, bytes, tag)
 		reduceOp(c, bytes, opt)
 	}
 }

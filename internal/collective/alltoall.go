@@ -15,20 +15,36 @@ const bruckThreshold = 8 << 10
 // MVAPICH2: Bruck for small messages, pairwise exchange for large ones.
 // Options.Power selects the power scheme; Proposed uses the paper's
 // phased, throttling-aware schedule (§V-A).
-func Alltoall(c *mpi.Comm, bytes int64, opt Options) {
+func Alltoall(c *mpi.Comm, bytes int64, opt Options) error {
+	if err := checkBytes("alltoall", bytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
+	var err error
 	timeCollective(c, opt, "alltoall", bytes, func() {
-		switch opt.Power {
-		case Proposed:
-			withFreqScaling(c, func() {
-				alltoallPowerAware(c, constSize(bytes), opt)
-			})
-		case FreqScaling:
-			withFreqScaling(c, func() { alltoallDefault(c, bytes, opt) })
-		default:
-			alltoallDefault(c, bytes, opt)
+		if opt.refImperative {
+			switch opt.Power {
+			case Proposed:
+				withFreqScaling(c, func() {
+					alltoallPowerAware(c, constSize(bytes), opt)
+				})
+			case FreqScaling:
+				withFreqScaling(c, func() { alltoallDefault(c, bytes, opt) })
+			default:
+				alltoallDefault(c, bytes, opt)
+			}
+			return
 		}
+		canonical := "alltoall_pairwise"
+		switch {
+		case opt.Power == Proposed:
+			canonical = "alltoall_phased"
+		case bytes <= bruckThreshold:
+			canonical = "alltoall_bruck"
+		}
+		err = runPlanned(c, "alltoall", canonical, planSpec(bytes, nil, opt), opt)
 	})
+	return err
 }
 
 func alltoallDefault(c *mpi.Comm, bytes int64, opt Options) {
@@ -40,40 +56,68 @@ func alltoallDefault(c *mpi.Comm, bytes int64, opt Options) {
 }
 
 // AlltoallPairwise runs the pairwise-exchange algorithm regardless of
-// message size (the paper's large-message baseline).
-func AlltoallPairwise(c *mpi.Comm, bytes int64, opt Options) {
+// message size (the paper's large-message baseline; §V-A phased schedule
+// under Proposed). Plan-backed.
+func AlltoallPairwise(c *mpi.Comm, bytes int64, opt Options) error {
+	if err := checkBytes("alltoall_pairwise", bytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
+	var err error
 	timeCollective(c, opt, "alltoall_pairwise", bytes, func() {
-		switch opt.Power {
-		case Proposed:
-			withFreqScaling(c, func() { alltoallPowerAware(c, constSize(bytes), opt) })
-		case FreqScaling:
-			withFreqScaling(c, func() { alltoallPairwise(c, constSize(bytes), opt) })
-		default:
-			alltoallPairwise(c, constSize(bytes), opt)
+		if opt.refImperative {
+			switch opt.Power {
+			case Proposed:
+				withFreqScaling(c, func() { alltoallPowerAware(c, constSize(bytes), opt) })
+			case FreqScaling:
+				withFreqScaling(c, func() { alltoallPairwise(c, constSize(bytes), opt) })
+			default:
+				alltoallPairwise(c, constSize(bytes), opt)
+			}
+			return
 		}
+		canonical := "alltoall_pairwise"
+		if opt.Power == Proposed {
+			canonical = "alltoall_phased"
+		}
+		err = runPlanned(c, "alltoall", canonical, planSpec(bytes, nil, opt), opt)
 	})
+	return err
 }
 
 // AlltoallBruck runs the hypercube algorithm regardless of message size.
-func AlltoallBruck(c *mpi.Comm, bytes int64, opt Options) {
+// Plan-backed.
+func AlltoallBruck(c *mpi.Comm, bytes int64, opt Options) error {
+	if err := checkBytes("alltoall_bruck", bytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
+	var err error
 	timeCollective(c, opt, "alltoall_bruck", bytes, func() {
-		if opt.Power == FreqScaling || opt.Power == Proposed {
-			// Bruck is only used for small messages, where the
-			// phased schedule has nothing to hide behind; both
-			// power-aware schemes reduce to per-call DVFS.
-			withFreqScaling(c, func() { alltoallBruck(c, bytes, opt) })
+		if opt.refImperative {
+			if opt.Power == FreqScaling || opt.Power == Proposed {
+				// Bruck is only used for small messages, where the
+				// phased schedule has nothing to hide behind; both
+				// power-aware schemes reduce to per-call DVFS.
+				withFreqScaling(c, func() { alltoallBruck(c, bytes, opt) })
+				return
+			}
+			alltoallBruck(c, bytes, opt)
 			return
 		}
-		alltoallBruck(c, bytes, opt)
+		err = runPlanned(c, "alltoall", "alltoall_bruck", planSpec(bytes, nil, opt), opt)
 	})
+	return err
 }
 
 // Alltoallv performs a personalized exchange with per-pair sizes:
 // sizeOf(src, dst) is the number of bytes src sends to dst (communicator
-// ranks). All ranks must pass size functions that agree.
-func Alltoallv(c *mpi.Comm, sizeOf func(src, dst int) int64, opt Options) {
+// ranks). All ranks must pass size functions that agree. Zero-size pairs
+// are legal; negative sizes are rejected.
+func Alltoallv(c *mpi.Comm, sizeOf func(src, dst int) int64, opt Options) error {
+	if err := checkSizeMatrix("alltoallv", c.Size(), sizeOf); err != nil {
+		return err
+	}
 	timeCollective(c, opt, "alltoallv", -1, func() {
 		switch opt.Power {
 		case Proposed:
@@ -84,6 +128,7 @@ func Alltoallv(c *mpi.Comm, sizeOf func(src, dst int) int64, opt Options) {
 			alltoallPairwise(c, sizeOf, opt)
 		}
 	})
+	return nil
 }
 
 func constSize(bytes int64) func(src, dst int) int64 {
@@ -96,9 +141,7 @@ func constSize(bytes int64) func(src, dst int) int64 {
 func exchangeWith(c *mpi.Comm, block, peer int, sizeOf func(src, dst int) int64) {
 	me := c.Rank()
 	tag := c.PairTag(block, me, peer)
-	rq := c.Irecv(peer, sizeOf(peer, me), tag)
-	sq := c.Isend(peer, sizeOf(me, peer), tag)
-	mpi.WaitAll(sq, rq)
+	c.Exchange(peer, sizeOf(me, peer), tag, peer, sizeOf(peer, me), tag)
 }
 
 // alltoallPairwise is the classic pairwise-exchange schedule: P-1 steps,
@@ -112,7 +155,7 @@ func alltoallPairwise(c *mpi.Comm, sizeOf func(src, dst int) int64, opt Options)
 		return
 	}
 	block := c.TagBlock()
-	pow2 := p&(p-1) == 0
+	pow2 := isPow2(p)
 	for i := 1; i < p; i++ {
 		var peer int
 		if pow2 {
@@ -132,9 +175,8 @@ func alltoallPairwise(c *mpi.Comm, sizeOf func(src, dst int) int64, opt Options)
 			}
 			// Ring offsets: send to (me+i), receive from (me-i).
 			from := (me - i + p) % p
-			rq := c.Irecv(from, sizeOf(from, me), c.PairTag(block, from, me))
-			sq := c.Isend(peer, sizeOf(me, peer), c.PairTag(block, me, peer))
-			mpi.WaitAll(sq, rq)
+			c.Exchange(peer, sizeOf(me, peer), c.PairTag(block, me, peer),
+				from, sizeOf(from, me), c.PairTag(block, from, me))
 		})
 	}
 }
@@ -163,9 +205,7 @@ func alltoallBruck(c *mpi.Comm, bytes int64, opt Options) {
 		to := (me + dist) % p
 		from := (me - dist + p) % p
 		tag := block + round
-		rq := c.Irecv(from, int64(cnt)*bytes, tag)
-		sq := c.Isend(to, int64(cnt)*bytes, tag)
-		mpi.WaitAll(sq, rq)
+		c.Exchange(to, int64(cnt)*bytes, tag, from, int64(cnt)*bytes, tag)
 		round++
 	}
 	// Final inverse rotation.

@@ -16,7 +16,13 @@ func ctrlTag(block, k int) int { return block + (1 << 18) + k }
 // within each node. Options.Power selects the paper's power schemes;
 // Proposed throttles the non-leader socket to T7 and the leader socket to
 // T4 during the network phase (§V-B, Figure 4).
-func Bcast(c *mpi.Comm, root int, bytes int64, opt Options) {
+func Bcast(c *mpi.Comm, root int, bytes int64, opt Options) error {
+	if err := checkBytes("bcast", bytes); err != nil {
+		return err
+	}
+	if err := checkRoot("bcast", root, c.Size()); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "bcast", bytes, func() {
 		switch opt.Power {
@@ -28,21 +34,36 @@ func Bcast(c *mpi.Comm, root int, bytes int64, opt Options) {
 			bcastMC(c, root, bytes, opt, false)
 		}
 	})
+	return nil
 }
 
 // BcastBinomial broadcasts with the flat binomial tree [23], ignoring the
 // node topology — the paper's §V-B contrast case in which every process
 // participates in network communication and throttling cannot be applied
-// without large penalties.
-func BcastBinomial(c *mpi.Comm, root int, bytes int64, opt Options) {
+// without large penalties. Plan-backed.
+func BcastBinomial(c *mpi.Comm, root int, bytes int64, opt Options) error {
+	if err := checkBytes("bcast_binomial", bytes); err != nil {
+		return err
+	}
+	if err := checkRoot("bcast_binomial", root, c.Size()); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
+	var err error
 	timeCollective(c, opt, "bcast_binomial", bytes, func() {
-		if opt.Power == FreqScaling || opt.Power == Proposed {
-			withFreqScaling(c, func() { binomialBcast(c, root, bytes, c.TagBlock()) })
+		if opt.refImperative {
+			if opt.Power == FreqScaling || opt.Power == Proposed {
+				withFreqScaling(c, func() { binomialBcast(c, root, bytes, c.TagBlock()) })
+				return
+			}
+			binomialBcast(c, root, bytes, c.TagBlock())
 			return
 		}
-		binomialBcast(c, root, bytes, c.TagBlock())
+		spec := planSpec(bytes, nil, opt)
+		spec.Root = root
+		err = runPlanned(c, "bcast", "bcast_binomial", spec, opt)
 	})
+	return err
 }
 
 // bcastMC is the multi-core aware broadcast; throttle selects the §V-B
@@ -195,9 +216,7 @@ func ringAllgather(c *mpi.Comm, chunk int64, block int) {
 	left := (me - 1 + n) % n
 	for s := 0; s < n-1; s++ {
 		tag := block + (1 << 17) + s
-		rq := c.Irecv(left, chunk, tag)
-		sq := c.Isend(right, chunk, tag)
-		mpi.WaitAll(sq, rq)
+		c.Exchange(right, chunk, tag, left, chunk, tag)
 	}
 }
 

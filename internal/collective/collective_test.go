@@ -113,7 +113,7 @@ func TestAlltoallContention(t *testing.T) {
 // TestBruckVsPairwiseCrossover: Bruck wins for tiny messages, pairwise for
 // large ones.
 func TestBruckVsPairwiseCrossover(t *testing.T) {
-	elapsed := func(bytes int64, f func(c *mpi.Comm, bytes int64, opt Options)) simtime.Duration {
+	elapsed := func(bytes int64, f func(c *mpi.Comm, bytes int64, opt Options) error) simtime.Duration {
 		d, _ := run(t, cfg32x8(), func(r *mpi.Rank) {
 			f(mpi.CommWorld(r), bytes, Options{})
 		})
@@ -383,7 +383,7 @@ func TestReduceBinomial(t *testing.T) {
 }
 
 func TestAllgatherVariants(t *testing.T) {
-	for name, f := range map[string]func(*mpi.Comm, int64, Options){
+	for name, f := range map[string]func(*mpi.Comm, int64, Options) error{
 		"mc":   Allgather,
 		"ring": AllgatherRing,
 		"rd":   AllgatherRD,

@@ -71,15 +71,19 @@ func fallbackToFlat(c *mpi.Comm, op string) bool {
 // hierarchy: intra-node reduction to node leaders, leader exchange
 // (recursive doubling on a healthy fabric, a neighbor ring after a
 // degradation fallback), intra-node broadcast back.
-func AllreduceTopoAware(c *mpi.Comm, bytes int64, opt Options) {
-	AllreduceSum(c, bytes, 0, opt)
+func AllreduceTopoAware(c *mpi.Comm, bytes int64, opt Options) error {
+	_, err := AllreduceSum(c, bytes, 0, opt)
+	return err
 }
 
 // AllreduceSum is AllreduceTopoAware carrying a real float64 sum through
 // the simulated message schedule (the wire board): every rank
 // contributes v and receives the global sum, so tests can verify data
 // correctness end-to-end under injected faults, not just termination.
-func AllreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) float64 {
+func AllreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) (float64, error) {
+	if err := checkBytes("allreduce_topo", bytes); err != nil {
+		return v, err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	out := v
 	timeCollective(c, opt, "allreduce_topo", bytes, func() {
@@ -90,7 +94,7 @@ func AllreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) float64 {
 		}
 		run()
 	})
-	return out
+	return out, nil
 }
 
 func allreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) float64 {
@@ -126,7 +130,7 @@ func allreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) float64 {
 	if leadC != nil && leadC.Size() > 1 {
 		timePhase(c, opt.Trace, PhaseNetwork, func() {
 			p := leadC.Size()
-			useRing := fallback || p&(p-1) != 0
+			useRing := fallback || !isPow2(p)
 			var sp obs.SpanHandle
 			if fallback && leadC.Rank() == 0 {
 				b.Add(obs.CtrCollectiveFallbacks, 1)

@@ -27,7 +27,7 @@ func sumWorld(t *testing.T, cfg mpi.Config, payload int64, attach bool) ([]float
 	got := make([]float64, cfg.NProcs)
 	w.Launch(func(r *mpi.Rank) {
 		c := mpi.CommWorld(r)
-		got[r.ID()] = AllreduceSum(c, payload, float64(r.ID()+1), Options{})
+		got[r.ID()], _ = AllreduceSum(c, payload, float64(r.ID()+1), Options{})
 	})
 	if _, err := w.Run(); err != nil {
 		t.Fatal(err)

@@ -7,7 +7,13 @@ import (
 // Gather collects a distinct block of bytes from every rank onto root
 // using a binomial tree: subtree roots aggregate their subtree's blocks
 // before forwarding, so message sizes grow toward the root.
-func Gather(c *mpi.Comm, root int, bytes int64, opt Options) {
+func Gather(c *mpi.Comm, root int, bytes int64, opt Options) error {
+	if err := checkBytes("gather", bytes); err != nil {
+		return err
+	}
+	if err := checkRoot("gather", root, c.Size()); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "gather", bytes, func() {
 		run := func() { binomialGather(c, root, bytes, c.TagBlock()) }
@@ -17,12 +23,19 @@ func Gather(c *mpi.Comm, root int, bytes int64, opt Options) {
 		}
 		run()
 	})
+	return nil
 }
 
 // Scatter distributes a distinct block of bytes from root to every rank
 // with the binomial range-splitting tree (the same schedule as the
 // scatter half of the large-message broadcast).
-func Scatter(c *mpi.Comm, root int, bytes int64, opt Options) {
+func Scatter(c *mpi.Comm, root int, bytes int64, opt Options) error {
+	if err := checkBytes("scatter", bytes); err != nil {
+		return err
+	}
+	if err := checkRoot("scatter", root, c.Size()); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "scatter", bytes, func() {
 		run := func() { binomialScatter(c, root, bytes, c.TagBlock()) }
@@ -32,6 +45,7 @@ func Scatter(c *mpi.Comm, root int, bytes int64, opt Options) {
 		}
 		run()
 	})
+	return nil
 }
 
 // binomialGather mirrors binomialScatter: the owner of the upper half of

@@ -92,7 +92,7 @@ func tournamentPeer(n, round, i int) int {
 	if n < 2 {
 		return -1
 	}
-	if n&(n-1) == 0 {
+	if isPow2(n) {
 		return i ^ round
 	}
 	if n%2 == 1 {

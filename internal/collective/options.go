@@ -80,7 +80,40 @@ type Options struct {
 	// target the medium/large messages of Figures 7-8). Zero selects
 	// DefaultPowerThreshold; negative applies the scheme at any size.
 	PowerThreshold int64
+	// Plan selects the schedule builder for plan-backed collectives:
+	// empty runs the entry point's canonical schedule, PlanAuto selects
+	// the cheapest registered candidate of the collective's family under
+	// the analytical cost model, and any other value names a specific
+	// builder (see plan.Builders). Entry points that are not plan-backed
+	// ignore the field.
+	Plan string
+	// PlanObjective is the cost-model objective PlanAuto minimizes.
+	PlanObjective PlanObjective
+	// PlanStepSpans emits one observability span per executed plan step
+	// in addition to the phase spans — a debugging aid. Off by default,
+	// which keeps plan-executed collectives trace-identical to their
+	// imperative ancestors.
+	PlanStepSpans bool
+	// refImperative forces the original imperative implementation of a
+	// plan-backed entry point. Unexported: the differential tests use it
+	// to prove the plan path bit-identical to the reference.
+	refImperative bool
 }
+
+// PlanAuto is the Options.Plan value that turns on cost-based selection.
+const PlanAuto = "auto"
+
+// PlanObjective is the quantity PlanAuto selection minimizes.
+type PlanObjective int
+
+const (
+	// SelectByLatency picks the candidate with the lowest predicted
+	// completion time (the default).
+	SelectByLatency PlanObjective = iota
+	// SelectByEnergy picks the candidate with the lowest predicted
+	// energy.
+	SelectByEnergy
+)
 
 // DefaultPowerThreshold is the passthrough cutoff used when
 // Options.PowerThreshold is zero.

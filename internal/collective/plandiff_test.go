@@ -1,0 +1,192 @@
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pacc/internal/fault"
+	"pacc/internal/mpi"
+	"pacc/internal/obs"
+	"pacc/internal/simtime"
+)
+
+// The differential suite: every plan-backed entry point must be
+// observably identical to the imperative implementation it replaced —
+// same simulated completion time, same per-core energy, and byte-for-byte
+// identical exported trace and metrics — across communicator shapes,
+// power modes and fault injection. The plan path and the reference differ
+// only in Options.refImperative.
+
+// diffResult captures everything observable about one simulated run.
+type diffResult struct {
+	elapsed simtime.Duration
+	energy  []float64
+	trace   string
+	metrics string
+}
+
+func captureRun(t *testing.T, cfg mpi.Config, call func(c *mpi.Comm, opt Options) error, opt Options) diffResult {
+	t.Helper()
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := obs.NewBus(w.Engine())
+	w.AttachObs(b)
+	var callErr error
+	w.Launch(func(r *mpi.Rank) {
+		if err := call(mpi.CommWorld(r), opt); err != nil && callErr == nil {
+			callErr = err
+		}
+	})
+	d, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if callErr != nil {
+		t.Fatal(callErr)
+	}
+	res := diffResult{elapsed: d}
+	for _, core := range w.Station().Cores() {
+		res.energy = append(res.energy, core.EnergyJoules())
+	}
+	var tb, mb bytes.Buffer
+	if err := b.WriteChromeTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteMetricsJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	res.trace = tb.String()
+	res.metrics = mb.String()
+	return res
+}
+
+// diffOps maps each plan-backed entry point to a closure with the payload
+// baked in. 64K clears the power threshold so FreqScaling/Proposed are
+// exercised for real; the small alltoall pins the Bruck cutover.
+var diffOps = map[string]func(c *mpi.Comm, opt Options) error{
+	"allgather_ring": func(c *mpi.Comm, opt Options) error { return AllgatherRing(c, 64<<10, opt) },
+	"allgather_rd":   func(c *mpi.Comm, opt Options) error { return AllgatherRD(c, 64<<10, opt) },
+	"allreduce_rd":   func(c *mpi.Comm, opt Options) error { return AllreduceRD(c, 64<<10, opt) },
+	"bcast_binomial": func(c *mpi.Comm, opt Options) error { return BcastBinomial(c, 0, 64<<10, opt) },
+	"bcast_binomial_shifted_root": func(c *mpi.Comm, opt Options) error {
+		return BcastBinomial(c, c.Size()-1, 64<<10, opt)
+	},
+	"alltoall":          func(c *mpi.Comm, opt Options) error { return Alltoall(c, 64<<10, opt) },
+	"alltoall_small":    func(c *mpi.Comm, opt Options) error { return Alltoall(c, 2<<10, opt) },
+	"alltoall_pairwise": func(c *mpi.Comm, opt Options) error { return AlltoallPairwise(c, 64<<10, opt) },
+	"alltoall_bruck":    func(c *mpi.Comm, opt Options) error { return AlltoallBruck(c, 64<<10, opt) },
+}
+
+func diffConfigs() map[string]mpi.Config {
+	out := map[string]mpi.Config{}
+	for _, shape := range []struct{ procs, ppn int }{
+		{2, 2}, {4, 4}, {8, 8}, {16, 8},
+	} {
+		cfg := mpi.DefaultConfig()
+		cfg.NProcs = shape.procs
+		cfg.PPN = shape.ppn
+		out[fmt.Sprintf("%dx%d", shape.procs, shape.ppn)] = cfg
+	}
+	return out
+}
+
+func faultVariants() map[string]*fault.Spec {
+	return map[string]*fault.Spec{
+		"healthy": nil,
+		"faulty": {
+			Seed:        7,
+			EagerLoss:   0.03,
+			RetryBudget: 8,
+			LinkFaults: []fault.LinkFault{
+				{Link: "node0-up", Factor: 0.5, Start: 0, Duration: 1000 * simtime.Second},
+			},
+		},
+	}
+}
+
+func assertIdentical(t *testing.T, ref, got diffResult) {
+	t.Helper()
+	if got.elapsed != ref.elapsed {
+		t.Errorf("elapsed: plan %v, imperative %v", got.elapsed, ref.elapsed)
+	}
+	if len(got.energy) != len(ref.energy) {
+		t.Fatalf("core count: plan %d, imperative %d", len(got.energy), len(ref.energy))
+	}
+	for i := range ref.energy {
+		if got.energy[i] != ref.energy[i] {
+			t.Errorf("core %d energy: plan %v J, imperative %v J", i, got.energy[i], ref.energy[i])
+		}
+	}
+	if got.trace != ref.trace {
+		t.Errorf("exported traces differ (plan %d bytes, imperative %d bytes)", len(got.trace), len(ref.trace))
+	}
+	if got.metrics != ref.metrics {
+		t.Errorf("exported metrics differ (plan %d bytes, imperative %d bytes)", len(got.metrics), len(ref.metrics))
+	}
+}
+
+func TestPlanDifferential(t *testing.T) {
+	modes := map[string]PowerMode{
+		"no-power":     NoPower,
+		"freq-scaling": FreqScaling,
+		"proposed":     Proposed,
+	}
+	for cfgName, cfg := range diffConfigs() {
+		for opName, call := range diffOps {
+			for modeName, mode := range modes {
+				for faultName, spec := range faultVariants() {
+					name := fmt.Sprintf("%s/%s/%s/%s", opName, cfgName, modeName, faultName)
+					t.Run(name, func(t *testing.T) {
+						c := cfg
+						c.Fault = spec
+						ref := captureRun(t, c, call, Options{Power: mode, refImperative: true})
+						got := captureRun(t, c, call, Options{Power: mode})
+						assertIdentical(t, ref, got)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDifferentialPhaseTraces: the per-rank phase accounting
+// (Options.Trace) must also agree between the two forms.
+func TestPlanDifferentialPhaseTraces(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs, cfg.PPN = 16, 8
+	phases := []string{PhaseTotal, PhaseIntra, PhaseNetwork, PhasePhase2, PhasePhase3, PhasePhase4}
+	collect := func(ref bool) []*Trace {
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces := make([]*Trace, cfg.NProcs)
+		var callErr error
+		w.Launch(func(r *mpi.Rank) {
+			tr := NewTrace()
+			traces[r.ID()] = tr
+			opt := Options{Power: Proposed, Trace: tr, refImperative: ref}
+			if err := AlltoallPairwise(mpi.CommWorld(r), 64<<10, opt); err != nil && callErr == nil {
+				callErr = err
+			}
+		})
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if callErr != nil {
+			t.Fatal(callErr)
+		}
+		return traces
+	}
+	refs, gots := collect(true), collect(false)
+	for r := range refs {
+		for _, ph := range phases {
+			if got, want := gots[r].Phase(ph), refs[r].Phase(ph); got != want {
+				t.Errorf("rank %d phase %q: plan %v, imperative %v", r, ph, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package collective
+
+import (
+	"fmt"
+
+	"pacc/internal/model"
+	"pacc/internal/mpi"
+	"pacc/internal/plan"
+	"pacc/internal/topology"
+)
+
+// This file glues the schedule-IR layer (internal/plan) into the
+// collective entry points: deriving the communicator view builders need,
+// resolving which builder runs a call (canonical, forced by name, or
+// cost-model auto-selection), and executing the built plan with the
+// caller's trace and power options.
+
+// viewOf derives the SPMD-congruent communicator shape a plan builder
+// consumes. Every rank computes the identical view, so every rank builds
+// the identical plan.
+func viewOf(c *mpi.Comm) plan.View {
+	p := c.Size()
+	v := plan.View{P: p, NodeOf: make([]int, p), SocketA: make([]bool, p)}
+	for cr := 0; cr < p; cr++ {
+		v.NodeOf[cr] = c.NodeOf(cr)
+		v.SocketA[cr] = c.SocketOf(cr) == topology.SocketA
+	}
+	return v
+}
+
+// planSpec translates call options into a build spec.
+func planSpec(bytes int64, sizeOf func(src, dst int) int64, opt Options) plan.Spec {
+	return plan.Spec{
+		Bytes:     bytes,
+		SizeOf:    sizeOf,
+		FreqScale: opt.Power == FreqScaling || opt.Power == Proposed,
+		Phased:    opt.Power == Proposed,
+		DeepT:     opt.deepT(),
+	}
+}
+
+// runPlanned resolves, builds and executes the plan of one collective
+// call. canonical is the builder that reproduces the entry point's
+// historical schedule; opt.Plan may override it with "auto" (cost-model
+// selection over the family's registered candidates) or an explicit
+// builder name.
+func runPlanned(c *mpi.Comm, family, canonical string, spec plan.Spec, opt Options) error {
+	name := canonical
+	switch opt.Plan {
+	case "", canonical:
+	case PlanAuto:
+		selected, err := SelectPlanName(c.World().Config(), viewOf(c), family, spec, opt.PlanObjective)
+		if err != nil {
+			return err
+		}
+		name = selected
+	default:
+		b, ok := plan.Lookup(opt.Plan)
+		if !ok {
+			return fmt.Errorf("collective: unknown plan builder %q", opt.Plan)
+		}
+		if b.Op != family {
+			return fmt.Errorf("collective: plan builder %q implements %s, not %s", opt.Plan, b.Op, family)
+		}
+		name = opt.Plan
+	}
+	p, err := plan.BuildNamed(name, viewOf(c), spec)
+	if err != nil {
+		return err
+	}
+	return execPlan(c, p, opt)
+}
+
+// execPlan runs a built plan with the caller's options.
+func execPlan(c *mpi.Comm, p *plan.Plan, opt Options) error {
+	return plan.Execute(p, plan.Env{
+		Comm:              c,
+		ReduceBytesPerSec: opt.reduceRate(),
+		OnPhase:           opt.Trace.Add,
+		StepSpans:         opt.PlanStepSpans,
+	})
+}
+
+// SelectPlanName prices every registered candidate of a collective
+// family with the analytical model and returns the cheapest under the
+// given objective. Candidates that cannot build for this view (e.g. a
+// recursive-doubling schedule on a non-power-of-two communicator) are
+// skipped. This is the paper's message-size switchover logic as data: the
+// crossover points fall out of the cost model instead of living in
+// hard-coded if-chains.
+func SelectPlanName(cfg mpi.Config, v plan.View, family string, spec plan.Spec, objective PlanObjective) (string, error) {
+	params := model.FromConfig(cfg)
+	best := ""
+	var bestCost float64
+	for _, b := range plan.Candidates(family) {
+		p, err := b.Build(v, spec)
+		if err != nil {
+			continue
+		}
+		pc := params.PredictPlan(p.ComputeStats())
+		cost := pc.Seconds
+		if objective == SelectByEnergy {
+			cost = pc.Joules
+		}
+		if best == "" || cost < bestCost {
+			best, bestCost = b.Name, cost
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("collective: no applicable plan builder for family %q at %d ranks", family, v.P)
+	}
+	return best, nil
+}

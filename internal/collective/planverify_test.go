@@ -1,0 +1,135 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"pacc/internal/mpi"
+	"pacc/internal/plan"
+	"pacc/internal/power"
+)
+
+// syntheticView builds the communicator shape of a bunch-mapped job with
+// ppn ranks per node, split evenly across two sockets — the layout the
+// power-aware builders assume.
+func syntheticView(p, ppn int) plan.View {
+	v := plan.View{P: p, NodeOf: make([]int, p), SocketA: make([]bool, p)}
+	for r := 0; r < p; r++ {
+		v.NodeOf[r] = r / ppn
+		v.SocketA[r] = (r % ppn) < ppn/2
+	}
+	return v
+}
+
+// TestAllBuildersVerify holds every registered schedule builder to the
+// static invariants at the communicator sizes CI pins: tag/peer matching,
+// rendezvous deadlock-freedom, declared data coverage and power balance.
+// This is the test the plan-verify CI step runs standalone.
+func TestAllBuildersVerify(t *testing.T) {
+	sizes := []int{2, 4, 8, 16}
+	specs := map[string]plan.Spec{
+		"plain":   {Bytes: 64 << 10},
+		"dvfs":    {Bytes: 64 << 10, FreqScale: true},
+		"phased":  {Bytes: 64 << 10, FreqScale: true, Phased: true, DeepT: power.T7},
+		"nonuniform": {SizeOf: func(src, dst int) int64 {
+			return int64((src+1)*(dst+2)) % 4096
+		}},
+	}
+	for _, b := range plan.Builders() {
+		for _, p := range sizes {
+			ppn := 8
+			if p < 8 {
+				ppn = p // single node at tiny sizes
+			}
+			v := syntheticView(p, ppn)
+			for specName, spec := range specs {
+				t.Run(fmt.Sprintf("%s/p%d/%s", b.Name, p, specName), func(t *testing.T) {
+					pl, err := b.Build(v, spec)
+					if err != nil {
+						// Builders may reject shapes they do not support
+						// (per-pair sizes, non-power-of-two); that must be
+						// an explicit error, never a bad plan.
+						t.Skipf("builder declined: %v", err)
+					}
+					if err := plan.Verify(pl); err != nil {
+						t.Fatalf("built plan fails verification: %v", err)
+					}
+					if pl.P != p {
+						t.Fatalf("plan built for %d ranks, want %d", pl.P, p)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBuildersRejectUnsupportedShapes pins the explicit-error contract for
+// the shapes builders cannot serve.
+func TestBuildersRejectUnsupportedShapes(t *testing.T) {
+	nonPow2 := syntheticView(6, 3)
+	uniform := plan.Spec{Bytes: 1024}
+	for _, name := range []string{"allgather_rd", "allreduce_rd"} {
+		if _, err := plan.BuildNamed(name, nonPow2, uniform); err == nil {
+			t.Errorf("%s accepted a non-power-of-two communicator", name)
+		}
+	}
+	perPair := plan.Spec{SizeOf: func(src, dst int) int64 { return 1 }}
+	for _, name := range []string{"allgather_ring", "allgather_rd", "allreduce_rd", "bcast_binomial", "alltoall_bruck"} {
+		if _, err := plan.BuildNamed(name, syntheticView(4, 4), perPair); err == nil {
+			t.Errorf("%s accepted per-pair sizes", name)
+		}
+	}
+	if _, err := plan.BuildNamed("bcast_binomial", syntheticView(4, 4), plan.Spec{Bytes: 1, Root: 9}); err == nil {
+		t.Error("bcast_binomial accepted an out-of-range root")
+	}
+}
+
+// TestPhasedBuilderFallsBackToPairwise: nodes without a populated,
+// equal-size second socket get the pairwise schedule under the phased
+// name, exactly like the imperative form.
+func TestPhasedBuilderFallsBackToPairwise(t *testing.T) {
+	v := plan.View{P: 4, NodeOf: []int{0, 0, 1, 1}, SocketA: []bool{true, true, true, true}}
+	pl, err := plan.BuildNamed("alltoall_phased", v, plan.Spec{Bytes: 4096, FreqScale: true, Phased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Name != "alltoall_phased" {
+		t.Errorf("fallback plan named %q", pl.Name)
+	}
+	if err := plan.Verify(pl); err != nil {
+		t.Fatalf("fallback plan fails verification: %v", err)
+	}
+	// The fallback must not contain any throttle steps.
+	for r, steps := range pl.Steps {
+		for i, s := range steps {
+			if s.Op == plan.OpPower && s.Power.Kind == plan.PowerThrottle {
+				t.Fatalf("rank %d step %d: fallback schedule throttles", r, i)
+			}
+		}
+	}
+}
+
+// TestSelectPlanName: the cost model must prefer Bruck for tiny payloads
+// and pairwise for large ones on the default testbed shape, reproducing
+// the message-size switchover as data.
+func TestSelectPlanName(t *testing.T) {
+	cfg := mpi.DefaultConfig()
+	v := syntheticView(16, 8)
+	small, err := SelectPlanName(cfg, v, "alltoall", plan.Spec{Bytes: 64}, SelectByLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small != "alltoall_bruck" {
+		t.Errorf("64B alltoall selected %q, want alltoall_bruck", small)
+	}
+	large, err := SelectPlanName(cfg, v, "alltoall", plan.Spec{Bytes: 1 << 20}, SelectByLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large == "alltoall_bruck" {
+		t.Errorf("1MB alltoall selected %q, want a non-Bruck schedule", large)
+	}
+	if _, err := SelectPlanName(cfg, v, "no-such-family", plan.Spec{Bytes: 1}, SelectByLatency); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

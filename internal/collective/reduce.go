@@ -12,7 +12,13 @@ import (
 // reduce across the network. Options.Power selects the power schemes of
 // §V-B (Proposed throttles the non-leader socket to T7 and the leader
 // socket to T4 during the network phase).
-func Reduce(c *mpi.Comm, root int, bytes int64, opt Options) {
+func Reduce(c *mpi.Comm, root int, bytes int64, opt Options) error {
+	if err := checkBytes("reduce", bytes); err != nil {
+		return err
+	}
+	if err := checkRoot("reduce", root, c.Size()); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "reduce", bytes, func() {
 		switch opt.Power {
@@ -24,11 +30,18 @@ func Reduce(c *mpi.Comm, root int, bytes int64, opt Options) {
 			reduceMC(c, root, bytes, opt, false)
 		}
 	})
+	return nil
 }
 
 // ReduceBinomial reduces with the flat binomial tree, ignoring node
 // topology.
-func ReduceBinomial(c *mpi.Comm, root int, bytes int64, opt Options) {
+func ReduceBinomial(c *mpi.Comm, root int, bytes int64, opt Options) error {
+	if err := checkBytes("reduce_binomial", bytes); err != nil {
+		return err
+	}
+	if err := checkRoot("reduce_binomial", root, c.Size()); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "reduce_binomial", bytes, func() {
 		if opt.Power == FreqScaling || opt.Power == Proposed {
@@ -37,6 +50,7 @@ func ReduceBinomial(c *mpi.Comm, root int, bytes int64, opt Options) {
 		}
 		binomialReduce(c, root, bytes, opt, c.TagBlock())
 	})
+	return nil
 }
 
 // reduceOp charges the cost of merging one buffer of the given size into

@@ -8,7 +8,10 @@ import (
 // block i on rank i, using recursive halving for power-of-two
 // communicators (each round exchanges half the remaining vector) and a
 // pairwise fallback otherwise. blockBytes is the size of one block.
-func ReduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
+func ReduceScatter(c *mpi.Comm, blockBytes int64, opt Options) error {
+	if err := checkBytes("reduce_scatter", blockBytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(blockBytes)
 	timeCollective(c, opt, "reduce_scatter", blockBytes, func() {
 		run := func() { reduceScatter(c, blockBytes, opt) }
@@ -18,6 +21,7 @@ func ReduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
 		}
 		run()
 	})
+	return nil
 }
 
 func reduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
@@ -26,7 +30,7 @@ func reduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
 		return
 	}
 	block := c.TagBlock()
-	if n&(n-1) == 0 {
+	if isPow2(n) {
 		// Recursive halving: the exchanged volume halves each round,
 		// starting at half the full vector.
 		vol := int64(n) / 2 * blockBytes
@@ -34,9 +38,7 @@ func reduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
 		for mask := n / 2; mask >= 1; mask >>= 1 {
 			peer := me ^ mask
 			tag := c.PairTag(block, me, peer) + (1<<17)*round
-			rq := c.Irecv(peer, vol, tag)
-			sq := c.Isend(peer, vol, tag)
-			mpi.WaitAll(sq, rq)
+			c.Exchange(peer, vol, tag, peer, vol, tag)
 			reduceOp(c, vol, opt)
 			vol /= 2
 			round++
@@ -49,9 +51,7 @@ func reduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
 		to := (me + i) % n
 		from := (me - i + n) % n
 		tag := c.PairTag(block, 0, 0) + (1 << 17) + i
-		rq := c.Irecv(from, blockBytes, tag+from)
-		sq := c.Isend(to, blockBytes, tag+me)
-		mpi.WaitAll(sq, rq)
+		c.Exchange(to, blockBytes, tag+me, from, blockBytes, tag+from)
 		reduceOp(c, blockBytes, opt)
 	}
 }
@@ -60,14 +60,17 @@ func reduceScatter(c *mpi.Comm, blockBytes int64, opt Options) {
 // reduce-scatter (recursive halving) followed by an allgather (recursive
 // doubling). For large vectors it moves ~2x less data per rank than
 // recursive doubling, the classic bandwidth-optimal trade.
-func AllreduceRabenseifner(c *mpi.Comm, bytes int64, opt Options) {
+func AllreduceRabenseifner(c *mpi.Comm, bytes int64, opt Options) error {
+	if err := checkBytes("allreduce_rabenseifner", bytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "allreduce_rabenseifner", bytes, func() {
 		n := c.Size()
 		if n == 1 {
 			return
 		}
-		if n&(n-1) != 0 {
+		if !isPow2(n) {
 			// The classic formulation needs a power of two; fall
 			// back to the composition.
 			inner := opt
@@ -87,6 +90,7 @@ func AllreduceRabenseifner(c *mpi.Comm, bytes int64, opt Options) {
 		}
 		run()
 	})
+	return nil
 }
 
 // AlltoallRing runs the store-and-forward ring alltoall: every step each
@@ -96,7 +100,10 @@ func AllreduceRabenseifner(c *mpi.Comm, bytes int64, opt Options) {
 // ring trades bandwidth for nearest-neighbor-only communication and
 // minimal buffering, which is why systems use it only under memory or
 // torus-wiring constraints.
-func AlltoallRing(c *mpi.Comm, bytes int64, opt Options) {
+func AlltoallRing(c *mpi.Comm, bytes int64, opt Options) error {
+	if err := checkBytes("alltoall_ring", bytes); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "alltoall_ring", bytes, func() {
 		run := func() { alltoallRing(c, bytes, opt) }
@@ -106,6 +113,7 @@ func AlltoallRing(c *mpi.Comm, bytes int64, opt Options) {
 		}
 		run()
 	})
+	return nil
 }
 
 func alltoallRing(c *mpi.Comm, bytes int64, opt Options) {
@@ -120,9 +128,7 @@ func alltoallRing(c *mpi.Comm, bytes int64, opt Options) {
 	for s := 1; s < n; s++ {
 		vol := int64(n-s) * bytes
 		tag := block + s
-		rq := c.Irecv(left, vol, tag)
-		sq := c.Isend(right, vol, tag)
-		mpi.WaitAll(sq, rq)
+		c.Exchange(right, vol, tag, left, vol, tag)
 		// Drop off the block that just arrived home.
 		localCopy(c, bytes)
 	}

@@ -65,7 +65,13 @@ func (rl *rackLayout) ranksInRack(rack int) int {
 // every non-rack-leader waits fully throttled (DeepThrottle) until its
 // data arrives, the §VIII power schedule; FreqScaling applies per-call
 // DVFS only.
-func ScatterTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
+func ScatterTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) error {
+	if err := checkBytes("scatter_topo", bytes); err != nil {
+		return err
+	}
+	if err := checkRoot("scatter_topo", root, c.Size()); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "scatter_topo", bytes, func() {
 		if fallbackToFlat(c, "scatter_topo") {
@@ -83,6 +89,7 @@ func ScatterTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
 			scatterTopo(c, root, bytes, opt, false)
 		}
 	})
+	return nil
 }
 
 func scatterTopo(c *mpi.Comm, root int, bytes int64, opt Options, throttle bool) {
@@ -173,7 +180,13 @@ func scatterTopo(c *mpi.Comm, root int, bytes int64, opt Options, throttle bool)
 // (intra-rack), node leaders to local ranks via shared memory. With
 // Proposed, every non-rack-leader waits fully throttled until its copy
 // arrives.
-func BcastTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
+func BcastTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) error {
+	if err := checkBytes("bcast_topo", bytes); err != nil {
+		return err
+	}
+	if err := checkRoot("bcast_topo", root, c.Size()); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "bcast_topo", bytes, func() {
 		if fallbackToFlat(c, "bcast_topo") {
@@ -191,6 +204,7 @@ func BcastTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
 			bcastTopo(c, root, bytes, opt, false)
 		}
 	})
+	return nil
 }
 
 func bcastTopo(c *mpi.Comm, root int, bytes int64, opt Options, throttle bool) {
@@ -266,7 +280,13 @@ func bcastTopo(c *mpi.Comm, root int, bytes int64, opt Options, throttle bool) {
 // rack leader gathers node blocks, root gathers rack blocks). With
 // Proposed, ranks that have delivered their contribution wait fully
 // throttled until the root confirms completion, then restore T0.
-func GatherTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
+func GatherTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) error {
+	if err := checkBytes("gather_topo", bytes); err != nil {
+		return err
+	}
+	if err := checkRoot("gather_topo", root, c.Size()); err != nil {
+		return err
+	}
 	opt.Power = opt.effectivePower(bytes)
 	timeCollective(c, opt, "gather_topo", bytes, func() {
 		if fallbackToFlat(c, "gather_topo") {
@@ -284,6 +304,7 @@ func GatherTopoAware(c *mpi.Comm, root int, bytes int64, opt Options) {
 			gatherTopo(c, root, bytes, opt, false)
 		}
 	})
+	return nil
 }
 
 func gatherTopo(c *mpi.Comm, root int, bytes int64, opt Options, throttle bool) {

@@ -1,0 +1,20 @@
+package collective
+
+// Shared power-of-two arithmetic used by the recursive-doubling,
+// halving, hypercube and tournament schedules. One definition for the
+// whole package — the per-algorithm copies these helpers replace drifted
+// easily and were tested nowhere.
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// logOf returns floor(log2(mask)) for mask >= 1: the round number of the
+// power-of-two distance mask in a recursive-doubling schedule.
+func logOf(mask int) int {
+	l := 0
+	for mask > 1 {
+		mask >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,59 @@
+package collective
+
+import "testing"
+
+func TestIsPow2(t *testing.T) {
+	cases := []struct {
+		n    int
+		want bool
+	}{
+		{-8, false},
+		{-1, false},
+		{0, false},
+		{1, true},
+		{2, true},
+		{3, false},
+		{4, true},
+		{6, false},
+		{8, true},
+		{12, false},
+		{16, true},
+		{31, false},
+		{32, true},
+		{1 << 20, true},
+		{(1 << 20) + 1, false},
+	}
+	for _, tc := range cases {
+		if got := isPow2(tc.n); got != tc.want {
+			t.Errorf("isPow2(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestLogOf(t *testing.T) {
+	cases := []struct {
+		mask int
+		want int
+	}{
+		{1, 0},
+		{2, 1},
+		{3, 1}, // non-powers floor
+		{4, 2},
+		{7, 2},
+		{8, 3},
+		{16, 4},
+		{1 << 17, 17},
+		{1 << 30, 30},
+	}
+	for _, tc := range cases {
+		if got := logOf(tc.mask); got != tc.want {
+			t.Errorf("logOf(%d) = %d, want %d", tc.mask, got, tc.want)
+		}
+	}
+	// Round-trip: for every power of two, logOf inverts the shift.
+	for l := 0; l < 31; l++ {
+		if got := logOf(1 << l); got != l {
+			t.Errorf("logOf(1<<%d) = %d", l, got)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package collective
+
+import (
+	"strings"
+	"testing"
+
+	"pacc/internal/mpi"
+	"pacc/internal/simtime"
+)
+
+// runV launches body on a world of the given shape and returns the
+// elapsed time and the first error any rank's collective call reported.
+func runV(t *testing.T, procs, ppn int, body func(c *mpi.Comm) error) (simtime.Duration, error) {
+	t.Helper()
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs, cfg.PPN = procs, ppn
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var callErr error
+	w.Launch(func(r *mpi.Rank) {
+		if err := body(mpi.CommWorld(r)); err != nil && callErr == nil {
+			callErr = err
+		}
+	})
+	d, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, callErr
+}
+
+// TestAlltoallvNonUniform: a skewed per-pair matrix (volume grows with
+// src and dst) must complete on power-of-two and non-power-of-two
+// communicators under every power scheme.
+func TestAlltoallvNonUniform(t *testing.T) {
+	skew := func(src, dst int) int64 { return int64(1+src) * int64(1+dst) * 1024 }
+	for _, shape := range []struct{ procs, ppn int }{{8, 4}, {12, 4}, {16, 8}} {
+		for _, mode := range []PowerMode{NoPower, FreqScaling, Proposed} {
+			d, err := runV(t, shape.procs, shape.ppn, func(c *mpi.Comm) error {
+				return Alltoallv(c, skew, Options{Power: mode})
+			})
+			if err != nil {
+				t.Fatalf("%dx%d mode %v: %v", shape.procs, shape.ppn, mode, err)
+			}
+			if d <= 0 {
+				t.Fatalf("%dx%d mode %v: empty run", shape.procs, shape.ppn, mode)
+			}
+		}
+	}
+}
+
+// TestAlltoallvZeroRowAndColumn: rank 0 sends nothing (zero row) and the
+// last rank receives nothing (zero column). Both are legal and must not
+// deadlock the pairwise schedule — the exchange still happens with
+// zero-byte messages on one side.
+func TestAlltoallvZeroRowAndColumn(t *testing.T) {
+	const procs, ppn = 8, 4
+	sizeOf := func(src, dst int) int64 {
+		if src == 0 || dst == procs-1 {
+			return 0
+		}
+		return 4096
+	}
+	for _, mode := range []PowerMode{NoPower, Proposed} {
+		d, err := runV(t, procs, ppn, func(c *mpi.Comm) error {
+			return Alltoallv(c, sizeOf, Options{Power: mode})
+		})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if d <= 0 {
+			t.Fatalf("mode %v: empty run", mode)
+		}
+	}
+}
+
+// TestAlltoallvDeterministic: the same matrix reproduces the run
+// bit-identically — the v-variant schedule must not depend on map
+// iteration or any other nondeterminism.
+func TestAlltoallvDeterministic(t *testing.T) {
+	sizeOf := func(src, dst int) int64 { return int64((src*7+dst*3)%5) * 2048 }
+	elapsed := func() simtime.Duration {
+		d, err := runV(t, 12, 4, func(c *mpi.Comm) error {
+			return Alltoallv(c, sizeOf, Options{})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if d1, d2 := elapsed(), elapsed(); d1 != d2 {
+		t.Fatalf("identical runs differ: %v vs %v", d1, d2)
+	}
+}
+
+// TestAllgathervZeroBlocks: some ranks contribute nothing; the ring must
+// still circulate every (possibly empty) block.
+func TestAllgathervZeroBlocks(t *testing.T) {
+	sizeOf := func(rank int) int64 {
+		if rank%3 == 0 {
+			return 0
+		}
+		return int64(rank) * 1024
+	}
+	d, err := runV(t, 9, 3, func(c *mpi.Comm) error {
+		return Allgatherv(c, sizeOf, Options{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("empty run")
+	}
+}
+
+// TestScattervGathervZeroBlocks: zero-size blocks traverse the binomial
+// split/merge schedules without error, for every root.
+func TestScattervGathervZeroBlocks(t *testing.T) {
+	const procs, ppn = 8, 4
+	sizeOf := func(rank int) int64 {
+		if rank == 2 || rank == 5 {
+			return 0
+		}
+		return 8192
+	}
+	for root := 0; root < procs; root++ {
+		if _, err := runV(t, procs, ppn, func(c *mpi.Comm) error {
+			if err := Scatterv(c, root, sizeOf, Options{}); err != nil {
+				return err
+			}
+			return Gatherv(c, root, sizeOf, Options{})
+		}); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+	}
+}
+
+// TestVvariantsRejectBadArguments: negative entries and nil size
+// functions are rejected with a returned error before any rank touches
+// the network.
+func TestVvariantsRejectBadArguments(t *testing.T) {
+	cases := map[string]func(c *mpi.Comm) error{
+		"alltoallv-negative": func(c *mpi.Comm) error {
+			return Alltoallv(c, func(src, dst int) int64 {
+				if src == 1 && dst == 2 {
+					return -1
+				}
+				return 64
+			}, Options{})
+		},
+		"alltoallv-nil": func(c *mpi.Comm) error {
+			return Alltoallv(c, nil, Options{})
+		},
+		"allgatherv-negative": func(c *mpi.Comm) error {
+			return Allgatherv(c, func(rank int) int64 { return int64(-rank) - 1 }, Options{})
+		},
+		"allgatherv-nil": func(c *mpi.Comm) error {
+			return Allgatherv(c, nil, Options{})
+		},
+		"scatterv-bad-root": func(c *mpi.Comm) error {
+			return Scatterv(c, c.Size(), func(rank int) int64 { return 64 }, Options{})
+		},
+		"gatherv-negative": func(c *mpi.Comm) error {
+			return Gatherv(c, 0, func(rank int) int64 { return -64 }, Options{})
+		},
+	}
+	for name, call := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := runV(t, 4, 4, call)
+			if err == nil {
+				t.Fatal("malformed arguments accepted")
+			}
+			if !strings.Contains(err.Error(), "collective:") {
+				t.Errorf("error missing collective prefix: %v", err)
+			}
+		})
+	}
+}
+
+// TestFixedSizeEntryPointsRejectNonPositive: every fixed-size entry point
+// returns an error for zero and negative byte counts.
+func TestFixedSizeEntryPointsRejectNonPositive(t *testing.T) {
+	entries := map[string]func(c *mpi.Comm, bytes int64) error{
+		"alltoall":          func(c *mpi.Comm, b int64) error { return Alltoall(c, b, Options{}) },
+		"alltoall_pairwise": func(c *mpi.Comm, b int64) error { return AlltoallPairwise(c, b, Options{}) },
+		"alltoall_bruck":    func(c *mpi.Comm, b int64) error { return AlltoallBruck(c, b, Options{}) },
+		"alltoall_ring":     func(c *mpi.Comm, b int64) error { return AlltoallRing(c, b, Options{}) },
+		"bcast":             func(c *mpi.Comm, b int64) error { return Bcast(c, 0, b, Options{}) },
+		"bcast_binomial":    func(c *mpi.Comm, b int64) error { return BcastBinomial(c, 0, b, Options{}) },
+		"reduce":            func(c *mpi.Comm, b int64) error { return Reduce(c, 0, b, Options{}) },
+		"allgather":         func(c *mpi.Comm, b int64) error { return Allgather(c, b, Options{}) },
+		"allgather_ring":    func(c *mpi.Comm, b int64) error { return AllgatherRing(c, b, Options{}) },
+		"allgather_rd":      func(c *mpi.Comm, b int64) error { return AllgatherRD(c, b, Options{}) },
+		"allreduce":         func(c *mpi.Comm, b int64) error { return Allreduce(c, b, Options{}) },
+		"allreduce_rd":      func(c *mpi.Comm, b int64) error { return AllreduceRD(c, b, Options{}) },
+		"reduce_scatter":    func(c *mpi.Comm, b int64) error { return ReduceScatter(c, b, Options{}) },
+		"gather":            func(c *mpi.Comm, b int64) error { return Gather(c, 0, b, Options{}) },
+		"scatter":           func(c *mpi.Comm, b int64) error { return Scatter(c, 0, b, Options{}) },
+	}
+	for name, call := range entries {
+		t.Run(name, func(t *testing.T) {
+			for _, bad := range []int64{0, -1, -4096} {
+				_, err := runV(t, 4, 4, func(c *mpi.Comm) error { return call(c, bad) })
+				if err == nil {
+					t.Errorf("bytes=%d accepted", bad)
+				}
+			}
+		})
+	}
+}

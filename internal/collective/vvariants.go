@@ -8,7 +8,13 @@ import (
 // number of bytes destined for communicator rank i. All ranks must pass
 // agreeing size functions. The schedule is the binomial range split, so
 // subtree volumes are the sums of their members' blocks.
-func Scatterv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) {
+func Scatterv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) error {
+	if err := checkRoot("scatterv", root, c.Size()); err != nil {
+		return err
+	}
+	if err := checkSizeFn("scatterv", c.Size(), sizeOf); err != nil {
+		return err
+	}
 	timeCollective(c, opt, "scatterv", -1, func() {
 		run := func() { binomialScatterv(c, root, sizeOf, c.TagBlock()) }
 		if opt.Power == FreqScaling || opt.Power == Proposed {
@@ -17,10 +23,17 @@ func Scatterv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) {
 		}
 		run()
 	})
+	return nil
 }
 
 // Gatherv collects variable-size blocks onto root (the reverse schedule).
-func Gatherv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) {
+func Gatherv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) error {
+	if err := checkRoot("gatherv", root, c.Size()); err != nil {
+		return err
+	}
+	if err := checkSizeFn("gatherv", c.Size(), sizeOf); err != nil {
+		return err
+	}
 	timeCollective(c, opt, "gatherv", -1, func() {
 		run := func() { binomialGatherv(c, root, sizeOf, c.TagBlock()) }
 		if opt.Power == FreqScaling || opt.Power == Proposed {
@@ -29,6 +42,7 @@ func Gatherv(c *mpi.Comm, root int, sizeOf func(rank int) int64, opt Options) {
 		}
 		run()
 	})
+	return nil
 }
 
 // vrangeBytes sums the block sizes of the vrank range [lo, hi) for a
@@ -104,7 +118,10 @@ func binomialGatherv(c *mpi.Comm, root int, sizeOf func(int) int64, block int) {
 
 // Allgatherv gathers variable-size blocks to all ranks with the ring
 // schedule: step s forwards the block originally owned by (me-s+1).
-func Allgatherv(c *mpi.Comm, sizeOf func(rank int) int64, opt Options) {
+func Allgatherv(c *mpi.Comm, sizeOf func(rank int) int64, opt Options) error {
+	if err := checkSizeFn("allgatherv", c.Size(), sizeOf); err != nil {
+		return err
+	}
 	timeCollective(c, opt, "allgatherv", -1, func() {
 		run := func() {
 			n, me := c.Size(), c.Rank()
@@ -118,9 +135,7 @@ func Allgatherv(c *mpi.Comm, sizeOf func(rank int) int64, opt Options) {
 				sendOwner := (me - s + n) % n
 				recvOwner := (left - s + n) % n
 				tag := block + s
-				rq := c.Irecv(left, sizeOf(recvOwner), tag)
-				sq := c.Isend(right, sizeOf(sendOwner), tag)
-				mpi.WaitAll(sq, rq)
+				c.Exchange(right, sizeOf(sendOwner), tag, left, sizeOf(recvOwner), tag)
 			}
 		}
 		if opt.Power == FreqScaling || opt.Power == Proposed {
@@ -129,4 +144,5 @@ func Allgatherv(c *mpi.Comm, sizeOf func(rank int) int64, opt Options) {
 		}
 		run()
 	})
+	return nil
 }

@@ -1,4 +1,4 @@
-package model
+package model_test
 
 import (
 	"math"
@@ -6,11 +6,12 @@ import (
 	"testing/quick"
 
 	"pacc/internal/collective"
+	"pacc/internal/model"
 	"pacc/internal/mpi"
 	"pacc/internal/simtime"
 )
 
-func defaultParams() Params { return FromConfig(mpi.DefaultConfig()) }
+func defaultParams() model.Params { return model.FromConfig(mpi.DefaultConfig()) }
 
 func TestFromConfigValid(t *testing.T) {
 	p := defaultParams()

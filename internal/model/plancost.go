@@ -1,0 +1,44 @@
+package model
+
+import "pacc/internal/plan"
+
+// PlanCost is the model's prediction for one candidate schedule.
+type PlanCost struct {
+	// Seconds is the predicted latency of the critical rank.
+	Seconds float64
+	// Joules is the predicted whole-communicator core energy.
+	Joules float64
+}
+
+// PredictPlan prices a plan summary with the §VI cost terms: per-message
+// startup plus contended per-byte transfer for inter-node traffic,
+// shared-memory per-byte cost for intra-node traffic and local data
+// movement, and the measured transition latencies for every power step on
+// the critical rank. The same closed forms behind equations (1)-(4) —
+// applied to a schedule summary instead of a named algorithm — which is
+// what turns the paper's message-size switchover tables into data:
+// selection compares PredictPlan over all registered candidates instead
+// of consulting a hard-coded threshold.
+func (p Params) PredictPlan(st plan.Stats) PlanCost {
+	secs := p.TsInter*float64(st.MaxInterMsgs) +
+		p.TwInter*p.Cnet*float64(st.MaxInterBytes) +
+		p.TsIntra*float64(st.MaxIntraMsgs) +
+		p.TwIntra*float64(st.MaxIntraBytes+st.MaxCopyBytes+st.MaxRedBytes) +
+		p.ODVFS*float64(st.MaxDVFS) +
+		p.OThrottle*float64(st.MaxThrottle)
+
+	// Energy follows the §VI-B power integrals: cores run at fmin for the
+	// whole interval when the schedule carries DVFS transitions, and
+	// phased throttling halves the awake time of the throttled cores
+	// (equation (7)'s (1+c7)/2 duty).
+	corePower := p.PCoreFmax
+	if st.MaxDVFS > 0 {
+		corePower = p.PCoreFmin
+	}
+	duty := 1.0
+	if st.MaxThrottle > 0 {
+		duty = (1 + p.C7) / 2
+	}
+	joules := float64(st.P) * corePower * duty * secs
+	return PlanCost{Seconds: secs, Joules: joules}
+}

@@ -152,6 +152,17 @@ func (c *Comm) SendRecv(dst int, sendBytes int64, src int, recvBytes int64, tag 
 	c.r.SendRecv(c.group[dst], sendBytes, c.group[src], recvBytes, tag)
 }
 
+// Exchange runs the canonical progression of one schedule step that both
+// sends and receives: post the receive, start the send, then complete
+// send before receive. Every collective exchange — imperative or executed
+// from a communication plan — goes through this one sequence, so the two
+// paths progress (and therefore time and trace) identically.
+func (c *Comm) Exchange(sendTo int, sendBytes int64, sendTag int, recvFrom int, recvBytes int64, recvTag int) {
+	rq := c.Irecv(recvFrom, recvBytes, recvTag)
+	sq := c.Isend(sendTo, sendBytes, sendTag)
+	WaitAll(sq, rq)
+}
+
 // SendValue is SendValue addressed by communicator rank.
 func (c *Comm) SendValue(dst int, bytes int64, tag int, v float64) error {
 	return c.r.SendValue(c.group[dst], bytes, tag, v)

@@ -1,0 +1,132 @@
+package plan
+
+import (
+	"fmt"
+
+	"pacc/internal/mpi"
+	"pacc/internal/obs"
+	"pacc/internal/simtime"
+)
+
+// Env is the execution environment of one plan run on one rank.
+type Env struct {
+	// Comm is the communicator the plan was built for; the executor runs
+	// the schedule of rank Comm.Rank().
+	Comm *mpi.Comm
+	// ReduceBytesPerSec is the full-speed local reduction rate charged
+	// by OpReduce steps (must be positive when the plan reduces).
+	ReduceBytesPerSec float64
+	// OnPhase, when non-nil, receives each closed phase's name and
+	// duration (the per-phase trace accrual of the collective layer).
+	OnPhase func(name string, d simtime.Duration)
+	// StepSpans emits one observability span per executed step in
+	// addition to the phase spans. Off by default: the per-step timeline
+	// is a debugging aid, and leaving it off keeps plan-executed
+	// collectives trace-identical to their imperative ancestors.
+	StepSpans bool
+}
+
+// Execute runs the calling rank's schedule of a plan over the MPI layer.
+// It must be called SPMD — every member of the communicator executes the
+// same plan — and assumes the plan has been verified (Verify); malformed
+// steps surface as errors, not panics.
+//
+// The executor owns the power annotations: OpPower steps apply the
+// DVFS/throttle transitions that the imperative algorithms wove into
+// their send/recv loops, so an algorithm ported to a plan carries its
+// power schedule as data.
+func Execute(p *Plan, env Env) error {
+	c := env.Comm
+	if p == nil || c == nil {
+		return fmt.Errorf("plan: Execute needs a plan and a communicator")
+	}
+	me := c.Rank()
+	if p.P != c.Size() {
+		return fmt.Errorf("plan %q: built for %d ranks, executed on %d", p.Name, p.P, c.Size())
+	}
+	if me < 0 || me >= len(p.Steps) {
+		return fmt.Errorf("plan %q: rank %d outside schedule", p.Name, me)
+	}
+	block := 0
+	if p.NeedsTagBlock {
+		block = c.TagBlock()
+	}
+	r := c.Owner()
+	var bus *obs.Bus = r.World().Obs()
+
+	type openPhase struct {
+		name  string
+		start simtime.Time
+	}
+	var phases []openPhase
+
+	stepSpan := func(s Step, fn func()) {
+		if bus == nil || !env.StepSpans {
+			fn()
+			return
+		}
+		start := r.Now()
+		fn()
+		bus.Span(r.ObsTrack(), "plan:"+s.Op.String(), start, r.Now(), nil)
+	}
+
+	for i, s := range p.Steps[me] {
+		switch s.Op {
+		case OpSend:
+			stepSpan(s, func() { c.Send(s.Peer, s.Bytes, block+s.Tag) })
+		case OpRecv:
+			stepSpan(s, func() { c.Recv(s.Peer, s.Bytes, block+s.Tag) })
+		case OpSendRecv:
+			stepSpan(s, func() {
+				c.Exchange(s.SendTo, s.SendBytes, block+s.SendTag,
+					s.RecvFrom, s.RecvBytes, block+s.RecvTag)
+			})
+		case OpReduce:
+			if s.Bytes > 0 && env.ReduceBytesPerSec <= 0 {
+				return fmt.Errorf("plan %q: rank %d step %d reduces with no rate configured", p.Name, me, i)
+			}
+			stepSpan(s, func() {
+				r.StreamCompute(simtime.DurationOf(float64(s.Bytes) / env.ReduceBytesPerSec))
+			})
+		case OpCopy:
+			if s.Bytes > 0 {
+				stepSpan(s, func() { r.MemCopy(s.Bytes) })
+			}
+		case OpCompute:
+			stepSpan(s, func() { r.Compute(simtime.DurationOf(s.Seconds)) })
+		case OpPower:
+			switch s.Power.Kind {
+			case PowerFreqMin:
+				stepSpan(s, r.ScaleDown)
+			case PowerFreqMax:
+				stepSpan(s, r.ScaleUp)
+			case PowerThrottle:
+				t := s.Power.TState
+				stepSpan(s, func() { r.SetThrottle(t) })
+			default:
+				return fmt.Errorf("plan %q: rank %d step %d has unknown power action %d", p.Name, me, i, s.Power.Kind)
+			}
+		case OpPhaseBegin:
+			phases = append(phases, openPhase{name: s.Phase, start: r.Now()})
+		case OpPhaseEnd:
+			if len(phases) == 0 {
+				return fmt.Errorf("plan %q: rank %d step %d closes a phase that was never opened", p.Name, me, i)
+			}
+			ph := phases[len(phases)-1]
+			phases = phases[:len(phases)-1]
+			end := r.Now()
+			if env.OnPhase != nil {
+				env.OnPhase(ph.name, end.Sub(ph.start))
+			}
+			if bus != nil {
+				bus.Span(r.ObsTrack(), "phase "+ph.name, ph.start, end, nil)
+			}
+		default:
+			return fmt.Errorf("plan %q: rank %d step %d has unknown op %v", p.Name, me, i, s.Op)
+		}
+	}
+	if len(phases) != 0 {
+		return fmt.Errorf("plan %q: rank %d finished with %d phase(s) open", p.Name, me, len(phases))
+	}
+	return nil
+}

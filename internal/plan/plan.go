@@ -1,0 +1,348 @@
+// Package plan is the schedule IR of the collective layer: a collective
+// algorithm expressed as one explicit, per-rank ordered list of steps —
+// sends, receives, combined exchanges, local reductions and copies,
+// compute, and first-class power-phase annotations (the P/T-state
+// transitions Kandalla et al. apply per algorithm phase) — instead of an
+// imperative send/recv loop.
+//
+// Representing the schedule as data buys three things the imperative form
+// cannot offer (after SCCL, "Synthesizing Optimal Collective Algorithms"):
+//
+//   - static verification: tag/peer matching, deadlock-freedom under
+//     fully-synchronous (rendezvous) semantics, data-coverage contracts
+//     and power-state balance are checked by Verify without running the
+//     simulator;
+//   - cost-based selection: a plan summarizes to Stats, which the
+//     analytical model prices, so algorithm switchover points become data
+//     rather than hard-coded if-chains;
+//   - a single executor: every verified plan runs through Execute over
+//     internal/mpi, which applies the power annotations and emits the
+//     observability spans, so new algorithms need no new runtime code.
+//
+// Builders for the stock algorithms live in internal/collective and are
+// registered here by name (see Register/Builders).
+package plan
+
+import (
+	"fmt"
+
+	"pacc/internal/power"
+)
+
+// Op is the kind of one schedule step.
+type Op int
+
+const (
+	// OpSend is a blocking send of Bytes to Peer with the relative Tag.
+	OpSend Op = iota
+	// OpRecv is a blocking receive of Bytes from Peer with the relative
+	// Tag.
+	OpRecv
+	// OpSendRecv posts the canonical nonblocking exchange: receive
+	// RecvBytes from RecvFrom (RecvTag) and send SendBytes to SendTo
+	// (SendTag), completing both before the next step.
+	OpSendRecv
+	// OpReduce charges the streaming cost of folding Bytes into the
+	// local accumulator (rate supplied by the execution environment).
+	OpReduce
+	// OpCopy charges one streaming memory copy of Bytes.
+	OpCopy
+	// OpCompute charges Seconds of full-speed CPU work.
+	OpCompute
+	// OpPower applies a P/T-state annotation (see PowerAction).
+	OpPower
+	// OpPhaseBegin opens the named phase on this rank's timeline.
+	OpPhaseBegin
+	// OpPhaseEnd closes the innermost open phase, emitting its span and
+	// accruing its duration into the caller's phase trace.
+	OpPhaseEnd
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpSendRecv:
+		return "sendrecv"
+	case OpReduce:
+		return "reduce"
+	case OpCopy:
+		return "copy"
+	case OpCompute:
+		return "compute"
+	case OpPower:
+		return "power"
+	case OpPhaseBegin:
+		return "phase-begin"
+	case OpPhaseEnd:
+		return "phase-end"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// PowerKind selects the transition of an OpPower step.
+type PowerKind int
+
+const (
+	// PowerFreqMin moves the core to fmin (ScaleDown).
+	PowerFreqMin PowerKind = iota
+	// PowerFreqMax restores the core to fmax (ScaleUp).
+	PowerFreqMax
+	// PowerThrottle sets the core's T-state to TState.
+	PowerThrottle
+)
+
+// PowerAction is the annotation carried by an OpPower step.
+type PowerAction struct {
+	Kind   PowerKind
+	TState power.TState // PowerThrottle only
+}
+
+// Step is one entry of a rank's schedule. Field use depends on Op; unused
+// fields are zero.
+type Step struct {
+	Op Op
+
+	// OpSend / OpRecv: the peer communicator rank, payload and tag.
+	// OpReduce / OpCopy: Bytes only.
+	Peer  int
+	Bytes int64
+	Tag   int
+
+	// OpSendRecv.
+	SendTo    int
+	RecvFrom  int
+	SendBytes int64
+	RecvBytes int64
+	SendTag   int
+	RecvTag   int
+
+	// OpCompute.
+	Seconds float64
+
+	// OpPower.
+	Power PowerAction
+
+	// OpPhaseBegin / OpPhaseEnd (begin only; end closes the innermost).
+	Phase string
+}
+
+// Contract is a plan's optional data-coverage declaration: the payload
+// bytes each rank must send and receive according to the collective's
+// semantics, computed independently of the schedule. Verify sums the
+// schedule's transfers against it.
+type Contract struct {
+	SendBytes []int64
+	RecvBytes []int64
+}
+
+// Plan is one communication schedule over a communicator of P ranks:
+// Steps[r] is rank r's ordered step list. Tags are relative; the executor
+// offsets them by one freshly reserved tag block when NeedsTagBlock is
+// set (mirroring the imperative algorithms, which reserve one block per
+// collective call).
+type Plan struct {
+	// Name identifies the builder that produced the plan.
+	Name string
+	// P is the communicator size.
+	P int
+	// Steps holds each rank's schedule.
+	Steps [][]Step
+	// NeedsTagBlock reports whether the schedule contains tagged
+	// communication (the executor then consumes one tag block, keeping
+	// tag-space accounting congruent with the imperative algorithms).
+	NeedsTagBlock bool
+	// NodeOf maps each communicator rank to its node id (used by Stats
+	// to split intra-node from inter-node traffic).
+	NodeOf []int
+	// Contract, when non-nil, is verified against the schedule.
+	Contract *Contract
+}
+
+// NewPlan returns an empty plan for P ranks.
+func NewPlan(name string, p int) *Plan {
+	return &Plan{Name: name, P: p, Steps: make([][]Step, p)}
+}
+
+// Rank returns an append-only builder handle for one rank's schedule.
+func (p *Plan) Rank(r int) *RankSchedule { return &RankSchedule{p: p, r: r} }
+
+// RankSchedule appends steps to one rank's schedule.
+type RankSchedule struct {
+	p *Plan
+	r int
+}
+
+func (s *RankSchedule) add(st Step) *RankSchedule {
+	s.p.Steps[s.r] = append(s.p.Steps[s.r], st)
+	return s
+}
+
+// Send appends a blocking send.
+func (s *RankSchedule) Send(peer int, bytes int64, tag int) *RankSchedule {
+	s.p.NeedsTagBlock = true
+	return s.add(Step{Op: OpSend, Peer: peer, Bytes: bytes, Tag: tag})
+}
+
+// Recv appends a blocking receive.
+func (s *RankSchedule) Recv(peer int, bytes int64, tag int) *RankSchedule {
+	s.p.NeedsTagBlock = true
+	return s.add(Step{Op: OpRecv, Peer: peer, Bytes: bytes, Tag: tag})
+}
+
+// SendRecv appends a combined nonblocking exchange.
+func (s *RankSchedule) SendRecv(sendTo int, sendBytes int64, sendTag int, recvFrom int, recvBytes int64, recvTag int) *RankSchedule {
+	s.p.NeedsTagBlock = true
+	return s.add(Step{
+		Op:     OpSendRecv,
+		SendTo: sendTo, SendBytes: sendBytes, SendTag: sendTag,
+		RecvFrom: recvFrom, RecvBytes: recvBytes, RecvTag: recvTag,
+	})
+}
+
+// Exchange appends a symmetric SendRecv with one peer: both directions
+// carry the same tag, with per-direction sizes.
+func (s *RankSchedule) Exchange(peer int, sendBytes, recvBytes int64, tag int) *RankSchedule {
+	return s.SendRecv(peer, sendBytes, tag, peer, recvBytes, tag)
+}
+
+// Reduce appends a local streaming reduction of bytes.
+func (s *RankSchedule) Reduce(bytes int64) *RankSchedule {
+	return s.add(Step{Op: OpReduce, Bytes: bytes})
+}
+
+// Copy appends a local streaming copy of bytes.
+func (s *RankSchedule) Copy(bytes int64) *RankSchedule {
+	return s.add(Step{Op: OpCopy, Bytes: bytes})
+}
+
+// Compute appends secs of full-speed CPU work.
+func (s *RankSchedule) Compute(secs float64) *RankSchedule {
+	return s.add(Step{Op: OpCompute, Seconds: secs})
+}
+
+// FreqMin appends a DVFS transition to fmin.
+func (s *RankSchedule) FreqMin() *RankSchedule {
+	return s.add(Step{Op: OpPower, Power: PowerAction{Kind: PowerFreqMin}})
+}
+
+// FreqMax appends a DVFS transition back to fmax.
+func (s *RankSchedule) FreqMax() *RankSchedule {
+	return s.add(Step{Op: OpPower, Power: PowerAction{Kind: PowerFreqMax}})
+}
+
+// Throttle appends a T-state transition.
+func (s *RankSchedule) Throttle(t power.TState) *RankSchedule {
+	return s.add(Step{Op: OpPower, Power: PowerAction{Kind: PowerThrottle, TState: t}})
+}
+
+// PhaseBegin opens a named phase.
+func (s *RankSchedule) PhaseBegin(name string) *RankSchedule {
+	return s.add(Step{Op: OpPhaseBegin, Phase: name})
+}
+
+// PhaseEnd closes the innermost open phase.
+func (s *RankSchedule) PhaseEnd() *RankSchedule {
+	return s.add(Step{Op: OpPhaseEnd})
+}
+
+// Stats is the cost-relevant summary of one plan, used by the analytical
+// model to price candidate schedules. Traffic is split by locality using
+// the plan's NodeOf table (all traffic counts as inter-node when the
+// table is absent).
+type Stats struct {
+	// P is the communicator size.
+	P int
+	// MaxSteps is the longest per-rank schedule.
+	MaxSteps int
+	// Per-rank maxima over the schedule (the critical rank dominates an
+	// SPMD collective's latency).
+	MaxInterMsgs  int
+	MaxInterBytes int64
+	MaxIntraMsgs  int
+	MaxIntraBytes int64
+	MaxCopyBytes  int64
+	MaxRedBytes   int64
+	MaxDVFS       int
+	MaxThrottle   int
+	// TotalInterBytes sums inter-node payload over all ranks (energy is
+	// a whole-cluster quantity).
+	TotalInterBytes int64
+}
+
+// ComputeStats summarizes the plan.
+func (p *Plan) ComputeStats() Stats {
+	st := Stats{P: p.P}
+	sameNode := func(a, b int) bool {
+		if p.NodeOf == nil || a >= len(p.NodeOf) || b >= len(p.NodeOf) {
+			return false
+		}
+		return p.NodeOf[a] == p.NodeOf[b]
+	}
+	for r, steps := range p.Steps {
+		var interMsgs, intraMsgs, dvfs, throttle int
+		var interBytes, intraBytes, copyBytes, redBytes int64
+		acc := func(peer int, bytes int64) {
+			if sameNode(r, peer) {
+				intraMsgs++
+				intraBytes += bytes
+			} else {
+				interMsgs++
+				interBytes += bytes
+			}
+		}
+		for _, s := range steps {
+			switch s.Op {
+			case OpSend:
+				acc(s.Peer, s.Bytes)
+			case OpRecv:
+				// Receives ride the sender's accounting.
+			case OpSendRecv:
+				acc(s.SendTo, s.SendBytes)
+			case OpCopy:
+				copyBytes += s.Bytes
+			case OpReduce:
+				redBytes += s.Bytes
+			case OpPower:
+				switch s.Power.Kind {
+				case PowerThrottle:
+					throttle++
+				default:
+					dvfs++
+				}
+			}
+		}
+		if len(steps) > st.MaxSteps {
+			st.MaxSteps = len(steps)
+		}
+		st.TotalInterBytes += interBytes
+		if interMsgs > st.MaxInterMsgs {
+			st.MaxInterMsgs = interMsgs
+		}
+		if interBytes > st.MaxInterBytes {
+			st.MaxInterBytes = interBytes
+		}
+		if intraMsgs > st.MaxIntraMsgs {
+			st.MaxIntraMsgs = intraMsgs
+		}
+		if intraBytes > st.MaxIntraBytes {
+			st.MaxIntraBytes = intraBytes
+		}
+		if copyBytes > st.MaxCopyBytes {
+			st.MaxCopyBytes = copyBytes
+		}
+		if redBytes > st.MaxRedBytes {
+			st.MaxRedBytes = redBytes
+		}
+		if dvfs > st.MaxDVFS {
+			st.MaxDVFS = dvfs
+		}
+		if throttle > st.MaxThrottle {
+			st.MaxThrottle = throttle
+		}
+	}
+	return st
+}

@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"pacc/internal/power"
+)
+
+// View is the communicator shape a builder sees: size plus the node and
+// socket of every communicator rank. It is derivable identically on all
+// ranks (SPMD), so every member builds the same plan.
+type View struct {
+	P       int
+	NodeOf  []int
+	SocketA []bool // true when the rank's core sits on socket A
+}
+
+// Spec parameterizes one plan build.
+type Spec struct {
+	// Bytes is the uniform per-rank (or per-pair) payload. Builders for
+	// v-variants use SizeOf instead.
+	Bytes int64
+	// Root is the root rank for rooted collectives.
+	Root int
+	// SizeOf, when non-nil, gives the per-pair payload (src, dst in
+	// communicator ranks) and overrides Bytes for alltoall-family
+	// builders.
+	SizeOf func(src, dst int) int64
+	// FreqScale brackets the schedule with fmin/fmax DVFS transitions
+	// (both power-aware schemes of the paper do this).
+	FreqScale bool
+	// Phased applies the paper's phased throttling schedule where the
+	// builder supports it (§V-A for alltoall).
+	Phased bool
+	// DeepT is the T-state of fully idled cores during phased schedules
+	// (the paper uses T7).
+	DeepT power.TState
+}
+
+// Size resolves the per-pair payload: SizeOf when set, Bytes otherwise.
+func (s Spec) Size(src, dst int) int64 {
+	if s.SizeOf != nil {
+		return s.SizeOf(src, dst)
+	}
+	return s.Bytes
+}
+
+// BuilderFunc produces a full plan (all ranks) for a communicator view.
+type BuilderFunc func(v View, s Spec) (*Plan, error)
+
+// Builder is one registered schedule builder.
+type Builder struct {
+	// Name is the registry key (also the produced plan's name).
+	Name string
+	// Op is the collective family the builder implements ("allgather",
+	// "allreduce", "bcast", "alltoall"), used to enumerate candidates
+	// for cost-based selection.
+	Op string
+	// Build produces the plan.
+	Build BuilderFunc
+}
+
+var registry = map[string]Builder{}
+
+// Register adds a named builder. Registration happens from package init
+// functions; duplicate names are a programming error.
+func Register(b Builder) {
+	if b.Name == "" || b.Build == nil {
+		panic("plan: Register needs a name and a build function")
+	}
+	if _, dup := registry[b.Name]; dup {
+		panic("plan: duplicate builder " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// Lookup returns the builder registered under name.
+func Lookup(name string) (Builder, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Builders returns all registered builders, sorted by name.
+func Builders() []Builder {
+	out := make([]Builder, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Candidates returns the builders of one collective family, sorted by
+// name.
+func Candidates(op string) []Builder {
+	var out []Builder
+	for _, b := range registry {
+		if b.Op == op {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BuildNamed builds and returns the named plan.
+func BuildNamed(name string, v View, s Spec) (*Plan, error) {
+	b, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("plan: no builder %q registered", name)
+	}
+	return b.Build(v, s)
+}

@@ -1,0 +1,326 @@
+package plan
+
+import (
+	"fmt"
+
+	"pacc/internal/power"
+)
+
+// VerifyError reports the first invariant violation found in a plan.
+type VerifyError struct {
+	Plan  string
+	Rank  int // -1 when the violation is not attributable to one rank
+	Step  int // -1 when not attributable to one step
+	Cause string
+}
+
+func (e *VerifyError) Error() string {
+	where := ""
+	if e.Rank >= 0 {
+		where = fmt.Sprintf(" rank %d", e.Rank)
+		if e.Step >= 0 {
+			where += fmt.Sprintf(" step %d", e.Step)
+		}
+	}
+	return fmt.Sprintf("plan %q:%s: %s", e.Plan, where, e.Cause)
+}
+
+func (p *Plan) fail(rank, step int, format string, args ...any) error {
+	return &VerifyError{Plan: p.Name, Rank: rank, Step: step, Cause: fmt.Sprintf(format, args...)}
+}
+
+// sendKey identifies one directed tagged transfer.
+type sendKey struct {
+	src, dst, tag int
+}
+
+// Verify checks the plan's static invariants without running it:
+//
+//  1. Structure: peers in range, non-negative sizes and tags, balanced
+//     phase markers.
+//  2. Matching: every send (including the send half of a SendRecv) pairs
+//     with exactly one receive of the same (src, dst, tag) and equal
+//     size, and vice versa — no orphan or ambiguous transfers.
+//  3. Deadlock-freedom: the schedule completes under fully-synchronous
+//     (rendezvous) semantics, in which a sender cannot pass its send
+//     until the receiver reaches the matching receive. This is stricter
+//     than the simulator's eager small-message path, so any plan that
+//     verifies is deadlock-free under both.
+//  4. Data coverage: when the plan declares a Contract, each rank's
+//     summed payload equals the declared per-rank totals.
+//  5. Power balance: every rank ends at fmax (any FreqMin is followed by
+//     a FreqMax) and unthrottled (T0), so a plan cannot leak a degraded
+//     power state into the code that follows it.
+func Verify(p *Plan) error {
+	if p == nil {
+		return fmt.Errorf("plan: Verify(nil)")
+	}
+	if len(p.Steps) != p.P {
+		return p.fail(-1, -1, "has %d rank schedules, want P=%d", len(p.Steps), p.P)
+	}
+	if err := p.verifyStructure(); err != nil {
+		return err
+	}
+	if err := p.verifyMatching(); err != nil {
+		return err
+	}
+	if err := p.verifyDeadlockFree(); err != nil {
+		return err
+	}
+	if err := p.verifyContract(); err != nil {
+		return err
+	}
+	return p.verifyPowerBalance()
+}
+
+func (p *Plan) verifyStructure() error {
+	for r, steps := range p.Steps {
+		depth := 0
+		for i, s := range steps {
+			switch s.Op {
+			case OpSend, OpRecv:
+				if s.Peer < 0 || s.Peer >= p.P {
+					return p.fail(r, i, "%v peer %d outside [0,%d)", s.Op, s.Peer, p.P)
+				}
+				if s.Bytes < 0 {
+					return p.fail(r, i, "%v negative size %d", s.Op, s.Bytes)
+				}
+				if s.Tag < 0 {
+					return p.fail(r, i, "%v negative tag %d", s.Op, s.Tag)
+				}
+			case OpSendRecv:
+				if s.SendTo < 0 || s.SendTo >= p.P || s.RecvFrom < 0 || s.RecvFrom >= p.P {
+					return p.fail(r, i, "sendrecv peers (%d, %d) outside [0,%d)", s.SendTo, s.RecvFrom, p.P)
+				}
+				if s.SendBytes < 0 || s.RecvBytes < 0 {
+					return p.fail(r, i, "sendrecv negative sizes (%d, %d)", s.SendBytes, s.RecvBytes)
+				}
+				if s.SendTag < 0 || s.RecvTag < 0 {
+					return p.fail(r, i, "sendrecv negative tags (%d, %d)", s.SendTag, s.RecvTag)
+				}
+			case OpReduce, OpCopy:
+				if s.Bytes < 0 {
+					return p.fail(r, i, "%v negative size %d", s.Op, s.Bytes)
+				}
+			case OpCompute:
+				if s.Seconds < 0 {
+					return p.fail(r, i, "compute negative duration %g", s.Seconds)
+				}
+			case OpPower:
+			case OpPhaseBegin:
+				if s.Phase == "" {
+					return p.fail(r, i, "phase-begin with empty name")
+				}
+				depth++
+			case OpPhaseEnd:
+				depth--
+				if depth < 0 {
+					return p.fail(r, i, "phase-end without open phase")
+				}
+			default:
+				return p.fail(r, i, "unknown op %v", s.Op)
+			}
+		}
+		if depth != 0 {
+			return p.fail(r, -1, "%d phase(s) left open", depth)
+		}
+	}
+	return nil
+}
+
+// transfer locates one send or receive half within the plan.
+type transfer struct {
+	rank, step int
+	bytes      int64
+}
+
+func (p *Plan) verifyMatching() error {
+	sends := map[sendKey]transfer{}
+	recvs := map[sendKey]transfer{}
+	addSend := func(k sendKey, t transfer) error {
+		if prev, dup := sends[k]; dup {
+			return p.fail(t.rank, t.step, "duplicate send %d→%d tag %d (also rank %d step %d)", k.src, k.dst, k.tag, prev.rank, prev.step)
+		}
+		sends[k] = t
+		return nil
+	}
+	addRecv := func(k sendKey, t transfer) error {
+		if prev, dup := recvs[k]; dup {
+			return p.fail(t.rank, t.step, "duplicate recv %d→%d tag %d (also rank %d step %d)", k.src, k.dst, k.tag, prev.rank, prev.step)
+		}
+		recvs[k] = t
+		return nil
+	}
+	for r, steps := range p.Steps {
+		for i, s := range steps {
+			switch s.Op {
+			case OpSend:
+				if err := addSend(sendKey{r, s.Peer, s.Tag}, transfer{r, i, s.Bytes}); err != nil {
+					return err
+				}
+			case OpRecv:
+				if err := addRecv(sendKey{s.Peer, r, s.Tag}, transfer{r, i, s.Bytes}); err != nil {
+					return err
+				}
+			case OpSendRecv:
+				if err := addSend(sendKey{r, s.SendTo, s.SendTag}, transfer{r, i, s.SendBytes}); err != nil {
+					return err
+				}
+				if err := addRecv(sendKey{s.RecvFrom, r, s.RecvTag}, transfer{r, i, s.RecvBytes}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for k, s := range sends {
+		rv, ok := recvs[k]
+		if !ok {
+			return p.fail(s.rank, s.step, "send %d→%d tag %d has no matching recv", k.src, k.dst, k.tag)
+		}
+		if rv.bytes != s.bytes {
+			return p.fail(s.rank, s.step, "send %d→%d tag %d carries %d bytes but the recv expects %d", k.src, k.dst, k.tag, s.bytes, rv.bytes)
+		}
+	}
+	for k, rv := range recvs {
+		if _, ok := sends[k]; !ok {
+			return p.fail(rv.rank, rv.step, "recv %d→%d tag %d has no matching send", k.src, k.dst, k.tag)
+		}
+	}
+	return nil
+}
+
+// verifyDeadlockFree runs the rendezvous fixpoint: every round, each rank
+// whose current step's communication partners have reached their matching
+// steps advances (local steps always advance). If no rank can move and
+// some schedule is unfinished, the plan deadlocks and the stuck front is
+// reported.
+func (p *Plan) verifyDeadlockFree() error {
+	// stepOf[src,dst,tag] = (rank, step index) of the send / recv half.
+	sendAt := map[sendKey]int{}
+	recvAt := map[sendKey]int{}
+	for r, steps := range p.Steps {
+		for i, s := range steps {
+			switch s.Op {
+			case OpSend:
+				sendAt[sendKey{r, s.Peer, s.Tag}] = i
+			case OpRecv:
+				recvAt[sendKey{s.Peer, r, s.Tag}] = i
+			case OpSendRecv:
+				sendAt[sendKey{r, s.SendTo, s.SendTag}] = i
+				recvAt[sendKey{s.RecvFrom, r, s.RecvTag}] = i
+			}
+		}
+	}
+	pc := make([]int, p.P)
+	// atStep reports whether rank r is currently blocked at step idx.
+	atStep := func(r, idx int) bool { return pc[r] == idx }
+	canAdvance := func(r int) bool {
+		steps := p.Steps[r]
+		if pc[r] >= len(steps) {
+			return false
+		}
+		s := steps[pc[r]]
+		switch s.Op {
+		case OpSend:
+			// The receiver must be parked at the matching receive.
+			idx, ok := recvAt[sendKey{r, s.Peer, s.Tag}]
+			return ok && atStep(s.Peer, idx)
+		case OpRecv:
+			idx, ok := sendAt[sendKey{s.Peer, r, s.Tag}]
+			return ok && atStep(s.Peer, idx)
+		case OpSendRecv:
+			sIdx, sOK := recvAt[sendKey{r, s.SendTo, s.SendTag}]
+			rIdx, rOK := sendAt[sendKey{s.RecvFrom, r, s.RecvTag}]
+			return sOK && rOK && atStep(s.SendTo, sIdx) && atStep(s.RecvFrom, rIdx)
+		default:
+			return true
+		}
+	}
+	for {
+		moved := false
+		// Batch rule: compute the advancing set against the current
+		// positions, then move everyone together, so a rendezvous
+		// meeting (or a cycle of simultaneous exchanges, e.g. a ring)
+		// releases all its participants in one round.
+		var advance []int
+		for r := 0; r < p.P; r++ {
+			if canAdvance(r) {
+				advance = append(advance, r)
+			}
+		}
+		for _, r := range advance {
+			pc[r]++
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+	for r := 0; r < p.P; r++ {
+		if pc[r] < len(p.Steps[r]) {
+			s := p.Steps[r][pc[r]]
+			return p.fail(r, pc[r], "deadlock: stuck at %v (peer(s) never reach the matching step)", s.Op)
+		}
+	}
+	return nil
+}
+
+func (p *Plan) verifyContract() error {
+	c := p.Contract
+	if c == nil {
+		return nil
+	}
+	if len(c.SendBytes) != p.P || len(c.RecvBytes) != p.P {
+		return p.fail(-1, -1, "contract covers %d/%d ranks, want %d", len(c.SendBytes), len(c.RecvBytes), p.P)
+	}
+	for r, steps := range p.Steps {
+		var sent, recvd int64
+		for _, s := range steps {
+			switch s.Op {
+			case OpSend:
+				sent += s.Bytes
+			case OpRecv:
+				recvd += s.Bytes
+			case OpSendRecv:
+				sent += s.SendBytes
+				recvd += s.RecvBytes
+			}
+		}
+		if sent != c.SendBytes[r] {
+			return p.fail(r, -1, "coverage: schedule sends %d bytes, contract wants %d", sent, c.SendBytes[r])
+		}
+		if recvd != c.RecvBytes[r] {
+			return p.fail(r, -1, "coverage: schedule receives %d bytes, contract wants %d", recvd, c.RecvBytes[r])
+		}
+	}
+	return nil
+}
+
+func (p *Plan) verifyPowerBalance() error {
+	for r, steps := range p.Steps {
+		scaledDown := false
+		throttle := power.T0
+		for i, s := range steps {
+			if s.Op != OpPower {
+				continue
+			}
+			switch s.Power.Kind {
+			case PowerFreqMin:
+				scaledDown = true
+			case PowerFreqMax:
+				scaledDown = false
+			case PowerThrottle:
+				throttle = s.Power.TState
+			default:
+				return p.fail(r, i, "unknown power action %d", s.Power.Kind)
+			}
+		}
+		if scaledDown {
+			return p.fail(r, -1, "power: plan ends scaled down to fmin")
+		}
+		if throttle != power.T0 {
+			return p.fail(r, -1, "power: plan ends throttled at %v", throttle)
+		}
+	}
+	return nil
+}

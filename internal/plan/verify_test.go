@@ -1,0 +1,190 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"pacc/internal/power"
+)
+
+// goodExchange is a 2-rank plan that exercises every class of step and
+// satisfies all invariants.
+func goodExchange() *Plan {
+	p := NewPlan("good", 2)
+	for me := 0; me < 2; me++ {
+		peer := 1 - me
+		rs := p.Rank(me)
+		rs.FreqMin()
+		rs.PhaseBegin("network")
+		rs.Copy(64)
+		rs.Exchange(peer, 1024, 1024, 7)
+		rs.Reduce(1024)
+		rs.PhaseEnd()
+		rs.FreqMax()
+	}
+	p.Contract = &Contract{SendBytes: []int64{1024, 1024}, RecvBytes: []int64{1024, 1024}}
+	return p
+}
+
+func TestVerifyGoodPlan(t *testing.T) {
+	if err := Verify(goodExchange()); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+func wantVerifyError(t *testing.T, p *Plan, substr string) {
+	t.Helper()
+	err := Verify(p)
+	if err == nil {
+		t.Fatalf("Verify accepted a plan that should fail with %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("Verify error %q does not mention %q", err, substr)
+	}
+}
+
+func TestVerifyOrphanSend(t *testing.T) {
+	p := NewPlan("orphan-send", 2)
+	p.Rank(0).Send(1, 64, 3)
+	wantVerifyError(t, p, "no matching recv")
+}
+
+func TestVerifyOrphanRecv(t *testing.T) {
+	p := NewPlan("orphan-recv", 2)
+	p.Rank(1).Recv(0, 64, 3)
+	wantVerifyError(t, p, "no matching send")
+}
+
+func TestVerifyTagMismatch(t *testing.T) {
+	p := NewPlan("tag-mismatch", 2)
+	p.Rank(0).Send(1, 64, 3)
+	p.Rank(1).Recv(0, 64, 4)
+	// Both halves are orphans; either report is a correct diagnosis.
+	if err := Verify(p); err == nil {
+		t.Fatal("mismatched tags accepted")
+	}
+}
+
+func TestVerifySizeMismatch(t *testing.T) {
+	p := NewPlan("size-mismatch", 2)
+	p.Rank(0).Send(1, 64, 3)
+	p.Rank(1).Recv(0, 128, 3)
+	wantVerifyError(t, p, "carries 64 bytes but the recv expects 128")
+}
+
+func TestVerifyDuplicateSend(t *testing.T) {
+	p := NewPlan("dup-send", 2)
+	p.Rank(0).Send(1, 64, 3).Send(1, 64, 3)
+	p.Rank(1).Recv(0, 64, 3)
+	wantVerifyError(t, p, "duplicate send")
+}
+
+func TestVerifyDeadlockCycle(t *testing.T) {
+	// Two ranks both send first under rendezvous semantics: classic
+	// head-to-head deadlock.
+	p := NewPlan("deadlock", 2)
+	p.Rank(0).Send(1, 64, 1).Recv(1, 64, 2)
+	p.Rank(1).Send(0, 64, 2).Recv(0, 64, 1)
+	wantVerifyError(t, p, "deadlock")
+}
+
+func TestVerifyDeadlockOrderInversion(t *testing.T) {
+	// Rank 0 sends a then b; rank 1 receives b then a. Matching is 1:1
+	// but the rendezvous order never meets.
+	p := NewPlan("inversion", 2)
+	p.Rank(0).Send(1, 64, 1).Send(1, 64, 2)
+	p.Rank(1).Recv(0, 64, 2).Recv(0, 64, 1)
+	wantVerifyError(t, p, "deadlock")
+}
+
+func TestVerifyRingReleasesTogether(t *testing.T) {
+	// A 4-rank ring of simultaneous exchanges must verify: the batch
+	// advancement rule releases the whole cycle in one round.
+	const n = 4
+	p := NewPlan("ring", n)
+	for me := 0; me < n; me++ {
+		right := (me + 1) % n
+		left := (me - 1 + n) % n
+		p.Rank(me).SendRecv(right, 256, 9, left, 256, 9)
+	}
+	if err := Verify(p); err != nil {
+		t.Fatalf("ring plan rejected: %v", err)
+	}
+}
+
+func TestVerifyContractViolation(t *testing.T) {
+	p := goodExchange()
+	p.Contract.RecvBytes[1] = 999
+	wantVerifyError(t, p, "coverage")
+}
+
+func TestVerifyContractWrongLength(t *testing.T) {
+	p := goodExchange()
+	p.Contract.SendBytes = p.Contract.SendBytes[:1]
+	wantVerifyError(t, p, "contract covers")
+}
+
+func TestVerifyPowerImbalanceDVFS(t *testing.T) {
+	p := NewPlan("fmin-leak", 1)
+	p.Rank(0).FreqMin()
+	wantVerifyError(t, p, "ends scaled down")
+}
+
+func TestVerifyPowerImbalanceThrottle(t *testing.T) {
+	p := NewPlan("throttle-leak", 1)
+	p.Rank(0).Throttle(power.T7)
+	wantVerifyError(t, p, "ends throttled")
+}
+
+func TestVerifyUnbalancedPhases(t *testing.T) {
+	p := NewPlan("open-phase", 1)
+	p.Rank(0).PhaseBegin("network")
+	wantVerifyError(t, p, "left open")
+
+	q := NewPlan("stray-end", 1)
+	q.Rank(0).PhaseEnd()
+	wantVerifyError(t, q, "phase-end without open phase")
+}
+
+func TestVerifyStructuralErrors(t *testing.T) {
+	p := NewPlan("bad-peer", 2)
+	p.Rank(0).Send(5, 64, 1)
+	wantVerifyError(t, p, "outside [0,2)")
+
+	q := NewPlan("bad-size", 2)
+	q.Rank(0).Send(1, -1, 1)
+	wantVerifyError(t, q, "negative size")
+
+	r := NewPlan("short", 3)
+	r.Steps = r.Steps[:2]
+	wantVerifyError(t, r, "rank schedules")
+}
+
+func TestComputeStatsLocalitySplit(t *testing.T) {
+	p := NewPlan("stats", 4)
+	p.NodeOf = []int{0, 0, 1, 1}
+	// Rank 0: one intra send (to 1), one inter send (to 2), a copy and a
+	// reduce.
+	p.Rank(0).Send(1, 100, 1).Send(2, 200, 2).Copy(50).Reduce(25)
+	p.Rank(1).Recv(0, 100, 1)
+	p.Rank(2).Recv(0, 200, 2)
+	st := p.ComputeStats()
+	if st.MaxIntraMsgs != 1 || st.MaxIntraBytes != 100 {
+		t.Errorf("intra = (%d msgs, %d B), want (1, 100)", st.MaxIntraMsgs, st.MaxIntraBytes)
+	}
+	if st.MaxInterMsgs != 1 || st.MaxInterBytes != 200 {
+		t.Errorf("inter = (%d msgs, %d B), want (1, 200)", st.MaxInterMsgs, st.MaxInterBytes)
+	}
+	if st.MaxCopyBytes != 50 || st.MaxRedBytes != 25 {
+		t.Errorf("copy/reduce = (%d, %d), want (50, 25)", st.MaxCopyBytes, st.MaxRedBytes)
+	}
+	if st.TotalInterBytes != 200 {
+		t.Errorf("TotalInterBytes = %d, want 200", st.TotalInterBytes)
+	}
+	// Without a node table, all traffic counts as inter-node.
+	p.NodeOf = nil
+	st = p.ComputeStats()
+	if st.MaxInterMsgs != 2 || st.MaxIntraMsgs != 0 {
+		t.Errorf("no NodeOf: inter=%d intra=%d, want 2/0", st.MaxInterMsgs, st.MaxIntraMsgs)
+	}
+}

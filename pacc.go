@@ -33,6 +33,7 @@ import (
 	"pacc/internal/model"
 	"pacc/internal/mpi"
 	"pacc/internal/network"
+	"pacc/internal/plan"
 	"pacc/internal/power"
 	"pacc/internal/topology"
 	"pacc/internal/trace"
@@ -164,50 +165,79 @@ func AttachTrace(w *World) *TraceRecorder {
 }
 
 // Collective operations (SPMD: every rank of the communicator calls them
-// with identical arguments).
+// with identical arguments). Every entry point validates its arguments
+// (positive sizes, root in range) and returns an error for malformed
+// calls; plan-backed entries also surface plan build/execution errors.
 
 // Alltoall performs a personalized all-to-all exchange of bytes per pair.
-func Alltoall(c *Comm, bytes int64, opt CollectiveOptions) { collective.Alltoall(c, bytes, opt) }
+func Alltoall(c *Comm, bytes int64, opt CollectiveOptions) error {
+	return collective.Alltoall(c, bytes, opt)
+}
 
-// Alltoallv performs a personalized exchange with per-pair sizes.
-func Alltoallv(c *Comm, sizeOf func(src, dst int) int64, opt CollectiveOptions) {
-	collective.Alltoallv(c, sizeOf, opt)
+// Alltoallv performs a personalized exchange with per-pair sizes
+// (zero-size pairs are legal, negative sizes rejected).
+func Alltoallv(c *Comm, sizeOf func(src, dst int) int64, opt CollectiveOptions) error {
+	return collective.Alltoallv(c, sizeOf, opt)
 }
 
 // AlltoallPairwise forces the pairwise-exchange algorithm.
-func AlltoallPairwise(c *Comm, bytes int64, opt CollectiveOptions) {
-	collective.AlltoallPairwise(c, bytes, opt)
+func AlltoallPairwise(c *Comm, bytes int64, opt CollectiveOptions) error {
+	return collective.AlltoallPairwise(c, bytes, opt)
 }
 
 // AlltoallBruck forces the hypercube algorithm.
-func AlltoallBruck(c *Comm, bytes int64, opt CollectiveOptions) {
-	collective.AlltoallBruck(c, bytes, opt)
+func AlltoallBruck(c *Comm, bytes int64, opt CollectiveOptions) error {
+	return collective.AlltoallBruck(c, bytes, opt)
 }
 
 // Bcast broadcasts from root with the multi-core aware algorithm.
-func Bcast(c *Comm, root int, bytes int64, opt CollectiveOptions) {
-	collective.Bcast(c, root, bytes, opt)
+func Bcast(c *Comm, root int, bytes int64, opt CollectiveOptions) error {
+	return collective.Bcast(c, root, bytes, opt)
+}
+
+// BcastBinomial broadcasts with the flat binomial tree.
+func BcastBinomial(c *Comm, root int, bytes int64, opt CollectiveOptions) error {
+	return collective.BcastBinomial(c, root, bytes, opt)
 }
 
 // Reduce combines onto root with the multi-core aware algorithm.
-func Reduce(c *Comm, root int, bytes int64, opt CollectiveOptions) {
-	collective.Reduce(c, root, bytes, opt)
+func Reduce(c *Comm, root int, bytes int64, opt CollectiveOptions) error {
+	return collective.Reduce(c, root, bytes, opt)
 }
 
 // Allgather gathers bytes from every rank to every rank.
-func Allgather(c *Comm, bytes int64, opt CollectiveOptions) { collective.Allgather(c, bytes, opt) }
+func Allgather(c *Comm, bytes int64, opt CollectiveOptions) error {
+	return collective.Allgather(c, bytes, opt)
+}
+
+// AllgatherRing forces the flat ring allgather.
+func AllgatherRing(c *Comm, bytes int64, opt CollectiveOptions) error {
+	return collective.AllgatherRing(c, bytes, opt)
+}
+
+// AllgatherRD forces the recursive-doubling allgather.
+func AllgatherRD(c *Comm, bytes int64, opt CollectiveOptions) error {
+	return collective.AllgatherRD(c, bytes, opt)
+}
 
 // Allreduce combines bytes across all ranks, result everywhere.
-func Allreduce(c *Comm, bytes int64, opt CollectiveOptions) { collective.Allreduce(c, bytes, opt) }
+func Allreduce(c *Comm, bytes int64, opt CollectiveOptions) error {
+	return collective.Allreduce(c, bytes, opt)
+}
+
+// AllreduceRD forces the recursive-doubling allreduce.
+func AllreduceRD(c *Comm, bytes int64, opt CollectiveOptions) error {
+	return collective.AllreduceRD(c, bytes, opt)
+}
 
 // Gather collects per-rank blocks onto root.
-func Gather(c *Comm, root int, bytes int64, opt CollectiveOptions) {
-	collective.Gather(c, root, bytes, opt)
+func Gather(c *Comm, root int, bytes int64, opt CollectiveOptions) error {
+	return collective.Gather(c, root, bytes, opt)
 }
 
 // Scatter distributes per-rank blocks from root.
-func Scatter(c *Comm, root int, bytes int64, opt CollectiveOptions) {
-	collective.Scatter(c, root, bytes, opt)
+func Scatter(c *Comm, root int, bytes int64, opt CollectiveOptions) error {
+	return collective.Scatter(c, root, bytes, opt)
 }
 
 // Barrier synchronizes the communicator.
@@ -216,34 +246,68 @@ func Barrier(c *Comm) { collective.Barrier(c) }
 // ScatterTopoAware distributes blocks through the rack hierarchy (the
 // paper's §VIII topology-aware direction), optionally throttling whole
 // racks during the inter-rack phase.
-func ScatterTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) {
-	collective.ScatterTopoAware(c, root, bytes, opt)
+func ScatterTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) error {
+	return collective.ScatterTopoAware(c, root, bytes, opt)
 }
 
 // GatherTopoAware collects blocks through the rack hierarchy.
-func GatherTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) {
-	collective.GatherTopoAware(c, root, bytes, opt)
+func GatherTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) error {
+	return collective.GatherTopoAware(c, root, bytes, opt)
 }
 
 // BcastTopoAware broadcasts through the rack hierarchy.
-func BcastTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) {
-	collective.BcastTopoAware(c, root, bytes, opt)
+func BcastTopoAware(c *Comm, root int, bytes int64, opt CollectiveOptions) error {
+	return collective.BcastTopoAware(c, root, bytes, opt)
 }
 
 // AllreduceTopoAware combines bytes through the node/rack hierarchy,
 // falling back to a contention-minimal ring among leaders when the
 // fabric reports degraded links (fault-aware jobs only).
-func AllreduceTopoAware(c *Comm, bytes int64, opt CollectiveOptions) {
-	collective.AllreduceTopoAware(c, bytes, opt)
+func AllreduceTopoAware(c *Comm, bytes int64, opt CollectiveOptions) error {
+	return collective.AllreduceTopoAware(c, bytes, opt)
 }
 
 // AllreduceSum is AllreduceTopoAware carrying a real float64 sum through
 // the simulated message schedule: every rank contributes v and receives
 // the global sum, so callers can verify end-to-end data correctness
 // under injected faults.
-func AllreduceSum(c *Comm, bytes int64, v float64, opt CollectiveOptions) float64 {
+func AllreduceSum(c *Comm, bytes int64, v float64, opt CollectiveOptions) (float64, error) {
 	return collective.AllreduceSum(c, bytes, v, opt)
 }
+
+// Communication plans (the schedule IR behind the plan-backed
+// collectives; see internal/plan and DESIGN.md §7).
+
+// CommPlan is one built communication schedule.
+type CommPlan = plan.Plan
+
+// PlanBuilderSpec names one registered schedule builder and the
+// collective family it implements.
+type PlanBuilderSpec struct{ Name, Op string }
+
+// PlanAuto selects the cheapest registered schedule by predicted cost
+// when set as CollectiveOptions.Plan.
+const PlanAuto = collective.PlanAuto
+
+// Plan-selection objectives (CollectiveOptions.PlanObjective).
+const (
+	SelectByLatency = collective.SelectByLatency
+	SelectByEnergy  = collective.SelectByEnergy
+)
+
+// PlanBuilders lists every registered schedule builder.
+func PlanBuilders() []PlanBuilderSpec {
+	var out []PlanBuilderSpec
+	for _, b := range plan.Builders() {
+		out = append(out, PlanBuilderSpec{Name: b.Name, Op: b.Op})
+	}
+	return out
+}
+
+// VerifyPlan statically checks a plan's invariants: tag/peer matching,
+// deadlock-freedom under rendezvous semantics, declared data coverage,
+// and power-state balance.
+func VerifyPlan(p *CommPlan) error { return plan.Verify(p) }
 
 // Workloads (the paper's applications).
 
