@@ -41,6 +41,13 @@ var ops = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions)
 	"allreduce":      pacc.Allreduce,
 	"allreduce_rd":   pacc.AllreduceRD,
 	"allreduce_topo": pacc.AllreduceTopoAware,
+	// allreduce_ft is the ULFM-style fault-tolerant allreduce: under a
+	// crash fault spec the survivors revoke, agree, shrink and finish on
+	// the remaining ranks.
+	"allreduce_ft": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		_, _, err := pacc.AllreduceSumFT(c, b, float64(c.Owner().ID()+1), o)
+		return err
+	},
 	"gather": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
 		return pacc.Gather(c, 0, b, o)
 	},
@@ -155,7 +162,7 @@ func main() {
 		metricsOut  = flag.String("metrics", "", "write a metrics JSON snapshot of the last size's run to this file")
 		configPath  = flag.String("config", "", "load the base cluster configuration from a JSON file")
 		dumpConfig  = flag.String("dump-config", "", "write the default configuration to this file and exit")
-		faultSpec   = flag.String("fault", "", "deterministic fault-injection spec, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5'")
+		faultSpec   = flag.String("fault", "", "deterministic fault-injection spec, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5' or 'crash=5@200us;detect=100us' (crash-stop; pair with -op allreduce_ft)")
 		planName    = flag.String("plan", "", "communication plan: a registered builder name, or 'auto' for cost-based selection")
 		planObj     = flag.String("plan-objective", "latency", "objective for -plan auto: latency or energy")
 	)
@@ -233,8 +240,12 @@ func main() {
 	fmt.Printf("%-12s %14s %14s\n", "size(B)", "latency(us)", "cluster(W)")
 
 	wantObs := *traceOut != "" || *metricsOut != ""
+	// A crash-stop spec kills ranks permanently, and the plain barrier has
+	// no failure path: run the iterations back-to-back instead (the
+	// resilient collective synchronizes the survivors itself).
+	skipBarrier := baseCfg.Fault != nil && len(baseCfg.Fault.Crashes) > 0
 	for _, size := range sizes {
-		lat, watts, sess, err := measure(baseCfg, call, size, *procs, *ppn, mode, opt, *progression, *iters, wantObs)
+		lat, watts, sess, err := measure(baseCfg, call, size, *procs, *ppn, mode, opt, *progression, *iters, wantObs, skipBarrier)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "osu:", err)
 			os.Exit(1)
@@ -269,7 +280,7 @@ func main() {
 // cluster power over the whole run.
 func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOptions) error, size int64,
 	procs, ppn int, mode pacc.PowerMode, base pacc.CollectiveOptions, progression string, iters int,
-	wantObs bool) (float64, float64, *pacc.ObsSession, error) {
+	wantObs, skipBarrier bool) (float64, float64, *pacc.ObsSession, error) {
 
 	cfg.NProcs = procs
 	cfg.PPN = ppn
@@ -312,7 +323,9 @@ func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOption
 		timed := warm
 		timed.Trace = tr
 		for i := 0; i < iters; i++ {
-			pacc.Barrier(c)
+			if !skipBarrier {
+				pacc.Barrier(c)
+			}
 			if err := call(c, size, timed); err != nil && callErr == nil {
 				callErr = err
 			}

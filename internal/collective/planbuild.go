@@ -19,6 +19,7 @@ func init() {
 	plan.Register(plan.Builder{Name: "allgather_ring", Op: "allgather", Build: buildAllgatherRing})
 	plan.Register(plan.Builder{Name: "allgather_rd", Op: "allgather", Build: buildAllgatherRD})
 	plan.Register(plan.Builder{Name: "allreduce_rd", Op: "allreduce", Build: buildAllreduceRD})
+	plan.Register(plan.Builder{Name: "allreduce_chain", Op: "allreduce", Build: buildAllreduceChain})
 	plan.Register(plan.Builder{Name: "bcast_binomial", Op: "bcast", Build: buildBcastBinomial})
 	plan.Register(plan.Builder{Name: "alltoall_pairwise", Op: "alltoall", Build: buildAlltoallPairwise})
 	plan.Register(plan.Builder{Name: "alltoall_bruck", Op: "alltoall", Build: buildAlltoallBruck})
@@ -175,6 +176,49 @@ func buildAllreduceRD(v plan.View, s plan.Spec) (*plan.Plan, error) {
 	pl.NeedsTagBlock = true
 	per := int64(rounds) * s.Bytes
 	pl.Contract = uniformContract(p, per, per)
+	bracketDVFS(pl, s)
+	return pl, nil
+}
+
+// buildAllreduceChain is the serial chain allreduce: reduce toward rank 0
+// along the chain (p-1 → p-2 → ... → 0), then broadcast the total back
+// down it. O(P) latency against recursive doubling's O(log P), but it
+// builds for any communicator size — it exists so the resilient path has
+// an applicable builder after a crash shrinks a power-of-two group to an
+// odd survivor count.
+func buildAllreduceChain(v plan.View, s plan.Spec) (*plan.Plan, error) {
+	if err := uniformOnly("allreduce_chain", s); err != nil {
+		return nil, err
+	}
+	pl := plan.NewPlan("allreduce_chain", v.P)
+	pl.NodeOf = v.NodeOf
+	p := v.P
+	contract := &plan.Contract{SendBytes: make([]int64, p), RecvBytes: make([]int64, p)}
+	for me := 0; me < p; me++ {
+		rs := pl.Rank(me)
+		if p == 1 {
+			continue
+		}
+		// Reduce phase: the up edge from k to k-1 carries tag relRing+k.
+		if me < p-1 {
+			rs.Recv(me+1, s.Bytes, relRing+me+1)
+			rs.Reduce(s.Bytes)
+			contract.RecvBytes[me] += s.Bytes
+		}
+		if me > 0 {
+			rs.Send(me-1, s.Bytes, relRing+me)
+			contract.SendBytes[me] += s.Bytes
+			// Bcast phase: the down edge from k-1 to k carries relCtrl(k-1).
+			rs.Recv(me-1, s.Bytes, relCtrl(me-1))
+			contract.RecvBytes[me] += s.Bytes
+		}
+		if me < p-1 {
+			rs.Send(me+1, s.Bytes, relCtrl(me))
+			contract.SendBytes[me] += s.Bytes
+		}
+	}
+	pl.NeedsTagBlock = true
+	pl.Contract = contract
 	bracketDVFS(pl, s)
 	return pl, nil
 }

@@ -1,0 +1,188 @@
+package collective
+
+import (
+	"fmt"
+
+	"pacc/internal/mpi"
+	"pacc/internal/obs"
+	"pacc/internal/plan"
+	"pacc/internal/power"
+)
+
+// This file is the ULFM-style recovery layer of the collective package:
+// a generic resilient runner that turns one failure-aware collective body
+// into a revoke → agree → shrink → retry loop, plus the two fault-tolerant
+// allreduce entry points built on it (an imperative value-carrying chain
+// and a plan-backed form that rebuilds, re-verifies and re-executes its
+// schedule on the survivor group).
+
+// restorePower is the unconditional post-round power restore: whatever a
+// crashed peer left half-done, every survivor leaves the recovery round at
+// fmax / T0. Both transitions are free no-ops when the core is already
+// there, so healthy rounds pay nothing.
+func restorePower(r *mpi.Rank) {
+	r.ScaleUp()
+	r.SetThrottle(power.T0)
+}
+
+// RunResilient runs body over c with crash-stop recovery. Each round every
+// member calls body SPMD; a round whose body observes a failure
+// (mpi.IsFailure) revokes the communicator so peers blocked inside the
+// aborted schedule drain out, and every survivor then joins a failure
+// agreement. Agreement runs after every round — successful or not — so
+// ranks whose own body completed still learn that a peer died mid-round
+// and retry with everyone else instead of diverging. After agreement every
+// survivor restores fmax/T0 (a crashed peer may have aborted the schedule
+// between a ScaleDown and its matching ScaleUp), shrinks the communicator
+// to the survivors, and retries body on the new group.
+//
+// It returns the communicator the successful round ran on (== c when no
+// failure happened) and the first non-failure error, if any. Failure
+// errors never escape: they are consumed by recovery until body succeeds
+// or the retry budget — one round per initial member, each retry removes
+// at least one rank — is exhausted.
+func RunResilient(c *mpi.Comm, body func(*mpi.Comm) error) (*mpi.Comm, error) {
+	if c == nil {
+		return nil, fmt.Errorf("collective: RunResilient needs a communicator")
+	}
+	r := c.Owner()
+	w := r.World()
+	comm := c
+	for round := 0; round <= c.Size(); round++ {
+		err := body(comm)
+		if err != nil && !mpi.IsFailure(err) {
+			restorePower(r)
+			return comm, err
+		}
+		if err != nil {
+			comm.Revoke()
+		}
+		failed := comm.AgreeFailures()
+		restorePower(r)
+		if err == nil && len(failed) == 0 {
+			return comm, nil
+		}
+		if b := w.Obs(); b != nil {
+			b.Add(obs.CtrCollectiveRecoveries, 1)
+			b.Instant(r.ObsTrack(), "collective recovery", map[string]any{
+				"failed": len(failed), "round": round,
+			})
+		}
+		// Shrink even when the failed set is empty (a revoke with no dead
+		// member): the retry needs an unrevoked communicator either way,
+		// and Shrink hands back a fresh one.
+		comm = comm.Shrink(failed)
+		if comm == nil || comm.Size() == 0 {
+			return nil, fmt.Errorf("collective: no survivors to retry on")
+		}
+	}
+	return comm, fmt.Errorf("collective: resilient retry budget exhausted after %d rounds", c.Size()+1)
+}
+
+// allreduceSumChain is one attempt of the value-carrying chain allreduce:
+// partial sums flow down the chain to rank 0, the total flows back up.
+// Any failure surfaces as a structured error for the resilient runner.
+func allreduceSumChain(c *mpi.Comm, bytes int64, v float64, opt Options) (float64, error) {
+	block := c.TagBlock()
+	p, me := c.Size(), c.Rank()
+	if p == 1 {
+		return v, nil
+	}
+	sum := v
+	if me < p-1 {
+		x, err := c.RecvValue(me+1, bytes, block+me+1)
+		if err != nil {
+			return 0, err
+		}
+		reduceOp(c, bytes, opt)
+		sum += x
+	}
+	if me > 0 {
+		if err := c.SendValue(me-1, bytes, block+me, sum); err != nil {
+			return 0, err
+		}
+		total, err := c.RecvValue(me-1, bytes, block+p+me-1)
+		if err != nil {
+			return 0, err
+		}
+		sum = total
+	}
+	if me < p-1 {
+		if err := c.SendValue(me+1, bytes, block+p+me, sum); err != nil {
+			return 0, err
+		}
+	}
+	return sum, nil
+}
+
+// AllreduceSumFT is the fault-tolerant allreduce: every member contributes
+// v, and the survivors of any crash-stop failures converge on the sum of
+// the final group's contributions. It returns that sum, the communicator
+// of the successful round (the shrunken survivor group after recovery),
+// and the first non-failure error. The schedule is the any-size chain, so
+// it keeps working no matter how many ranks recovery removes.
+func AllreduceSumFT(c *mpi.Comm, bytes int64, v float64, opt Options) (float64, *mpi.Comm, error) {
+	if err := checkBytes("allreduce_ft", bytes); err != nil {
+		return 0, c, err
+	}
+	power := opt.effectivePower(bytes) != NoPower
+	var sum float64
+	comm, err := RunResilient(c, func(cc *mpi.Comm) error {
+		var roundErr error
+		timeCollective(cc, opt, "allreduce_ft", bytes, func() {
+			if power {
+				cc.Owner().ScaleDown()
+			}
+			sum, roundErr = allreduceSumChain(cc, bytes, v, opt)
+			if power {
+				// Runs even after a failed chain; if this rank dies before
+				// reaching it, RunResilient restores the survivors.
+				cc.Owner().ScaleUp()
+			}
+		})
+		return roundErr
+	})
+	return sum, comm, err
+}
+
+// AllreduceFT is the plan-backed fault-tolerant allreduce. Every round
+// rebuilds a schedule for the current — possibly shrunken — group,
+// re-verifies it against the plan checker, and executes it; a failure
+// mid-schedule aborts execution and recovery shrinks and tries again.
+// opt.Plan selects the builder as usual, but a forced builder that cannot
+// build for the survivor count (recursive doubling on an odd group) falls
+// back to cost-based selection over the candidates that still apply.
+func AllreduceFT(c *mpi.Comm, bytes int64, opt Options) (*mpi.Comm, error) {
+	if err := checkBytes("allreduce_ft_plan", bytes); err != nil {
+		return c, err
+	}
+	return RunResilient(c, func(cc *mpi.Comm) error {
+		spec := planSpec(bytes, nil, opt)
+		v := viewOf(cc)
+		cfg := cc.World().Config()
+		name := opt.Plan
+		if name == "" || name == PlanAuto {
+			sel, err := SelectPlanName(cfg, v, "allreduce", spec, opt.PlanObjective)
+			if err != nil {
+				return err
+			}
+			name = sel
+		}
+		p, err := plan.BuildNamed(name, v, spec)
+		if err != nil {
+			sel, serr := SelectPlanName(cfg, v, "allreduce", spec, opt.PlanObjective)
+			if serr != nil {
+				return err
+			}
+			if p, err = plan.BuildNamed(sel, v, spec); err != nil {
+				return err
+			}
+		}
+		if err := plan.Verify(p); err != nil {
+			return err
+		}
+		var execErr error
+		timeCollective(cc, opt, "allreduce_ft_plan", bytes, func() { execErr = execPlan(cc, p, opt) })
+		return execErr
+	})
+}

@@ -1,0 +1,149 @@
+package collective
+
+import (
+	"errors"
+	"testing"
+
+	"pacc/internal/fault"
+	"pacc/internal/mpi"
+	"pacc/internal/simtime"
+)
+
+// ftCfg is a small world for crash tests: 8 ranks over 2 nodes.
+func ftCfg() mpi.Config {
+	c := mpi.DefaultConfig()
+	c.NProcs = 8
+	c.PPN = 4
+	return c
+}
+
+func TestAllreduceSumFTHealthy(t *testing.T) {
+	cfg := ftCfg()
+	sums := make([]float64, cfg.NProcs)
+	sizes := make([]int, cfg.NProcs)
+	run(t, cfg, func(r *mpi.Rank) {
+		sum, fc, err := AllreduceSumFT(mpi.CommWorld(r), 64<<10, float64(r.ID()+1), Options{Power: FreqScaling})
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+		}
+		sums[r.ID()] = sum
+		sizes[r.ID()] = fc.Size()
+	})
+	want := 0.0
+	for g := 0; g < cfg.NProcs; g++ {
+		want += float64(g + 1)
+	}
+	for g := 0; g < cfg.NProcs; g++ {
+		if sums[g] != want {
+			t.Fatalf("rank %d sum %v, want %v", g, sums[g], want)
+		}
+		if sizes[g] != cfg.NProcs {
+			t.Fatalf("rank %d finished on %d ranks, want %d", g, sizes[g], cfg.NProcs)
+		}
+	}
+}
+
+// TestAllreduceSumFTCrashMidPhase is the acceptance scenario: one rank
+// dies mid-collective, the survivors revoke, agree, shrink and re-run,
+// converging on the survivor-only sum with every survivor core back at
+// fmax / T0.
+func TestAllreduceSumFTCrashMidPhase(t *testing.T) {
+	const dead = 3
+	cfg := ftCfg()
+	cfg.Fault = &fault.Spec{Crashes: []fault.Crash{{Rank: dead, At: 30 * simtime.Microsecond}}}
+	sums := make([]float64, cfg.NProcs)
+	sizes := make([]int, cfg.NProcs)
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(func(r *mpi.Rank) {
+		sum, fc, err := AllreduceSumFT(mpi.CommWorld(r), 64<<10, float64(r.ID()+1), Options{Power: FreqScaling})
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+		}
+		sums[r.ID()] = sum
+		sizes[r.ID()] = fc.Size()
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for g := 0; g < cfg.NProcs; g++ {
+		if g != dead {
+			want += float64(g + 1)
+		}
+	}
+	for g := 0; g < cfg.NProcs; g++ {
+		if g == dead {
+			if w.Alive(g) {
+				t.Fatalf("rank %d should be dead", g)
+			}
+			continue
+		}
+		if sums[g] != want {
+			t.Fatalf("survivor %d sum %v, want %v", g, sums[g], want)
+		}
+		if sizes[g] != cfg.NProcs-1 {
+			t.Fatalf("survivor %d finished on %d ranks, want %d", g, sizes[g], cfg.NProcs-1)
+		}
+		core := w.Rank(g).Core()
+		if core.FreqGHz() != cfg.Power.FMaxGHz || core.Throttle() != 0 {
+			t.Fatalf("survivor %d left at %.2f GHz / %v, want fmax / T0", g, core.FreqGHz(), core.Throttle())
+		}
+	}
+}
+
+// TestAllreduceFTPlanCrash exercises the plan-backed path: the initial
+// power-of-two group runs recursive doubling; after the crash the 7-rank
+// survivor group cannot build it, so selection falls back to the chain,
+// re-verifies, and re-executes.
+func TestAllreduceFTPlanCrash(t *testing.T) {
+	const dead = 5
+	cfg := ftCfg()
+	cfg.Fault = &fault.Spec{Crashes: []fault.Crash{{Rank: dead, At: 40 * simtime.Microsecond}}}
+	sizes := make([]int, cfg.NProcs)
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(func(r *mpi.Rank) {
+		fc, err := AllreduceFT(mpi.CommWorld(r), 64<<10, Options{Power: FreqScaling, Plan: "allreduce_rd"})
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+		}
+		sizes[r.ID()] = fc.Size()
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < cfg.NProcs; g++ {
+		if g == dead {
+			continue
+		}
+		if sizes[g] != cfg.NProcs-1 {
+			t.Fatalf("survivor %d finished on %d ranks, want %d", g, sizes[g], cfg.NProcs-1)
+		}
+		core := w.Rank(g).Core()
+		if core.FreqGHz() != cfg.Power.FMaxGHz || core.Throttle() != 0 {
+			t.Fatalf("survivor %d left at %.2f GHz / %v, want fmax / T0", g, core.FreqGHz(), core.Throttle())
+		}
+	}
+}
+
+// RunResilient must hand non-failure errors straight back: only crash
+// detection and revocation feed the recovery loop.
+func TestRunResilientPassesThroughPlainErrors(t *testing.T) {
+	cfg := ftCfg()
+	boom := errors.New("boom")
+	run(t, cfg, func(r *mpi.Rank) {
+		c := mpi.CommWorld(r)
+		fc, err := RunResilient(c, func(cc *mpi.Comm) error { return boom })
+		if !errors.Is(err, boom) {
+			t.Errorf("rank %d got %v, want boom", r.ID(), err)
+		}
+		if fc != c {
+			t.Errorf("rank %d: communicator changed on a non-failure error", r.ID())
+		}
+	})
+}

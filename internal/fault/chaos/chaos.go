@@ -1,0 +1,273 @@
+// Package chaos is the crash-fuzzing harness: it turns a single uint64
+// seed into a randomized fault schedule — crash-stop rank failures, link
+// degradation/down windows, stragglers with jitter, sticky power
+// transitions — runs a fault-tolerant collective workload under it, and
+// checks the invariants that must hold no matter what the schedule did:
+//
+//   - the simulation terminates (no deadlock, no run error),
+//   - every survivor converges on the same final group and on the sum of
+//     exactly that group's contributions,
+//   - every survivor core ends at fmax / T0,
+//   - no surviving rank leaves an unbalanced async span on the timeline
+//     (dead ranks' half-open spans are tombstones and are excused),
+//   - cluster energy accounting is non-negative and monotone.
+//
+// Everything is deterministic: the same seed reproduces the same spec,
+// the same simulation, and byte-identical metric and trace exports, so
+// any fuzzer-found counterexample replays exactly.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+
+	"pacc/internal/collective"
+	"pacc/internal/fault"
+	"pacc/internal/mpi"
+	"pacc/internal/obs"
+	"pacc/internal/simtime"
+)
+
+// rng is splitmix64 — the same generator the injector's decision hashes
+// build on, chained here as a stream.
+type rng struct{ x uint64 }
+
+func (r *rng) next() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) f64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) dur(lo, hi simtime.Duration) simtime.Duration {
+	return lo + simtime.Duration(r.next()%uint64(hi-lo+1))
+}
+
+const us = simtime.Microsecond
+
+// GenSpec derives a randomized fault spec from one seed. At most half the
+// job crashes, so a survivor group always exists; message loss stays off
+// because a retry-budget exhaustion aborts the run by design and would
+// mask the invariants this harness is after.
+func GenSpec(seed uint64, procs, nodes int) *fault.Spec {
+	r := &rng{x: seed}
+	s := &fault.Spec{Seed: seed, RetryBudget: fault.DefaultRetryBudget}
+
+	for n := r.intn(procs/2 + 1); n > 0; n-- {
+		s.Crashes = append(s.Crashes, fault.Crash{
+			Rank: r.intn(procs),
+			At:   r.dur(5*us, 400*us),
+		})
+	}
+	s.DetectTimeout = r.dur(20*us, 150*us)
+
+	for n := r.intn(3); n > 0; n-- {
+		dir := "up"
+		if r.intn(2) == 1 {
+			dir = "down"
+		}
+		s.LinkFaults = append(s.LinkFaults, fault.LinkFault{
+			Link:     fmt.Sprintf("node%d-%s", r.intn(nodes), dir),
+			Factor:   []float64{0, 0.25, 0.5}[r.intn(3)],
+			Start:    r.dur(0, 200*us),
+			Duration: r.dur(50*us, 400*us),
+		})
+	}
+
+	if r.intn(2) == 1 {
+		s.Stragglers = append(s.Stragglers, fault.Straggler{
+			Rank:     r.intn(procs),
+			Slowdown: 1 + 2*r.f64(),
+		})
+		s.ComputeJitter = 0.3 * r.f64()
+	}
+
+	if r.intn(2) == 1 {
+		s.PStateDelay = r.dur(0, 30*us)
+		s.TStateDelay = r.dur(0, 30*us)
+		s.StickProb = 0.5 * r.f64()
+	}
+
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("chaos: generated invalid spec from seed %d: %v", seed, err))
+	}
+	return s
+}
+
+// Options configures one chaos run. Zero values select the defaults.
+type Options struct {
+	// Seed drives the whole schedule (GenSpec) and nothing else.
+	Seed uint64
+	// Procs / PPN shape the job (default 8 ranks, 4 per node).
+	Procs, PPN int
+	// Iters is how many resilient allreduces each rank runs back to back,
+	// the communicator shrinking across iterations as ranks die (default 3).
+	Iters int
+	// Bytes per rank and call (default 32 KiB — above the power threshold,
+	// so DVFS brackets are in play when a crash aborts a schedule).
+	Bytes int64
+}
+
+func (o *Options) defaults() {
+	if o.Procs == 0 {
+		o.Procs = 8
+	}
+	if o.PPN == 0 {
+		o.PPN = 4
+	}
+	if o.Iters == 0 {
+		o.Iters = 3
+	}
+	if o.Bytes == 0 {
+		o.Bytes = 32 << 10
+	}
+}
+
+// Result carries what a successful chaos run produced, for replay
+// comparison and debugging.
+type Result struct {
+	// Spec is the generated fault schedule.
+	Spec *fault.Spec
+	// FinalGroup is the global membership of the communicator the last
+	// iteration completed on (identical across survivors, by invariant).
+	FinalGroup []int
+	// Sum is the agreed allreduce result of the last iteration.
+	Sum float64
+	// Metrics and Trace are the exported metrics/trace JSON; two runs with
+	// the same options produce byte-identical copies.
+	Metrics, Trace []byte
+}
+
+// Run executes one seeded chaos scenario and checks every invariant,
+// returning a descriptive error (including the spec, for reproduction) on
+// the first violation.
+func Run(o Options) (*Result, error) {
+	o.defaults()
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs = o.Procs
+	cfg.PPN = o.PPN
+	cfg.Fault = GenSpec(o.Seed, o.Procs, cfg.Topo.Nodes)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("chaos seed %d [%s]: %s", o.Seed, cfg.Fault, fmt.Sprintf(format, args...))
+	}
+
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return nil, fail("world: %v", err)
+	}
+	bus := obs.NewBus(w.Engine())
+	w.AttachObs(bus)
+
+	finished := make([]bool, o.Procs)
+	sums := make([]float64, o.Procs)
+	groups := make([][]int, o.Procs)
+	bodyErrs := make([]error, o.Procs)
+	energyDips := make([]string, o.Procs)
+
+	w.Launch(func(r *mpi.Rank) {
+		me := r.ID()
+		c := mpi.CommWorld(r)
+		last := w.Station().EnergyJoules()
+		if last < 0 {
+			energyDips[me] = fmt.Sprintf("negative energy %g at start", last)
+		}
+		for it := 0; it < o.Iters; it++ {
+			sum, fc, err := collective.AllreduceSumFT(c, o.Bytes, float64(me+1),
+				collective.Options{Power: collective.FreqScaling})
+			if err != nil {
+				bodyErrs[me] = err
+				return
+			}
+			c, sums[me] = fc, sum
+			if e := w.Station().EnergyJoules(); e < last {
+				energyDips[me] = fmt.Sprintf("energy fell %g -> %g after iteration %d", last, e, it)
+			} else {
+				last = e
+			}
+		}
+		g := make([]int, c.Size())
+		for i := range g {
+			g[i] = c.Global(i)
+		}
+		groups[me] = g
+		finished[me] = true
+	})
+
+	if _, err := w.Run(); err != nil {
+		return nil, fail("run: %v", err)
+	}
+
+	dead := map[int]bool{}
+	for _, id := range w.DeadRanks() {
+		dead[id] = true
+	}
+	var group []int
+	for me := 0; me < o.Procs; me++ {
+		if dead[me] {
+			continue
+		}
+		if bodyErrs[me] != nil {
+			return nil, fail("rank %d: %v", me, bodyErrs[me])
+		}
+		if !finished[me] {
+			return nil, fail("survivor %d never finished its iterations", me)
+		}
+		if energyDips[me] != "" {
+			return nil, fail("rank %d: %s", me, energyDips[me])
+		}
+		if group == nil {
+			group = groups[me]
+		} else if fmt.Sprint(groups[me]) != fmt.Sprint(group) {
+			return nil, fail("survivors disagree on the final group: %v vs %v", groups[me], group)
+		}
+	}
+	if group == nil {
+		return nil, fail("no survivors finished")
+	}
+	want := 0.0
+	inGroup := map[int]bool{}
+	for _, g := range group {
+		want += float64(g + 1)
+		inGroup[g] = true
+	}
+	for me := 0; me < o.Procs; me++ {
+		if dead[me] {
+			continue
+		}
+		if !inGroup[me] {
+			return nil, fail("survivor %d missing from the agreed final group %v", me, group)
+		}
+		if sums[me] != want {
+			return nil, fail("survivor %d sum %g, want %g over group %v", me, sums[me], want, group)
+		}
+		core := w.Rank(me).Core()
+		if core.FreqGHz() != cfg.Power.FMaxGHz || core.Throttle() != 0 {
+			return nil, fail("survivor %d left at %.2f GHz / T%d, want fmax / T0",
+				me, core.FreqGHz(), core.Throttle())
+		}
+	}
+
+	deadTrack := map[obs.Track]bool{}
+	for id := range dead {
+		deadTrack[w.Rank(id).ObsTrack()] = true
+	}
+	if open := bus.UnbalancedAsyncs(func(t obs.Track) bool { return deadTrack[t] }); len(open) != 0 {
+		return nil, fail("unbalanced async spans on surviving tracks: %v", open)
+	}
+
+	res := &Result{Spec: cfg.Fault, FinalGroup: group, Sum: want}
+	var mb, tb bytes.Buffer
+	if err := bus.WriteMetricsJSON(&mb); err != nil {
+		return nil, fail("metrics export: %v", err)
+	}
+	if err := bus.WriteChromeTrace(&tb); err != nil {
+		return nil, fail("trace export: %v", err)
+	}
+	res.Metrics, res.Trace = mb.Bytes(), tb.Bytes()
+	return res, nil
+}

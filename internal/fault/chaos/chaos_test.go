@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The spec generator must be a pure function of the seed.
+func TestGenSpecDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := GenSpec(seed, 8, 8)
+		b := GenSpec(seed, 8, 8)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: %q vs %q", seed, a, b)
+		}
+		if len(a.Crashes) > 4 {
+			t.Fatalf("seed %d schedules %d crashes, more than half the job", seed, len(a.Crashes))
+		}
+	}
+}
+
+// A sweep of seeds stands in for the fuzzer in ordinary test runs: every
+// schedule must satisfy every invariant.
+func TestChaosSeedSweep(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		if _, err := Run(Options{Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Satellite: two runs of the same seed are byte-identical, metrics and
+// trace included — the deterministic-replay contract of the whole
+// simulator under chaos.
+func TestChaosReplayDeterministic(t *testing.T) {
+	for _, seed := range []uint64{3, 7, 11} {
+		a, err := Run(Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Metrics, b.Metrics) {
+			t.Fatalf("seed %d: metrics exports differ between identical runs", seed)
+		}
+		if !bytes.Equal(a.Trace, b.Trace) {
+			t.Fatalf("seed %d: trace exports differ between identical runs", seed)
+		}
+		if a.Sum != b.Sum || len(a.FinalGroup) != len(b.FinalGroup) {
+			t.Fatalf("seed %d: results differ: %v/%g vs %v/%g",
+				seed, a.FinalGroup, a.Sum, b.FinalGroup, b.Sum)
+		}
+	}
+}
+
+// FuzzChaos is the chaos fuzzing entry point: go test -fuzz=FuzzChaos
+// explores the seed space; the checked-in corpus under testdata/fuzz
+// keeps the interesting schedules (multi-crash, crash+down-link overlap)
+// in every ordinary test run.
+func FuzzChaos(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 5, 13, 42, 1023, 1 << 33, 0xdeadbeef} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if _, err := Run(Options{Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -2,9 +2,10 @@
 // simulated cluster. A Spec declares what goes wrong — per-link bandwidth
 // degradation and transient link down/up windows, packet-level message
 // loss (eager payloads, rendezvous RTS/CTS control messages and data),
-// straggler ranks with per-call compute jitter, and slow or stuck P/T-state
-// transitions — and an Injector turns the spec into reproducible per-event
-// decisions.
+// permanent crash-stop rank failures with a configurable detection
+// timeout, straggler ranks with per-call compute jitter, and slow or stuck
+// P/T-state transitions — and an Injector turns the spec into reproducible
+// per-event decisions.
 //
 // Determinism is the contract: every decision is a pure hash of the seed
 // and the identity of the event being decided (message class, endpoints,
@@ -76,6 +77,19 @@ type LinkFault struct {
 	Duration simtime.Duration
 }
 
+// Crash schedules a crash-stop failure of one rank: at time At the rank's
+// process dies permanently (no restart). From that instant messages
+// addressed to it vanish at delivery, and peers blocked on it observe the
+// failure after Spec.DetectTimeout (the failure detector's heartbeat/ack
+// timeout). Scheduling several crashes for one rank is allowed; the
+// earliest wins.
+type Crash struct {
+	// Rank is the global rank id.
+	Rank int
+	// At is when the rank dies.
+	At simtime.Duration
+}
+
 // Straggler slows one rank's CPU-side work by a constant factor, with
 // optional per-call jitter (Spec.ComputeJitter).
 type Straggler struct {
@@ -100,6 +114,13 @@ type Spec struct {
 
 	// LinkFaults schedules bandwidth degradation and down/up windows.
 	LinkFaults []LinkFault
+
+	// Crashes schedules permanent crash-stop rank failures.
+	Crashes []Crash
+	// DetectTimeout is how long after a crash the failure becomes
+	// observable to peers blocked on the dead rank. Zero selects
+	// DefaultDetectTimeout.
+	DetectTimeout simtime.Duration
 
 	// Stragglers lists slow ranks.
 	Stragglers []Straggler
@@ -136,6 +157,12 @@ const (
 // Spec.AckTimeout is zero.
 const DefaultAckTimeout = 100 * simtime.Microsecond
 
+// DefaultDetectTimeout is the crash-detection latency used when
+// Spec.DetectTimeout is zero: long enough that transient protocol waits
+// (an ack timeout, a backoff) do not read as death, short against any
+// collective of interesting size.
+const DefaultDetectTimeout = 200 * simtime.Microsecond
+
 // anyLoss reports whether any message class can be dropped.
 func (s *Spec) anyLoss() bool {
 	return s.EagerLoss > 0 || s.RTSLoss > 0 || s.CTSLoss > 0 || s.DataLoss > 0
@@ -147,8 +174,8 @@ func (s *Spec) Active() bool {
 	if s == nil {
 		return false
 	}
-	return s.anyLoss() || len(s.LinkFaults) > 0 || len(s.Stragglers) > 0 ||
-		s.PStateDelay > 0 || s.TStateDelay > 0
+	return s.anyLoss() || len(s.LinkFaults) > 0 || len(s.Crashes) > 0 ||
+		len(s.Stragglers) > 0 || s.PStateDelay > 0 || s.TStateDelay > 0
 }
 
 // Validate rejects out-of-range probabilities, negative degradation
@@ -189,6 +216,17 @@ func (s *Spec) Validate() error {
 				lf.Link, lf.Duration)
 		}
 	}
+	for _, cr := range s.Crashes {
+		if cr.Rank < 0 {
+			return fmt.Errorf("fault: crash rank %d is negative", cr.Rank)
+		}
+		if cr.At < 0 {
+			return fmt.Errorf("fault: crash of rank %d at negative time %v", cr.Rank, cr.At)
+		}
+	}
+	if s.DetectTimeout < 0 {
+		return fmt.Errorf("fault: negative DetectTimeout")
+	}
 	for _, st := range s.Stragglers {
 		if st.Rank < 0 {
 			return fmt.Errorf("fault: straggler rank %d is negative", st.Rank)
@@ -220,6 +258,8 @@ func (s *Spec) Validate() error {
 //	eagerloss= rtsloss= ctsloss= dataloss=   per-class overrides
 //	degrade=node0-up@0.25:2ms+10ms link at 25% capacity from 2ms for 10ms
 //	linkdown=node1-up:5ms+1ms      link fully down from 5ms for 1ms
+//	crash=5@2ms                    rank 5 dies (crash-stop, permanent) at 2ms
+//	detect=200us                   failure-detection (heartbeat) timeout
 //	straggler=3@1.5                rank 3 runs 1.5x slower
 //	jitter=0.2                     ±20% per-call jitter on stragglers
 //	pdelay=50us tdelay=20us        extra P-/T-state transition settle time
@@ -227,8 +267,8 @@ func (s *Spec) Validate() error {
 //	retry=7                        retransmit budget (IB RC Retry Count)
 //	acktimeout=100us               base retransmission timeout
 //
-// degrade, linkdown and straggler may repeat. Durations use Go syntax
-// (ns, us, ms, s).
+// degrade, linkdown, crash and straggler may repeat. Durations use Go
+// syntax (ns, us, ms, s).
 func Parse(src string) (*Spec, error) {
 	s := &Spec{Seed: 1}
 	retrySet := false
@@ -267,6 +307,19 @@ func Parse(src string) (*Spec, error) {
 			var lf LinkFault
 			lf, err = parseLinkFault(val, false)
 			s.LinkFaults = append(s.LinkFaults, lf)
+		case "crash":
+			name, at, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: crash %q (want RANK@TIME)", val)
+			}
+			cr := Crash{}
+			cr.Rank, err = strconv.Atoi(name)
+			if err == nil {
+				cr.At, err = parseDur(at)
+			}
+			s.Crashes = append(s.Crashes, cr)
+		case "detect":
+			s.DetectTimeout, err = parseDur(val)
 		case "straggler":
 			name, factor, ok := strings.Cut(val, "@")
 			if !ok {
@@ -390,6 +443,12 @@ func (s *Spec) String() string {
 			add("degrade=%s@%g:%s+%s", lf.Link, lf.Factor, durStr(lf.Start), durStr(lf.Duration))
 		}
 	}
+	for _, cr := range s.Crashes {
+		add("crash=%d@%s", cr.Rank, durStr(cr.At))
+	}
+	if s.DetectTimeout > 0 {
+		add("detect=%s", durStr(s.DetectTimeout))
+	}
 	for _, st := range s.Stragglers {
 		add("straggler=%d@%g", st.Rank, st.Slowdown)
 	}
@@ -416,6 +475,38 @@ func (s *Spec) String() string {
 
 func durStr(d simtime.Duration) string {
 	return time.Duration(d).String()
+}
+
+// CrashSchedule returns the effective crash schedule: one entry per rank
+// (the earliest scheduled time wins), sorted by rank. The deterministic
+// order matters — the mpi layer turns each entry into an engine event, and
+// event identity includes scheduling order.
+func (s *Spec) CrashSchedule() []Crash {
+	if s == nil || len(s.Crashes) == 0 {
+		return nil
+	}
+	earliest := map[int]simtime.Duration{}
+	for _, cr := range s.Crashes {
+		at, seen := earliest[cr.Rank]
+		if !seen || cr.At < at {
+			earliest[cr.Rank] = cr.At
+		}
+	}
+	out := make([]Crash, 0, len(earliest))
+	for rank, at := range earliest {
+		out = append(out, Crash{Rank: rank, At: at})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// Detect returns the failure-detection latency (DefaultDetectTimeout when
+// unset).
+func (s *Spec) Detect() simtime.Duration {
+	if s == nil || s.DetectTimeout <= 0 {
+		return DefaultDetectTimeout
+	}
+	return s.DetectTimeout
 }
 
 // StragglerRanks returns the straggler ranks ascending (deduplicated).

@@ -23,6 +23,9 @@ type Comm struct {
 	// opSeq numbers collective operations on this communicator, again
 	// kept consistent by congruent calls.
 	opSeq int
+	// agreeSeq numbers AgreeFailures calls (see ulfm.go), congruent like
+	// opSeq.
+	agreeSeq int
 }
 
 // CommWorld returns the communicator containing every rank of the job.
@@ -65,7 +68,14 @@ func (c *Comm) Sub(commRanks []int) *Comm {
 	me := -1
 	for i, cr := range commRanks {
 		if cr < 0 || cr >= len(c.group) {
-			panic(fmt.Sprintf("mpi: Sub rank %d outside communicator of size %d", cr, len(c.group)))
+			// A malformed subset is a programming error in the caller's
+			// schedule, but it must not crash the host process: surface
+			// it through the engine's failure report (the deadlock/
+			// protocol-error path) and drop the caller out, as if it had
+			// passed MPI_UNDEFINED.
+			c.r.world.eng.Fail(fmt.Errorf(
+				"mpi: Sub rank %d outside communicator of size %d", cr, len(c.group)))
+			return nil
 		}
 		group[i] = c.group[cr]
 		if group[i] == c.r.id {
@@ -131,46 +141,104 @@ func (c *Comm) PairTag(block, a, b int) int {
 	return block + a*len(c.group) + b
 }
 
-// Isend starts a nonblocking send to a communicator rank.
+// Isend starts a nonblocking send to a communicator rank. On a revoked
+// communicator the operation fails at initiation (check Err); otherwise
+// the request's wait is failure-aware toward both the peer and this
+// communicator's revocation.
 func (c *Comm) Isend(dst int, bytes int64, tag int) *Request {
-	return c.r.Isend(c.group[dst], bytes, tag)
+	if c.Revoked() {
+		return errorRequest(c.r, &CommRevokedError{Comm: c.id, Op: "Isend"})
+	}
+	q := c.r.Isend(c.group[dst], bytes, tag)
+	q.comm = c
+	return q
 }
 
-// Irecv posts a nonblocking receive from a communicator rank.
+// Irecv posts a nonblocking receive from a communicator rank (see Isend
+// for revocation and failure-awareness).
 func (c *Comm) Irecv(src int, bytes int64, tag int) *Request {
-	return c.r.Irecv(c.group[src], bytes, tag)
+	if c.Revoked() {
+		return errorRequest(c.r, &CommRevokedError{Comm: c.id, Op: "Irecv"})
+	}
+	q := c.r.Irecv(c.group[src], bytes, tag)
+	q.comm = c
+	return q
 }
 
-// Send is a blocking send to a communicator rank.
-func (c *Comm) Send(dst int, bytes int64, tag int) { c.r.Send(c.group[dst], bytes, tag) }
+// Send is a blocking send to a communicator rank. The error is nil for a
+// completed send; a dead peer or revoked communicator surfaces as a
+// failure error (IsFailure).
+func (c *Comm) Send(dst int, bytes int64, tag int) error {
+	q := c.Isend(dst, bytes, tag)
+	q.Wait()
+	return q.Err()
+}
 
-// Recv is a blocking receive from a communicator rank.
-func (c *Comm) Recv(src int, bytes int64, tag int) { c.r.Recv(c.group[src], bytes, tag) }
+// Recv is a blocking receive from a communicator rank (errors as in Send).
+func (c *Comm) Recv(src int, bytes int64, tag int) error {
+	q := c.Irecv(src, bytes, tag)
+	q.Wait()
+	return q.Err()
+}
 
-// SendRecv exchanges with communicator ranks dst and src.
-func (c *Comm) SendRecv(dst int, sendBytes int64, src int, recvBytes int64, tag int) {
-	c.r.SendRecv(c.group[dst], sendBytes, c.group[src], recvBytes, tag)
+// SendRecv exchanges with communicator ranks dst and src (errors as in
+// Send; the send's error wins when both fail).
+func (c *Comm) SendRecv(dst int, sendBytes int64, src int, recvBytes int64, tag int) error {
+	rq := c.Irecv(src, recvBytes, tag)
+	sq := c.Isend(dst, sendBytes, tag)
+	sq.Wait()
+	rq.Wait()
+	if sq.Err() != nil {
+		return sq.Err()
+	}
+	return rq.Err()
 }
 
 // Exchange runs the canonical progression of one schedule step that both
 // sends and receives: post the receive, start the send, then complete
 // send before receive. Every collective exchange — imperative or executed
 // from a communication plan — goes through this one sequence, so the two
-// paths progress (and therefore time and trace) identically.
-func (c *Comm) Exchange(sendTo int, sendBytes int64, sendTag int, recvFrom int, recvBytes int64, recvTag int) {
+// paths progress (and therefore time and trace) identically. Errors as in
+// SendRecv.
+func (c *Comm) Exchange(sendTo int, sendBytes int64, sendTag int, recvFrom int, recvBytes int64, recvTag int) error {
 	rq := c.Irecv(recvFrom, recvBytes, recvTag)
 	sq := c.Isend(sendTo, sendBytes, sendTag)
 	WaitAll(sq, rq)
+	if sq.Err() != nil {
+		return sq.Err()
+	}
+	return rq.Err()
 }
 
-// SendValue is SendValue addressed by communicator rank.
+// SendValue is SendValue addressed by communicator rank; the wait is
+// failure-aware like every communicator operation.
 func (c *Comm) SendValue(dst int, bytes int64, tag int, v float64) error {
-	return c.r.SendValue(c.group[dst], bytes, tag, v)
+	q := c.Isend(dst, bytes, tag)
+	if q.Err() != nil {
+		return q.Err()
+	}
+	c.r.world.putWire(c.r.id, c.group[dst], tag, v)
+	q.Wait()
+	return q.Err()
 }
 
-// RecvValue is RecvValue addressed by communicator rank.
+// RecvValue is RecvValue addressed by communicator rank (failure-aware as
+// in SendValue).
 func (c *Comm) RecvValue(src int, bytes int64, tag int) (float64, error) {
-	return c.r.RecvValue(c.group[src], bytes, tag)
+	q := c.Irecv(src, bytes, tag)
+	if q.Err() != nil {
+		return 0, q.Err()
+	}
+	q.Wait()
+	if err := q.Err(); err != nil {
+		return 0, err
+	}
+	v, ok := c.r.world.takeWire(c.group[src], c.r.id, tag)
+	if !ok {
+		return 0, fmt.Errorf("mpi: rank %d: no wire value from %d tag %d",
+			c.r.id, c.group[src], tag)
+	}
+	return v, nil
 }
 
 // NodeOf returns the node hosting a communicator rank.

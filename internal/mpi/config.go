@@ -157,6 +157,12 @@ func (c Config) Validate() error {
 					st.Rank, c.NProcs)
 			}
 		}
+		for _, cr := range c.Fault.Crashes {
+			if cr.Rank >= c.NProcs {
+				return fmt.Errorf("mpi: fault crash rank %d outside job of %d ranks",
+					cr.Rank, c.NProcs)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,48 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PeerFailedError reports that a blocking wait could not complete because
+// the peer rank died (crash-stop) and the failure detector flagged it
+// after the detection timeout. It is the MPI_ERR_PROC_FAILED of the
+// ULFM-style recovery layer: the caller's communicator is still usable
+// toward live members, but the operation against the dead peer is lost.
+type PeerFailedError struct {
+	// Peer is the global rank id of the dead peer.
+	Peer int
+	// Op names the wait that detected the failure.
+	Op string
+}
+
+func (e *PeerFailedError) Error() string {
+	return fmt.Sprintf("mpi: peer rank %d failed (detected in %s)", e.Peer, e.Op)
+}
+
+// CommRevokedError reports an operation on (or interrupted by the
+// revocation of) a revoked communicator — the MPI_ERR_REVOKED of the
+// recovery layer. Revocation is how one member that observed a failure
+// forces every other member out of its blocking waits so the group can
+// reach the agreement step together.
+type CommRevokedError struct {
+	// Comm is the communicator's tag-space id.
+	Comm int
+	// Op names the operation or wait the revocation interrupted.
+	Op string
+}
+
+func (e *CommRevokedError) Error() string {
+	return fmt.Sprintf("mpi: communicator %d revoked (in %s)", e.Comm, e.Op)
+}
+
+// IsFailure reports whether err stems from a rank failure or a revoked
+// communicator — the error class a ULFM-style recovery path handles by
+// revoking, agreeing on the failed set, shrinking, and retrying. Other
+// errors (argument mistakes, protocol bugs) are not recoverable this way.
+func IsFailure(err error) bool {
+	var pf *PeerFailedError
+	var cr *CommRevokedError
+	return errors.As(err, &pf) || errors.As(err, &cr)
+}

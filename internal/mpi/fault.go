@@ -110,7 +110,7 @@ func (r *Rank) SendValue(dst int, bytes int64, tag int, v float64) error {
 	}
 	r.world.putWire(r.id, dst, tag, v)
 	q.Wait()
-	return nil
+	return q.Err()
 }
 
 // RecvValue is Recv returning the value the matching SendValue attached.
@@ -120,6 +120,9 @@ func (r *Rank) RecvValue(src int, bytes int64, tag int) (float64, error) {
 		return 0, q.Err()
 	}
 	q.Wait()
+	if err := q.Err(); err != nil {
+		return 0, err
+	}
 	v, ok := r.world.takeWire(src, r.id, tag)
 	if !ok {
 		return 0, fmt.Errorf("mpi: rank %d: no wire value from %d tag %d", r.id, src, tag)

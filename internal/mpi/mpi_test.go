@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"pacc/internal/simtime"
@@ -374,28 +375,27 @@ func TestTagMatching(t *testing.T) {
 	}
 }
 
-func TestRecvSizeMismatchPanics(t *testing.T) {
+func TestRecvSizeMismatchError(t *testing.T) {
 	cfg := testConfig()
 	w := mustWorld(t, cfg)
-	panicked := false
+	var recvErr error
 	w.Launch(func(r *Rank) {
-		defer func() {
-			if recover() != nil {
-				panicked = true
-			}
-		}()
 		switch r.ID() {
 		case 0:
 			r.Send(2, 100, 1)
 		case 2:
-			r.Recv(0, 999, 1)
+			recvErr = r.Recv(0, 999, 1)
 		}
 	})
-	// The panic unwinds rank 2's goroutine; engine deadlock-reports the
-	// stuck state or completes — either way the flag must be set.
-	_, _ = w.Run()
-	if !panicked {
-		t.Fatal("size mismatch did not panic")
+	// The mismatch is a protocol bug: it must surface both on the
+	// receive's error and through the engine's failure report — never as
+	// a process panic.
+	_, runErr := w.Run()
+	if recvErr == nil || !strings.Contains(recvErr.Error(), "size mismatch") {
+		t.Fatalf("recv error = %v, want size mismatch", recvErr)
+	}
+	if runErr == nil || !strings.Contains(runErr.Error(), "size mismatch") {
+		t.Fatalf("run error = %v, want size mismatch", runErr)
 	}
 }
 

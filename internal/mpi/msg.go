@@ -48,7 +48,10 @@ type sendState struct {
 
 // msgSpan opens an async message-lifecycle span on the sender's timeline
 // and returns a closure that ends it; done futures complete in event
-// context, so the closure is handed to Future.Then. Returns nil when
+// context, so the closure is handed to Future.Then. The closure is
+// idempotent: a wait abandoned by failure detection closes the span
+// immediately, and the no-op second call keeps a transfer that still
+// completes afterwards from double-ending it. Returns nil when
 // observability is off.
 func (r *Rank) msgSpan(kind string, dst int, bytes int64) func() {
 	b := r.world.obs
@@ -57,7 +60,14 @@ func (r *Rank) msgSpan(kind string, dst int, bytes int64) func() {
 	}
 	name := fmt.Sprintf("%s %s %d→%d", kind, obs.SizeLabel(bytes), r.id, dst)
 	id := b.AsyncBegin(r.track, "mpi", name, nil)
-	return func() { b.AsyncEnd(r.track, "mpi", name, id) }
+	ended := false
+	return func() {
+		if ended {
+			return
+		}
+		ended = true
+		b.AsyncEnd(r.track, "mpi", name, id)
+	}
 }
 
 // pendingRecv is a posted receive awaiting its match.
@@ -78,6 +88,15 @@ type mailbox struct {
 // deliver runs in event context when a message (eager payload or RTS)
 // reaches dst's node: match a posted receive or queue as unexpected.
 func (w *World) deliver(dst int, m *inMsg) {
+	if w.isDead(dst) {
+		// Crash-stop: the dead rank's HCA is gone; the message vanishes
+		// instead of matching. Senders blocked on the outcome detect the
+		// failure through awaitFT.
+		if b := w.obs; b != nil {
+			b.Add(obs.CtrFaultMsgsToDead, 1)
+		}
+		return
+	}
 	box := &w.ranks[dst].box
 	for i, pr := range box.pending {
 		if pr.src == m.src && pr.tag == m.tag {
@@ -113,6 +132,12 @@ func (w *World) hostCost(bytes int64) simtime.Duration {
 // notify the sender (shared-memory path) or trigger the payload transfer
 // (network path).
 func (w *World) sendCTS(st *sendState) {
+	if w.isDead(st.src) {
+		// The sender died between posting the RTS and the match: no CPU
+		// is left to observe the CTS or feed the HCA, so the transfer
+		// never starts and the receiver's wait detects the failure.
+		return
+	}
 	if st.intraShm {
 		// The receiver's match flag flips in shared memory; the
 		// sender observes it after a notification delay.
@@ -177,18 +202,27 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 			cts:      simtime.NewFuture(w.eng),
 			dataDone: simtime.NewFuture(w.eng),
 		}
-		if end := r.msgSpan("rdv-shm", dst, bytes); end != nil {
+		end := r.msgSpan("rdv-shm", dst, bytes)
+		if end != nil {
 			st.dataDone.Then(end)
 		}
 		m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: rtsMsg, snd: st}
 		w.eng.After(w.cfg.IntraStartup, func() { w.deliver(dst, m) })
-		return &Request{r: r, wait: func() {
+		q := &Request{r: r}
+		q.wait = func() error {
 			restore := r.p2pScaleDown(st.cts)
-			r.await(st.cts, "shm rendezvous cts")
+			defer restore()
+			if err := r.awaitFT(st.cts, "shm rendezvous cts", dst, q.comm); err != nil {
+				if end != nil {
+					end()
+				}
+				return err
+			}
 			r.copySleep(w.cfg.Shm.CopyTime(bytes, 1.0))
 			st.dataDone.Complete()
-			restore()
-		}}
+			return nil
+		}
+		return q
 	}
 
 	// Network path (inter-node, or intra-node loopback in blocking mode).
@@ -213,14 +247,23 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 		cts:      simtime.NewFuture(w.eng),
 		dataDone: simtime.NewFuture(w.eng),
 	}
-	if end := r.msgSpan("rdv", dst, bytes); end != nil {
+	end := r.msgSpan("rdv", dst, bytes)
+	if end != nil {
 		st.dataDone.Then(end)
 	}
 	m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: rtsMsg, snd: st}
 	w.netFlow(fault.RTS, r.id, dst, 0, seq, func() { w.deliver(dst, m) })
-	return &Request{r: r, wait: func() {
-		r.await(st.dataDone, "rendezvous data")
-	}}
+	q := &Request{r: r}
+	q.wait = func() error {
+		if err := r.awaitFT(st.dataDone, "rendezvous data", dst, q.comm); err != nil {
+			if end != nil {
+				end()
+			}
+			return err
+		}
+		return nil
+	}
+	return q
 }
 
 // Irecv posts a nonblocking receive for a message of exactly bytes from
@@ -252,7 +295,8 @@ func (r *Rank) Irecv(src int, bytes int64, tag int) *Request {
 	if pr.msg == nil {
 		box.pending = append(box.pending, pr)
 	}
-	return &Request{r: r, wait: func() {
+	q := &Request{r: r}
+	q.wait = func() error {
 		// §VIII power-aware p2p: an intra-node rendezvous-sized
 		// receive waits at fmin (the wait is event-driven, so only
 		// the two DVFS transitions cost time).
@@ -261,24 +305,37 @@ func (r *Rank) Irecv(src int, bytes int64, tag int) *Request {
 			bytes > w.cfg.EagerThreshold {
 			restore = r.p2pScaleDown(pr.match)
 		}
-		r.await(pr.match, "recv match")
+		defer restore()
+		if err := r.awaitFT(pr.match, "recv match", src, q.comm); err != nil {
+			return err
+		}
 		m := pr.msg
 		if m.bytes != bytes {
-			panic(fmt.Sprintf("mpi: rank %d recv size mismatch from %d tag %d: posted %d, got %d",
-				r.id, src, tag, bytes, m.bytes))
+			// A protocol bug, not a recoverable fault: surface it
+			// through the engine's failure report (like a deadlock or
+			// starved flow) and on the request, instead of panicking.
+			err := fmt.Errorf("mpi: rank %d recv size mismatch from %d tag %d: posted %d, got %d",
+				r.id, src, tag, bytes, m.bytes)
+			w.eng.Fail(err)
+			return err
 		}
 		switch m.kind {
 		case eagerMsg:
-			r.await(m.arrived, "recv payload")
+			if err := r.awaitFT(m.arrived, "recv payload", src, q.comm); err != nil {
+				return err
+			}
 			if m.intraShm {
 				// Copy out of the shared region.
 				r.copySleep(w.cfg.Shm.CopyTime(m.bytes, 1.0))
 			}
 		case rtsMsg:
-			r.await(m.snd.dataDone, "recv rendezvous data")
+			if err := r.awaitFT(m.snd.dataDone, "recv rendezvous data", src, q.comm); err != nil {
+				return err
+			}
 		}
-		restore()
-	}}
+		return nil
+	}
+	return q
 }
 
 // Send is a blocking send: Isend followed by Wait. The error reports

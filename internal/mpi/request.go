@@ -4,8 +4,12 @@ package mpi
 // the rank that created the request (MPI semantics); progression beyond
 // the initiation happens inside Wait or in simulation event context.
 type Request struct {
-	r    *Rank
-	wait func()
+	r *Rank
+	// comm, when the operation was issued through a communicator, lets
+	// the failure-aware wait watch that communicator's revocation signal
+	// alongside the peer's failure signal.
+	comm *Comm
+	wait func() error
 	done bool
 	err  error
 }
@@ -22,19 +26,24 @@ func errorRequest(r *Rank, err error) *Request {
 	return &Request{r: r, done: true, err: err}
 }
 
-// Wait blocks until the operation completes. Calling Wait twice is a
-// no-op, as is waiting on a request that failed initiation (check Err).
+// Wait blocks until the operation completes or fails. Calling Wait twice
+// is a no-op, as is waiting on a request that failed initiation (check
+// Err).
 func (q *Request) Wait() {
 	if q.done {
 		return
 	}
-	q.wait()
+	if err := q.wait(); err != nil && q.err == nil {
+		q.err = err
+	}
 	q.done = true
 }
 
-// Err reports the initiation error of the request (nil for a valid
-// operation). MPI-style argument mistakes — an out-of-range peer, a
-// negative size — surface here instead of panicking.
+// Err reports the request's error: an initiation mistake (an out-of-range
+// peer, a negative size — MPI-style argument errors instead of panics) or
+// a completion failure (a dead peer detected mid-wait, a revoked
+// communicator). Valid after initiation for the former, after Wait for
+// the latter.
 func (q *Request) Err() error { return q.err }
 
 // Done reports whether Wait has completed (or was never needed).

@@ -1,0 +1,176 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"pacc/internal/obs"
+	"pacc/internal/simtime"
+)
+
+// This file is the ULFM-style recovery API, modeled on MPI's User-Level
+// Failure Mitigation chapter: Revoke forces every member of a communicator
+// out of its blocking waits, AgreeFailures is the fault-tolerant agreement
+// (MPI_Comm_agree) that makes all survivors converge on one failed set,
+// and Shrink builds the survivor communicator. The collective layer's
+// resilient runners drive the canonical loop:
+//
+//	err := collective(comm)          // fails with PeerFailed/CommRevoked
+//	if failure { comm.Revoke() }     // wake everyone still blocked
+//	failed := comm.AgreeFailures()   // all survivors see the same set
+//	comm = comm.Shrink(failed)       // and rebuild on the survivors
+//
+// Agreement is world-mediated but SPMD-deterministic: every member calls
+// AgreeFailures congruently, instances are keyed by (communicator id,
+// per-communicator call counter), and one instance resolves exactly when
+// every still-alive group member has joined — a member's death is itself a
+// join, delivered by the crash event. The resolved failed set is the
+// world's dead set restricted to the group at resolution instant, so all
+// participants return identical answers by construction.
+
+// agreeKey identifies one agreement instance: the communicator's congruent
+// tag-space id plus the communicator-local call counter (congruent because
+// AgreeFailures, like every collective, is called SPMD).
+type agreeKey struct {
+	comm, seq int
+}
+
+// agreeState is one agreement instance.
+type agreeState struct {
+	// group is the communicator's global-rank membership.
+	group []int
+	// joined marks members that called AgreeFailures.
+	joined map[int]bool
+	// done completes when the instance resolves (plus the protocol
+	// latency charge).
+	done *simtime.Future
+	// failedSet is the agreed failed set (global ranks), fixed at
+	// resolution.
+	failedSet map[int]bool
+	resolved  bool
+}
+
+// maybeResolveAgreement resolves st if every group member has either
+// joined or died. Called when a member joins and when any rank crashes
+// (the crash may have been the last missing vote).
+func (w *World) maybeResolveAgreement(st *agreeState) {
+	if st == nil || st.resolved {
+		return
+	}
+	alive := 0
+	for _, g := range st.group {
+		if w.isDead(g) {
+			continue
+		}
+		if !st.joined[g] {
+			return
+		}
+		alive++
+	}
+	st.resolved = true
+	st.failedSet = map[int]bool{}
+	for _, g := range st.group {
+		if w.isDead(g) {
+			st.failedSet[g] = true
+		}
+	}
+	// Protocol latency: a fault-tolerant agreement is two binomial sweeps
+	// (gather a vote, broadcast the verdict) over the survivors. The
+	// charge is deterministic — a function of the survivor count only —
+	// so every participant observes the same resolution instant.
+	rounds := 0
+	for n := 1; n < alive; n <<= 1 {
+		rounds++
+	}
+	delay := simtime.Duration(2*rounds) * w.cfg.InterStartup
+	w.eng.After(delay, func() { st.done.Complete() })
+}
+
+// AgreeFailures is a fault-tolerant agreement on the failed membership of
+// this communicator (MPI_Comm_agree specialized to the failure mask): it
+// blocks until every still-alive member has entered the agreement, then
+// returns the communicator ranks of the dead members — the same set on
+// every caller. It must be called congruently by all members (SPMD), and
+// it works on a revoked communicator: agreement is exactly the operation
+// that must survive revocation.
+func (c *Comm) AgreeFailures() []int {
+	r := c.r
+	w := r.world
+	w.ftRequire()
+	key := agreeKey{comm: c.id, seq: c.agreeSeq}
+	c.agreeSeq++
+	st := w.ft.agree[key]
+	if st == nil {
+		st = &agreeState{
+			group:  append([]int(nil), c.group...),
+			joined: map[int]bool{},
+			done:   simtime.NewFuture(w.eng),
+		}
+		w.ft.agree[key] = st
+		w.ft.agreeOrder = append(w.ft.agreeOrder, key)
+	}
+	// Joining costs one control-message initiation.
+	r.busySleep(w.cfg.InterStartup)
+	st.joined[r.id] = true
+	if b := w.obs; b != nil {
+		b.Add(obs.CtrFaultAgreements, 1)
+	}
+	w.maybeResolveAgreement(st)
+	r.await(st.done, "ulfm agree")
+	var failed []int
+	for cr, g := range c.group {
+		if st.failedSet[g] {
+			failed = append(failed, cr)
+		}
+	}
+	sort.Ints(failed)
+	return failed
+}
+
+// Revoke marks the communicator revoked: every member blocked in a message
+// wait on it is released with a CommRevokedError, and subsequent
+// operations on it fail immediately. Like MPI_Comm_revoke, any member that
+// observed a failure calls it to force the whole group to the agreement
+// step; revoking an already-revoked communicator is a no-op.
+func (c *Comm) Revoke() {
+	w := c.r.world
+	w.ftRequire()
+	f := w.revokeFuture(c.id)
+	if f.IsDone() {
+		return
+	}
+	f.Complete()
+	if b := w.obs; b != nil {
+		b.Add(obs.CtrFaultCommRevokes, 1)
+		b.Instant(c.r.track, fmt.Sprintf("revoke comm %d", c.id), nil)
+	}
+}
+
+// Revoked reports whether the communicator has been revoked.
+func (c *Comm) Revoked() bool {
+	w := c.r.world
+	if w.ft == nil {
+		return false
+	}
+	f := w.ft.revoked[c.id]
+	return f != nil && f.IsDone()
+}
+
+// Shrink builds the survivor communicator: the members of c minus the
+// given failed communicator ranks, preserving order (MPI_Comm_shrink with
+// the failed set made explicit). Every survivor must call congruently with
+// the identical failed set — guaranteed when the set comes out of
+// AgreeFailures. Returns nil if the caller itself is excluded.
+func (c *Comm) Shrink(failed []int) *Comm {
+	bad := map[int]bool{}
+	for _, cr := range failed {
+		bad[cr] = true
+	}
+	keep := make([]int, 0, len(c.group))
+	for cr := range c.group {
+		if !bad[cr] {
+			keep = append(keep, cr)
+		}
+	}
+	return c.Sub(keep)
+}

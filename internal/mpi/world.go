@@ -39,6 +39,10 @@ type World struct {
 	// wire is the value side channel pairing SendValue payloads with
 	// RecvValue pickups (see fault.go).
 	wire map[wireKey][]float64
+	// ft is the crash-stop failure machinery (nil until armed by a crash
+	// schedule or first use of the ULFM-style API; see crash.go). Nil
+	// keeps every wait on the historical code path.
+	ft *ftState
 }
 
 // NewWorld validates cfg and instantiates the cluster, fabric, and power
@@ -79,6 +83,13 @@ func NewWorld(cfg Config) (*World, error) {
 		for _, lf := range cfg.Fault.LinkFaults {
 			if err := fabric.ScheduleLinkFault(lf.Link, lf.Factor, lf.Start, lf.Duration); err != nil {
 				return nil, err
+			}
+		}
+		if len(cfg.Fault.Crashes) > 0 {
+			w.ftRequire()
+			for _, cr := range cfg.Fault.CrashSchedule() {
+				rank := cr.Rank
+				w.eng.At(simtime.Time(0).Add(cr.At), func() { w.crashRank(rank) })
 			}
 		}
 		if cfg.Fault.PStateDelay > 0 || cfg.Fault.TStateDelay > 0 {
@@ -162,6 +173,12 @@ func (w *World) Launch(body func(r *Rank)) {
 	for _, r := range w.ranks {
 		rank := r
 		rank.proc = w.eng.Spawn(fmt.Sprintf("rank%d", rank.id), func(p *simtime.Proc) {
+			// A rank crashed at t=0 dies before its body runs; a rank
+			// crashed mid-run unwinds out of body via the Killed panic
+			// (recovered in Spawn), with crashRank having idled the core.
+			if w.isDead(rank.id) {
+				return
+			}
 			rank.core.SetBusy(true)
 			body(rank)
 			rank.core.SetBusy(false)

@@ -72,11 +72,20 @@ func (f *Fabric) LinkNames() []string {
 	return linkNames(f.allLinks())
 }
 
+// faultWindow is one open fault window on a link.
+type faultWindow struct {
+	factor float64
+	end    simtime.Time
+}
+
 // ScheduleLinkFault arms one fault window on the named link: from start
 // for dur the link runs at factor times its healthy capacity (factor 0
 // takes the link down entirely; senders routed over it requeue until the
 // window closes). Windows are scheduled before the simulation runs and
 // fire as ordinary engine events, so faulted runs stay deterministic.
+// Windows on the same link may overlap: while several are open the link
+// runs at the minimum of their factors, and one window closing restores
+// the minimum of the remainder, not blindly full capacity.
 func (f *Fabric) ScheduleLinkFault(name string, factor float64, start, dur simtime.Duration) error {
 	l := f.linkByName(name)
 	if l == nil {
@@ -90,18 +99,36 @@ func (f *Fabric) ScheduleLinkFault(name string, factor float64, start, dur simti
 	}
 	end := simtime.Time(0).Add(start).Add(dur)
 	f.eng.At(simtime.Time(0).Add(start), func() {
-		f.setLinkFactor(l, factor, end)
+		l.faults = append(l.faults, faultWindow{factor: factor, end: end})
+		f.applyLinkWindows(l)
 	})
 	f.eng.At(end, func() {
-		f.setLinkFactor(l, 1, 0)
+		for i, win := range l.faults {
+			if win.factor == factor && win.end == end {
+				l.faults = append(l.faults[:i], l.faults[i+1:]...)
+				break
+			}
+		}
+		f.applyLinkWindows(l)
 	})
 	return nil
 }
 
-// setLinkFactor applies one edge of a fault window: drains in-flight
-// progress at the old rates, rescales the link, and recomputes shares.
-func (f *Fabric) setLinkFactor(l *link, factor float64, downUntil simtime.Time) {
+// applyLinkWindows applies one edge of a fault window: drains in-flight
+// progress at the old rates, rescales the link to the composition of its
+// open windows, and recomputes shares.
+func (f *Fabric) applyLinkWindows(l *link) {
 	f.advance()
+	factor := 1.0
+	var downUntil simtime.Time
+	for _, win := range l.faults {
+		if win.factor < factor {
+			factor = win.factor
+		}
+		if win.factor == 0 && win.end > downUntil {
+			downUntil = win.end
+		}
+	}
 	l.adminFactor = factor
 	l.cap = l.baseCap * factor
 	l.downUntil = 0

@@ -88,6 +88,11 @@ type link struct {
 	// downUntil is when the current down window (adminFactor == 0) is
 	// scheduled to end; sends routed over a down link requeue until then.
 	downUntil simtime.Time
+	// faults holds the currently-open fault windows of the link.
+	// Overlapping windows compose: the effective adminFactor is the
+	// minimum over open windows, and a window closing restores the
+	// remaining minimum, not blindly 1.
+	faults []faultWindow
 	// bytes counts payload delivered over this link (per-link
 	// utilization accounting).
 	bytes int64

@@ -1,0 +1,105 @@
+package network
+
+import (
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+// sampleFactor records the named link's admin factor at each probe time.
+func sampleFactor(eng *simtime.Engine, f *Fabric, name string, at []simtime.Duration) []float64 {
+	out := make([]float64, len(at))
+	l := f.linkByName(name)
+	for i, d := range at {
+		i, d := i, d
+		eng.At(simtime.Time(0).Add(d), func() { out[i] = l.adminFactor })
+	}
+	return out
+}
+
+// Overlapping windows on the same link compose to the minimum of the open
+// factors, and a window closing restores the minimum of the remainder —
+// not blindly full capacity.
+func TestOverlappingWindowsComposeToMinimum(t *testing.T) {
+	eng, f := newTestFabric(t, 2)
+	ms := simtime.Millisecond
+	if err := f.ScheduleLinkFault("node0-up", 0.5, 1*ms, 4*ms); err != nil { // [1ms, 5ms)
+		t.Fatal(err)
+	}
+	if err := f.ScheduleLinkFault("node0-up", 0, 2*ms, 4*ms); err != nil { // [2ms, 6ms) down
+		t.Fatal(err)
+	}
+	got := sampleFactor(eng, f, "node0-up", []simtime.Duration{
+		ms / 2,          // before both
+		3 * ms / 2,      // degrade only
+		3 * ms,          // overlap: down wins
+		11 * ms / 2,     // degrade window closed, down still open
+		13 * ms / 2,     // both closed
+	})
+	runAll(t, eng)
+	want := []float64{1, 0.5, 0, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: factor %g, want %g (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// A nested deeper degradation ending must restore the enclosing window's
+// factor, not full capacity.
+func TestNestedWindowRestoresEnclosingFactor(t *testing.T) {
+	eng, f := newTestFabric(t, 2)
+	ms := simtime.Millisecond
+	if err := f.ScheduleLinkFault("node0-up", 0.5, 0, 4*ms); err != nil { // [0, 4ms)
+		t.Fatal(err)
+	}
+	if err := f.ScheduleLinkFault("node0-up", 0.25, 1*ms, 1*ms); err != nil { // [1ms, 2ms)
+		t.Fatal(err)
+	}
+	got := sampleFactor(eng, f, "node0-up", []simtime.Duration{
+		ms / 2, 3 * ms / 2, 3 * ms, 5 * ms,
+	})
+	runAll(t, eng)
+	want := []float64{0.5, 0.25, 0.5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: factor %g, want %g (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// Zero-length (and negative) windows are rejected up front rather than
+// leaving a window that opens and never closes.
+func TestZeroLengthWindowRejected(t *testing.T) {
+	_, f := newTestFabric(t, 2)
+	if err := f.ScheduleLinkFault("node0-up", 0.5, simtime.Millisecond, 0); err == nil {
+		t.Fatal("zero-length window accepted")
+	}
+	if err := f.ScheduleLinkFault("node0-up", 0.5, simtime.Millisecond, -simtime.Microsecond); err == nil {
+		t.Fatal("negative-length window accepted")
+	}
+}
+
+// A window opening at t=0 must degrade the very first flow, and a window
+// scheduled to close long after the last flow finishes must not wedge the
+// run: the engine drains the close event and restores the link.
+func TestWindowAtTimeZeroAndPastRunEnd(t *testing.T) {
+	const bytes = 1 << 20
+	eng, f := newTestFabric(t, 2)
+	if err := f.ScheduleLinkFault("node0-up", 0.5, 0, 1000*simtime.Second); err != nil {
+		t.Fatal(err)
+	}
+	fl := f.StartFlow(0, 1, bytes)
+	var done bool
+	eng.Spawn("w", func(p *simtime.Proc) {
+		fl.Done().Await(p, "flow")
+		done = true
+	})
+	runAll(t, eng)
+	if !done {
+		t.Fatal("flow did not finish under an open window")
+	}
+	if l := f.linkByName("node0-up"); l.adminFactor != 1 || len(l.faults) != 0 {
+		t.Fatalf("after the close event drained: factor %g, %d open windows", l.adminFactor, len(l.faults))
+	}
+}

@@ -98,9 +98,18 @@ const (
 	CtrFaultRetriesExhausted = "fault.msg.retries_exhausted"
 	CtrFaultPowerDelays      = "fault.power.delays"
 	DurFaultPowerDelay       = "fault.power.delay"
+	// Crash-stop failure and ULFM-style recovery counters.
+	CtrFaultRankCrashes   = "fault.rank.crashes"
+	CtrFaultMsgsToDead    = "fault.msg.to_dead"
+	CtrFaultPeerFailures  = "fault.peer.failures_detected"
+	CtrFaultCommRevokes   = "fault.comm.revokes"
+	CtrFaultAgreements    = "fault.comm.agreements"
 	// CtrCollectiveFallbacks counts collectives that abandoned their
 	// topology-aware schedule for a degradation-tolerant variant.
 	CtrCollectiveFallbacks = "collective.fallbacks"
+	// CtrCollectiveRecoveries counts resilient-collective rounds that
+	// shrank the communicator and retried after a failure.
+	CtrCollectiveRecoveries = "collective.recoveries"
 )
 
 // TIDFault is the network-process timeline row carrying fault-window
@@ -282,6 +291,44 @@ func (b *Bus) AsyncEnd(t Track, cat, name string, id uint64) {
 	b.events = append(b.events, event{
 		name: name, cat: cat, ph: 'e', ts: b.eng.Now(), track: t, id: id,
 	})
+}
+
+// UnbalancedAsyncs returns, per track, the names of async spans that were
+// begun but never ended (insertion order). Balanced instrumentation — every
+// message lifecycle closed — returns an empty map. The chaos harness uses
+// it as an invariant, excusing the tracks of crashed ranks: a rank that
+// dies mid-transfer legitimately leaves its in-flight spans open
+// (tombstones of the crash), while an open span on a survivor's track
+// means a leaked lifecycle. Nil-safe.
+func (b *Bus) UnbalancedAsyncs(skip func(Track) bool) map[Track][]string {
+	if b == nil {
+		return nil
+	}
+	type openKey struct {
+		track Track
+		id    uint64
+	}
+	open := map[openKey]string{}
+	var order []openKey
+	for _, ev := range b.events {
+		k := openKey{track: ev.track, id: ev.id}
+		switch ev.ph {
+		case 'b':
+			open[k] = ev.name
+			order = append(order, k)
+		case 'e':
+			delete(open, k)
+		}
+	}
+	out := map[Track][]string{}
+	for _, k := range order {
+		name, stillOpen := open[k]
+		if !stillOpen || (skip != nil && skip(k.track)) {
+			continue
+		}
+		out[k.track] = append(out[k.track], name)
+	}
+	return out
 }
 
 // Add accrues delta into a named counter.

@@ -71,14 +71,22 @@ func Execute(p *Plan, env Env) error {
 	}
 
 	for i, s := range p.Steps[me] {
+		// A communication step that fails — a peer died mid-schedule, the
+		// communicator was revoked — aborts the whole schedule: the
+		// remaining steps would block on a schedule the group is no
+		// longer executing. The error wraps the mpi failure so a
+		// resilient runner can recognize it (mpi.IsFailure), agree,
+		// shrink, rebuild and re-verify a plan for the survivors, and
+		// re-execute.
+		var opErr error
 		switch s.Op {
 		case OpSend:
-			stepSpan(s, func() { c.Send(s.Peer, s.Bytes, block+s.Tag) })
+			stepSpan(s, func() { opErr = c.Send(s.Peer, s.Bytes, block+s.Tag) })
 		case OpRecv:
-			stepSpan(s, func() { c.Recv(s.Peer, s.Bytes, block+s.Tag) })
+			stepSpan(s, func() { opErr = c.Recv(s.Peer, s.Bytes, block+s.Tag) })
 		case OpSendRecv:
 			stepSpan(s, func() {
-				c.Exchange(s.SendTo, s.SendBytes, block+s.SendTag,
+				opErr = c.Exchange(s.SendTo, s.SendBytes, block+s.SendTag,
 					s.RecvFrom, s.RecvBytes, block+s.RecvTag)
 			})
 		case OpReduce:
@@ -123,6 +131,9 @@ func Execute(p *Plan, env Env) error {
 			}
 		default:
 			return fmt.Errorf("plan %q: rank %d step %d has unknown op %v", p.Name, me, i, s.Op)
+		}
+		if opErr != nil {
+			return fmt.Errorf("plan %q: rank %d step %d (%v): %w", p.Name, me, i, s.Op, opErr)
 		}
 	}
 	if len(phases) != 0 {

@@ -13,6 +13,9 @@ type Proc struct {
 	resume chan struct{}
 	park   chan struct{}
 	done   bool
+	// killed marks a process condemned by Kill; its next resume unwinds
+	// the body with a Killed panic instead of continuing.
+	killed bool
 	// blockedOn describes what the process is waiting for; used in
 	// deadlock reports.
 	blockedOn string
@@ -37,10 +40,12 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 			// or the engine would block forever on the park
 			// channel. The panic is surfaced as a Run error.
 			if r := recover(); r != nil {
-				if e.panicErr == nil {
-					e.panicErr = &ProcPanicError{Proc: p.name, Value: r}
+				if _, wasKilled := r.(Killed); !wasKilled {
+					if e.panicErr == nil {
+						e.panicErr = &ProcPanicError{Proc: p.name, Value: r}
+					}
+					e.stopped = true
 				}
-				e.stopped = true
 			}
 			p.done = true
 			p.park <- struct{}{}
@@ -63,6 +68,25 @@ func (e *ProcPanicError) Error() string {
 	return fmt.Sprintf("simtime: process %s panicked: %v", e.Proc, e.Value)
 }
 
+// Killed is the value a killed process's unwind panics with. Spawn's
+// recovery recognizes it and retires the goroutine silently — a kill is a
+// modeled fault (crash-stop rank failure), not a logic error, so it is not
+// recorded as a ProcPanicError. Bodies that must release external state on
+// a crash can recover Killed themselves and re-panic.
+type Killed struct{}
+
+// Kill condemns the process: it is resumed at the current virtual time and
+// unwinds with a Killed panic at its current park point instead of
+// continuing its body. Killing a done or already-killed process is a
+// no-op. Must be called from event context (the process is parked).
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	p.eng.At(p.eng.now, func() { p.eng.runProc(p) })
+}
+
 // runProc transfers control to p and blocks until p parks again (or
 // terminates). Must only be called from event context.
 func (e *Engine) runProc(p *Proc) {
@@ -79,6 +103,10 @@ func (p *Proc) yield(reason string) {
 	p.blockedOn = reason
 	p.park <- struct{}{}
 	<-p.resume
+	if p.killed {
+		p.blockedOn = "killed"
+		panic(Killed{})
+	}
 	p.blockedOn = ""
 }
 

@@ -86,8 +86,16 @@ type (
 	FaultSpec = fault.Spec
 	// LinkFault is one scheduled link degradation/down window.
 	LinkFault = fault.LinkFault
+	// Crash schedules a permanent crash-stop failure of one rank.
+	Crash = fault.Crash
 	// Straggler marks one rank as computing slower than its peers.
 	Straggler = fault.Straggler
+	// PeerFailedError reports an operation aborted because the peer rank
+	// crashed (detected by the ack/heartbeat timeout).
+	PeerFailedError = mpi.PeerFailedError
+	// CommRevokedError reports an operation aborted because the
+	// communicator was revoked during recovery.
+	CommRevokedError = mpi.CommRevokedError
 )
 
 // Progression modes.
@@ -132,6 +140,7 @@ func NewWorld(cfg Config) (*World, error) { return mpi.NewWorld(cfg) }
 // key=value clauses, e.g.
 //
 //	"seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5;retry=7"
+//	"crash=5@2ms;detect=200us"  // rank 5 dies at 2ms, detected 200µs later
 //
 // See the fault package (and DESIGN.md) for the full clause list. The
 // returned spec validates clean and can be set on Config.Fault.
@@ -228,6 +237,32 @@ func Allreduce(c *Comm, bytes int64, opt CollectiveOptions) error {
 // AllreduceRD forces the recursive-doubling allreduce.
 func AllreduceRD(c *Comm, bytes int64, opt CollectiveOptions) error {
 	return collective.AllreduceRD(c, bytes, opt)
+}
+
+// IsFailure reports whether err is a crash-stop failure (PeerFailedError
+// or CommRevokedError) — the class of errors ULFM-style recovery consumes.
+func IsFailure(err error) bool { return mpi.IsFailure(err) }
+
+// RunResilient runs body over c with ULFM-style crash recovery: on a
+// failure every survivor revokes, agrees on the failed set, restores
+// fmax/T0, shrinks the communicator and retries body on the survivor
+// group. Returns the communicator of the successful round.
+func RunResilient(c *Comm, body func(*Comm) error) (*Comm, error) {
+	return collective.RunResilient(c, body)
+}
+
+// AllreduceSumFT is the fault-tolerant allreduce: every member
+// contributes v and the survivors of any crash-stop failures converge on
+// the sum over the final group, returned with the survivor communicator.
+func AllreduceSumFT(c *Comm, bytes int64, v float64, opt CollectiveOptions) (float64, *Comm, error) {
+	return collective.AllreduceSumFT(c, bytes, v, opt)
+}
+
+// AllreduceFT is the plan-backed fault-tolerant allreduce: every recovery
+// round rebuilds, re-verifies and re-executes a schedule for the current
+// survivor group.
+func AllreduceFT(c *Comm, bytes int64, opt CollectiveOptions) (*Comm, error) {
+	return collective.AllreduceFT(c, bytes, opt)
 }
 
 // Gather collects per-rank blocks onto root.
