@@ -108,6 +108,63 @@ var ops = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions)
 	},
 }
 
+// verifiedOps swaps an op for its self-verifying variant under -verify:
+// the ABFT-checked collectives carry a checksum shadow through the same
+// message schedule, and the loop compares every returned sum against the
+// expected value — a silently wrong result fails the benchmark run.
+var verifiedOps = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptions) error{
+	"allreduce_topo": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		got, err := pacc.AllreduceSumChecked(c, b, float64(c.Owner().ID()+1), o)
+		if err != nil {
+			return err
+		}
+		if want := groupSum(c); got != want {
+			return fmt.Errorf("verify: allreduce_topo sum %g, want %g", got, want)
+		}
+		return nil
+	},
+	"allreduce_ft": func(c *pacc.Comm, b int64, o pacc.CollectiveOptions) error {
+		got, fc, err := pacc.AllreduceSumFTChecked(c, b, float64(c.Owner().ID()+1), o)
+		if err != nil {
+			return err
+		}
+		if want := groupSum(fc); got != want {
+			return fmt.Errorf("verify: allreduce_ft sum %g, want %g over the final group", got, want)
+		}
+		return nil
+	},
+}
+
+// planVerifyOps are the plan-backed ops where -verify appends checksum
+// verification steps (OpVerify) to the built schedule instead of
+// swapping the entry point.
+var planVerifyOps = map[string]bool{
+	"allreduce":    true,
+	"allreduce_rd": true,
+}
+
+// groupSum is the expected checked-allreduce result over c's membership:
+// every member contributes its global rank id + 1.
+func groupSum(c *pacc.Comm) float64 {
+	want := 0.0
+	for i := 0; i < c.Size(); i++ {
+		want += float64(c.Global(i) + 1)
+	}
+	return want
+}
+
+func verifyOpNames() string {
+	names := make([]string, 0, len(verifiedOps)+len(planVerifyOps))
+	for k := range verifiedOps {
+		names = append(names, k)
+	}
+	for k := range planVerifyOps {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
 func opNames() string {
 	names := make([]string, 0, len(ops))
 	for k := range ops {
@@ -162,9 +219,10 @@ func main() {
 		metricsOut  = flag.String("metrics", "", "write a metrics JSON snapshot of the last size's run to this file")
 		configPath  = flag.String("config", "", "load the base cluster configuration from a JSON file")
 		dumpConfig  = flag.String("dump-config", "", "write the default configuration to this file and exit")
-		faultSpec   = flag.String("fault", "", "deterministic fault-injection spec, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5' or 'crash=5@200us;detect=100us' (crash-stop; pair with -op allreduce_ft)")
+		faultSpec   = flag.String("fault", "", "deterministic fault-injection spec, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5', 'crash=5@200us;detect=100us' (crash-stop; pair with -op allreduce_ft), or 'seed=7;corrupt=0.05;terrfactor=2;memburst=3@0.2:100us+1ms' (in-flight bit flips are ICRC-rejected and retransmitted; memory bursts need -verify to be caught)")
 		planName    = flag.String("plan", "", "communication plan: a registered builder name, or 'auto' for cost-based selection")
 		planObj     = flag.String("plan-objective", "latency", "objective for -plan auto: latency or energy")
+		verify      = flag.Bool("verify", false, "self-verify collective data every iteration: plan-backed allreduces append checksum verification steps, allreduce_topo/allreduce_ft run their ABFT-checked variants and compare the sum against the expected value")
 	)
 	flag.Parse()
 
@@ -205,6 +263,17 @@ func main() {
 		os.Exit(2)
 	}
 	opt := pacc.CollectiveOptions{Plan: *planName}
+	if *verify {
+		switch {
+		case verifiedOps[*op] != nil:
+			call = verifiedOps[*op]
+		case planVerifyOps[*op]:
+			opt.Verify = true
+		default:
+			fmt.Fprintf(os.Stderr, "osu: -verify is not supported for op %q (have: %s)\n", *op, verifyOpNames())
+			os.Exit(2)
+		}
+	}
 	switch *planObj {
 	case "latency":
 		opt.PlanObjective = pacc.SelectByLatency
@@ -236,6 +305,9 @@ func main() {
 		*procs, *ppn, *progression, mode, *iters)
 	if baseCfg.Fault != nil {
 		fmt.Printf("# fault injection: %s\n", baseCfg.Fault.String())
+	}
+	if *verify {
+		fmt.Printf("# data verification: on\n")
 	}
 	fmt.Printf("%-12s %14s %14s\n", "size(B)", "latency(us)", "cluster(W)")
 

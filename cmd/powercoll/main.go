@@ -34,7 +34,7 @@ func main() {
 		traceP  = flag.String("trace", "", "write a merged Chrome trace of an instrumented demo run to this file")
 		metricP = flag.String("metrics", "", "write a metrics JSON snapshot of the demo run to this file")
 		obsSpec = flag.String("obs", "alltoall:256K:proposed", "demo run for -trace/-metrics as op:size:mode")
-		faultP  = flag.String("fault", "", "deterministic fault-injection spec for the demo run, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms'; crash-stop syntax: 'crash=RANK@TIME;detect=DUR'")
+		faultP  = flag.String("fault", "", "deterministic fault-injection spec for the demo run, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms'; crash-stop syntax: 'crash=RANK@TIME;detect=DUR'; data corruption: 'corrupt=PROB;terrfactor=N;memburst=RANK@PROB:START+DUR' (RANK may be *)")
 		planP   = flag.String("plan", "", "communication plan for the demo run: a registered builder name, or 'auto' for cost-based selection")
 	)
 	flag.Parse()

@@ -87,7 +87,7 @@ func AllreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) (float64, er
 	opt.Power = opt.effectivePower(bytes)
 	out := v
 	timeCollective(c, opt, "allreduce_topo", bytes, func() {
-		run := func() { out = allreduceSum(c, bytes, v, opt) }
+		run := func() { out = allreduceSum(c, bytes, redVal{v: v}, opt).v }
 		if opt.Power == FreqScaling || opt.Power == Proposed {
 			withFreqScaling(c, run)
 			return
@@ -97,32 +97,39 @@ func AllreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) (float64, er
 	return out, nil
 }
 
-func allreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) float64 {
+// allreduceSum moves a redVal through the topology-aware schedule: one
+// lane for the historical unchecked call, two for the checked variant
+// (the checksum shadow rides the same messages). Accumulator writes pass
+// through the memory-corruption injector, so an active fault.MemBurst
+// can flip a mantissa bit exactly where real hardware would — in the
+// reduction buffer, after the transport's ICRC stopped watching.
+func allreduceSum(c *mpi.Comm, bytes int64, a redVal, opt Options) redVal {
+	r := c.Owner()
+	sum := corruptRed(r, a)
 	if c.Size() == 1 {
-		return v
+		return sum
 	}
 	block := c.TagBlock()
 	fallback := faultAware(c) && agreeOnFallback(c, block)
 	shmC, leadC := c.SplitByNode()
-	r := c.Owner()
 	b := r.World().Obs()
 
 	// Phase 1 (intra-node): locals reduce onto the node leader.
-	sum := v
 	timePhase(c, opt.Trace, PhaseIntra, func() {
 		if shmC.Size() <= 1 {
 			return
 		}
 		if shmC.Rank() != 0 {
-			shmC.SendValue(0, bytes, ctrlTag(block, (1<<14)+shmC.Rank()), sum)
+			sendRed(shmC, 0, bytes, ctrlTag(block, (1<<14)+shmC.Rank()), sum)
 			return
 		}
 		for i := 1; i < shmC.Size(); i++ {
-			x, err := shmC.RecvValue(i, bytes, ctrlTag(block, (1<<14)+i))
+			x, err := recvRed(shmC, i, bytes, ctrlTag(block, (1<<14)+i), a.checked)
 			if err == nil {
-				sum += x
+				sum = sum.add(x)
 			}
 			reduceOp(c, bytes, opt)
+			sum = corruptRed(r, sum)
 		}
 	})
 
@@ -153,12 +160,12 @@ func allreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) float64 {
 		}
 		if shmC.Rank() == 0 {
 			for i := 1; i < shmC.Size(); i++ {
-				shmC.SendValue(i, bytes, ctrlTag(block, (1<<15)+i), sum)
+				sendRed(shmC, i, bytes, ctrlTag(block, (1<<15)+i), sum)
 			}
 			return
 		}
-		if x, err := shmC.RecvValue(0, bytes, ctrlTag(block, (1<<15)+shmC.Rank())); err == nil {
-			sum = x
+		if x, err := recvRed(shmC, 0, bytes, ctrlTag(block, (1<<15)+shmC.Rank()), a.checked); err == nil {
+			sum = corruptRed(r, x)
 		}
 	})
 	return sum
@@ -167,52 +174,52 @@ func allreduceSum(c *mpi.Comm, bytes int64, v float64, opt Options) float64 {
 // rdSum runs recursive doubling over lc (power-of-two size): log p rounds
 // of pairwise exchange, every leader's link active every round — the
 // fastest schedule on a healthy fabric.
-func rdSum(lc *mpi.Comm, c *mpi.Comm, block int, bytes int64, v float64, opt Options) float64 {
+func rdSum(lc *mpi.Comm, c *mpi.Comm, block int, bytes int64, v redVal, opt Options) redVal {
 	n, me := lc.Size(), lc.Rank()
+	r := c.Owner()
 	for mask := 1; mask < n; mask <<= 1 {
 		peer := me ^ mask
 		tag := lc.PairTag(block, me, peer) + (1<<17)*logOf(mask)
 		rq := lc.Irecv(peer, bytes, tag)
-		lc.SendValue(peer, bytes, tag, v)
+		sendRed(lc, peer, bytes, tag, v)
 		rq.Wait()
-		if x, ok := takeWireOf(lc, peer, tag); ok {
-			v += x
+		// The Irecv/send split keeps the exchange deadlock-free; the wire
+		// lanes of the already-received message are picked up afterwards.
+		if ls, err := lc.TakeWires(peer, tag, laneCount(v.checked)); err == nil {
+			v = v.add(redOf(ls, v.checked))
 		}
 		reduceOp(c, bytes, opt)
+		v = corruptRed(r, v)
 	}
 	return v
-}
-
-// takeWireOf picks up the wire-board value of an already-received message
-// (the Irecv/SendValue split above keeps the exchange deadlock-free).
-func takeWireOf(lc *mpi.Comm, src, tag int) (float64, bool) {
-	return lc.Owner().TakeWire(lc.Global(src), tag)
 }
 
 // ringSum reduces along the neighbor ring to leader 0, then passes the
 // total back around: 2(p-1) sequential hops, but each hop occupies only
 // one uplink/downlink pair, so no transfer shares a degraded link with
 // another — the contention-minimal fallback shape.
-func ringSum(lc *mpi.Comm, c *mpi.Comm, block int, bytes int64, v float64, opt Options) float64 {
+func ringSum(lc *mpi.Comm, c *mpi.Comm, block int, bytes int64, v redVal, opt Options) redVal {
 	p, me := lc.Size(), lc.Rank()
+	r := c.Owner()
 	// Reduce: partial sums flow p-1 → p-2 → … → 0.
 	if me < p-1 {
-		x, err := lc.RecvValue(me+1, bytes, ctrlTag(block, (1<<16)+me))
+		x, err := recvRed(lc, me+1, bytes, ctrlTag(block, (1<<16)+me), v.checked)
 		if err == nil {
-			v += x
+			v = v.add(x)
 		}
 		reduceOp(c, bytes, opt)
+		v = corruptRed(r, v)
 	}
 	if me > 0 {
-		lc.SendValue(me-1, bytes, ctrlTag(block, (1<<16)+me-1), v)
+		sendRed(lc, me-1, bytes, ctrlTag(block, (1<<16)+me-1), v)
 		// Broadcast: the total flows 0 → 1 → … → p-1.
-		x, err := lc.RecvValue(me-1, bytes, ctrlTag(block, (1<<16)+(1<<10)+me))
+		x, err := recvRed(lc, me-1, bytes, ctrlTag(block, (1<<16)+(1<<10)+me), v.checked)
 		if err == nil {
-			v = x
+			v = corruptRed(r, x)
 		}
 	}
 	if me < p-1 {
-		lc.SendValue(me+1, bytes, ctrlTag(block, (1<<16)+(1<<10)+me+1), v)
+		sendRed(lc, me+1, bytes, ctrlTag(block, (1<<16)+(1<<10)+me+1), v)
 	}
 	return v
 }

@@ -89,6 +89,14 @@ type Options struct {
 	Plan string
 	// PlanObjective is the cost-model objective PlanAuto minimizes.
 	PlanObjective PlanObjective
+	// Verify turns on end-to-end ABFT verification where the call
+	// supports it: plan-backed collectives append an OpVerify checksum
+	// fold to each rank's schedule (allreduce builders), so memory-burst
+	// corruption of a reduction accumulator surfaces as a typed
+	// IntegrityError instead of escaping as a silently wrong result. The
+	// scalar checked entry points (AllreduceSumChecked and friends) carry
+	// verification unconditionally and ignore the field.
+	Verify bool
 	// PlanStepSpans emits one observability span per executed plan step
 	// in addition to the phase spans — a debugging aid. Off by default,
 	// which keeps plan-executed collectives trace-identical to their

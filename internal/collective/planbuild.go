@@ -172,6 +172,9 @@ func buildAllreduceRD(v plan.View, s plan.Spec) (*plan.Plan, error) {
 			rs.Reduce(s.Bytes)
 			rounds++
 		}
+		if s.Verify {
+			rs.Verify(s.Bytes)
+		}
 	}
 	pl.NeedsTagBlock = true
 	per := int64(rounds) * s.Bytes
@@ -197,6 +200,9 @@ func buildAllreduceChain(v plan.View, s plan.Spec) (*plan.Plan, error) {
 	for me := 0; me < p; me++ {
 		rs := pl.Rank(me)
 		if p == 1 {
+			if s.Verify {
+				rs.Verify(s.Bytes)
+			}
 			continue
 		}
 		// Reduce phase: the up edge from k to k-1 carries tag relRing+k.
@@ -215,6 +221,9 @@ func buildAllreduceChain(v plan.View, s plan.Spec) (*plan.Plan, error) {
 		if me < p-1 {
 			rs.Send(me+1, s.Bytes, relCtrl(me))
 			contract.SendBytes[me] += s.Bytes
+		}
+		if s.Verify {
+			rs.Verify(s.Bytes)
 		}
 	}
 	pl.NeedsTagBlock = true

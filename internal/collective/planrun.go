@@ -36,6 +36,7 @@ func planSpec(bytes int64, sizeOf func(src, dst int) int64, opt Options) plan.Sp
 		FreqScale: opt.Power == FreqScaling || opt.Power == Proposed,
 		Phased:    opt.Power == Proposed,
 		DeepT:     opt.deepT(),
+		Verify:    opt.Verify,
 	}
 }
 

@@ -28,9 +28,9 @@ func syntheticView(p, ppn int) plan.View {
 func TestAllBuildersVerify(t *testing.T) {
 	sizes := []int{2, 4, 8, 16}
 	specs := map[string]plan.Spec{
-		"plain":   {Bytes: 64 << 10},
-		"dvfs":    {Bytes: 64 << 10, FreqScale: true},
-		"phased":  {Bytes: 64 << 10, FreqScale: true, Phased: true, DeepT: power.T7},
+		"plain":  {Bytes: 64 << 10},
+		"dvfs":   {Bytes: 64 << 10, FreqScale: true},
+		"phased": {Bytes: 64 << 10, FreqScale: true, Phased: true, DeepT: power.T7},
 		"nonuniform": {SizeOf: func(src, dst int) int64 {
 			return int64((src+1)*(dst+2)) % 4096
 		}},

@@ -25,22 +25,28 @@ func restorePower(r *mpi.Rank) {
 	r.SetThrottle(power.T0)
 }
 
-// RunResilient runs body over c with crash-stop recovery. Each round every
-// member calls body SPMD; a round whose body observes a failure
-// (mpi.IsFailure) revokes the communicator so peers blocked inside the
-// aborted schedule drain out, and every survivor then joins a failure
-// agreement. Agreement runs after every round — successful or not — so
-// ranks whose own body completed still learn that a peer died mid-round
-// and retry with everyone else instead of diverging. After agreement every
-// survivor restores fmax/T0 (a crashed peer may have aborted the schedule
-// between a ScaleDown and its matching ScaleUp), shrinks the communicator
-// to the survivors, and retries body on the new group.
+// RunResilient runs body over c with crash-stop and data-corruption
+// recovery. Each round every member calls body SPMD; a round whose body
+// observes a recoverable error — a failure (mpi.IsFailure) or a detected
+// integrity violation (IsIntegrity, e.g. a checked collective's ABFT
+// mismatch) — revokes the communicator so peers blocked inside the
+// aborted schedule drain out, and every survivor then joins a round
+// agreement. The agreement runs after every round — successful or not —
+// and carries both the failure census and an abort vote, so ranks whose
+// own body completed cleanly still learn that a peer died or caught a
+// checksum mismatch mid-round and retry with everyone else instead of
+// diverging. After agreement every survivor restores fmax/T0 (a crashed
+// peer may have aborted the schedule between a ScaleDown and its matching
+// ScaleUp), shrinks the communicator to the survivors, and retries body
+// on the new group.
 //
 // It returns the communicator the successful round ran on (== c when no
-// failure happened) and the first non-failure error, if any. Failure
-// errors never escape: they are consumed by recovery until body succeeds
-// or the retry budget — one round per initial member, each retry removes
-// at least one rank — is exhausted.
+// failure happened) and the first non-recoverable error, if any.
+// Recoverable errors never escape individually: they are consumed by
+// recovery until body succeeds everywhere or the retry budget — one round
+// per initial member — is exhausted, in which case the exhaustion error
+// wraps the last recoverable error so callers can still classify it
+// (mpi.IsFailure / IsIntegrity see through the wrap).
 func RunResilient(c *mpi.Comm, body func(*mpi.Comm) error) (*mpi.Comm, error) {
 	if c == nil {
 		return nil, fmt.Errorf("collective: RunResilient needs a communicator")
@@ -48,19 +54,25 @@ func RunResilient(c *mpi.Comm, body func(*mpi.Comm) error) (*mpi.Comm, error) {
 	r := c.Owner()
 	w := r.World()
 	comm := c
+	var lastErr error
 	for round := 0; round <= c.Size(); round++ {
 		err := body(comm)
-		if err != nil && !mpi.IsFailure(err) {
+		if err != nil && !mpi.IsFailure(err) && !IsIntegrity(err) {
 			restorePower(r)
 			return comm, err
 		}
 		if err != nil {
 			comm.Revoke()
 		}
-		failed := comm.AgreeFailures()
+		failed, peerBad := comm.AgreeRound(err != nil)
 		restorePower(r)
-		if err == nil && len(failed) == 0 {
+		if err == nil && len(failed) == 0 && !peerBad {
 			return comm, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else if peerBad {
+			lastErr = &VerificationError{Op: "resilient round", Peer: true}
 		}
 		if b := w.Obs(); b != nil {
 			b.Add(obs.CtrCollectiveRecoveries, 1)
@@ -69,12 +81,15 @@ func RunResilient(c *mpi.Comm, body func(*mpi.Comm) error) (*mpi.Comm, error) {
 			})
 		}
 		// Shrink even when the failed set is empty (a revoke with no dead
-		// member): the retry needs an unrevoked communicator either way,
-		// and Shrink hands back a fresh one.
+		// member, or a pure integrity retry): the retry needs an unrevoked
+		// communicator either way, and Shrink hands back a fresh one.
 		comm = comm.Shrink(failed)
 		if comm == nil || comm.Size() == 0 {
 			return nil, fmt.Errorf("collective: no survivors to retry on")
 		}
+	}
+	if lastErr != nil {
+		return comm, fmt.Errorf("collective: resilient retry budget exhausted after %d rounds: %w", c.Size()+1, lastErr)
 	}
 	return comm, fmt.Errorf("collective: resilient retry budget exhausted after %d rounds", c.Size()+1)
 }
@@ -83,33 +98,42 @@ func RunResilient(c *mpi.Comm, body func(*mpi.Comm) error) (*mpi.Comm, error) {
 // partial sums flow down the chain to rank 0, the total flows back up.
 // Any failure surfaces as a structured error for the resilient runner.
 func allreduceSumChain(c *mpi.Comm, bytes int64, v float64, opt Options) (float64, error) {
+	out, err := allreduceSumChainRed(c, bytes, redVal{v: v}, opt)
+	return out.v, err
+}
+
+// allreduceSumChainRed is the chain schedule over redVal: one lane for
+// the historical unchecked call, two for the checked variant. Accumulator
+// writes and relay buffers pass through the memory-corruption injector.
+func allreduceSumChainRed(c *mpi.Comm, bytes int64, a redVal, opt Options) (redVal, error) {
 	block := c.TagBlock()
 	p, me := c.Size(), c.Rank()
+	r := c.Owner()
+	sum := corruptRed(r, a)
 	if p == 1 {
-		return v, nil
+		return sum, nil
 	}
-	sum := v
 	if me < p-1 {
-		x, err := c.RecvValue(me+1, bytes, block+me+1)
+		x, err := recvRed(c, me+1, bytes, block+me+1, a.checked)
 		if err != nil {
-			return 0, err
+			return redVal{checked: a.checked}, err
 		}
 		reduceOp(c, bytes, opt)
-		sum += x
+		sum = corruptRed(r, sum.add(x))
 	}
 	if me > 0 {
-		if err := c.SendValue(me-1, bytes, block+me, sum); err != nil {
-			return 0, err
+		if err := sendRed(c, me-1, bytes, block+me, sum); err != nil {
+			return redVal{checked: a.checked}, err
 		}
-		total, err := c.RecvValue(me-1, bytes, block+p+me-1)
+		total, err := recvRed(c, me-1, bytes, block+p+me-1, a.checked)
 		if err != nil {
-			return 0, err
+			return redVal{checked: a.checked}, err
 		}
-		sum = total
+		sum = corruptRed(r, total)
 	}
 	if me < p-1 {
-		if err := c.SendValue(me+1, bytes, block+p+me, sum); err != nil {
-			return 0, err
+		if err := sendRed(c, me+1, bytes, block+p+me, sum); err != nil {
+			return redVal{checked: a.checked}, err
 		}
 	}
 	return sum, nil

@@ -1,12 +1,17 @@
 // Package chaos is the crash-fuzzing harness: it turns a single uint64
 // seed into a randomized fault schedule — crash-stop rank failures, link
 // degradation/down windows, stragglers with jitter, sticky power
-// transitions — runs a fault-tolerant collective workload under it, and
-// checks the invariants that must hold no matter what the schedule did:
+// transitions, and (with Options.Corrupt) in-flight bit flips plus
+// memory-corruption bursts — runs a fault-tolerant collective workload
+// under it, and checks the invariants that must hold no matter what the
+// schedule did:
 //
-//   - the simulation terminates (no deadlock, no run error),
+//   - the simulation terminates (no deadlock; under corruption, a
+//     retry-budget abort must carry a typed integrity error),
 //   - every survivor converges on the same final group and on the sum of
-//     exactly that group's contributions,
+//     exactly that group's contributions — or, under corruption, every
+//     survivor returns a typed integrity/failure error; a silently wrong
+//     sum or a finished/erred split across the group fails the run,
 //   - every survivor core ends at fmax / T0,
 //   - no surviving rank leaves an unbalanced async span on the timeline
 //     (dead ranks' half-open spans are tombstones and are excused),
@@ -99,6 +104,52 @@ func GenSpec(seed uint64, procs, nodes int) *fault.Spec {
 	return s
 }
 
+// GenSpecCorrupt extends GenSpec with seeded data-corruption clauses:
+// in-flight bit flips per message class (caught by the transport ICRC and
+// retransmitted), memory-corruption burst windows (caught only by the
+// ABFT-checked collectives), and the T-state error-rate coupling. The
+// corruption stream is salted so the crash/link/straggler part of the
+// schedule stays identical to GenSpec's for the same seed.
+func GenSpecCorrupt(seed uint64, procs, nodes int) *fault.Spec {
+	s := GenSpec(seed, procs, nodes)
+	r := &rng{x: seed ^ 0xc0bb1e5}
+
+	// In-flight corruption: every corrupted attempt costs a NACK and a
+	// retransmit, so even high rates only slow the run down — with the
+	// occasional seed pushing a message past its retry budget, which must
+	// then surface as a typed abort, never wrong data.
+	if r.intn(2) == 1 {
+		s.DataCorrupt = 0.25 * r.f64()
+		s.EagerCorrupt = 0.25 * r.f64()
+	}
+	if r.intn(2) == 1 {
+		s.RTSCorrupt = 0.1 * r.f64()
+		s.CTSCorrupt = 0.1 * r.f64()
+	}
+	s.TStateErrFactor = float64(r.intn(3))
+
+	// Memory-corruption bursts: sequential (non-overlapping) windows, so
+	// the generated spec round-trips through the Parse hardening that
+	// rejects overlapping windows per rank.
+	start := simtime.Duration(0)
+	for n := 1 + r.intn(3); n > 0; n-- {
+		start += r.dur(0, 150*us)
+		d := r.dur(20*us, 150*us)
+		s.MemBursts = append(s.MemBursts, fault.MemBurst{
+			Rank:     r.intn(procs+1) - 1, // -1 = all ranks
+			Prob:     0.8 * r.f64(),
+			Start:    start,
+			Duration: d,
+		})
+		start += d
+	}
+
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("chaos: generated invalid corrupt spec from seed %d: %v", seed, err))
+	}
+	return s
+}
+
 // Options configures one chaos run. Zero values select the defaults.
 type Options struct {
 	// Seed drives the whole schedule (GenSpec) and nothing else.
@@ -111,6 +162,13 @@ type Options struct {
 	// Bytes per rank and call (default 32 KiB — above the power threshold,
 	// so DVFS brackets are in play when a crash aborts a schedule).
 	Bytes int64
+	// Corrupt adds seeded data-corruption clauses to the schedule
+	// (GenSpecCorrupt) and switches the workload to the ABFT-checked
+	// resilient allreduce. The pass criterion then becomes the end-to-end
+	// integrity invariant: every survivor either converges on the correct
+	// sum or returns a typed integrity/failure error — a silently wrong
+	// value anywhere fails the run.
+	Corrupt bool
 }
 
 func (o *Options) defaults() {
@@ -141,6 +199,13 @@ type Result struct {
 	// Metrics and Trace are the exported metrics/trace JSON; two runs with
 	// the same options produce byte-identical copies.
 	Metrics, Trace []byte
+	// Err is the typed, group-uniform error outcome of a corrupted run
+	// (nil when the workload completed): either every survivor returned a
+	// classifiable integrity/failure error, or the simulation aborted on
+	// a retry-budget exhaustion naming the undeliverable message. Both
+	// count as a pass — the invariant is correct value XOR typed error,
+	// never a silent wrong sum. FinalGroup and Sum are unset when Err is.
+	Err error
 }
 
 // Run executes one seeded chaos scenario and checks every invariant,
@@ -151,7 +216,11 @@ func Run(o Options) (*Result, error) {
 	cfg := mpi.DefaultConfig()
 	cfg.NProcs = o.Procs
 	cfg.PPN = o.PPN
-	cfg.Fault = GenSpec(o.Seed, o.Procs, cfg.Topo.Nodes)
+	if o.Corrupt {
+		cfg.Fault = GenSpecCorrupt(o.Seed, o.Procs, cfg.Topo.Nodes)
+	} else {
+		cfg.Fault = GenSpec(o.Seed, o.Procs, cfg.Topo.Nodes)
+	}
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("chaos seed %d [%s]: %s", o.Seed, cfg.Fault, fmt.Sprintf(format, args...))
 	}
@@ -177,8 +246,16 @@ func Run(o Options) (*Result, error) {
 			energyDips[me] = fmt.Sprintf("negative energy %g at start", last)
 		}
 		for it := 0; it < o.Iters; it++ {
-			sum, fc, err := collective.AllreduceSumFT(c, o.Bytes, float64(me+1),
-				collective.Options{Power: collective.FreqScaling})
+			var sum float64
+			var fc *mpi.Comm
+			var err error
+			if o.Corrupt {
+				sum, fc, err = collective.AllreduceSumFTChecked(c, o.Bytes, float64(me+1),
+					collective.Options{Power: collective.FreqScaling})
+			} else {
+				sum, fc, err = collective.AllreduceSumFT(c, o.Bytes, float64(me+1),
+					collective.Options{Power: collective.FreqScaling})
+			}
 			if err != nil {
 				bodyErrs[me] = err
 				return
@@ -198,7 +275,27 @@ func Run(o Options) (*Result, error) {
 		finished[me] = true
 	})
 
+	export := func(res *Result) (*Result, error) {
+		var mb, tb bytes.Buffer
+		if err := bus.WriteMetricsJSON(&mb); err != nil {
+			return nil, fail("metrics export: %v", err)
+		}
+		if err := bus.WriteChromeTrace(&tb); err != nil {
+			return nil, fail("trace export: %v", err)
+		}
+		res.Metrics, res.Trace = mb.Bytes(), tb.Bytes()
+		return res, nil
+	}
+
 	if _, err := w.Run(); err != nil {
+		if o.Corrupt && mpi.IsIntegrity(err) {
+			// A message spent its whole retry budget on ICRC rejects: the
+			// run aborts with a typed error naming the undeliverable
+			// message instead of ever delivering bad data. Ranks may be
+			// parked mid-iteration, so the completion invariants don't
+			// apply — but the abort must still replay byte-identically.
+			return export(&Result{Spec: cfg.Fault, Err: err})
+		}
 		return nil, fail("run: %v", err)
 	}
 
@@ -206,25 +303,65 @@ func Run(o Options) (*Result, error) {
 	for _, id := range w.DeadRanks() {
 		dead[id] = true
 	}
+	typed := func(err error) bool { return mpi.IsFailure(err) || collective.IsIntegrity(err) }
 	var group []int
+	var firstErr error
+	finishedN, erredN := 0, 0
 	for me := 0; me < o.Procs; me++ {
 		if dead[me] {
 			continue
 		}
-		if bodyErrs[me] != nil {
-			return nil, fail("rank %d: %v", me, bodyErrs[me])
+		if energyDips[me] != "" {
+			return nil, fail("rank %d: %s", me, energyDips[me])
+		}
+		if err := bodyErrs[me]; err != nil {
+			// Under corruption a typed error outcome is legitimate: the
+			// checked workload ran out of integrity retries. Anything
+			// unclassifiable — or any error without corruption enabled —
+			// still fails the run.
+			if !o.Corrupt || !typed(err) {
+				return nil, fail("rank %d: %v", me, err)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			erredN++
+			continue
 		}
 		if !finished[me] {
 			return nil, fail("survivor %d never finished its iterations", me)
 		}
-		if energyDips[me] != "" {
-			return nil, fail("rank %d: %s", me, energyDips[me])
-		}
+		finishedN++
 		if group == nil {
 			group = groups[me]
 		} else if fmt.Sprint(groups[me]) != fmt.Sprint(group) {
 			return nil, fail("survivors disagree on the final group: %v vs %v", groups[me], group)
 		}
+	}
+	if erredN > 0 && finishedN > 0 {
+		// Round agreement makes error outcomes group-uniform: a mix of
+		// finished and erred survivors means the group diverged.
+		return nil, fail("survivors diverged: %d finished while %d returned errors", finishedN, erredN)
+	}
+	deadTrack := map[obs.Track]bool{}
+	for id := range dead {
+		deadTrack[w.Rank(id).ObsTrack()] = true
+	}
+	if open := bus.UnbalancedAsyncs(func(t obs.Track) bool { return deadTrack[t] }); len(open) != 0 {
+		return nil, fail("unbalanced async spans on surviving tracks: %v", open)
+	}
+	if erredN > 0 {
+		for me := 0; me < o.Procs; me++ {
+			if dead[me] {
+				continue
+			}
+			core := w.Rank(me).Core()
+			if core.FreqGHz() != cfg.Power.FMaxGHz || core.Throttle() != 0 {
+				return nil, fail("erred survivor %d left at %.2f GHz / T%d, want fmax / T0",
+					me, core.FreqGHz(), core.Throttle())
+			}
+		}
+		return export(&Result{Spec: cfg.Fault, Err: firstErr})
 	}
 	if group == nil {
 		return nil, fail("no survivors finished")
@@ -252,22 +389,5 @@ func Run(o Options) (*Result, error) {
 		}
 	}
 
-	deadTrack := map[obs.Track]bool{}
-	for id := range dead {
-		deadTrack[w.Rank(id).ObsTrack()] = true
-	}
-	if open := bus.UnbalancedAsyncs(func(t obs.Track) bool { return deadTrack[t] }); len(open) != 0 {
-		return nil, fail("unbalanced async spans on surviving tracks: %v", open)
-	}
-
-	res := &Result{Spec: cfg.Fault, FinalGroup: group, Sum: want}
-	var mb, tb bytes.Buffer
-	if err := bus.WriteMetricsJSON(&mb); err != nil {
-		return nil, fail("metrics export: %v", err)
-	}
-	if err := bus.WriteChromeTrace(&tb); err != nil {
-		return nil, fail("trace export: %v", err)
-	}
-	res.Metrics, res.Trace = mb.Bytes(), tb.Bytes()
-	return res, nil
+	return export(&Result{Spec: cfg.Fault, FinalGroup: group, Sum: want})
 }

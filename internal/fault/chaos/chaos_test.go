@@ -55,6 +55,89 @@ func TestChaosReplayDeterministic(t *testing.T) {
 	}
 }
 
+// The corrupt generator shares GenSpec's crash/link/straggler schedule
+// for the same seed (the corruption stream is salted separately) and is
+// itself a pure function of the seed.
+func TestGenSpecCorruptDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := GenSpecCorrupt(seed, 8, 8)
+		if b := GenSpecCorrupt(seed, 8, 8); a.String() != b.String() {
+			t.Fatalf("seed %d: %q vs %q", seed, a, b)
+		}
+		if len(a.MemBursts) == 0 {
+			t.Fatalf("seed %d: corrupt spec has no memory-corruption bursts", seed)
+		}
+		base := GenSpec(seed, 8, 8)
+		if len(a.Crashes) != len(base.Crashes) || a.DetectTimeout != base.DetectTimeout {
+			t.Fatalf("seed %d: corruption draws perturbed the crash schedule", seed)
+		}
+	}
+}
+
+// The headline integrity invariant, swept: under combined crashes, link
+// faults, bit flips, and memory-corruption bursts, every survivor either
+// converges on the correct sum or returns a typed error — Run fails the
+// seed on any silently wrong value or any finished/erred divergence.
+func TestChaosCorruptSeedSweep(t *testing.T) {
+	finished, nacked, verifyFailed := 0, 0, 0
+	for seed := uint64(0); seed < 64; seed++ {
+		res, err := Run(Options{Seed: seed, Corrupt: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err == nil {
+			finished++
+		}
+		if bytes.Contains(res.Metrics, []byte("integrity.icrc.nacks")) {
+			nacked++
+		}
+		if bytes.Contains(res.Metrics, []byte("integrity.verify.failures")) {
+			verifyFailed++
+		}
+	}
+	// The sweep must exercise both the clean-completion path and the two
+	// detection layers — otherwise the invariant is passing vacuously.
+	if finished == 0 {
+		t.Fatal("no corrupted seed completed cleanly")
+	}
+	if nacked == 0 {
+		t.Fatal("no seed triggered an ICRC reject/NACK — in-flight corruption inert")
+	}
+	if verifyFailed == 0 {
+		t.Fatal("no seed tripped ABFT verification — memory corruption inert")
+	}
+	t.Logf("corrupt sweep: %d/64 finished, %d with NACKs, %d with verify failures",
+		finished, nacked, verifyFailed)
+}
+
+// Corrupted runs replay byte-identically too — including their typed
+// error outcome, so a fuzzer-found integrity counterexample reproduces
+// exactly.
+func TestChaosCorruptReplayDeterministic(t *testing.T) {
+	for _, seed := range []uint64{3, 7, 11, 29} {
+		a, err := Run(Options{Seed: seed, Corrupt: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Options{Seed: seed, Corrupt: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Metrics, b.Metrics) {
+			t.Fatalf("seed %d: metrics exports differ between identical corrupted runs", seed)
+		}
+		if !bytes.Equal(a.Trace, b.Trace) {
+			t.Fatalf("seed %d: trace exports differ between identical corrupted runs", seed)
+		}
+		if (a.Err == nil) != (b.Err == nil) || a.Sum != b.Sum {
+			t.Fatalf("seed %d: outcomes differ: %v/%g vs %v/%g", seed, a.Err, a.Sum, b.Err, b.Sum)
+		}
+		if a.Err != nil && a.Err.Error() != b.Err.Error() {
+			t.Fatalf("seed %d: error text differs: %q vs %q", seed, a.Err, b.Err)
+		}
+	}
+}
+
 // FuzzChaos is the chaos fuzzing entry point: go test -fuzz=FuzzChaos
 // explores the seed space; the checked-in corpus under testdata/fuzz
 // keeps the interesting schedules (multi-crash, crash+down-link overlap)
@@ -65,6 +148,9 @@ func FuzzChaos(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		if _, err := Run(Options{Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(Options{Seed: seed, Corrupt: true}); err != nil {
 			t.Fatal(err)
 		}
 	})

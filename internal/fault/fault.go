@@ -81,13 +81,32 @@ type LinkFault struct {
 // process dies permanently (no restart). From that instant messages
 // addressed to it vanish at delivery, and peers blocked on it observe the
 // failure after Spec.DetectTimeout (the failure detector's heartbeat/ack
-// timeout). Scheduling several crashes for one rank is allowed; the
-// earliest wins.
+// timeout). A programmatically built Spec may schedule several crashes for
+// one rank (the earliest wins, see CrashSchedule); the Parse syntax
+// rejects duplicate crash= clauses for one rank as a likely operator
+// mistake.
 type Crash struct {
 	// Rank is the global rank id.
 	Rank int
 	// At is when the rank dies.
 	At simtime.Duration
+}
+
+// MemBurst schedules a window of virtual time during which local memory
+// on one rank misbehaves: every reduction-accumulator update inside the
+// window is corrupted (one flipped mantissa bit) with probability Prob.
+// This is the corruption class that slips past the transport's ICRC —
+// the bytes were delivered correctly and rot afterwards — so only
+// algorithm-level (ABFT) verification catches it.
+type MemBurst struct {
+	// Rank is the global rank id; -1 targets every rank.
+	Rank int
+	// Prob is the per-update corruption probability in [0,1].
+	Prob float64
+	// Start is when the burst window opens.
+	Start simtime.Duration
+	// Duration is how long it lasts; memory heals at Start+Duration.
+	Duration simtime.Duration
 }
 
 // Straggler slows one rank's CPU-side work by a constant factor, with
@@ -111,6 +130,27 @@ type Spec struct {
 	RTSLoss   float64
 	CTSLoss   float64
 	DataLoss  float64
+
+	// EagerCorrupt, RTSCorrupt, CTSCorrupt, DataCorrupt are per-message
+	// in-flight bit-flip probabilities in [0,1]. A corrupted message still
+	// occupies the wire for its full transfer, but the receiver's ICRC
+	// check rejects it at delivery and NACKs the sender, which retransmits
+	// under the same retry budget and backoff as a lost message.
+	EagerCorrupt float64
+	RTSCorrupt   float64
+	CTSCorrupt   float64
+	DataCorrupt  float64
+
+	// TStateErrFactor couples the in-flight corruption rate to clock
+	// throttling: a message leaving a core at T-state depth d is corrupted
+	// with probability p·(1 + TStateErrFactor·d), capped at 1. It models
+	// the signal-integrity margin aggressive duty-cycle modulation costs
+	// on real hardware. Zero (the default) decouples them.
+	TStateErrFactor float64
+
+	// MemBursts schedules windows of local memory corruption that the
+	// transport checksum cannot see (the flip happens after delivery).
+	MemBursts []MemBurst
 
 	// LinkFaults schedules bandwidth degradation and down/up windows.
 	LinkFaults []LinkFault
@@ -168,13 +208,19 @@ func (s *Spec) anyLoss() bool {
 	return s.EagerLoss > 0 || s.RTSLoss > 0 || s.CTSLoss > 0 || s.DataLoss > 0
 }
 
+// anyCorrupt reports whether any message class can be corrupted in flight.
+func (s *Spec) anyCorrupt() bool {
+	return s.EagerCorrupt > 0 || s.RTSCorrupt > 0 || s.CTSCorrupt > 0 || s.DataCorrupt > 0
+}
+
 // Active reports whether the spec can perturb anything at all. An inactive
 // spec attached to a world is guaranteed not to change its behavior.
 func (s *Spec) Active() bool {
 	if s == nil {
 		return false
 	}
-	return s.anyLoss() || len(s.LinkFaults) > 0 || len(s.Crashes) > 0 ||
+	return s.anyLoss() || s.anyCorrupt() || len(s.MemBursts) > 0 ||
+		len(s.LinkFaults) > 0 || len(s.Crashes) > 0 ||
 		len(s.Stragglers) > 0 || s.PStateDelay > 0 || s.TStateDelay > 0
 }
 
@@ -191,6 +237,8 @@ func (s *Spec) Validate() error {
 	}{
 		{"EagerLoss", s.EagerLoss}, {"RTSLoss", s.RTSLoss},
 		{"CTSLoss", s.CTSLoss}, {"DataLoss", s.DataLoss},
+		{"EagerCorrupt", s.EagerCorrupt}, {"RTSCorrupt", s.RTSCorrupt},
+		{"CTSCorrupt", s.CTSCorrupt}, {"DataCorrupt", s.DataCorrupt},
 		{"StickProb", s.StickProb},
 	} {
 		if p.v < 0 || p.v > 1 {
@@ -199,6 +247,26 @@ func (s *Spec) Validate() error {
 	}
 	if s.ComputeJitter < 0 || s.ComputeJitter >= 1 {
 		return fmt.Errorf("fault: ComputeJitter %g outside [0,1)", s.ComputeJitter)
+	}
+	if s.TStateErrFactor < 0 {
+		return fmt.Errorf("fault: negative TStateErrFactor %g", s.TStateErrFactor)
+	}
+	for _, mb := range s.MemBursts {
+		if mb.Rank < -1 {
+			return fmt.Errorf("fault: memburst rank %d below -1 (use -1 for all ranks)", mb.Rank)
+		}
+		if mb.Prob < 0 || mb.Prob > 1 {
+			return fmt.Errorf("fault: memburst on rank %d probability %g outside [0,1]",
+				mb.Rank, mb.Prob)
+		}
+		if mb.Start < 0 {
+			return fmt.Errorf("fault: memburst on rank %d starts at negative time %v",
+				mb.Rank, mb.Start)
+		}
+		if mb.Duration <= 0 {
+			return fmt.Errorf("fault: memburst on rank %d has non-positive duration %v",
+				mb.Rank, mb.Duration)
+		}
 	}
 	for _, lf := range s.LinkFaults {
 		if lf.Link == "" {
@@ -247,6 +315,9 @@ func (s *Spec) Validate() error {
 	if s.anyLoss() && s.RetryBudget == 0 {
 		return fmt.Errorf("fault: zero retry budget with message loss enabled; every lost message would stall its receiver (set RetryBudget >= 1)")
 	}
+	if s.anyCorrupt() && s.RetryBudget == 0 {
+		return fmt.Errorf("fault: zero retry budget with message corruption enabled; every ICRC reject would stall its receiver (set RetryBudget >= 1)")
+	}
 	return nil
 }
 
@@ -256,6 +327,11 @@ func (s *Spec) Validate() error {
 //	seed=42                        deterministic seed (default 1)
 //	msgloss=0.02                   loss probability for all message classes
 //	eagerloss= rtsloss= ctsloss= dataloss=   per-class overrides
+//	corrupt=0.01                   in-flight bit-flip probability, all classes
+//	eagercorrupt= rtscorrupt= ctscorrupt= datacorrupt=   per-class overrides
+//	terrfactor=0.5                 corruption multiplier per T-state depth
+//	memburst=3@0.2:1ms+500us       rank 3 memory corrupts 20% of updates
+//	                               from 1ms for 500us (rank * = all ranks)
 //	degrade=node0-up@0.25:2ms+10ms link at 25% capacity from 2ms for 10ms
 //	linkdown=node1-up:5ms+1ms      link fully down from 5ms for 1ms
 //	crash=5@2ms                    rank 5 dies (crash-stop, permanent) at 2ms
@@ -267,11 +343,19 @@ func (s *Spec) Validate() error {
 //	retry=7                        retransmit budget (IB RC Retry Count)
 //	acktimeout=100us               base retransmission timeout
 //
-// degrade, linkdown, crash and straggler may repeat. Durations use Go
-// syntax (ns, us, ms, s).
+// degrade, linkdown, crash, straggler and memburst may repeat, with two
+// guards against operator mistakes: repeating crash= for one rank is an
+// error (a typo would otherwise silently pick the earliest time), and two
+// degrade/linkdown windows on the same link — or two memburst windows on
+// the same rank — must not overlap. Every scalar clause (seed, the
+// probabilities, timeouts, …) may appear at most once; the blanket
+// msgloss/corrupt clauses plus their per-class overrides still compose
+// because they are distinct keys. Durations use Go syntax (ns, us, ms, s).
 func Parse(src string) (*Spec, error) {
 	s := &Spec{Seed: 1}
 	retrySet := false
+	seen := map[string]bool{}
+	crashRank := map[int]string{}
 	for _, clause := range strings.Split(src, ";") {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
@@ -283,6 +367,15 @@ func Parse(src string) (*Spec, error) {
 		}
 		key = strings.ToLower(strings.TrimSpace(key))
 		val = strings.TrimSpace(val)
+		switch key {
+		case "degrade", "linkdown", "crash", "straggler", "memburst":
+			// Repeatable schedule clauses; cross-checked below.
+		default:
+			if seen[key] {
+				return nil, fmt.Errorf("fault: clause %q: duplicate %s= clause (each scalar clause may appear once)", clause, key)
+			}
+			seen[key] = true
+		}
 		var err error
 		switch key {
 		case "seed":
@@ -299,6 +392,24 @@ func Parse(src string) (*Spec, error) {
 			s.CTSLoss, err = parseProb(val)
 		case "dataloss":
 			s.DataLoss, err = parseProb(val)
+		case "corrupt":
+			var p float64
+			p, err = parseProb(val)
+			s.EagerCorrupt, s.RTSCorrupt, s.CTSCorrupt, s.DataCorrupt = p, p, p, p
+		case "eagercorrupt":
+			s.EagerCorrupt, err = parseProb(val)
+		case "rtscorrupt":
+			s.RTSCorrupt, err = parseProb(val)
+		case "ctscorrupt":
+			s.CTSCorrupt, err = parseProb(val)
+		case "datacorrupt":
+			s.DataCorrupt, err = parseProb(val)
+		case "terrfactor":
+			s.TStateErrFactor, err = strconv.ParseFloat(val, 64)
+		case "memburst":
+			var mb MemBurst
+			mb, err = parseMemBurst(val)
+			s.MemBursts = append(s.MemBursts, mb)
 		case "degrade":
 			var lf LinkFault
 			lf, err = parseLinkFault(val, true)
@@ -316,6 +427,13 @@ func Parse(src string) (*Spec, error) {
 			cr.Rank, err = strconv.Atoi(name)
 			if err == nil {
 				cr.At, err = parseDur(at)
+			}
+			if err == nil {
+				if prev, dup := crashRank[cr.Rank]; dup {
+					return nil, fmt.Errorf("fault: clause %q: rank %d already crashed by clause %q (one crash= per rank)",
+						clause, cr.Rank, prev)
+				}
+				crashRank[cr.Rank] = clause
 			}
 			s.Crashes = append(s.Crashes, cr)
 		case "detect":
@@ -357,10 +475,64 @@ func Parse(src string) (*Spec, error) {
 	if s.AckTimeout == 0 {
 		s.AckTimeout = DefaultAckTimeout
 	}
+	if err := checkLinkWindows(s.LinkFaults); err != nil {
+		return nil, err
+	}
+	if err := checkBurstWindows(s.MemBursts); err != nil {
+		return nil, err
+	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// checkLinkWindows rejects overlapping degrade/linkdown windows on the
+// same link: the overlap region would silently apply only one factor,
+// which is never what the operator meant.
+func checkLinkWindows(lfs []LinkFault) error {
+	byLink := map[string][]LinkFault{}
+	for _, lf := range lfs {
+		byLink[lf.Link] = append(byLink[lf.Link], lf)
+	}
+	for link, ws := range byLink {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+		for i := 1; i < len(ws); i++ {
+			prev, cur := ws[i-1], ws[i]
+			if cur.Start < prev.Start+prev.Duration {
+				return fmt.Errorf("fault: link %q fault windows overlap: %s+%s and %s+%s",
+					link, durStr(prev.Start), durStr(prev.Duration),
+					durStr(cur.Start), durStr(cur.Duration))
+			}
+		}
+	}
+	return nil
+}
+
+// checkBurstWindows rejects overlapping memburst windows on the same rank
+// (including two all-rank windows; an all-rank window overlapping a
+// single-rank one is allowed — the probabilities compose per update).
+func checkBurstWindows(mbs []MemBurst) error {
+	byRank := map[int][]MemBurst{}
+	for _, mb := range mbs {
+		byRank[mb.Rank] = append(byRank[mb.Rank], mb)
+	}
+	for rank, ws := range byRank {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+		for i := 1; i < len(ws); i++ {
+			prev, cur := ws[i-1], ws[i]
+			if cur.Start < prev.Start+prev.Duration {
+				who := fmt.Sprintf("rank %d", rank)
+				if rank == -1 {
+					who = "all ranks (*)"
+				}
+				return fmt.Errorf("fault: memburst windows on %s overlap: %s+%s and %s+%s",
+					who, durStr(prev.Start), durStr(prev.Duration),
+					durStr(cur.Start), durStr(cur.Duration))
+			}
+		}
+	}
+	return nil
 }
 
 func parseProb(v string) (float64, error) {
@@ -378,6 +550,44 @@ func parseDur(v string) (simtime.Duration, error) {
 		return 0, err
 	}
 	return simtime.Duration(d.Nanoseconds()), nil
+}
+
+// parseMemBurst reads RANK@PROB:START+DUR where RANK may be * (all ranks).
+func parseMemBurst(v string) (MemBurst, error) {
+	mb := MemBurst{}
+	head, window, ok := strings.Cut(v, ":")
+	if !ok {
+		return mb, fmt.Errorf("missing :START+DUR window in %q", v)
+	}
+	rank, prob, ok := strings.Cut(head, "@")
+	if !ok {
+		return mb, fmt.Errorf("missing @PROB in %q", v)
+	}
+	if rank == "*" {
+		mb.Rank = -1
+	} else {
+		r, err := strconv.Atoi(rank)
+		if err != nil {
+			return mb, err
+		}
+		mb.Rank = r
+	}
+	p, err := parseProb(prob)
+	if err != nil {
+		return mb, err
+	}
+	mb.Prob = p
+	start, dur, ok := strings.Cut(window, "+")
+	if !ok {
+		return mb, fmt.Errorf("window %q is not START+DUR", window)
+	}
+	if mb.Start, err = parseDur(start); err != nil {
+		return mb, err
+	}
+	if mb.Duration, err = parseDur(dur); err != nil {
+		return mb, err
+	}
+	return mb, nil
 }
 
 // parseLinkFault reads LINK@FACTOR:START+DUR (degrade) or LINK:START+DUR
@@ -435,6 +645,28 @@ func (s *Spec) String() string {
 	}
 	if s.DataLoss > 0 {
 		add("dataloss=%g", s.DataLoss)
+	}
+	if s.EagerCorrupt > 0 {
+		add("eagercorrupt=%g", s.EagerCorrupt)
+	}
+	if s.RTSCorrupt > 0 {
+		add("rtscorrupt=%g", s.RTSCorrupt)
+	}
+	if s.CTSCorrupt > 0 {
+		add("ctscorrupt=%g", s.CTSCorrupt)
+	}
+	if s.DataCorrupt > 0 {
+		add("datacorrupt=%g", s.DataCorrupt)
+	}
+	if s.TStateErrFactor > 0 {
+		add("terrfactor=%g", s.TStateErrFactor)
+	}
+	for _, mb := range s.MemBursts {
+		rank := strconv.Itoa(mb.Rank)
+		if mb.Rank == -1 {
+			rank = "*"
+		}
+		add("memburst=%s@%g:%s+%s", rank, mb.Prob, durStr(mb.Start), durStr(mb.Duration))
 	}
 	for _, lf := range s.LinkFaults {
 		if lf.Factor == 0 {

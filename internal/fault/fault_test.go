@@ -57,28 +57,28 @@ func TestParseDefaults(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	bad := []string{
-		"nonsense",                    // not key=value
-		"warp=9",                      // unknown key
-		"seed=abc",                    // bad integer
-		"msgloss=high",                // bad float
-		"msgloss=1.5",                 // probability out of range
-		"msgloss=-0.1",                // negative probability
-		"degrade=node0-up@0.5",        // missing window
-		"degrade=node0-up:1ms+1ms",    // missing factor
-		"degrade=node0-up@1.0:0+1ms",  // factor not below 1
-		"degrade=@0.5:0+1ms",          // empty link name
-		"linkdown=node0-up:1ms",       // window not START+DUR
-		"linkdown=node0-up:1ms+0s",    // zero duration
-		"linkdown=node0-up:-1ms+1ms",  // negative start
-		"straggler=3",                 // missing slowdown
-		"straggler=x@2",               // bad rank
-		"straggler=-1@2",              // negative rank
-		"straggler=3@0.5",             // slowdown below 1
-		"jitter=1.0",                  // jitter must stay below 1
-		"pdelay=-5us",                 // negative delay
-		"retry=-1",                    // negative budget
-		"msgloss=0.5;retry=0",         // loss with zero retry budget
-		"acktimeout=oops",             // bad duration
+		"nonsense",                   // not key=value
+		"warp=9",                     // unknown key
+		"seed=abc",                   // bad integer
+		"msgloss=high",               // bad float
+		"msgloss=1.5",                // probability out of range
+		"msgloss=-0.1",               // negative probability
+		"degrade=node0-up@0.5",       // missing window
+		"degrade=node0-up:1ms+1ms",   // missing factor
+		"degrade=node0-up@1.0:0+1ms", // factor not below 1
+		"degrade=@0.5:0+1ms",         // empty link name
+		"linkdown=node0-up:1ms",      // window not START+DUR
+		"linkdown=node0-up:1ms+0s",   // zero duration
+		"linkdown=node0-up:-1ms+1ms", // negative start
+		"straggler=3",                // missing slowdown
+		"straggler=x@2",              // bad rank
+		"straggler=-1@2",             // negative rank
+		"straggler=3@0.5",            // slowdown below 1
+		"jitter=1.0",                 // jitter must stay below 1
+		"pdelay=-5us",                // negative delay
+		"retry=-1",                   // negative budget
+		"msgloss=0.5;retry=0",        // loss with zero retry budget
+		"acktimeout=oops",            // bad duration
 	}
 	for _, src := range bad {
 		if _, err := Parse(src); err == nil {

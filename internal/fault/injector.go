@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"math"
+
 	"pacc/internal/simtime"
 )
 
@@ -24,6 +26,13 @@ type Injector struct {
 	jitterSeq map[int]uint64
 	pSeq      map[int]uint64
 	tSeq      map[int]uint64
+	// memSeq counts memory-accumulator updates per rank; it only advances
+	// when the rank is covered by at least one MemBurst window, so specs
+	// without bursts stay bit-identical to specs that never had the field.
+	memSeq map[int]uint64
+	// burstAll / burstOf index the spec's MemBursts by target.
+	burstAll []MemBurst
+	burstOf  map[int][]MemBurst
 }
 
 // NewInjector builds an injector for a validated spec. A nil spec returns
@@ -38,10 +47,19 @@ func NewInjector(spec *Spec) *Injector {
 		jitterSeq: map[int]uint64{},
 		pSeq:      map[int]uint64{},
 		tSeq:      map[int]uint64{},
+		memSeq:    map[int]uint64{},
+		burstOf:   map[int][]MemBurst{},
 	}
 	for _, st := range spec.Stragglers {
 		if st.Slowdown > in.straggler[st.Rank] {
 			in.straggler[st.Rank] = st.Slowdown
+		}
+	}
+	for _, mb := range spec.MemBursts {
+		if mb.Rank == -1 {
+			in.burstAll = append(in.burstAll, mb)
+		} else {
+			in.burstOf[mb.Rank] = append(in.burstOf[mb.Rank], mb)
 		}
 	}
 	return in
@@ -81,11 +99,13 @@ func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
 
 // Salts separating decision families.
 const (
-	saltDrop   = 0xd309
-	saltJitter = 0x5177e3
-	saltPState = 0x9057a7e
-	saltTState = 0x7057a7e
-	saltStick  = 0x5710c
+	saltDrop    = 0xd309
+	saltJitter  = 0x5177e3
+	saltPState  = 0x9057a7e
+	saltTState  = 0x7057a7e
+	saltStick   = 0x5710c
+	saltCorrupt = 0xc0bb1e
+	saltMem     = 0x3a11d
 )
 
 // lossProb returns the drop probability of a message class.
@@ -117,6 +137,94 @@ func (in *Injector) Drop(class MsgClass, src, dst int, seq uint64, attempt int) 
 	}
 	h := in.hash(saltDrop, uint64(class), uint64(src), uint64(dst), seq, uint64(attempt))
 	return u01(h) < p
+}
+
+// corruptProb returns the in-flight corruption probability of a class.
+func (in *Injector) corruptProb(class MsgClass) float64 {
+	switch class {
+	case Eager:
+		return in.spec.EagerCorrupt
+	case RTS:
+		return in.spec.RTSCorrupt
+	case CTS:
+		return in.spec.CTSCorrupt
+	case Data:
+		return in.spec.DataCorrupt
+	default:
+		return 0
+	}
+}
+
+// Corrupt decides whether delivery attempt (0-based) of one protocol
+// message is corrupted in flight — delivered on schedule but rejected by
+// the receiver's ICRC check. tdepth is the sender core's T-state depth at
+// injection time; TStateErrFactor scales the base probability with it
+// (p·(1+factor·depth), capped at 1), modeling throttling-induced signal
+// margin loss. Each attempt is an independent coin.
+func (in *Injector) Corrupt(class MsgClass, src, dst int, seq uint64, attempt, tdepth int) bool {
+	if in == nil {
+		return false
+	}
+	p := in.corruptProb(class)
+	if p <= 0 {
+		return false
+	}
+	if f := in.spec.TStateErrFactor; f > 0 && tdepth > 0 {
+		p *= 1 + f*float64(tdepth)
+		if p > 1 {
+			p = 1
+		}
+	}
+	h := in.hash(saltCorrupt, uint64(class), uint64(src), uint64(dst), seq, uint64(attempt))
+	return u01(h) < p
+}
+
+// MemCorrupt decides whether one local accumulator update on the given
+// rank, happening at elapsed virtual time now, falls to a scheduled
+// memory-corruption burst. It returns the decision word (feed it to
+// CorruptFloat to pick the flipped bit) and the verdict. Each covered
+// update advances the rank's memory counter, so a rank's corruption
+// pattern depends only on its own update order; ranks with no burst
+// windows never advance state, preserving bit-identity for specs without
+// bursts.
+func (in *Injector) MemCorrupt(rank int, now simtime.Duration) (uint64, bool) {
+	if in == nil || (len(in.burstAll) == 0 && len(in.burstOf) == 0) {
+		return 0, false
+	}
+	bursts := in.burstOf[rank]
+	if len(bursts) == 0 && len(in.burstAll) == 0 {
+		return 0, false
+	}
+	n := in.memSeq[rank]
+	in.memSeq[rank] = n + 1
+	p := 0.0
+	for _, mb := range bursts {
+		if now >= mb.Start && now < mb.Start+mb.Duration && mb.Prob > p {
+			p = mb.Prob
+		}
+	}
+	for _, mb := range in.burstAll {
+		if now >= mb.Start && now < mb.Start+mb.Duration && mb.Prob > p {
+			p = mb.Prob
+		}
+	}
+	if p <= 0 {
+		return 0, false
+	}
+	h := in.hash(saltMem, uint64(rank), n)
+	return h, u01(h) < p
+}
+
+// CorruptFloat flips one mantissa bit of v, chosen by the decision word h.
+// Restricting the flip to the low 52 bits keeps the result finite and
+// non-NaN (a 1-ulp-scale silent error, the nastiest kind to detect);
+// non-finite inputs are returned unchanged.
+func CorruptFloat(v float64, h uint64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	bit := splitmix64(h) % 52
+	return math.Float64frombits(math.Float64bits(v) ^ (1 << bit))
 }
 
 // RetryBudget returns the retransmit attempt bound (DefaultRetryBudget

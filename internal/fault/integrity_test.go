@@ -1,0 +1,218 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+func TestParseCorruptClauses(t *testing.T) {
+	s, err := Parse("seed=9;corrupt=0.01;datacorrupt=0.2;terrfactor=0.5;" +
+		"memburst=3@0.25:1ms+500us;memburst=*@0.1:5ms+100us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Spec{
+		Seed:         9,
+		EagerCorrupt: 0.01, RTSCorrupt: 0.01, CTSCorrupt: 0.01, DataCorrupt: 0.2,
+		TStateErrFactor: 0.5,
+		MemBursts: []MemBurst{
+			{Rank: 3, Prob: 0.25, Start: simtime.Millisecond, Duration: 500 * simtime.Microsecond},
+			{Rank: -1, Prob: 0.1, Start: 5 * simtime.Millisecond, Duration: 100 * simtime.Microsecond},
+		},
+		RetryBudget: DefaultRetryBudget,
+		AckTimeout:  DefaultAckTimeout,
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("parsed spec\n%+v\nwant\n%+v", s, want)
+	}
+	if !s.Active() {
+		t.Error("corruption spec should be active")
+	}
+}
+
+// TestParseHardeningErrors: the parser names the offending clause and field
+// instead of silently last-writer-winning.
+func TestParseHardeningErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"crash=3@1ms;crash=3@2ms", "rank 3 already crashed"},
+		{"msgloss=0.1;msgloss=0.2", "duplicate msgloss="},
+		{"seed=1;seed=2", "duplicate seed="},
+		{"corrupt=0.1;corrupt=0.2", "duplicate corrupt="},
+		{"retry=3;retry=5", "duplicate retry="},
+		{"degrade=node0-up@0.5:1ms+2ms;degrade=node0-up@0.25:2ms+1ms", "windows overlap"},
+		{"linkdown=node1-up:0s+2ms;degrade=node1-up@0.5:1ms+1ms", "windows overlap"},
+		{"memburst=2@0.5:0s+2ms;memburst=2@0.5:1ms+1ms", "memburst windows on rank 2 overlap"},
+		{"memburst=*@0.5:0s+2ms;memburst=*@0.5:1ms+1ms", "memburst windows on all ranks"},
+		{"corrupt=1.5", "outside [0,1]"},
+		{"corrupt=0.5;retry=0", "zero retry budget with message corruption"},
+		{"terrfactor=-1", "negative TStateErrFactor"},
+		{"memburst=3@0.5", "missing :START+DUR"},
+		{"memburst=3:1ms+1ms", "missing @PROB"},
+		{"memburst=x@0.5:1ms+1ms", "invalid syntax"},
+		{"memburst=3@0.5:1ms", "not START+DUR"},
+		{"memburst=3@0.5:1ms+0s", "non-positive duration"},
+		{"memburst=-2@0.5:1ms+1ms", "below -1"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+// TestParseRepeatsStillAllowed: legitimate repetition (distinct ranks,
+// non-overlapping windows, per-class overrides after a blanket clause)
+// must keep parsing.
+func TestParseRepeatsStillAllowed(t *testing.T) {
+	ok := []string{
+		"crash=5@100us;crash=9@2ms",
+		"msgloss=0.1;eagerloss=0.3",
+		"corrupt=0.1;datacorrupt=0.3",
+		"degrade=node0-up@0.5:1ms+1ms;degrade=node0-up@0.25:3ms+1ms",
+		"degrade=node0-up@0.5:1ms+1ms;degrade=node1-up@0.5:1ms+1ms",
+		"memburst=2@0.5:0s+1ms;memburst=2@0.5:2ms+1ms",
+		"memburst=2@0.5:0s+1ms;memburst=*@0.5:0s+1ms",
+	}
+	for _, src := range ok {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestStringRoundTripCorrupt(t *testing.T) {
+	src := "seed=11;corrupt=0.02;terrfactor=2;memburst=*@0.3:2ms+1ms;memburst=4@0.5:100us+50us"
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("Parse(String()) = %q: %v", s.String(), err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip changed the spec:\n%+v\n%+v", s, back)
+	}
+}
+
+// TestCorruptDeterminism: corruption decisions replay identically and the
+// T-state factor raises the effective rate.
+func TestCorruptDeterminism(t *testing.T) {
+	spec := &Spec{Seed: 21, DataCorrupt: 0.1, TStateErrFactor: 1, RetryBudget: 7}
+	a, b := NewInjector(spec), NewInjector(spec)
+	hitsFlat, hitsDeep := 0, 0
+	for seq := uint64(0); seq < 400; seq++ {
+		got := a.Corrupt(Data, 1, 2, seq, 0, 0)
+		if b.Corrupt(Data, 1, 2, seq, 0, 0) != got {
+			t.Fatalf("seq %d decided differently on replay", seq)
+		}
+		if got {
+			hitsFlat++
+		}
+		if a.Corrupt(Data, 1, 2, seq, 0, 7) {
+			hitsDeep++
+		}
+	}
+	if hitsFlat == 0 {
+		t.Fatal("0.1 corruption probability never hit in 400 messages")
+	}
+	if hitsDeep <= hitsFlat {
+		t.Errorf("T-state depth 7 with factor 1 should corrupt more: %d deep vs %d flat",
+			hitsDeep, hitsFlat)
+	}
+	if a.Corrupt(Eager, 1, 2, 0, 0, 7) {
+		t.Error("class with zero probability corrupted despite T-state depth")
+	}
+}
+
+func TestMemCorruptWindows(t *testing.T) {
+	spec := &Spec{Seed: 7, MemBursts: []MemBurst{
+		{Rank: 2, Prob: 1, Start: simtime.Millisecond, Duration: simtime.Millisecond},
+	}}
+	in := NewInjector(spec)
+	if _, hit := in.MemCorrupt(2, 500*simtime.Microsecond); hit {
+		t.Error("corruption before the window opened")
+	}
+	if _, hit := in.MemCorrupt(2, 1500*simtime.Microsecond); !hit {
+		t.Error("prob-1 burst missed inside its window")
+	}
+	if _, hit := in.MemCorrupt(2, 2*simtime.Millisecond); hit {
+		t.Error("corruption at window end (exclusive)")
+	}
+	if _, hit := in.MemCorrupt(3, 1500*simtime.Microsecond); hit {
+		t.Error("burst leaked to an untargeted rank")
+	}
+
+	all := NewInjector(&Spec{Seed: 7, MemBursts: []MemBurst{
+		{Rank: -1, Prob: 1, Start: 0, Duration: simtime.Millisecond},
+	}})
+	for rank := 0; rank < 4; rank++ {
+		if _, hit := all.MemCorrupt(rank, 500*simtime.Microsecond); !hit {
+			t.Errorf("all-rank burst missed rank %d", rank)
+		}
+	}
+
+	// Replay determinism: same update order, same decisions and words.
+	x, y := NewInjector(spec), NewInjector(spec)
+	for i := 0; i < 32; i++ {
+		hx, bx := x.MemCorrupt(2, 1200*simtime.Microsecond)
+		hy, by := y.MemCorrupt(2, 1200*simtime.Microsecond)
+		if hx != hy || bx != by {
+			t.Fatalf("update %d diverged on replay", i)
+		}
+	}
+}
+
+func TestCorruptFloat(t *testing.T) {
+	if got := CorruptFloat(3.25, 99); got == 3.25 {
+		t.Error("flip left the value unchanged")
+	} else if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("flip produced non-finite %g", got)
+	}
+	if CorruptFloat(3.25, 99) != CorruptFloat(3.25, 99) {
+		t.Error("same decision word flipped different bits")
+	}
+	if CorruptFloat(0, 5) == 0 {
+		t.Error("zero must corrupt to a detectable non-zero (subnormal)")
+	}
+	if !math.IsNaN(CorruptFloat(math.NaN(), 1)) {
+		t.Error("NaN input should pass through")
+	}
+	if !math.IsInf(CorruptFloat(math.Inf(1), 1), 1) {
+		t.Error("Inf input should pass through")
+	}
+}
+
+func TestNilInjectorIntegrity(t *testing.T) {
+	var in *Injector
+	if in.Corrupt(Data, 0, 1, 1, 0, 5) {
+		t.Error("nil injector corrupted a message")
+	}
+	if _, hit := in.MemCorrupt(0, simtime.Millisecond); hit {
+		t.Error("nil injector corrupted memory")
+	}
+}
+
+func TestActiveIntegrity(t *testing.T) {
+	if !(&Spec{DataCorrupt: 0.1}).Active() {
+		t.Error("corrupt-only spec should be active")
+	}
+	if !(&Spec{MemBursts: []MemBurst{{Rank: 0, Prob: 1, Duration: 1}}}).Active() {
+		t.Error("memburst-only spec should be active")
+	}
+	if (&Spec{TStateErrFactor: 2}).Active() {
+		t.Error("factor without a base probability perturbs nothing")
+	}
+}

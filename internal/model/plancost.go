@@ -24,6 +24,7 @@ func (p Params) PredictPlan(st plan.Stats) PlanCost {
 		p.TwInter*p.Cnet*float64(st.MaxInterBytes) +
 		p.TsIntra*float64(st.MaxIntraMsgs) +
 		p.TwIntra*float64(st.MaxIntraBytes+st.MaxCopyBytes+st.MaxRedBytes) +
+		float64(st.MaxVerifyBytes)/plan.DefaultVerifyBytesPerSec +
 		p.ODVFS*float64(st.MaxDVFS) +
 		p.OThrottle*float64(st.MaxThrottle)
 

@@ -22,7 +22,11 @@ import (
 // With injection active it models InfiniBand RC semantics: every attempt
 // occupies the wire; a lost attempt is detected after the ack timeout
 // (here folded into the attempt's own completion plus exponential
-// backoff) and retransmitted, up to the retry budget. A path crossing an
+// backoff) and retransmitted, up to the retry budget. A corrupted attempt
+// is delivered on schedule but fails the receiver's ICRC check — the
+// payload is discarded and a NACK sends the sender down the same backoff
+// and retransmit path (a corrupted message is a latency event, never a
+// wrong-data event, exactly as on real IB). A path crossing an
 // administratively-down link is not charged against the budget — the
 // send requeues until the fault window closes, the simulator's analogue
 // of IB path migration through the send queue.
@@ -45,18 +49,34 @@ func (w *World) netFlow(class fault.MsgClass, src, dst int, wire int64, seq uint
 			return
 		}
 		fl := w.fabric.StartFlow(srcNode, dstNode, wire)
-		if !in.Drop(class, src, dst, seq, n) {
+		dropped := in.Drop(class, src, dst, seq, n)
+		corrupted := false
+		if !dropped {
+			corrupted = in.Corrupt(class, src, dst, seq, n, w.tstateDepth(src))
+		}
+		if !dropped && !corrupted {
 			fl.Done().Then(deliver)
 			return
 		}
-		// The attempt occupied the wire but its completion (or ack) was
-		// lost; the sender notices after the backoff and retransmits.
-		w.obs.Add(obs.CtrFaultMsgDrops, 1)
+		if dropped {
+			// The attempt occupied the wire but its completion (or ack)
+			// was lost; the sender notices after the backoff and
+			// retransmits.
+			w.obs.Add(obs.CtrFaultMsgDrops, 1)
+		}
 		fl.Done().Then(func() {
+			if corrupted {
+				// Delivered on schedule, but the ICRC check rejects the
+				// payload and NACKs the sender.
+				w.obs.Add(obs.CtrFaultMsgCorruptions, 1)
+				w.obs.Add(obs.CtrFaultMsgNacks, 1)
+			}
 			if n+1 >= budget {
 				w.obs.Add(obs.CtrFaultRetriesExhausted, 1)
-				w.retriesExhausted = append(w.retriesExhausted, fmt.Sprintf(
-					"%v %d→%d seq %d after %d attempts", class, src, dst, seq, n+1))
+				w.retriesExhausted = append(w.retriesExhausted, &IntegrityError{
+					Class: class, Src: src, Dst: dst, Seq: seq,
+					Attempts: n + 1, Corrupted: corrupted,
+				})
 				return
 			}
 			w.obs.Add(obs.CtrFaultMsgRetransmits, 1)

@@ -18,11 +18,11 @@ func TestIsendIrecvArgErrors(t *testing.T) {
 			return
 		}
 		cases := []*Request{
-			r.Isend(99, 16, 1),  // rank out of range
-			r.Isend(-1, 16, 1),  // negative rank
-			r.Isend(1, -5, 1),   // negative size
-			r.Irecv(99, 16, 1),  // rank out of range
-			r.Irecv(1, -5, 1),   // negative size
+			r.Isend(99, 16, 1), // rank out of range
+			r.Isend(-1, 16, 1), // negative rank
+			r.Isend(1, -5, 1),  // negative size
+			r.Irecv(99, 16, 1), // rank out of range
+			r.Irecv(1, -5, 1),  // negative size
 		}
 		for i, q := range cases {
 			if q.Err() == nil {

@@ -47,7 +47,13 @@ type agreeState struct {
 	// failedSet is the agreed failed set (global ranks), fixed at
 	// resolution.
 	failedSet map[int]bool
-	resolved  bool
+	// bad is the OR of the members' one-bit votes (AgreeRound): true when
+	// any member wants the round treated as failed even though nobody
+	// died — e.g. an ABFT verification mismatch. Votes are all cast
+	// before resolution (every alive member must join), so readers after
+	// the await see the final value.
+	bad      bool
+	resolved bool
 }
 
 // maybeResolveAgreement resolves st if every group member has either
@@ -94,6 +100,21 @@ func (w *World) maybeResolveAgreement(st *agreeState) {
 // it works on a revoked communicator: agreement is exactly the operation
 // that must survive revocation.
 func (c *Comm) AgreeFailures() []int {
+	failed, _ := c.AgreeRound(false)
+	return failed
+}
+
+// AgreeRound is AgreeFailures extended with a one-bit OR vote, the
+// MPI_Comm_agree flag argument specialized to "retry this round": every
+// member contributes bad (true when its own round failed for a reason no
+// failure detector can see, like an ABFT checksum mismatch) and all
+// members return the OR of the votes alongside the agreed failed set.
+// The vote rides the agreement's existing two binomial sweeps, so a
+// round where everyone votes false is bit-identical — in timing, message
+// count, and counters — to plain AgreeFailures. It must be called
+// congruently by all members (SPMD) and shares the per-communicator
+// agreement sequence with AgreeFailures.
+func (c *Comm) AgreeRound(bad bool) (failed []int, anyBad bool) {
 	r := c.r
 	w := r.world
 	w.ftRequire()
@@ -112,19 +133,21 @@ func (c *Comm) AgreeFailures() []int {
 	// Joining costs one control-message initiation.
 	r.busySleep(w.cfg.InterStartup)
 	st.joined[r.id] = true
+	if bad {
+		st.bad = true
+	}
 	if b := w.obs; b != nil {
 		b.Add(obs.CtrFaultAgreements, 1)
 	}
 	w.maybeResolveAgreement(st)
 	r.await(st.done, "ulfm agree")
-	var failed []int
 	for cr, g := range c.group {
 		if st.failedSet[g] {
 			failed = append(failed, cr)
 		}
 	}
 	sort.Ints(failed)
-	return failed
+	return failed, st.bad
 }
 
 // Revoke marks the communicator revoked: every member blocked in a message

@@ -33,9 +33,11 @@ type World struct {
 	// Config.Fault). All its methods are nil-safe.
 	inj *fault.Injector
 	// retriesExhausted records protocol messages that spent their whole
-	// retry budget; Run folds them into the deadlock report so a lost
-	// rendezvous surfaces as a diagnosable failure, not a bare hang.
-	retriesExhausted []string
+	// retry budget (lost or ICRC-rejected); Run folds them into the
+	// deadlock report so a lost rendezvous surfaces as a diagnosable
+	// failure, not a bare hang, and wraps the first so errors.As can
+	// recover the typed IntegrityError.
+	retriesExhausted []*IntegrityError
 	// wire is the value side channel pairing SendValue payloads with
 	// RecvValue pickups (see fault.go).
 	wire map[wireKey][]float64
@@ -85,8 +87,14 @@ func NewWorld(cfg Config) (*World, error) {
 				return nil, err
 			}
 		}
-		if len(cfg.Fault.Crashes) > 0 {
+		// Crashes and memory-corruption bursts both need the failure
+		// machinery armed before any rank parks in a wait: recovery from
+		// either relies on revocation draining already-blocked peers, and
+		// a wait entered with the machinery down never learns about it.
+		if len(cfg.Fault.Crashes) > 0 || len(cfg.Fault.MemBursts) > 0 {
 			w.ftRequire()
+		}
+		if len(cfg.Fault.Crashes) > 0 {
 			for _, cr := range cfg.Fault.CrashSchedule() {
 				rank := cr.Rank
 				w.eng.At(simtime.Time(0).Add(cr.At), func() { w.crashRank(rank) })
@@ -194,9 +202,17 @@ func (w *World) Run() (simtime.Duration, error) {
 		if len(w.retriesExhausted) > 0 && errors.As(err, &dl) {
 			// The hang has a known root cause: messages that spent
 			// their whole retry budget. Name them alongside the
-			// blocked waits.
-			return 0, fmt.Errorf("mpi: %d message(s) exhausted their retry budget (%s): %w",
-				len(w.retriesExhausted), strings.Join(w.retriesExhausted, "; "), err)
+			// blocked waits, wrapping the first typed record.
+			rest := make([]string, 0, len(w.retriesExhausted)-1)
+			for _, e := range w.retriesExhausted[1:] {
+				rest = append(rest, e.Error())
+			}
+			tail := ""
+			if len(rest) > 0 {
+				tail = "; " + strings.Join(rest, "; ")
+			}
+			return 0, fmt.Errorf("mpi: %d message(s) exhausted their retry budget (%w%s): %w",
+				len(w.retriesExhausted), w.retriesExhausted[0], tail, err)
 		}
 		return 0, err
 	}

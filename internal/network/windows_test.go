@@ -30,11 +30,11 @@ func TestOverlappingWindowsComposeToMinimum(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := sampleFactor(eng, f, "node0-up", []simtime.Duration{
-		ms / 2,          // before both
-		3 * ms / 2,      // degrade only
-		3 * ms,          // overlap: down wins
-		11 * ms / 2,     // degrade window closed, down still open
-		13 * ms / 2,     // both closed
+		ms / 2,      // before both
+		3 * ms / 2,  // degrade only
+		3 * ms,      // overlap: down wins
+		11 * ms / 2, // degrade window closed, down still open
+		13 * ms / 2, // both closed
 	})
 	runAll(t, eng)
 	want := []float64{1, 0.5, 0, 0, 1}

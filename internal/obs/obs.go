@@ -98,12 +98,24 @@ const (
 	CtrFaultRetriesExhausted = "fault.msg.retries_exhausted"
 	CtrFaultPowerDelays      = "fault.power.delays"
 	DurFaultPowerDelay       = "fault.power.delay"
+	// End-to-end integrity: injected corruption and its detection.
+	// CtrFaultMsgCorruptions counts in-flight bit flips injected into
+	// protocol messages; CtrFaultMsgNacks the ICRC rejects NACKed back to
+	// the sender (one per corruption today — kept separate so a future
+	// coalescing receiver stays observable). CtrFaultMemCorruptions counts
+	// memory-burst hits on reduction accumulators (invisible to the
+	// transport), and CtrIntegrityVerifyFails the ABFT checksum mismatches
+	// that caught them.
+	CtrFaultMsgCorruptions  = "fault.msg.corruptions"
+	CtrFaultMsgNacks        = "integrity.icrc.nacks"
+	CtrFaultMemCorruptions  = "fault.mem.corruptions"
+	CtrIntegrityVerifyFails = "integrity.verify.failures"
 	// Crash-stop failure and ULFM-style recovery counters.
-	CtrFaultRankCrashes   = "fault.rank.crashes"
-	CtrFaultMsgsToDead    = "fault.msg.to_dead"
-	CtrFaultPeerFailures  = "fault.peer.failures_detected"
-	CtrFaultCommRevokes   = "fault.comm.revokes"
-	CtrFaultAgreements    = "fault.comm.agreements"
+	CtrFaultRankCrashes  = "fault.rank.crashes"
+	CtrFaultMsgsToDead   = "fault.msg.to_dead"
+	CtrFaultPeerFailures = "fault.peer.failures_detected"
+	CtrFaultCommRevokes  = "fault.comm.revokes"
+	CtrFaultAgreements   = "fault.comm.agreements"
 	// CtrCollectiveFallbacks counts collectives that abandoned their
 	// topology-aware schedule for a degradation-tolerant variant.
 	CtrCollectiveFallbacks = "collective.fallbacks"

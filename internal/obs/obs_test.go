@@ -155,13 +155,13 @@ func TestMetricsJSONDeterministic(t *testing.T) {
 
 func TestSizeLabel(t *testing.T) {
 	cases := map[int64]string{
-		0:       "0B",
-		512:     "512B",
-		1 << 10: "1KiB",
+		0:           "0B",
+		512:         "512B",
+		1 << 10:     "1KiB",
 		256<<10 + 1: func() string { return "262145B" }(),
-		256 << 10: "256KiB",
-		1 << 20:   "1MiB",
-		3 << 20:   "3MiB",
+		256 << 10:   "256KiB",
+		1 << 20:     "1MiB",
+		3 << 20:     "3MiB",
 	}
 	for in, want := range cases {
 		if got := SizeLabel(in); got != want {

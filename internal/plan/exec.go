@@ -16,6 +16,9 @@ type Env struct {
 	// ReduceBytesPerSec is the full-speed local reduction rate charged
 	// by OpReduce steps (must be positive when the plan reduces).
 	ReduceBytesPerSec float64
+	// VerifyBytesPerSec is the checksum-fold rate charged by OpVerify
+	// steps; zero selects DefaultVerifyBytesPerSec.
+	VerifyBytesPerSec float64
 	// OnPhase, when non-nil, receives each closed phase's name and
 	// duration (the per-phase trace accrual of the collective layer).
 	OnPhase func(name string, d simtime.Duration)
@@ -53,6 +56,12 @@ func Execute(p *Plan, env Env) error {
 	}
 	r := c.Owner()
 	var bus *obs.Bus = r.World().Obs()
+	in := r.World().Injector()
+	// tainted marks this rank's reduction accumulator as hit by a memory-
+	// corruption burst; the next OpVerify detects it (a plan carries no
+	// values, so the taint bit is the IR-level image of the checked
+	// collectives' sum != check comparison).
+	tainted := false
 
 	type openPhase struct {
 		name  string
@@ -96,6 +105,15 @@ func Execute(p *Plan, env Env) error {
 			stepSpan(s, func() {
 				r.StreamCompute(simtime.DurationOf(float64(s.Bytes) / env.ReduceBytesPerSec))
 			})
+			if s.Bytes > 0 {
+				if _, hit := in.MemCorrupt(r.ID(), r.Now().Sub(simtime.Time(0))); hit {
+					tainted = true
+					if bus != nil {
+						bus.Add(obs.CtrFaultMemCorruptions, 1)
+						bus.Instant(r.ObsTrack(), "mem corrupt", nil)
+					}
+				}
+			}
 		case OpCopy:
 			if s.Bytes > 0 {
 				stepSpan(s, func() { r.MemCopy(s.Bytes) })
@@ -113,6 +131,24 @@ func Execute(p *Plan, env Env) error {
 				stepSpan(s, func() { r.SetThrottle(t) })
 			default:
 				return fmt.Errorf("plan %q: rank %d step %d has unknown power action %d", p.Name, me, i, s.Power.Kind)
+			}
+		case OpVerify:
+			stepSpan(s, func() {
+				if s.Bytes > 0 {
+					rate := env.VerifyBytesPerSec
+					if rate <= 0 {
+						rate = DefaultVerifyBytesPerSec
+					}
+					r.StreamCompute(simtime.DurationOf(float64(s.Bytes) / rate))
+				}
+			})
+			if tainted {
+				tainted = false
+				if bus != nil {
+					bus.Add(obs.CtrIntegrityVerifyFails, 1)
+					bus.Instant(r.ObsTrack(), "abft verify failed", nil)
+				}
+				opErr = &IntegrityError{Plan: p.Name, Rank: me, Step: i}
 			}
 		case OpPhaseBegin:
 			phases = append(phases, openPhase{name: s.Phase, start: r.Now()})

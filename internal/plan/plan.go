@@ -56,6 +56,11 @@ const (
 	// OpPhaseEnd closes the innermost open phase, emitting its span and
 	// accruing its duration into the caller's phase trace.
 	OpPhaseEnd
+	// OpVerify charges an ABFT checksum fold over Bytes and fails the
+	// plan with an IntegrityError if any preceding OpReduce on this rank
+	// was hit by an injected memory-corruption burst. It is the plan-IR
+	// form of the checked collectives' end-of-algorithm verification.
+	OpVerify
 )
 
 func (o Op) String() string {
@@ -78,6 +83,8 @@ func (o Op) String() string {
 		return "phase-begin"
 	case OpPhaseEnd:
 		return "phase-end"
+	case OpVerify:
+		return "verify"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -249,6 +256,11 @@ func (s *RankSchedule) PhaseEnd() *RankSchedule {
 	return s.add(Step{Op: OpPhaseEnd})
 }
 
+// Verify appends an ABFT verification of bytes of reduced data.
+func (s *RankSchedule) Verify(bytes int64) *RankSchedule {
+	return s.add(Step{Op: OpVerify, Bytes: bytes})
+}
+
 // Stats is the cost-relevant summary of one plan, used by the analytical
 // model to price candidate schedules. Traffic is split by locality using
 // the plan's NodeOf table (all traffic counts as inter-node when the
@@ -260,14 +272,15 @@ type Stats struct {
 	MaxSteps int
 	// Per-rank maxima over the schedule (the critical rank dominates an
 	// SPMD collective's latency).
-	MaxInterMsgs  int
-	MaxInterBytes int64
-	MaxIntraMsgs  int
-	MaxIntraBytes int64
-	MaxCopyBytes  int64
-	MaxRedBytes   int64
-	MaxDVFS       int
-	MaxThrottle   int
+	MaxInterMsgs   int
+	MaxInterBytes  int64
+	MaxIntraMsgs   int
+	MaxIntraBytes  int64
+	MaxCopyBytes   int64
+	MaxRedBytes    int64
+	MaxVerifyBytes int64
+	MaxDVFS        int
+	MaxThrottle    int
 	// TotalInterBytes sums inter-node payload over all ranks (energy is
 	// a whole-cluster quantity).
 	TotalInterBytes int64
@@ -284,7 +297,7 @@ func (p *Plan) ComputeStats() Stats {
 	}
 	for r, steps := range p.Steps {
 		var interMsgs, intraMsgs, dvfs, throttle int
-		var interBytes, intraBytes, copyBytes, redBytes int64
+		var interBytes, intraBytes, copyBytes, redBytes, verifyBytes int64
 		acc := func(peer int, bytes int64) {
 			if sameNode(r, peer) {
 				intraMsgs++
@@ -306,6 +319,8 @@ func (p *Plan) ComputeStats() Stats {
 				copyBytes += s.Bytes
 			case OpReduce:
 				redBytes += s.Bytes
+			case OpVerify:
+				verifyBytes += s.Bytes
 			case OpPower:
 				switch s.Power.Kind {
 				case PowerThrottle:
@@ -336,6 +351,9 @@ func (p *Plan) ComputeStats() Stats {
 		}
 		if redBytes > st.MaxRedBytes {
 			st.MaxRedBytes = redBytes
+		}
+		if verifyBytes > st.MaxVerifyBytes {
+			st.MaxVerifyBytes = verifyBytes
 		}
 		if dvfs > st.MaxDVFS {
 			st.MaxDVFS = dvfs

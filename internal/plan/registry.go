@@ -36,6 +36,11 @@ type Spec struct {
 	// DeepT is the T-state of fully idled cores during phased schedules
 	// (the paper uses T7).
 	DeepT power.TState
+	// Verify appends an ABFT checksum verification (OpVerify) to each
+	// rank's schedule where the builder supports it, so memory-burst
+	// corruption of the reduction buffers fails the plan instead of
+	// escaping silently.
+	Verify bool
 }
 
 // Size resolves the per-pair payload: SizeOf when set, Bytes otherwise.

@@ -98,7 +98,7 @@ func (p *Plan) verifyStructure() error {
 				if s.SendTag < 0 || s.RecvTag < 0 {
 					return p.fail(r, i, "sendrecv negative tags (%d, %d)", s.SendTag, s.RecvTag)
 				}
-			case OpReduce, OpCopy:
+			case OpReduce, OpCopy, OpVerify:
 				if s.Bytes < 0 {
 					return p.fail(r, i, "%v negative size %d", s.Op, s.Bytes)
 				}

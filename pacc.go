@@ -90,12 +90,23 @@ type (
 	Crash = fault.Crash
 	// Straggler marks one rank as computing slower than its peers.
 	Straggler = fault.Straggler
+	// MemBurst schedules a time-windowed memory-corruption burst: bit
+	// flips in reduction buffers that the transport ICRC cannot see (only
+	// the checked collectives catch them).
+	MemBurst = fault.MemBurst
 	// PeerFailedError reports an operation aborted because the peer rank
 	// crashed (detected by the ack/heartbeat timeout).
 	PeerFailedError = mpi.PeerFailedError
 	// CommRevokedError reports an operation aborted because the
 	// communicator was revoked during recovery.
 	CommRevokedError = mpi.CommRevokedError
+	// IntegrityError reports a protocol message that exhausted its retry
+	// budget without a clean delivery (lost, or ICRC-rejected in flight).
+	IntegrityError = mpi.IntegrityError
+	// VerificationError reports an ABFT checksum mismatch caught by a
+	// checked collective — corruption that happened in memory, past the
+	// transport's ICRC.
+	VerificationError = collective.VerificationError
 )
 
 // Progression modes.
@@ -243,6 +254,13 @@ func AllreduceRD(c *Comm, bytes int64, opt CollectiveOptions) error {
 // or CommRevokedError) — the class of errors ULFM-style recovery consumes.
 func IsFailure(err error) bool { return mpi.IsFailure(err) }
 
+// IsIntegrity reports whether err stems from detected data corruption at
+// any layer: a transport message undeliverable within its retry budget
+// (IntegrityError), an ABFT checksum mismatch (VerificationError), or a
+// tainted plan verification step. Resilient collectives consume these
+// like failures; when one escapes, the data never did.
+func IsIntegrity(err error) bool { return collective.IsIntegrity(err) }
+
 // RunResilient runs body over c with ULFM-style crash recovery: on a
 // failure every survivor revokes, agrees on the failed set, restores
 // fmax/T0, shrinks the communicator and retries body on the survivor
@@ -263,6 +281,23 @@ func AllreduceSumFT(c *Comm, bytes int64, v float64, opt CollectiveOptions) (flo
 // survivor group.
 func AllreduceFT(c *Comm, bytes int64, opt CollectiveOptions) (*Comm, error) {
 	return collective.AllreduceFT(c, bytes, opt)
+}
+
+// AllreduceSumChecked is AllreduceSum with ABFT self-verification: a
+// checksum shadow rides the same message schedule and the result is
+// verified before it is returned — a corrupted value surfaces as a
+// VerificationError, never as a silently wrong sum.
+func AllreduceSumChecked(c *Comm, bytes int64, v float64, opt CollectiveOptions) (float64, error) {
+	return collective.AllreduceSumChecked(c, bytes, v, opt)
+}
+
+// AllreduceSumFTChecked combines the checked allreduce with ULFM-style
+// recovery: a verification failure is treated like a crashed round —
+// revoke, agree, retry — so transient corruption costs retries, not
+// correctness. The error after an exhausted budget stays classifiable
+// with IsIntegrity.
+func AllreduceSumFTChecked(c *Comm, bytes int64, v float64, opt CollectiveOptions) (float64, *Comm, error) {
+	return collective.AllreduceSumFTChecked(c, bytes, v, opt)
 }
 
 // Gather collects per-rank blocks onto root.

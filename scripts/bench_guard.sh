@@ -1,0 +1,34 @@
+#!/bin/sh -e
+# Bench guard for the data-integrity work: the healthy-path cost of the
+# ABFT checksum lane. Runs the 8 nodes x 8 ranks/node 1 MiB allreduce
+# with and without -verify, records both simulated latencies and the
+# overhead in BENCH_5.json, and fails when the overhead exceeds the 3%
+# budget — the checksum shadow rides the existing message schedule, so
+# it must only ever cost the verification folds.
+cd "$(dirname "$0")/.."
+
+run() {
+	go run ./cmd/osu -op allreduce_topo -procs 64 -ppn 8 -size 1M -iters 5 "$@" |
+		awk '/^1048576/ {print $2}'
+}
+
+plain=$(run)
+checked=$(run -verify)
+overhead=$(awk -v p="$plain" -v c="$checked" 'BEGIN {printf "%.4f", c/p - 1}')
+
+cat >BENCH_5.json <<EOF
+{
+  "benchmark": "allreduce_topo, 8 nodes x 8 ranks/node, 1 MiB, healthy path",
+  "plain_latency_us": $plain,
+  "checked_latency_us": $checked,
+  "checksum_overhead": $overhead,
+  "budget": 0.03
+}
+EOF
+
+if ! awk -v o="$overhead" 'BEGIN {exit !(o <= 0.03 && o >= 0)}'; then
+	echo "bench guard: checksum overhead $overhead outside [0, 0.03]" \
+		"(plain ${plain}us, checked ${checked}us)" >&2
+	exit 1
+fi
+echo "bench guard: checksum overhead $overhead within the 3% budget; wrote BENCH_5.json"
