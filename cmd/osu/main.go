@@ -217,6 +217,7 @@ func main() {
 		progression = flag.String("progression", "polling", "polling or blocking")
 		traceOut    = flag.String("trace", "", "write a merged Chrome trace (power + MPI + network + collective) of the last size's run to this file")
 		metricsOut  = flag.String("metrics", "", "write a metrics JSON snapshot of the last size's run to this file")
+		reportOut   = flag.String("report", "", "write an analytics report (critical path, per-rank slack, energy attribution) of the last size's run to this file; analyze further with cmd/paccprof")
 		configPath  = flag.String("config", "", "load the base cluster configuration from a JSON file")
 		dumpConfig  = flag.String("dump-config", "", "write the default configuration to this file and exit")
 		faultSpec   = flag.String("fault", "", "deterministic fault-injection spec, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5', 'crash=5@200us;detect=100us' (crash-stop; pair with -op allreduce_ft), or 'seed=7;corrupt=0.05;terrfactor=2;memburst=3@0.2:100us+1ms' (in-flight bit flips are ICRC-rejected and retransmitted; memory bursts need -verify to be caught)")
@@ -311,13 +312,14 @@ func main() {
 	}
 	fmt.Printf("%-12s %14s %14s\n", "size(B)", "latency(us)", "cluster(W)")
 
-	wantObs := *traceOut != "" || *metricsOut != ""
+	wantObs := *traceOut != "" || *metricsOut != "" || *reportOut != ""
 	// A crash-stop spec kills ranks permanently, and the plain barrier has
 	// no failure path: run the iterations back-to-back instead (the
 	// resilient collective synchronizes the survivors itself).
 	skipBarrier := baseCfg.Fault != nil && len(baseCfg.Fault.Crashes) > 0
+	wantReport := *reportOut != ""
 	for _, size := range sizes {
-		lat, watts, sess, err := measure(baseCfg, call, size, *procs, *ppn, mode, opt, *progression, *iters, wantObs, skipBarrier)
+		lat, watts, sess, err := measure(baseCfg, call, size, *procs, *ppn, mode, opt, *progression, *iters, wantObs, wantReport, skipBarrier)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "osu:", err)
 			os.Exit(1)
@@ -343,6 +345,13 @@ func main() {
 				}
 				fmt.Printf("# wrote metrics snapshot to %s\n", *metricsOut)
 			}
+			if *reportOut != "" {
+				if err := sess.WriteReportFile(*reportOut); err != nil {
+					fmt.Fprintln(os.Stderr, "osu:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("# wrote analytics report to %s\n", *reportOut)
+			}
 		}
 	}
 }
@@ -352,7 +361,7 @@ func main() {
 // cluster power over the whole run.
 func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOptions) error, size int64,
 	procs, ppn int, mode pacc.PowerMode, base pacc.CollectiveOptions, progression string, iters int,
-	wantObs, skipBarrier bool) (float64, float64, *pacc.ObsSession, error) {
+	wantObs, wantReport, skipBarrier bool) (float64, float64, *pacc.ObsSession, error) {
 
 	cfg.NProcs = procs
 	cfg.PPN = ppn
@@ -375,6 +384,9 @@ func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOption
 	var sess *pacc.ObsSession
 	if wantObs {
 		sess = pacc.AttachObs(w)
+		if wantReport {
+			sess.EnableAnalytics()
+		}
 	}
 	var tr0 *pacc.Trace
 	var callErr error

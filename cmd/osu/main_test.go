@@ -68,7 +68,7 @@ func TestOpNamesSortedAndComplete(t *testing.T) {
 // size.
 func TestMeasureSmoke(t *testing.T) {
 	lat, watts, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
-		16, 8, pacc.NoPower, pacc.CollectiveOptions{}, "polling", 2, false, false)
+		16, 8, pacc.NoPower, pacc.CollectiveOptions{}, "polling", 2, false, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +76,11 @@ func TestMeasureSmoke(t *testing.T) {
 		t.Fatalf("degenerate measurement: %v us, %v W", lat, watts)
 	}
 	if _, _, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
-		15, 8, pacc.NoPower, pacc.CollectiveOptions{}, "polling", 1, false, false); err == nil {
+		15, 8, pacc.NoPower, pacc.CollectiveOptions{}, "polling", 1, false, false, false); err == nil {
 		t.Error("procs not multiple of ppn accepted")
 	}
 	if _, _, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
-		16, 8, pacc.NoPower, pacc.CollectiveOptions{}, "warp", 1, false, false); err == nil {
+		16, 8, pacc.NoPower, pacc.CollectiveOptions{}, "warp", 1, false, false, false); err == nil {
 		t.Error("bogus progression accepted")
 	}
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pacc"
+	"pacc/internal/analyze"
+	"pacc/internal/simtime"
+)
+
+// runSession produces one small instrumented run and returns its session.
+func runSession(t *testing.T) *pacc.ObsSession {
+	t.Helper()
+	cfg := pacc.DefaultConfig()
+	cfg.NProcs = 8
+	cfg.PPN = 1
+	w, err := pacc.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := pacc.AttachObs(w)
+	w.Launch(func(r *pacc.Rank) {
+		r.Compute(simtime.Duration(r.ID()) * 10 * simtime.Microsecond)
+		if err := pacc.AllgatherRing(pacc.CommWorld(r), 64<<10, pacc.CollectiveOptions{}); err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// TestCheckReport pins the -check gate on a real run's report and on
+// degenerate reports.
+func TestCheckReport(t *testing.T) {
+	rep := runSession(t).Report()
+	if err := checkReport(rep); err != nil {
+		t.Fatalf("check of a real run failed: %v", err)
+	}
+	if err := checkReport(&analyze.Report{Schema: "bogus"}); err == nil {
+		t.Error("bad schema passed the check")
+	}
+	empty := &analyze.Report{Schema: analyze.SchemaVersion, Ranks: 4, SpanUs: 100}
+	if err := checkReport(empty); err == nil {
+		t.Error("zero-slack report passed the check")
+	}
+}
+
+// TestReadReportRoundTrip checks the file round trip the diff command
+// relies on, including rejection of non-report JSON.
+func TestReadReportRoundTrip(t *testing.T) {
+	sess := runSession(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	if err := sess.WriteReportFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := sess.WriteReport(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("report changed across the file round trip")
+	}
+
+	bogus := filepath.Join(dir, "trace.json")
+	if err := os.WriteFile(bogus, []byte(`[{"name":"x","ph":"X"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReport(bogus); err == nil {
+		t.Error("non-report JSON accepted by readReport")
+	}
+}

@@ -33,14 +33,15 @@ func main() {
 		list    = flag.Bool("list", false, "list registered experiments and exit")
 		traceP  = flag.String("trace", "", "write a merged Chrome trace of an instrumented demo run to this file")
 		metricP = flag.String("metrics", "", "write a metrics JSON snapshot of the demo run to this file")
+		reportP = flag.String("report", "", "write an analytics report (critical path, slack, energy attribution) of the demo run to this file")
 		obsSpec = flag.String("obs", "alltoall:256K:proposed", "demo run for -trace/-metrics as op:size:mode")
 		faultP  = flag.String("fault", "", "deterministic fault-injection spec for the demo run, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms'; crash-stop syntax: 'crash=RANK@TIME;detect=DUR'; data corruption: 'corrupt=PROB;terrfactor=N;memburst=RANK@PROB:START+DUR' (RANK may be *)")
 		planP   = flag.String("plan", "", "communication plan for the demo run: a registered builder name, or 'auto' for cost-based selection")
 	)
 	flag.Parse()
 
-	if *traceP != "" || *metricP != "" {
-		if err := captureObs(*obsSpec, *faultP, *planP, *traceP, *metricP); err != nil {
+	if *traceP != "" || *metricP != "" || *reportP != "" {
+		if err := captureObs(*obsSpec, *faultP, *planP, *traceP, *metricP, *reportP); err != nil {
 			fmt.Fprintln(os.Stderr, "powercoll:", err)
 			os.Exit(1)
 		}
@@ -135,7 +136,7 @@ var obsOps = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptio
 // captureObs runs one instrumented collective call on the default testbed
 // (optionally under a fault-injection spec) and writes the merged trace
 // and/or metrics snapshot.
-func captureObs(spec, faultSpec, planName, tracePath, metricsPath string) error {
+func captureObs(spec, faultSpec, planName, tracePath, metricsPath, reportPath string) error {
 	op, bytes, mode, err := parseObsSpec(spec)
 	if err != nil {
 		return err
@@ -154,6 +155,9 @@ func captureObs(spec, faultSpec, planName, tracePath, metricsPath string) error 
 		return err
 	}
 	sess := pacc.AttachObs(w)
+	if reportPath != "" {
+		sess.EnableAnalytics()
+	}
 	var callErr error
 	w.Launch(func(r *pacc.Rank) {
 		opt := pacc.CollectiveOptions{Power: mode, Plan: planName}
@@ -178,6 +182,12 @@ func captureObs(spec, faultSpec, planName, tracePath, metricsPath string) error 
 			return err
 		}
 		fmt.Printf("wrote metrics snapshot of %s to %s\n", spec, metricsPath)
+	}
+	if reportPath != "" {
+		if err := sess.WriteReportFile(reportPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote analytics report of %s to %s\n", spec, reportPath)
 	}
 	return nil
 }

@@ -1,0 +1,50 @@
+package analyze
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+)
+
+// annotatedEvent extends the Chrome event shape with the cname color
+// field chrome://tracing honors.
+type annotatedEvent struct {
+	Event
+	CName string `json:"cname,omitempty"`
+}
+
+// WriteAnnotatedTrace re-emits the model's event stream as Chrome trace
+// JSON with the analysis folded in: spans on a critical path gain
+// args.crit=true and a red color, and every wait span is annotated with
+// its slack in µs — so a timeline view answers "which rank bounds
+// completion and where could the others have slowed down" at a glance.
+func (a *Analysis) WriteAnnotatedTrace(w io.Writer) error {
+	out := make([]annotatedEvent, 0, len(a.model.Events))
+	for i, e := range a.model.Events {
+		ae := annotatedEvent{Event: e}
+		crit := a.crit[i]
+		wait := e.Ph == "X" && strings.HasPrefix(e.Name, "wait ")
+		if crit || wait {
+			// Args maps are shared with the source stream; copy before
+			// annotating.
+			args := make(map[string]any, len(e.Args)+2)
+			for k, v := range e.Args {
+				args[k] = v
+			}
+			if crit {
+				args["crit"] = true
+				ae.CName = "terrible" // chrome://tracing red
+			}
+			if wait {
+				args["slack_us"] = round3(e.Dur)
+				if !crit {
+					ae.CName = "good" // green: harvestable idle time
+				}
+			}
+			ae.Args = args
+		}
+		out = append(out, ae)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

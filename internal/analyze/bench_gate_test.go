@@ -1,0 +1,109 @@
+package analyze_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+
+	"pacc"
+)
+
+// cpuTime returns the process's accumulated user+system CPU time. Unlike
+// wall clock it is immune to scheduler preemption and hypervisor steal,
+// which on shared CI machines dwarf the ~1% effect being measured.
+func cpuTime(t *testing.T) time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		t.Fatal(err)
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// TestAnalyticsOverheadBudget measures the cost of one live streaming
+// analytics subscriber on the 8-node × 8-rank 1 MiB allreduce — obs
+// attached in both arms, analytics collector attached in one — and
+// enforces the ≤2% budget on process CPU time (wall time is recorded
+// alongside, informationally). The subscriber path must stay a filter
+// branch and one append per event. Run via scripts/bench_guard.sh:
+// skipped unless PACC_BENCH_OUT names the JSON file to write.
+func TestAnalyticsOverheadBudget(t *testing.T) {
+	out := os.Getenv("PACC_BENCH_OUT")
+	if out == "" {
+		t.Skip("set PACC_BENCH_OUT=<path> to run the analytics overhead gate")
+	}
+	const budget = 0.02
+
+	type sample struct{ cpu, wall time.Duration }
+	run := func(subscriber bool) sample {
+		cfg := pacc.DefaultConfig() // 8 nodes × 8 ranks
+		w, err := pacc.NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := pacc.AttachObs(w)
+		if subscriber {
+			sess.EnableAnalytics()
+		}
+		w.Launch(func(r *pacc.Rank) {
+			c := pacc.CommWorld(r)
+			for i := 0; i < 10; i++ {
+				if err := pacc.Allreduce(c, 1<<20, pacc.CollectiveOptions{}); err != nil {
+					t.Errorf("rank %d: %v", r.ID(), err)
+				}
+			}
+		})
+		runtime.GC()
+		cpu0, wall0 := cpuTime(t), time.Now()
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sample{cpu: cpuTime(t) - cpu0, wall: time.Since(wall0)}
+	}
+
+	// Interleave the arms and keep each arm's fastest run: the floor of a
+	// deterministic workload is its true cost, and min-of-N sheds the
+	// one-sided noise (GC pauses, migrations) that remains in CPU time.
+	best := map[bool]sample{}
+	for i := 0; i < 10; i++ {
+		for _, sub := range []bool{false, true} {
+			s := run(sub)
+			if b, ok := best[sub]; !ok || s.cpu < b.cpu {
+				best[sub] = s
+			} else if s.wall < b.wall {
+				b.wall = s.wall
+				best[sub] = b
+			}
+		}
+	}
+	overhead := float64(best[true].cpu)/float64(best[false].cpu) - 1
+
+	doc := map[string]any{
+		"benchmark":           "allreduce, 8 nodes x 8 ranks/node, 1 MiB x10, obs attached",
+		"detached_cpu_s":      best[false].cpu.Seconds(),
+		"subscriber_cpu_s":    best[true].cpu.Seconds(),
+		"detached_wall_s":     best[false].wall.Seconds(),
+		"subscriber_wall_s":   best[true].wall.Seconds(),
+		"subscriber_overhead": overhead,
+		"budget":              budget,
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("analytics overhead: detached %v cpu, subscriber %v cpu, overhead %.4f (budget %.2f)",
+		best[false].cpu, best[true].cpu, overhead, budget)
+	if overhead > budget {
+		t.Errorf("live-subscriber overhead %.4f exceeds the %.2f budget", overhead, budget)
+	}
+}

@@ -1,0 +1,116 @@
+package analyze
+
+import "sort"
+
+// critWalk is one backward critical-path reconstruction over a time
+// window: starting from the last-finishing rank, walk backward through
+// that rank's waits; each wait whose dependency edge names a peer hops
+// the walk to the peer at the time the dependency was satisfied. The
+// time between consecutive waits is critical work attributed to the
+// rank executing it, so the per-rank shares say which ranks bound
+// completion — the "who do we wait for" question the paper's throttling
+// schedule answers statically and this engine answers empirically.
+type critWalk struct {
+	// workUs is critical work attributed per rank, µs.
+	workUs map[int]float64
+	// waitIdx collects Model.Events indices of waits on the path.
+	waitIdx []int
+	// opIdx collects the op spans of ranks on the path (set by callers).
+	opIdx []int
+}
+
+// walkCritical runs the backward walk over [startUs, endUs] beginning
+// at rank `last` at time endUs. Waits are consulted per rank in
+// end-time order.
+func (m *Model) walkCritical(last int, startUs, endUs float64) critWalk {
+	cw := critWalk{workUs: map[int]float64{}}
+	byEnd := map[int][]waitSpan{}
+	for r, rt := range m.ranks {
+		ws := make([]waitSpan, len(rt.waits))
+		copy(ws, rt.waits)
+		sort.SliceStable(ws, func(i, j int) bool {
+			if ws[i].end != ws[j].end {
+				return ws[i].end < ws[j].end
+			}
+			return ws[i].start < ws[j].start
+		})
+		byEnd[r] = ws
+	}
+	type visit struct {
+		rank int
+		t    float64
+	}
+	seen := map[visit]bool{}
+	cur, t := last, endUs
+	// The walk is bounded: every step either moves t strictly earlier or
+	// hops to a (rank, time) pair not yet visited.
+	for steps := 0; steps < 4*len(m.ranks)*(totalWaits(m)+1)+16; steps++ {
+		v := visit{cur, t}
+		if seen[v] || t <= startUs {
+			break
+		}
+		seen[v] = true
+		ws := byEnd[cur]
+		// Latest wait of cur ending at or before t (and after the window
+		// start: anything earlier is outside the call being analyzed).
+		i := sort.Search(len(ws), func(i int) bool { return ws[i].end > t }) - 1
+		if i < 0 || ws[i].end <= startUs {
+			cw.workUs[cur] += t - startUs
+			break
+		}
+		w := ws[i]
+		cw.workUs[cur] += t - w.end
+		cw.waitIdx = append(cw.waitIdx, w.idx)
+		if w.peer >= 0 && m.ranks[w.peer] != nil && w.peer != cur {
+			// The dependency was satisfied by the peer at the moment the
+			// wait ended: continue the path on the peer's timeline.
+			cur, t = w.peer, w.end
+			continue
+		}
+		// No dependency edge (e.g. an agreement wait): the wait itself is
+		// on the path; continue on the same rank before it began.
+		t = w.start
+	}
+	return cw
+}
+
+func totalWaits(m *Model) int {
+	n := 0
+	for _, rt := range m.ranks {
+		n += len(rt.waits)
+	}
+	return n
+}
+
+// slackIn sums a rank's wait time overlapping [startUs, endUs], total
+// and split into the portions harvestable by DVFS or throttling: a wait
+// is harvestable under a mechanism only if it is long enough to pay the
+// round-trip switch cost (2× the transition latency), and only the
+// remainder beyond that cost counts.
+func (m *Model) slackIn(rank int, startUs, endUs, odvfsUs, othrottleUs float64) (total, dvfs, throttle float64) {
+	rt := m.ranks[rank]
+	if rt == nil {
+		return 0, 0, 0
+	}
+	for _, w := range rt.waits {
+		lo, hi := w.start, w.end
+		if lo < startUs {
+			lo = startUs
+		}
+		if hi > endUs {
+			hi = endUs
+		}
+		d := hi - lo
+		if d <= 0 {
+			continue
+		}
+		total += d
+		if c := 2 * odvfsUs; d > c {
+			dvfs += d - c
+		}
+		if c := 2 * othrottleUs; d > c {
+			throttle += d - c
+		}
+	}
+	return total, dvfs, throttle
+}

@@ -1,0 +1,90 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+)
+
+// Thresholds are the regression gates of a report diff, in percent
+// (new vs. base). Zero disables a gate.
+type Thresholds struct {
+	// MeanPct gates per-collective mean latency growth.
+	MeanPct float64
+	// P99Pct gates per-collective tail latency growth.
+	P99Pct float64
+	// EnergyPct gates total energy growth.
+	EnergyPct float64
+}
+
+// DefaultThresholds allows 5% mean, 10% tail, 5% energy growth.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MeanPct: 5, P99Pct: 10, EnergyPct: 5}
+}
+
+// DiffEntry is one compared metric.
+type DiffEntry struct {
+	Metric    string  `json:"metric"`
+	Base      float64 `json:"base"`
+	New       float64 `json:"new"`
+	DeltaPct  float64 `json:"delta_pct"`
+	Regressed bool    `json:"regressed"`
+}
+
+// DiffResult is the outcome of comparing two reports.
+type DiffResult struct {
+	Entries     []DiffEntry `json:"entries"`
+	Regressions int         `json:"regressions"`
+}
+
+// Diff compares two reports collective-by-collective (mean and p99
+// latency) plus total energy, marking entries that exceed the
+// thresholds. Collectives present in only one report are skipped: a
+// diff gates regressions of shared work, not workload changes.
+func Diff(base, next *Report, th Thresholds) *DiffResult {
+	res := &DiffResult{}
+	byOp := map[string]CollectiveReport{}
+	for _, c := range next.Collectives {
+		byOp[c.Op] = c
+	}
+	add := func(metric string, b, n, limit float64) {
+		e := DiffEntry{Metric: metric, Base: round3(b), New: round3(n)}
+		if b > 0 {
+			e.DeltaPct = round3((n - b) / b * 100)
+		} else if n > 0 {
+			e.DeltaPct = 100
+		}
+		if limit > 0 && e.DeltaPct > limit {
+			e.Regressed = true
+			res.Regressions++
+		}
+		res.Entries = append(res.Entries, e)
+	}
+	for _, bc := range base.Collectives {
+		nc, ok := byOp[bc.Op]
+		if !ok || bc.Latency.Count == 0 || nc.Latency.Count == 0 {
+			continue
+		}
+		add(bc.Op+".latency.mean_us", bc.Latency.MeanUs, nc.Latency.MeanUs, th.MeanPct)
+		add(bc.Op+".latency.p99_us", bc.Latency.P99Us, nc.Latency.P99Us, th.P99Pct)
+	}
+	if base.TotalJoules > 0 || next.TotalJoules > 0 {
+		add("energy.total_j", base.TotalJoules, next.TotalJoules, th.EnergyPct)
+	}
+	return res
+}
+
+// Write renders the diff as an aligned text table.
+func (d *DiffResult) Write(w io.Writer) error {
+	for _, e := range d.Entries {
+		flag := "  "
+		if e.Regressed {
+			flag = "!!"
+		}
+		if _, err := fmt.Fprintf(w, "%s %-40s base=%12.3f new=%12.3f delta=%+7.2f%%\n",
+			flag, e.Metric, e.Base, e.New, e.DeltaPct); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d regression(s)\n", d.Regressions)
+	return err
+}

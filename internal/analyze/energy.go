@@ -1,0 +1,132 @@
+package analyze
+
+import "sort"
+
+// PhaseEnergy is the energy drawn during one named algorithm phase,
+// split by the power state it was drawn in.
+type PhaseEnergy struct {
+	Phase   string        `json:"phase"`
+	TotalJ  float64       `json:"total_j"`
+	ByState []StateEnergy `json:"by_state"`
+}
+
+// StateEnergy is one (power state, joules) entry of a phase's split.
+type StateEnergy struct {
+	State  string  `json:"state"`
+	Joules float64 `json:"joules"`
+}
+
+// OtherPhase labels core time outside any recorded phase span (job
+// startup, application compute, idle tails).
+const OtherPhase = "(other)"
+
+// energyByPhase intersects every core's power-state residency spans
+// with the phase windows of the rank bound to that core ("bind"
+// instants tie the two timelines together) and integrates watts over
+// each piece: energy attribution by phase × power-state. Cores with no
+// bound rank are attributed wholly to OtherPhase.
+func (m *Model) energyByPhase() ([]PhaseEnergy, float64) {
+	// rank → core comes from bind events; invert over sorted ranks so a
+	// core contended by two ranks (not a configuration the simulator
+	// produces) resolves deterministically to the lowest.
+	rankOfCore := map[int]int{}
+	for _, r := range m.rankIDs() {
+		rt := m.ranks[r]
+		if rt.core >= 0 {
+			if _, taken := rankOfCore[rt.core]; !taken {
+				rankOfCore[rt.core] = r
+			}
+		}
+	}
+	acc := map[string]map[string]float64{} // phase → state → joules
+	add := func(phase, state string, j float64) {
+		if j <= 0 {
+			return
+		}
+		s := acc[phase]
+		if s == nil {
+			s = map[string]float64{}
+			acc[phase] = s
+		}
+		s[state] += j
+	}
+
+	cores := make([]int, 0, len(m.cores))
+	for c := range m.cores {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, core := range cores {
+		cs := m.cores[core]
+		var phases []phaseSpan
+		if r, ok := rankOfCore[core]; ok {
+			phases = m.ranks[r].phases
+		}
+		for _, sp := range cs.spans {
+			for _, piece := range splitByPhases(sp, phases) {
+				j := sp.watts * (piece.end - piece.start) / 1e6
+				add(piece.name, sp.state, j)
+			}
+		}
+	}
+
+	phases := make([]string, 0, len(acc))
+	for p := range acc {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	out := make([]PhaseEnergy, 0, len(phases))
+	total := 0.0
+	for _, p := range phases {
+		states := make([]string, 0, len(acc[p]))
+		for s := range acc[p] {
+			states = append(states, s)
+		}
+		sort.Strings(states)
+		pe := PhaseEnergy{Phase: p}
+		for _, s := range states {
+			j := roundJ(acc[p][s])
+			pe.ByState = append(pe.ByState, StateEnergy{State: s, Joules: j})
+			pe.TotalJ += j
+		}
+		pe.TotalJ = roundJ(pe.TotalJ)
+		total += pe.TotalJ
+		out = append(out, pe)
+	}
+	return out, roundJ(total)
+}
+
+// splitByPhases cuts one core span at every phase boundary and labels
+// each piece with the innermost covering phase (latest start wins;
+// shortest span breaks ties), or OtherPhase when uncovered.
+func splitByPhases(sp coreSpan, phases []phaseSpan) []phaseSpan {
+	cuts := []float64{sp.start, sp.end}
+	for _, ph := range phases {
+		if ph.start > sp.start && ph.start < sp.end {
+			cuts = append(cuts, ph.start)
+		}
+		if ph.end > sp.start && ph.end < sp.end {
+			cuts = append(cuts, ph.end)
+		}
+	}
+	sort.Float64s(cuts)
+	var out []phaseSpan
+	for i := 1; i < len(cuts); i++ {
+		a, b := cuts[i-1], cuts[i]
+		if b <= a {
+			continue
+		}
+		mid := a + (b-a)/2
+		name := OtherPhase
+		bestStart, bestEnd := -1.0, -1.0
+		for _, ph := range phases {
+			if ph.start <= mid && mid < ph.end {
+				if ph.start > bestStart || (ph.start == bestStart && ph.end < bestEnd) {
+					bestStart, bestEnd, name = ph.start, ph.end, ph.name
+				}
+			}
+		}
+		out = append(out, phaseSpan{name: name, start: a, end: b})
+	}
+	return out
+}

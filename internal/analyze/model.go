@@ -1,0 +1,349 @@
+// Package analyze is the deterministic post-run analytics engine: it
+// consumes the observability event stream of one simulated job — live,
+// through the bus's streaming subscriber API, or offline, from an
+// exported Chrome trace file — reconstructs the per-rank timelines and
+// the cross-rank dependency graph, and computes the critical path,
+// per-rank communication slack, and phase × power-state energy
+// attribution the power-aware schemes need (see DESIGN.md §10).
+//
+// Both ingestion paths normalize into the same Model, so a report built
+// from a live run and one built from that run's exported trace are
+// byte-identical.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pacc/internal/obs"
+)
+
+// Event is one normalized trace event: the Chrome trace-event fields
+// with timestamps in float64 microseconds — the common currency of live
+// bus events (integer simulated nanoseconds) and parsed trace files
+// (µs floats). The json tags match the exporter's, so an annotated
+// event array round-trips through chrome://tracing unchanged.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// FromObs converts one live bus event into the normalized form.
+func FromObs(ev obs.Event) Event {
+	e := Event{
+		Name: ev.Name,
+		Cat:  ev.Cat,
+		Ph:   string(ev.Phase),
+		Ts:   ev.Time.Micros(),
+		PID:  ev.Track.PID,
+		TID:  ev.Track.TID,
+		Args: ev.Args,
+	}
+	switch ev.Phase {
+	case 'X':
+		e.Dur = ev.Dur.Micros()
+	case 'i':
+		e.S = "t"
+	case 'b', 'e':
+		e.ID = fmt.Sprintf("%d", ev.AsyncID)
+	}
+	return e
+}
+
+// Collector accumulates events, either streamed from a live bus
+// (Attach / AddObs) or fed pre-normalized (Add). It is the low-overhead
+// path: the streaming callback is a single raw append — no string
+// formatting, no unit conversion — and all normalization is deferred to
+// Model(), outside the simulated run.
+type Collector struct {
+	raw  []obs.Event
+	norm []Event
+}
+
+// NewCollector returns an empty collector with room for a typical
+// instrumented run, so the streaming callback rarely reallocates.
+func NewCollector() *Collector { return &Collector{raw: make([]obs.Event, 0, 1<<13)} }
+
+// Attach subscribes the collector to a bus's event stream; every
+// subsequently emitted timeline event is appended. Returns the
+// subscription id (0 on a nil bus).
+func (c *Collector) Attach(b *obs.Bus) obs.SubID { return b.Subscribe(c.AddObs) }
+
+// AddObs appends one raw bus event. This is the streaming hot path: a
+// couple of branches and at most one append. Events the analyses never
+// read — async message lifecycles, network-track flow spans, non-bind
+// instants — are dropped here rather than retained, keeping the
+// collector's live heap (and hence its GC pressure on the running
+// simulation) small. The same filter applies to the post-run replay
+// path, so streamed and replayed reports stay byte-identical.
+func (c *Collector) AddObs(ev obs.Event) {
+	switch ev.Phase {
+	case 'X':
+		if !isRankTrack(ev.Track.PID, ev.Track.TID) && !isCoreTrack(ev.Track.PID, ev.Track.TID) {
+			return
+		}
+	case 'i':
+		if ev.Name != "bind" {
+			return
+		}
+	default:
+		return
+	}
+	c.raw = append(c.raw, ev)
+}
+
+// Add appends one pre-normalized event.
+func (c *Collector) Add(e Event) { c.norm = append(c.norm, e) }
+
+// Len returns the number of collected events.
+func (c *Collector) Len() int { return len(c.raw) + len(c.norm) }
+
+// Model normalizes the collected events (raw bus events first, then any
+// pre-normalized additions) and wraps them for analysis.
+func (c *Collector) Model() *Model {
+	events := make([]Event, 0, c.Len())
+	for _, ev := range c.raw {
+		events = append(events, FromObs(ev))
+	}
+	events = append(events, c.norm...)
+	return NewModel(events)
+}
+
+// ParseChromeTrace reads an exported Chrome trace-event JSON array into
+// a Model — the offline ingestion path of cmd/paccprof.
+func ParseChromeTrace(r io.Reader) (*Model, error) {
+	var events []Event
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&events); err != nil {
+		return nil, fmt.Errorf("analyze: parsing chrome trace: %w", err)
+	}
+	return NewModel(events), nil
+}
+
+// Model holds one run's normalized event stream plus the derived
+// per-rank and per-core timelines the analyses walk.
+type Model struct {
+	// Events is the full stream in ingestion order (metadata included),
+	// kept verbatim for annotated re-export.
+	Events []Event
+
+	ranks map[int]*rankTimeline
+	cores map[int]*coreSpans
+	// endUs is the latest event end seen on any rank or core track.
+	endUs float64
+}
+
+// opSpan is one top-level collective call observed on one rank.
+type opSpan struct {
+	rank       int
+	op         string
+	start, end float64
+	bytes      int64 // -1 when unknown or size-varying
+	power      string
+	idx        int // index into Model.Events, for annotation
+}
+
+// waitSpan is one blocking wait on one rank; peer is the global rank the
+// wait depended on (-1 when unknown) — the dependency edge of the graph.
+type waitSpan struct {
+	rank       int
+	reason     string
+	start, end float64
+	peer       int
+	idx        int
+}
+
+// phaseSpan is one named algorithm phase on one rank (possibly nested).
+type phaseSpan struct {
+	name       string
+	start, end float64
+}
+
+// coreSpan is one power-state residency interval of one core.
+type coreSpan struct {
+	start, end float64
+	watts      float64
+	state      string // e.g. "busy 2.4GHz T0"
+}
+
+type coreSpans struct {
+	core  int
+	spans []coreSpan
+}
+
+type rankTimeline struct {
+	rank   int
+	core   int // bound core (global index), -1 when no bind event seen
+	ops    []opSpan
+	waits  []waitSpan
+	phases []phaseSpan
+}
+
+// NewModel builds the derived timelines from a normalized event stream.
+func NewModel(events []Event) *Model {
+	m := &Model{
+		Events: events,
+		ranks:  map[int]*rankTimeline{},
+		cores:  map[int]*coreSpans{},
+	}
+	for i, e := range events {
+		switch e.Ph {
+		case "X":
+		case "i":
+			if e.Name == "bind" && isRankTrack(e.PID, e.TID) {
+				rt := m.rank(e.TID - obs.TIDRankBase)
+				if c, ok := argInt(e.Args, "core"); ok {
+					rt.core = c
+				}
+			}
+			continue
+		default:
+			continue
+		}
+		end := e.Ts + e.Dur
+		switch {
+		case isRankTrack(e.PID, e.TID):
+			rank := e.TID - obs.TIDRankBase
+			rt := m.rank(rank)
+			if end > m.endUs {
+				m.endUs = end
+			}
+			switch {
+			case strings.HasPrefix(e.Name, "wait "):
+				peer := -1
+				if p, ok := argInt(e.Args, "peer"); ok {
+					peer = p
+				}
+				rt.waits = append(rt.waits, waitSpan{
+					rank: rank, reason: strings.TrimPrefix(e.Name, "wait "),
+					start: e.Ts, end: end, peer: peer, idx: i,
+				})
+			case strings.HasPrefix(e.Name, "phase "):
+				rt.phases = append(rt.phases, phaseSpan{
+					name: strings.TrimPrefix(e.Name, "phase "), start: e.Ts, end: end,
+				})
+			default:
+				if _, isOp := e.Args["power"]; !isOp && e.Name != "barrier" {
+					continue
+				}
+				bytes := int64(-1)
+				if by, ok := argInt64(e.Args, "bytes"); ok {
+					bytes = by
+				}
+				power, _ := e.Args["power"].(string)
+				rt.ops = append(rt.ops, opSpan{
+					rank: rank, op: e.Name, start: e.Ts, end: end,
+					bytes: bytes, power: power, idx: i,
+				})
+			}
+		case isCoreTrack(e.PID, e.TID):
+			w, ok := argFloat(e.Args, "watts")
+			if !ok {
+				continue
+			}
+			cs := m.cores[e.TID]
+			if cs == nil {
+				cs = &coreSpans{core: e.TID}
+				m.cores[e.TID] = cs
+			}
+			cs.spans = append(cs.spans, coreSpan{start: e.Ts, end: end, watts: w, state: e.Name})
+			if end > m.endUs {
+				m.endUs = end
+			}
+		}
+	}
+	// Deterministic span ordering regardless of ingestion order (the
+	// file path is timestamp-sorted, the live path is emission-ordered).
+	for _, rt := range m.ranks {
+		sort.SliceStable(rt.ops, func(i, j int) bool { return spanLess(rt.ops[i].start, rt.ops[i].end, rt.ops[i].op, rt.ops[j].start, rt.ops[j].end, rt.ops[j].op) })
+		sort.SliceStable(rt.waits, func(i, j int) bool {
+			return spanLess(rt.waits[i].start, rt.waits[i].end, rt.waits[i].reason, rt.waits[j].start, rt.waits[j].end, rt.waits[j].reason)
+		})
+		sort.SliceStable(rt.phases, func(i, j int) bool {
+			return spanLess(rt.phases[i].start, rt.phases[i].end, rt.phases[i].name, rt.phases[j].start, rt.phases[j].end, rt.phases[j].name)
+		})
+	}
+	for _, cs := range m.cores {
+		sort.SliceStable(cs.spans, func(i, j int) bool { return cs.spans[i].start < cs.spans[j].start })
+	}
+	return m
+}
+
+func spanLess(s1, e1 float64, n1 string, s2, e2 float64, n2 string) bool {
+	if s1 != s2 {
+		return s1 < s2
+	}
+	if e1 != e2 {
+		return e1 < e2
+	}
+	return n1 < n2
+}
+
+func (m *Model) rank(id int) *rankTimeline {
+	rt := m.ranks[id]
+	if rt == nil {
+		rt = &rankTimeline{rank: id, core: -1}
+		m.ranks[id] = rt
+	}
+	return rt
+}
+
+// rankIDs returns all observed ranks ascending.
+func (m *Model) rankIDs() []int {
+	out := make([]int, 0, len(m.ranks))
+	for r := range m.ranks {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func isRankTrack(pid, tid int) bool {
+	return pid >= 0 && pid < obs.PIDNetwork && tid >= obs.TIDRankBase && tid < obs.PIDNetwork
+}
+
+func isCoreTrack(pid, tid int) bool {
+	return pid >= 0 && pid < obs.PIDNetwork && tid >= 0 && tid < obs.TIDRankBase
+}
+
+// argInt reads an integer arg, tolerating the json float64 decoding of
+// parsed trace files and the int/int64 of live bus events.
+func argInt(args map[string]any, key string) (int, bool) {
+	v, ok := argInt64(args, key)
+	return int(v), ok
+}
+
+func argInt64(args map[string]any, key string) (int64, bool) {
+	switch v := args[key].(type) {
+	case int:
+		return int64(v), true
+	case int64:
+		return v, true
+	case float64:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+func argFloat(args map[string]any, key string) (float64, bool) {
+	switch v := args[key].(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	}
+	return 0, false
+}

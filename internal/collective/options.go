@@ -236,7 +236,9 @@ func timeCollective(c *mpi.Comm, opt Options, op string, bytes int64, fn func())
 	b.Span(r.ObsTrack(), op, start, end, args)
 	if rank0 {
 		b.Add(obs.CollectivePrefix+op+".calls", 1)
+		b.SetHistBuckets(obs.CollectivePrefix+op+".energy_j", obs.EnergyBuckets)
 		b.Observe(obs.CollectivePrefix+op+".energy_j", w.Station().EnergyJoules()-e0)
+		b.SetHistBuckets(obs.CollectivePrefix+op+".seconds", obs.SpanDurationBuckets)
 		b.Observe(obs.CollectivePrefix+op+".seconds", end.Sub(start).Seconds())
 	}
 }

@@ -161,7 +161,7 @@ func (w *World) revokeFuture(commID int) *simtime.Future {
 func (r *Rank) awaitFT(f *simtime.Future, reason string, peer int, c *Comm) error {
 	w := r.world
 	if w.ft == nil || f.IsDone() {
-		r.await(f, reason)
+		r.await(f, reason, peer)
 		return nil
 	}
 	watch := []*simtime.Future{f}
@@ -184,7 +184,7 @@ func (r *Rank) awaitFT(f *simtime.Future, reason string, peer int, c *Comm) erro
 			})
 		}
 	}
-	r.await(first, reason)
+	r.await(first, reason, peer)
 	// Completion order of preference: a completed operation is a success
 	// even if a failure signal fired at the same instant.
 	if f.IsDone() {

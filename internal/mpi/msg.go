@@ -59,7 +59,8 @@ func (r *Rank) msgSpan(kind string, dst int, bytes int64) func() {
 		return nil
 	}
 	name := fmt.Sprintf("%s %s %d→%d", kind, obs.SizeLabel(bytes), r.id, dst)
-	id := b.AsyncBegin(r.track, "mpi", name, nil)
+	args := map[string]any{"src": r.id, "dst": dst, "bytes": bytes}
+	id := b.AsyncBegin(r.track, "mpi", name, args)
 	ended := false
 	return func() {
 		if ended {

@@ -136,9 +136,11 @@ func (r *Rank) ComputeSeconds(secs float64) {
 // await blocks on a future with the configured progression semantics:
 // polling spins (core stays busy), blocking idles the core and pays the
 // interrupt + reschedule latency on wakeup. With observability attached,
-// the wait is recorded as a span on the rank's timeline and accrued into
-// the spin/block wait-time metric.
-func (r *Rank) await(f *simtime.Future, reason string) {
+// the wait is recorded as a span on the rank's timeline (carrying the
+// peer rank being waited on, when known — the dependency edge the
+// analytics engine's critical-path walk follows) and accrued into the
+// spin/block wait-time metric. peer < 0 (or self) records no edge.
+func (r *Rank) await(f *simtime.Future, reason string, peer int) {
 	if f.IsDone() {
 		return
 	}
@@ -147,6 +149,10 @@ func (r *Rank) await(f *simtime.Future, reason string) {
 	if b != nil {
 		start = b.Now()
 	}
+	var args map[string]any
+	if b != nil && peer >= 0 && peer != r.id {
+		args = map[string]any{"peer": peer}
+	}
 	if r.world.cfg.Mode == Blocking {
 		r.core.SetBusy(false)
 		f.Await(r.proc, reason)
@@ -154,7 +160,7 @@ func (r *Rank) await(f *simtime.Future, reason string) {
 		r.busySleep(r.world.cfg.InterruptLatency)
 		if b != nil {
 			end := b.Now()
-			b.Span(r.track, "wait "+reason, start, end, nil)
+			b.Span(r.track, "wait "+reason, start, end, args)
 			b.AddDuration(obs.DurWaitBlock, end.Sub(start))
 		}
 		return
@@ -162,7 +168,7 @@ func (r *Rank) await(f *simtime.Future, reason string) {
 	f.Await(r.proc, reason)
 	if b != nil {
 		end := b.Now()
-		b.Span(r.track, "wait "+reason, start, end, nil)
+		b.Span(r.track, "wait "+reason, start, end, args)
 		b.AddDuration(obs.DurWaitSpin, end.Sub(start))
 	}
 }

@@ -140,7 +140,7 @@ func (c *Comm) AgreeRound(bad bool) (failed []int, anyBad bool) {
 		b.Add(obs.CtrFaultAgreements, 1)
 	}
 	w.maybeResolveAgreement(st)
-	r.await(st.done, "ulfm agree")
+	r.await(st.done, "ulfm agree", -1)
 	for cr, g := range c.group {
 		if st.failedSet[g] {
 			failed = append(failed, cr)

@@ -167,6 +167,12 @@ func (w *World) AttachObs(b *obs.Bus) {
 	b.SetProcessName(obs.PIDNetwork, "network")
 	for _, r := range w.ranks {
 		b.SetThreadName(r.track, fmt.Sprintf("rank %d", r.id))
+		// The bind instant ties the rank's timeline to its core's power
+		// timeline; energy attribution joins the two through it.
+		b.Instant(r.track, "bind", map[string]any{
+			"core": w.place.CoreOf(r.id).Global,
+			"node": w.place.NodeOf(r.id),
+		})
 	}
 }
 

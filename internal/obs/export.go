@@ -106,13 +106,37 @@ func asyncID(id uint64) string {
 	return string(buf[i:])
 }
 
-// histJSON is the exported shape of one histogram.
+// histJSON is the exported shape of one histogram. Buckets (present only
+// for bucketed histograms) pair each declared upper bound with its count;
+// the final entry with "le": null is the overflow bucket.
 type histJSON struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Mean  float64 `json:"mean"`
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Mean    float64      `json:"mean"`
+	Buckets []bucketJSON `json:"buckets,omitempty"`
+}
+
+type bucketJSON struct {
+	LE    *float64 `json:"le"` // nil marks the overflow bucket
+	Count int64    `json:"count"`
+}
+
+func bucketsJSON(h *Histogram) []bucketJSON {
+	if h.Bounds == nil {
+		return nil
+	}
+	out := make([]bucketJSON, 0, len(h.BucketCounts))
+	for i, c := range h.BucketCounts {
+		var le *float64
+		if i < len(h.Bounds) {
+			b := h.Bounds[i]
+			le = &b
+		}
+		out = append(out, bucketJSON{LE: le, Count: c})
+	}
+	return out
 }
 
 // metricsDoc is the exported metrics snapshot. encoding/json marshals
@@ -142,6 +166,7 @@ func (b *Bus) WriteMetricsJSON(w io.Writer) error {
 		for k, h := range b.hists {
 			doc.Histograms[k] = histJSON{
 				Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max, Mean: h.Mean(),
+				Buckets: bucketsJSON(h),
 			}
 		}
 	}

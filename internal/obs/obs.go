@@ -145,12 +145,69 @@ type event struct {
 	args  map[string]any
 }
 
-// Histogram summarizes a stream of observations.
+// Event is the exported form of one timeline event, delivered to
+// streaming subscribers (Subscribe) and replay consumers (EachEvent).
+// Phase follows the Chrome trace-event convention: 'X' complete span,
+// 'i' instant, 'b'/'e' async begin/end. Args is shared with the bus's
+// own record — consumers must treat it as read-only.
+type Event struct {
+	Name    string
+	Cat     string
+	Phase   byte
+	Time    simtime.Time
+	Dur     simtime.Duration
+	Track   Track
+	AsyncID uint64
+	Args    map[string]any
+}
+
+func (e event) exported() Event {
+	return Event{
+		Name: e.name, Cat: e.cat, Phase: e.ph, Time: e.ts, Dur: e.dur,
+		Track: e.track, AsyncID: e.id, Args: e.args,
+	}
+}
+
+// SubID identifies one streaming subscription (0 is the invalid id
+// returned by a nil bus).
+type SubID int
+
+type subscriber struct {
+	id SubID
+	fn func(Event)
+}
+
+// Histogram summarizes a stream of observations. When bucket bounds are
+// declared (SetHistBuckets) it additionally counts observations per
+// bucket with deterministic edge behavior: observation v lands in the
+// first bucket whose upper bound is >= v (boundary values land in the
+// bucket they bound, the "le" rule), values above every bound land in the
+// implicit overflow bucket, and NaN — which compares false against every
+// bound — lands in the overflow bucket too. A zero observation (e.g. a
+// zero-duration span's seconds) therefore lands in the first bucket
+// whenever the first bound is >= 0.
 type Histogram struct {
 	Count int64
 	Sum   float64
 	Min   float64
 	Max   float64
+	// Bounds are the declared bucket upper bounds (sorted ascending);
+	// BucketCounts has len(Bounds)+1 entries, the last being the overflow
+	// bucket. Both are nil for a plain histogram.
+	Bounds       []float64
+	BucketCounts []int64
+}
+
+// bucketIndex returns the index of the bucket v lands in under the le
+// rule: the first bound >= v, or len(bounds) (overflow) when no bound
+// qualifies — which also catches NaN deterministically.
+func bucketIndex(bounds []float64, v float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
 }
 
 // Mean returns Sum/Count (0 when empty).
@@ -173,6 +230,13 @@ type Bus struct {
 	durations   map[string]simtime.Duration
 	hists       map[string]*Histogram
 	nextAsync   uint64
+	// subs are the live streaming subscribers; nextSub numbers them.
+	// Subscriptions never perturb what the bus records: with zero
+	// subscribers every emission costs one extra len check, and the
+	// counters, durations, histograms and timeline stay byte-identical
+	// whether or not anyone is listening.
+	subs    []subscriber
+	nextSub SubID
 }
 
 // NewBus returns an enabled bus reading time from eng.
@@ -214,13 +278,77 @@ func (b *Bus) SetThreadName(t Track, name string) {
 	b.threadNames[t] = name
 }
 
+// emit appends ev to the timeline and fans it out to any streaming
+// subscribers. The subscriber slice is copied onto the stack first so a
+// callback that unsubscribes (or subscribes) mid-delivery cannot corrupt
+// the iteration.
+func (b *Bus) emit(ev event) {
+	b.events = append(b.events, ev)
+	if len(b.subs) == 0 {
+		return
+	}
+	subs := b.subs
+	out := ev.exported()
+	for _, s := range subs {
+		s.fn(out)
+	}
+}
+
+// Subscribe registers fn to receive every subsequently emitted timeline
+// event, in emission order, synchronously from the emitting (simulated)
+// context. Events already recorded are not replayed — use EachEvent to
+// catch up. Subscribers observe, they never alter: the bus's recorded
+// state is identical with zero or many subscribers. Returns 0 on a nil
+// bus (Unsubscribe ignores it).
+func (b *Bus) Subscribe(fn func(Event)) SubID {
+	if b == nil || fn == nil {
+		return 0
+	}
+	b.nextSub++
+	id := b.nextSub
+	b.subs = append(b.subs, subscriber{id: id, fn: fn})
+	return id
+}
+
+// Unsubscribe removes a streaming subscription. Unknown (or zero) ids are
+// ignored, so unsubscribing twice is safe.
+func (b *Bus) Unsubscribe(id SubID) {
+	if b == nil || id == 0 {
+		return
+	}
+	for i, s := range b.subs {
+		if s.id == id {
+			// Copy-on-write: emit may be iterating the old slice.
+			next := make([]subscriber, 0, len(b.subs)-1)
+			next = append(next, b.subs[:i]...)
+			next = append(next, b.subs[i+1:]...)
+			b.subs = next
+			return
+		}
+	}
+}
+
+// EachEvent replays every recorded timeline event, in emission order, to
+// fn. Combined with Subscribe this gives a late subscriber a complete
+// stream: replay first, then subscribe. Nil-safe.
+func (b *Bus) EachEvent(fn func(Event)) {
+	if b == nil || fn == nil {
+		return
+	}
+	for _, ev := range b.events {
+		fn(ev.exported())
+	}
+}
+
 // Span records a complete span over [start, end). Zero-length spans are
-// dropped (they carry no time and clutter the timeline).
+// dropped (they carry no time and clutter the timeline); a zero-duration
+// observation fed to a bucketed histogram still lands deterministically
+// in its first bucket (see Histogram).
 func (b *Bus) Span(t Track, name string, start, end simtime.Time, args map[string]any) {
 	if b == nil || end <= start {
 		return
 	}
-	b.events = append(b.events, event{
+	b.emit(event{
 		name: name, ph: 'X', ts: start, dur: end.Sub(start), track: t, args: args,
 	})
 }
@@ -273,7 +401,7 @@ func (b *Bus) Instant(t Track, name string, args map[string]any) {
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, event{
+	b.emit(event{
 		name: name, ph: 'i', ts: b.eng.Now(), track: t, args: args,
 	})
 }
@@ -288,7 +416,7 @@ func (b *Bus) AsyncBegin(t Track, cat, name string, args map[string]any) uint64 
 	}
 	b.nextAsync++
 	id := b.nextAsync
-	b.events = append(b.events, event{
+	b.emit(event{
 		name: name, cat: cat, ph: 'b', ts: b.eng.Now(), track: t, id: id, args: args,
 	})
 	return id
@@ -300,7 +428,7 @@ func (b *Bus) AsyncEnd(t Track, cat, name string, id uint64) {
 	if b == nil || id == 0 {
 		return
 	}
-	b.events = append(b.events, event{
+	b.emit(event{
 		name: name, cat: cat, ph: 'e', ts: b.eng.Now(), track: t, id: id,
 	})
 }
@@ -359,6 +487,28 @@ func (b *Bus) AddDuration(name string, d simtime.Duration) {
 	b.durations[name] += d
 }
 
+// SetHistBuckets declares bucket upper bounds for a named histogram
+// before its first observation. Bounds must be sorted ascending; an
+// unsorted, empty, or late declaration (the histogram already exists) is
+// ignored, so repeated declarations from per-call instrumentation are
+// cheap no-ops and the first declaration wins deterministically.
+func (b *Bus) SetHistBuckets(name string, bounds []float64) {
+	if b == nil || len(bounds) == 0 || b.hists[name] != nil {
+		return
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	for i := 1; i < len(own); i++ {
+		if !(own[i] > own[i-1]) {
+			return
+		}
+	}
+	b.hists[name] = &Histogram{
+		Bounds:       own,
+		BucketCounts: make([]int64, len(own)+1),
+	}
+}
+
 // Observe feeds one sample into a named histogram.
 func (b *Bus) Observe(name string, v float64) {
 	if b == nil {
@@ -377,6 +527,9 @@ func (b *Bus) Observe(name string, v float64) {
 	}
 	h.Count++
 	h.Sum += v
+	if h.Bounds != nil {
+		h.BucketCounts[bucketIndex(h.Bounds, v)]++
+	}
 }
 
 // Counter returns the current value of a counter (0 if never touched or
@@ -397,14 +550,37 @@ func (b *Bus) Duration(name string) simtime.Duration {
 }
 
 // Hist returns a copy of the named histogram (zero value if absent).
+// Bucket slices are copied too, so callers may keep the result.
 func (b *Bus) Hist(name string) Histogram {
 	if b == nil {
 		return Histogram{}
 	}
 	if h := b.hists[name]; h != nil {
-		return *h
+		out := *h
+		if h.Bounds != nil {
+			out.Bounds = append([]float64(nil), h.Bounds...)
+			out.BucketCounts = append([]int64(nil), h.BucketCounts...)
+		}
+		return out
 	}
 	return Histogram{}
+}
+
+// SpanDurationBuckets are the default bucket bounds (seconds) for span-
+// duration histograms: half-decade steps from 1µs to 100s, bracketing
+// everything a collective call can take in the simulated testbeds. The
+// first bound is 0 so zero-duration observations land in bucket 0.
+var SpanDurationBuckets = []float64{
+	0,
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+	1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1,
+	1, 5, 10, 50, 100,
+}
+
+// EnergyBuckets are the default bucket bounds (joules) for per-call
+// energy histograms: decades from 1mJ to 1MJ.
+var EnergyBuckets = []float64{
+	0, 1e-3, 1e-2, 1e-1, 1, 10, 100, 1e3, 1e4, 1e5, 1e6,
 }
 
 // Events reports how many timeline events have been recorded.

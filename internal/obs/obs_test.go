@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
+	"reflect"
 	"testing"
 
 	"pacc/internal/simtime"
@@ -150,6 +152,204 @@ func TestMetricsJSONDeterministic(t *testing.T) {
 	}
 	if doc.Counters["a"] != 2 || doc.Counters["z"] != 1 {
 		t.Fatalf("counters = %v", doc.Counters)
+	}
+}
+
+// TestHistogramBucketEdges pins the deterministic bucket landing rules:
+// a value exactly on a bucket boundary lands in the bucket that boundary
+// bounds (the "le" rule), a zero observation (a zero-duration span's
+// seconds) lands in the first bucket when the first bound is >= 0, values
+// above every bound land in the overflow bucket, and NaN lands in the
+// overflow bucket rather than vanishing.
+func TestHistogramBucketEdges(t *testing.T) {
+	bounds := []float64{0, 1, 10, 100}
+	cases := []struct {
+		name   string
+		v      float64
+		bucket int
+	}{
+		{"zero duration on zero bound", 0, 0},
+		{"negative below first bound", -5, 0},
+		{"interior", 0.5, 1},
+		{"exactly on boundary 1", 1, 1},
+		{"exactly on boundary 10", 2, 2},
+		{"boundary 10 itself", 10, 2},
+		{"just above boundary", 10.000001, 3},
+		{"exactly on last boundary", 100, 3},
+		{"above every bound", 1e9, 4},
+		{"NaN goes to overflow", math.NaN(), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := simtime.NewEngine()
+			b := NewBus(eng)
+			b.SetHistBuckets("h", bounds)
+			b.Observe("h", tc.v)
+			h := b.Hist("h")
+			if h.Count != 1 {
+				t.Fatalf("count = %d, want 1", h.Count)
+			}
+			for i, c := range h.BucketCounts {
+				want := int64(0)
+				if i == tc.bucket {
+					want = 1
+				}
+				if c != want {
+					t.Fatalf("Observe(%g): bucket %d count = %d, want %d (counts %v)",
+						tc.v, i, c, want, h.BucketCounts)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramBucketDeclaration(t *testing.T) {
+	eng := simtime.NewEngine()
+	b := NewBus(eng)
+	// Unsorted bounds are rejected.
+	b.SetHistBuckets("bad", []float64{1, 1, 2})
+	if h := b.Hist("bad"); h.Bounds != nil {
+		t.Fatalf("unsorted bounds accepted: %v", h.Bounds)
+	}
+	// A late declaration (after the first observation) is ignored.
+	b.Observe("late", 3)
+	b.SetHistBuckets("late", []float64{1, 10})
+	if h := b.Hist("late"); h.Bounds != nil {
+		t.Fatal("late bucket declaration rebucketed a live histogram")
+	}
+	// Redeclaration is a no-op; the first declaration wins.
+	b.SetHistBuckets("h", []float64{1, 10})
+	b.SetHistBuckets("h", []float64{5})
+	b.Observe("h", 7)
+	h := b.Hist("h")
+	if len(h.Bounds) != 2 || h.BucketCounts[1] != 1 {
+		t.Fatalf("redeclaration changed buckets: %+v", h)
+	}
+	// The copy returned by Hist is detached from the live histogram.
+	h.BucketCounts[1] = 99
+	if b.Hist("h").BucketCounts[1] != 1 {
+		t.Fatal("Hist returned a shared bucket slice")
+	}
+	// Bucketed histograms appear in the metrics JSON with an overflow
+	// entry, and the export stays valid JSON.
+	var buf bytes.Buffer
+	if err := b.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Histograms map[string]struct {
+			Buckets []struct {
+				LE    *float64 `json:"le"`
+				Count int64    `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	got := doc.Histograms["h"].Buckets
+	if len(got) != 3 || got[2].LE != nil || got[1].Count != 1 {
+		t.Fatalf("exported buckets = %+v", got)
+	}
+	if doc.Histograms["late"].Buckets != nil {
+		t.Fatal("plain histogram exported buckets")
+	}
+}
+
+// TestSubscribeStreams covers the streaming subscriber API: events are
+// delivered in emission order, a subscription made mid-run sees only
+// subsequent events (EachEvent replays the backlog), and unsubscribing
+// mid-stream stops delivery without perturbing the bus.
+func TestSubscribeStreams(t *testing.T) {
+	eng := simtime.NewEngine()
+	b := NewBus(eng)
+
+	var all, late []string
+	b.Subscribe(func(ev Event) { all = append(all, ev.Name) })
+
+	var lateID SubID
+	eng.Spawn("driver", func(p *simtime.Proc) {
+		b.Instant(RankTrack(0, 0), "first", nil)
+		p.Sleep(simtime.Millisecond)
+		// Mid-run subscription: catches up via EachEvent, then streams.
+		b.EachEvent(func(ev Event) { late = append(late, ev.Name) })
+		lateID = b.Subscribe(func(ev Event) {
+			late = append(late, ev.Name)
+			if ev.Name == "third" {
+				b.Unsubscribe(lateID) // unsubscribe from inside delivery
+			}
+		})
+		b.Span(RankTrack(0, 0), "second", p.Now().Add(-simtime.Millisecond), p.Now(), nil)
+		b.Instant(RankTrack(0, 0), "third", nil)
+		b.Instant(RankTrack(0, 0), "fourth", nil) // after unsubscribe
+	})
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	wantAll := []string{"first", "second", "third", "fourth"}
+	if !reflect.DeepEqual(all, wantAll) {
+		t.Fatalf("full stream = %v, want %v", all, wantAll)
+	}
+	wantLate := []string{"first", "second", "third"}
+	if !reflect.DeepEqual(late, wantLate) {
+		t.Fatalf("late stream = %v, want %v", late, wantLate)
+	}
+	if got := b.Events(); got != 4 {
+		t.Fatalf("bus recorded %d events, want 4", got)
+	}
+	// Double-unsubscribe and nil-bus subscriptions are inert.
+	b.Unsubscribe(lateID)
+	var nb *Bus
+	if id := nb.Subscribe(func(Event) {}); id != 0 {
+		t.Fatalf("nil bus Subscribe = %d, want 0", id)
+	}
+	nb.Unsubscribe(0)
+	nb.EachEvent(func(Event) { t.Fatal("nil bus replayed an event") })
+}
+
+// TestSubscriberDoesNotPerturbExports proves the zero-subscriber
+// contract: two identical simulated runs — one with a live consuming
+// subscriber, one without — export byte-identical metrics and traces.
+func TestSubscriberDoesNotPerturbExports(t *testing.T) {
+	run := func(subscribe bool) (metrics, trace []byte) {
+		eng := simtime.NewEngine()
+		b := NewBus(eng)
+		consumed := 0
+		if subscribe {
+			b.Subscribe(func(ev Event) { consumed++ })
+		}
+		eng.Spawn("driver", func(p *simtime.Proc) {
+			for i := 0; i < 5; i++ {
+				sp := b.Begin(RankTrack(0, 0), "op", map[string]any{"i": i})
+				p.Sleep(simtime.Millisecond)
+				sp.End()
+				b.Add("calls", 1)
+				b.SetHistBuckets("lat", SpanDurationBuckets)
+				b.Observe("lat", simtime.Millisecond.Seconds())
+			}
+		})
+		if _, err := eng.Run(simtime.Infinity); err != nil {
+			t.Fatal(err)
+		}
+		if subscribe && consumed != 5 {
+			t.Fatalf("subscriber saw %d events, want 5", consumed)
+		}
+		var mb, tb bytes.Buffer
+		if err := b.WriteMetricsJSON(&mb); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteChromeTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		return mb.Bytes(), tb.Bytes()
+	}
+	m0, t0 := run(false)
+	m1, t1 := run(true)
+	if !bytes.Equal(m0, m1) {
+		t.Fatalf("metrics differ with a subscriber attached:\n%s\nvs\n%s", m0, m1)
+	}
+	if !bytes.Equal(t0, t1) {
+		t.Fatal("trace differs with a subscriber attached")
 	}
 }
 

@@ -76,7 +76,20 @@ func Execute(p *Plan, env Env) error {
 		}
 		start := r.Now()
 		fn()
-		bus.Span(r.ObsTrack(), "plan:"+s.Op.String(), start, r.Now(), nil)
+		// Communication steps carry their global peer and size, so the
+		// analytics layer can follow plan-level dependency edges.
+		var args map[string]any
+		switch s.Op {
+		case OpSend, OpRecv:
+			args = map[string]any{"peer": c.Global(s.Peer), "bytes": s.Bytes}
+		case OpSendRecv:
+			args = map[string]any{
+				"peer":  c.Global(s.RecvFrom),
+				"dst":   c.Global(s.SendTo),
+				"bytes": s.RecvBytes,
+			}
+		}
+		bus.Span(r.ObsTrack(), "plan:"+s.Op.String(), start, r.Now(), args)
 	}
 
 	for i, s := range p.Steps[me] {

@@ -147,11 +147,15 @@ func (m *Meter) MeanWatts() float64 {
 }
 
 // Ledger attributes energy (and busy time) to named phases, so workloads
-// can report how much of their energy went to, say, MPI_Alltoall.
+// can report how much of their energy went to, say, MPI_Alltoall. Each
+// phase's energy is additionally split by the power state it was drawn
+// in (JoulesByState), the phase × power-state attribution the analytics
+// layer aggregates.
 type Ledger struct {
 	current string
 	joules  map[string]float64
 	seconds map[string]float64
+	byState map[string]map[StateKey]float64
 }
 
 // NewLedger returns a ledger with the phase label set to "init".
@@ -160,6 +164,7 @@ func NewLedger() *Ledger {
 		current: "init",
 		joules:  make(map[string]float64),
 		seconds: make(map[string]float64),
+		byState: make(map[string]map[StateKey]float64),
 	}
 }
 
@@ -172,13 +177,47 @@ func (l *Ledger) SetPhase(name string) { l.current = name }
 // Phase returns the current label.
 func (l *Ledger) Phase() string { return l.current }
 
-func (l *Ledger) add(j, secs float64) {
+func (l *Ledger) add(j, secs float64, st StateKey) {
 	l.joules[l.current] += j
 	l.seconds[l.current] += secs
+	m := l.byState[l.current]
+	if m == nil {
+		m = make(map[StateKey]float64)
+		l.byState[l.current] = m
+	}
+	m[st] += j
 }
 
 // Joules returns the energy attributed to a phase.
 func (l *Ledger) Joules(phase string) float64 { return l.joules[phase] }
+
+// JoulesByState returns a phase's energy split by the power state it was
+// drawn in, as (state, joules) pairs sorted like Core.Residencies. The
+// pairs sum to Joules(phase).
+func (l *Ledger) JoulesByState(phase string) []StateJoules {
+	m := l.byState[phase]
+	out := make([]StateJoules, 0, len(m))
+	for k, j := range m {
+		out = append(out, StateJoules{State: k, Joules: j})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].State, out[j].State
+		if a.FreqGHz != b.FreqGHz {
+			return a.FreqGHz < b.FreqGHz
+		}
+		if a.Throttle != b.Throttle {
+			return a.Throttle < b.Throttle
+		}
+		return !a.Busy && b.Busy
+	})
+	return out
+}
+
+// StateJoules is one entry of a phase's per-power-state energy split.
+type StateJoules struct {
+	State  StateKey
+	Joules float64
+}
 
 // CoreSeconds returns the total core-time attributed to a phase.
 func (l *Ledger) CoreSeconds(phase string) float64 { return l.seconds[phase] }

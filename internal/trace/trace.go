@@ -193,7 +193,10 @@ func (r *Recorder) ExportToBus(b *obs.Bus, now simtime.Time) {
 			b.SetThreadName(t, fmt.Sprintf("core %d", sp.core))
 		}
 		b.Span(t, stateName(sp.state), sp.start, sp.end, map[string]any{
-			"watts": model.CoreWatts(sp.state.FreqGHz, sp.state.Throttle, sp.state.Busy),
+			"watts":  model.CoreWatts(sp.state.FreqGHz, sp.state.Throttle, sp.state.Busy),
+			"ghz":    sp.state.FreqGHz,
+			"tstate": int(sp.state.Throttle),
+			"busy":   sp.state.Busy,
 		})
 	}
 }

@@ -27,6 +27,9 @@
 package pacc
 
 import (
+	"io"
+
+	"pacc/internal/analyze"
 	"pacc/internal/collective"
 	"pacc/internal/experiments"
 	"pacc/internal/fault"
@@ -107,7 +110,29 @@ type (
 	// checked collective — corruption that happened in memory, past the
 	// transport's ICRC.
 	VerificationError = collective.VerificationError
+	// AnalysisReport is the post-run analytics report: critical paths,
+	// per-rank slack, phase × power-state energy attribution (see
+	// internal/analyze and DESIGN.md §10). Obtain with ObsSession.Report.
+	AnalysisReport = analyze.Report
+	// AnalysisOptions tunes one analysis run.
+	AnalysisOptions = analyze.Options
+	// AnalysisDiff is the outcome of comparing two analytics reports.
+	AnalysisDiff = analyze.DiffResult
+	// DiffThresholds are the regression gates of a report diff.
+	DiffThresholds = analyze.Thresholds
 )
+
+// ReadAnalysisReport parses a report written by ObsSession.WriteReport
+// (or cmd/paccprof).
+func ReadAnalysisReport(r io.Reader) (*AnalysisReport, error) {
+	return analyze.ReadReport(r)
+}
+
+// DiffReports compares two analytics reports under the given
+// regression thresholds (see cmd/paccprof diff).
+func DiffReports(base, next *AnalysisReport, th DiffThresholds) *AnalysisDiff {
+	return analyze.Diff(base, next, th)
+}
 
 // Progression modes.
 const (

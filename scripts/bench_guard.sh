@@ -1,10 +1,19 @@
 #!/bin/sh -e
-# Bench guard for the data-integrity work: the healthy-path cost of the
-# ABFT checksum lane. Runs the 8 nodes x 8 ranks/node 1 MiB allreduce
-# with and without -verify, records both simulated latencies and the
-# overhead in BENCH_5.json, and fails when the overhead exceeds the 3%
-# budget — the checksum shadow rides the existing message schedule, so
-# it must only ever cost the verification folds.
+# Bench guard: the repo's performance-regression gates.
+#
+#  1. ABFT checksum lane (BENCH_5.json): the healthy-path 8x8 1 MiB
+#     allreduce with and without -verify must stay within the 3%
+#     simulated-latency budget.
+#  2. Structured perf gate: the canonical 8x8 1 MiB allreduce_topo run's
+#     analytics report, diffed against the checked-in baseline
+#     (scripts/bench_baseline.json) with paccprof — per-collective mean
+#     and p99 latency plus total energy, each gated at 2%. The
+#     simulation is deterministic, so any drift is a real behavioral
+#     change.
+#  3. Analytics overhead (BENCH_6.json): one live streaming analytics
+#     subscriber on the same workload must cost <=2% process CPU time
+#     over a detached bus (measured min-of-10 per arm, interleaved;
+#     wall time recorded alongside).
 cd "$(dirname "$0")/.."
 
 run() {
@@ -12,6 +21,7 @@ run() {
 		awk '/^1048576/ {print $2}'
 }
 
+# --- 1. checksum overhead ------------------------------------------------
 plain=$(run)
 checked=$(run -verify)
 overhead=$(awk -v p="$plain" -v c="$checked" 'BEGIN {printf "%.4f", c/p - 1}')
@@ -32,3 +42,38 @@ if ! awk -v o="$overhead" 'BEGIN {exit !(o <= 0.03 && o >= 0)}'; then
 	exit 1
 fi
 echo "bench guard: checksum overhead $overhead within the 3% budget; wrote BENCH_5.json"
+
+# --- 2. structured perf-regression gate (paccprof diff) ------------------
+run -report bench_report.json >/dev/null
+diff_rc=0
+go run ./cmd/paccprof diff -mean-pct 2 -p99-pct 2 -energy-pct 2 \
+	scripts/bench_baseline.json bench_report.json | tee bench_diff.txt || diff_rc=$?
+regressions=$(awk '/regression\(s\)$/ {print $1}' bench_diff.txt)
+
+# --- 3. analytics-subscriber overhead ------------------------------------
+overhead_rc=0
+PACC_BENCH_OUT="$PWD/bench6_overhead.json" \
+	go test ./internal/analyze -run TestAnalyticsOverheadBudget -count=1 -v ||
+	overhead_rc=$?
+
+{
+	echo '{'
+	echo '  "overhead": '"$(cat bench6_overhead.json)",
+	echo '  "diff_gate": {'
+	echo '    "baseline": "scripts/bench_baseline.json",'
+	echo '    "thresholds_pct": {"mean": 2, "p99": 2, "energy": 2},'
+	echo "    \"regressions\": ${regressions:-0}"
+	echo '  }'
+	echo '}'
+} >BENCH_6.json
+rm -f bench6_overhead.json bench_diff.txt bench_report.json
+
+if [ "$diff_rc" -ne 0 ]; then
+	echo "bench guard: paccprof diff found ${regressions:-?} regression(s) against the baseline" >&2
+	exit 1
+fi
+if [ "$overhead_rc" -ne 0 ]; then
+	echo "bench guard: analytics-subscriber overhead exceeded the 2% budget (see BENCH_6.json)" >&2
+	exit 1
+fi
+echo "bench guard: perf diff clean and analytics overhead within the 2% budget; wrote BENCH_6.json"
