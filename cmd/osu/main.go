@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -224,6 +226,7 @@ func main() {
 		planName    = flag.String("plan", "", "communication plan: a registered builder name, or 'auto' for cost-based selection")
 		planObj     = flag.String("plan-objective", "latency", "objective for -plan auto: latency or energy")
 		verify      = flag.Bool("verify", false, "self-verify collective data every iteration: plan-backed allreduces append checksum verification steps, allreduce_topo/allreduce_ft run their ABFT-checked variants and compare the sum against the expected value")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep; an exceeded deadline aborts the running simulation cleanly (0 = none)")
 	)
 	flag.Parse()
 
@@ -318,10 +321,20 @@ func main() {
 	// resilient collective synchronizes the survivors itself).
 	skipBarrier := baseCfg.Fault != nil && len(baseCfg.Fault.Crashes) > 0
 	wantReport := *reportOut != ""
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	for _, size := range sizes {
-		lat, watts, sess, err := measure(baseCfg, call, size, *procs, *ppn, mode, opt, *progression, *iters, wantObs, wantReport, skipBarrier)
+		lat, watts, sess, err := measure(ctx, baseCfg, call, size, *procs, *ppn, mode, opt, *progression, *iters, wantObs, wantReport, skipBarrier)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "osu:", err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "osu: sweep exceeded its -timeout of %v at size %d: %v\n", *timeout, size, err)
+			} else {
+				fmt.Fprintln(os.Stderr, "osu:", err)
+			}
 			os.Exit(1)
 		}
 		if *op == "bw" && lat > 0 {
@@ -358,8 +371,9 @@ func main() {
 
 // measure runs one barrier-separated OSU loop on a fresh world and
 // returns the mean per-call latency (µs, from rank 0's trace) and mean
-// cluster power over the whole run.
-func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOptions) error, size int64,
+// cluster power over the whole run. ctx bounds the simulation: a
+// cancellation or deadline aborts it with a typed pacc.CanceledError.
+func measure(ctx context.Context, cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOptions) error, size int64,
 	procs, ppn int, mode pacc.PowerMode, base pacc.CollectiveOptions, progression string, iters int,
 	wantObs, wantReport, skipBarrier bool) (float64, float64, *pacc.ObsSession, error) {
 
@@ -415,7 +429,7 @@ func measure(cfg pacc.Config, call func(*pacc.Comm, int64, pacc.CollectiveOption
 			}
 		}
 	})
-	elapsed, err := w.Run()
+	elapsed, err := w.RunContext(ctx)
 	if err != nil {
 		return 0, 0, nil, err
 	}

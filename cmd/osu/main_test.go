@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -67,7 +69,7 @@ func TestOpNamesSortedAndComplete(t *testing.T) {
 // TestMeasureSmoke exercises the measurement loop end to end at a small
 // size.
 func TestMeasureSmoke(t *testing.T) {
-	lat, watts, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
+	lat, watts, _, err := measure(context.Background(), pacc.DefaultConfig(), ops["bcast"], 4096,
 		16, 8, pacc.NoPower, pacc.CollectiveOptions{}, "polling", 2, false, false, false)
 	if err != nil {
 		t.Fatal(err)
@@ -75,12 +77,28 @@ func TestMeasureSmoke(t *testing.T) {
 	if lat <= 0 || watts <= 0 {
 		t.Fatalf("degenerate measurement: %v us, %v W", lat, watts)
 	}
-	if _, _, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
+	if _, _, _, err := measure(context.Background(), pacc.DefaultConfig(), ops["bcast"], 4096,
 		15, 8, pacc.NoPower, pacc.CollectiveOptions{}, "polling", 1, false, false, false); err == nil {
 		t.Error("procs not multiple of ppn accepted")
 	}
-	if _, _, _, err := measure(pacc.DefaultConfig(), ops["bcast"], 4096,
+	if _, _, _, err := measure(context.Background(), pacc.DefaultConfig(), ops["bcast"], 4096,
 		16, 8, pacc.NoPower, pacc.CollectiveOptions{}, "warp", 1, false, false, false); err == nil {
 		t.Error("bogus progression accepted")
+	}
+}
+
+// TestMeasureHonorsTimeout: an already-expired context aborts the run
+// with the typed cancellation error instead of burning CPU.
+func TestMeasureHonorsTimeout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := measure(ctx, pacc.DefaultConfig(), ops["bcast"], 4096,
+		16, 8, pacc.NoPower, pacc.CollectiveOptions{}, "polling", 2, false, false, false)
+	var ce *pacc.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *pacc.CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err chain %v does not reach context.Canceled", err)
 	}
 }

@@ -1,0 +1,152 @@
+// Command paccd is the sweep daemon: a crash-safe, overload-tolerant
+// service that shards batches of simulation runs — seed sweeps,
+// parameter grids, chaos campaigns — across a worker pool over a
+// content-addressed result store.
+//
+// Usage:
+//
+//	paccd serve  -addr :8410 -store /var/lib/pacc     # run the daemon
+//	paccd submit -addr http://host:8410 -ops allreduce,bcast \
+//	             -sizes 1K,64K,1M -seeds 0:4          # submit a grid
+//	paccd soak   -store /tmp/soak                     # chaos campaign
+//
+// The daemon is engineered for failure as the normal case: per-request
+// deadlines, worker crash containment with bounded retry and poison
+// quarantine, checksummed results scavenged on startup, and typed
+// shedding under overload. Identical requests — within a sweep, across
+// tenants, or across daemon restarts — execute once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pacc/internal/sweep"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "soak":
+		err = cmdSoak(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "paccd: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paccd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: paccd <command> [flags]
+
+commands:
+  serve    run the sweep daemon (HTTP API: POST /v1/submit, GET /v1/stats)
+  submit   expand a parameter grid and submit it to a running daemon
+  soak     run the service-level chaos campaign and verify its invariants
+
+run 'paccd <command> -h' for command flags
+`)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":8410", "listen address")
+		storeDir = fs.String("store", "", "result store directory (required)")
+		workers  = fs.Int("workers", 4, "worker pool size")
+		queue    = fs.Int("queue", 64, "admission queue depth (overload bound)")
+		quota    = fs.Int("quota", 0, "per-tenant in-flight quota (0 = unlimited)")
+		attempts = fs.Int("max-attempts", 3, "failures before a request is quarantined")
+		reqTO    = fs.Duration("request-timeout", 0, "per-request execution deadline (0 = none)")
+	)
+	fs.Parse(args)
+	if *storeDir == "" {
+		return fmt.Errorf("serve: -store is required")
+	}
+	store, scav, err := sweep.OpenStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paccd: store %s opened: %d entries kept, %d corrupt evicted, %d torn writes removed\n",
+		*storeDir, scav.Kept, scav.Corrupt, scav.Torn)
+	svc := sweep.NewService(store, sweep.Config{
+		Workers: *workers, QueueDepth: *queue, TenantQuota: *quota,
+		MaxAttempts: *attempts, RequestTimeout: *reqTO,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: newMux(svc), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("paccd: serving on %s with %d workers\n", *addr, *workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case s := <-sigc:
+		fmt.Printf("paccd: %v, shutting down (accepted work fails with typed ShutdownError; "+
+			"completed results persist in the store)\n", s)
+		srv.Close()
+		svc.Close()
+		return nil
+	}
+}
+
+func cmdSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	var (
+		storeDir = fs.String("store", "", "store directory (required; a temp dir is fine)")
+		offered  = fs.Int("offered", 200, "submissions to offer (over capacity by design)")
+		workers  = fs.Int("workers", 4, "worker pool size")
+		kills    = fs.Int("kills", 6, "worker kills to inject")
+		corrupt  = fs.Int("corrupt", 6, "store corruptions to inject")
+		seed     = fs.Uint64("seed", 1, "chaos schedule seed")
+		restart  = fs.Bool("restart", true, "kill and restart the daemon mid-campaign")
+		timeout  = fs.Duration("timeout", 3*time.Minute, "campaign deadline")
+	)
+	fs.Parse(args)
+	if *storeDir == "" {
+		return fmt.Errorf("soak: -store is required")
+	}
+	rep, err := sweep.Soak(sweep.SoakOptions{
+		Dir: *storeDir, Seed: *seed, Offered: *offered, Workers: *workers,
+		Kills: *kills, Corruptions: *corrupt, Restart: *restart, Timeout: *timeout,
+		Log: func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("soak: offered=%d unique=%d shed=%d kills=%d corruptions=%d evictions=%d restarts=%d dedupe=%.0f%%\n",
+		rep.Offered, rep.UniqueKeys, rep.Shed, rep.Kills, rep.Corruptions,
+		rep.StoreEvictions, rep.DaemonRestarts, 100*rep.DedupeHitRate)
+	if !rep.Ok() {
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, "soak: VIOLATION:", v)
+		}
+		return fmt.Errorf("soak: %d invariant violation(s)", len(rep.Violations))
+	}
+	fmt.Println("soak: all invariants held")
+	return nil
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pacc/internal/sweep"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *sweep.Service) {
+	t.Helper()
+	store, _, err := sweep.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := sweep.NewService(store, sweep.Config{Workers: 2, QueueDepth: 64})
+	ts := httptest.NewServer(newMux(svc))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return ts, svc
+}
+
+func postSubmit(t *testing.T, ts *httptest.Server, body submitRequest) submitResponse {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/submit", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit returned %s", resp.Status)
+	}
+	var out submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestServeSubmitGrid(t *testing.T) {
+	ts, _ := testServer(t)
+	out := postSubmit(t, ts, submitRequest{Grid: &sweep.Grid{
+		Tenant: "test",
+		Ops:    []string{"allreduce", "bcast_binomial"},
+		Sizes:  []int64{1024},
+		Procs:  8, PPN: 4, Iters: 1,
+	}})
+	if len(out.Items) != 2 {
+		t.Fatalf("got %d items, want 2", len(out.Items))
+	}
+	for i, item := range out.Items {
+		if item.Status != "completed" {
+			t.Fatalf("item %d: status %q (%s)", i, item.Status, item.Error)
+		}
+		res, err := sweep.DecodeResult(item.Result)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if res.Key != item.Key || res.ElapsedUs <= 0 {
+			t.Fatalf("item %d: implausible result %+v", i, res)
+		}
+	}
+}
+
+func TestServeDedupeAcrossSubmits(t *testing.T) {
+	ts, svc := testServer(t)
+	req := sweep.Request{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 2048}
+	a := postSubmit(t, ts, submitRequest{Requests: []sweep.Request{req}})
+	b := postSubmit(t, ts, submitRequest{Requests: []sweep.Request{req}})
+	if a.Items[0].Status != "completed" || b.Items[0].Status != "completed" {
+		t.Fatalf("statuses: %q, %q", a.Items[0].Status, b.Items[0].Status)
+	}
+	if !bytes.Equal(a.Items[0].Result, b.Items[0].Result) {
+		t.Fatal("identical requests returned different bytes across submits")
+	}
+	if n := svc.Bus().Counter(sweep.CtrDedupeStore); n != 1 {
+		t.Fatalf("store dedupe counter = %d, want 1 (second submit served from store)", n)
+	}
+}
+
+func TestServeRejectsBadBatch(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"requests":[{"op":"nonsense","procs":8,"ppn":4}]}`, http.StatusOK},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/submit", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("body %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	// An invalid op inside an otherwise well-formed batch fails per-item.
+	out := postSubmit(t, ts, submitRequest{Requests: []sweep.Request{
+		{Op: "nonsense", Procs: 8, PPN: 4},
+	}})
+	if out.Items[0].Status != "failed" || out.Items[0].Error == "" {
+		t.Fatalf("invalid op item = %+v, want failed with message", out.Items[0])
+	}
+	if resp, err := http.Get(ts.URL + "/v1/submit"); err == nil {
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/submit = %d, want 405", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestServeStatsAndHealth(t *testing.T) {
+	ts, _ := testServer(t)
+	postSubmit(t, ts, submitRequest{Requests: []sweep.Request{
+		{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 1024},
+	}})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("stats is not JSON: %v", err)
+	}
+	raw, _ := json.Marshal(stats)
+	if !bytes.Contains(raw, []byte(sweep.CtrCompleted)) {
+		t.Fatalf("stats missing %s: %s", sweep.CtrCompleted, raw)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", hz, err)
+	}
+	hz.Body.Close()
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"pacc/internal/sweep"
+)
+
+// submitRequest is the POST /v1/submit body: explicit requests, an
+// expandable grid, or both.
+type submitRequest struct {
+	Requests []sweep.Request `json:"requests,omitempty"`
+	Grid     *sweep.Grid     `json:"grid,omitempty"`
+}
+
+// submitItem is one request's outcome in the batch response. Status is
+// "completed", "shed" (typed admission rejection; retry later), or
+// "failed" (terminal: quarantined, invalid, shutdown).
+type submitItem struct {
+	Key    string          `json:"key,omitempty"`
+	Status string          `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+type submitResponse struct {
+	Items []submitItem `json:"items"`
+}
+
+// classify maps the service's typed errors onto wire statuses.
+func classify(err error) string {
+	var over *sweep.OverloadedError
+	var quota *sweep.QuotaExceededError
+	if errors.As(err, &over) || errors.As(err, &quota) {
+		return "shed"
+	}
+	return "failed"
+}
+
+// newMux builds the daemon's HTTP API over svc. Factored out of serve
+// so tests drive it through httptest.
+func newMux(svc *sweep.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := svc.WriteStats(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("/v1/submit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var body submitRequest
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, "malformed request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		reqs := body.Requests
+		if body.Grid != nil {
+			reqs = append(reqs, body.Grid.Expand()...)
+		}
+		if len(reqs) == 0 {
+			http.Error(w, "empty batch: provide requests and/or a grid", http.StatusBadRequest)
+			return
+		}
+
+		tickets, errs := svc.SubmitBatch(reqs)
+		resp := submitResponse{Items: make([]submitItem, len(reqs))}
+		for i := range reqs {
+			item := &resp.Items[i]
+			if errs[i] != nil {
+				item.Status = classify(errs[i])
+				item.Error = errs[i].Error()
+				continue
+			}
+			item.Key = tickets[i].Key().String()
+			payload, err := tickets[i].Wait(r.Context())
+			if err != nil {
+				item.Status = classify(err)
+				item.Error = err.Error()
+				continue
+			}
+			item.Status = "completed"
+			item.Result = json.RawMessage(payload)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+
+	return mux
+}

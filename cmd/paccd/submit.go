@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"pacc/internal/sweep"
+)
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		addr   = fs.String("addr", "http://localhost:8410", "daemon base URL")
+		ops    = fs.String("ops", "allreduce_topo", "comma-separated ops (see daemon docs)")
+		sizes  = fs.String("sizes", "64K", "comma-separated message sizes (K/M suffixes)")
+		modes  = fs.String("modes", "no-power", "comma-separated power modes")
+		seeds  = fs.String("seeds", "", "seed sweep: 'lo:hi' half-open or comma list")
+		procs  = fs.Int("procs", 64, "ranks")
+		ppn    = fs.Int("ppn", 8, "ranks per node")
+		iters  = fs.Int("iters", 1, "timed iterations")
+		plan   = fs.String("plan", "", "communication plan ('auto' for cost-based selection)")
+		faultS = fs.String("fault", "", "deterministic fault spec, e.g. 'msgloss=0.02'")
+		tenant = fs.String("tenant", "cli", "tenant the submission is charged to")
+		wait   = fs.Duration("wait", 10*time.Minute, "client-side timeout for the batch")
+	)
+	fs.Parse(args)
+
+	sz, err := sweep.ParseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	sd, err := sweep.ParseSeedRange(*seeds)
+	if err != nil {
+		return err
+	}
+	grid := sweep.Grid{
+		Tenant: *tenant,
+		Ops:    splitList(*ops),
+		Sizes:  sz,
+		Modes:  splitList(*modes),
+		Seeds:  sd,
+		Procs:  *procs, PPN: *ppn, Iters: *iters,
+		Plan: *plan, Fault: *faultS,
+	}
+	// Validate locally before burdening the daemon.
+	for _, req := range grid.Expand() {
+		if err := req.Validate(); err != nil {
+			return err
+		}
+	}
+
+	body, err := json.Marshal(submitRequest{Grid: &grid})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *wait}
+	resp, err := client.Post(strings.TrimRight(*addr, "/")+"/v1/submit",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("submit: daemon returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("submit: malformed daemon response: %w", err)
+	}
+
+	reqs := grid.Expand()
+	failed := 0
+	fmt.Printf("%-10s %-14s %-10s %-12s %-12s %s\n",
+		"status", "op", "bytes", "elapsed(us)", "energy(J)", "key")
+	for i, item := range out.Items {
+		op, bts := "?", int64(0)
+		if i < len(reqs) {
+			op, bts = reqs[i].Op, reqs[i].Bytes
+		}
+		switch item.Status {
+		case "completed":
+			res, err := sweep.DecodeResult(item.Result)
+			if err != nil {
+				failed++
+				fmt.Printf("%-10s %-14s %-10d %-12s %-12s %s\n",
+					"bad", op, bts, "-", "-", err)
+				continue
+			}
+			fmt.Printf("%-10s %-14s %-10d %-12.2f %-12.4f %s\n",
+				item.Status, res.Op, bts, res.ElapsedUs, res.EnergyJ, shortKey(item.Key))
+		default:
+			failed++
+			fmt.Printf("%-10s %-14s %-10d %-12s %-12s %s\n",
+				item.Status, op, bts, "-", "-", item.Error)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("submit: %d of %d requests did not complete", failed, len(out.Items))
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}

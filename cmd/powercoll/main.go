@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,22 +27,23 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
-		scale   = flag.Float64("scale", 1.0, "experiment scale in (0,1]; 1 = paper fidelity")
-		csv     = flag.String("csv", "", "directory to write CSV series/tables into")
-		htmlP   = flag.String("html", "", "write an HTML report (inline SVG charts) to this file")
-		list    = flag.Bool("list", false, "list registered experiments and exit")
-		traceP  = flag.String("trace", "", "write a merged Chrome trace of an instrumented demo run to this file")
-		metricP = flag.String("metrics", "", "write a metrics JSON snapshot of the demo run to this file")
-		reportP = flag.String("report", "", "write an analytics report (critical path, slack, energy attribution) of the demo run to this file")
-		obsSpec = flag.String("obs", "alltoall:256K:proposed", "demo run for -trace/-metrics as op:size:mode")
-		faultP  = flag.String("fault", "", "deterministic fault-injection spec for the demo run, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms'; crash-stop syntax: 'crash=RANK@TIME;detect=DUR'; data corruption: 'corrupt=PROB;terrfactor=N;memburst=RANK@PROB:START+DUR' (RANK may be *)")
-		planP   = flag.String("plan", "", "communication plan for the demo run: a registered builder name, or 'auto' for cost-based selection")
+		exp      = flag.String("exp", "", "experiment id to run, or 'all'")
+		scale    = flag.Float64("scale", 1.0, "experiment scale in (0,1]; 1 = paper fidelity")
+		csv      = flag.String("csv", "", "directory to write CSV series/tables into")
+		htmlP    = flag.String("html", "", "write an HTML report (inline SVG charts) to this file")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+		traceP   = flag.String("trace", "", "write a merged Chrome trace of an instrumented demo run to this file")
+		metricP  = flag.String("metrics", "", "write a metrics JSON snapshot of the demo run to this file")
+		reportP  = flag.String("report", "", "write an analytics report (critical path, slack, energy attribution) of the demo run to this file")
+		obsSpec  = flag.String("obs", "alltoall:256K:proposed", "demo run for -trace/-metrics as op:size:mode")
+		faultP   = flag.String("fault", "", "deterministic fault-injection spec for the demo run, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms'; crash-stop syntax: 'crash=RANK@TIME;detect=DUR'; data corruption: 'corrupt=PROB;terrfactor=N;memburst=RANK@PROB:START+DUR' (RANK may be *)")
+		planP    = flag.String("plan", "", "communication plan for the demo run: a registered builder name, or 'auto' for cost-based selection")
+		timeoutP = flag.Duration("timeout", 0, "wall-clock budget for the demo run; an exceeded deadline aborts the simulation cleanly (0 = none)")
 	)
 	flag.Parse()
 
 	if *traceP != "" || *metricP != "" || *reportP != "" {
-		if err := captureObs(*obsSpec, *faultP, *planP, *traceP, *metricP, *reportP); err != nil {
+		if err := captureObs(*obsSpec, *faultP, *planP, *traceP, *metricP, *reportP, *timeoutP); err != nil {
 			fmt.Fprintln(os.Stderr, "powercoll:", err)
 			os.Exit(1)
 		}
@@ -134,9 +136,9 @@ var obsOps = map[string]func(c *pacc.Comm, bytes int64, opt pacc.CollectiveOptio
 }
 
 // captureObs runs one instrumented collective call on the default testbed
-// (optionally under a fault-injection spec) and writes the merged trace
-// and/or metrics snapshot.
-func captureObs(spec, faultSpec, planName, tracePath, metricsPath, reportPath string) error {
+// (optionally under a fault-injection spec and a wall-clock timeout) and
+// writes the merged trace and/or metrics snapshot.
+func captureObs(spec, faultSpec, planName, tracePath, metricsPath, reportPath string, timeout time.Duration) error {
 	op, bytes, mode, err := parseObsSpec(spec)
 	if err != nil {
 		return err
@@ -165,7 +167,13 @@ func captureObs(spec, faultSpec, planName, tracePath, metricsPath, reportPath st
 			callErr = err
 		}
 	})
-	if _, err := w.Run(); err != nil {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if _, err := w.RunContext(ctx); err != nil {
 		return err
 	}
 	if callErr != nil {

@@ -1,0 +1,113 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// pingPongForever launches ranks that exchange messages endlessly — a
+// simulation that only a cancellation can end.
+func pingPongForever(w *World) {
+	w.Launch(func(r *Rank) {
+		peer := r.ID() ^ 1
+		for i := 0; ; i++ {
+			if r.ID() < peer {
+				r.Send(peer, 1024, i)
+				r.Recv(peer, 1024, i)
+			} else {
+				r.Recv(peer, 1024, i)
+				r.Send(peer, 1024, i)
+			}
+		}
+	})
+}
+
+func TestRunContextCancelAborts(t *testing.T) {
+	w := mustWorld(t, testConfig())
+	pingPongForever(w)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := w.RunContext(ctx)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err chain %v does not reach context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadlineAborts(t *testing.T) {
+	w := mustWorld(t, testConfig())
+	pingPongForever(w)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := w.RunContext(ctx)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err chain %v does not reach context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunContextDeadOnArrival(t *testing.T) {
+	w := mustWorld(t, testConfig())
+	var bodyRan bool
+	w.Launch(func(r *Rank) { bodyRan = true })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := w.RunContext(ctx)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if bodyRan {
+		t.Fatal("rank body executed under a context dead on arrival")
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: a never-cancelable context must
+// not perturb the simulation — Run and RunContext(Background) agree to
+// the tick.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	body := func(r *Rank) {
+		peer := r.ID() ^ 1
+		for i := 0; i < 50; i++ {
+			if r.ID() < peer {
+				r.Send(peer, 4096, i)
+				r.Recv(peer, 4096, i)
+			} else {
+				r.Recv(peer, 4096, i)
+				r.Send(peer, 4096, i)
+			}
+		}
+	}
+	w1 := mustWorld(t, testConfig())
+	w1.Launch(body)
+	d1, err := w1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := mustWorld(t, testConfig())
+	w2.Launch(body)
+	d2, err := w2.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("Run = %v, RunContext(Background) = %v; must be identical", d1, d2)
+	}
+	// nil behaves as Background.
+	w3 := mustWorld(t, testConfig())
+	w3.Launch(body)
+	if d3, err := w3.RunContext(nil); err != nil || d3 != d1 {
+		t.Fatalf("RunContext(nil) = %v, %v; want %v", d3, err, d1)
+	}
+}

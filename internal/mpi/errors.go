@@ -3,6 +3,8 @@ package mpi
 import (
 	"errors"
 	"fmt"
+
+	"pacc/internal/simtime"
 )
 
 // PeerFailedError reports that a blocking wait could not complete because
@@ -36,6 +38,26 @@ type CommRevokedError struct {
 func (e *CommRevokedError) Error() string {
 	return fmt.Sprintf("mpi: communicator %d revoked (in %s)", e.Comm, e.Op)
 }
+
+// CanceledError reports a simulation aborted by its context — an
+// explicit cancellation or an expired deadline — before the job
+// finished. At is the virtual time the abort was observed; Cause is the
+// context's error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) both classify it. The world
+// is unusable after an abort: every rank goroutine has been unwound.
+type CanceledError struct {
+	// At is the virtual time at which the run was interrupted.
+	At simtime.Time
+	// Cause is context.Canceled or context.DeadlineExceeded.
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("mpi: run aborted at %v: %v", e.At, e.Cause)
+}
+
+// Unwrap exposes the context error for errors.Is classification.
+func (e *CanceledError) Unwrap() error { return e.Cause }
 
 // IsFailure reports whether err stems from a rank failure or a revoked
 // communicator — the error class a ULFM-style recovery path handles by

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -203,7 +204,36 @@ func (w *World) Launch(body func(r *Rank)) {
 // Run executes the simulation until all ranks finish and returns the
 // total elapsed virtual time.
 func (w *World) Run() (simtime.Duration, error) {
+	return w.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: a cancellation or deadline aborts
+// the simulation cleanly — the engine stops between events, every
+// still-parked rank goroutine is unwound, and the error is a typed
+// *CanceledError wrapping ctx.Err() (so errors.Is against
+// context.Canceled / context.DeadlineExceeded classifies it). The world
+// must be discarded after an abort. A context that can never be
+// canceled (context.Background()) adds no per-event work, keeping the
+// historical Run path byte-identical.
+func (w *World) RunContext(ctx context.Context) (simtime.Duration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			// Already dead on arrival: unwind the launched ranks and
+			// report without executing a single event.
+			w.eng.KillLive()
+			return 0, &CanceledError{At: w.eng.Now(), Cause: err}
+		}
+		w.eng.SetInterrupt(ctx.Err, 0)
+		defer w.eng.SetInterrupt(nil, 0)
+	}
 	if _, err := w.eng.Run(simtime.Infinity); err != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			w.eng.KillLive()
+			return 0, &CanceledError{At: w.eng.Now(), Cause: cerr}
+		}
 		var dl *simtime.DeadlockError
 		if len(w.retriesExhausted) > 0 && errors.As(err, &dl) {
 			// The hang has a known root cause: messages that spent

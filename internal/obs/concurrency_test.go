@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+// TestBusConcurrentEmitters hammers one bus from many goroutines —
+// emitters, counter updates, subscribe/unsubscribe churn, replay and
+// export — and relies on `go test -race` to flag any unsynchronized
+// access. The sweep service shares one wall-clock telemetry bus across
+// its whole worker pool, so this is its memory model, not a stress toy.
+func TestBusConcurrentEmitters(t *testing.T) {
+	b := NewBus(simtime.NewEngine())
+	const goroutines, perG = 8, 200
+
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			track := Track{PID: g, TID: 0}
+			for i := 0; i < perG; i++ {
+				switch i % 5 {
+				case 0:
+					b.Instant(track, "tick", nil)
+				case 1:
+					b.Add("ctr.shared", 1)
+					b.Observe("hist.shared", float64(i))
+				case 2:
+					id := b.Subscribe(func(Event) { delivered.Add(1) })
+					b.Unsubscribe(id)
+				case 3:
+					b.EachEvent(func(Event) {})
+					_ = b.Counter("ctr.shared")
+				case 4:
+					b.SetThreadName(track, "worker")
+					var buf bytes.Buffer
+					if err := b.WriteMetricsJSON(&buf); err != nil {
+						t.Errorf("WriteMetricsJSON under contention: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := b.Counter("ctr.shared"); got != goroutines*perG/5 {
+		t.Fatalf("shared counter = %d, want %d (lost updates)", got, goroutines*perG/5)
+	}
+	var n int
+	b.EachEvent(func(Event) { n++ })
+	if n != goroutines*perG/5 {
+		t.Fatalf("recorded %d instants, want %d (lost events)", n, goroutines*perG/5)
+	}
+}
+
+// TestBusSubscriberChurnDuringEmit pins down the copy-on-write
+// contract: a subscriber that unsubscribes (or subscribes) from inside
+// its own callback must not corrupt a concurrent fan-out.
+func TestBusSubscriberChurnDuringEmit(t *testing.T) {
+	b := NewBus(simtime.NewEngine())
+	var fired atomic.Int64
+	var id SubID
+	id = b.Subscribe(func(Event) {
+		fired.Add(1)
+		b.Unsubscribe(id) // self-removal mid-delivery
+	})
+	stable := b.Subscribe(func(Event) { fired.Add(1) })
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Instant(Track{PID: g}, "churn", nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.Unsubscribe(stable)
+	if fired.Load() == 0 {
+		t.Fatal("no subscriber callback ever fired")
+	}
+	b.Instant(Track{}, "after", nil) // must not reach anyone
+	var n int
+	b.EachEvent(func(Event) { n++ })
+	if n != 401 {
+		t.Fatalf("recorded %d events, want 401", n)
+	}
+}

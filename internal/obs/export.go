@@ -30,6 +30,8 @@ func (b *Bus) WriteChromeTrace(w io.Writer) error {
 		_, err := w.Write([]byte("[]\n"))
 		return err
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	out := make([]chromeEvent, 0, len(b.events)+len(b.procNames)+len(b.threadNames))
 
 	pids := make([]int, 0, len(b.procNames))
@@ -157,6 +159,8 @@ func (b *Bus) WriteMetricsJSON(w io.Writer) error {
 		Histograms:       map[string]histJSON{},
 	}
 	if b != nil {
+		b.mu.Lock()
+		defer b.mu.Unlock()
 		for k, v := range b.counters {
 			doc.Counters[k] = v
 		}

@@ -19,6 +19,7 @@ package obs
 
 import (
 	"fmt"
+	"sync"
 
 	"pacc/internal/simtime"
 )
@@ -220,8 +221,18 @@ func (h Histogram) Mean() float64 {
 
 // Bus accumulates observability data for one simulation. Construct with
 // NewBus; a nil *Bus is a valid, disabled bus.
+//
+// A Bus is safe for concurrent use: emitters, counter/histogram
+// updates, Subscribe/Unsubscribe and the export methods may race freely
+// (the sweep service shares one telemetry bus across its worker pool).
+// Within one simulation nothing ever contends — the engine serializes
+// all rank activity — so the lock stays uncontended and the recorded
+// stream stays deterministic. Under genuinely concurrent emitters the
+// recorded order is the lock-acquisition order, and subscribers may
+// observe events from several goroutines at once.
 type Bus struct {
 	eng    *simtime.Engine
+	mu     sync.Mutex
 	events []event
 	// procNames / threadNames are export metadata ("node 3", "rank 17").
 	procNames   map[int]string
@@ -267,7 +278,9 @@ func (b *Bus) SetProcessName(pid int, name string) {
 	if b == nil {
 		return
 	}
+	b.mu.Lock()
 	b.procNames[pid] = name
+	b.mu.Unlock()
 }
 
 // SetThreadName labels one timeline row, e.g. "rank 17".
@@ -275,19 +288,24 @@ func (b *Bus) SetThreadName(t Track, name string) {
 	if b == nil {
 		return
 	}
+	b.mu.Lock()
 	b.threadNames[t] = name
+	b.mu.Unlock()
 }
 
 // emit appends ev to the timeline and fans it out to any streaming
-// subscribers. The subscriber slice is copied onto the stack first so a
-// callback that unsubscribes (or subscribes) mid-delivery cannot corrupt
-// the iteration.
+// subscribers. The subscriber slice is snapshotted under the lock (it
+// is copy-on-write, so the snapshot is immutable) and delivery happens
+// outside it, so a callback that unsubscribes, subscribes, or emits
+// cannot corrupt the iteration or deadlock.
 func (b *Bus) emit(ev event) {
+	b.mu.Lock()
 	b.events = append(b.events, ev)
-	if len(b.subs) == 0 {
+	subs := b.subs
+	b.mu.Unlock()
+	if len(subs) == 0 {
 		return
 	}
-	subs := b.subs
 	out := ev.exported()
 	for _, s := range subs {
 		s.fn(out)
@@ -304,9 +322,14 @@ func (b *Bus) Subscribe(fn func(Event)) SubID {
 	if b == nil || fn == nil {
 		return 0
 	}
+	b.mu.Lock()
 	b.nextSub++
 	id := b.nextSub
-	b.subs = append(b.subs, subscriber{id: id, fn: fn})
+	// Copy-on-write: emit may be delivering from the old slice.
+	next := make([]subscriber, len(b.subs), len(b.subs)+1)
+	copy(next, b.subs)
+	b.subs = append(next, subscriber{id: id, fn: fn})
+	b.mu.Unlock()
 	return id
 }
 
@@ -316,6 +339,8 @@ func (b *Bus) Unsubscribe(id SubID) {
 	if b == nil || id == 0 {
 		return
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for i, s := range b.subs {
 		if s.id == id {
 			// Copy-on-write: emit may be iterating the old slice.
@@ -335,7 +360,12 @@ func (b *Bus) EachEvent(fn func(Event)) {
 	if b == nil || fn == nil {
 		return
 	}
-	for _, ev := range b.events {
+	b.mu.Lock()
+	evs := b.events
+	b.mu.Unlock()
+	// Entries already recorded are immutable; concurrent appends only
+	// touch the backing array past len(evs).
+	for _, ev := range evs {
 		fn(ev.exported())
 	}
 }
@@ -414,8 +444,10 @@ func (b *Bus) AsyncBegin(t Track, cat, name string, args map[string]any) uint64 
 	if b == nil {
 		return 0
 	}
+	b.mu.Lock()
 	b.nextAsync++
 	id := b.nextAsync
+	b.mu.Unlock()
 	b.emit(event{
 		name: name, cat: cat, ph: 'b', ts: b.eng.Now(), track: t, id: id, args: args,
 	})
@@ -448,9 +480,12 @@ func (b *Bus) UnbalancedAsyncs(skip func(Track) bool) map[Track][]string {
 		track Track
 		id    uint64
 	}
+	b.mu.Lock()
+	evs := b.events
+	b.mu.Unlock()
 	open := map[openKey]string{}
 	var order []openKey
-	for _, ev := range b.events {
+	for _, ev := range evs {
 		k := openKey{track: ev.track, id: ev.id}
 		switch ev.ph {
 		case 'b':
@@ -476,7 +511,9 @@ func (b *Bus) Add(name string, delta int64) {
 	if b == nil {
 		return
 	}
+	b.mu.Lock()
 	b.counters[name] += delta
+	b.mu.Unlock()
 }
 
 // AddDuration accrues d into a named duration accumulator.
@@ -484,7 +521,9 @@ func (b *Bus) AddDuration(name string, d simtime.Duration) {
 	if b == nil || d <= 0 {
 		return
 	}
+	b.mu.Lock()
 	b.durations[name] += d
+	b.mu.Unlock()
 }
 
 // SetHistBuckets declares bucket upper bounds for a named histogram
@@ -493,7 +532,12 @@ func (b *Bus) AddDuration(name string, d simtime.Duration) {
 // ignored, so repeated declarations from per-call instrumentation are
 // cheap no-ops and the first declaration wins deterministically.
 func (b *Bus) SetHistBuckets(name string, bounds []float64) {
-	if b == nil || len(bounds) == 0 || b.hists[name] != nil {
+	if b == nil || len(bounds) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.hists[name] != nil {
 		return
 	}
 	own := make([]float64, len(bounds))
@@ -514,6 +558,8 @@ func (b *Bus) Observe(name string, v float64) {
 	if b == nil {
 		return
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	h := b.hists[name]
 	if h == nil {
 		h = &Histogram{Min: v, Max: v}
@@ -538,6 +584,8 @@ func (b *Bus) Counter(name string) int64 {
 	if b == nil {
 		return 0
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.counters[name]
 }
 
@@ -546,6 +594,8 @@ func (b *Bus) Duration(name string) simtime.Duration {
 	if b == nil {
 		return 0
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.durations[name]
 }
 
@@ -555,6 +605,8 @@ func (b *Bus) Hist(name string) Histogram {
 	if b == nil {
 		return Histogram{}
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if h := b.hists[name]; h != nil {
 		out := *h
 		if h.Bounds != nil {
@@ -588,6 +640,8 @@ func (b *Bus) Events() int {
 	if b == nil {
 		return 0
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return len(b.events)
 }
 

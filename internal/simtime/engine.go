@@ -44,7 +44,19 @@ type Engine struct {
 	stopped bool
 	// panicErr records the first process panic; Run returns it.
 	panicErr error
+	// interrupt, when set, is polled between events (every
+	// interruptEvery executions); a non-nil return aborts Run with that
+	// error. It is the bridge to wall-clock concerns — context
+	// cancellation, deadlines — that the virtual clock cannot see.
+	interrupt      func() error
+	interruptEvery int
 }
+
+// defaultInterruptEvery bounds how many events run between interrupt
+// polls. Polling has real-time cost (a context's Err takes a lock), so
+// it is amortized; 256 events keeps abort latency far below a
+// millisecond of host time on any workload.
+const defaultInterruptEvery = 256
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
@@ -95,6 +107,38 @@ func (e *Engine) Fail(err error) {
 // Fail), or nil.
 func (e *Engine) Failure() error { return e.panicErr }
 
+// SetInterrupt installs check, polled every `every` events during Run
+// (every <= 0 selects the default). A non-nil return value aborts Run
+// with that error, leaving pending events queued and live processes
+// parked — pair with KillLive to unwind them. Pass nil to remove the
+// hook. check must be safe to call from the Run goroutine; it typically
+// reads a context's Err, which is synchronized by the context itself.
+func (e *Engine) SetInterrupt(check func() error, every int) {
+	if every <= 0 {
+		every = defaultInterruptEvery
+	}
+	e.interrupt = check
+	e.interruptEvery = every
+}
+
+// KillLive condemns every live process and resumes each so its body
+// unwinds with a Killed panic at its current park point (a process that
+// never started is retired before its body runs). It is the goroutine
+// hygiene of an aborted run: without it, an interrupted simulation
+// leaks one parked goroutine per blocked rank. Call only while Run is
+// not executing; the engine is not usable for further Runs afterward.
+func (e *Engine) KillLive() {
+	if e.running {
+		panic("simtime: KillLive called while Run is executing")
+	}
+	for _, p := range e.procs {
+		if !p.done {
+			p.killed = true
+			e.runProc(p)
+		}
+	}
+}
+
 // Run executes events in timestamp order until the queue drains, Stop is
 // called, or the clock passes limit (use Infinity for no limit). It returns
 // the number of events executed and an error if, after the queue drained,
@@ -109,6 +153,11 @@ func (e *Engine) Run(limit Time) (int, error) {
 
 	executed := 0
 	for len(e.queue) > 0 && !e.stopped {
+		if e.interrupt != nil && executed%e.interruptEvery == 0 {
+			if err := e.interrupt(); err != nil {
+				return executed, err
+			}
+		}
 		next := e.queue[0]
 		if next.at > limit {
 			e.now = limit

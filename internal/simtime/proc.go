@@ -51,6 +51,11 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 			p.park <- struct{}{}
 		}()
 		<-p.resume
+		// A process condemned before its first resume (KillLive on an
+		// aborted run) retires without ever running its body.
+		if p.killed {
+			panic(Killed{})
+		}
 		body(p)
 	}()
 	e.At(e.now, func() { e.runProc(p) })

@@ -1,0 +1,534 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"pacc/internal/obs"
+	"pacc/internal/simtime"
+)
+
+// Config tunes a Service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the pool size (default 4).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds new
+	// submissions with OverloadedError (default 64). Retries of
+	// already-accepted requests re-enter past the bound — admission is
+	// the only gate, accepted work is never shed.
+	QueueDepth int
+	// TenantQuota caps how many jobs one tenant may have queued or
+	// running; beyond it submissions shed with QuotaExceededError
+	// (0 = unlimited). Dedupe attaches ride free: they consume no
+	// worker capacity.
+	TenantQuota int
+	// MaxAttempts is the failure budget per request before quarantine
+	// (default 3). Worker kills do not count: being shot is the
+	// service's fault, not the request's.
+	MaxAttempts int
+	// RetryBackoff is the base of the exponential retry delay
+	// (default 2ms; attempt n waits base << (n-1), capped at base<<6).
+	RetryBackoff time.Duration
+	// RequestTimeout is the per-request execution deadline, threaded
+	// into the simulation as a context deadline (0 = none).
+	RequestTimeout time.Duration
+	// Run executes requests (default Simulate).
+	Run RunFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.Run == nil {
+		c.Run = Simulate
+	}
+	return c
+}
+
+// errWorkerKilled is the cancel cause distinguishing "your worker was
+// shot" from a request's own deadline or error: the former requeues
+// free of charge, the latter burns an attempt.
+var errWorkerKilled = errors.New("sweep: worker killed")
+
+// job is one execution: the unit of dedupe, retry and quarantine. Many
+// tickets may ride one job.
+type job struct {
+	req       Request
+	key       Key
+	attempts  int
+	completed bool
+	result    []byte
+	err       error
+	done      chan struct{}
+}
+
+// Ticket is one submission's handle on its (possibly shared) job.
+type Ticket struct{ j *job }
+
+// Key returns the request's content address.
+func (t *Ticket) Key() Key { return t.j.key }
+
+// Done is closed when the result (or a terminal error) is ready.
+func (t *Ticket) Done() <-chan struct{} { return t.j.done }
+
+// Result blocks until the job resolves and returns the payload or the
+// typed terminal error.
+func (t *Ticket) Result() ([]byte, error) {
+	<-t.j.done
+	return t.j.result, t.j.err
+}
+
+// Wait is Result bounded by ctx.
+func (t *Ticket) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-t.j.done:
+		return t.j.result, t.j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+type worker struct {
+	id     int
+	dying  bool
+	cancel context.CancelCauseFunc // cancels the current job's context; nil when idle
+}
+
+// Service shards run requests across a worker pool over a persistent
+// result store. Failure is the normal case: workers crash and are
+// restarted, poisoned requests are quarantined, corrupt store entries
+// are evicted and recomputed, and overload is shed with typed errors.
+// All methods are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	store *Store
+	// bus is the service's own telemetry (wall-clock side): queue
+	// depth, shed counters, retry histograms, dedupe hit-rate.
+	bus *obs.Bus
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []*job
+	inflight   map[Key]*job
+	tenantLoad map[string]int
+	quarantine map[Key]*QuarantinedError
+	workers    map[int]*worker
+	nextWorker int
+	closed     bool
+
+	workerWG sync.WaitGroup
+	jobWG    sync.WaitGroup
+}
+
+// NewService starts a service over store (which may be nil for a
+// purely in-memory, restart-amnesiac service; tests use that).
+func NewService(store *Store, cfg Config) *Service {
+	s := &Service{
+		cfg:        cfg.withDefaults(),
+		store:      store,
+		bus:        obs.NewBus(simtime.NewEngine()),
+		inflight:   map[Key]*job{},
+		tenantLoad: map[string]int{},
+		quarantine: map[Key]*QuarantinedError{},
+		workers:    map[int]*worker{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.bus.SetHistBuckets(HistAttempts, []float64{1, 2, 3, 4, 5, 8, 16})
+	s.bus.SetHistBuckets(HistQueueWaitSecs, obs.SpanDurationBuckets)
+	s.bus.SetHistBuckets(HistExecuteSecs, obs.SpanDurationBuckets)
+	s.mu.Lock()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.startWorkerLocked()
+	}
+	s.mu.Unlock()
+	return s
+}
+
+// Bus exposes the telemetry bus (tests and the stats endpoint).
+func (s *Service) Bus() *obs.Bus { return s.bus }
+
+// Store returns the backing store (nil for in-memory services).
+func (s *Service) Store() *Store { return s.store }
+
+// WriteStats exports the telemetry snapshot as deterministic-schema
+// metrics JSON.
+func (s *Service) WriteStats(w io.Writer) error { return s.bus.WriteMetricsJSON(w) }
+
+// DedupeHitRate reports hits/(hits+misses) across store and in-flight
+// dedupe (0 before any submission).
+func (s *Service) DedupeHitRate() float64 {
+	hits := s.bus.Counter(CtrDedupeStore) + s.bus.Counter(CtrDedupeInflight)
+	total := hits + s.bus.Counter(CtrDedupeMiss)
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Submit admits one request. The fast paths return a completed ticket
+// (store hit) or attach to an identical in-flight job; otherwise the
+// request passes admission control — tenant quota, then queue bound —
+// and joins the queue. Shed requests receive typed errors
+// (*QuotaExceededError, *OverloadedError) and cost nothing.
+func (s *Service) Submit(req Request) (*Ticket, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	key := req.Key()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, &ShutdownError{Key: key}
+	}
+	if qe := s.quarantine[key]; qe != nil {
+		s.mu.Unlock()
+		return nil, qe
+	}
+	s.mu.Unlock()
+
+	// Store lookup happens outside the lock (it is disk I/O). The
+	// window against a concurrent completion is benign: worst case the
+	// same deterministic computation runs once more and produces the
+	// same bytes.
+	if s.store != nil {
+		payload, err := s.store.Get(key)
+		if err != nil {
+			var ce *CorruptEntryError
+			if !errors.As(err, &ce) {
+				return nil, err
+			}
+			// The entry was evicted on read; recompute below.
+			s.bus.Add(CtrStoreEvictions, 1)
+		}
+		if payload != nil {
+			s.bus.Add(CtrDedupeStore, 1)
+			j := &job{req: req, key: key, completed: true, result: payload,
+				done: make(chan struct{})}
+			close(j.done)
+			return &Ticket{j: j}, nil
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, &ShutdownError{Key: key}
+	}
+	if j := s.inflight[key]; j != nil {
+		s.bus.Add(CtrDedupeInflight, 1)
+		return &Ticket{j: j}, nil
+	}
+	if s.cfg.TenantQuota > 0 && s.tenantLoad[req.Tenant] >= s.cfg.TenantQuota {
+		s.bus.Add(CtrShedQuota, 1)
+		return nil, &QuotaExceededError{Tenant: req.Tenant, Limit: s.cfg.TenantQuota}
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.bus.Add(CtrShedOverload, 1)
+		return nil, &OverloadedError{Depth: s.cfg.QueueDepth}
+	}
+	j := &job{req: req, key: key, done: make(chan struct{})}
+	s.inflight[key] = j
+	s.tenantLoad[req.Tenant]++
+	s.jobWG.Add(1)
+	s.enqueueLocked(j)
+	s.bus.Add(CtrAccepted, 1)
+	s.bus.Add(CtrDedupeMiss, 1)
+	return &Ticket{j: j}, nil
+}
+
+// SubmitBatch admits a batch, returning one ticket-or-error per
+// request, index-aligned.
+func (s *Service) SubmitBatch(reqs []Request) ([]*Ticket, []error) {
+	tickets := make([]*Ticket, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, r := range reqs {
+		tickets[i], errs[i] = s.Submit(r)
+	}
+	return tickets, errs
+}
+
+func (s *Service) enqueueLocked(j *job) {
+	s.queue = append(s.queue, j)
+	s.bus.Add(CtrQueueDepth, 1)
+	s.cond.Signal()
+}
+
+func (s *Service) startWorkerLocked() *worker {
+	w := &worker{id: s.nextWorker}
+	s.nextWorker++
+	s.workers[w.id] = w
+	s.workerWG.Add(1)
+	go s.workerLoop(w)
+	return w
+}
+
+func (s *Service) workerLoop(w *worker) {
+	defer s.workerWG.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed && !w.dying {
+			s.cond.Wait()
+		}
+		if s.closed || w.dying {
+			s.workerExitedLocked(w)
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.bus.Add(CtrQueueDepth, -1)
+		ctx, cancel := context.WithCancelCause(context.Background())
+		w.cancel = cancel
+		s.mu.Unlock()
+
+		s.execute(w, j, ctx, cancel)
+	}
+}
+
+// workerExitedLocked retires w and, unless the service is closing,
+// starts a replacement: a killed worker is a fault, not a downsize.
+func (s *Service) workerExitedLocked(w *worker) {
+	delete(s.workers, w.id)
+	if !s.closed && w.dying {
+		s.startWorkerLocked()
+		s.bus.Add(CtrWorkerRestarts, 1)
+	}
+}
+
+// runGuarded invokes the runner with crash containment: a panicking
+// request surfaces as a typed WorkerCrashError instead of taking the
+// process down.
+func (s *Service) runGuarded(ctx context.Context, req Request) (res []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &WorkerCrashError{Value: r}
+		}
+	}()
+	return s.cfg.Run(ctx, req)
+}
+
+func (s *Service) execute(w *worker, j *job, ctx context.Context, cancel context.CancelCauseFunc) {
+	runCtx := ctx
+	var cancelTimeout context.CancelFunc
+	if s.cfg.RequestTimeout > 0 {
+		runCtx, cancelTimeout = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	start := time.Now()
+	res, err := s.runGuarded(runCtx, j.req)
+	s.bus.Observe(HistExecuteSecs, time.Since(start).Seconds())
+	if cancelTimeout != nil {
+		cancelTimeout()
+	}
+	cancel(nil)
+
+	if _, crashed := errAs[*WorkerCrashError](err); crashed {
+		s.bus.Add(CtrWorkerCrashes, 1)
+	}
+
+	s.mu.Lock()
+	w.cancel = nil
+	killed := context.Cause(ctx) == errWorkerKilled
+	s.mu.Unlock()
+
+	switch {
+	case err == nil:
+		// Persist before resolving tickets: a result a client has seen
+		// must survive a daemon restart, or "restart then resubmit"
+		// could recompute and — on a nondeterministic regression —
+		// contradict it. Put is atomic; failure leaves a clean miss.
+		if s.store != nil {
+			if perr := s.store.Put(j.key, res); perr != nil {
+				s.fail(j, perr)
+				return
+			}
+		}
+		s.complete(j, res)
+	case killed:
+		// The worker was shot mid-request. Not the request's fault:
+		// requeue with no attempt charged.
+		s.bus.Add(CtrRetries, 1)
+		s.requeueNow(j)
+	default:
+		s.retryOrQuarantine(j, err)
+	}
+}
+
+// errAs is errors.As with the target allocated for the caller.
+func errAs[T error](err error) (T, bool) {
+	var t T
+	ok := errors.As(err, &t)
+	return t, ok
+}
+
+func (s *Service) retryOrQuarantine(j *job, err error) {
+	s.mu.Lock()
+	if j.completed {
+		// Already resolved (a Close failed it mid-run); don't let the
+		// stale outcome burn attempts or quarantine the key.
+		s.mu.Unlock()
+		return
+	}
+	j.attempts++
+	attempts := j.attempts
+	if attempts >= s.cfg.MaxAttempts {
+		qe := &QuarantinedError{Key: j.key, Attempts: attempts, LastErr: err}
+		s.quarantine[j.key] = qe
+		s.mu.Unlock()
+		s.bus.Add(CtrQuarantined, 1)
+		s.fail(j, qe)
+		return
+	}
+	s.mu.Unlock()
+	s.bus.Add(CtrRetries, 1)
+	backoff := s.cfg.RetryBackoff << uint(min(attempts-1, 6))
+	time.AfterFunc(backoff, func() { s.requeueNow(j) })
+}
+
+// requeueNow re-enters an accepted job past the admission gate (its
+// admission already happened; shedding it now would lose accepted
+// work). A closed service fails it instead.
+func (s *Service) requeueNow(j *job) {
+	s.mu.Lock()
+	if j.completed {
+		s.mu.Unlock()
+		return
+	}
+	if s.closed {
+		s.mu.Unlock()
+		s.fail(j, &ShutdownError{Key: j.key})
+		return
+	}
+	s.enqueueLocked(j)
+	s.mu.Unlock()
+}
+
+// complete resolves a job exactly once with a result.
+func (s *Service) complete(j *job, res []byte) { s.resolve(j, res, nil) }
+
+// fail resolves a job exactly once with a terminal error.
+func (s *Service) fail(j *job, err error) { s.resolve(j, nil, err) }
+
+func (s *Service) resolve(j *job, res []byte, err error) {
+	s.mu.Lock()
+	if j.completed {
+		s.mu.Unlock()
+		return
+	}
+	j.completed = true
+	j.result = res
+	j.err = err
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.tenantLoad[j.req.Tenant]--
+	if s.tenantLoad[j.req.Tenant] <= 0 {
+		delete(s.tenantLoad, j.req.Tenant)
+	}
+	s.mu.Unlock()
+
+	if err == nil {
+		s.bus.Add(CtrCompleted, 1)
+	} else {
+		s.bus.Add(CtrFailed, 1)
+	}
+	s.bus.Observe(HistAttempts, float64(j.attempts+1))
+	close(j.done)
+	s.jobWG.Done()
+}
+
+// KillWorker simulates a crash of one worker: its current request is
+// torn down mid-flight (and later retried free of charge) and the
+// worker goroutine exits; a replacement starts immediately. Returns
+// false if the id names no live worker. The chaos harness's trigger —
+// and a reasonable admin verb.
+func (s *Service) KillWorker(id int) bool {
+	s.mu.Lock()
+	w, ok := s.workers[id]
+	if !ok || w.dying {
+		s.mu.Unlock()
+		return false
+	}
+	w.dying = true
+	cancel := w.cancel
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.bus.Add(CtrWorkerKills, 1)
+	if cancel != nil {
+		cancel(errWorkerKilled)
+	}
+	return true
+}
+
+// WorkerIDs lists the live workers (sorted order not guaranteed).
+func (s *Service) WorkerIDs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int, 0, len(s.workers))
+	for id := range s.workers {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// QueueDepth reports how many accepted jobs await a worker.
+func (s *Service) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Drain blocks until every accepted job has resolved. Call after the
+// last Submit; submissions racing Drain may be missed.
+func (s *Service) Drain() { s.jobWG.Wait() }
+
+// Close stops the service abruptly — the daemon-kill of the chaos
+// harness. Every unresolved job fails with a typed ShutdownError and
+// running requests are canceled; completed results already persisted
+// in the store survive, which is exactly what makes a restart cheap:
+// resubmitting the same sweep dedupes against the store and reruns
+// only what never finished. Close blocks until all workers exit.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.workerWG.Wait()
+		return
+	}
+	s.closed = true
+	pending := make([]*job, 0, len(s.inflight))
+	for _, j := range s.inflight {
+		pending = append(pending, j)
+	}
+	s.bus.Add(CtrQueueDepth, -int64(len(s.queue)))
+	s.queue = nil
+	var cancels []context.CancelCauseFunc
+	for _, w := range s.workers {
+		if w.cancel != nil {
+			cancels = append(cancels, w.cancel)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	for _, cancel := range cancels {
+		cancel(context.Canceled)
+	}
+	for _, j := range pending {
+		s.fail(j, &ShutdownError{Key: j.key})
+	}
+	s.workerWG.Wait()
+}

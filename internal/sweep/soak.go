@@ -1,0 +1,387 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SoakOptions tunes one chaos campaign (see Soak).
+type SoakOptions struct {
+	// Dir is the store directory (required; persists across the
+	// mid-campaign daemon restart).
+	Dir string
+	// Seed drives the deterministic chaos schedule (which workers die,
+	// which entries are corrupted, how the offered load is shuffled).
+	Seed uint64
+	// Offered is the total number of submissions (default 200). The
+	// request population is two overlapping grids, so offered load
+	// carries heavy duplication — the dedupe workload.
+	Offered int
+	// Workers is the pool size (default 4).
+	Workers int
+	// QueueDepth bounds the admission queue. The default, Offered/16,
+	// guarantees offered load far exceeds capacity so shedding is
+	// exercised, not just possible.
+	QueueDepth int
+	// Kills is how many worker kills to inject (default 6).
+	Kills int
+	// Corruptions is how many store-corruption injections (default 6).
+	Corruptions int
+	// Restart, when true (the default via DefaultSoakOptions), kills
+	// and restarts the daemon mid-campaign.
+	Restart bool
+	// Timeout bounds the whole campaign (default 3m).
+	Timeout time.Duration
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// SoakReport is the campaign's outcome. Violations empty = pass.
+type SoakReport struct {
+	Offered        int
+	UniqueKeys     int
+	Shed           int
+	Kills          int
+	Corruptions    int
+	StoreEvictions int64
+	DaemonRestarts int
+	DedupeHitRate  float64
+	Violations     []string
+}
+
+// Ok reports whether every invariant held.
+func (r *SoakReport) Ok() bool { return len(r.Violations) == 0 }
+
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Offered <= 0 {
+		o.Offered = 200
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = max(o.Offered/16, 4)
+	}
+	if o.Kills < 0 {
+		o.Kills = 0
+	} else if o.Kills == 0 {
+		o.Kills = 6
+	}
+	if o.Corruptions == 0 {
+		o.Corruptions = 6
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 3 * time.Minute
+	}
+	return o
+}
+
+type soakRNG struct{ x uint64 }
+
+func (r *soakRNG) next() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *soakRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// soakPopulation builds the offered load: two overlapping grids of
+// small, fast simulations, cycled and shuffled to the offered count.
+// The overlap plus the cycling guarantees a dedupe hit-rate well above
+// the 30% acceptance bar once the store warms.
+func soakPopulation(r *soakRNG, offered int) []Request {
+	gridA := Grid{
+		Tenant: "team-a",
+		Ops:    []string{"allreduce", "allgather_ring", "bcast_binomial"},
+		Sizes:  []int64{1 << 10, 2 << 10, 4 << 10},
+		Seeds:  []uint64{1, 2},
+		Procs:  8, PPN: 4, Iters: 1,
+	}
+	gridB := gridA // overlaps A on two of three sizes
+	gridB.Tenant = "team-b"
+	gridB.Sizes = []int64{2 << 10, 4 << 10, 8 << 10}
+	pool := append(gridA.Expand(), gridB.Expand()...)
+	out := make([]Request, offered)
+	for i := range out {
+		out[i] = pool[i%len(pool)]
+	}
+	// Fisher-Yates under the campaign seed: interleave tenants and
+	// duplicates so the dedupe and quota paths see realistic mixes.
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Soak runs the service-level chaos campaign: offered load far above
+// capacity, worker kills, store corruption injected mid-sweep, and
+// (optionally) an abrupt daemon kill/restart halfway — then checks the
+// contract that justifies all the machinery:
+//
+//   - every accepted request resolves exactly once, with bytes
+//     identical to a clean serial run of the same request;
+//   - shed requests fail with typed Overloaded/QuotaExceeded errors
+//     and succeed on client retry;
+//   - corruption is never served: a damaged entry is evicted and
+//     recomputed, and the recomputed bytes match the baseline;
+//   - the dedupe hit-rate over the overlapping grids clears 30%.
+//
+// Violations are collected, not panicked, so the CI job can print them
+// all.
+func Soak(opt SoakOptions) (*SoakReport, error) {
+	opt = opt.withDefaults()
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("sweep: soak needs a store dir")
+	}
+	logf := opt.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &SoakReport{Offered: opt.Offered}
+	r := &soakRNG{x: opt.Seed ^ 0xda3e39cb94b95bdb}
+	reqs := soakPopulation(r, opt.Offered)
+
+	// Clean serial baseline: one plain Simulate per unique key, no
+	// service anywhere near it.
+	baseline := map[Key][]byte{}
+	for _, req := range reqs {
+		k := req.Key()
+		if _, ok := baseline[k]; ok {
+			continue
+		}
+		payload, err := Simulate(context.Background(), req)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: serial baseline for %s: %w", k, err)
+		}
+		baseline[k] = payload
+	}
+	rep.UniqueKeys = len(baseline)
+	logf("soak: %d offered over %d unique keys, baseline done", opt.Offered, rep.UniqueKeys)
+
+	store, scav, err := OpenStore(opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	logf("soak: store opened (kept %d, scavenged %d corrupt, %d torn)",
+		scav.Kept, scav.Corrupt, scav.Torn)
+	cfg := Config{
+		Workers:      opt.Workers,
+		QueueDepth:   opt.QueueDepth,
+		TenantQuota:  max(opt.QueueDepth/2, 2),
+		MaxAttempts:  5,
+		RetryBackoff: 500 * time.Microsecond,
+	}
+	svc := NewService(store, cfg)
+	var svcMu sync.Mutex // guards svc across the daemon restart
+	current := func() *Service {
+		svcMu.Lock()
+		defer svcMu.Unlock()
+		return svc
+	}
+
+	deadline := time.Now().Add(opt.Timeout)
+	var shed, killsDone, corruptionsDone atomic.Int64
+	var resolved atomic.Int64
+	stopChaos := make(chan struct{})
+	var chaosWG sync.WaitGroup
+
+	// Chaos injector: kills workers and corrupts store entries while
+	// the sweep is in flight.
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		cr := &soakRNG{x: opt.Seed ^ 0xa0761d6478bd642f}
+		keys := make([]Key, 0, len(baseline))
+		for k := range baseline {
+			keys = append(keys, k)
+		}
+		for {
+			select {
+			case <-stopChaos:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			s := current()
+			if int(killsDone.Load()) < opt.Kills {
+				if ids := s.WorkerIDs(); len(ids) > 0 {
+					if s.KillWorker(ids[cr.intn(len(ids))]) {
+						killsDone.Add(1)
+					}
+				}
+			}
+			if int(corruptionsDone.Load()) < opt.Corruptions && len(keys) > 0 {
+				k := keys[cr.intn(len(keys))]
+				// Corrupt through the current incarnation's store so the
+				// daemon restart (which swaps stores) stays race-free.
+				if ok, _ := s.Store().CorruptEntry(k, uint(cr.next()%4096)); ok {
+					corruptionsDone.Add(1)
+				}
+			}
+		}
+	}()
+
+	// Client: submit everything, retrying shed requests — the contract
+	// is explicit rejection now, success on retry, never silent loss.
+	verify := func(i int, req Request, payload []byte, err error) {
+		if err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("request %d (%s): terminal error: %v", i, req.Key(), err))
+			return
+		}
+		if want := baseline[req.Key()]; !bytes.Equal(payload, want) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("request %d (%s): result differs from clean serial run (%d vs %d bytes)",
+					i, req.Key(), len(payload), len(want)))
+		}
+	}
+	submitAll := func(indices []int) (tickets map[int]*Ticket, failed []int) {
+		tickets = map[int]*Ticket{}
+		for _, i := range indices {
+			req := reqs[i]
+		attempt:
+			for {
+				if time.Now().After(deadline) {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("request %d: campaign deadline exceeded during submit", i))
+					return tickets, failed
+				}
+				t, err := current().Submit(req)
+				if err == nil {
+					tickets[i] = t
+					break attempt
+				}
+				var over *OverloadedError
+				var quota *QuotaExceededError
+				var down *ShutdownError
+				switch {
+				case errors.As(err, &over), errors.As(err, &quota):
+					shed.Add(1)
+					time.Sleep(time.Duration(200+r.intn(400)) * time.Microsecond)
+				case errors.As(err, &down):
+					// Mid-restart; try again on the new incarnation.
+					time.Sleep(time.Millisecond)
+				default:
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("request %d: unexpected submit error: %v", i, err))
+					failed = append(failed, i)
+					break attempt
+				}
+			}
+		}
+		return tickets, failed
+	}
+	collect := func(tickets map[int]*Ticket) (outstanding []int) {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		defer cancel()
+		for i, t := range tickets {
+			payload, err := t.Wait(ctx)
+			var down *ShutdownError
+			if errors.As(err, &down) {
+				// Daemon was killed under this request: the client
+				// resubmits after restart, as a real client would.
+				outstanding = append(outstanding, i)
+				continue
+			}
+			resolved.Add(1)
+			verify(i, reqs[i], payload, err)
+		}
+		return outstanding
+	}
+
+	all := make([]int, len(reqs))
+	for i := range all {
+		all[i] = i
+	}
+
+	if opt.Restart {
+		half := all[:len(all)/2]
+		rest := all[len(all)/2:]
+		tickets, _ := submitAll(half)
+		// Let roughly half of the first tranche land, then kill the
+		// daemon abruptly — no drain, running requests torn down. The
+		// wait is time-bounded: on a warm store most tickets complete as
+		// dedupe hits that never touch the completion counter.
+		settle := time.Now().Add(5 * time.Second)
+		for time.Now().Before(settle) && current().Bus().Counter(CtrCompleted) < int64(len(tickets)/2) {
+			time.Sleep(time.Millisecond)
+		}
+		logf("soak: killing daemon with %d tickets in flight", len(tickets))
+		current().Close()
+		outstanding := collect(tickets)
+		rep.DaemonRestarts++
+
+		// Restart: reopen (and rescavenge) the same store, then
+		// resubmit everything still owed plus the rest of the load.
+		store2, scav2, err := OpenStore(opt.Dir)
+		if err != nil {
+			return nil, err
+		}
+		logf("soak: store reopened after daemon kill (kept %d, scavenged %d corrupt, %d torn)",
+			scav2.Kept, scav2.Corrupt, scav2.Torn)
+		svcMu.Lock()
+		oldBus := svc.Bus()
+		store = store2
+		svc = NewService(store2, cfg)
+		svcMu.Unlock()
+		// Fold the first incarnation's dedupe and shed history into
+		// the report before it is dropped.
+		rep.StoreEvictions += oldBus.Counter(CtrStoreEvictions)
+		tickets2, _ := submitAll(append(outstanding, rest...))
+		if more := collect(tickets2); len(more) > 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%d requests still unresolved after restart", len(more)))
+		}
+	} else {
+		tickets, _ := submitAll(all)
+		if more := collect(tickets); len(more) > 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%d requests unresolved with no restart in play", len(more)))
+		}
+	}
+
+	close(stopChaos)
+	chaosWG.Wait()
+	final := current()
+	final.Drain()
+
+	// One more pass: every unique key must now be servable from the
+	// store, byte-identical to the baseline, even after the injected
+	// corruption (evict-and-recompute may run here — that's the point).
+	for _, req := range reqs[:min(len(reqs), 64)] {
+		t, err := final.Submit(req)
+		if err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("post-pass submit %s: %v", req.Key(), err))
+			continue
+		}
+		payload, err := t.Result()
+		verify(-1, req, payload, err)
+	}
+	final.Close()
+
+	rep.Shed = int(shed.Load())
+	rep.Kills = int(killsDone.Load())
+	rep.Corruptions = int(corruptionsDone.Load())
+	rep.StoreEvictions += final.Bus().Counter(CtrStoreEvictions)
+	rep.DedupeHitRate = final.DedupeHitRate()
+	if rep.DedupeHitRate < 0.30 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("dedupe hit-rate %.2f below the 0.30 bar", rep.DedupeHitRate))
+	}
+	if opt.QueueDepth < opt.Offered/2 && rep.Shed == 0 {
+		rep.Violations = append(rep.Violations,
+			"offered load exceeded capacity but nothing was shed — admission control is asleep")
+	}
+	logf("soak: done — %d resolved, %d shed (retried), %d kills, %d corruptions, dedupe %.0f%%",
+		resolved.Load(), rep.Shed, rep.Kills, rep.Corruptions, 100*rep.DedupeHitRate)
+	return rep, nil
+}

@@ -1,0 +1,91 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestSoakChaosCampaign is the service-level acceptance test: worker
+// kills, store corruption and a daemon restart mid-sweep, offered load
+// over capacity — no accepted request lost, duplicated, or answered
+// with bytes that differ from a clean serial run.
+func TestSoakChaosCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	rep, err := Soak(SoakOptions{
+		Dir:         t.TempDir(),
+		Seed:        42,
+		Offered:     120,
+		Workers:     4,
+		Kills:       4,
+		Corruptions: 4,
+		Restart:     true,
+		Timeout:     2 * time.Minute,
+		Log:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Error(v)
+	}
+	if rep.DedupeHitRate < 0.30 {
+		t.Errorf("dedupe hit-rate %.2f, want >= 0.30", rep.DedupeHitRate)
+	}
+	if rep.Kills == 0 {
+		t.Error("chaos campaign killed no workers; the test proved nothing")
+	}
+	if rep.DaemonRestarts != 1 {
+		t.Errorf("daemon restarts = %d, want 1", rep.DaemonRestarts)
+	}
+	t.Logf("soak report: %+v", *rep)
+}
+
+// TestShardLayoutDeterminism runs the same request set through a
+// 1-worker and an 8-worker service (fresh stores) and demands
+// byte-identical results per key: shard layout is an implementation
+// detail, never an observable.
+func TestShardLayoutDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("layout determinism skipped in -short mode")
+	}
+	reqs := Grid{
+		Ops:   []string{"allreduce", "allgather_ring"},
+		Sizes: []int64{1 << 10, 4 << 10},
+		Procs: 8, PPN: 4, Iters: 1,
+	}.Expand()
+
+	run := func(workers int) map[Key][]byte {
+		store, _, err := OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := NewService(store, Config{Workers: workers, QueueDepth: 64})
+		defer svc.Close()
+		tickets, errs := svc.SubmitBatch(reqs)
+		out := map[Key][]byte{}
+		for i, tk := range tickets {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d submit %d: %v", workers, i, errs[i])
+			}
+			payload, err := tk.Result()
+			if err != nil {
+				t.Fatalf("workers=%d req %d: %v", workers, i, err)
+			}
+			out[tk.Key()] = payload
+		}
+		return out
+	}
+
+	serial, wide := run(1), run(8)
+	if len(serial) != len(wide) {
+		t.Fatalf("layouts produced %d vs %d keys", len(serial), len(wide))
+	}
+	for k, want := range serial {
+		if got, ok := wide[k]; !ok || !bytes.Equal(got, want) {
+			t.Errorf("key %s differs across shard layouts", k)
+		}
+	}
+}

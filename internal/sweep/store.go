@@ -1,0 +1,284 @@
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the content-addressed result cache: one file per request
+// key, each entry carrying its own payload checksum. Disks lie, so the
+// store assumes they do: writes are temp-file + fsync + atomic rename
+// (a crash mid-write leaves a temp file, never a half-entry under the
+// final name), every read re-verifies the checksum and evicts what
+// fails it, and Open scavenges torn and corrupt entries left by a
+// previous incarnation. Safe for concurrent use; concurrent writers of
+// the same key are benign because determinism makes their payloads
+// identical and rename is atomic (last write wins, bytes equal).
+type Store struct {
+	dir string
+	// mu serializes eviction bookkeeping; file operations themselves
+	// are already atomic.
+	mu sync.Mutex
+}
+
+// storeMagic heads every entry file; bumping the version invalidates
+// (and scavenges) old formats.
+const storeMagic = "paccstore/v1"
+
+// entryExt is the suffix of committed entries; temp files use tmpPrefix
+// and are never read as results.
+const (
+	entryExt  = ".res"
+	tmpPrefix = ".tmp-"
+)
+
+// CorruptEntryError reports a store entry whose bytes failed
+// verification — torn header, length mismatch, or checksum mismatch.
+// The entry has already been evicted when this error surfaces; the
+// caller recomputes and rewrites.
+type CorruptEntryError struct {
+	Key    Key
+	Reason string
+}
+
+func (e *CorruptEntryError) Error() string {
+	return fmt.Sprintf("sweep: corrupt store entry %s (%s), evicted", e.Key, e.Reason)
+}
+
+// ScavengeReport summarizes what Open found and removed.
+type ScavengeReport struct {
+	// Kept counts entries that verified clean.
+	Kept int
+	// Corrupt counts committed entries evicted for failing verification.
+	Corrupt int
+	// Torn counts abandoned temp files removed (a crash mid-write).
+	Torn int
+}
+
+// OpenStore opens (creating if needed) the store at dir and scavenges
+// it: abandoned temp files are deleted, every committed entry is
+// verified, and corrupt ones are evicted so a restart begins from a
+// provably clean cache.
+func OpenStore(dir string) (*Store, ScavengeReport, error) {
+	var rep ScavengeReport
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rep, err
+	}
+	s := &Store{dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, rep, err
+	}
+	for _, de := range entries {
+		name := de.Name()
+		switch {
+		case strings.HasPrefix(name, tmpPrefix):
+			if err := os.Remove(filepath.Join(dir, name)); err == nil {
+				rep.Torn++
+			}
+		case strings.HasSuffix(name, entryExt):
+			key, err := ParseKey(strings.TrimSuffix(name, entryExt))
+			if err != nil {
+				// Not one of ours; leave foreign files alone.
+				continue
+			}
+			if _, err := s.Get(key); err != nil {
+				rep.Corrupt++ // Get already evicted it
+			} else {
+				rep.Kept++
+			}
+		}
+	}
+	return s, rep, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key Key) string {
+	return filepath.Join(s.dir, key.String()+entryExt)
+}
+
+// encodeEntry frames a payload: magic, payload sha256, payload length,
+// then the payload itself.
+func encodeEntry(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %d\n", storeMagic, hex.EncodeToString(sum[:]), len(payload))
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// decodeEntry verifies framing and checksum, returning the payload or a
+// reason the entry is corrupt.
+func decodeEntry(raw []byte) ([]byte, string) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, "truncated header"
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) != 3 || fields[0] != storeMagic {
+		return nil, "bad magic"
+	}
+	var want [sha256.Size]byte
+	if b, err := hex.DecodeString(fields[1]); err != nil || len(b) != len(want) {
+		return nil, "malformed checksum"
+	} else {
+		copy(want[:], b)
+	}
+	var length int
+	if _, err := fmt.Sscanf(fields[2], "%d", &length); err != nil || length < 0 {
+		return nil, "malformed length"
+	}
+	payload := raw[nl+1:]
+	if len(payload) != length {
+		return nil, fmt.Sprintf("torn payload: %d bytes, header says %d", len(payload), length)
+	}
+	if sha256.Sum256(payload) != want {
+		return nil, "checksum mismatch"
+	}
+	return payload, ""
+}
+
+// Put commits payload under key atomically: the entry appears under its
+// final name complete and checksummed, or not at all.
+func (s *Store) Put(key Key, payload []byte) error {
+	f, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() { os.Remove(tmp) }
+	if _, err := f.Write(encodeEntry(payload)); err != nil {
+		f.Close()
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		cleanup()
+		return err
+	}
+	return nil
+}
+
+// Get returns the payload stored under key. A missing entry returns
+// (nil, nil) — a cache miss, not an error. A present-but-corrupt entry
+// is evicted and reported as a *CorruptEntryError; the caller treats it
+// as a miss and recomputes.
+func (s *Store) Get(key Key) ([]byte, error) {
+	raw, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	payload, reason := decodeEntry(raw)
+	if reason != "" {
+		s.evict(key)
+		return nil, &CorruptEntryError{Key: key, Reason: reason}
+	}
+	return payload, nil
+}
+
+// evict removes a corrupt entry so the next Get is a clean miss.
+func (s *Store) evict(key Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove(s.path(key))
+}
+
+// Delete removes an entry (missing is fine).
+func (s *Store) Delete(key Key) error {
+	err := os.Remove(s.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Keys lists every committed entry, sorted, without verifying them.
+func (s *Store) Keys() ([]Key, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []Key
+	for _, de := range entries {
+		name := de.Name()
+		if !strings.HasSuffix(name, entryExt) {
+			continue
+		}
+		if k, err := ParseKey(strings.TrimSuffix(name, entryExt)); err == nil {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return bytes.Compare(keys[i][:], keys[j][:]) < 0
+	})
+	return keys, nil
+}
+
+// Len counts committed entries.
+func (s *Store) Len() (int, error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+// CorruptEntry deliberately flips one payload bit of the committed
+// entry under key, in place, bypassing the atomic write path. It is the
+// chaos harness's fault injector (and useless for anything else): the
+// next Get must detect the damage, evict the entry, and force a
+// recompute. Returns false when the entry does not exist.
+func (s *Store) CorruptEntry(key Key, bit uint) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.path(key)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 || nl+1 >= len(raw) {
+		// Already torn beyond recognition; leave it for Get to evict.
+		return true, nil
+	}
+	payload := raw[nl+1:]
+	idx := int(bit/8) % len(payload)
+	payload[idx] ^= 1 << (bit % 8)
+	return true, os.WriteFile(path, raw, 0o644)
+}
+
+// TruncateEntry truncates the committed entry under key to n bytes of
+// its file — a torn-write simulation for tests and the chaos harness.
+func (s *Store) TruncateEntry(key Key, n int64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.path(key)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return false, nil
+	}
+	return true, os.Truncate(path, n)
+}

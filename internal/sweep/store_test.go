@@ -1,0 +1,215 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testKey(i int) Key {
+	return Request{Op: "allreduce", Procs: 8, PPN: 4, Bytes: int64(i + 1)}.Key()
+}
+
+func TestStoreRoundtrip(t *testing.T) {
+	s, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	payload := []byte(`{"result":"fine"}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q, want %q", got, payload)
+	}
+	if got, err := s.Get(testKey(1)); err != nil || got != nil {
+		t.Fatalf("missing key: got %q, %v; want nil, nil", got, err)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestStoreTornWriteEvictedAndRecomputed(t *testing.T) {
+	s, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	payload := []byte("a payload long enough to truncate meaningfully")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.TruncateEntry(key, 20); !ok || err != nil {
+		t.Fatalf("TruncateEntry: %v %v", ok, err)
+	}
+	_, err = s.Get(key)
+	var ce *CorruptEntryError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Get after truncation: err = %v, want CorruptEntryError", err)
+	}
+	// Eviction means the next read is a clean miss, and a rewrite heals.
+	if got, err := s.Get(key); err != nil || got != nil {
+		t.Fatalf("after eviction: got %q, %v; want clean miss", got, err)
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(key); !bytes.Equal(got, payload) {
+		t.Fatalf("recomputed entry reads back wrong: %q", got)
+	}
+}
+
+func TestStoreBitFlipEvicted(t *testing.T) {
+	s, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	if err := s.Put(key, []byte("the truth, checksummed")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.CorruptEntry(key, 13); !ok || err != nil {
+		t.Fatalf("CorruptEntry: %v %v", ok, err)
+	}
+	_, err = s.Get(key)
+	var ce *CorruptEntryError
+	if !errors.As(err, &ce) {
+		t.Fatalf("bit flip not detected: err = %v", err)
+	}
+	if ce.Reason != "checksum mismatch" {
+		t.Fatalf("reason = %q, want checksum mismatch", ce.Reason)
+	}
+}
+
+func TestStoreScavengeOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, torn := testKey(0), testKey(1)
+	if err := s.Put(good, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(torn, []byte("about to be torn")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.TruncateEntry(torn, 10); !ok || err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-Put leaves a temp file; a foreign file must survive.
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"crashed"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kept != 1 || rep.Corrupt != 1 || rep.Torn != 1 {
+		t.Fatalf("scavenge report = %+v, want {Kept:1 Corrupt:1 Torn:1}", rep)
+	}
+	if got, err := s2.Get(good); err != nil || !bytes.Equal(got, []byte("good")) {
+		t.Fatalf("good entry lost in scavenge: %q, %v", got, err)
+	}
+	if got, err := s2.Get(torn); err != nil || got != nil {
+		t.Fatalf("torn entry should be a clean miss: %q, %v", got, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatalf("foreign file removed by scavenge: %v", err)
+	}
+	if keys, _ := s2.Keys(); len(keys) != 1 || keys[0] != good {
+		t.Fatalf("Keys = %v, want just the good key", keys)
+	}
+}
+
+func TestStoreBadMagicEvicted(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	if err := os.WriteFile(s.path(key), []byte("paccstore/v0 deadbeef 4\nabcd"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get(key)
+	var ce *CorruptEntryError
+	if !errors.As(err, &ce) || ce.Reason != "bad magic" {
+		t.Fatalf("err = %v, want bad magic CorruptEntryError", err)
+	}
+}
+
+func TestStoreConcurrentSameKeyWriters(t *testing.T) {
+	s, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	// Determinism means racing writers of one key carry identical bytes;
+	// atomic rename makes any interleaving safe.
+	payload := []byte("identical bytes from every writer")
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Put(key, payload)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	got, err := s.Get(key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("after 16 racing writers: %q, %v", got, err)
+	}
+	// No temp-file litter left behind.
+	entries, _ := os.ReadDir(s.Dir())
+	for _, de := range entries {
+		if de.Name() != key.String()+entryExt {
+			t.Fatalf("unexpected file left in store: %s", de.Name())
+		}
+	}
+}
+
+func TestStoreEntryEncoding(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("pacc"), 100)} {
+		dec, reason := decodeEntry(encodeEntry(payload))
+		if reason != "" {
+			t.Fatalf("roundtrip payload len %d: %s", len(payload), reason)
+		}
+		if !bytes.Equal(dec, payload) {
+			t.Fatalf("roundtrip payload len %d: got len %d", len(payload), len(dec))
+		}
+	}
+	for _, tc := range []struct {
+		raw    string
+		reason string
+	}{
+		{"no newline anywhere", "truncated header"},
+		{"wrong magic h 1\nx", "bad magic"},
+		{fmt.Sprintf("%s zz 1\nx", storeMagic), "malformed checksum"},
+	} {
+		if _, reason := decodeEntry([]byte(tc.raw)); reason != tc.reason {
+			t.Errorf("decodeEntry(%q) reason = %q, want %q", tc.raw, reason, tc.reason)
+		}
+	}
+}

@@ -106,6 +106,10 @@ type (
 	// IntegrityError reports a protocol message that exhausted its retry
 	// budget without a clean delivery (lost, or ICRC-rejected in flight).
 	IntegrityError = mpi.IntegrityError
+	// CanceledError reports a run aborted by its context (cancellation or
+	// deadline; see World.RunContext). errors.Is against context.Canceled
+	// or context.DeadlineExceeded classifies the cause.
+	CanceledError = mpi.CanceledError
 	// VerificationError reports an ABFT checksum mismatch caught by a
 	// checked collective — corruption that happened in memory, past the
 	// transport's ICRC.
@@ -169,7 +173,9 @@ type LinkPowerConfig = network.LinkPowerConfig
 // sleep enabled.
 func DefaultLinkPower() LinkPowerConfig { return network.DefaultLinkPower() }
 
-// NewWorld validates cfg and builds the simulated job.
+// NewWorld validates cfg and builds the simulated job. Execute with
+// World.Run, or World.RunContext to bound the run by a context —
+// cancellation and deadlines abort cleanly with a typed *CanceledError.
 func NewWorld(cfg Config) (*World, error) { return mpi.NewWorld(cfg) }
 
 // ParseFaultSpec parses a -fault command-line spec: semicolon-separated

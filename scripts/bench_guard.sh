@@ -44,10 +44,29 @@ fi
 echo "bench guard: checksum overhead $overhead within the 3% budget; wrote BENCH_5.json"
 
 # --- 2. structured perf-regression gate (paccprof diff) ------------------
+# The gate is only as good as its baseline: a missing or schema-stale
+# baseline must fail loudly, not silently diff against garbage.
+baseline=scripts/bench_baseline.json
+if [ ! -f "$baseline" ]; then
+	echo "bench guard: baseline $baseline is missing." >&2
+	echo "  Regenerate it from a known-good checkout with:" >&2
+	echo "    go run ./cmd/osu -op allreduce_topo -procs 64 -ppn 8 -size 1M -iters 5 -report $baseline" >&2
+	echo "  then commit the result. Do NOT regenerate on a branch whose perf you are trying to gate." >&2
+	exit 1
+fi
+want_schema='pacc.analyze.report/v1'
+if ! grep -q "\"schema\": *\"$want_schema\"" "$baseline"; then
+	echo "bench guard: baseline $baseline does not declare schema \"$want_schema\"" \
+		"(found: $(grep -o '"schema"[^,}]*' "$baseline" | head -1 || echo none))." >&2
+	echo "  The analytics report format has moved; regenerate the baseline from a known-good checkout with:" >&2
+	echo "    go run ./cmd/osu -op allreduce_topo -procs 64 -ppn 8 -size 1M -iters 5 -report $baseline" >&2
+	exit 1
+fi
+
 run -report bench_report.json >/dev/null
 diff_rc=0
 go run ./cmd/paccprof diff -mean-pct 2 -p99-pct 2 -energy-pct 2 \
-	scripts/bench_baseline.json bench_report.json | tee bench_diff.txt || diff_rc=$?
+	"$baseline" bench_report.json | tee bench_diff.txt || diff_rc=$?
 regressions=$(awk '/regression\(s\)$/ {print $1}' bench_diff.txt)
 
 # --- 3. analytics-subscriber overhead ------------------------------------
