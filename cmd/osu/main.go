@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"pacc"
+	"pacc/internal/prof"
 )
 
 // bwWindow is the number of in-flight messages in the bw test.
@@ -227,8 +228,17 @@ func main() {
 		planObj     = flag.String("plan-objective", "latency", "objective for -plan auto: latency or energy")
 		verify      = flag.Bool("verify", false, "self-verify collective data every iteration: plan-backed allreduces append checksum verification steps, allreduce_topo/allreduce_ft run their ABFT-checked variants and compare the sum against the expected value")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep; an exceeded deadline aborts the running simulation cleanly (0 = none)")
+		interruptEv = flag.Int("interrupt-every", 0, "poll for -timeout cancellation every N executed events (0 = engine default, 256); lower means faster aborts at the cost of per-event overhead")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osu:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *dumpConfig != "" {
 		if err := pacc.SaveConfig(*dumpConfig, pacc.DefaultConfig()); err != nil {
@@ -254,6 +264,9 @@ func main() {
 			os.Exit(2)
 		}
 		baseCfg.Fault = spec
+	}
+	if *interruptEv != 0 {
+		baseCfg.InterruptEvery = *interruptEv
 	}
 
 	call, ok := ops[*op]

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"pacc/internal/stats"
+	"pacc/internal/sweep"
+)
+
+// querySchema tags the /v1/query response shape.
+const querySchema = "pacc.paccd.query/v1"
+
+// queryGroup aggregates every stored result of one op: nearest-rank
+// percentile digests of per-run latency and cluster energy.
+type queryGroup struct {
+	Op        string       `json:"op"`
+	LatencyUs stats.Digest `json:"latency_us"`
+	EnergyJ   stats.Digest `json:"energy_j"`
+}
+
+// queryResponse is the GET /v1/query body. Results counts the store
+// entries aggregated (after the op filter); Skipped counts entries that
+// could not be read or decoded (evicted-as-corrupt, foreign schema) —
+// they are excluded from the digests rather than failing the query.
+type queryResponse struct {
+	Schema  string       `json:"schema"`
+	Results int          `json:"results"`
+	Skipped int          `json:"skipped,omitempty"`
+	Groups  []queryGroup `json:"groups"`
+}
+
+// handleQuery serves GET /v1/query[?op=NAME]: percentile latency and
+// energy aggregates over every completed (stored) sweep result, grouped
+// by op. It reads the content-addressed store directly, so it sees
+// everything ever completed by this daemon's store directory — not just
+// the current process's submissions.
+func handleQuery(svc *sweep.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		opFilter := r.URL.Query().Get("op")
+		store := svc.Store()
+		keys, err := store.Keys()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		type sample struct{ lat, energy []float64 }
+		byOp := map[string]*sample{}
+		resp := queryResponse{Schema: querySchema, Groups: []queryGroup{}}
+		for _, key := range keys {
+			payload, err := store.Get(key)
+			if err != nil || payload == nil {
+				// Corrupt entries are already evicted by Get; a missing
+				// one raced a concurrent eviction. Either way: skip.
+				resp.Skipped++
+				continue
+			}
+			res, err := sweep.DecodeResult(payload)
+			if err != nil {
+				resp.Skipped++
+				continue
+			}
+			if opFilter != "" && res.Op != opFilter {
+				continue
+			}
+			s := byOp[res.Op]
+			if s == nil {
+				s = &sample{}
+				byOp[res.Op] = s
+			}
+			s.lat = append(s.lat, res.ElapsedUs)
+			s.energy = append(s.energy, res.EnergyJ)
+			resp.Results++
+		}
+		ops := make([]string, 0, len(byOp))
+		for op := range byOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			s := byOp[op]
+			resp.Groups = append(resp.Groups, queryGroup{
+				Op:        op,
+				LatencyUs: stats.DigestOf(s.lat),
+				EnergyJ:   stats.DigestOf(s.energy),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"pacc/internal/sweep"
+)
+
+func getQuery(t *testing.T, url string) queryResponse {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query returned %s", resp.Status)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestServeQueryAggregates(t *testing.T) {
+	ts, _ := testServer(t)
+	// An empty store answers cleanly.
+	if out := getQuery(t, ts.URL+"/v1/query"); out.Results != 0 || len(out.Groups) != 0 {
+		t.Fatalf("empty store query = %+v, want zero results", out)
+	}
+
+	// Complete a small sweep: two ops, several sizes each.
+	postSubmit(t, ts, submitRequest{Grid: &sweep.Grid{
+		Ops:   []string{"allreduce", "bcast_binomial"},
+		Sizes: []int64{1024, 4096, 16384},
+		Procs: 8, PPN: 4, Iters: 1,
+	}})
+
+	out := getQuery(t, ts.URL+"/v1/query")
+	if out.Schema != querySchema {
+		t.Fatalf("schema %q, want %q", out.Schema, querySchema)
+	}
+	if out.Results != 6 || out.Skipped != 0 {
+		t.Fatalf("results %d skipped %d, want 6 and 0", out.Results, out.Skipped)
+	}
+	if len(out.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %+v", len(out.Groups), out.Groups)
+	}
+	// Groups are sorted by op name.
+	if out.Groups[0].Op != "allreduce" || out.Groups[1].Op != "bcast_binomial" {
+		t.Fatalf("group order %q, %q", out.Groups[0].Op, out.Groups[1].Op)
+	}
+	for _, g := range out.Groups {
+		if g.LatencyUs.Count != 3 || g.EnergyJ.Count != 3 {
+			t.Fatalf("group %s counts %d/%d, want 3/3", g.Op, g.LatencyUs.Count, g.EnergyJ.Count)
+		}
+		if g.LatencyUs.Mean <= 0 || g.EnergyJ.Mean <= 0 {
+			t.Fatalf("group %s has non-positive means: %+v", g.Op, g)
+		}
+		// Nearest-rank invariants on a 3-value sample.
+		if g.LatencyUs.P99 != g.LatencyUs.Max || g.LatencyUs.P50 > g.LatencyUs.P90 {
+			t.Fatalf("group %s percentile ordering broken: %+v", g.Op, g.LatencyUs)
+		}
+	}
+
+	// The op filter narrows the digest to that op's runs.
+	one := getQuery(t, ts.URL+"/v1/query?op=allreduce")
+	if one.Results != 3 || len(one.Groups) != 1 || one.Groups[0].Op != "allreduce" {
+		t.Fatalf("filtered query = %+v, want 3 allreduce results", one)
+	}
+	if one.Groups[0].LatencyUs != out.Groups[0].LatencyUs {
+		t.Fatalf("filtered digest %+v differs from grouped digest %+v",
+			one.Groups[0].LatencyUs, out.Groups[0].LatencyUs)
+	}
+
+	// An unknown op matches nothing (not an error).
+	if none := getQuery(t, ts.URL+"/v1/query?op=nonsense"); none.Results != 0 {
+		t.Fatalf("nonsense op query = %+v, want zero results", none)
+	}
+
+	// POST is rejected.
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/query = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServeQuerySkipsCorruptEntries(t *testing.T) {
+	ts, svc := testServer(t)
+	postSubmit(t, ts, submitRequest{Requests: []sweep.Request{
+		{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 1024},
+		{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 4096},
+	}})
+	keys, err := svc.Store().Keys()
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("store keys: %v, %v", keys, err)
+	}
+	if ok, err := svc.Store().CorruptEntry(keys[0], 13); !ok || err != nil {
+		t.Fatalf("corrupt entry: %v, %v", ok, err)
+	}
+	out := getQuery(t, ts.URL+"/v1/query")
+	if out.Results != 1 || out.Skipped != 1 {
+		t.Fatalf("results %d skipped %d, want 1 and 1 (corrupt entry excluded)", out.Results, out.Skipped)
+	}
+}

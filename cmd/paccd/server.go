@@ -56,6 +56,8 @@ func newMux(svc *sweep.Service) *http.ServeMux {
 		}
 	})
 
+	mux.HandleFunc("/v1/query", handleQuery(svc))
+
 	mux.HandleFunc("/v1/submit", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pacc"
+	"pacc/internal/prof"
 	"pacc/internal/report"
 )
 
@@ -39,8 +40,16 @@ func main() {
 		faultP   = flag.String("fault", "", "deterministic fault-injection spec for the demo run, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms'; crash-stop syntax: 'crash=RANK@TIME;detect=DUR'; data corruption: 'corrupt=PROB;terrfactor=N;memburst=RANK@PROB:START+DUR' (RANK may be *)")
 		planP    = flag.String("plan", "", "communication plan for the demo run: a registered builder name, or 'auto' for cost-based selection")
 		timeoutP = flag.Duration("timeout", 0, "wall-clock budget for the demo run; an exceeded deadline aborts the simulation cleanly (0 = none)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (at exit) to this file")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powercoll:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *traceP != "" || *metricP != "" || *reportP != "" {
 		if err := captureObs(*obsSpec, *faultP, *planP, *traceP, *metricP, *reportP, *timeoutP); err != nil {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"pacc/internal/power"
+	"pacc/internal/stats"
 )
 
 // SchemaVersion identifies the report JSON shape.
@@ -47,31 +48,20 @@ type Digest struct {
 	MaxUs  float64 `json:"max_us"`
 }
 
+// digestOf maps the shared stats.Digest onto the report's µs-suffixed
+// wire shape, rounding to keep report bytes stable across platforms.
 func digestOf(vals []float64) Digest {
-	if len(vals) == 0 {
+	d := stats.DigestOf(vals)
+	if d.Count == 0 {
 		return Digest{}
 	}
-	s := make([]float64, len(vals))
-	copy(s, vals)
-	sort.Float64s(s)
-	sum := 0.0
-	for _, v := range s {
-		sum += v
-	}
-	pct := func(p float64) float64 {
-		i := int(math.Ceil(p/100*float64(len(s)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		return round3(s[i])
-	}
 	return Digest{
-		Count:  len(s),
-		MeanUs: round3(sum / float64(len(s))),
-		P50Us:  pct(50),
-		P90Us:  pct(90),
-		P99Us:  pct(99),
-		MaxUs:  round3(s[len(s)-1]),
+		Count:  d.Count,
+		MeanUs: round3(d.Mean),
+		P50Us:  round3(d.P50),
+		P90Us:  round3(d.P90),
+		P99Us:  round3(d.P99),
+		MaxUs:  round3(d.Max),
 	}
 }
 

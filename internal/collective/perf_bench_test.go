@@ -1,0 +1,102 @@
+package collective
+
+import (
+	"testing"
+	"time"
+
+	"pacc/internal/mpi"
+	"pacc/internal/simtime"
+)
+
+// Hot-path benchmarks of the simulation core itself. These are the
+// workloads behind the bench-guard events_per_sec / allocs_per_op gates
+// (scripts/bench_guard.sh section 4, BENCH_8.json): the 8x8 1 MiB
+// allreduce measures allocations per simulated collective on the paper's
+// testbed shape, and the 4096-rank runs measure raw event throughput at
+// the cluster scale the power schemes target.
+
+// perfConfig shapes a job of procs ranks at ppn per node.
+func perfConfig(procs, ppn int) mpi.Config {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs = procs
+	cfg.PPN = ppn
+	cfg.Topo.Nodes = procs / ppn
+	return cfg
+}
+
+// runCollective builds a world, runs iters barrier-separated calls of
+// the collective on every rank, and returns the engine's executed event
+// count plus the wall-clock time spent inside Engine.Run.
+func runCollective(b *testing.B, cfg mpi.Config, iters int, bytes int64,
+	call func(c *mpi.Comm, bytes int64, opt Options) error) (int, time.Duration) {
+	b.Helper()
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var callErr error
+	w.Launch(func(r *mpi.Rank) {
+		c := mpi.CommWorld(r)
+		for i := 0; i < iters; i++ {
+			Barrier(c)
+			if err := call(c, bytes, Options{}); err != nil && callErr == nil {
+				callErr = err
+			}
+		}
+	})
+	start := time.Now()
+	executed, err := w.Engine().Run(simtime.Infinity)
+	elapsed := time.Since(start)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if callErr != nil {
+		b.Fatal(callErr)
+	}
+	return executed, elapsed
+}
+
+// BenchmarkHotPathAllreduce8x8_1MiB is the allocs/op gate workload: the
+// paper's 8-node x 8-rank testbed running 1 MiB topology-aware
+// allreduces. Allocations per op are dominated by the per-message and
+// per-flow hot paths (world construction is amortized over the
+// in-world iterations).
+func BenchmarkHotPathAllreduce8x8_1MiB(b *testing.B) {
+	b.ReportAllocs()
+	var events int
+	var inRun time.Duration
+	for i := 0; i < b.N; i++ {
+		ev, el := runCollective(b, perfConfig(64, 8), 10, 1<<20, AllreduceTopoAware)
+		events += ev
+		inRun += el
+	}
+	b.ReportMetric(float64(events)/inRun.Seconds(), "events/sec")
+}
+
+// benchmarkScale runs one collective call at the given shape and reports
+// executed events per second of wall time spent in the engine.
+func benchmarkScale(b *testing.B, procs, ppn int, bytes int64,
+	call func(c *mpi.Comm, bytes int64, opt Options) error) {
+	b.ReportAllocs()
+	var events int
+	var inRun time.Duration
+	for i := 0; i < b.N; i++ {
+		ev, el := runCollective(b, perfConfig(procs, ppn), 1, bytes, call)
+		events += ev
+		inRun += el
+	}
+	b.ReportMetric(float64(events)/inRun.Seconds(), "events/sec")
+}
+
+// BenchmarkScale4096AllreduceRD is the events/sec gate workload: a
+// 4096-rank recursive-doubling allreduce (512 nodes x 8 ranks), the
+// scale at which large power studies operate.
+func BenchmarkScale4096AllreduceRD(b *testing.B) {
+	benchmarkScale(b, 4096, 8, 4<<10, AllreduceRD)
+}
+
+// BenchmarkScale4096AllgatherRD covers the allgather side of the
+// acceptance target at the same shape.
+func BenchmarkScale4096AllgatherRD(b *testing.B) {
+	benchmarkScale(b, 4096, 8, 1<<10, AllgatherRD)
+}

@@ -26,17 +26,56 @@ type Comm struct {
 	// agreeSeq numbers AgreeFailures calls (see ulfm.go), congruent like
 	// opSeq.
 	agreeSeq int
+	// shapeKey memoizes ShapeKey.
+	shapeKey string
+	// splitShm/splitLead memoize SplitByNode. The node grouping of a
+	// communicator never changes, and every member memoizes on its first
+	// call (SPMD congruence), so the per-collective re-split cost — once
+	// the dominant allocation in iterated topo-aware collectives — is
+	// paid exactly once per communicator.
+	splitShm  *Comm
+	splitLead *Comm
+	splitDone bool
 }
 
 // CommWorld returns the communicator containing every rank of the job.
+// All ranks share one immutable identity-group slice: a per-rank copy
+// would be O(P) memory per rank — tens of gigabytes at 64k ranks — for
+// a slice no code path ever mutates after creation.
 func CommWorld(r *Rank) *Comm {
-	group := make([]int, r.world.cfg.NProcs)
-	for i := range group {
-		group[i] = i
+	w := r.world
+	if w.worldGroup == nil {
+		w.worldGroup = make([]int, w.cfg.NProcs)
+		for i := range w.worldGroup {
+			w.worldGroup[i] = i
+		}
 	}
 	id := r.commSeq
 	r.commSeq++
-	return &Comm{r: r, group: group, me: r.id, id: id}
+	return &Comm{r: r, group: w.worldGroup, me: r.id, id: id}
+}
+
+// ShapeKey identifies the communicator's logical group across ranks in
+// O(1), for world-level memo keys (the collective package's plan
+// cache). Two comm handles held by different ranks map to the same key
+// exactly when they represent the same logical communicator:
+//
+//   - congruent creation (the SPMD contract this package already leans
+//     on for tag spaces) gives the same logical communicator the same
+//     id on every member;
+//   - distinct communicators sharing an id exist only via SplitColor's
+//     per-color partition, whose member sets are disjoint — so their
+//     first members (and sizes) differ.
+//
+// The id alone is therefore ambiguous only across disjoint groups, and
+// group[0] breaks that tie; size and the last member are included as
+// defense in depth.
+func (c *Comm) ShapeKey() string {
+	if c.shapeKey == "" {
+		c.shapeKey = fmt.Sprintf("%d/%d:%d-%d",
+			c.id, len(c.group), c.group[0], c.group[len(c.group)-1])
+	}
+	return c.shapeKey
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -171,14 +210,14 @@ func (c *Comm) Irecv(src int, bytes int64, tag int) *Request {
 func (c *Comm) Send(dst int, bytes int64, tag int) error {
 	q := c.Isend(dst, bytes, tag)
 	q.Wait()
-	return q.Err()
+	return c.r.world.reapReq(q)
 }
 
 // Recv is a blocking receive from a communicator rank (errors as in Send).
 func (c *Comm) Recv(src int, bytes int64, tag int) error {
 	q := c.Irecv(src, bytes, tag)
 	q.Wait()
-	return q.Err()
+	return c.r.world.reapReq(q)
 }
 
 // SendRecv exchanges with communicator ranks dst and src (errors as in
@@ -188,10 +227,12 @@ func (c *Comm) SendRecv(dst int, sendBytes int64, src int, recvBytes int64, tag 
 	sq := c.Isend(dst, sendBytes, tag)
 	sq.Wait()
 	rq.Wait()
-	if sq.Err() != nil {
-		return sq.Err()
+	serr := c.r.world.reapReq(sq)
+	rerr := c.r.world.reapReq(rq)
+	if serr != nil {
+		return serr
 	}
-	return rq.Err()
+	return rerr
 }
 
 // Exchange runs the canonical progression of one schedule step that both
@@ -204,10 +245,12 @@ func (c *Comm) Exchange(sendTo int, sendBytes int64, sendTag int, recvFrom int, 
 	rq := c.Irecv(recvFrom, recvBytes, recvTag)
 	sq := c.Isend(sendTo, sendBytes, sendTag)
 	WaitAll(sq, rq)
-	if sq.Err() != nil {
-		return sq.Err()
+	serr := c.r.world.reapReq(sq)
+	rerr := c.r.world.reapReq(rq)
+	if serr != nil {
+		return serr
 	}
-	return rq.Err()
+	return rerr
 }
 
 // SendValue is SendValue addressed by communicator rank; the wait is
@@ -219,7 +262,7 @@ func (c *Comm) SendValue(dst int, bytes int64, tag int, v float64) error {
 	}
 	c.r.world.putWire(c.r.id, c.group[dst], tag, v)
 	q.Wait()
-	return q.Err()
+	return c.r.world.reapReq(q)
 }
 
 // RecvValue is RecvValue addressed by communicator rank (failure-aware as
@@ -230,7 +273,7 @@ func (c *Comm) RecvValue(src int, bytes int64, tag int) (float64, error) {
 		return 0, q.Err()
 	}
 	q.Wait()
-	if err := q.Err(); err != nil {
+	if err := c.r.world.reapReq(q); err != nil {
 		return 0, err
 	}
 	v, ok := c.r.world.takeWire(c.group[src], c.r.id, tag)
@@ -275,6 +318,9 @@ func (c *Comm) nodesInOrder() []int {
 // is shm rank 0), and leaderComm groups the per-node leaders (nil for
 // non-leader callers).
 func (c *Comm) SplitByNode() (shmComm, leaderComm *Comm) {
+	if c.splitDone {
+		return c.splitShm, c.splitLead
+	}
 	perNode := map[int][]int{}
 	for cr := range c.group {
 		n := c.NodeOf(cr)
@@ -293,6 +339,7 @@ func (c *Comm) SplitByNode() (shmComm, leaderComm *Comm) {
 	}
 	sort.Ints(leaders)
 	leaderComm = c.Sub(leaders) // nil unless caller is a leader
+	c.splitShm, c.splitLead, c.splitDone = shmComm, leaderComm, true
 	return shmComm, leaderComm
 }
 

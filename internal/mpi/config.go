@@ -87,6 +87,11 @@ type Config struct {
 	// afterwards. The transition is skipped when the core is already
 	// below fmax (a power-aware collective is managing it).
 	PowerAwareP2P bool
+	// InterruptEvery sets how often RunContext polls the context for
+	// cancellation, in executed events (0 selects the engine default).
+	// Lower values bound abort latency more tightly at the cost of one
+	// extra check per that many events; 1 checks before every event.
+	InterruptEvery int
 	// Fault, when non-nil, attaches the deterministic fault injector:
 	// scheduled link degradation, message loss with IB-style
 	// retransmission, straggler ranks, and slow P/T-state transitions.
@@ -143,6 +148,9 @@ func (c Config) Validate() error {
 	}
 	if c.BlockingDerate <= 0 || c.BlockingDerate > 1 {
 		return fmt.Errorf("mpi: BlockingDerate %g outside (0,1]", c.BlockingDerate)
+	}
+	if c.InterruptEvery < 0 {
+		return fmt.Errorf("mpi: negative InterruptEvery")
 	}
 	if c.Mode != Polling && c.Mode != Blocking {
 		return fmt.Errorf("mpi: unknown progression mode %d", int(c.Mode))

@@ -73,6 +73,70 @@ func TestRunContextDeadOnArrival(t *testing.T) {
 	}
 }
 
+// TestRunContextInterruptEveryOne: the tightest poll cadence — check the
+// context before every single event — must still abort cleanly and must
+// not perturb an uncanceled run (the poll is pure observation).
+func TestRunContextInterruptEveryOne(t *testing.T) {
+	cfg := testConfig()
+	cfg.InterruptEvery = 1
+
+	// Canceled mid-run: the abort still classifies as context.Canceled.
+	w := mustWorld(t, cfg)
+	pingPongForever(w)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := w.RunContext(ctx)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+
+	// Uncanceled: per-event polling yields the exact same virtual time
+	// as the default cadence.
+	body := func(r *Rank) {
+		peer := r.ID() ^ 1
+		for i := 0; i < 20; i++ {
+			if r.ID() < peer {
+				r.Send(peer, 4096, i)
+				r.Recv(peer, 4096, i)
+			} else {
+				r.Recv(peer, 4096, i)
+				r.Send(peer, 4096, i)
+			}
+		}
+	}
+	w1 := mustWorld(t, testConfig())
+	w1.Launch(body)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	d1, err := w1.RunContext(ctx1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := mustWorld(t, cfg)
+	w2.Launch(body)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	d2, err := w2.RunContext(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("default cadence = %v, InterruptEvery=1 = %v; must be identical", d1, d2)
+	}
+}
+
+func TestConfigValidateInterruptEvery(t *testing.T) {
+	cfg := testConfig()
+	cfg.InterruptEvery = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative InterruptEvery validated")
+	}
+}
+
 // TestRunContextBackgroundMatchesRun: a never-cancelable context must
 // not perturb the simulation — Run and RunContext(Background) agree to
 // the tick.

@@ -77,7 +77,7 @@ func (r *Rank) SendValues(dst int, bytes int64, tag int, vs ...float64) error {
 		r.world.putWire(r.id, dst, tag, v)
 	}
 	q.Wait()
-	return q.Err()
+	return r.world.reapReq(q)
 }
 
 // RecvValues is Recv returning the n lanes the matching SendValues
@@ -88,15 +88,21 @@ func (r *Rank) RecvValues(src int, bytes int64, tag, n int) ([]float64, error) {
 		return nil, q.Err()
 	}
 	q.Wait()
-	if err := q.Err(); err != nil {
+	if err := r.world.reapReq(q); err != nil {
 		return nil, err
 	}
 	return r.takeWires(src, tag, n)
 }
 
 // takeWires dequeues n wire-board lanes of an already-received message.
+// The returned slice aliases a per-rank scratch buffer and is valid only
+// until this rank's next lane pickup; every consumer folds the lanes
+// into its own state immediately (redOf), so the reuse is invisible.
 func (r *Rank) takeWires(src, tag, n int) ([]float64, error) {
-	out := make([]float64, n)
+	if cap(r.wireBuf) < n {
+		r.wireBuf = make([]float64, n)
+	}
+	out := r.wireBuf[:n]
 	for i := range out {
 		v, ok := r.world.takeWire(src, r.id, tag)
 		if !ok {
@@ -119,7 +125,7 @@ func (c *Comm) SendValues(dst int, bytes int64, tag int, vs ...float64) error {
 		c.r.world.putWire(c.r.id, c.group[dst], tag, v)
 	}
 	q.Wait()
-	return q.Err()
+	return c.r.world.reapReq(q)
 }
 
 // RecvValues is Rank.RecvValues addressed by communicator rank.
@@ -129,7 +135,7 @@ func (c *Comm) RecvValues(src int, bytes int64, tag, n int) ([]float64, error) {
 		return nil, q.Err()
 	}
 	q.Wait()
-	if err := q.Err(); err != nil {
+	if err := c.r.world.reapReq(q); err != nil {
 		return nil, err
 	}
 	return c.r.takeWires(c.group[src], tag, n)

@@ -82,8 +82,8 @@ type pendingRecv struct {
 // Matching is FIFO on (src, tag); collectives disambiguate rounds through
 // tags, preserving MPI's non-overtaking guarantee.
 type mailbox struct {
-	unexpected []*inMsg
-	pending    []*pendingRecv
+	unexpected fifo[*inMsg]
+	pending    fifo[*pendingRecv]
 }
 
 // deliver runs in event context when a message (eager payload or RTS)
@@ -96,12 +96,14 @@ func (w *World) deliver(dst int, m *inMsg) {
 		if b := w.obs; b != nil {
 			b.Add(obs.CtrFaultMsgsToDead, 1)
 		}
+		w.putMsg(m)
 		return
 	}
 	box := &w.ranks[dst].box
-	for i, pr := range box.pending {
+	for i := 0; i < box.pending.len(); i++ {
+		pr := box.pending.at(i)
 		if pr.src == m.src && pr.tag == m.tag {
-			box.pending = append(box.pending[:i], box.pending[i+1:]...)
+			box.pending.removeAt(i)
 			pr.msg = m
 			pr.match.Complete()
 			if m.kind == rtsMsg {
@@ -110,7 +112,7 @@ func (w *World) deliver(dst int, m *inMsg) {
 			return
 		}
 	}
-	box.unexpected = append(box.unexpected, m)
+	box.unexpected.push(m)
 }
 
 // wireBytes derates payload size in blocking mode: interrupt-driven
@@ -172,6 +174,9 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 	if bytes < 0 {
 		return errorRequest(r, fmt.Errorf("mpi: Isend with negative size %d", bytes))
 	}
+	if r.sendSeq == nil {
+		r.sendSeq = make(map[int]uint64)
+	}
 	r.sendSeq[dst]++
 	seq := r.sendSeq[dst]
 
@@ -185,14 +190,15 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 			// Double copy: sender writes the shared region now;
 			// the receiver copies out on pickup.
 			r.copySleep(w.cfg.Shm.CopyTime(bytes, 1.0))
-			arr := simtime.NewFuture(w.eng)
+			arr := w.eng.GetFuture()
 			arr.Complete()
 			if b := w.obs; b != nil {
 				b.Instant(r.track, fmt.Sprintf("eager-shm %s %d→%d",
 					obs.SizeLabel(bytes), r.id, dst), nil)
 			}
-			m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes,
-				kind: eagerMsg, intraShm: true, arrived: arr}
+			m := w.getMsg()
+			m.src, m.tag, m.seq, m.bytes = r.id, tag, seq, bytes
+			m.kind, m.intraShm, m.arrived = eagerMsg, true, arr
 			w.deliver(dst, m)
 			return completedRequest(r)
 		}
@@ -207,22 +213,12 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 		if end != nil {
 			st.dataDone.Then(end)
 		}
-		m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: rtsMsg, snd: st}
+		m := w.getMsg()
+		m.src, m.tag, m.seq, m.bytes = r.id, tag, seq, bytes
+		m.kind, m.snd = rtsMsg, st
 		w.eng.After(w.cfg.IntraStartup, func() { w.deliver(dst, m) })
-		q := &Request{r: r}
-		q.wait = func() error {
-			restore := r.p2pScaleDown(st.cts)
-			defer restore()
-			if err := r.awaitFT(st.cts, "shm rendezvous cts", dst, q.comm); err != nil {
-				if end != nil {
-					end()
-				}
-				return err
-			}
-			r.copySleep(w.cfg.Shm.CopyTime(bytes, 1.0))
-			st.dataDone.Complete()
-			return nil
-		}
+		q := w.getReq(r)
+		q.kind, q.peer, q.bytes, q.st, q.end = reqRdvShm, dst, bytes, st, end
 		return q
 	}
 
@@ -232,39 +228,66 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 	if bytes <= w.cfg.EagerThreshold {
 		// Injection copy into HCA buffers, then local completion.
 		r.copySleep(w.hostCost(bytes))
-		arr := simtime.NewFuture(w.eng)
+		arr := w.eng.GetFuture()
 		if end := r.msgSpan("eager", dst, bytes); end != nil {
 			arr.Then(end)
 		}
-		m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: eagerMsg, arrived: arr}
+		m := w.getMsg()
+		m.src, m.tag, m.seq, m.bytes = r.id, tag, seq, bytes
+		m.kind, m.arrived = eagerMsg, arr
 		w.netFlow(fault.Eager, r.id, dst, w.wireBytes(bytes), seq, func() {
 			arr.Complete()
 			w.deliver(dst, m)
 		})
 		return completedRequest(r)
 	}
+	// No cts future: the network rendezvous chains CTS delivery straight
+	// into the payload flow inside sendCTS, so only dataDone is observed.
 	st := &sendState{
 		src: r.id, dst: dst, bytes: bytes, seq: seq,
-		cts:      simtime.NewFuture(w.eng),
 		dataDone: simtime.NewFuture(w.eng),
 	}
 	end := r.msgSpan("rdv", dst, bytes)
 	if end != nil {
 		st.dataDone.Then(end)
 	}
-	m := &inMsg{src: r.id, tag: tag, seq: seq, bytes: bytes, kind: rtsMsg, snd: st}
+	m := w.getMsg()
+	m.src, m.tag, m.seq, m.bytes = r.id, tag, seq, bytes
+	m.kind, m.snd = rtsMsg, st
 	w.netFlow(fault.RTS, r.id, dst, 0, seq, func() { w.deliver(dst, m) })
-	q := &Request{r: r}
-	q.wait = func() error {
-		if err := r.awaitFT(st.dataDone, "rendezvous data", dst, q.comm); err != nil {
-			if end != nil {
-				end()
-			}
-			return err
-		}
-		return nil
-	}
+	q := w.getReq(r)
+	q.kind, q.peer, q.bytes, q.st, q.end = reqRdvNet, dst, bytes, st, end
 	return q
+}
+
+// waitRdvShm progresses a shared-memory rendezvous send: await the CTS
+// (optionally at fmin, §VIII), then single-copy into the receiver's
+// buffer and complete the transfer.
+func (q *Request) waitRdvShm() error {
+	r, st := q.r, q.st
+	restore := r.p2pScaleDown(st.cts)
+	defer restore()
+	if err := r.awaitFT(st.cts, "shm rendezvous cts", q.peer, q.comm); err != nil {
+		if q.end != nil {
+			q.end()
+		}
+		return err
+	}
+	r.copySleep(r.world.cfg.Shm.CopyTime(q.bytes, 1.0))
+	st.dataDone.Complete()
+	return nil
+}
+
+// waitRdvNet progresses a network rendezvous send: the HCA handles the
+// CTS and payload autonomously, so the wait only observes dataDone.
+func (q *Request) waitRdvNet() error {
+	if err := q.r.awaitFT(q.st.dataDone, "rendezvous data", q.peer, q.comm); err != nil {
+		if q.end != nil {
+			q.end()
+		}
+		return err
+	}
+	return nil
 }
 
 // Irecv posts a nonblocking receive for a message of exactly bytes from
@@ -280,11 +303,13 @@ func (r *Rank) Irecv(src int, bytes int64, tag int) *Request {
 	if bytes < 0 {
 		return errorRequest(r, fmt.Errorf("mpi: Irecv with negative size %d", bytes))
 	}
-	pr := &pendingRecv{src: src, tag: tag, match: simtime.NewFuture(w.eng)}
+	pr := w.getRecv()
+	pr.src, pr.tag, pr.match = src, tag, w.eng.GetFuture()
 	box := &r.box
-	for i, um := range box.unexpected {
+	for i := 0; i < box.unexpected.len(); i++ {
+		um := box.unexpected.at(i)
 		if um.src == src && um.tag == tag {
-			box.unexpected = append(box.unexpected[:i], box.unexpected[i+1:]...)
+			box.unexpected.removeAt(i)
 			pr.msg = um
 			pr.match.Complete()
 			if um.kind == rtsMsg {
@@ -294,49 +319,65 @@ func (r *Rank) Irecv(src int, bytes int64, tag int) *Request {
 		}
 	}
 	if pr.msg == nil {
-		box.pending = append(box.pending, pr)
+		box.pending.push(pr)
 	}
-	q := &Request{r: r}
-	q.wait = func() error {
-		// §VIII power-aware p2p: an intra-node rendezvous-sized
-		// receive waits at fmin (the wait is event-driven, so only
-		// the two DVFS transitions cost time).
-		restore := func() {}
-		if w.place.SameNode(r.id, src) && w.cfg.Mode == Polling &&
-			bytes > w.cfg.EagerThreshold {
-			restore = r.p2pScaleDown(pr.match)
-		}
-		defer restore()
-		if err := r.awaitFT(pr.match, "recv match", src, q.comm); err != nil {
-			return err
-		}
-		m := pr.msg
-		if m.bytes != bytes {
-			// A protocol bug, not a recoverable fault: surface it
-			// through the engine's failure report (like a deadlock or
-			// starved flow) and on the request, instead of panicking.
-			err := fmt.Errorf("mpi: rank %d recv size mismatch from %d tag %d: posted %d, got %d",
-				r.id, src, tag, bytes, m.bytes)
-			w.eng.Fail(err)
-			return err
-		}
-		switch m.kind {
-		case eagerMsg:
-			if err := r.awaitFT(m.arrived, "recv payload", src, q.comm); err != nil {
-				return err
-			}
-			if m.intraShm {
-				// Copy out of the shared region.
-				r.copySleep(w.cfg.Shm.CopyTime(m.bytes, 1.0))
-			}
-		case rtsMsg:
-			if err := r.awaitFT(m.snd.dataDone, "recv rendezvous data", src, q.comm); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
+	q := w.getReq(r)
+	q.kind, q.peer, q.bytes, q.tag, q.pr = reqRecv, src, bytes, tag, pr
 	return q
+}
+
+// waitRecv progresses a posted receive: await the match, then the
+// payload, recycling the mailbox objects on success.
+func (q *Request) waitRecv() error {
+	r, pr, src, bytes := q.r, q.pr, q.peer, q.bytes
+	w := r.world
+	// §VIII power-aware p2p: an intra-node rendezvous-sized
+	// receive waits at fmin (the wait is event-driven, so only
+	// the two DVFS transitions cost time).
+	restore := nopRestore
+	if w.place.SameNode(r.id, src) && w.cfg.Mode == Polling &&
+		bytes > w.cfg.EagerThreshold {
+		restore = r.p2pScaleDown(pr.match)
+	}
+	defer restore()
+	if err := r.awaitFT(pr.match, "recv match", src, q.comm); err != nil {
+		return err
+	}
+	m := pr.msg
+	if m.bytes != bytes {
+		// A protocol bug, not a recoverable fault: surface it
+		// through the engine's failure report (like a deadlock or
+		// starved flow) and on the request, instead of panicking.
+		err := fmt.Errorf("mpi: rank %d recv size mismatch from %d tag %d: posted %d, got %d",
+			r.id, src, q.tag, bytes, m.bytes)
+		w.eng.Fail(err)
+		return err
+	}
+	switch m.kind {
+	case eagerMsg:
+		if err := r.awaitFT(m.arrived, "recv payload", src, q.comm); err != nil {
+			return err
+		}
+		if m.intraShm {
+			// Copy out of the shared region.
+			r.copySleep(w.cfg.Shm.CopyTime(m.bytes, 1.0))
+		}
+		// The payload future has completed and drained its chained
+		// callbacks; the sender's delivery closure has already run.
+		w.eng.PutFuture(m.arrived)
+	case rtsMsg:
+		if err := r.awaitFT(m.snd.dataDone, "recv rendezvous data", src, q.comm); err != nil {
+			return err
+		}
+	}
+	// Fully received: the message has left both mailbox queues and
+	// this wait body runs at most once, so the receive pair and the
+	// match future (completed, unreferenced outside pr) can be
+	// recycled. Abandoned or failed waits above leak to the GC.
+	w.eng.PutFuture(pr.match)
+	w.putMsg(m)
+	w.putRecv(pr)
+	return nil
 }
 
 // Send is a blocking send: Isend followed by Wait. The error reports
@@ -344,14 +385,14 @@ func (r *Rank) Irecv(src int, bytes int64, tag int) *Request {
 func (r *Rank) Send(dst int, bytes int64, tag int) error {
 	q := r.Isend(dst, bytes, tag)
 	q.Wait()
-	return q.Err()
+	return r.world.reapReq(q)
 }
 
 // Recv is a blocking receive: Irecv followed by Wait.
 func (r *Rank) Recv(src int, bytes int64, tag int) error {
 	q := r.Irecv(src, bytes, tag)
 	q.Wait()
-	return q.Err()
+	return r.world.reapReq(q)
 }
 
 // SendRecv exchanges messages with possibly different peers, completing
@@ -361,8 +402,10 @@ func (r *Rank) SendRecv(dst int, sendBytes int64, src int, recvBytes int64, tag 
 	sq := r.Isend(dst, sendBytes, tag)
 	sq.Wait()
 	rq.Wait()
-	if sq.Err() != nil {
-		return sq.Err()
+	serr := r.world.reapReq(sq)
+	rerr := r.world.reapReq(rq)
+	if serr != nil {
+		return serr
 	}
-	return rq.Err()
+	return rerr
 }

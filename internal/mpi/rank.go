@@ -19,21 +19,26 @@ type Rank struct {
 	core  *power.Core
 	box   mailbox
 	// seq numbers outgoing messages per destination for debugging and
-	// deterministic tie-breaks.
-	sendSeq []uint64
+	// deterministic tie-breaks. Sparse: a rank messages O(log P) peers
+	// in tree/dissemination collectives, while a dense per-destination
+	// array would be O(P) per rank — O(P²) for the job, gigabytes at
+	// 64k ranks. The counter values (and so all tie-breaks) are
+	// identical either way.
+	sendSeq map[int]uint64
 	// commSeq counts communicator creations for congruent tag-space ids.
 	commSeq int
+	// wireBuf is the reusable lane buffer behind takeWires.
+	wireBuf []float64
 	// track is this rank's timeline in the observability bus.
 	track obs.Track
 }
 
 func newRank(w *World, id int, core *power.Core) *Rank {
 	return &Rank{
-		world:   w,
-		id:      id,
-		core:    core,
-		sendSeq: make([]uint64, w.cfg.NProcs),
-		track:   obs.RankTrack(w.place.NodeOf(id), id),
+		world: w,
+		id:    id,
+		core:  core,
+		track: obs.RankTrack(w.place.NodeOf(id), id),
 	}
 }
 
@@ -216,13 +221,20 @@ func (r *Rank) SetThrottle(t power.TState) {
 // The returned function restores the previous frequency (no-op when the
 // scale-down was skipped).
 func (r *Rank) p2pScaleDown(pending *simtime.Future) func() {
-	cfg := r.world.cfg
+	// The config is read through the world pointer, not copied: a local
+	// Config copy captured by the restore closure would escape to the
+	// heap on every call, including the common disabled path.
+	cfg := &r.world.cfg
 	if !cfg.PowerAwareP2P || pending.IsDone() || r.core.FreqGHz() < cfg.Power.FMaxGHz {
-		return func() {}
+		return nopRestore
 	}
 	r.SetFreq(cfg.Power.FMinGHz)
-	return func() { r.SetFreq(cfg.Power.FMaxGHz) }
+	return func() { r.SetFreq(r.world.cfg.Power.FMaxGHz) }
 }
+
+// nopRestore is the shared no-op restore for waits that did not scale
+// down; a fresh empty closure per wait would still allocate.
+var nopRestore = func() {}
 
 // Idle parks the rank for d of virtual time with the core idle — used by
 // workload skeletons for I/O or imbalance gaps, not by collectives.

@@ -1,5 +1,22 @@
 package mpi
 
+// reqKind selects the wait behavior of a request. The wait used to be a
+// per-request closure; a typed dispatch over a handful of pooled fields
+// performs the same progression with no per-operation allocation.
+type reqKind int
+
+const (
+	// reqNone: nothing to progress (completed/error requests).
+	reqNone reqKind = iota
+	// reqRecv completes a posted receive (match, then payload).
+	reqRecv
+	// reqRdvNet completes a network rendezvous send (await dataDone).
+	reqRdvNet
+	// reqRdvShm completes a shared-memory rendezvous send (await CTS,
+	// then single-copy into the receiver's buffer).
+	reqRdvShm
+)
+
 // Request is a handle for a nonblocking operation. Wait must be called by
 // the rank that created the request (MPI semantics); progression beyond
 // the initiation happens inside Wait or in simulation event context.
@@ -9,7 +26,17 @@ type Request struct {
 	// the failure-aware wait watch that communicator's revocation signal
 	// alongside the peer's failure signal.
 	comm *Comm
-	wait func() error
+	kind reqKind
+	// peer is the global rank on the other end; bytes the posted size.
+	peer  int
+	bytes int64
+	tag   int
+	// pr is the receive side (reqRecv); st the send side (reqRdv*).
+	pr *pendingRecv
+	st *sendState
+	// end closes the sender's observability span on an abandoned wait
+	// (nil when observability is off).
+	end  func()
 	done bool
 	err  error
 }
@@ -17,7 +44,41 @@ type Request struct {
 // completedRequest returns a request whose operation finished during
 // initiation (eager sends).
 func completedRequest(r *Rank) *Request {
-	return &Request{r: r, done: true}
+	q := r.world.getReq(r)
+	q.done = true
+	return q
+}
+
+// getReq returns a recycled (or fresh) request bound to r.
+func (w *World) getReq(r *Rank) *Request {
+	if n := len(w.freeReqs); n > 0 {
+		q := w.freeReqs[n-1]
+		w.freeReqs = w.freeReqs[:n-1]
+		q.r = r
+		return q
+	}
+	return &Request{r: r}
+}
+
+// putReq recycles a request. Only the blocking wrappers call it — they
+// create the request, complete it, and never let the handle escape, so
+// the release point is provably the last reference. Requests returned
+// to callers through the nonblocking API are never recycled (the caller
+// owns the handle); failed requests are kept alive by their error path.
+func (w *World) putReq(q *Request) {
+	*q = Request{}
+	w.freeReqs = append(w.freeReqs, q)
+}
+
+// reapReq finishes a blocking wrapper: capture the completed request's
+// error, recycle the handle on success, and hand the error back. Failed
+// requests are left to the GC — their error may still be examined.
+func (w *World) reapReq(q *Request) error {
+	if err := q.Err(); err != nil {
+		return err
+	}
+	w.putReq(q)
+	return nil
 }
 
 // errorRequest returns a request that failed argument validation at
@@ -33,7 +94,16 @@ func (q *Request) Wait() {
 	if q.done {
 		return
 	}
-	if err := q.wait(); err != nil && q.err == nil {
+	var err error
+	switch q.kind {
+	case reqRecv:
+		err = q.waitRecv()
+	case reqRdvNet:
+		err = q.waitRdvNet()
+	case reqRdvShm:
+		err = q.waitRdvShm()
+	}
+	if err != nil && q.err == nil {
 		q.err = err
 	}
 	q.done = true

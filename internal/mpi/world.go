@@ -46,6 +46,20 @@ type World struct {
 	// schedule or first use of the ULFM-style API; see crash.go). Nil
 	// keeps every wait on the historical code path.
 	ft *ftState
+	// freeMsgs / freeRecvs / freeReqs recycle mailbox and request
+	// objects (see queue.go, request.go); the world is single-threaded
+	// in event context, so plain slices suffice.
+	freeMsgs  []*inMsg
+	freeRecvs []*pendingRecv
+	freeReqs  []*Request
+	// stash is the job-wide memo space for layers above mpi (the
+	// collective package caches built communication plans here, keyed by
+	// communicator shape). Rank bodies run one at a time in event
+	// context, so a plain map suffices.
+	stash map[string]any
+	// worldGroup is the identity group [0..NProcs) shared by every
+	// rank's CommWorld handle (immutable once built; see CommWorld).
+	worldGroup []int
 }
 
 // NewWorld validates cfg and instantiates the cluster, fabric, and power
@@ -139,6 +153,18 @@ func (w *World) Station() *power.Station { return w.station }
 // Rank returns the rank object with the given id (valid after NewWorld).
 func (w *World) Rank(id int) *Rank { return w.ranks[id] }
 
+// Stash returns the world's memo map, for caching derived structures
+// whose lifetime matches the job (communication plans, for example).
+// Callers run in event context (one rank at a time), so no locking is
+// needed; entries must be immutable once stored, since every rank may
+// read them.
+func (w *World) Stash() map[string]any {
+	if w.stash == nil {
+		w.stash = map[string]any{}
+	}
+	return w.stash
+}
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.ranks) }
 
@@ -226,7 +252,7 @@ func (w *World) RunContext(ctx context.Context) (simtime.Duration, error) {
 			w.eng.KillLive()
 			return 0, &CanceledError{At: w.eng.Now(), Cause: err}
 		}
-		w.eng.SetInterrupt(ctx.Err, 0)
+		w.eng.SetInterrupt(ctx.Err, w.cfg.InterruptEvery)
 		defer w.eng.SetInterrupt(nil, 0)
 	}
 	if _, err := w.eng.Run(simtime.Infinity); err != nil {

@@ -1,0 +1,164 @@
+package network
+
+import (
+	"errors"
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+// splitmixTest is a local SplitMix64 step for deterministic fuzz
+// schedules (the fault package keeps its own copy unexported).
+func splitmixTest(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// FuzzIncrementalMaxMin drives a racked fabric through a seeded random
+// storm of overlapping flows and link-fault windows with the
+// incremental-vs-full proof harness armed: after every component-scoped
+// solve the fabric re-solves everything and fails the run on any exact
+// rate mismatch. Any seed that finds a divergence is a bug in the
+// incremental fairness math.
+func FuzzIncrementalMaxMin(f *testing.F) {
+	for _, seed := range []uint64{1, 7, 42, 0xdeadbeef, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		eng := simtime.NewEngine()
+		cfg := DefaultConfig()
+		// Racks force 4-hop paths so components span rack uplinks;
+		// a modest uplink keeps them contended.
+		cfg.NodesPerRack = 4
+		cfg.RackUplinkBytesPerSec = cfg.LinkBytesPerSec / 2
+		const nodes = 12
+		fab, err := NewFabric(eng, nodes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab.SetCheckIncremental(true)
+
+		h := seed
+		next := func(mod uint64) uint64 {
+			h = splitmixTest(h)
+			return h % mod
+		}
+		// A few fault windows: degraded and fully-down links with
+		// overlapping spans, so cap changes hit busy components.
+		names := fab.LinkNames()
+		for i := 0; i < 4; i++ {
+			name := names[next(uint64(len(names)))]
+			factor := float64(next(3)) * 0.35 // 0, 0.35, or 0.70
+			start := simtime.Duration(next(400)) * simtime.Micros(1)
+			dur := simtime.Duration(1+next(300)) * simtime.Micros(1)
+			if err := fab.ScheduleLinkFault(name, factor, start, dur); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Random flow injections across the run. Zero-size and
+		// self-loops included; sizes span sub-byte-residue to multi-MB.
+		for i := 0; i < 60; i++ {
+			src := int(next(nodes))
+			dst := int(next(nodes))
+			bytes := int64(next(1 << 22))
+			at := simtime.Time(next(600)) * simtime.Time(simtime.Micros(1))
+			eng.At(at, func() { fab.StartFlow(src, dst, bytes) })
+		}
+		if _, err := eng.Run(simtime.Infinity); err != nil {
+			var mism *IncrementalMismatchError
+			if errors.As(err, &mism) {
+				t.Fatalf("incremental solve diverged from full solve: %v", err)
+			}
+			// Flows stalled behind a down link when the queue drained
+			// are not an error of the solver; anything else is.
+			t.Fatalf("run failed: %v", err)
+		}
+	})
+}
+
+// TestIncrementalEquivalenceAfterFaults pins the non-fuzz case: a fixed
+// busy pattern with fault edges mid-flight runs clean under the checker.
+func TestIncrementalEquivalenceAfterFaults(t *testing.T) {
+	eng := simtime.NewEngine()
+	cfg := DefaultConfig()
+	cfg.NodesPerRack = 2
+	cfg.RackUplinkBytesPerSec = cfg.LinkBytesPerSec
+	fab, err := NewFabric(eng, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab.SetCheckIncremental(true)
+	if err := fab.ScheduleLinkFault("node1-up", 0.5, simtime.Micros(10), simtime.Micros(200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.ScheduleLinkFault("rack1-down", 0, simtime.Micros(50), simtime.Micros(100)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i == j {
+				continue
+			}
+			src, dst := i, j
+			eng.At(simtime.Time(i)*simtime.Time(simtime.Micros(5)),
+				func() { fab.StartFlow(src, dst, 1<<18) })
+		}
+	}
+	if _, err := eng.Run(simtime.Infinity); err != nil {
+		t.Fatalf("run failed under incremental checker: %v", err)
+	}
+	if fab.ActiveFlows() != 0 {
+		t.Fatalf("%d flows still active after drain", fab.ActiveFlows())
+	}
+}
+
+// TestRecomputeAllocFree: the full re-solve + re-arm cycle on a warm
+// fabric allocates at most the one completion-event closure it arms —
+// the water-fill itself (component walk, freeze rounds, scratch) must
+// not touch the heap.
+func TestRecomputeAllocFree(t *testing.T) {
+	eng := simtime.NewEngine()
+	fab, err := NewFabric(eng, 16, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		fab.StartFlow(i, (i+5)%16, 1<<20)
+	}
+	// Warm the solver scratch.
+	fab.advance()
+	fab.reschedule()
+	allocs := testing.AllocsPerRun(50, func() {
+		fab.advance()
+		fab.reschedule()
+	})
+	if allocs > 1 {
+		t.Fatalf("full recompute allocated %.1f times per cycle, want <= 1 (the armed event closure)", allocs)
+	}
+}
+
+// TestIncrementalSolveAllocFree: injecting a flow into a warm, busy
+// fabric — component walk, incremental water-fill, re-arm — stays
+// within the small fixed budget of one flow object, its future, and the
+// armed completion closure.
+func TestIncrementalSolveAllocFree(t *testing.T) {
+	eng := simtime.NewEngine()
+	fab, err := NewFabric(eng, 16, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		fab.StartFlow(i, (i+3)%16, 1<<24)
+	}
+	fab.StartFlow(0, 1, 1<<10) // warm scratch for the measured shape
+	allocs := testing.AllocsPerRun(20, func() {
+		fab.StartFlow(0, 1, 1<<10)
+	})
+	// Flow struct + Future + completion closure, plus slack for the
+	// growing per-link/fabric flow lists (amortized appends).
+	if allocs > 5 {
+		t.Fatalf("StartFlow on a warm fabric allocated %.1f times, want <= 5", allocs)
+	}
+}

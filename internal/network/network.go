@@ -13,7 +13,7 @@ package network
 import (
 	"fmt"
 	"math"
-	"sort"
+	"os"
 
 	"pacc/internal/obs"
 	"pacc/internal/simtime"
@@ -96,18 +96,48 @@ type link struct {
 	// bytes counts payload delivered over this link (per-link
 	// utilization accounting).
 	bytes int64
+	// flows lists every active flow crossing this link, with each
+	// entry recording which hop of the flow's path this link is (so a
+	// swap-remove can fix the moved flow's back-pointer in O(1)). This
+	// is what makes the fair-share solve incremental: the connected
+	// component around a changed flow is discoverable by walking
+	// link→flows→links instead of scanning the whole fabric.
+	flows []linkFlow
 	// scratch used during max-min recomputation
 	residual float64
 	active   int
+	// mark is the visited stamp for component walks (compared against
+	// Fabric.markGen, so no per-walk clearing pass is needed).
+	mark uint64
+	// ord is the link's construction index. Water-filling breaks
+	// exact fair-share ties by ord, which makes the solve a pure
+	// function of the flow/link set — the incremental (component) and
+	// full solves then agree bit for bit even when their link lists
+	// are ordered differently.
+	ord int32
 	// obsActive/obsSince track busy intervals (≥1 flow on the link) for
 	// the observability bus; only maintained while a bus is attached.
 	obsActive int
 	obsSince  simtime.Time
 }
 
+// linkFlow is one link's record of a crossing flow: the flow plus the
+// index of this link within the flow's path (flow.linkPos[li] is the
+// entry's position in link.flows).
+type linkFlow struct {
+	fl *Flow
+	li int32
+}
+
 func newLink(name string, cap float64) *link {
 	return &link{name: name, cap: cap, baseCap: cap, adminFactor: 1}
 }
+
+// maxPathLinks is the longest route in any supported topology: node
+// uplink, rack uplink, rack downlink, node downlink. Keeping the path
+// inline in Flow (instead of a heap slice) makes flow injection
+// allocation-light.
+const maxPathLinks = 4
 
 // Flow is one in-flight transfer.
 type Flow struct {
@@ -116,13 +146,26 @@ type Flow struct {
 	id        uint64
 	remaining float64
 	rate      float64
-	links     []*link
-	done      *simtime.Future
-	started   simtime.Time
+	// linkv[:nlinks] is the path, inline to avoid a per-flow slice.
+	linkv  [maxPathLinks]*link
+	nlinks int32
+	// idx is this flow's position in Fabric.flows; linkPos[i] is its
+	// position in linkv[i].flows. Both enable O(1) swap-removal.
+	idx     int32
+	linkPos [maxPathLinks]int32
+	// mark/frozen are solver scratch: visited stamp for component
+	// walks, frozen flag during water-filling.
+	mark    uint64
+	frozen  bool
+	done    *simtime.Future
+	started simtime.Time
 	// obsEnd closes the flow's trace span and link-busy intervals; nil
 	// when observability is off.
 	obsEnd func()
 }
+
+// path returns the links the flow crosses, in route order.
+func (fl *Flow) path() []*link { return fl.linkv[:fl.nlinks] }
 
 // Done returns a future completed when the last byte has arrived at the
 // destination (including BaseLatency).
@@ -141,11 +184,28 @@ type Fabric struct {
 	loop     []*link
 	rackUp   []*link
 	rackDown []*link
-	flows    map[*Flow]struct{}
-	nextID   uint64
+	// flows holds every active flow; Flow.idx is its position here, so
+	// removal is a swap. Iteration order is insertion order perturbed
+	// by swap-removes — everything order-sensitive downstream (the
+	// completion sweep) re-sorts by flow id.
+	flows  []*Flow
+	nextID uint64
 	// gen invalidates stale completion events after a recompute.
 	gen        uint64
 	lastUpdate simtime.Time
+	// markGen stamps link/flow visited marks for component walks.
+	markGen uint64
+	// compLinks/compFlows are the reusable work lists of the current
+	// component walk; finished is the completion-sweep scratch.
+	compLinks []*link
+	compFlows []*Flow
+	finished  []*Flow
+	// checkIncremental, when set, re-solves the whole fabric after
+	// every incremental solve and fails the run on any rate mismatch —
+	// the proof harness that component-scoped water-filling equals the
+	// full solve bit for bit. checkRates is its scratch.
+	checkIncremental bool
+	checkRates       []float64
 	// BytesMoved counts payload bytes fully delivered, for throughput
 	// accounting and tests.
 	bytesMoved int64
@@ -168,7 +228,9 @@ func NewFabric(eng *simtime.Engine, nodes int, cfg Config) (*Fabric, error) {
 		eng:   eng,
 		cfg:   cfg,
 		nodes: nodes,
-		flows: make(map[*Flow]struct{}),
+	}
+	if os.Getenv("PACC_CHECK_INCREMENTAL") == "1" {
+		f.checkIncremental = true
 	}
 	for n := 0; n < nodes; n++ {
 		f.up = append(f.up, newLink(fmt.Sprintf("node%d-up", n), cfg.LinkBytesPerSec))
@@ -191,6 +253,9 @@ func NewFabric(eng *simtime.Engine, nodes int, cfg Config) (*Fabric, error) {
 		ports = append(ports, f.rackUp...)
 		ports = append(ports, f.rackDown...)
 		f.np = newNetPower(eng, cfg.LinkPower, ports)
+	}
+	for i, l := range f.allLinks() {
+		l.ord = int32(i)
 	}
 	return f, nil
 }
@@ -278,6 +343,13 @@ func (f *Fabric) InterRackBytes() int64 {
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
+// SetCheckIncremental toggles the incremental-solver proof harness: when
+// on, every component-scoped rate solve is followed by a full-fabric
+// solve and any exact-rate mismatch fails the run with an
+// IncrementalMismatchError. Also enabled by PACC_CHECK_INCREMENTAL=1 in
+// the environment. Expensive; meant for tests and debugging.
+func (f *Fabric) SetCheckIncremental(on bool) { f.checkIncremental = on }
+
 // NumNodes returns the number of attached nodes.
 func (f *Fabric) NumNodes() int { return f.nodes }
 
@@ -307,16 +379,16 @@ func (f *Fabric) StartFlow(src, dst int, bytes int64) *Flow {
 		done:      simtime.NewFuture(f.eng),
 		started:   f.eng.Now(),
 	}
-	fl.links = f.route(src, dst)
+	f.routeInto(fl)
 	if b := f.obs; b != nil {
 		b.Add(obs.CtrNetFlows, 1)
 		b.Add(obs.CtrNetFlowBytes, bytes)
 		track := obs.NetTrack(src)
 		name := fmt.Sprintf("flow %s %d→%d", obs.SizeLabel(bytes), src, dst)
 		id := b.AsyncBegin(track, "net", name, nil)
-		f.obsLinkStart(fl.links)
+		f.obsLinkStart(fl.path())
 		fl.obsEnd = func() {
-			f.obsLinkEnd(fl.links)
+			f.obsLinkEnd(fl.path())
 			b.AsyncEnd(track, "net", name, id)
 		}
 	}
@@ -325,47 +397,99 @@ func (f *Fabric) StartFlow(src, dst int, bytes int64) *Flow {
 		if f.np != nil {
 			// A control message keeps its ports lit (and wakes
 			// sleeping ones).
-			delay += f.np.wakeDelay(fl.links)
-			f.np.flowAdded(fl.links)
-			links := fl.links
-			f.eng.After(delay, func() { f.np.flowRemoved(links) })
+			delay += f.np.wakeDelay(fl.path())
+			f.np.flowAdded(fl.path())
+			f.eng.After(delay, func() { f.np.flowRemoved(fl.path()) })
 		}
 		if fl.obsEnd != nil {
 			f.eng.After(delay, fl.obsEnd)
 		}
-		f.eng.After(delay, func() {
-			fl.done.Complete()
-		})
+		f.eng.CompleteAfter(delay, fl.done)
 		return fl
 	}
-	start := func() {
-		f.advance()
-		f.flows[fl] = struct{}{}
-		if f.np != nil {
-			f.np.flowAdded(fl.links)
-		}
-		f.reschedule()
-	}
 	if f.np != nil {
-		if d := f.np.wakeDelay(fl.links); d > 0 {
-			f.eng.After(d, start)
+		if d := f.np.wakeDelay(fl.path()); d > 0 {
+			f.eng.After(d, func() { f.startNow(fl) })
 			return fl
 		}
 	}
-	start()
+	f.startNow(fl)
 	return fl
 }
 
-// route returns the links a src→dst transfer crosses.
-func (f *Fabric) route(src, dst int) []*link {
+// startNow injects a routed flow into the active set and re-solves the
+// connected component it touches — only that component's max-min rates
+// can change, so the rest of the fabric keeps its rates untouched.
+func (f *Fabric) startNow(fl *Flow) {
+	f.advance()
+	f.addFlow(fl)
+	if f.np != nil {
+		f.np.flowAdded(fl.path())
+	}
+	f.beginWalk()
+	f.seedLinks(fl.path())
+	f.solveComponent()
+	f.armNext()
+}
+
+// routeInto fills fl's path for its src→dst pair.
+func (f *Fabric) routeInto(fl *Flow) {
+	src, dst := fl.Src, fl.Dst
 	switch {
 	case src == dst:
-		return []*link{f.loop[src]}
+		fl.linkv[0] = f.loop[src]
+		fl.nlinks = 1
 	case f.cfg.NodesPerRack > 0 && f.RackOf(src) != f.RackOf(dst):
-		return []*link{f.up[src], f.rackUp[f.RackOf(src)],
-			f.rackDown[f.RackOf(dst)], f.down[dst]}
+		fl.linkv[0] = f.up[src]
+		fl.linkv[1] = f.rackUp[f.RackOf(src)]
+		fl.linkv[2] = f.rackDown[f.RackOf(dst)]
+		fl.linkv[3] = f.down[dst]
+		fl.nlinks = 4
 	default:
-		return []*link{f.up[src], f.down[dst]}
+		fl.linkv[0] = f.up[src]
+		fl.linkv[1] = f.down[dst]
+		fl.nlinks = 2
+	}
+}
+
+// route returns the links a src→dst transfer crosses (allocating; used
+// by path queries, not the flow hot path).
+func (f *Fabric) route(src, dst int) []*link {
+	var fl Flow
+	fl.Src, fl.Dst = src, dst
+	f.routeInto(&fl)
+	links := make([]*link, fl.nlinks)
+	copy(links, fl.path())
+	return links
+}
+
+// addFlow registers fl in the fabric-wide and per-link flow lists.
+func (f *Fabric) addFlow(fl *Flow) {
+	fl.idx = int32(len(f.flows))
+	f.flows = append(f.flows, fl)
+	for i, l := range fl.path() {
+		fl.linkPos[i] = int32(len(l.flows))
+		l.flows = append(l.flows, linkFlow{fl: fl, li: int32(i)})
+	}
+}
+
+// removeFlow unregisters fl with O(1) swap-removes, fixing the moved
+// entries' back-pointers.
+func (f *Fabric) removeFlow(fl *Flow) {
+	last := len(f.flows) - 1
+	moved := f.flows[last]
+	f.flows[fl.idx] = moved
+	moved.idx = fl.idx
+	f.flows[last] = nil
+	f.flows = f.flows[:last]
+	for i, l := range fl.path() {
+		pos := fl.linkPos[i]
+		lend := len(l.flows) - 1
+		entry := l.flows[lend]
+		l.flows[pos] = entry
+		entry.fl.linkPos[entry.li] = pos
+		l.flows[lend] = linkFlow{}
+		l.flows = l.flows[:lend]
 	}
 }
 
@@ -375,7 +499,7 @@ func (f *Fabric) advance() {
 	now := f.eng.Now()
 	dt := now.Sub(f.lastUpdate).Seconds()
 	if dt > 0 {
-		for fl := range f.flows {
+		for _, fl := range f.flows {
 			fl.remaining -= fl.rate * dt
 			if fl.remaining < 0 {
 				fl.remaining = 0
@@ -385,39 +509,140 @@ func (f *Fabric) advance() {
 	f.lastUpdate = now
 }
 
-// recompute assigns max-min fair rates to all active flows via
-// water-filling: repeatedly saturate the most-contended link and freeze
-// its flows at that link's fair share.
-func (f *Fabric) recompute() {
-	links := map[*link]struct{}{}
-	for fl := range f.flows {
+// beginWalk starts a new component walk: bumps the visited stamp and
+// resets the reusable work lists.
+func (f *Fabric) beginWalk() {
+	f.markGen++
+	f.compLinks = f.compLinks[:0]
+	f.compFlows = f.compFlows[:0]
+}
+
+// seedLinks marks the given links as walk roots.
+func (f *Fabric) seedLinks(links []*link) {
+	g := f.markGen
+	for _, l := range links {
+		if l.mark != g {
+			l.mark = g
+			f.compLinks = append(f.compLinks, l)
+		}
+	}
+}
+
+// solveComponent expands the seeded links into their full connected
+// component(s) — links joined transitively by shared flows — and
+// water-fills just those flows. Flows outside the component cannot have
+// their max-min rates change (the solve is separable per component, and
+// within a component the freeze rounds subtract identical shares in
+// every order), so leaving them untouched is exact, not approximate.
+// When checkIncremental is set, a full-fabric solve follows and any
+// rate difference fails the run.
+func (f *Fabric) solveComponent() {
+	g := f.markGen
+	for i := 0; i < len(f.compLinks); i++ {
+		l := f.compLinks[i]
+		for _, e := range l.flows {
+			fl := e.fl
+			if fl.mark == g {
+				continue
+			}
+			fl.mark = g
+			f.compFlows = append(f.compFlows, fl)
+			for _, l2 := range fl.path() {
+				if l2.mark != g {
+					l2.mark = g
+					f.compLinks = append(f.compLinks, l2)
+				}
+			}
+		}
+	}
+	waterfill(f.compFlows, f.compLinks)
+	if f.checkIncremental {
+		f.verifyAgainstFull()
+	}
+}
+
+// resolveAll water-fills the entire fabric from scratch.
+func (f *Fabric) resolveAll() {
+	f.beginWalk()
+	g := f.markGen
+	for _, fl := range f.flows {
+		for _, l := range fl.path() {
+			if l.mark != g {
+				l.mark = g
+				f.compLinks = append(f.compLinks, l)
+			}
+		}
+	}
+	waterfill(f.flows, f.compLinks)
+}
+
+// IncrementalMismatchError reports that the component-scoped rate solve
+// diverged from the full-fabric solve — the invariant the incremental
+// fairness optimization rests on. Only produced under
+// SetCheckIncremental / PACC_CHECK_INCREMENTAL=1.
+type IncrementalMismatchError struct {
+	At          simtime.Time
+	Src, Dst    int
+	Incremental float64
+	Full        float64
+}
+
+func (e *IncrementalMismatchError) Error() string {
+	return fmt.Sprintf(
+		"network: incremental max-min rate for flow %d->%d diverged from full solve at %v: %g != %g",
+		e.Src, e.Dst, e.At, e.Incremental, e.Full)
+}
+
+// verifyAgainstFull re-solves the whole fabric and fails the run if any
+// flow's rate differs (exact float comparison: the incremental solve
+// must be bit-identical, not merely close).
+func (f *Fabric) verifyAgainstFull() {
+	f.checkRates = f.checkRates[:0]
+	for _, fl := range f.flows {
+		f.checkRates = append(f.checkRates, fl.rate)
+	}
+	f.resolveAll()
+	for i, fl := range f.flows {
+		if fl.rate != f.checkRates[i] {
+			f.eng.Fail(&IncrementalMismatchError{
+				At: f.eng.Now(), Src: fl.Src, Dst: fl.Dst,
+				Incremental: f.checkRates[i], Full: fl.rate,
+			})
+			return
+		}
+	}
+}
+
+// waterfill assigns max-min fair rates to the given flows: repeatedly
+// saturate the most-contended link and freeze its flows at that link's
+// fair share. links must cover every link the flows cross, and every
+// flow crossing those links must be in flows (true both for a connected
+// component and for the whole fabric).
+func waterfill(flows []*Flow, links []*link) {
+	for _, fl := range flows {
 		fl.rate = 0
-		for _, l := range fl.links {
-			links[l] = struct{}{}
-		}
+		fl.frozen = false
 	}
-	for l := range links {
+	for _, l := range links {
 		l.residual = l.cap
-		l.active = 0
+		l.active = len(l.flows)
 	}
-	unfrozen := make(map[*Flow]struct{}, len(f.flows))
-	for fl := range f.flows {
-		unfrozen[fl] = struct{}{}
-		for _, l := range fl.links {
-			l.active++
-		}
-	}
-	for len(unfrozen) > 0 {
+	unfrozen := len(flows)
+	for unfrozen > 0 {
 		// Find the bottleneck link: minimum fair share among links
-		// still carrying unfrozen flows.
+		// still carrying unfrozen flows. Exact ties break by the
+		// link's construction ordinal, NOT list position — tie order
+		// can change later rounds' arithmetic in the last ulp, so the
+		// choice must not depend on how the link list was discovered.
 		var bottleneck *link
 		minShare := math.Inf(1)
-		for l := range links {
+		for _, l := range links {
 			if l.active == 0 {
 				continue
 			}
 			share := l.residual / float64(l.active)
-			if share < minShare {
+			if share < minShare ||
+				(share == minShare && bottleneck != nil && l.ord < bottleneck.ord) {
 				minShare = share
 				bottleneck = l
 			}
@@ -429,43 +654,50 @@ func (f *Fabric) recompute() {
 			minShare = 0
 		}
 		// Freeze every unfrozen flow crossing the bottleneck.
-		for fl := range unfrozen {
-			crosses := false
-			for _, l := range fl.links {
-				if l == bottleneck {
-					crosses = true
-					break
-				}
-			}
-			if !crosses {
+		for _, e := range bottleneck.flows {
+			fl := e.fl
+			if fl.frozen {
 				continue
 			}
 			fl.rate = minShare
-			for _, l := range fl.links {
+			fl.frozen = true
+			unfrozen--
+			for _, l := range fl.path() {
 				l.residual -= minShare
 				if l.residual < 0 {
 					l.residual = 0
 				}
 				l.active--
 			}
-			delete(unfrozen, fl)
 		}
 	}
 }
 
-// reschedule recomputes rates and arms a completion event for the flow
-// that will finish first.
+// reschedule re-solves the whole fabric and arms the next completion.
+// It is the non-incremental path, used when link capacities change
+// (fault window edges) — those edits can touch every component at once.
+// Flow starts and completions go through solveComponent instead.
 func (f *Fabric) reschedule() {
+	f.resolveAll()
+	f.armNext()
+}
+
+// armNext finds the earliest predicted completion among active flows
+// and arms one event for it. The per-flow finish estimate is
+// re-derived from current remaining/rate on every call — it must be,
+// because nanosecond rounding of the division does not commute with
+// advancing the clock, and a cached estimate would drift off the
+// historical event timing.
+func (f *Fabric) armNext() {
 	f.gen++
 	if len(f.flows) == 0 {
 		return
 	}
-	f.recompute()
 	next := simtime.Duration(math.MaxInt64)
 	armed := false
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		if fl.rate <= 0 {
-			if pathAdminDown(fl.links) {
+			if pathAdminDown(fl.path()) {
 				// Legitimately stalled behind a down link; the
 				// restore event recomputes rates, so no completion
 				// is armed for this flow.
@@ -476,7 +708,7 @@ func (f *Fabric) reschedule() {
 			// the process.
 			f.eng.Fail(&StarvedFlowError{
 				At: f.eng.Now(), Src: fl.Src, Dst: fl.Dst,
-				Bytes: fl.Bytes, Links: linkNames(fl.links),
+				Bytes: fl.Bytes, Links: linkNames(fl.path()),
 			})
 			return
 		}
@@ -509,33 +741,48 @@ func (f *Fabric) onCompletion(gen uint64) {
 	f.advance()
 	// Sub-byte residue is rounding noise from float rate arithmetic.
 	const eps = 0.5
-	var finished []*Flow
-	for fl := range f.flows {
+	finished := f.finished[:0]
+	for _, fl := range f.flows {
 		if fl.remaining <= eps {
 			finished = append(finished, fl)
 		}
 	}
 	// Deliver simultaneous completions in injection order so waiter
 	// wakeups — and therefore the whole simulation — are deterministic.
-	sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+	// (The scan order above is perturbed by swap-removes; insertion
+	// sort restores id order without allocating.)
+	for i := 1; i < len(finished); i++ {
+		for j := i; j > 0 && finished[j].id < finished[j-1].id; j-- {
+			finished[j], finished[j-1] = finished[j-1], finished[j]
+		}
+	}
+	f.beginWalk()
 	for _, fl := range finished {
-		delete(f.flows, fl)
+		f.removeFlow(fl)
+		f.seedLinks(fl.path())
 		f.bytesMoved += fl.Bytes
-		for _, l := range fl.links {
+		for _, l := range fl.path() {
 			l.bytes += fl.Bytes
 		}
 		if f.np != nil {
-			f.np.flowRemoved(fl.links)
+			f.np.flowRemoved(fl.path())
 		}
 		if fl.obsEnd != nil {
 			// The links are free now; the span closes with them
 			// (BaseLatency is propagation, not occupancy).
 			fl.obsEnd()
 		}
-		done := fl.done
-		f.eng.After(f.cfg.BaseLatency, func() { done.Complete() })
+		f.eng.CompleteAfter(f.cfg.BaseLatency, fl.done)
 	}
-	f.reschedule()
+	// Only the departed flows' component(s) can see rate changes; the
+	// vacated links seed the walk.
+	f.solveComponent()
+	f.armNext()
+	// Hold the finished scratch (cleared of flow pointers) for reuse.
+	for i := range finished {
+		finished[i] = nil
+	}
+	f.finished = finished[:0]
 }
 
 // IdealTransferTime returns the uncontended time for one transfer of the

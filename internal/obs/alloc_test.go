@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+// TestNilBusEmissionAllocs proves the disabled path costs nothing: every
+// producer in the simulator holds a possibly-nil *Bus, so emission on a
+// nil receiver must be a pointer test and nothing else.
+func TestNilBusEmissionAllocs(t *testing.T) {
+	var b *Bus
+	tr := RankTrack(0, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Span(tr, "op", 0, simtime.Time(10), nil)
+		b.Instant(tr, "mark", nil)
+		id := b.AsyncBegin(tr, "cat", "xfer", nil)
+		b.AsyncEnd(tr, "cat", "xfer", id)
+		b.Add(CtrNetFlows, 1)
+		b.AddDuration(DurWaitSpin, simtime.Duration(5))
+		b.Observe("h", 1.0)
+		b.Begin(tr, "span", nil).End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-bus emission allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestAttachedBusSteadyStateAllocs proves the chunked arena amortizes
+// recording: with a bus attached but no streaming subscriber, emitting a
+// span into a warm chunk allocates nothing (a new 4096-slot block is
+// allocated once per eventChunkSize emissions, not per event).
+func TestAttachedBusSteadyStateAllocs(t *testing.T) {
+	b := NewBus(simtime.NewEngine())
+	tr := RankTrack(0, 0)
+	// Warm the first chunk (and the chunks slice) so the measured window
+	// stays strictly inside one block: 1 + 3*1000 < eventChunkSize.
+	b.Span(tr, "warm", 0, simtime.Time(1), nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Span(tr, "op", 0, simtime.Time(10), nil)
+		b.Add(CtrNetFlows, 1)
+		b.AddDuration(DurWaitSpin, simtime.Duration(5))
+	})
+	if allocs != 0 {
+		t.Fatalf("no-subscriber emission allocated %.1f objects/op, want 0 (warm chunk)", allocs)
+	}
+	if got := b.Events(); got != 1+1001 {
+		t.Fatalf("recorded %d events, want %d", got, 1+1001)
+	}
+}
+
+// TestArenaChunkBoundaries exercises recording and replay across several
+// chunk boundaries: every event written in emission order must come back
+// in emission order, through both EachEvent and the export path's
+// iterator.
+func TestArenaChunkBoundaries(t *testing.T) {
+	b := NewBus(simtime.NewEngine())
+	tr := RankTrack(0, 0)
+	const n = 2*eventChunkSize + 37
+	for i := 0; i < n; i++ {
+		b.Span(tr, "e", simtime.Time(i), simtime.Time(i+1), nil)
+	}
+	if got := b.Events(); got != n {
+		t.Fatalf("Events() = %d, want %d", got, n)
+	}
+	i := 0
+	b.EachEvent(func(ev Event) {
+		if ev.Time != simtime.Time(i) {
+			t.Fatalf("event %d has ts %d, want %d", i, ev.Time, i)
+		}
+		i++
+	})
+	if i != n {
+		t.Fatalf("EachEvent replayed %d events, want %d", i, n)
+	}
+}

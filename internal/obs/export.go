@@ -32,7 +32,7 @@ func (b *Bus) WriteChromeTrace(w io.Writer) error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]chromeEvent, 0, len(b.events)+len(b.procNames)+len(b.threadNames))
+	out := make([]chromeEvent, 0, b.nEvents+len(b.procNames)+len(b.threadNames))
 
 	pids := make([]int, 0, len(b.procNames))
 	for pid := range b.procNames {
@@ -64,8 +64,8 @@ func (b *Bus) WriteChromeTrace(w io.Writer) error {
 
 	// Timeline events: the emission order is deterministic (the
 	// simulation is), so a stable sort by timestamp is too.
-	evs := make([]event, len(b.events))
-	copy(evs, b.events)
+	evs := make([]event, 0, b.nEvents)
+	forEachEvent(b.chunks, b.nEvents, func(ev event) { evs = append(evs, ev) })
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
 	for _, ev := range evs {
 		ce := chromeEvent{

@@ -134,6 +134,11 @@ func FaultTrack() Track {
 	return Track{PID: PIDNetwork, TID: TIDFault}
 }
 
+// eventChunkSize is the block size of the timeline arena. 4096 events
+// of ~100 bytes keep blocks well under typical large-object thresholds
+// while amortizing allocation to one per few thousand emissions.
+const eventChunkSize = 4096
+
 // event is one timeline entry, stored in emission order.
 type event struct {
 	name  string
@@ -231,9 +236,16 @@ func (h Histogram) Mean() float64 {
 // recorded order is the lock-acquisition order, and subscribers may
 // observe events from several goroutines at once.
 type Bus struct {
-	eng    *simtime.Engine
-	mu     sync.Mutex
-	events []event
+	eng *simtime.Engine
+	mu  sync.Mutex
+	// The timeline is a chunked arena: fixed-size blocks that fill in
+	// emission order. Unlike one growing slice, recording never recopies
+	// what came before — appending is a slot write, a new block is
+	// allocated once per eventChunkSize emissions, and readers can
+	// snapshot (chunks, nEvents) and iterate without holding the lock,
+	// because filled slots are immutable.
+	chunks  []*[eventChunkSize]event
+	nEvents int
 	// procNames / threadNames are export metadata ("node 3", "rank 17").
 	procNames   map[int]string
 	threadNames map[Track]string
@@ -300,7 +312,12 @@ func (b *Bus) SetThreadName(t Track, name string) {
 // cannot corrupt the iteration or deadlock.
 func (b *Bus) emit(ev event) {
 	b.mu.Lock()
-	b.events = append(b.events, ev)
+	ci, off := b.nEvents/eventChunkSize, b.nEvents%eventChunkSize
+	if off == 0 && ci == len(b.chunks) {
+		b.chunks = append(b.chunks, new([eventChunkSize]event))
+	}
+	b.chunks[ci][off] = ev
+	b.nEvents++
 	subs := b.subs
 	b.mu.Unlock()
 	if len(subs) == 0 {
@@ -360,13 +377,32 @@ func (b *Bus) EachEvent(fn func(Event)) {
 	if b == nil || fn == nil {
 		return
 	}
-	b.mu.Lock()
-	evs := b.events
-	b.mu.Unlock()
-	// Entries already recorded are immutable; concurrent appends only
-	// touch the backing array past len(evs).
-	for _, ev := range evs {
+	chunks, n := b.snapshotEvents()
+	// Slots below n are immutable; concurrent appends only fill later
+	// slots (or later chunks), so the snapshot iterates race-free.
+	forEachEvent(chunks, n, func(ev event) {
 		fn(ev.exported())
+	})
+}
+
+// snapshotEvents captures the arena state for lock-free iteration.
+func (b *Bus) snapshotEvents() ([]*[eventChunkSize]event, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.chunks, b.nEvents
+}
+
+// forEachEvent walks the first n recorded events in emission order.
+func forEachEvent(chunks []*[eventChunkSize]event, n int, fn func(event)) {
+	for i := 0; i < n; i += eventChunkSize {
+		c := chunks[i/eventChunkSize]
+		end := eventChunkSize
+		if n-i < end {
+			end = n - i
+		}
+		for j := 0; j < end; j++ {
+			fn(c[j])
+		}
 	}
 }
 
@@ -480,12 +516,10 @@ func (b *Bus) UnbalancedAsyncs(skip func(Track) bool) map[Track][]string {
 		track Track
 		id    uint64
 	}
-	b.mu.Lock()
-	evs := b.events
-	b.mu.Unlock()
+	chunks, n := b.snapshotEvents()
 	open := map[openKey]string{}
 	var order []openKey
-	for _, ev := range evs {
+	forEachEvent(chunks, n, func(ev event) {
 		k := openKey{track: ev.track, id: ev.id}
 		switch ev.ph {
 		case 'b':
@@ -494,7 +528,7 @@ func (b *Bus) UnbalancedAsyncs(skip func(Track) bool) map[Track][]string {
 		case 'e':
 			delete(open, k)
 		}
-	}
+	})
 	out := map[Track][]string{}
 	for _, k := range order {
 		name, stillOpen := open[k]
@@ -642,7 +676,7 @@ func (b *Bus) Events() int {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.events)
+	return b.nEvents
 }
 
 // SizeLabel formats a byte count the way span names do (power-of-two

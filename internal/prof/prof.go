@@ -1,0 +1,50 @@
+// Package prof wires the standard -cpuprofile / -memprofile escape
+// hatches into the command-line tools, so a slow or allocation-heavy
+// sweep can be inspected with `go tool pprof` without rebuilding
+// anything.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles. cpuPath, when non-empty, receives
+// a CPU profile covering everything up to the returned stop function;
+// memPath receives a heap profile captured (after a final GC, so the
+// numbers reflect live objects) when stop runs. Either path may be
+// empty. The returned stop is never nil and is safe to call exactly
+// once; callers should defer it around the whole run.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return func() {}, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return func() {}, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

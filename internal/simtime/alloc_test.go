@@ -1,0 +1,93 @@
+package simtime
+
+import "testing"
+
+// The scheduler hot paths must not allocate in steady state: event
+// buckets are pooled, proc wakeups carry no closure, and the instant
+// heap reuses its backing array. These guards pin that down with
+// testing.AllocsPerRun so a regression fails loudly rather than
+// showing up as a 4k-rank slowdown.
+
+// TestScheduleAllocFree: scheduling callbacks across a spread of
+// instants and draining them allocates nothing once the bucket pool and
+// instant heap have reached steady-state capacity.
+func TestScheduleAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	cycle := func() {
+		for i := 0; i < 8; i++ {
+			at := e.Now().Add(Duration(i))
+			for j := 0; j < 16; j++ {
+				e.At(at, fn)
+			}
+		}
+		if _, err := e.Run(Infinity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm the pool and slice capacities
+	allocs := testing.AllocsPerRun(10, cycle)
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+run allocated %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestSleepWakeupAllocFree: a process cycling through Sleep/wakeup —
+// the dominant event traffic in a rank simulation — is allocation-free
+// per iteration. The run is driven in bounded windows so the infinite
+// sleeper never deadlocks the engine.
+func TestSleepWakeupAllocFree(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("sleeper", func(p *Proc) {
+		for {
+			p.Sleep(5)
+		}
+	})
+	var limit Time
+	cycle := func() {
+		limit += 50
+		if _, err := e.Run(limit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // executes the spawn event and warms the wake path
+	allocs := testing.AllocsPerRun(20, cycle)
+	if allocs != 0 {
+		t.Fatalf("sleep/wakeup window allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestBroadcastBatchAllocFree: Cond.Broadcast releasing a crowd of
+// waiters is allocation-free at steady state — the waiters slice and
+// the wake bucket both retain their capacity across rounds.
+func TestBroadcastBatchAllocFree(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	const n = 32
+	for i := 0; i < n; i++ {
+		e.Spawn("w", func(p *Proc) {
+			for {
+				c.Wait(p, "gate")
+			}
+		})
+	}
+	e.Spawn("leader", func(p *Proc) {
+		for {
+			p.Sleep(5)
+			c.Broadcast()
+		}
+	})
+	var limit Time
+	cycle := func() {
+		limit += 50
+		if _, err := e.Run(limit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle()
+	cycle()
+	allocs := testing.AllocsPerRun(10, cycle)
+	if allocs != 0 {
+		t.Fatalf("broadcast rounds of %d waiters allocated %.1f times, want 0", n, allocs)
+	}
+}

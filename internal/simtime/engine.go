@@ -1,44 +1,58 @@
 package simtime
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// event is a scheduled callback. seq breaks ties between events scheduled
-// for the same instant so execution order is the order of scheduling.
+// event is one scheduled action: a plain callback (fn), a process
+// wakeup (proc), or a future completion (fut). Keeping wakeups and
+// completions as raw pointers instead of closures means the scheduler's
+// dominant event kinds — park/resume traffic from Sleep, Cond, Future
+// and Kill, and delivery completions from the network — allocate
+// nothing per event.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	fn   func()
+	proc *Proc
+	fut  *Future
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// bucket holds every event scheduled for one instant, in scheduling
+// order. Draining happens through a cursor rather than by popping, so
+// events appended to the current instant *while it executes* are seen in
+// order — exactly the semantics the old (time, seq) heap gave, because
+// anything scheduled during execution necessarily ordered after all
+// already-pending events at the same instant.
+type bucket struct {
+	at   Time
+	evs  []event
+	next int // drain cursor: evs[:next] have executed
 }
 
 // Engine is a discrete-event simulation kernel. The zero value is not
 // usable; construct with NewEngine.
+//
+// The pending-event structure is a calendar of per-instant buckets: a
+// small binary heap orders the *distinct* scheduled instants, and each
+// instant's events live in one append-only slice. Same-instant
+// scheduling — the overwhelmingly common case in a message-passing
+// simulation, where every send/recv/wakeup chain fans out at the current
+// time — is a bounds check and an append, with no heap sift and no
+// per-event allocation. Drained buckets are recycled through a free
+// list, so steady-state scheduling does not allocate at all.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
+	now Time
+	// timeQ is a binary min-heap of the distinct instants that have a
+	// pending bucket. Each instant appears at most once; membership is
+	// tracked by the buckets map.
+	timeQ   []Time
+	buckets map[Time]*bucket
+	// cur is the bucket currently being drained (cur.at == now while
+	// running). It has been removed from buckets/timeQ; same-instant
+	// scheduling appends to it directly.
+	cur *bucket
+	// free is the bucket recycle list. Buckets keep their event-slice
+	// capacity across reuse.
+	free []*bucket
+	// freeFuts is the Future recycle list (see GetFuture/PutFuture).
+	freeFuts []*Future
 	procs   []*Proc
 	running bool
 	stopped bool
@@ -60,20 +74,35 @@ const defaultInterruptEvery = 256
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{buckets: make(map[Time]*bucket)}
 }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at time t. Scheduling in the past is an error in
-// the simulation logic and panics: time only moves forward.
-func (e *Engine) At(t Time, fn func()) {
+// schedule enqueues ev at instant t, preserving global (time, scheduling
+// order) execution order.
+func (e *Engine) schedule(t Time, ev event) {
 	if t < e.now {
 		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", t, e.now))
 	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	if cur := e.cur; cur != nil && t == cur.at {
+		cur.evs = append(cur.evs, ev)
+		return
+	}
+	b := e.buckets[t]
+	if b == nil {
+		b = e.getBucket(t)
+		e.buckets[t] = b
+		e.pushTime(t)
+	}
+	b.evs = append(b.evs, ev)
+}
+
+// At schedules fn to run at time t. Scheduling in the past is an error in
+// the simulation logic and panics: time only moves forward.
+func (e *Engine) At(t Time, fn func()) {
+	e.schedule(t, event{fn: fn})
 }
 
 // After schedules fn to run d from now. Negative d means "now".
@@ -81,7 +110,131 @@ func (e *Engine) After(d Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.At(e.now.Add(d), fn)
+	e.schedule(e.now.Add(d), event{fn: fn})
+}
+
+// wakeAt schedules process p to be resumed at instant t. No closure is
+// allocated; the run loop hands p to runProc directly.
+func (e *Engine) wakeAt(t Time, p *Proc) {
+	e.schedule(t, event{proc: p})
+}
+
+// CompleteAfter schedules f.Complete() to run as an event d from now
+// (negative d means "now") without allocating a closure. It is the
+// bulk-delivery path: a fabric completing thousands of transfers
+// schedules plain values, not funcs.
+func (e *Engine) CompleteAfter(d Duration, f *Future) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now.Add(d), event{fut: f})
+}
+
+// wakeAllAt schedules a wakeup for every process in ps at instant t, in
+// order, growing the destination bucket once. This is the batch path
+// behind Cond.Broadcast and Future.Complete: a barrier releasing
+// thousands of ranks costs one slice grow, not one heap insert each.
+func (e *Engine) wakeAllAt(t Time, ps []*Proc) {
+	if len(ps) == 0 {
+		return
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", t, e.now))
+	}
+	var b *bucket
+	if cur := e.cur; cur != nil && t == cur.at {
+		b = cur
+	} else if b = e.buckets[t]; b == nil {
+		b = e.getBucket(t)
+		e.buckets[t] = b
+		e.pushTime(t)
+	}
+	if need := len(b.evs) + len(ps); cap(b.evs) < need {
+		// Grow by at least doubling: sizing to exactly need would make a
+		// stream of small broadcasts into one large instant reallocate
+		// and copy the whole bucket per call — quadratic in the bucket
+		// size, which at tens of thousands of same-instant wakeups
+		// dominated entire runs.
+		newCap := 2 * cap(b.evs)
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]event, len(b.evs), newCap)
+		copy(grown, b.evs)
+		b.evs = grown
+	}
+	for _, p := range ps {
+		b.evs = append(b.evs, event{proc: p})
+	}
+}
+
+// getBucket returns a recycled (or new) empty bucket stamped with t.
+func (e *Engine) getBucket(t Time) *bucket {
+	if n := len(e.free); n > 0 {
+		b := e.free[n-1]
+		e.free = e.free[:n-1]
+		b.at = t
+		return b
+	}
+	return &bucket{at: t}
+}
+
+// recycle returns a fully drained bucket to the free list. Every
+// executed slot was zeroed at dispatch, so no closure or process is
+// retained through the pool.
+func (e *Engine) recycle(b *bucket) {
+	b.evs = b.evs[:0]
+	b.next = 0
+	e.free = append(e.free, b)
+}
+
+// pushTime inserts t into the instant min-heap.
+func (e *Engine) pushTime(t Time) {
+	q := append(e.timeQ, t)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent] <= q[i] {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	e.timeQ = q
+}
+
+// popTime removes the minimum instant from the heap.
+func (e *Engine) popTime() {
+	q := e.timeQ
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q[l] < q[small] {
+			small = l
+		}
+		if r < n && q[r] < q[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	e.timeQ = q
+}
+
+// pending reports whether any events remain queued (including an
+// undrained current bucket left by Stop).
+func (e *Engine) pending() bool {
+	if e.cur != nil && e.cur.next < len(e.cur.evs) {
+		return true
+	}
+	return len(e.timeQ) > 0
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -152,20 +305,46 @@ func (e *Engine) Run(limit Time) (int, error) {
 	defer func() { e.running = false }()
 
 	executed := 0
-	for len(e.queue) > 0 && !e.stopped {
+	for !e.stopped {
+		cur := e.cur
+		if cur != nil && cur.next >= len(cur.evs) {
+			e.recycle(cur)
+			cur, e.cur = nil, nil
+		}
+		if cur == nil && len(e.timeQ) == 0 {
+			break
+		}
 		if e.interrupt != nil && executed%e.interruptEvery == 0 {
 			if err := e.interrupt(); err != nil {
 				return executed, err
 			}
 		}
-		next := e.queue[0]
-		if next.at > limit {
+		if cur == nil {
+			t := e.timeQ[0]
+			if t > limit {
+				e.now = limit
+				return executed, nil
+			}
+			e.popTime()
+			cur = e.buckets[t]
+			delete(e.buckets, t)
+			e.now = t
+			e.cur = cur
+		} else if cur.at > limit {
 			e.now = limit
 			return executed, nil
 		}
-		heap.Pop(&e.queue)
-		e.now = next.at
-		next.fn()
+		ev := cur.evs[cur.next]
+		cur.evs[cur.next] = event{}
+		cur.next++
+		switch {
+		case ev.proc != nil:
+			e.runProc(ev.proc)
+		case ev.fut != nil:
+			ev.fut.Complete()
+		default:
+			ev.fn()
+		}
 		executed++
 	}
 	if e.panicErr != nil {

@@ -58,7 +58,7 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		}
 		body(p)
 	}()
-	e.At(e.now, func() { e.runProc(p) })
+	e.wakeAt(e.now, p)
 	return p
 }
 
@@ -89,7 +89,7 @@ func (p *Proc) Kill() {
 		return
 	}
 	p.killed = true
-	p.eng.At(p.eng.now, func() { p.eng.runProc(p) })
+	p.eng.wakeAt(p.eng.now, p)
 }
 
 // runProc transfers control to p and blocks until p parks again (or
@@ -136,8 +136,8 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.After(d, func() { p.eng.runProc(p) })
-	p.yield(fmt.Sprintf("sleep %v", d))
+	p.eng.wakeAt(p.eng.now.Add(d), p)
+	p.yield("sleep")
 }
 
 func (p *Proc) describe() string {
@@ -172,17 +172,18 @@ func (c *Cond) Signal() {
 	}
 	p := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	c.eng.At(c.eng.now, func() { c.eng.runProc(p) })
+	c.eng.wakeAt(c.eng.now, p)
 }
 
-// Broadcast wakes every waiting process in FIFO order.
+// Broadcast wakes every waiting process in FIFO order. The wakeups are
+// enqueued as one batch: releasing N waiters costs one bucket append
+// run, not N heap inserts.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, p := range ws {
-		q := p
-		c.eng.At(c.eng.now, func() { c.eng.runProc(q) })
-	}
+	// wakeAllAt copies the procs into the event bucket synchronously,
+	// so the waiters slice can be truncated in place and its capacity
+	// reused by the next round of waiters.
+	c.eng.wakeAllAt(c.eng.now, c.waiters)
+	c.waiters = c.waiters[:0]
 }
 
 // Waiters reports how many processes are parked on the condition.
@@ -201,6 +202,33 @@ type Future struct {
 
 // NewFuture returns an incomplete future bound to engine e.
 func NewFuture(e *Engine) *Future { return &Future{eng: e, cond: Cond{eng: e}} }
+
+// GetFuture returns a recycled (or fresh) incomplete future. It is the
+// pooled counterpart of NewFuture for high-churn protocol paths; pair it
+// with PutFuture at a point where the future is provably unreachable.
+func (e *Engine) GetFuture() *Future {
+	if n := len(e.freeFuts); n > 0 {
+		f := e.freeFuts[n-1]
+		e.freeFuts = e.freeFuts[:n-1]
+		return f
+	}
+	return NewFuture(e)
+}
+
+// PutFuture recycles f for a later GetFuture. The caller must guarantee
+// that no other reference to f remains — a recycled future still awaited
+// or chained elsewhere would complete someone else's operation. Only a
+// completed future with no parked waiters is eligible; anything else
+// panics, because it means the caller's liveness proof is wrong.
+func (e *Engine) PutFuture(f *Future) {
+	if !f.done || len(f.cond.waiters) != 0 {
+		panic("simtime: PutFuture on a live future")
+	}
+	f.done = false
+	f.at = 0
+	f.callbacks = nil
+	e.freeFuts = append(e.freeFuts, f)
+}
 
 // Complete marks the future done at the current virtual time and wakes all
 // waiters. Completing twice panics: it indicates a logic error in the

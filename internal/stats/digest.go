@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Digest summarizes a value distribution: count, mean, nearest-rank
+// percentiles, and max. It is the shared summary behind the analytics
+// report's latency/slack digests and the sweep daemon's /v1/query
+// aggregates. Units are the caller's; the JSON field names are
+// unit-free so microsecond latencies and joule energies both serialize
+// naturally.
+type Digest struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// DigestOf summarizes vals (which it leaves untouched). An empty sample
+// yields the zero Digest.
+func DigestOf(vals []float64) Digest {
+	if len(vals) == 0 {
+		return Digest{}
+	}
+	s := make([]float64, len(vals))
+	copy(s, vals)
+	sort.Float64s(s)
+	return Digest{
+		Count: len(s),
+		Mean:  Sum(s) / float64(len(s)),
+		P50:   Percentile(s, 50),
+		P90:   Percentile(s, 90),
+		P99:   Percentile(s, 99),
+		Max:   s[len(s)-1],
+	}
+}
+
+// Percentile returns the nearest-rank p-th percentile of sorted, which
+// must be sorted ascending and non-empty: the value at index
+// ceil(p/100*n)-1. Exact on the sample (never interpolated) and
+// deterministic, which keeps report bytes reproducible.
+func Percentile(sorted []float64, p float64) float64 {
+	i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -11,9 +11,14 @@
 #     simulation is deterministic, so any drift is a real behavioral
 #     change.
 #  3. Analytics overhead (BENCH_6.json): one live streaming analytics
-#     subscriber on the same workload must cost <=2% process CPU time
-#     over a detached bus (measured min-of-10 per arm, interleaved;
-#     wall time recorded alongside).
+#     subscriber on the same workload must cost <=250ns of process CPU
+#     time per emitted event over a detached bus (measured min-of-10 per
+#     arm, interleaved; the run-relative ratio and wall time are
+#     recorded alongside).
+#  4. Engine throughput & allocation gates (BENCH_8.json): the hot-path
+#     8x8 1 MiB allreduce benchmark's allocs/op and events/sec, plus the
+#     4096-rank allreduce/allgather events/sec, each gated against the
+#     floors in scripts/perf_floor.json.
 cd "$(dirname "$0")/.."
 
 run() {
@@ -92,7 +97,100 @@ if [ "$diff_rc" -ne 0 ]; then
 	exit 1
 fi
 if [ "$overhead_rc" -ne 0 ]; then
-	echo "bench guard: analytics-subscriber overhead exceeded the 2% budget (see BENCH_6.json)" >&2
+	echo "bench guard: analytics-subscriber overhead exceeded the 250ns-per-event budget (see BENCH_6.json)" >&2
 	exit 1
 fi
-echo "bench guard: perf diff clean and analytics overhead within the 2% budget; wrote BENCH_6.json"
+echo "bench guard: perf diff clean and analytics overhead within the per-event budget; wrote BENCH_6.json"
+
+# --- 4. engine throughput & allocation gates -----------------------------
+# Three deterministic workloads from internal/collective/perf_bench_test.go:
+# the 8x8 1 MiB allreduce (allocs/op ceiling + events/sec floor) and the
+# 4096-rank recursive-doubling allreduce/allgather (events/sec floors).
+# Floors live in scripts/perf_floor.json so regenerating them is a
+# reviewed, committed act — never an in-run side effect.
+floor=scripts/perf_floor.json
+if [ ! -f "$floor" ]; then
+	echo "bench guard: perf floor $floor is missing." >&2
+	echo "  Regenerate it from a known-good checkout (see the comment field" >&2
+	echo "  of a previous revision, or scripts/perf_floor.json in git history):" >&2
+	echo "    go test ./internal/collective -run xxx -bench 'BenchmarkHotPathAllreduce8x8_1MiB|BenchmarkScale4096' -benchtime 1x -benchmem -count=1" >&2
+	echo "  then set events/sec floors to ~25% of measured and the allocs/op" >&2
+	echo "  ceiling to ~5% above measured, and commit the result." >&2
+	exit 1
+fi
+jget() {
+	awk -F'[:,]' -v k="\"$1\"" '$1 ~ k {gsub(/[ \t]/, "", $2); print $2}' "$floor"
+}
+max_allocs=$(jget hot_path_max_allocs_per_op)
+min_hot_eps=$(jget hot_path_min_events_per_sec)
+min_ar_eps=$(jget scale4096_allreduce_min_events_per_sec)
+min_ag_eps=$(jget scale4096_allgather_min_events_per_sec)
+if [ -z "$max_allocs" ] || [ -z "$min_hot_eps" ] || [ -z "$min_ar_eps" ] || [ -z "$min_ag_eps" ]; then
+	echo "bench guard: $floor is missing one of the four gate keys" \
+		"(hot_path_max_allocs_per_op, hot_path_min_events_per_sec," \
+		"scale4096_allreduce_min_events_per_sec, scale4096_allgather_min_events_per_sec)." >&2
+	exit 1
+fi
+
+go test ./internal/collective -run xxx \
+	-bench 'BenchmarkHotPathAllreduce8x8_1MiB|BenchmarkScale4096' \
+	-benchtime 1x -benchmem -timeout 30m -count=1 >bench8_raw.txt
+# Benchmark lines read "Name N t ns/op v events/sec b B/op a allocs/op";
+# pick each metric by the unit that follows it.
+bmetric() {
+	awk -v name="$1" -v unit="$2" '
+		$1 ~ name { for (i = 2; i < NF; i++) if ($(i + 1) == unit) { print $i; exit } }
+	' bench8_raw.txt
+}
+hot_allocs=$(bmetric '^BenchmarkHotPathAllreduce8x8_1MiB' allocs/op)
+hot_eps=$(bmetric '^BenchmarkHotPathAllreduce8x8_1MiB' events/sec)
+ar_eps=$(bmetric '^BenchmarkScale4096AllreduceRD' events/sec)
+ag_eps=$(bmetric '^BenchmarkScale4096AllgatherRD' events/sec)
+rm -f bench8_raw.txt
+if [ -z "$hot_allocs" ] || [ -z "$hot_eps" ] || [ -z "$ar_eps" ] || [ -z "$ag_eps" ]; then
+	echo "bench guard: failed to parse the engine benchmarks" \
+		"(hot_allocs=$hot_allocs hot_eps=$hot_eps ar_eps=$ar_eps ag_eps=$ag_eps)" >&2
+	exit 1
+fi
+
+cat >BENCH_8.json <<EOF
+{
+  "benchmark": "engine throughput and allocation gates (perf_bench_test.go)",
+  "floors": "scripts/perf_floor.json",
+  "hot_path_allreduce_8x8_1mib": {
+    "allocs_per_op": $hot_allocs,
+    "max_allocs_per_op": $max_allocs,
+    "events_per_sec": $hot_eps,
+    "min_events_per_sec": $min_hot_eps
+  },
+  "scale_4096_allreduce_rd": {
+    "events_per_sec": $ar_eps,
+    "min_events_per_sec": $min_ar_eps
+  },
+  "scale_4096_allgather_rd": {
+    "events_per_sec": $ag_eps,
+    "min_events_per_sec": $min_ag_eps
+  }
+}
+EOF
+
+perf_fail=0
+gate() { # gate <label> <measured> <bound> <cmp>
+	if ! awk -v m="$2" -v b="$3" -v c="$4" \
+		'BEGIN {exit !((c == "max" && m <= b) || (c == "min" && m >= b))}'; then
+		echo "bench guard: $1 = $2 violates the $4 bound $3 (see BENCH_8.json)." >&2
+		perf_fail=1
+	fi
+}
+gate "hot-path allocs/op" "$hot_allocs" "$max_allocs" max
+gate "hot-path events/sec" "$hot_eps" "$min_hot_eps" min
+gate "4096-rank allreduce events/sec" "$ar_eps" "$min_ar_eps" min
+gate "4096-rank allgather events/sec" "$ag_eps" "$min_ag_eps" min
+if [ "$perf_fail" -ne 0 ]; then
+	echo "bench guard: engine perf gate failed. If the regression is intended" >&2
+	echo "  (e.g. a feature that legitimately costs allocations), regenerate the" >&2
+	echo "  floors from this checkout per the comment in scripts/perf_floor.json" >&2
+	echo "  and commit them with the change that pays the cost." >&2
+	exit 1
+fi
+echo "bench guard: engine throughput and allocation gates met; wrote BENCH_8.json"
