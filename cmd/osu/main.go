@@ -223,10 +223,11 @@ func main() {
 		reportOut   = flag.String("report", "", "write an analytics report (critical path, per-rank slack, energy attribution) of the last size's run to this file; analyze further with cmd/paccprof")
 		configPath  = flag.String("config", "", "load the base cluster configuration from a JSON file")
 		dumpConfig  = flag.String("dump-config", "", "write the default configuration to this file and exit")
-		faultSpec   = flag.String("fault", "", "deterministic fault-injection spec, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5', 'crash=5@200us;detect=100us' (crash-stop; pair with -op allreduce_ft), or 'seed=7;corrupt=0.05;terrfactor=2;memburst=3@0.2:100us+1ms' (in-flight bit flips are ICRC-rejected and retransmitted; memory bursts need -verify to be caught)")
+		faultSpec   = flag.String("fault", "", "deterministic fault-injection spec, e.g. 'seed=7;msgloss=0.02;degrade=node0-up@0.3:200us+2ms;straggler=1@1.5', 'crash=5@200us;detect=100us' (crash-stop; pair with -op allreduce_ft), 'seed=7;corrupt=0.05;terrfactor=2;memburst=3@0.2:100us+1ms' (in-flight bit flips are ICRC-rejected and retransmitted; memory bursts need -verify to be caught), or 'slow=3@8x:10ms+50ms;stickfail=0.3' (fail-slow: windowed gray degradation and lost power-transition writes; arms the fail-slow detector, pair with -op allreduce_ft for demotion)")
 		planName    = flag.String("plan", "", "communication plan: a registered builder name, or 'auto' for cost-based selection")
 		planObj     = flag.String("plan-objective", "latency", "objective for -plan auto: latency or energy")
 		verify      = flag.Bool("verify", false, "self-verify collective data every iteration: plan-backed allreduces append checksum verification steps, allreduce_topo/allreduce_ft run their ABFT-checked variants and compare the sum against the expected value")
+		detect      = flag.Bool("detect", false, "arm fail-slow detection (per-rank compute-lag scoreboards and suspect censuses) even without a slow=/stickfail= fault clause; costs zero simulated time")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep; an exceeded deadline aborts the running simulation cleanly (0 = none)")
 		interruptEv = flag.Int("interrupt-every", 0, "poll for -timeout cancellation every N executed events (0 = engine default, 256); lower means faster aborts at the cost of per-event overhead")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
@@ -264,6 +265,9 @@ func main() {
 			os.Exit(2)
 		}
 		baseCfg.Fault = spec
+	}
+	if *detect {
+		baseCfg.FailSlowDetect = true
 	}
 	if *interruptEv != 0 {
 		baseCfg.InterruptEvery = *interruptEv
@@ -325,6 +329,9 @@ func main() {
 	}
 	if *verify {
 		fmt.Printf("# data verification: on\n")
+	}
+	if *detect {
+		fmt.Printf("# fail-slow detection: armed\n")
 	}
 	fmt.Printf("%-12s %14s %14s\n", "size(B)", "latency(us)", "cluster(W)")
 

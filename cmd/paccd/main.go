@@ -106,10 +106,20 @@ func cmdServe(args []string) error {
 		svc.Close()
 		return err
 	case s := <-sigc:
-		fmt.Printf("paccd: %v, shutting down (accepted work fails with typed ShutdownError; "+
-			"completed results persist in the store)\n", s)
+		fmt.Printf("paccd: %v, draining (new submissions shed; accepted work runs to "+
+			"completion; signal again to abort the drain)\n", s)
+		drained := make(chan struct{})
+		go func() { svc.Shutdown(); close(drained) }()
+		select {
+		case <-drained:
+			fmt.Println("paccd: drained cleanly, all accepted work persisted")
+		case s2 := <-sigc:
+			fmt.Printf("paccd: %v again, aborting drain (pending work fails with typed "+
+				"ShutdownError; completed results persist in the store)\n", s2)
+			svc.Close()
+			<-drained
+		}
 		srv.Close()
-		svc.Close()
 		return nil
 	}
 }

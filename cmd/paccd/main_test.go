@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"pacc/internal/sweep"
 )
@@ -116,6 +119,130 @@ func TestServeRejectsBadBatch(t *testing.T) {
 			t.Errorf("GET /v1/submit = %d, want 405", resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+}
+
+// The SSE watch endpoint streams live counter snapshots: after a batch
+// completes, the first event already reflects it, and events keep
+// arriving on the requested interval until the client hangs up.
+func TestServeWatchStreams(t *testing.T) {
+	ts, _ := testServer(t)
+	postSubmit(t, ts, submitRequest{Requests: []sweep.Request{
+		{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 1024},
+	}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/watch?interval=5ms", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	events := 0
+	for sc.Scan() && events < 3 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev watchEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("malformed event %q: %v", line, err)
+		}
+		if ev.Accepted != 1 || ev.Completed != 1 {
+			t.Fatalf("event = %+v, want accepted=1 completed=1", ev)
+		}
+		events++
+	}
+	if events < 3 {
+		t.Fatalf("stream produced %d events before the deadline, want 3", events)
+	}
+	if resp, err := http.Post(ts.URL+"/v1/watch", "text/plain", nil); err == nil {
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST /v1/watch = %d, want 405", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(ts.URL + "/v1/watch?interval=bogus"); err == nil {
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad interval = %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// A draining daemon sheds new HTTP submissions as "shed" (retry-later,
+// not terminal) while a batch accepted before the drain runs to
+// completion and its result lands in the store.
+func TestServeDrainShedsNewAndFinishesAccepted(t *testing.T) {
+	release := make(chan struct{})
+	store, _, err := sweep.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := sweep.NewService(store, sweep.Config{
+		Workers: 1, QueueDepth: 64,
+		Run: func(ctx context.Context, req sweep.Request) ([]byte, error) {
+			select {
+			case <-release:
+				return []byte(`{"held":true}`), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	ts := httptest.NewServer(newMux(svc))
+	defer ts.Close()
+
+	inflight := make(chan submitResponse, 1)
+	go func() {
+		inflight <- postSubmit(t, ts, submitRequest{Requests: []sweep.Request{
+			{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 1024},
+		}})
+	}()
+	// Wait for the job to be accepted before starting the drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Bus().Counter(sweep.CtrAccepted) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never accepted")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	drained := make(chan struct{})
+	go func() { svc.Shutdown(); close(drained) }()
+	for svc.Bus().Counter(sweep.CtrShedDraining) == 0 {
+		out := postSubmit(t, ts, submitRequest{Requests: []sweep.Request{
+			{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 2048},
+		}})
+		if st := out.Items[0].Status; st == "shed" {
+			break
+		} else if st != "completed" {
+			t.Fatalf("submit during drain = %+v, want shed", out.Items[0])
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started shedding HTTP submissions")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	out := <-inflight
+	if out.Items[0].Status != "completed" {
+		t.Fatalf("accepted batch during drain = %+v, want completed", out.Items[0])
+	}
+	<-drained
+	key, err := sweep.ParseKey(out.Items[0].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := store.Get(key)
+	if err != nil || payload == nil {
+		t.Fatalf("drained result not in store: %v, %v", payload, err)
 	}
 }
 

@@ -17,8 +17,9 @@ type submitRequest struct {
 }
 
 // submitItem is one request's outcome in the batch response. Status is
-// "completed", "shed" (typed admission rejection; retry later), or
-// "failed" (terminal: quarantined, invalid, shutdown).
+// "completed", "shed" (typed admission rejection — overload, quota, or
+// a draining daemon; retry later, possibly against a restarted daemon),
+// or "failed" (terminal: quarantined, invalid).
 type submitItem struct {
 	Key    string          `json:"key,omitempty"`
 	Status string          `json:"status"`
@@ -30,11 +31,14 @@ type submitResponse struct {
 	Items []submitItem `json:"items"`
 }
 
-// classify maps the service's typed errors onto wire statuses.
+// classify maps the service's typed errors onto wire statuses. A
+// ShutdownError is shed, not failed: nothing about the request is wrong,
+// and a resubmit after the daemon restarts dedupes against the store.
 func classify(err error) string {
 	var over *sweep.OverloadedError
 	var quota *sweep.QuotaExceededError
-	if errors.As(err, &over) || errors.As(err, &quota) {
+	var down *sweep.ShutdownError
+	if errors.As(err, &over) || errors.As(err, &quota) || errors.As(err, &down) {
 		return "shed"
 	}
 	return "failed"
@@ -57,6 +61,8 @@ func newMux(svc *sweep.Service) *http.ServeMux {
 	})
 
 	mux.HandleFunc("/v1/query", handleQuery(svc))
+
+	mux.HandleFunc("/v1/watch", handleWatch(svc))
 
 	mux.HandleFunc("/v1/submit", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

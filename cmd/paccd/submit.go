@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -28,6 +30,8 @@ func cmdSubmit(args []string) error {
 		faultS = fs.String("fault", "", "deterministic fault spec, e.g. 'msgloss=0.02'")
 		tenant = fs.String("tenant", "cli", "tenant the submission is charged to")
 		wait   = fs.Duration("wait", 10*time.Minute, "client-side timeout for the batch")
+		watch  = fs.Bool("watch", false, "stream live daemon progress (/v1/watch) while the batch runs")
+		watchI = fs.Duration("watch-interval", time.Second, "progress line interval with -watch")
 	)
 	fs.Parse(args)
 
@@ -59,6 +63,16 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The watch rides alongside the batch POST: progress lines on stderr,
+	// the result table on stdout. Canceling the context tears the stream
+	// down once the batch resolves either way.
+	if *watch {
+		ctx, cancel := context.WithCancel(context.Background())
+		watchDone := make(chan struct{})
+		go func() { watchProgress(ctx, *addr, *watchI, os.Stderr); close(watchDone) }()
+		defer func() { cancel(); <-watchDone }()
+	}
+
 	client := &http.Client{Timeout: *wait}
 	resp, err := client.Post(strings.TrimRight(*addr, "/")+"/v1/submit",
 		"application/json", bytes.NewReader(body))

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"pacc/internal/sweep"
+)
+
+// watchEvent is one progress snapshot on the /v1/watch stream: the
+// daemon's request ledger at an instant, enough for a client to render
+// a live progress line without polling /v1/stats.
+type watchEvent struct {
+	Accepted    int64 `json:"accepted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Shed        int64 `json:"shed"`
+	QueueDepth  int64 `json:"queue_depth"`
+	Retries     int64 `json:"retries"`
+	Quarantined int64 `json:"quarantined"`
+}
+
+func snapshotEvent(svc *sweep.Service) watchEvent {
+	bus := svc.Bus()
+	return watchEvent{
+		Accepted:  bus.Counter(sweep.CtrAccepted),
+		Completed: bus.Counter(sweep.CtrCompleted),
+		Failed:    bus.Counter(sweep.CtrFailed),
+		Shed: bus.Counter(sweep.CtrShedOverload) + bus.Counter(sweep.CtrShedQuota) +
+			bus.Counter(sweep.CtrShedDraining),
+		QueueDepth:  bus.Counter(sweep.CtrQueueDepth),
+		Retries:     bus.Counter(sweep.CtrRetries),
+		Quarantined: bus.Counter(sweep.CtrQuarantined),
+	}
+}
+
+// handleWatch serves GET /v1/watch as a server-sent-event stream: one
+// `data:` line of watchEvent JSON immediately, then one per interval
+// (?interval=250ms overrides the 1s default) until the client hangs up.
+func handleWatch(svc *sweep.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		interval := time.Second
+		if v := r.URL.Query().Get("interval"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad interval: "+v, http.StatusBadRequest)
+				return
+			}
+			interval = d
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			raw, err := json.Marshal(snapshotEvent(svc))
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", raw); err != nil {
+				return
+			}
+			fl.Flush()
+			select {
+			case <-r.Context().Done():
+				return
+			case <-tick.C:
+			}
+		}
+	}
+}
+
+// watchProgress consumes a daemon's /v1/watch stream and prints one
+// progress line per event to out until ctx is canceled or the stream
+// ends. Errors are reported on the final line rather than returned:
+// the watch is advisory, the batch POST is the source of truth.
+func watchProgress(ctx context.Context, addr string, interval time.Duration, out io.Writer) {
+	url := strings.TrimRight(addr, "/") + "/v1/watch?interval=" + interval.String()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		fmt.Fprintf(out, "watch: %v\n", err)
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			fmt.Fprintf(out, "watch: %v\n", err)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(out, "watch: daemon returned %s\n", resp.Status)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev watchEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			continue
+		}
+		fmt.Fprintf(out, "watch: %d/%d completed, %d failed, %d queued, %d retries\n",
+			ev.Completed, ev.Accepted, ev.Failed, ev.QueueDepth, ev.Retries)
+	}
+}

@@ -266,7 +266,9 @@ func NewModel(events []Event) *Model {
 	// Deterministic span ordering regardless of ingestion order (the
 	// file path is timestamp-sorted, the live path is emission-ordered).
 	for _, rt := range m.ranks {
-		sort.SliceStable(rt.ops, func(i, j int) bool { return spanLess(rt.ops[i].start, rt.ops[i].end, rt.ops[i].op, rt.ops[j].start, rt.ops[j].end, rt.ops[j].op) })
+		sort.SliceStable(rt.ops, func(i, j int) bool {
+			return spanLess(rt.ops[i].start, rt.ops[i].end, rt.ops[i].op, rt.ops[j].start, rt.ops[j].end, rt.ops[j].op)
+		})
 		sort.SliceStable(rt.waits, func(i, j int) bool {
 			return spanLess(rt.waits[i].start, rt.waits[i].end, rt.waits[i].reason, rt.waits[j].start, rt.waits[j].end, rt.waits[j].reason)
 		})

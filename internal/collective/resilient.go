@@ -19,10 +19,53 @@ import (
 // restorePower is the unconditional post-round power restore: whatever a
 // crashed peer left half-done, every survivor leaves the recovery round at
 // fmax / T0. Both transitions are free no-ops when the core is already
-// there, so healthy rounds pay nothing.
+// there, so healthy rounds pay nothing. Under fault stickfail= the writes
+// themselves can be lost; the bounded RecoverPower retry re-issues them so
+// a lost transition degrades to a few extra settle periods, not a rank
+// permanently wedged at the wrong state.
 func restorePower(r *mpi.Rank) {
 	r.ScaleUp()
 	r.SetThrottle(power.T0)
+	if !r.PowerSynced() {
+		r.RecoverPower(0)
+	}
+}
+
+// demoteSuspects is the slow-rank-aware replanning step: census the
+// fail-slow suspect set (identical on every member, see
+// Comm.AgreeSuspects), let each suspect attempt to heal itself — a lost
+// DVFS/throttle write is fixed by re-issuing the transition — and then
+// rebuild the communicator with suspects demoted to the minimum-load tail
+// positions (plan.DemoteOrder), so the next schedule built over the group
+// asks the least of them. Returns comm unchanged when detection is
+// disarmed or nobody is suspected; every member must call congruently.
+func demoteSuspects(comm *mpi.Comm) *mpi.Comm {
+	w := comm.World()
+	if !w.FailSlowArmed() {
+		return comm
+	}
+	suspects := comm.AgreeSuspects()
+	if len(suspects) == 0 {
+		return comm
+	}
+	r := comm.Owner()
+	me := comm.Rank()
+	for _, s := range suspects {
+		if s == me {
+			// Heal what is healable before being demoted: if the only
+			// sickness is a stuck power transition, the re-issue clears
+			// it and the demotion becomes a one-collective penalty while
+			// the lag EWMA decays.
+			r.RecoverPower(0)
+		}
+	}
+	if b := w.Obs(); b != nil {
+		b.Add(obs.CtrCollectiveDemotions, int64(len(suspects)))
+		b.Instant(r.ObsTrack(), "demote suspects", map[string]any{
+			"suspects": len(suspects),
+		})
+	}
+	return comm.Sub(plan.DemoteOrder(comm.Size(), suspects))
 }
 
 // RunResilient runs body over c with crash-stop and data-corruption
@@ -67,7 +110,11 @@ func RunResilient(c *mpi.Comm, body func(*mpi.Comm) error) (*mpi.Comm, error) {
 		failed, peerBad := comm.AgreeRound(err != nil)
 		restorePower(r)
 		if err == nil && len(failed) == 0 && !peerBad {
-			return comm, nil
+			// Clean round. With fail-slow detection armed, census the
+			// suspect set and hand back a communicator with suspects
+			// demoted, so an iterating caller's next collective is built
+			// around the gray failure instead of gated by it.
+			return demoteSuspects(comm), nil
 		}
 		if err != nil {
 			lastErr = err
@@ -87,6 +134,10 @@ func RunResilient(c *mpi.Comm, body func(*mpi.Comm) error) (*mpi.Comm, error) {
 		if comm == nil || comm.Size() == 0 {
 			return nil, fmt.Errorf("collective: no survivors to retry on")
 		}
+		// Replan the retry around any gray-failed survivors: a round that
+		// failed because a slow rank stalled the schedule would otherwise
+		// retry into the same stall.
+		comm = demoteSuspects(comm)
 	}
 	if lastErr != nil {
 		return comm, fmt.Errorf("collective: resilient retry budget exhausted after %d rounds: %w", c.Size()+1, lastErr)

@@ -150,6 +150,84 @@ func GenSpecCorrupt(seed uint64, procs, nodes int) *fault.Spec {
 	return s
 }
 
+// GenSpecSlow derives a pure fail-slow schedule from one seed: no
+// crashes, no link faults — every rank survives and the job must
+// complete — but 1-2 windowed compute degradations (factor 2-8x),
+// optionally a straggler with jitter, slow power transitions, and lost
+// transition writes (stickfail). The stream is salted so it shares
+// nothing with GenSpec's crash schedule, and the windows are generated
+// sequentially so the spec round-trips through the Parse hardening that
+// rejects per-rank overlaps. The schedule arms the runtime's fail-slow
+// detection (see mpi scoreboard), making the campaign exercise the whole
+// detect → agree → recover/demote pipeline.
+func GenSpecSlow(seed uint64, procs, nodes int) *fault.Spec {
+	r := &rng{x: seed ^ 0x51033}
+	s := &fault.Spec{Seed: seed, RetryBudget: fault.DefaultRetryBudget}
+
+	start := simtime.Duration(0)
+	for n := 1 + r.intn(2); n > 0; n-- {
+		start += r.dur(0, 100*us)
+		d := r.dur(100*us, 600*us)
+		s.Slows = append(s.Slows, fault.Slow{
+			Rank:     r.intn(procs),
+			Factor:   2 + 6*r.f64(),
+			Start:    start,
+			Duration: d,
+		})
+		start += d
+	}
+
+	if r.intn(2) == 1 {
+		s.Stragglers = append(s.Stragglers, fault.Straggler{
+			Rank:     r.intn(procs),
+			Slowdown: 1 + 2*r.f64(),
+		})
+		s.ComputeJitter = 0.3 * r.f64()
+	}
+
+	if r.intn(2) == 1 {
+		s.PStateDelay = r.dur(0, 30*us)
+		s.TStateDelay = r.dur(0, 30*us)
+		s.StickProb = 0.5 * r.f64()
+	}
+
+	if r.intn(2) == 1 {
+		// Capped well below 1 so bounded re-issue (RecoverPower) converges.
+		s.StickFailProb = 0.4 * r.f64()
+	}
+
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("chaos: generated invalid fail-slow spec from seed %d: %v", seed, err))
+	}
+	return s
+}
+
+// slowdownBound returns the multiplicative completion-time bound a
+// fail-slow schedule may legitimately impose on the healthy baseline: the
+// worst compute stretch any rank can see (slow window × straggler ×
+// jitter, and the fmax/fmin ratio while a lost DVFS write is stuck),
+// with 3x protocol headroom for detection censuses, demotion reorders and
+// transition retries.
+func slowdownBound(s *fault.Spec, freqRatio float64) float64 {
+	stretch := 1.0
+	for _, sl := range s.Slows {
+		if sl.Factor > stretch {
+			stretch = sl.Factor
+		}
+	}
+	worst := 1.0
+	for _, st := range s.Stragglers {
+		if st.Slowdown > worst {
+			worst = st.Slowdown
+		}
+	}
+	stretch *= worst * (1 + s.ComputeJitter)
+	if s.StickFailProb > 0 {
+		stretch *= freqRatio
+	}
+	return 3 * stretch
+}
+
 // Options configures one chaos run. Zero values select the defaults.
 type Options struct {
 	// Seed drives the whole schedule (GenSpec) and nothing else.
@@ -169,6 +247,14 @@ type Options struct {
 	// sum or returns a typed integrity/failure error — a silently wrong
 	// value anywhere fails the run.
 	Corrupt bool
+	// FailSlow switches the schedule to GenSpecSlow — gray failures only,
+	// no crashes — and adds the fail-slow invariants: the full group must
+	// complete with the correct sum, completion time must stay within
+	// slowdownBound of a healthy twin run of the same shape, no rank
+	// outside the schedule's slow/straggler set may be suspected (when
+	// transition loss is off), and every core still ends at fmax / T0.
+	// Takes precedence over Corrupt.
+	FailSlow bool
 }
 
 func (o *Options) defaults() {
@@ -199,6 +285,13 @@ type Result struct {
 	// Metrics and Trace are the exported metrics/trace JSON; two runs with
 	// the same options produce byte-identical copies.
 	Metrics, Trace []byte
+	// Elapsed is the simulated completion time of the run (0 when the
+	// simulation aborted). Deterministic, so replays must agree on it;
+	// fail-slow campaigns also bound it against a healthy twin.
+	Elapsed simtime.Duration
+	// Suspects is the detection layer's final suspect set (fail-slow
+	// campaigns only; nil otherwise).
+	Suspects []int
 	// Err is the typed, group-uniform error outcome of a corrupted run
 	// (nil when the workload completed): either every survivor returned a
 	// classifiable integrity/failure error, or the simulation aborted on
@@ -216,9 +309,12 @@ func Run(o Options) (*Result, error) {
 	cfg := mpi.DefaultConfig()
 	cfg.NProcs = o.Procs
 	cfg.PPN = o.PPN
-	if o.Corrupt {
+	switch {
+	case o.FailSlow:
+		cfg.Fault = GenSpecSlow(o.Seed, o.Procs, cfg.Topo.Nodes)
+	case o.Corrupt:
 		cfg.Fault = GenSpecCorrupt(o.Seed, o.Procs, cfg.Topo.Nodes)
-	} else {
+	default:
 		cfg.Fault = GenSpec(o.Seed, o.Procs, cfg.Topo.Nodes)
 	}
 	fail := func(format string, args ...any) error {
@@ -267,6 +363,12 @@ func Run(o Options) (*Result, error) {
 				last = e
 			}
 		}
+		if o.FailSlow {
+			// Job epilogue: a rank whose last scale-up write was lost
+			// insists on the restore — bounded per call, repeated until
+			// the write lands (loss probability is capped below 1).
+			r.RecoverPower(64)
+		}
 		g := make([]int, c.Size())
 		for i := range g {
 			g[i] = c.Global(i)
@@ -287,7 +389,8 @@ func Run(o Options) (*Result, error) {
 		return res, nil
 	}
 
-	if _, err := w.Run(); err != nil {
+	elapsed, err := w.Run()
+	if err != nil {
 		if o.Corrupt && mpi.IsIntegrity(err) {
 			// A message spent its whole retry budget on ICRC rejects: the
 			// run aborts with a typed error naming the undeliverable
@@ -361,7 +464,7 @@ func Run(o Options) (*Result, error) {
 					me, core.FreqGHz(), core.Throttle())
 			}
 		}
-		return export(&Result{Spec: cfg.Fault, Err: firstErr})
+		return export(&Result{Spec: cfg.Fault, Err: firstErr, Elapsed: elapsed})
 	}
 	if group == nil {
 		return nil, fail("no survivors finished")
@@ -389,5 +492,66 @@ func Run(o Options) (*Result, error) {
 		}
 	}
 
-	return export(&Result{Spec: cfg.Fault, FinalGroup: group, Sum: want})
+	res := &Result{Spec: cfg.Fault, FinalGroup: group, Sum: want, Elapsed: elapsed}
+	if o.FailSlow {
+		if len(group) != o.Procs {
+			return nil, fail("fail-slow run lost members: final group %v, want all %d ranks", group, o.Procs)
+		}
+		res.Suspects = w.SuspectedRanks()
+		if cfg.Fault.StickFailProb == 0 {
+			// Without transition loss the only legitimately slow ranks are
+			// the scheduled ones; suspecting anyone else is a detector
+			// false positive (e.g. wait time leaking into the lag EWMA).
+			allowed := map[int]bool{}
+			for _, id := range cfg.Fault.SlowRanks() {
+				allowed[id] = true
+			}
+			for _, id := range cfg.Fault.StragglerRanks() {
+				allowed[id] = true
+			}
+			for _, id := range res.Suspects {
+				if !allowed[id] {
+					return nil, fail("healthy rank %d suspected (lag %.3f); only %v are degraded",
+						id, w.ComputeLag(id), cfg.Fault.SlowRanks())
+				}
+			}
+		}
+		base, herr := healthyElapsed(o)
+		if herr != nil {
+			return nil, fail("healthy twin: %v", herr)
+		}
+		bound := slowdownBound(cfg.Fault, cfg.Power.FMaxGHz/cfg.Power.FMinGHz)
+		limit := simtime.Duration(float64(base)*bound) + simtime.Millisecond
+		if elapsed > limit {
+			return nil, fail("bounded slowdown violated: %v > %v (healthy %v × %.1f + 1ms)",
+				elapsed, limit, base, bound)
+		}
+	}
+	return export(res)
+}
+
+// healthyElapsed runs the same job shape with no faults attached and
+// returns its completion time — the baseline of the bounded-slowdown
+// invariant. Detection stays disarmed, which is itself part of the
+// contract: the healthy twin exercises the historical zero-overhead path.
+func healthyElapsed(o Options) (simtime.Duration, error) {
+	cfg := mpi.DefaultConfig()
+	cfg.NProcs = o.Procs
+	cfg.PPN = o.PPN
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	w.Launch(func(r *mpi.Rank) {
+		c := mpi.CommWorld(r)
+		for it := 0; it < o.Iters; it++ {
+			_, fc, err := collective.AllreduceSumFT(c, o.Bytes, float64(r.ID()+1),
+				collective.Options{Power: collective.FreqScaling})
+			if err != nil {
+				panic(err)
+			}
+			c = fc
+		}
+	})
+	return w.Run()
 }

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 )
 
@@ -138,6 +139,91 @@ func TestChaosCorruptReplayDeterministic(t *testing.T) {
 	}
 }
 
+// The fail-slow generator is a pure function of the seed and never
+// schedules anything fatal: gray failures only, so the full group must
+// always complete.
+func TestGenSpecSlowDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := GenSpecSlow(seed, 8, 8)
+		if b := GenSpecSlow(seed, 8, 8); a.String() != b.String() {
+			t.Fatalf("seed %d: %q vs %q", seed, a, b)
+		}
+		if len(a.Crashes) != 0 || len(a.LinkFaults) != 0 {
+			t.Fatalf("seed %d: fail-slow spec schedules fatal faults: %s", seed, a)
+		}
+		if len(a.Slows) < 1 || len(a.Slows) > 2 {
+			t.Fatalf("seed %d: %d slow windows, want 1-2", seed, len(a.Slows))
+		}
+		for _, sl := range a.Slows {
+			if sl.Factor < 2 || sl.Factor > 8 {
+				t.Fatalf("seed %d: slow factor %g outside [2,8]", seed, sl.Factor)
+			}
+		}
+		if a.StickFailProb < 0 || a.StickFailProb >= 1 {
+			t.Fatalf("seed %d: stickfail %g outside [0,1)", seed, a.StickFailProb)
+		}
+	}
+}
+
+// The fail-slow campaign, swept: every seed must complete with the whole
+// group, the right sum, bounded slowdown against its healthy twin, power
+// restored, and no healthy rank suspected. The sweep must also actually
+// exercise the detector — a campaign where nothing is ever suspected
+// passes the invariants vacuously.
+func TestChaosFailSlowSeedSweep(t *testing.T) {
+	suspected, stuck := 0, 0
+	for seed := uint64(0); seed < 32; seed++ {
+		res, err := Run(Options{Seed: seed, FailSlow: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("seed %d: fail-slow run returned error outcome %v", seed, res.Err)
+		}
+		if len(res.Suspects) > 0 {
+			suspected++
+		}
+		if bytes.Contains(res.Metrics, []byte("fault.power.transitions_lost")) {
+			stuck++
+		}
+	}
+	if suspected == 0 {
+		t.Fatal("no fail-slow seed produced a suspect — detection inert")
+	}
+	if stuck == 0 {
+		t.Fatal("no fail-slow seed lost a transition write — stickfail inert")
+	}
+	t.Logf("fail-slow sweep: %d/32 seeds with suspects, %d with lost transitions", suspected, stuck)
+}
+
+// Fail-slow runs replay byte-identically, elapsed time and suspect set
+// included — detection and demotion are deterministic bookkeeping, not
+// new sources of divergence.
+func TestChaosFailSlowReplayDeterministic(t *testing.T) {
+	for _, seed := range []uint64{2, 9, 19} {
+		a, err := Run(Options{Seed: seed, FailSlow: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Options{Seed: seed, FailSlow: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Metrics, b.Metrics) {
+			t.Fatalf("seed %d: metrics exports differ between identical fail-slow runs", seed)
+		}
+		if !bytes.Equal(a.Trace, b.Trace) {
+			t.Fatalf("seed %d: trace exports differ between identical fail-slow runs", seed)
+		}
+		if a.Elapsed != b.Elapsed {
+			t.Fatalf("seed %d: elapsed differs: %v vs %v", seed, a.Elapsed, b.Elapsed)
+		}
+		if fmt.Sprint(a.Suspects) != fmt.Sprint(b.Suspects) {
+			t.Fatalf("seed %d: suspect sets differ: %v vs %v", seed, a.Suspects, b.Suspects)
+		}
+	}
+}
+
 // FuzzChaos is the chaos fuzzing entry point: go test -fuzz=FuzzChaos
 // explores the seed space; the checked-in corpus under testdata/fuzz
 // keeps the interesting schedules (multi-crash, crash+down-link overlap)
@@ -151,6 +237,9 @@ func FuzzChaos(f *testing.F) {
 			t.Fatal(err)
 		}
 		if _, err := Run(Options{Seed: seed, Corrupt: true}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(Options{Seed: seed, FailSlow: true}); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -118,6 +118,23 @@ type Straggler struct {
 	Slowdown float64
 }
 
+// Slow schedules a fail-slow window on one rank: between Start and
+// Start+Duration every CPU-bound call on the rank is stretched by Factor.
+// Unlike a Straggler (which is permanent and declared up front), a Slow
+// window models a gray failure that appears at runtime — a stuck T-state,
+// a thermally throttled core, a neighbor stealing memory bandwidth — and
+// is exactly what the fail-slow detection layer is meant to catch.
+type Slow struct {
+	// Rank is the global rank id.
+	Rank int
+	// Factor ≥ 1 stretches all clock-bound work during the window.
+	Factor float64
+	// Start is when the degradation begins.
+	Start simtime.Duration
+	// Duration is how long it lasts; the rank heals at Start+Duration.
+	Duration simtime.Duration
+}
+
 // Spec is a declarative fault schedule. The zero value injects nothing.
 type Spec struct {
 	// Seed drives every probabilistic decision. Two runs with the same
@@ -168,6 +185,9 @@ type Spec struct {
 	// jitter of ±ComputeJitter to straggler work.
 	ComputeJitter float64
 
+	// Slows schedules windowed fail-slow degradation (gray failures).
+	Slows []Slow
+
 	// PStateDelay / TStateDelay add hardware settle time to every DVFS /
 	// throttle transition (slow voltage regulators, firmware contention).
 	PStateDelay simtime.Duration
@@ -175,6 +195,13 @@ type Spec struct {
 	// StickProb in [0,1] is the chance a transition gets "stuck" and
 	// takes stickFactor× the configured extra delay.
 	StickProb float64
+	// StickFailProb in [0,1] is the chance a P-/T-state transition is
+	// silently lost after paying its settle time: the write never reaches
+	// the core, which keeps running at its previous state. This is the
+	// power-management gray failure that RecoverPower-style bounded
+	// retries exist to fix — the rank is alive but stuck slow until the
+	// transition is re-issued.
+	StickFailProb float64
 
 	// RetryBudget bounds retransmit attempts per message, mirroring the
 	// 3-bit IB RC Retry Count. Zero selects DefaultRetryBudget; it must
@@ -221,7 +248,8 @@ func (s *Spec) Active() bool {
 	}
 	return s.anyLoss() || s.anyCorrupt() || len(s.MemBursts) > 0 ||
 		len(s.LinkFaults) > 0 || len(s.Crashes) > 0 ||
-		len(s.Stragglers) > 0 || s.PStateDelay > 0 || s.TStateDelay > 0
+		len(s.Stragglers) > 0 || len(s.Slows) > 0 ||
+		s.PStateDelay > 0 || s.TStateDelay > 0 || s.StickFailProb > 0
 }
 
 // Validate rejects out-of-range probabilities, negative degradation
@@ -239,7 +267,7 @@ func (s *Spec) Validate() error {
 		{"CTSLoss", s.CTSLoss}, {"DataLoss", s.DataLoss},
 		{"EagerCorrupt", s.EagerCorrupt}, {"RTSCorrupt", s.RTSCorrupt},
 		{"CTSCorrupt", s.CTSCorrupt}, {"DataCorrupt", s.DataCorrupt},
-		{"StickProb", s.StickProb},
+		{"StickProb", s.StickProb}, {"StickFailProb", s.StickFailProb},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("fault: %s %g outside [0,1]", p.name, p.v)
@@ -303,6 +331,23 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("fault: straggler rank %d slowdown %g below 1", st.Rank, st.Slowdown)
 		}
 	}
+	for _, sl := range s.Slows {
+		if sl.Rank < 0 {
+			return fmt.Errorf("fault: slow rank %d is negative", sl.Rank)
+		}
+		if sl.Factor < 1 {
+			return fmt.Errorf("fault: slow window on rank %d has factor %g below 1 (1 is a no-op, use a larger factor)",
+				sl.Rank, sl.Factor)
+		}
+		if sl.Start < 0 {
+			return fmt.Errorf("fault: slow window on rank %d starts at negative time %v",
+				sl.Rank, sl.Start)
+		}
+		if sl.Duration <= 0 {
+			return fmt.Errorf("fault: slow window on rank %d has non-positive duration %v",
+				sl.Rank, sl.Duration)
+		}
+	}
 	if s.PStateDelay < 0 || s.TStateDelay < 0 {
 		return fmt.Errorf("fault: negative power transition delay")
 	}
@@ -338,19 +383,24 @@ func (s *Spec) Validate() error {
 //	detect=200us                   failure-detection (heartbeat) timeout
 //	straggler=3@1.5                rank 3 runs 1.5x slower
 //	jitter=0.2                     ±20% per-call jitter on stragglers
+//	slow=3@8x:10ms+50ms            rank 3 fails slow: 8x degradation from
+//	                               10ms for 50ms (the x suffix is optional)
 //	pdelay=50us tdelay=20us        extra P-/T-state transition settle time
 //	stick=0.1                      chance a transition sticks (10x delay)
+//	stickfail=0.1                  chance a transition is silently lost
 //	retry=7                        retransmit budget (IB RC Retry Count)
 //	acktimeout=100us               base retransmission timeout
 //
-// degrade, linkdown, crash, straggler and memburst may repeat, with two
+// degrade, linkdown, crash, straggler, memburst and slow may repeat, with
 // guards against operator mistakes: repeating crash= for one rank is an
-// error (a typo would otherwise silently pick the earliest time), and two
-// degrade/linkdown windows on the same link — or two memburst windows on
-// the same rank — must not overlap. Every scalar clause (seed, the
-// probabilities, timeouts, …) may appear at most once; the blanket
-// msgloss/corrupt clauses plus their per-class overrides still compose
-// because they are distinct keys. Durations use Go syntax (ns, us, ms, s).
+// error (a typo would otherwise silently pick the earliest time), two
+// degrade/linkdown windows on the same link — or two memburst or slow
+// windows on the same rank — must not overlap, and a slow window that
+// opens at or after the same rank's crash time is rejected (the dead rank
+// could never exhibit it). Every scalar clause (seed, the probabilities,
+// timeouts, …) may appear at most once; the blanket msgloss/corrupt
+// clauses plus their per-class overrides still compose because they are
+// distinct keys. Durations use Go syntax (ns, us, ms, s).
 func Parse(src string) (*Spec, error) {
 	s := &Spec{Seed: 1}
 	retrySet := false
@@ -368,7 +418,7 @@ func Parse(src string) (*Spec, error) {
 		key = strings.ToLower(strings.TrimSpace(key))
 		val = strings.TrimSpace(val)
 		switch key {
-		case "degrade", "linkdown", "crash", "straggler", "memburst":
+		case "degrade", "linkdown", "crash", "straggler", "memburst", "slow":
 			// Repeatable schedule clauses; cross-checked below.
 		default:
 			if seen[key] {
@@ -451,6 +501,12 @@ func Parse(src string) (*Spec, error) {
 			s.Stragglers = append(s.Stragglers, st)
 		case "jitter":
 			s.ComputeJitter, err = strconv.ParseFloat(val, 64)
+		case "slow":
+			var sl Slow
+			sl, err = parseSlow(val)
+			s.Slows = append(s.Slows, sl)
+		case "stickfail":
+			s.StickFailProb, err = parseProb(val)
 		case "pdelay":
 			s.PStateDelay, err = parseDur(val)
 		case "tdelay":
@@ -479,6 +535,12 @@ func Parse(src string) (*Spec, error) {
 		return nil, err
 	}
 	if err := checkBurstWindows(s.MemBursts); err != nil {
+		return nil, err
+	}
+	if err := checkSlowWindows(s.Slows); err != nil {
+		return nil, err
+	}
+	if err := checkSlowCrash(s.Slows, s.CrashSchedule()); err != nil {
 		return nil, err
 	}
 	if err := s.Validate(); err != nil {
@@ -530,6 +592,49 @@ func checkBurstWindows(mbs []MemBurst) error {
 					who, durStr(prev.Start), durStr(prev.Duration),
 					durStr(cur.Start), durStr(cur.Duration))
 			}
+		}
+	}
+	return nil
+}
+
+// checkSlowWindows rejects overlapping slow windows on the same rank: the
+// overlap region would silently apply only the larger factor, which is
+// never what the operator meant.
+func checkSlowWindows(sls []Slow) error {
+	byRank := map[int][]Slow{}
+	for _, sl := range sls {
+		byRank[sl.Rank] = append(byRank[sl.Rank], sl)
+	}
+	for rank, ws := range byRank {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+		for i := 1; i < len(ws); i++ {
+			prev, cur := ws[i-1], ws[i]
+			if cur.Start < prev.Start+prev.Duration {
+				return fmt.Errorf("fault: slow windows on rank %d overlap: %s+%s and %s+%s",
+					rank, durStr(prev.Start), durStr(prev.Duration),
+					durStr(cur.Start), durStr(cur.Duration))
+			}
+		}
+	}
+	return nil
+}
+
+// checkSlowCrash rejects a slow window that opens at or after the same
+// rank's crash time: the rank is dead before the degradation could ever be
+// observed, so the clause is a likely typo. A crash *during* an open
+// window is allowed — a rank may well limp before it dies.
+func checkSlowCrash(sls []Slow, crashes []Crash) error {
+	if len(sls) == 0 || len(crashes) == 0 {
+		return nil
+	}
+	crashAt := map[int]simtime.Duration{}
+	for _, cr := range crashes {
+		crashAt[cr.Rank] = cr.At
+	}
+	for _, sl := range sls {
+		if at, dead := crashAt[sl.Rank]; dead && sl.Start >= at {
+			return fmt.Errorf("fault: slow window on rank %d opens at %s but the rank crashes at %s (window is unobservable)",
+				sl.Rank, durStr(sl.Start), durStr(at))
 		}
 	}
 	return nil
@@ -588,6 +693,40 @@ func parseMemBurst(v string) (MemBurst, error) {
 		return mb, err
 	}
 	return mb, nil
+}
+
+// parseSlow reads RANK@FACTOR:START+DUR where FACTOR may carry an x
+// suffix (slow=3@8x:10ms+50ms reads naturally as "8x slower").
+func parseSlow(v string) (Slow, error) {
+	sl := Slow{}
+	head, window, ok := strings.Cut(v, ":")
+	if !ok {
+		return sl, fmt.Errorf("missing :START+DUR window in %q", v)
+	}
+	rank, factor, ok := strings.Cut(head, "@")
+	if !ok {
+		return sl, fmt.Errorf("missing @FACTOR in %q", v)
+	}
+	r, err := strconv.Atoi(rank)
+	if err != nil {
+		return sl, err
+	}
+	sl.Rank = r
+	factor = strings.TrimSuffix(factor, "x")
+	if sl.Factor, err = strconv.ParseFloat(factor, 64); err != nil {
+		return sl, err
+	}
+	start, dur, ok := strings.Cut(window, "+")
+	if !ok {
+		return sl, fmt.Errorf("window %q is not START+DUR", window)
+	}
+	if sl.Start, err = parseDur(start); err != nil {
+		return sl, err
+	}
+	if sl.Duration, err = parseDur(dur); err != nil {
+		return sl, err
+	}
+	return sl, nil
 }
 
 // parseLinkFault reads LINK@FACTOR:START+DUR (degrade) or LINK:START+DUR
@@ -687,6 +826,9 @@ func (s *Spec) String() string {
 	if s.ComputeJitter > 0 {
 		add("jitter=%g", s.ComputeJitter)
 	}
+	for _, sl := range s.Slows {
+		add("slow=%d@%gx:%s+%s", sl.Rank, sl.Factor, durStr(sl.Start), durStr(sl.Duration))
+	}
 	if s.PStateDelay > 0 {
 		add("pdelay=%s", durStr(s.PStateDelay))
 	}
@@ -695,6 +837,9 @@ func (s *Spec) String() string {
 	}
 	if s.StickProb > 0 {
 		add("stick=%g", s.StickProb)
+	}
+	if s.StickFailProb > 0 {
+		add("stickfail=%g", s.StickFailProb)
 	}
 	if s.RetryBudget > 0 {
 		add("retry=%d", s.RetryBudget)
@@ -739,6 +884,26 @@ func (s *Spec) Detect() simtime.Duration {
 		return DefaultDetectTimeout
 	}
 	return s.DetectTimeout
+}
+
+// SlowRanks returns the ranks with at least one fail-slow window,
+// ascending (deduplicated). These are the ranks detection should be able
+// to implicate; together with StragglerRanks they form the a-priori
+// suspect universe a test can check suspicion against.
+func (s *Spec) SlowRanks() []int {
+	if s == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, sl := range s.Slows {
+		if !seen[sl.Rank] {
+			seen[sl.Rank] = true
+			out = append(out, sl.Rank)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // StragglerRanks returns the straggler ranks ascending (deduplicated).

@@ -33,6 +33,11 @@ type Injector struct {
 	// burstAll / burstOf index the spec's MemBursts by target.
 	burstAll []MemBurst
 	burstOf  map[int][]MemBurst
+	// slowOf indexes the spec's fail-slow windows by rank.
+	slowOf map[int][]Slow
+	// sfSeq counts transition-loss decisions per core; it only advances
+	// when StickFailProb > 0, so specs without it stay bit-identical.
+	sfSeq map[int]uint64
 }
 
 // NewInjector builds an injector for a validated spec. A nil spec returns
@@ -49,6 +54,8 @@ func NewInjector(spec *Spec) *Injector {
 		tSeq:      map[int]uint64{},
 		memSeq:    map[int]uint64{},
 		burstOf:   map[int][]MemBurst{},
+		slowOf:    map[int][]Slow{},
+		sfSeq:     map[int]uint64{},
 	}
 	for _, st := range spec.Stragglers {
 		if st.Slowdown > in.straggler[st.Rank] {
@@ -61,6 +68,9 @@ func NewInjector(spec *Spec) *Injector {
 		} else {
 			in.burstOf[mb.Rank] = append(in.burstOf[mb.Rank], mb)
 		}
+	}
+	for _, sl := range spec.Slows {
+		in.slowOf[sl.Rank] = append(in.slowOf[sl.Rank], sl)
 	}
 	return in
 }
@@ -99,13 +109,14 @@ func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
 
 // Salts separating decision families.
 const (
-	saltDrop    = 0xd309
-	saltJitter  = 0x5177e3
-	saltPState  = 0x9057a7e
-	saltTState  = 0x7057a7e
-	saltStick   = 0x5710c
-	saltCorrupt = 0xc0bb1e
-	saltMem     = 0x3a11d
+	saltDrop      = 0xd309
+	saltJitter    = 0x5177e3
+	saltPState    = 0x9057a7e
+	saltTState    = 0x7057a7e
+	saltStick     = 0x5710c
+	saltStickFail = 0x57f411
+	saltCorrupt   = 0xc0bb1e
+	saltMem       = 0x3a11d
 )
 
 // lossProb returns the drop probability of a message class.
@@ -278,6 +289,54 @@ func (in *Injector) ComputeScale(rank int) float64 {
 		}
 	}
 	return slow
+}
+
+// HasSlow reports whether the rank has any scheduled fail-slow window.
+// Healthy ranks answer with one nil test and one map probe, so wiring the
+// check into the compute path costs nothing when the feature is off.
+func (in *Injector) HasSlow(rank int) bool {
+	if in == nil || len(in.slowOf) == 0 {
+		return false
+	}
+	return len(in.slowOf[rank]) > 0
+}
+
+// SlowScale returns the fail-slow stretch factor of one CPU-bound call on
+// the given rank at elapsed virtual time now: exactly 1 outside every
+// window (no float perturbation), the largest covering Factor inside one.
+// Unlike ComputeScale it is a pure function of (rank, now) with no
+// per-call counter — the degradation is scheduled, not probabilistic — so
+// consulting it never perturbs other decision streams.
+func (in *Injector) SlowScale(rank int, now simtime.Duration) float64 {
+	if in == nil || len(in.slowOf) == 0 {
+		return 1
+	}
+	f := 1.0
+	for _, sl := range in.slowOf[rank] {
+		if now >= sl.Start && now < sl.Start+sl.Duration && sl.Factor > f {
+			f = sl.Factor
+		}
+	}
+	return f
+}
+
+// TransitionLost decides whether one P-state (dvfs) or T-state transition
+// on the given core is silently dropped after paying its settle time: the
+// state write never lands and the core keeps its previous operating point.
+// Each decision advances the core's own counter (only when the feature is
+// armed), so a retry of the same logical transition is a fresh coin and
+// bounded re-issue eventually wins.
+func (in *Injector) TransitionLost(core int, dvfs bool) bool {
+	if in == nil || in.spec.StickFailProb <= 0 {
+		return false
+	}
+	n := in.sfSeq[core]
+	in.sfSeq[core] = n + 1
+	kind := uint64(0)
+	if dvfs {
+		kind = 1
+	}
+	return u01(in.hash(saltStickFail, uint64(core), kind, n)) < in.spec.StickFailProb
 }
 
 // PStateExtra returns the extra settle time of the next DVFS transition on

@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pacc/internal/simtime"
+)
+
+func TestParseSlowSpec(t *testing.T) {
+	s, err := Parse("seed=9;slow=3@8x:10ms+50ms;slow=5@2:1ms+2ms;stickfail=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Slow{
+		{Rank: 3, Factor: 8, Start: 10 * simtime.Millisecond, Duration: 50 * simtime.Millisecond},
+		{Rank: 5, Factor: 2, Start: simtime.Millisecond, Duration: 2 * simtime.Millisecond},
+	}
+	if !reflect.DeepEqual(s.Slows, want) {
+		t.Fatalf("parsed slows\n%+v\nwant\n%+v", s.Slows, want)
+	}
+	if s.StickFailProb != 0.2 {
+		t.Fatalf("StickFailProb = %g, want 0.2", s.StickFailProb)
+	}
+	if !s.Active() {
+		t.Error("spec with slow windows should be active")
+	}
+	if got := s.SlowRanks(); !reflect.DeepEqual(got, []int{3, 5}) {
+		t.Errorf("SlowRanks = %v, want [3 5]", got)
+	}
+}
+
+// The slow= parser rejects every malformed or self-contradictory clause
+// combination with an error naming the problem.
+func TestParseSlowErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring the error must contain
+	}{
+		{"slow=3", "missing :START+DUR"},
+		{"slow=3:1ms+1ms", "missing @FACTOR"},
+		{"slow=x@2:1ms+1ms", "invalid syntax"},
+		{"slow=3@2:1ms", "not START+DUR"},
+		{"slow=3@2:oops+1ms", "time: "},
+		{"slow=3@2:1ms+oops", "time: "},
+		{"slow=-1@2:1ms+1ms", "negative"},
+		{"slow=3@0x:1ms+1ms", "below 1"},
+		{"slow=3@0.5:1ms+1ms", "below 1"},
+		{"slow=3@2:-1ms+1ms", "negative time"},
+		{"slow=3@2:1ms+0s", "non-positive duration"},
+		// Duplicate (fully coincident) and partially overlapping windows
+		// on one rank are operator mistakes; adjacent or distinct-rank
+		// windows are fine (checked in the good cases below).
+		{"slow=3@2:1ms+1ms;slow=3@2:1ms+1ms", "overlap"},
+		{"slow=3@2:1ms+5ms;slow=3@4:3ms+1ms", "overlap"},
+		// A window opening at or after the rank's crash is unobservable.
+		{"slow=3@2:5ms+1ms;crash=3@5ms", "unobservable"},
+		{"slow=3@2:5ms+1ms;crash=3@2ms", "unobservable"},
+		// stickfail is a scalar clause: once, and a probability.
+		{"stickfail=0.1;stickfail=0.2", "duplicate"},
+		{"stickfail=1.5", "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", tc.src, err, tc.want)
+		}
+	}
+	good := []string{
+		"slow=3@2:1ms+1ms;slow=3@4:2ms+1ms", // adjacent windows touch, no overlap
+		"slow=3@2:1ms+1ms;slow=4@2:1ms+1ms", // same window, different ranks
+		"slow=3@2:1ms+10ms;crash=3@5ms",     // crash mid-window: limp then die
+		"slow=3@8x:10ms+50ms;straggler=3@2", // slow composes with straggler
+	}
+	for _, src := range good {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestSlowStringRoundTrip(t *testing.T) {
+	src := "seed=3;slow=1@2x:1ms+2ms;slow=4@8x:10ms+50ms;stickfail=0.1;retry=7;acktimeout=100us"
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("Parse(String()) = %q: %v", s.String(), err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip changed the spec:\n%+v\n%+v", s, back)
+	}
+}
+
+// SlowScale is exactly 1 outside every window (bit-identity), the largest
+// covering factor inside one, and a pure function — no per-call state.
+func TestSlowScale(t *testing.T) {
+	spec := &Spec{Seed: 1, Slows: []Slow{
+		{Rank: 3, Factor: 8, Start: 10 * simtime.Millisecond, Duration: 50 * simtime.Millisecond},
+		{Rank: 5, Factor: 2, Start: 0, Duration: simtime.Millisecond},
+	}}
+	in := NewInjector(spec)
+	cases := []struct {
+		rank int
+		at   simtime.Duration
+		want float64
+	}{
+		{3, 0, 1},
+		{3, 10 * simtime.Millisecond, 8}, // inclusive start
+		{3, 59*simtime.Millisecond + 999*simtime.Microsecond, 8}, // last instant
+		{3, 60 * simtime.Millisecond, 1},                         // exclusive end
+		{5, 0, 2},
+		{5, simtime.Millisecond, 1},
+		{0, 10 * simtime.Millisecond, 1}, // healthy rank, any time
+	}
+	for _, tc := range cases {
+		if got := in.SlowScale(tc.rank, tc.at); got != tc.want {
+			t.Errorf("SlowScale(%d, %v) = %g, want %g", tc.rank, tc.at, got, tc.want)
+		}
+		// Pure: asking twice answers the same.
+		if got := in.SlowScale(tc.rank, tc.at); got != tc.want {
+			t.Errorf("second SlowScale(%d, %v) = %g, want %g", tc.rank, tc.at, got, tc.want)
+		}
+	}
+	if !in.HasSlow(3) || !in.HasSlow(5) || in.HasSlow(0) {
+		t.Error("HasSlow misreports the slow-rank set")
+	}
+	var nilIn *Injector
+	if nilIn.SlowScale(3, 0) != 1 || nilIn.HasSlow(3) {
+		t.Error("nil injector must report healthy")
+	}
+}
+
+// TransitionLost is deterministic per (seed, core, kind, sequence), only
+// advances state when armed, and a bounded retry eventually lands a
+// transition (the coin is fresh per attempt).
+func TestTransitionLost(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.TransitionLost(0, true) {
+		t.Fatal("nil injector lost a transition")
+	}
+	off := NewInjector(&Spec{Seed: 1})
+	for i := 0; i < 4; i++ {
+		if off.TransitionLost(0, true) {
+			t.Fatal("disarmed injector lost a transition")
+		}
+	}
+	if len(off.sfSeq) != 0 {
+		t.Fatal("disarmed TransitionLost advanced per-core state")
+	}
+
+	spec := &Spec{Seed: 42, StickFailProb: 0.5}
+	a, b := NewInjector(spec), NewInjector(spec)
+	lost, n := 0, 64
+	for i := 0; i < n; i++ {
+		la := a.TransitionLost(1, true)
+		if lb := b.TransitionLost(1, true); la != lb {
+			t.Fatalf("decision %d diverged between identical injectors", i)
+		}
+		if la {
+			lost++
+		}
+	}
+	if lost == 0 || lost == n {
+		t.Fatalf("p=0.5 over %d draws lost %d transitions — coin looks rigged", n, lost)
+	}
+	// Certain loss really is certain; a retry budget can still bound the
+	// caller because the caller observes the stale state and gives up.
+	sure := NewInjector(&Spec{Seed: 7, StickFailProb: 1})
+	if !sure.TransitionLost(2, false) {
+		t.Error("p=1 kept a transition")
+	}
+}

@@ -97,6 +97,24 @@ type Config struct {
 	// retransmission, straggler ranks, and slow P/T-state transitions.
 	// Nil (the default) runs the happy path with zero overhead.
 	Fault *fault.Spec
+	// FailSlowDetect arms the gray-failure detection layer (per-rank
+	// progress scoreboards and compute-lag EWMAs; see scoreboard.go) even
+	// without a fault spec. It is armed automatically when the fault spec
+	// schedules slow= windows or stickfail= transition loss. Detection is
+	// pure bookkeeping — piggybacked beacons and ratio accounting — so
+	// arming it does not change simulated timing.
+	FailSlowDetect bool
+	// SuspectThreshold is the smoothed compute-lag factor at or above
+	// which a rank is suspected as fail-slow. Zero selects
+	// DefaultSuspectThreshold; values in (0,1] are invalid (lag 1 is
+	// healthy by definition).
+	SuspectThreshold float64
+	// WatchdogTimeout, when positive, arms the engine's no-progress
+	// watchdog: if virtual time advances this far beyond the last message
+	// delivery, the run aborts with a structured diagnostic dump (blocked
+	// ranks, per-rank progress and lag, open trace spans) instead of
+	// grinding in a livelock.
+	WatchdogTimeout simtime.Duration
 }
 
 // DefaultConfig returns a job shaped like the paper's testbed runs:
@@ -171,6 +189,19 @@ func (c Config) Validate() error {
 					cr.Rank, c.NProcs)
 			}
 		}
+		for _, sl := range c.Fault.Slows {
+			if sl.Rank >= c.NProcs {
+				return fmt.Errorf("mpi: fault slow rank %d outside job of %d ranks",
+					sl.Rank, c.NProcs)
+			}
+		}
+	}
+	if c.SuspectThreshold != 0 && c.SuspectThreshold <= 1 {
+		return fmt.Errorf("mpi: SuspectThreshold %g must exceed 1 (lag 1 is healthy)",
+			c.SuspectThreshold)
+	}
+	if c.WatchdogTimeout < 0 {
+		return fmt.Errorf("mpi: negative WatchdogTimeout")
 	}
 	return nil
 }

@@ -1,0 +1,333 @@
+package mpi
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pacc/internal/fault"
+	"pacc/internal/power"
+	"pacc/internal/simtime"
+)
+
+// computeAndChat is a small SPMD workload that mixes per-rank compute with
+// a neighbor ring exchange: enough lag samples to cross the suspicion
+// sample floor, enough traffic to tick progress beacons.
+func computeAndChat(iters int) func(r *Rank) {
+	return func(r *Rank) {
+		p := r.World().Size()
+		next, prev := (r.ID()+1)%p, (r.ID()+p-1)%p
+		for i := 0; i < iters; i++ {
+			r.Compute(10 * simtime.Microsecond)
+			if err := r.SendRecv(next, 512, prev, 512, 100+i); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// A rank inside an injected fail-slow window must be suspected; its
+// healthy peers must not be, even though they wait on it every iteration.
+func TestSlowWindowDetection(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault = &fault.Spec{Slows: []fault.Slow{
+		{Rank: 1, Factor: 4, Start: 0, Duration: 100 * simtime.Millisecond},
+	}}
+	w := mustWorld(t, cfg)
+	if !w.FailSlowArmed() {
+		t.Fatal("slow= clause must arm detection")
+	}
+	w.Launch(computeAndChat(8))
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SuspectedRanks(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("SuspectedRanks = %v, want [1]", got)
+	}
+	if lag := w.ComputeLag(1); lag < DefaultSuspectThreshold {
+		t.Fatalf("slow rank lag %.3f below threshold %.3f", lag, DefaultSuspectThreshold)
+	}
+	for _, id := range []int{0, 2, 3} {
+		if lag := w.ComputeLag(id); lag != 1 {
+			t.Fatalf("healthy rank %d accrued lag %.3f; waits must not feed the EWMA", id, lag)
+		}
+	}
+	for id := 0; id < cfg.NProcs; id++ {
+		if w.ProgressBeats(id) == 0 {
+			t.Fatalf("rank %d produced no progress beacons despite messaging", id)
+		}
+	}
+}
+
+// Pure wait imbalance — one rank legitimately computing for long while the
+// others idle at their receives — must produce zero suspects: waiting is
+// not lagging.
+func TestPureWaitImbalanceNoSuspects(t *testing.T) {
+	cfg := testConfig()
+	cfg.FailSlowDetect = true
+	w := mustWorld(t, cfg)
+	w.Launch(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Compute(5 * simtime.Millisecond) // heavy but healthy
+			for dst := 1; dst < r.World().Size(); dst++ {
+				if err := r.Send(dst, 256, 9); err != nil {
+					panic(err)
+				}
+			}
+			return
+		}
+		if err := r.Recv(0, 256, 9); err != nil {
+			panic(err)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SuspectedRanks(); len(got) != 0 {
+		t.Fatalf("SuspectedRanks = %v, want none under pure wait imbalance", got)
+	}
+	for id := 0; id < cfg.NProcs; id++ {
+		if lag := w.ComputeLag(id); lag != 1 {
+			t.Fatalf("rank %d lag %.3f, want exactly 1", id, lag)
+		}
+	}
+}
+
+// Stragglers alone must not arm detection: their seeds and timings predate
+// the scoreboard and stay byte-identical.
+func TestStragglersDoNotArmDetection(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault = &fault.Spec{Stragglers: []fault.Straggler{{Rank: 1, Slowdown: 2}}}
+	w := mustWorld(t, cfg)
+	if w.FailSlowArmed() {
+		t.Fatal("straggler-only spec must not arm detection")
+	}
+}
+
+// Arming detection must not move simulated time: the scoreboard is
+// bookkeeping only.
+func TestDetectionZeroTimingOverhead(t *testing.T) {
+	run := func(detect bool) simtime.Duration {
+		cfg := testConfig()
+		cfg.FailSlowDetect = detect
+		w := mustWorld(t, cfg)
+		w.Launch(computeAndChat(6))
+		el, err := w.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return el
+	}
+	if plain, armed := run(false), run(true); plain != armed {
+		t.Fatalf("detection changed elapsed time: %v (off) vs %v (on)", plain, armed)
+	}
+}
+
+// Every member of a census must return the identical suspect set, read
+// once at agreement resolution.
+func TestAgreeSuspectsIdentical(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault = &fault.Spec{Slows: []fault.Slow{
+		{Rank: 2, Factor: 8, Start: 0, Duration: 100 * simtime.Millisecond},
+	}}
+	w := mustWorld(t, cfg)
+	censuses := make([][]int, cfg.NProcs)
+	w.Launch(func(r *Rank) {
+		computeAndChat(8)(r)
+		censuses[r.ID()] = CommWorld(r).AgreeSuspects()
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id, got := range censuses {
+		if !reflect.DeepEqual(got, []int{2}) {
+			t.Fatalf("rank %d census = %v, want [2]", id, got)
+		}
+	}
+}
+
+// With detection disarmed AgreeSuspects still agrees (congruence) and
+// returns nil on every member.
+func TestAgreeSuspectsDisarmed(t *testing.T) {
+	cfg := testConfig()
+	w := mustWorld(t, cfg)
+	censuses := make([][]int, cfg.NProcs)
+	w.Launch(func(r *Rank) {
+		censuses[r.ID()] = CommWorld(r).AgreeSuspects()
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id, got := range censuses {
+		if got != nil {
+			t.Fatalf("rank %d census = %v, want nil with detection disarmed", id, got)
+		}
+	}
+}
+
+// A lost power-transition write (stickfail=) leaves the core stuck while
+// the rank's intent moves on; the resulting power lag feeds the
+// scoreboard and the rank is suspected without any slow= window. The
+// scenario: the throttle-down to T4 lands, the un-throttle back to T0 is
+// lost, so the rank runs at roughly half speed believing itself healthy.
+func TestStickfailDetectedAsPowerLag(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault = &fault.Spec{StickFailProb: 0.5}
+	w := mustWorld(t, cfg)
+	w.Launch(func(r *Rank) {
+		if r.ID() == 1 {
+			provoked := false
+			for i := 0; i < 64 && !provoked; i++ {
+				r.SetThrottle(power.T4)
+				if !r.PowerSynced() {
+					continue // the throttle-down itself was lost; retry
+				}
+				r.SetThrottle(power.T0)
+				provoked = !r.PowerSynced()
+			}
+			if !provoked {
+				panic("could not provoke a stuck un-throttle at p=0.5")
+			}
+		}
+		computeAndChat(8)(r)
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SuspectedRanks(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("SuspectedRanks = %v, want [1] (lag %.3f)", got, w.ComputeLag(1))
+	}
+	if w.Rank(1).PowerSynced() {
+		t.Fatal("rank 1 must still be desynced at exit (the un-throttle was lost)")
+	}
+}
+
+// RecoverPower re-issues a stuck transition until the write lands; with
+// loss probability 0.5 a 64-attempt budget heals deterministically, and
+// with probability 1 it reports failure without looping forever.
+func TestRecoverPower(t *testing.T) {
+	t.Run("heals", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.Fault = &fault.Spec{StickFailProb: 0.5}
+		w := mustWorld(t, cfg)
+		var healed, wasDesynced bool
+		w.Launch(func(r *Rank) {
+			if r.ID() != 0 {
+				return
+			}
+			for !wasDesynced { // force at least one lost write
+				r.ScaleDown()
+				if !r.PowerSynced() {
+					wasDesynced = true
+				} else {
+					r.ScaleUp()
+				}
+			}
+			healed = r.RecoverPower(64)
+		})
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !wasDesynced {
+			t.Fatal("never observed a lost write at p=0.5")
+		}
+		if !healed || !w.Rank(0).PowerSynced() {
+			t.Fatal("RecoverPower(64) failed to heal at p=0.5")
+		}
+	})
+	t.Run("bounded", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.Fault = &fault.Spec{StickFailProb: 1}
+		w := mustWorld(t, cfg)
+		var healed bool
+		w.Launch(func(r *Rank) {
+			if r.ID() != 0 {
+				return
+			}
+			r.ScaleDown()
+			if r.PowerSynced() {
+				panic("write must be lost at p=1")
+			}
+			healed = r.RecoverPower(0) // default bounded budget
+		})
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if healed || w.Rank(0).PowerSynced() {
+			t.Fatal("RecoverPower must report failure when every write is lost")
+		}
+	})
+	t.Run("noop when synced", func(t *testing.T) {
+		cfg := testConfig()
+		w := mustWorld(t, cfg)
+		var before, after simtime.Time
+		var ok bool
+		w.Launch(func(r *Rank) {
+			if r.ID() != 0 {
+				return
+			}
+			before = r.Now()
+			ok = r.RecoverPower(0)
+			after = r.Now()
+		})
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !ok || before != after {
+			t.Fatalf("RecoverPower on a synced rank must be a free no-op (ok=%v, %v→%v)",
+				ok, before, after)
+		}
+	})
+}
+
+// A lost throttle write desyncs too, and PowerSynced sees it.
+func TestStickfailThrottle(t *testing.T) {
+	cfg := testConfig()
+	cfg.Fault = &fault.Spec{StickFailProb: 1}
+	w := mustWorld(t, cfg)
+	w.Launch(func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		r.SetThrottle(power.T4)
+		if r.PowerSynced() {
+			panic("throttle write must be lost at p=1")
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The no-progress watchdog converts a silent stall into a structured
+// diagnostic error, and stays quiet while messages keep flowing.
+func TestWatchdog(t *testing.T) {
+	t.Run("fires on stall", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.FailSlowDetect = true
+		cfg.WatchdogTimeout = 100 * simtime.Microsecond
+		w := mustWorld(t, cfg)
+		w.Launch(func(r *Rank) {
+			if r.ID() == 0 {
+				r.Compute(50 * simtime.Millisecond) // way past the limit, no traffic
+			}
+		})
+		_, err := w.Run()
+		var we *simtime.WatchdogError
+		if !errors.As(err, &we) {
+			t.Fatalf("Run returned %v, want WatchdogError", err)
+		}
+		if we.Limit != cfg.WatchdogTimeout {
+			t.Fatalf("WatchdogError.Limit = %v, want %v", we.Limit, cfg.WatchdogTimeout)
+		}
+	})
+	t.Run("quiet under traffic", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.WatchdogTimeout = 10 * simtime.Millisecond
+		w := mustWorld(t, cfg)
+		w.Launch(computeAndChat(8))
+		if _, err := w.Run(); err != nil {
+			t.Fatalf("watchdog fired under healthy traffic: %v", err)
+		}
+	})
+}

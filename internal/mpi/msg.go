@@ -89,6 +89,9 @@ type mailbox struct {
 // deliver runs in event context when a message (eager payload or RTS)
 // reaches dst's node: match a posted receive or queue as unexpected.
 func (w *World) deliver(dst int, m *inMsg) {
+	// Every delivery is forward progress for the no-progress watchdog,
+	// including one that vanishes at a dead rank (the fabric moved data).
+	w.eng.Progress()
 	if w.isDead(dst) {
 		// Crash-stop: the dead rank's HCA is gone; the message vanishes
 		// instead of matching. Senders blocked on the outcome detect the
@@ -99,6 +102,9 @@ func (w *World) deliver(dst int, m *inMsg) {
 		w.putMsg(m)
 		return
 	}
+	// Progress beacon, piggybacked on a message that arrived anyway: a
+	// rank still receiving traffic is distinguishable from one wedged.
+	w.sb.beat(dst)
 	box := &w.ranks[dst].box
 	for i := 0; i < box.pending.len(); i++ {
 		pr := box.pending.at(i)
@@ -179,6 +185,10 @@ func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
 	}
 	r.sendSeq[dst]++
 	seq := r.sendSeq[dst]
+	// Send-side progress beacon (piggybacked — no extra message, no
+	// virtual time): initiating traffic is evidence the rank is alive
+	// and moving, whatever its speed.
+	w.sb.beat(r.id)
 
 	// Shared memory is only usable with polling progression (§II-B);
 	// blocking mode falls back to the HCA loopback, handled by the

@@ -31,14 +31,25 @@ type Rank struct {
 	wireBuf []float64
 	// track is this rank's timeline in the observability bus.
 	track obs.Track
+	// wantFreq / wantT are the power state this rank last *asked* for.
+	// They normally shadow the core's actual state; they diverge exactly
+	// when a transition write is silently lost (fault stickfail=), which
+	// is the signature of a power-management gray failure — the rank
+	// believes it runs at wantFreq while the core grinds at something
+	// slower. The fail-slow scoreboard measures lag against the intended
+	// state, and RecoverPower re-issues it.
+	wantFreq float64
+	wantT    power.TState
 }
 
 func newRank(w *World, id int, core *power.Core) *Rank {
 	return &Rank{
-		world: w,
-		id:    id,
-		core:  core,
-		track: obs.RankTrack(w.place.NodeOf(id), id),
+		world:    w,
+		id:       id,
+		core:     core,
+		track:    obs.RankTrack(w.place.NodeOf(id), id),
+		wantFreq: core.FreqGHz(),
+		wantT:    core.Throttle(),
 	}
 }
 
@@ -71,31 +82,71 @@ func (r *Rank) speed() float64 { return r.core.Speed() }
 // copySpeed is the core's effective speed for streaming memory work.
 func (r *Rank) copySpeed() float64 { return r.core.CopySpeed() }
 
+// computeStretch is the injected multiplicative slowdown of one
+// clock-bound call: the straggler factor (with jitter) times any covering
+// fail-slow window. Exactly 1 for healthy calls — no float perturbation —
+// and the slow-window lookup is skipped entirely for ranks with no
+// windows, so fault-free timing is bit-identical.
+func (r *Rank) computeStretch() float64 {
+	s := r.world.inj.ComputeScale(r.id)
+	if r.world.inj.HasSlow(r.id) {
+		s *= r.world.inj.SlowScale(r.id, simtime.Duration(r.proc.Now()))
+	}
+	return s
+}
+
+// powerLag is the slowdown the rank's *intended* power state does not
+// explain: intended-over-actual effective speed, 1 when the core is in
+// the state the rank asked for. It diverges from 1 exactly after a lost
+// transition write (fault stickfail=) — the measurable signature of a
+// power-management gray failure.
+func (r *Rank) powerLag() float64 {
+	if r.wantFreq == r.core.FreqGHz() && r.wantT == r.core.Throttle() {
+		return 1
+	}
+	want := r.world.cfg.Power.Speed(r.wantFreq, r.wantT)
+	got := r.speed()
+	if want <= 0 || got <= 0 {
+		return 1
+	}
+	return want / got
+}
+
 // busySleep advances time by d scaled up by the core's current slowdown.
 // The caller's core is busy throughout (ranks are busy by default). A
-// straggler rank (fault injection) stretches further by its jittered
-// slowdown; ComputeScale returns exactly 1 for healthy ranks, so the
-// multiply is skipped and fault-free timing is bit-identical.
+// straggler or fail-slow rank (fault injection) stretches further by its
+// injected stretch; the multiply is skipped when the stretch is exactly 1.
+// With fail-slow detection armed, the call also folds its observed/
+// expected ratio into the rank's scoreboard EWMA — bookkeeping only, no
+// virtual time.
 func (r *Rank) busySleep(d simtime.Duration) {
 	if d <= 0 {
 		return
 	}
 	sec := d.Seconds() / r.speed()
-	if s := r.world.inj.ComputeScale(r.id); s != 1 {
+	s := r.computeStretch()
+	if s != 1 {
 		sec *= s
+	}
+	if sb := r.world.sb; sb != nil {
+		sb.note(r.id, s*r.powerLag())
 	}
 	r.proc.Sleep(simtime.DurationOf(sec))
 }
 
 // copySleep advances time by d scaled by the streaming-copy slowdown
-// (and a straggler's jittered slowdown, as in busySleep).
+// (and the injected stretch, as in busySleep).
 func (r *Rank) copySleep(d simtime.Duration) {
 	if d <= 0 {
 		return
 	}
 	sec := d.Seconds() / r.copySpeed()
-	if s := r.world.inj.ComputeScale(r.id); s != 1 {
+	s := r.computeStretch()
+	if s != 1 {
 		sec *= s
+	}
+	if sb := r.world.sb; sb != nil {
+		sb.note(r.id, s*r.powerLag())
 	}
 	r.proc.Sleep(simtime.DurationOf(sec))
 }
@@ -181,11 +232,24 @@ func (r *Rank) await(f *simtime.Future, reason string, peer int) {
 // SetFreq performs one DVFS transition on this rank's core, paying the
 // model's Odvfs latency. The transition is hardware-paced (an MSR write
 // plus PLL settle), so it does not stretch with the core's own slowdown.
+// Under fault stickfail= the write may be silently lost after paying the
+// latency: the core keeps its old frequency while the rank's intended
+// state (wantFreq) moves on — see RecoverPower.
 func (r *Rank) SetFreq(ghz float64) {
-	if r.core.FreqGHz() == r.world.cfg.Power.ClampFreq(ghz) {
+	target := r.world.cfg.Power.ClampFreq(ghz)
+	r.wantFreq = target
+	if r.core.FreqGHz() == target {
 		return
 	}
 	r.transitionSleep(r.world.cfg.Power.ODVFS, true)
+	if r.world.inj.TransitionLost(r.core.ID(), true) {
+		if b := r.world.obs; b != nil {
+			b.Add(obs.CtrFaultTransitionsLost, 1)
+			b.Instant(r.track, fmt.Sprintf("dvfs write lost (want %.1fGHz, stuck at %.1fGHz)",
+				target, r.core.FreqGHz()), nil)
+		}
+		return
+	}
 	r.core.SetFreq(ghz)
 	if b := r.world.obs; b != nil {
 		b.Add(obs.CtrDVFSTransitions, 1)
@@ -201,18 +265,68 @@ func (r *Rank) ScaleDown() { r.SetFreq(r.world.cfg.Power.FMinGHz) }
 func (r *Rank) ScaleUp() { r.SetFreq(r.world.cfg.Power.FMaxGHz) }
 
 // SetThrottle performs one T-state transition, paying the hardware-paced
-// Othrottle latency.
+// Othrottle latency. Like SetFreq, the write may be silently lost under
+// fault stickfail=.
 func (r *Rank) SetThrottle(t power.TState) {
+	r.wantT = t
 	if r.core.Throttle() == t {
 		return
 	}
 	r.transitionSleep(r.world.cfg.Power.OThrottle, false)
+	if r.world.inj.TransitionLost(r.core.ID(), false) {
+		if b := r.world.obs; b != nil {
+			b.Add(obs.CtrFaultTransitionsLost, 1)
+			b.Instant(r.track, fmt.Sprintf("throttle write lost (want %v, stuck at %v)",
+				t, r.core.Throttle()), nil)
+		}
+		return
+	}
 	r.core.SetThrottle(t)
 	if b := r.world.obs; b != nil {
 		b.Add(obs.CtrThrottleTransitions, 1)
 		b.AddDuration(obs.DurThrottleOverhead, r.world.cfg.Power.OThrottle)
 		b.Instant(r.track, fmt.Sprintf("throttle %v", t), nil)
 	}
+}
+
+// PowerSynced reports whether the core is in the power state this rank
+// last asked for. It is false exactly while a lost transition write
+// (fault stickfail=) leaves the rank running degraded.
+func (r *Rank) PowerSynced() bool {
+	return r.core.FreqGHz() == r.wantFreq && r.core.Throttle() == r.wantT
+}
+
+// DefaultPowerRecoveryRetries bounds RecoverPower's re-issue attempts
+// when the caller passes attempts <= 0.
+const DefaultPowerRecoveryRetries = 3
+
+// RecoverPower re-issues the rank's intended P/T-state until the core
+// confirms it, paying the usual transition latency per attempt, bounded
+// by attempts (<= 0 selects DefaultPowerRecoveryRetries). It reports
+// whether the core ended in sync. This is the first-line fail-slow
+// mitigation: a rank whose only sickness is a lost DVFS/throttle write
+// heals here and never needs demotion.
+func (r *Rank) RecoverPower(attempts int) bool {
+	if r.PowerSynced() {
+		return true
+	}
+	if attempts <= 0 {
+		attempts = DefaultPowerRecoveryRetries
+	}
+	for i := 0; i < attempts && !r.PowerSynced(); i++ {
+		if r.core.FreqGHz() != r.wantFreq {
+			r.SetFreq(r.wantFreq)
+		}
+		if r.core.Throttle() != r.wantT {
+			r.SetThrottle(r.wantT)
+		}
+	}
+	ok := r.PowerSynced()
+	if b := r.world.obs; b != nil && ok {
+		b.Add(obs.CtrFaultPowerRecoveries, 1)
+		b.Instant(r.track, "power state recovered", nil)
+	}
+	return ok
 }
 
 // p2pScaleDown implements the PowerAwareP2P option: if enabled, the core

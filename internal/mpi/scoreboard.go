@@ -1,0 +1,139 @@
+package mpi
+
+import "sort"
+
+// This file is the gray-failure (fail-slow) detection layer: a per-rank
+// progress scoreboard that separates "slow because degraded" from "slow
+// because waiting", the COUNTDOWN-Slack distinction. Two signals feed it:
+//
+//   - Compute-lag samples. Every clock-bound call on a rank compares its
+//     observed duration against the duration its *intended* power state
+//     explains, and folds the ratio into a per-rank EWMA. A rank at fmin
+//     because a collective scaled it down is not lagging (the runtime knows
+//     the state it asked for); a rank at fmin because a DVFS write was
+//     silently lost, or one inside an injected fail-slow window, is. Waits
+//     never produce samples, so a rank idling at a barrier for a slow peer
+//     accrues no lag — pure wait imbalance yields zero suspects by
+//     construction.
+//
+//   - Progress beacons. Message initiations and deliveries tick per-rank
+//     beat counters (piggybacked on sends that happen anyway — no extra
+//     messages, no extra virtual time) and mark engine-level progress for
+//     the no-progress watchdog.
+//
+// The scoreboard is bookkeeping only: it costs zero virtual time and draws
+// no randomness, so arming it leaves simulated timing bit-identical. A nil
+// scoreboard (detection disarmed, the default) keeps the historical code
+// paths untouched, mirroring the nil *obs.Bus pattern.
+//
+// Scoreboard state is world-global, which a real implementation would
+// gossip; determinism is restored at the consensus step — Comm.AgreeSuspects
+// reads the board once, at agreement resolution, so every member receives
+// the identical suspect set (see ulfm.go).
+
+// DefaultSuspectThreshold is the EWMA lag factor at or above which a rank
+// is suspected when Config.SuspectThreshold is unset. Lag 1 is healthy;
+// transient jitter decays fast at the default smoothing, so 1.5 clears
+// real degradations (a stuck transition costs 2-8x) without tripping on
+// noise.
+const DefaultSuspectThreshold = 1.5
+
+// suspectAlpha is the EWMA smoothing weight of one compute-lag sample.
+const suspectAlpha = 0.25
+
+// minSuspectSamples is how many lag samples a rank must have produced
+// before it can be suspected: one outlier call is not a gray failure.
+const minSuspectSamples = 4
+
+// scoreboard holds the per-rank detection state. Ranks run one at a time
+// in event context, so plain slices are race-free and deterministic.
+type scoreboard struct {
+	// ewma is the smoothed compute-lag factor per rank (1 = healthy).
+	ewma []float64
+	// samples counts lag samples folded into each rank's EWMA.
+	samples []uint64
+	// beats counts progress beacons per rank.
+	beats []uint64
+	// threshold is the suspicion cutoff on the EWMA.
+	threshold float64
+}
+
+func newScoreboard(n int, threshold float64) *scoreboard {
+	sb := &scoreboard{
+		ewma:      make([]float64, n),
+		samples:   make([]uint64, n),
+		beats:     make([]uint64, n),
+		threshold: threshold,
+	}
+	for i := range sb.ewma {
+		sb.ewma[i] = 1
+	}
+	return sb
+}
+
+// note folds one compute-lag sample into the rank's EWMA. stretch is the
+// observed/expected duration ratio of one clock-bound call; exactly 1 for
+// a healthy call.
+func (sb *scoreboard) note(rank int, stretch float64) {
+	if sb == nil {
+		return
+	}
+	sb.ewma[rank] = (1-suspectAlpha)*sb.ewma[rank] + suspectAlpha*stretch
+	sb.samples[rank]++
+}
+
+// beat ticks the rank's progress counter.
+func (sb *scoreboard) beat(rank int) {
+	if sb == nil {
+		return
+	}
+	sb.beats[rank]++
+}
+
+// suspected reports whether the rank's smoothed lag crosses the threshold
+// (with enough samples to trust it).
+func (sb *scoreboard) suspected(rank int) bool {
+	return sb != nil && sb.samples[rank] >= minSuspectSamples &&
+		sb.ewma[rank] >= sb.threshold
+}
+
+// FailSlowArmed reports whether fail-slow detection is active for this
+// job (Config.FailSlowDetect, or a fault spec with slow= / stickfail=
+// clauses).
+func (w *World) FailSlowArmed() bool { return w.sb != nil }
+
+// ComputeLag returns the rank's smoothed compute-lag factor (1 when
+// healthy or when detection is disarmed).
+func (w *World) ComputeLag(rank int) float64 {
+	if w.sb == nil {
+		return 1
+	}
+	return w.sb.ewma[rank]
+}
+
+// ProgressBeats returns the rank's progress-beacon count (0 when
+// detection is disarmed).
+func (w *World) ProgressBeats(rank int) uint64 {
+	if w.sb == nil {
+		return 0
+	}
+	return w.sb.beats[rank]
+}
+
+// SuspectedRanks returns the global ids of currently suspected ranks,
+// ascending. This is the raw local view — racy against ongoing execution
+// in the SPMD sense; collectives must agree on a census through
+// Comm.AgreeSuspects before acting on it.
+func (w *World) SuspectedRanks() []int {
+	if w.sb == nil {
+		return nil
+	}
+	var out []int
+	for id := range w.ranks {
+		if w.sb.suspected(id) && !w.isDead(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

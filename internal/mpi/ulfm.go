@@ -52,8 +52,16 @@ type agreeState struct {
 	// died — e.g. an ABFT verification mismatch. Votes are all cast
 	// before resolution (every alive member must join), so readers after
 	// the await see the final value.
-	bad      bool
-	resolved bool
+	bad bool
+	// wantSuspects marks a census instance (AgreeSuspects): at resolution
+	// the world's fail-slow scoreboard is read once into suspectSet, so
+	// every participant receives the identical snapshot regardless of how
+	// the board drifts while late joiners straggle in.
+	wantSuspects bool
+	// suspectSet is the agreed suspect set (global ranks), fixed at
+	// resolution; only populated for census instances.
+	suspectSet map[int]bool
+	resolved   bool
 }
 
 // maybeResolveAgreement resolves st if every group member has either
@@ -78,6 +86,17 @@ func (w *World) maybeResolveAgreement(st *agreeState) {
 	for _, g := range st.group {
 		if w.isDead(g) {
 			st.failedSet[g] = true
+		}
+	}
+	if st.wantSuspects {
+		// Snapshot the scoreboard exactly once, at the resolution
+		// instant: the census every member returns is this one reading,
+		// not each caller's racy local view.
+		st.suspectSet = map[int]bool{}
+		for _, g := range st.group {
+			if !w.isDead(g) && w.sb.suspected(g) {
+				st.suspectSet[g] = true
+			}
 		}
 	}
 	// Protocol latency: a fault-tolerant agreement is two binomial sweeps
@@ -148,6 +167,50 @@ func (c *Comm) AgreeRound(bad bool) (failed []int, anyBad bool) {
 	}
 	sort.Ints(failed)
 	return failed, st.bad
+}
+
+// AgreeSuspects is a fault-tolerant census of the fail-slow suspect set:
+// it blocks until every still-alive member has entered, then returns the
+// communicator ranks the detection layer suspects as gray-failed — the
+// same set on every caller, because the scoreboard is read exactly once,
+// at the instant the last member joins. Like AgreeFailures it must be
+// called congruently by all members (SPMD), shares the per-communicator
+// agreement sequence, and rides the same two binomial sweeps (identical
+// latency charge). With detection disarmed it still performs the
+// agreement (congruence demands every member consume the same sequence
+// number) and returns nil.
+func (c *Comm) AgreeSuspects() []int {
+	r := c.r
+	w := r.world
+	w.ftRequire()
+	key := agreeKey{comm: c.id, seq: c.agreeSeq}
+	c.agreeSeq++
+	st := w.ft.agree[key]
+	if st == nil {
+		st = &agreeState{
+			group:  append([]int(nil), c.group...),
+			joined: map[int]bool{},
+			done:   simtime.NewFuture(w.eng),
+		}
+		w.ft.agree[key] = st
+		w.ft.agreeOrder = append(w.ft.agreeOrder, key)
+	}
+	st.wantSuspects = w.sb != nil
+	r.busySleep(w.cfg.InterStartup)
+	st.joined[r.id] = true
+	if b := w.obs; b != nil {
+		b.Add(obs.CtrFaultSuspectCensuses, 1)
+	}
+	w.maybeResolveAgreement(st)
+	r.await(st.done, "suspect census", -1)
+	var suspects []int
+	for cr, g := range c.group {
+		if st.suspectSet[g] {
+			suspects = append(suspects, cr)
+		}
+	}
+	sort.Ints(suspects)
+	return suspects
 }
 
 // Revoke marks the communicator revoked: every member blocked in a message

@@ -60,6 +60,11 @@ type World struct {
 	// worldGroup is the identity group [0..NProcs) shared by every
 	// rank's CommWorld handle (immutable once built; see CommWorld).
 	worldGroup []int
+	// sb is the fail-slow detection scoreboard (nil — detection disarmed —
+	// unless Config.FailSlowDetect or a fault spec with slow= / stickfail=
+	// clauses arms it; see scoreboard.go). Nil keeps the hot paths on the
+	// historical code, mirroring the obs/inj/ft pattern.
+	sb *scoreboard
 }
 
 // NewWorld validates cfg and instantiates the cluster, fabric, and power
@@ -128,7 +133,49 @@ func NewWorld(cfg Config) (*World, error) {
 			}
 		}
 	}
+	if cfg.FailSlowDetect || (cfg.Fault != nil &&
+		(len(cfg.Fault.Slows) > 0 || cfg.Fault.StickFailProb > 0)) {
+		thr := cfg.SuspectThreshold
+		if thr == 0 {
+			thr = DefaultSuspectThreshold
+		}
+		w.sb = newScoreboard(cfg.NProcs, thr)
+	}
+	if cfg.WatchdogTimeout > 0 {
+		eng.SetWatchdog(cfg.WatchdogTimeout, w.watchdogDiag)
+	}
 	return w, nil
+}
+
+// watchdogDiag assembles the structured no-progress dump attached to a
+// *simtime.WatchdogError: the detection layer's per-rank view (lag EWMAs,
+// beat counts, current suspects), in-flight network flows, and any trace
+// spans left open — enough to tell a wedged power transition from a lost
+// rendezvous without re-running under a debugger.
+func (w *World) watchdogDiag() string {
+	var b strings.Builder
+	if w.sb != nil {
+		fmt.Fprintf(&b, "suspects: %v\n", w.SuspectedRanks())
+		for id := range w.ranks {
+			if w.sb.ewma[id] != 1 || w.isDead(id) {
+				state := ""
+				if w.isDead(id) {
+					state = " dead"
+				}
+				fmt.Fprintf(&b, "rank %d: lag %.2f, %d beats%s\n",
+					id, w.sb.ewma[id], w.sb.beats[id], state)
+			}
+		}
+	}
+	if n := w.fabric.ActiveFlows(); n > 0 {
+		fmt.Fprintf(&b, "in-flight flows: %d\n", n)
+	}
+	if w.obs != nil {
+		for track, open := range w.obs.UnbalancedAsyncs(nil) {
+			fmt.Fprintf(&b, "open spans on track %v: %s\n", track, strings.Join(open, ", "))
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // Injector returns the attached fault injector, or nil (a valid,

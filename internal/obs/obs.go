@@ -123,6 +123,15 @@ const (
 	// CtrCollectiveRecoveries counts resilient-collective rounds that
 	// shrank the communicator and retried after a failure.
 	CtrCollectiveRecoveries = "collective.recoveries"
+	// Fail-slow (gray failure) detection and mitigation. Lost transitions
+	// are P/T-state writes the hardware silently dropped (the stickfail=
+	// clause); recoveries are bounded re-issues that landed; censuses are
+	// SPMD suspect agreements (Comm.AgreeSuspects); demotions count
+	// communicator reorders that moved agreed suspects to leaf positions.
+	CtrFaultTransitionsLost = "fault.power.transitions_lost"
+	CtrFaultPowerRecoveries = "fault.power.recoveries"
+	CtrFaultSuspectCensuses = "fault.comm.suspect_censuses"
+	CtrCollectiveDemotions  = "collective.demotions"
 )
 
 // TIDFault is the network-process timeline row carrying fault-window

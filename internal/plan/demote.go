@@ -1,0 +1,37 @@
+package plan
+
+// DemoteOrder computes the rank permutation that moves suspected
+// fail-slow members to the positions carrying the least forwarding load:
+// healthy ranks keep their relative order at the front, suspects keep
+// their relative order at the back. In the schedules this package builds,
+// the tail positions are exactly the cheap seats — a chain's last rank
+// relays nothing, a binomial tree's high ranks are leaves that touch one
+// message per phase, and a recursive-doubling/halving order built over
+// the permuted group gives the suspects the latest (least pipelined)
+// slots. The caller applies the permutation with Comm.Sub, which every
+// member must do congruently (the suspect set from Comm.AgreeSuspects is
+// identical everywhere, so the permutation is too).
+//
+// suspects holds communicator ranks in [0,p); out-of-range entries and
+// duplicates are ignored. The result always has length p and is the
+// identity when nothing is suspected.
+func DemoteOrder(p int, suspects []int) []int {
+	sus := make([]bool, p)
+	for _, s := range suspects {
+		if s >= 0 && s < p {
+			sus[s] = true
+		}
+	}
+	order := make([]int, 0, p)
+	for r := 0; r < p; r++ {
+		if !sus[r] {
+			order = append(order, r)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if sus[r] {
+			order = append(order, r)
+		}
+	}
+	return order
+}

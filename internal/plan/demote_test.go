@@ -1,0 +1,50 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDemoteOrder(t *testing.T) {
+	cases := []struct {
+		name     string
+		p        int
+		suspects []int
+		want     []int
+	}{
+		{"identity", 4, nil, []int{0, 1, 2, 3}},
+		{"one middle", 5, []int{2}, []int{0, 1, 3, 4, 2}},
+		{"root suspected", 4, []int{0}, []int{1, 2, 3, 0}},
+		{"already last", 4, []int{3}, []int{0, 1, 2, 3}},
+		{"two keep order", 6, []int{4, 1}, []int{0, 2, 3, 5, 1, 4}},
+		{"all suspected", 3, []int{0, 1, 2}, []int{0, 1, 2}},
+		{"dupes and range ignored", 4, []int{1, 1, -2, 9}, []int{0, 2, 3, 1}},
+		{"singleton", 1, []int{0}, []int{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DemoteOrder(tc.p, tc.suspects)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("DemoteOrder(%d, %v) = %v, want %v", tc.p, tc.suspects, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDemoteOrderIsPermutation(t *testing.T) {
+	for p := 1; p <= 16; p++ {
+		for _, suspects := range [][]int{nil, {0}, {p - 1}, {p / 2, p / 3}} {
+			got := DemoteOrder(p, suspects)
+			if len(got) != p {
+				t.Fatalf("p=%d suspects=%v: length %d", p, suspects, len(got))
+			}
+			seen := make([]bool, p)
+			for _, r := range got {
+				if r < 0 || r >= p || seen[r] {
+					t.Fatalf("p=%d suspects=%v: not a permutation: %v", p, suspects, got)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}

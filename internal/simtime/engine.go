@@ -53,9 +53,9 @@ type Engine struct {
 	free []*bucket
 	// freeFuts is the Future recycle list (see GetFuture/PutFuture).
 	freeFuts []*Future
-	procs   []*Proc
-	running bool
-	stopped bool
+	procs    []*Proc
+	running  bool
+	stopped  bool
 	// panicErr records the first process panic; Run returns it.
 	panicErr error
 	// interrupt, when set, is polled between events (every
@@ -64,6 +64,15 @@ type Engine struct {
 	// cancellation, deadlines — that the virtual clock cannot see.
 	interrupt      func() error
 	interruptEvery int
+	// watchLimit, when positive, arms the no-progress watchdog: if the
+	// clock is about to advance more than watchLimit past the last
+	// Progress() mark, Run aborts with a *WatchdogError instead of letting
+	// a livelocked simulation grind on (retry timers firing forever while
+	// the application makes no progress reads as "running" to every other
+	// check). watchDiag, when set, contributes a diagnostic dump.
+	watchLimit Duration
+	watchLast  Time
+	watchDiag  func() string
 }
 
 // defaultInterruptEvery bounds how many events run between interrupt
@@ -274,6 +283,48 @@ func (e *Engine) SetInterrupt(check func() error, every int) {
 	e.interruptEvery = every
 }
 
+// SetWatchdog arms the no-progress watchdog: if virtual time is about to
+// advance more than limit past the most recent Progress() call, Run stops
+// and returns a *WatchdogError carrying the blocked-process list and the
+// output of diag (optional, may be nil). Unlike the deadlock report —
+// which needs the event queue to drain — the watchdog catches livelock:
+// events still firing (retransmission timers, heartbeats) while the
+// simulated application itself is stuck. Pass limit <= 0 to disarm.
+// Arming starts the progress clock at the current time.
+func (e *Engine) SetWatchdog(limit Duration, diag func() string) {
+	e.watchLimit = limit
+	e.watchLast = e.now
+	e.watchDiag = diag
+}
+
+// Progress marks application-level progress for the watchdog (a message
+// delivery, a completed operation). Cheap enough to call unconditionally;
+// a no-op beyond one store when the watchdog is disarmed.
+func (e *Engine) Progress() { e.watchLast = e.now }
+
+// WatchdogError reports that the simulation ran without application
+// progress for longer than the armed limit.
+type WatchdogError struct {
+	// Now is the virtual time the watchdog fired at; LastProgress the most
+	// recent progress mark; Limit the armed threshold.
+	Now          Time
+	LastProgress Time
+	Limit        Duration
+	// Blocked names the live processes parked at firing time.
+	Blocked []string
+	// Diag is the installed diagnostic dump ("" without one).
+	Diag string
+}
+
+func (w *WatchdogError) Error() string {
+	msg := fmt.Sprintf("simtime: no progress for %v (limit %v, last progress at %v, now %v): %d blocked process(es): %v",
+		w.Now.Sub(w.LastProgress), w.Limit, w.LastProgress, w.Now, len(w.Blocked), w.Blocked)
+	if w.Diag != "" {
+		msg += "\n" + w.Diag
+	}
+	return msg
+}
+
 // KillLive condemns every live process and resumes each so its body
 // unwinds with a Killed panic at its current park point (a process that
 // never started is retired before its body runs). It is the goroutine
@@ -324,6 +375,16 @@ func (e *Engine) Run(limit Time) (int, error) {
 			if t > limit {
 				e.now = limit
 				return executed, nil
+			}
+			if e.watchLimit > 0 && t.Sub(e.watchLast) > e.watchLimit {
+				we := &WatchdogError{
+					Now: t, LastProgress: e.watchLast, Limit: e.watchLimit,
+					Blocked: e.blockedProcs(),
+				}
+				if e.watchDiag != nil {
+					we.Diag = e.watchDiag()
+				}
+				return executed, we
 			}
 			e.popTime()
 			cur = e.buckets[t]

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"io"
 	"sync"
@@ -127,7 +128,11 @@ type Service struct {
 	quarantine map[Key]*QuarantinedError
 	workers    map[int]*worker
 	nextWorker int
-	closed     bool
+	// draining sheds new admissions while already-accepted work runs to
+	// completion (Shutdown); closed is the abrupt stop that fails
+	// everything still pending (Close).
+	draining bool
+	closed   bool
 
 	workerWG sync.WaitGroup
 	jobWG    sync.WaitGroup
@@ -190,7 +195,8 @@ func (s *Service) Submit(req Request) (*Ticket, error) {
 	key := req.Key()
 
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
+		s.bus.Add(CtrShedDraining, 1)
 		s.mu.Unlock()
 		return nil, &ShutdownError{Key: key}
 	}
@@ -225,7 +231,8 @@ func (s *Service) Submit(req Request) (*Ticket, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.draining {
+		s.bus.Add(CtrShedDraining, 1)
 		return nil, &ShutdownError{Key: key}
 	}
 	if j := s.inflight[key]; j != nil {
@@ -395,7 +402,26 @@ func (s *Service) retryOrQuarantine(j *job, err error) {
 	s.mu.Unlock()
 	s.bus.Add(CtrRetries, 1)
 	backoff := s.cfg.RetryBackoff << uint(min(attempts-1, 6))
+	backoff += retryJitter(j.key, attempts, backoff)
 	time.AfterFunc(backoff, func() { s.requeueNow(j) })
+}
+
+// retryJitter spreads concurrent retries without randomness: the jitter
+// is a splitmix64 hash of the request key and the attempt number,
+// bounded to half the exponential backoff. Identical requests retry on
+// identical schedules across daemon restarts — a reproduced failure
+// replays with the same timing — while distinct keys desynchronize
+// instead of thundering back in lockstep.
+func retryJitter(key Key, attempt int, backoff time.Duration) time.Duration {
+	if backoff <= 0 {
+		return 0
+	}
+	x := binary.LittleEndian.Uint64(key[:8]) ^ uint64(attempt)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return time.Duration(x % uint64(backoff/2+1))
 }
 
 // requeueNow re-enters an accepted job past the admission gate (its
@@ -494,6 +520,27 @@ func (s *Service) QueueDepth() int {
 // Drain blocks until every accepted job has resolved. Call after the
 // last Submit; submissions racing Drain may be missed.
 func (s *Service) Drain() { s.jobWG.Wait() }
+
+// Shutdown stops the service gracefully: new submissions are shed with
+// ShutdownError from the moment it is called, while everything already
+// accepted — queued, running, or waiting out a retry backoff — runs to
+// completion and persists as usual. It returns once the last accepted
+// job has resolved and all workers have exited. Safe to call
+// concurrently with Close (Close wins: pending work fails).
+func (s *Service) Shutdown() {
+	s.mu.Lock()
+	already := s.closed || s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		s.jobWG.Wait()
+		s.Close()
+		return
+	}
+	// Someone else is already draining or closing; just wait out the
+	// workers so every Shutdown caller observes the same quiesced state.
+	s.workerWG.Wait()
+}
 
 // Close stops the service abruptly — the daemon-kill of the chaos
 // harness. Every unresolved job fails with a typed ShutdownError and

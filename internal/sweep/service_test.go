@@ -328,6 +328,124 @@ func TestServiceCloseFailsPendingTyped(t *testing.T) {
 	}
 }
 
+func TestServiceShutdownDrainsGracefully(t *testing.T) {
+	release := make(chan struct{})
+	store, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(store, Config{
+		Workers: 1,
+		Run: func(ctx context.Context, req Request) ([]byte, error) {
+			select {
+			case <-release:
+				return []byte("drained"), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	req := svcReq("t", 0)
+	tk, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { svc.Shutdown(); close(done) }()
+
+	// Admissions shed with the typed error as soon as the drain begins.
+	var se *ShutdownError
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := svc.Submit(svcReq("t", 1))
+		if errors.As(err, &se) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("submit during drain: %v, want ShutdownError", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started shedding new submissions")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Shutdown returned while an accepted job was still running")
+	default:
+	}
+
+	// The in-flight job runs to completion, not to a ShutdownError, and
+	// its result persists exactly like a normal completion.
+	close(release)
+	res, err := tk.Result()
+	if err != nil || string(res) != "drained" {
+		t.Fatalf("in-flight job during drain: %q, %v; want clean completion", res, err)
+	}
+	<-done
+	if payload, err := store.Get(req.Key()); err != nil || !bytes.Equal(payload, res) {
+		t.Fatalf("drained result not persisted: %q, %v", payload, err)
+	}
+	if n := svc.Bus().Counter(CtrShedDraining); n < 1 {
+		t.Errorf("draining shed counter = %d, want >= 1", n)
+	}
+}
+
+// A job waiting out a retry backoff is accepted work: the drain lets the
+// timer fire, the requeue go through, and the retry complete.
+func TestServiceShutdownWaitsForRetries(t *testing.T) {
+	var calls atomic.Int64
+	svc := NewService(nil, Config{
+		Workers: 1, MaxAttempts: 3, RetryBackoff: 2 * time.Millisecond,
+		Run: func(ctx context.Context, req Request) ([]byte, error) {
+			if calls.Add(1) == 1 {
+				return nil, fmt.Errorf("transient failure")
+			}
+			return []byte("second attempt"), nil
+		},
+	})
+	tk, err := svc.Submit(svcReq("t", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Shutdown()
+	res, err := tk.Result()
+	if err != nil || string(res) != "second attempt" {
+		t.Fatalf("retrying job during drain: %q, %v; want retry to complete", res, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("runner invoked %d times, want 2 (drain must wait out the backoff)", got)
+	}
+}
+
+// Retry backoff jitter is a pure function of (key, attempt): the same
+// request replays on the same schedule across daemon restarts, while
+// distinct keys spread out instead of thundering back together.
+func TestRetryJitterDeterministic(t *testing.T) {
+	base := 2 * time.Millisecond
+	k1, k2 := svcReq("t", 0).Key(), svcReq("t", 1).Key()
+	diverged := false
+	for attempt := 1; attempt <= 6; attempt++ {
+		backoff := base << uint(attempt-1)
+		j := retryJitter(k1, attempt, backoff)
+		if again := retryJitter(k1, attempt, backoff); j != again {
+			t.Fatalf("attempt %d: jitter %v then %v for the same key", attempt, j, again)
+		}
+		if j < 0 || j > backoff/2 {
+			t.Fatalf("attempt %d: jitter %v outside [0, %v]", attempt, j, backoff/2)
+		}
+		if j != retryJitter(k2, attempt, backoff) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("two distinct keys jittered identically on every attempt")
+	}
+	if retryJitter(k1, 1, 0) != 0 {
+		t.Fatal("zero backoff must produce zero jitter")
+	}
+}
+
 func TestServiceStoreDedupeSurvivesRestart(t *testing.T) {
 	dir := t.TempDir()
 	store, _, err := OpenStore(dir)

@@ -224,6 +224,7 @@ const (
 	CtrFailed         = "sweep.requests.failed"
 	CtrShedOverload   = "sweep.shed.overload"
 	CtrShedQuota      = "sweep.shed.quota"
+	CtrShedDraining   = "sweep.shed.draining"
 	CtrDedupeStore    = "sweep.dedupe.hits.store"
 	CtrDedupeInflight = "sweep.dedupe.hits.inflight"
 	CtrDedupeMiss     = "sweep.dedupe.misses"

@@ -38,6 +38,7 @@ import (
 	"pacc/internal/network"
 	"pacc/internal/plan"
 	"pacc/internal/power"
+	"pacc/internal/simtime"
 	"pacc/internal/topology"
 	"pacc/internal/trace"
 	"pacc/internal/workload"
@@ -93,6 +94,11 @@ type (
 	Crash = fault.Crash
 	// Straggler marks one rank as computing slower than its peers.
 	Straggler = fault.Straggler
+	// Slow schedules a windowed fail-slow (gray failure): the rank
+	// computes Factor times slower inside [Start, Start+Duration) while
+	// still making progress. A slow= clause arms the fail-slow detector
+	// (see DESIGN.md §13).
+	Slow = fault.Slow
 	// MemBurst schedules a time-windowed memory-corruption burst: bit
 	// flips in reduction buffers that the transport ICRC cannot see (only
 	// the checked collectives catch them).
@@ -110,6 +116,11 @@ type (
 	// deadline; see World.RunContext). errors.Is against context.Canceled
 	// or context.DeadlineExceeded classifies the cause.
 	CanceledError = mpi.CanceledError
+	// WatchdogError reports a run aborted by the no-progress watchdog
+	// (Config.WatchdogTimeout): simulated time advanced past the limit
+	// with no message delivered anywhere. Carries a per-rank diagnostic
+	// dump of compute lag, progress beacons and in-flight state.
+	WatchdogError = simtime.WatchdogError
 	// VerificationError reports an ABFT checksum mismatch caught by a
 	// checked collective — corruption that happened in memory, past the
 	// transport's ICRC.

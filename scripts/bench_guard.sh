@@ -19,6 +19,11 @@
 #     8x8 1 MiB allreduce benchmark's allocs/op and events/sec, plus the
 #     4096-rank allreduce/allgather events/sec, each gated against the
 #     floors in scripts/perf_floor.json.
+#  5. Fail-slow detection overhead (BENCH_9.json): the same canonical
+#     run with -detect (per-rank compute-lag scoreboards armed) must
+#     cost <=1% simulated latency — and is expected to cost exactly 0,
+#     since the scoreboard is bookkeeping that never advances virtual
+#     time.
 cd "$(dirname "$0")/.."
 
 run() {
@@ -194,3 +199,30 @@ if [ "$perf_fail" -ne 0 ]; then
 	exit 1
 fi
 echo "bench guard: engine throughput and allocation gates met; wrote BENCH_8.json"
+
+# --- 5. fail-slow detection overhead --------------------------------------
+# Reuses the section-1 plain measurement as the baseline. The detection
+# path (DESIGN.md §13) folds lag samples into a scoreboard during
+# busy-compute and piggybacks beacons on sends, none of which is a
+# simulated-time cost, so the measured overhead should be exactly 0; the
+# 1% budget only leaves room for a future detector that legitimately
+# pays simulated time, not for accidental slow-path work.
+detected=$(run -detect)
+d_overhead=$(awk -v p="$plain" -v d="$detected" 'BEGIN {printf "%.4f", d/p - 1}')
+
+cat >BENCH_9.json <<EOF
+{
+  "benchmark": "allreduce_topo, 8 nodes x 8 ranks/node, 1 MiB, fail-slow detection armed",
+  "plain_latency_us": $plain,
+  "detect_latency_us": $detected,
+  "detect_overhead": $d_overhead,
+  "budget": 0.01
+}
+EOF
+
+if ! awk -v o="$d_overhead" 'BEGIN {exit !(o <= 0.01 && o >= 0)}'; then
+	echo "bench guard: fail-slow detection overhead $d_overhead outside [0, 0.01]" \
+		"(plain ${plain}us, detect ${detected}us)" >&2
+	exit 1
+fi
+echo "bench guard: fail-slow detection overhead $d_overhead within the 1% budget; wrote BENCH_9.json"
