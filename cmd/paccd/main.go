@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -83,21 +84,37 @@ func cmdServe(args []string) error {
 	if *storeDir == "" {
 		return fmt.Errorf("serve: -store is required")
 	}
-	store, scav, err := sweep.OpenStore(*storeDir)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("paccd: store %s opened: %d entries kept, %d corrupt evicted, %d torn writes removed\n",
-		*storeDir, scav.Kept, scav.Corrupt, scav.Torn)
-	svc := sweep.NewService(store, sweep.Config{
+	// OpenService brings up store + journal and replays the journal in
+	// the background: the HTTP listener is up immediately (liveness),
+	// /readyz reports "recovering" until replay finishes, and every
+	// request acked before the last crash is already re-enqueued.
+	svc, err := sweep.OpenService(*storeDir, sweep.Config{
 		Workers: *workers, QueueDepth: *queue, TenantQuota: *quota,
 		MaxAttempts: *attempts, RequestTimeout: *reqTO,
 	})
+	if err != nil {
+		return err
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: newMux(svc), ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("paccd: serving on %s with %d workers\n", *addr, *workers)
+	fmt.Printf("paccd: serving on %s with %d workers (journal replaying in background)\n",
+		*addr, *workers)
+	go func() {
+		rec, err := svc.RecoveryReport(context.Background())
+		if err != nil {
+			return
+		}
+		fmt.Printf("paccd: recovered: store kept %d entries (%d corrupt evicted, %d torn removed); "+
+			"journal %d records in %d segments (%d truncated, %d compacted); "+
+			"%d requests re-enqueued, %d repaired from store, %d quarantines restored, "+
+			"%d interrupted leases\n",
+			rec.Scavenge.Kept, rec.Scavenge.Corrupt, rec.Scavenge.Torn,
+			rec.Journal.Records, rec.Journal.Segments, rec.Journal.Truncated,
+			rec.Journal.Compacted, rec.Requeued, rec.FromStore, rec.Shed,
+			rec.InterruptedLeases)
+	}()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -133,7 +150,8 @@ func cmdSoak(args []string) error {
 		kills    = fs.Int("kills", 6, "worker kills to inject")
 		corrupt  = fs.Int("corrupt", 6, "store corruptions to inject")
 		seed     = fs.Uint64("seed", 1, "chaos schedule seed")
-		restart  = fs.Bool("restart", true, "kill and restart the daemon mid-campaign")
+		restart  = fs.Bool("restart", true, "kill -9 and restart the daemon mid-campaign")
+		crashes  = fs.Int("crashes", 3, "daemon kills to inject at seeded durability boundaries")
 		timeout  = fs.Duration("timeout", 3*time.Minute, "campaign deadline")
 	)
 	fs.Parse(args)
@@ -142,15 +160,18 @@ func cmdSoak(args []string) error {
 	}
 	rep, err := sweep.Soak(sweep.SoakOptions{
 		Dir: *storeDir, Seed: *seed, Offered: *offered, Workers: *workers,
-		Kills: *kills, Corruptions: *corrupt, Restart: *restart, Timeout: *timeout,
-		Log: func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+		Kills: *kills, Corruptions: *corrupt, Restart: *restart, Crashes: *crashes,
+		Timeout: *timeout,
+		Log:     func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("soak: offered=%d unique=%d shed=%d kills=%d corruptions=%d evictions=%d restarts=%d dedupe=%.0f%%\n",
+	fmt.Printf("soak: offered=%d unique=%d shed=%d kills=%d corruptions=%d evictions=%d "+
+		"daemon-kills=%d crash-points=%v recovered=%d resubmit-executions=%d segments=%d dedupe=%.0f%%\n",
 		rep.Offered, rep.UniqueKeys, rep.Shed, rep.Kills, rep.Corruptions,
-		rep.StoreEvictions, rep.DaemonRestarts, 100*rep.DedupeHitRate)
+		rep.StoreEvictions, rep.DaemonRestarts, rep.CrashPoints, rep.Recovered,
+		rep.ResubmitExecutions, rep.LiveSegments, 100*rep.DedupeHitRate)
 	if !rep.Ok() {
 		for _, v := range rep.Violations {
 			fmt.Fprintln(os.Stderr, "soak: VIOLATION:", v)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -37,7 +38,11 @@ func postSubmit(t *testing.T, ts *httptest.Server, body submitRequest) submitRes
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	// 429/503 are the all-shed statuses: the body is still a normal
+	// per-item response, so decode it either way.
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+	default:
 		t.Fatalf("submit returned %s", resp.Status)
 	}
 	var out submitResponse
@@ -244,6 +249,200 @@ func TestServeDrainShedsNewAndFinishesAccepted(t *testing.T) {
 	if err != nil || payload == nil {
 		t.Fatalf("drained result not in store: %v, %v", payload, err)
 	}
+}
+
+// A fully-shed batch carries HTTP backpressure semantics: 429 plus
+// Retry-After when the cause is overload or quota, with the usual
+// per-item body so clients that do parse it lose nothing.
+func TestServeOverloadReturns429(t *testing.T) {
+	release := make(chan struct{})
+	store, _, err := sweep.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := sweep.NewService(store, sweep.Config{
+		Workers: 1, QueueDepth: 1,
+		Run: func(ctx context.Context, req sweep.Request) ([]byte, error) {
+			select {
+			case <-release:
+				return []byte(`{"held":true}`), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	ts := httptest.NewServer(newMux(svc))
+	defer func() { ts.Close(); svc.Close() }()
+
+	// Saturate: one request running (held), one queued. The helper
+	// goroutines retry shed submissions until theirs is accepted.
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := sweep.Request{Op: "allreduce", Procs: 8, PPN: 4, Bytes: int64(1024 * (i + 1))}
+			for time.Now().Before(deadline) {
+				out := postSubmit(t, ts, submitRequest{Requests: []sweep.Request{req}})
+				if out.Items[0].Status != "shed" {
+					return
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}(i)
+	}
+	for svc.Bus().Counter(sweep.CtrAccepted) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("saturation submissions never accepted")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	raw, _ := json.Marshal(submitRequest{Requests: []sweep.Request{
+		{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 99999},
+	}})
+	resp, err := http.Post(ts.URL+"/v1/submit", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var out submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Items[0].Status != "shed" {
+		t.Errorf("item status %q, want shed", out.Items[0].Status)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// Readiness is a state machine the mux exposes: 503 "recovering" while
+// the journal replays, 200 "ready" after, 503 "draining" once shutdown
+// begins — and a recovering daemon sheds submits with 503 too.
+func TestServeReadyzStates(t *testing.T) {
+	hold := make(chan struct{})
+	svc, err := sweep.OpenService(t.TempDir(), sweep.Config{
+		Workers: 1, QueueDepth: 8, HoldRecovery: hold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(svc))
+	defer func() { ts.Close(); svc.Close() }()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, strings.TrimSpace(buf.String())
+	}
+
+	// Recovering: alive, not ready, submissions shed with 503.
+	if code, body := get("/livez"); code != http.StatusOK || body != "ok" {
+		t.Errorf("livez while recovering = %d %q, want 200 ok", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body != "recovering" {
+		t.Errorf("readyz while recovering = %d %q, want 503 recovering", code, body)
+	}
+	raw, _ := json.Marshal(submitRequest{Requests: []sweep.Request{
+		{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 1024},
+	}})
+	resp, err := http.Post(ts.URL+"/v1/submit", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("submit while recovering = %d (Retry-After %q), want 503 with Retry-After",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// Replay finishes: ready.
+	close(hold)
+	if err := svc.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || body != "ready" {
+		t.Errorf("readyz when ready = %d %q, want 200 ready", code, body)
+	}
+	out := postSubmit(t, ts, submitRequest{Requests: []sweep.Request{
+		{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 1024},
+	}})
+	if out.Items[0].Status != "completed" {
+		t.Fatalf("submit when ready = %+v", out.Items[0])
+	}
+
+	// Shutdown: draining (terminally, here: nothing in flight, so the
+	// drain completes and the state lands on closed — both are 503).
+	svc.Shutdown()
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after shutdown = %d, want 503", code)
+	}
+	if code, body := get("/livez"); code != http.StatusOK || body != "ok" {
+		t.Errorf("livez after shutdown = %d %q, want 200 ok (alive but not ready)", code, body)
+	}
+}
+
+// The drain window itself reports "draining" on /readyz while accepted
+// work is still running.
+func TestServeReadyzDraining(t *testing.T) {
+	release := make(chan struct{})
+	store, _, err := sweep.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := sweep.NewService(store, sweep.Config{
+		Workers: 1, QueueDepth: 8,
+		Run: func(ctx context.Context, req sweep.Request) ([]byte, error) {
+			select {
+			case <-release:
+				return []byte(`{"held":true}`), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	ts := httptest.NewServer(newMux(svc))
+	defer func() { ts.Close() }()
+
+	if _, err := svc.Submit(sweep.Request{Op: "allreduce", Procs: 8, PPN: 4, Bytes: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() { svc.Shutdown(); close(drained) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		body := strings.TrimSpace(buf.String())
+		if resp.StatusCode == http.StatusServiceUnavailable && body == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never reported draining (last: %d %q)", resp.StatusCode, body)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	<-drained
 }
 
 func TestServeStatsAndHealth(t *testing.T) {

@@ -17,9 +17,9 @@ type submitRequest struct {
 }
 
 // submitItem is one request's outcome in the batch response. Status is
-// "completed", "shed" (typed admission rejection — overload, quota, or
-// a draining daemon; retry later, possibly against a restarted daemon),
-// or "failed" (terminal: quarantined, invalid).
+// "completed", "shed" (typed admission rejection — overload, quota, a
+// recovering or draining daemon; retry later, possibly against a
+// restarted daemon), or "failed" (terminal: quarantined, invalid).
 type submitItem struct {
 	Key    string          `json:"key,omitempty"`
 	Status string          `json:"status"`
@@ -34,14 +34,39 @@ type submitResponse struct {
 // classify maps the service's typed errors onto wire statuses. A
 // ShutdownError is shed, not failed: nothing about the request is wrong,
 // and a resubmit after the daemon restarts dedupes against the store.
+// Same for RecoveringError (replay in progress) and KilledError.
 func classify(err error) string {
 	var over *sweep.OverloadedError
 	var quota *sweep.QuotaExceededError
 	var down *sweep.ShutdownError
-	if errors.As(err, &over) || errors.As(err, &quota) || errors.As(err, &down) {
+	var rec *sweep.RecoveringError
+	var killed *sweep.KilledError
+	if errors.As(err, &over) || errors.As(err, &quota) ||
+		errors.As(err, &down) || errors.As(err, &rec) || errors.As(err, &killed) {
 		return "shed"
 	}
 	return "failed"
+}
+
+// shedStatus maps a shed error onto the HTTP status the whole response
+// should carry when every item in the batch was shed: 429 for
+// per-client backpressure (overload, quota), 503 for daemon-level
+// unavailability (draining, recovering, killed). The second return is
+// the Retry-After value in seconds — queue drain is fast, journal
+// replay and drains take longer.
+func shedStatus(err error) (int, string, bool) {
+	var over *sweep.OverloadedError
+	var quota *sweep.QuotaExceededError
+	if errors.As(err, &over) || errors.As(err, &quota) {
+		return http.StatusTooManyRequests, "1", true
+	}
+	var down *sweep.ShutdownError
+	var rec *sweep.RecoveringError
+	var killed *sweep.KilledError
+	if errors.As(err, &down) || errors.As(err, &rec) || errors.As(err, &killed) {
+		return http.StatusServiceUnavailable, "5", true
+	}
+	return 0, "", false
 }
 
 // newMux builds the daemon's HTTP API over svc. Factored out of serve
@@ -49,8 +74,27 @@ func classify(err error) string {
 func newMux(svc *sweep.Service) *http.ServeMux {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	// Liveness: the process is up and serving HTTP. Deliberately
+	// ignorant of service state — a recovering or draining daemon is
+	// alive and must not be restarted by an orchestrator.
+	livez := func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	}
+	mux.HandleFunc("/livez", livez)
+	mux.HandleFunc("/healthz", livez) // backwards-compatible alias
+
+	// Readiness: whether new submissions will be accepted right now.
+	// 503 "recovering" until journal replay finishes, 503 "draining"
+	// once shutdown begins, 200 "ready" in between — so load balancers
+	// hold traffic while the daemon settles its crash debts.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		state := svc.State()
+		if state != "ready" {
+			w.Header().Set("Retry-After", "5")
+			http.Error(w, state, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -85,11 +129,28 @@ func newMux(svc *sweep.Service) *http.ServeMux {
 
 		tickets, errs := svc.SubmitBatch(reqs)
 		resp := submitResponse{Items: make([]submitItem, len(reqs))}
+		// When every item is shed the response itself is a shed: 429 or
+		// 503 plus Retry-After, so plain HTTP clients back off without
+		// parsing the body. Daemon-level causes (503) win over
+		// per-client ones (429) if the batch mixes them.
+		allShed := true
+		shedCode, retryAfter := 0, ""
+		noteShed := func(err error) {
+			code, after, ok := shedStatus(err)
+			if !ok {
+				allShed = false
+				return
+			}
+			if code > shedCode {
+				shedCode, retryAfter = code, after
+			}
+		}
 		for i := range reqs {
 			item := &resp.Items[i]
 			if errs[i] != nil {
 				item.Status = classify(errs[i])
 				item.Error = errs[i].Error()
+				noteShed(errs[i])
 				continue
 			}
 			item.Key = tickets[i].Key().String()
@@ -97,12 +158,18 @@ func newMux(svc *sweep.Service) *http.ServeMux {
 			if err != nil {
 				item.Status = classify(err)
 				item.Error = err.Error()
+				noteShed(err)
 				continue
 			}
 			item.Status = "completed"
 			item.Result = json.RawMessage(payload)
+			allShed = false
 		}
 		w.Header().Set("Content-Type", "application/json")
+		if allShed && shedCode != 0 {
+			w.Header().Set("Retry-After", retryAfter)
+			w.WriteHeader(shedCode)
+		}
 		json.NewEncoder(w).Encode(resp)
 	})
 

@@ -18,20 +18,22 @@ import (
 func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	var (
-		addr   = fs.String("addr", "http://localhost:8410", "daemon base URL")
-		ops    = fs.String("ops", "allreduce_topo", "comma-separated ops (see daemon docs)")
-		sizes  = fs.String("sizes", "64K", "comma-separated message sizes (K/M suffixes)")
-		modes  = fs.String("modes", "no-power", "comma-separated power modes")
-		seeds  = fs.String("seeds", "", "seed sweep: 'lo:hi' half-open or comma list")
-		procs  = fs.Int("procs", 64, "ranks")
-		ppn    = fs.Int("ppn", 8, "ranks per node")
-		iters  = fs.Int("iters", 1, "timed iterations")
-		plan   = fs.String("plan", "", "communication plan ('auto' for cost-based selection)")
-		faultS = fs.String("fault", "", "deterministic fault spec, e.g. 'msgloss=0.02'")
-		tenant = fs.String("tenant", "cli", "tenant the submission is charged to")
-		wait   = fs.Duration("wait", 10*time.Minute, "client-side timeout for the batch")
-		watch  = fs.Bool("watch", false, "stream live daemon progress (/v1/watch) while the batch runs")
-		watchI = fs.Duration("watch-interval", time.Second, "progress line interval with -watch")
+		addr    = fs.String("addr", "http://localhost:8410", "daemon base URL")
+		ops     = fs.String("ops", "allreduce_topo", "comma-separated ops (see daemon docs)")
+		sizes   = fs.String("sizes", "64K", "comma-separated message sizes (K/M suffixes)")
+		modes   = fs.String("modes", "no-power", "comma-separated power modes")
+		seeds   = fs.String("seeds", "", "seed sweep: 'lo:hi' half-open or comma list")
+		procs   = fs.Int("procs", 64, "ranks")
+		ppn     = fs.Int("ppn", 8, "ranks per node")
+		iters   = fs.Int("iters", 1, "timed iterations")
+		plan    = fs.String("plan", "", "communication plan ('auto' for cost-based selection)")
+		faultS  = fs.String("fault", "", "deterministic fault spec, e.g. 'msgloss=0.02'")
+		tenant  = fs.String("tenant", "cli", "tenant the submission is charged to")
+		idem    = fs.String("idem", "", "idempotency key prefix: resubmitting the same prefix after a daemon crash attaches to the original work instead of re-running it")
+		retries = fs.Int("retries", 5, "times to retry a 429/503 (Retry-After honored)")
+		wait    = fs.Duration("wait", 10*time.Minute, "client-side timeout for the batch")
+		watch   = fs.Bool("watch", false, "stream live daemon progress (/v1/watch) while the batch runs")
+		watchI  = fs.Duration("watch-interval", time.Second, "progress line interval with -watch")
 	)
 	fs.Parse(args)
 
@@ -52,14 +54,25 @@ func cmdSubmit(args []string) error {
 		Procs:  *procs, PPN: *ppn, Iters: *iters,
 		Plan: *plan, Fault: *faultS,
 	}
-	// Validate locally before burdening the daemon.
-	for _, req := range grid.Expand() {
-		if err := req.Validate(); err != nil {
+	// Validate locally before burdening the daemon; with -idem, pin a
+	// stable per-index idempotency key so this exact invocation can be
+	// replayed safely against a restarted daemon.
+	reqs := grid.Expand()
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
 			return err
+		}
+		if *idem != "" {
+			reqs[i].Idem = fmt.Sprintf("%s-%d", *idem, i)
 		}
 	}
 
-	body, err := json.Marshal(submitRequest{Grid: &grid})
+	var body []byte
+	if *idem != "" {
+		body, err = json.Marshal(submitRequest{Requests: reqs})
+	} else {
+		body, err = json.Marshal(submitRequest{Grid: &grid})
+	}
 	if err != nil {
 		return err
 	}
@@ -73,23 +86,48 @@ func cmdSubmit(args []string) error {
 		defer func() { cancel(); <-watchDone }()
 	}
 
+	// 429 (overload/quota) and 503 (recovering/draining daemon) are
+	// backpressure, not failure: honor Retry-After and resubmit. With
+	// -idem the resubmit is exactly-once by construction; without it,
+	// the store dedupe still makes retries cheap.
 	client := &http.Client{Timeout: *wait}
-	resp, err := client.Post(strings.TrimRight(*addr, "/")+"/v1/submit",
-		"application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("submit: daemon returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-	}
 	var out submitResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return fmt.Errorf("submit: malformed daemon response: %w", err)
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(strings.TrimRight(*addr, "/")+"/v1/submit",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		code := resp.StatusCode
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if attempt >= *retries {
+				return fmt.Errorf("submit: daemon still shedding (%s) after %d retries", resp.Status, attempt)
+			}
+			delay := 2 * time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if d, err := time.ParseDuration(s + "s"); err == nil {
+					delay = d
+				}
+			}
+			fmt.Fprintf(os.Stderr, "submit: daemon shedding (%s), retrying in %v\n", resp.Status, delay)
+			time.Sleep(delay)
+			continue
+		}
+		if code != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return fmt.Errorf("submit: daemon returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("submit: malformed daemon response: %w", err)
+		}
+		break
 	}
 
-	reqs := grid.Expand()
 	failed := 0
 	fmt.Printf("%-10s %-14s %-10s %-12s %-12s %s\n",
 		"status", "op", "bytes", "elapsed(us)", "energy(J)", "key")

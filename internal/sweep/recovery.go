@@ -1,0 +1,232 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+)
+
+// RecoveryReport summarizes one OpenService startup: what the store
+// scavenger and journal replay found, and what recovery did about it.
+type RecoveryReport struct {
+	// Scavenge is the result store's startup report.
+	Scavenge ScavengeReport
+	// Journal is the WAL replay report (segments, records, truncation).
+	Journal WALReplayReport
+	// Requeued counts acked-but-incomplete requests put back on the
+	// queue — the work a crash would have silently dropped before.
+	Requeued int
+	// FromStore counts acked requests whose result was already in the
+	// content-addressed store (the crash landed between the store
+	// write and the completed record, or between it and the ack):
+	// recovery repaired the journal instead of re-running them.
+	FromStore int
+	// Completed counts keys already terminal with a completed record
+	// and a verified store entry — nothing owed.
+	Completed int
+	// Shed counts terminal-without-result (quarantine) outcomes
+	// restored so poison stays poisoned across restarts.
+	Shed int
+	// IdemKeys counts client idempotency keys rebuilt into the
+	// admission map.
+	IdemKeys int
+	// InterruptedLeases counts requests that were mid-execution
+	// (started, no terminal record) when the previous daemon died.
+	InterruptedLeases int
+}
+
+// OpenService opens a durable, crash-recoverable sweep service rooted
+// at dir: the content-addressed result store lives in dir itself and
+// the write-ahead journal in dir/wal. Replay runs in the background —
+// the service is constructed in the "recovering" state, sheds new
+// submissions with RecoveringError until replay finishes (see
+// WaitReady / State), and meanwhile re-enqueues every acked-but-
+// incomplete request from the journal. The store dedupes requests
+// whose results already landed, turning at-least-once replay into
+// exactly-once effects; RecoveryReport says which path each took.
+func OpenService(dir string, cfg Config) (*Service, error) {
+	store, scav, err := OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	wal, recs, walRep, err := OpenWAL(filepath.Join(dir, "wal"), cfg.SegmentRecords)
+	if err != nil {
+		return nil, err
+	}
+	s := newService(store, wal, cfg)
+	s.recReport = &RecoveryReport{Scavenge: scav, Journal: walRep}
+	go s.recover(recs)
+	return s, nil
+}
+
+// RecoveryReport blocks until replay finishes and returns the startup
+// report (nil for services built with NewService).
+func (s *Service) RecoveryReport(ctx context.Context) (*RecoveryReport, error) {
+	if err := s.WaitReady(ctx); err != nil {
+		return nil, err
+	}
+	return s.recReport, nil
+}
+
+// replayState is one key's reconstructed lifecycle.
+type replayState struct {
+	req      *Request
+	idem     string
+	started  bool
+	terminal *WALRecord
+	order    int // first-accept position, preserves journal order
+}
+
+// recover replays the journal into live service state: terminal keys
+// stay terminal (idempotency map and quarantine restored), incomplete
+// keys are re-enqueued or repaired from the store, and only then does
+// the service report ready.
+func (s *Service) recover(recs []WALRecord) {
+	rep := s.recReport
+	if s.cfg.HoldRecovery != nil {
+		<-s.cfg.HoldRecovery
+	}
+
+	states := map[string]*replayState{}
+	var maxLease uint64
+	for i, rec := range recs {
+		st := states[rec.Key]
+		switch rec.Type {
+		case RecAccepted:
+			if st == nil {
+				states[rec.Key] = &replayState{req: rec.Req, idem: rec.Idem, order: i}
+			} else if st.terminal != nil {
+				// Recovery re-accept after a lost store entry: live again.
+				st.terminal = nil
+				st.started = false
+				if rec.Req != nil {
+					st.req = rec.Req
+				}
+			}
+		case RecStarted:
+			if rec.Lease > maxLease {
+				maxLease = rec.Lease
+			}
+			if st != nil && st.terminal == nil {
+				st.started = true
+			}
+		case RecCompleted, RecShed:
+			if rec.Lease > maxLease {
+				maxLease = rec.Lease
+			}
+			if st != nil && st.terminal == nil {
+				r := rec
+				st.terminal = &r
+			}
+		}
+	}
+	s.bus.Add(CtrRecoveryReplayed, int64(len(recs)))
+	s.bus.Add(CtrRecoveryTruncated, int64(rep.Journal.Truncated))
+
+	// Deterministic replay order: keys re-enter the queue in the order
+	// their accepted records were journaled.
+	ordered := make([]string, 0, len(states))
+	for k := range states {
+		ordered = append(ordered, k)
+	}
+	for i := 1; i < len(ordered); i++ { // insertion sort by first-accept order
+		for j := i; j > 0 && states[ordered[j-1]].order > states[ordered[j]].order; j-- {
+			ordered[j-1], ordered[j] = ordered[j], ordered[j-1]
+		}
+	}
+
+	repaired := false
+	for _, hex := range ordered {
+		st := states[hex]
+		key, err := ParseKey(hex)
+		if err != nil || st.req == nil && st.terminal == nil {
+			continue
+		}
+		if st.started && st.terminal == nil {
+			rep.InterruptedLeases++
+			s.bus.Add(CtrRecoveryLeases, 1)
+		}
+		if st.terminal != nil && st.terminal.Type == RecShed {
+			// Poison stays poisoned: restore the quarantine entry so
+			// resubmits fail fast instead of wedging a fresh pool.
+			s.mu.Lock()
+			s.quarantine[key] = &QuarantinedError{
+				Key: key, Attempts: s.cfg.MaxAttempts,
+				LastErr: errors.New("recovered from journal: " + st.terminal.Reason),
+			}
+			s.restoreIdemLocked(st.idem, key, rep)
+			s.mu.Unlock()
+			rep.Shed++
+			s.bus.Add(CtrRecoveryShed, 1)
+			continue
+		}
+
+		// Completed or incomplete: either way the store is the effect
+		// ledger. Verify it; a completed record over a lost or corrupt
+		// entry demotes the key back to incomplete.
+		payload, gerr := s.store.Get(key)
+		if gerr != nil && !errAsBool[*CorruptEntryError](gerr) {
+			payload = nil
+		}
+		if payload != nil {
+			if st.terminal == nil {
+				// Crash landed after the store write but before the
+				// completed record (or the ack): repair the journal so
+				// compaction can release the segment; no re-run.
+				s.wal.Append(WALRecord{Type: RecCompleted, Key: hex}, false)
+				repaired = true
+				rep.FromStore++
+				s.bus.Add(CtrRecoveryFromStore, 1)
+			} else {
+				rep.Completed++
+			}
+			s.mu.Lock()
+			s.restoreIdemLocked(st.idem, key, rep)
+			s.mu.Unlock()
+			continue
+		}
+		if st.req == nil {
+			continue // terminal record with no surviving request: nothing to run
+		}
+
+		// Acked, incomplete, result not in the store: the request the
+		// old daemon would have dropped. Re-enqueue it.
+		req := *st.req
+		j := &job{req: req, key: key, done: make(chan struct{}), recovered: true}
+		s.mu.Lock()
+		if st.terminal != nil {
+			// Completed record but the store lost the bytes: re-accept
+			// in the journal so a further crash still owes the work.
+			s.wal.Append(WALRecord{Type: RecAccepted, Key: hex, Req: &req, Idem: st.idem}, false)
+			repaired = true
+		}
+		s.inflight[key] = j
+		s.tenantLoad[req.Tenant]++
+		s.restoreIdemLocked(st.idem, key, rep)
+		s.jobWG.Add(1)
+		s.enqueueLocked(j)
+		s.mu.Unlock()
+		rep.Requeued++
+		s.bus.Add(CtrRecoveryRequeued, 1)
+	}
+
+	s.mu.Lock()
+	if maxLease > s.leaseSeq {
+		s.leaseSeq = maxLease
+	}
+	s.mu.Unlock()
+	if repaired {
+		s.wal.Sync()
+	}
+	close(s.ready)
+}
+
+func (s *Service) restoreIdemLocked(idem string, key Key, rep *RecoveryReport) {
+	if idem == "" {
+		return
+	}
+	if _, ok := s.idem[idem]; !ok {
+		s.idem[idem] = key
+		rep.IdemKeys++
+	}
+}

@@ -1,0 +1,445 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testReq(op string, bytes int64) Request {
+	return Request{Op: op, Procs: 8, PPN: 4, Bytes: bytes, Mode: "no-power", Iters: 1}
+}
+
+func openTestService(t *testing.T, dir string, cfg Config) *Service {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	svc, err := OpenService(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestRecoveryCompletesAckedWork is the tentpole contract in miniature:
+// submit, kill -9 before anything resolves, reopen — the acked requests
+// complete from the journal alone, byte-identical, with no resubmit.
+func TestRecoveryCompletesAckedWork(t *testing.T) {
+	dir := t.TempDir()
+	svc := openTestService(t, dir, Config{})
+
+	reqs := []Request{testReq("allreduce", 1024), testReq("allgather_ring", 2048), testReq("bcast_binomial", 512)}
+	want := map[Key][]byte{}
+	keys := make([]Key, len(reqs))
+	for i, r := range reqs {
+		keys[i] = r.Key()
+		payload, err := Simulate(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[keys[i]] = payload
+	}
+	for _, r := range reqs {
+		if _, err := svc.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Kill() // kill -9: no drain, no shutdown records, WAL frozen mid-air
+
+	svc2 := openTestService(t, dir, Config{})
+	defer svc2.Close()
+	rep, err := svc2.RecoveryReport(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requeued+rep.FromStore+rep.Completed < len(reqs) {
+		t.Errorf("recovery accounted for %d+%d+%d requests, want >= %d",
+			rep.Requeued, rep.FromStore, rep.Completed, len(reqs))
+	}
+	for i, k := range keys {
+		tk, ok, err := svc2.Attach(k)
+		if err != nil || !ok {
+			t.Fatalf("attach %d: ok=%v err=%v — acked request lost", i, ok, err)
+		}
+		payload, err := tk.Result()
+		if err != nil {
+			t.Fatalf("recovered request %d: %v", i, err)
+		}
+		if string(payload) != string(want[k]) {
+			t.Errorf("recovered request %d differs from clean run", i)
+		}
+	}
+}
+
+// TestRecoveryRepairsFromStore: crash lands between the store write and
+// the completed record — recovery must repair the journal from the
+// store, not re-run.
+func TestRecoveryRepairsFromStore(t *testing.T) {
+	dir := t.TempDir()
+	req := testReq("allreduce", 4096)
+	fired := false
+	svc, err := OpenService(dir, Config{
+		Workers: 1, QueueDepth: 8,
+		CrashHook: func(point string, key Key) bool {
+			if point == CrashStoreWrite && !fired {
+				fired = true
+				return true
+			}
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Result(); !errAsBool[*KilledError](err) {
+		t.Fatalf("ticket resolved %v, want KilledError", err)
+	}
+	if !svc.Killed() {
+		t.Fatal("crash hook never fired")
+	}
+
+	svc2 := openTestService(t, dir, Config{})
+	defer svc2.Close()
+	rep, _ := svc2.RecoveryReport(context.Background())
+	if rep.FromStore != 1 {
+		t.Errorf("FromStore = %d, want 1 (crash was after the store write)", rep.FromStore)
+	}
+	if got := svc2.Bus().Counter(CtrExecutions); got != 0 {
+		t.Errorf("recovery re-ran a request whose result was already durable (%d executions)", got)
+	}
+	tk2, ok, err := svc2.Attach(req.Key())
+	if err != nil || !ok {
+		t.Fatalf("attach: ok=%v err=%v", ok, err)
+	}
+	if _, err := tk2.Result(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryIdempotencyKeys: a client that crashed mid-ack retries
+// the same Idem against the restarted daemon and attaches to the
+// journaled request instead of being accepted twice; reusing the Idem
+// for a different request is refused.
+func TestRecoveryIdempotencyKeys(t *testing.T) {
+	dir := t.TempDir()
+	svc := openTestService(t, dir, Config{})
+	req := testReq("allreduce", 1024)
+	req.Idem = "client-42"
+	if _, err := svc.Submit(req); err != nil {
+		t.Fatal(err)
+	}
+	svc.Kill()
+
+	svc2 := openTestService(t, dir, Config{})
+	defer svc2.Close()
+	// Same idem, same request: attaches (idem map rebuilt from journal).
+	before := svc2.Bus().Counter(CtrAccepted)
+	tk, err := svc2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc2.Bus().Counter(CtrAccepted) - before; got != 0 {
+		t.Errorf("idem retry was re-accepted (%d new accepts), want attach", got)
+	}
+	if svc2.Bus().Counter(CtrDedupeIdem)+svc2.Bus().Counter(CtrDedupeStore) == 0 {
+		t.Error("idem retry hit neither the idem map nor the store")
+	}
+	if _, err := tk.Result(); err != nil {
+		t.Fatal(err)
+	}
+	// Same idem, different request: a client bug, refused loudly.
+	other := testReq("allreduce", 999999)
+	other.Idem = "client-42"
+	if _, err := svc2.Submit(other); !errAsBool[*IdemConflictError](err) {
+		t.Errorf("idem reuse for a different request: %v, want IdemConflictError", err)
+	}
+	// AttachIdem finds the original.
+	if _, ok, err := svc2.AttachIdem("client-42"); err != nil || !ok {
+		t.Errorf("AttachIdem: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestRecoveryRestoresQuarantine: poison stays poisoned across kill -9
+// — the shed record restores the quarantine entry, so the resubmit
+// fails fast instead of wedging the fresh pool.
+func TestRecoveryRestoresQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	poison := testReq("allreduce", 1024)
+	alwaysFail := func(ctx context.Context, req Request) ([]byte, error) {
+		return nil, fmt.Errorf("deterministic failure")
+	}
+	svc := openTestService(t, dir, Config{
+		Workers: 1, QueueDepth: 8, MaxAttempts: 2,
+		RetryBackoff: time.Microsecond, Run: alwaysFail,
+	})
+	tk, err := svc.Submit(poison)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Result(); !errAsBool[*QuarantinedError](err) {
+		t.Fatalf("poison resolved %v, want QuarantinedError", err)
+	}
+	svc.Kill()
+
+	svc2 := openTestService(t, dir, Config{
+		Workers: 1, QueueDepth: 8, MaxAttempts: 2, Run: alwaysFail,
+	})
+	defer svc2.Close()
+	rep, _ := svc2.RecoveryReport(context.Background())
+	if rep.Shed != 1 {
+		t.Errorf("recovery restored %d quarantines, want 1", rep.Shed)
+	}
+	if _, err := svc2.Submit(poison); !errAsBool[*QuarantinedError](err) {
+		t.Errorf("poison resubmit after restart: %v, want fast QuarantinedError", err)
+	}
+	if got := svc2.Bus().Counter(CtrExecutions); got != 0 {
+		t.Errorf("quarantined request re-executed %d times after restart, want 0", got)
+	}
+}
+
+// TestRecoveryReadiness: submissions are shed with RecoveringError
+// while replay is parked, and accepted once it finishes.
+func TestRecoveryReadiness(t *testing.T) {
+	dir := t.TempDir()
+	hold := make(chan struct{})
+	svc, err := OpenService(dir, Config{Workers: 1, QueueDepth: 8, HoldRecovery: hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if got := svc.State(); got != "recovering" {
+		t.Errorf("State() = %q before replay, want recovering", got)
+	}
+	if _, err := svc.Submit(testReq("allreduce", 1024)); !errAsBool[*RecoveringError](err) {
+		t.Errorf("submit while recovering: %v, want RecoveringError", err)
+	}
+	close(hold)
+	if err := svc.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.State(); got != "ready" {
+		t.Errorf("State() = %q after replay, want ready", got)
+	}
+	tk, err := svc.Submit(testReq("allreduce", 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Bus().Counter(CtrShedRecovering); got != 1 {
+		t.Errorf("CtrShedRecovering = %d, want 1", got)
+	}
+}
+
+// TestRecoveryLeaseSeeding: lease IDs stay monotone across restarts —
+// a new daemon's first lease is past everything in the journal.
+func TestRecoveryLeaseSeeding(t *testing.T) {
+	dir := t.TempDir()
+	svc := openTestService(t, dir, Config{Workers: 2})
+	for i := 0; i < 4; i++ {
+		tk, err := svc.Submit(testReq("allreduce", int64(1024+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Kill()
+
+	svc2 := openTestService(t, dir, Config{Workers: 2})
+	defer svc2.Close()
+	svc2.mu.Lock()
+	seeded := svc2.leaseSeq
+	svc2.mu.Unlock()
+	if seeded < 4 {
+		t.Errorf("leaseSeq seeded to %d, want >= 4 (monotone across restarts)", seeded)
+	}
+}
+
+// TestRecoveryManyRestarts: N kill/reopen cycles over the same dir,
+// submitting a few new requests each incarnation; the final incarnation
+// owes everything ever acked.
+func TestRecoveryManyRestarts(t *testing.T) {
+	dir := t.TempDir()
+	want := map[Key]bool{}
+	for gen := 0; gen < 4; gen++ {
+		svc := openTestService(t, dir, Config{Workers: 2, QueueDepth: 64})
+		for i := 0; i < 3; i++ {
+			req := testReq("allreduce", int64(1024*(gen*3+i+1)))
+			if _, err := svc.Submit(req); err != nil {
+				t.Fatal(err)
+			}
+			want[req.Key()] = true
+		}
+		svc.Kill()
+	}
+	final := openTestService(t, dir, Config{Workers: 2, QueueDepth: 64})
+	defer final.Close()
+	for k := range want {
+		tk, ok, err := final.Attach(k)
+		if err != nil || !ok {
+			t.Fatalf("attach %s after 4 generations: ok=%v err=%v", k, ok, err)
+		}
+		if _, err := tk.Result(); err != nil {
+			t.Fatalf("key %s: %v", k, err)
+		}
+	}
+	// Everything terminal: compaction should have collapsed the journal.
+	final.Drain()
+	if got := final.Journal().SegmentCount(); got > 2 {
+		t.Errorf("journal at %d segments after all work terminal, want <= 2", got)
+	}
+}
+
+// TestCrashPointMatrix runs one submit through a daemon killed at each
+// crash boundary in turn and checks the recovery ledger balances every
+// time: after restart the request completes exactly once.
+func TestCrashPointMatrix(t *testing.T) {
+	for _, point := range CrashPoints {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			req := testReq("allreduce", 2048)
+			req.Idem = "matrix-" + point
+			fired := false
+			svc, err := OpenService(dir, Config{
+				Workers: 1, QueueDepth: 8,
+				CrashHook: func(p string, key Key) bool {
+					if p == point && !fired {
+						fired = true
+						return true
+					}
+					return false
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.WaitReady(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			tk, serr := svc.Submit(req)
+			acked := serr == nil
+			if acked {
+				_, rerr := tk.Result()
+				if rerr != nil && !errAsBool[*KilledError](rerr) {
+					t.Fatalf("ticket: %v", rerr)
+				}
+			} else if !errAsBool[*KilledError](serr) {
+				t.Fatalf("submit: %v", serr)
+			}
+			for !svc.Killed() {
+				time.Sleep(time.Millisecond) // async points (start/store-write/resolve)
+			}
+
+			svc2 := openTestService(t, dir, Config{Workers: 1, QueueDepth: 8})
+			defer svc2.Close()
+			// The client retry protocol: if the ack never arrived, resubmit
+			// the same idem; if it did, attach. Either way: exactly one
+			// result, byte-identical to a clean run.
+			var payload []byte
+			if acked {
+				tk2, ok, err := svc2.Attach(req.Key())
+				if err != nil || !ok {
+					t.Fatalf("attach at %s: ok=%v err=%v", point, ok, err)
+				}
+				payload, err = tk2.Result()
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				tk2, err := svc2.Submit(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				payload, err = tk2.Result()
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := Simulate(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(payload) != string(want) {
+				t.Errorf("crash at %s: recovered bytes differ from clean run", point)
+			}
+			if got := svc2.Bus().Counter(CtrExecutions); got > 1 {
+				t.Errorf("crash at %s: %d executions after restart, want <= 1", point, got)
+			}
+		})
+	}
+}
+
+// TestOpenServiceTwice: the wal/ subdirectory must not confuse the
+// store scavenger, and sequential open/close cycles must be clean.
+func TestOpenServiceCleanCycles(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		svc := openTestService(t, dir, Config{})
+		rep, _ := svc.RecoveryReport(context.Background())
+		if rep.Scavenge.Corrupt != 0 || rep.Scavenge.Torn != 0 {
+			t.Fatalf("cycle %d: scavenger ate %d/%d entries of a clean store",
+				i, rep.Scavenge.Corrupt, rep.Scavenge.Torn)
+		}
+		tk, err := svc.Submit(testReq("allreduce", 1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Result(); err != nil {
+			t.Fatal(err)
+		}
+		svc.Close()
+	}
+}
+
+// TestKilledServiceStateAndAppend: after Kill, submits fail typed, the
+// state reports killed, and the journal refuses appends.
+func TestKilledServiceState(t *testing.T) {
+	dir := t.TempDir()
+	svc := openTestService(t, dir, Config{})
+	svc.Kill()
+	if got := svc.State(); got != "killed" {
+		t.Errorf("State() = %q, want killed", got)
+	}
+	if _, err := svc.Submit(testReq("allreduce", 1024)); !errAsBool[*KilledError](err) {
+		t.Errorf("submit on killed service: %v, want KilledError", err)
+	}
+	if err := svc.Journal().Append(WALRecord{Type: RecAccepted, Key: "x"}, false); err != ErrWALFrozen {
+		t.Errorf("journal append on killed service: %v, want ErrWALFrozen", err)
+	}
+	svc.Kill() // idempotent
+}
+
+func TestRecoveryReportString(t *testing.T) {
+	dir := t.TempDir()
+	svc := openTestService(t, dir, Config{})
+	defer svc.Close()
+	rep, err := svc.RecoveryReport(context.Background())
+	if err != nil || rep == nil {
+		t.Fatalf("rep=%v err=%v", rep, err)
+	}
+	if rep.Journal.Records != 0 || rep.Requeued != 0 {
+		t.Errorf("fresh dir recovered %+v, want zeroes", *rep)
+	}
+	_ = fmt.Sprintf("%+v", *rep)
+}

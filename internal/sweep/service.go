@@ -38,7 +38,37 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Run executes requests (default Simulate).
 	Run RunFunc
+	// SegmentRecords rotates journal segments after this many records
+	// (default DefaultSegmentRecords; only meaningful via OpenService).
+	SegmentRecords int
+	// CrashHook, when non-nil, is consulted at every durability
+	// boundary (see CrashAccept..CrashResolve); returning true kills
+	// the daemon on the spot, exactly as SIGKILL would. Chaos only.
+	CrashHook func(point string, key Key) bool
+	// HoldRecovery, when non-nil, parks journal replay until the
+	// channel closes, keeping the service observably "recovering".
+	// Test hook only.
+	HoldRecovery <-chan struct{}
 }
+
+// Crash-point names, the durability boundaries a chaos CrashHook can
+// fire at. Ordered along a request's life:
+//
+//	accept      admission granted, accepted record NOT yet journaled
+//	journal     accepted record durable, ack not yet returned
+//	start       lease journaled, execution not yet begun
+//	store-write result in the store, completed record not yet journaled
+//	resolve     completed record journaled, tickets not yet resolved
+const (
+	CrashAccept     = "accept"
+	CrashJournal    = "journal"
+	CrashStart      = "start"
+	CrashStoreWrite = "store-write"
+	CrashResolve    = "resolve"
+)
+
+// CrashPoints lists every boundary in order (chaos schedules index it).
+var CrashPoints = []string{CrashAccept, CrashJournal, CrashStart, CrashStoreWrite, CrashResolve}
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -64,6 +94,11 @@ func (c Config) withDefaults() Config {
 // free of charge, the latter burns an attempt.
 var errWorkerKilled = errors.New("sweep: worker killed")
 
+// errDaemonKilled is the cancel cause when the whole daemon dies
+// abruptly (chaos kill -9): nothing is journaled, nothing resolves
+// normally, and recovery on the next incarnation owes the work.
+var errDaemonKilled = errors.New("sweep: daemon killed")
+
 // job is one execution: the unit of dedupe, retry and quarantine. Many
 // tickets may ride one job.
 type job struct {
@@ -74,6 +109,11 @@ type job struct {
 	result    []byte
 	err       error
 	done      chan struct{}
+	// lease is the journaled worker lease currently executing the job
+	// (0 when queued); recovered marks a job re-enqueued from the
+	// journal rather than a live Submit.
+	lease     uint64
+	recovered bool
 }
 
 // Ticket is one submission's handle on its (possibly shared) job.
@@ -116,6 +156,9 @@ type worker struct {
 type Service struct {
 	cfg   Config
 	store *Store
+	// wal is the durable ack journal (nil for in-memory services built
+	// with NewService; set by OpenService).
+	wal *WAL
 	// bus is the service's own telemetry (wall-clock side): queue
 	// depth, shed counters, retry histograms, dedupe hit-rate.
 	bus *obs.Bus
@@ -128,27 +171,51 @@ type Service struct {
 	quarantine map[Key]*QuarantinedError
 	workers    map[int]*worker
 	nextWorker int
+	// idem maps client idempotency keys onto content keys, rebuilt
+	// from the journal at recovery.
+	idem map[string]Key
+	// leaseSeq numbers worker leases, monotone across restarts (seeded
+	// past the journal's max at recovery).
+	leaseSeq uint64
 	// draining sheds new admissions while already-accepted work runs to
 	// completion (Shutdown); closed is the abrupt stop that fails
-	// everything still pending (Close).
+	// everything still pending (Close); killed is the abrupt death of
+	// the whole daemon (chaos kill -9): journal frozen, no shed
+	// records, pending tickets torn with KilledError.
 	draining bool
 	closed   bool
+	killed   bool
+
+	// ready is closed once journal replay finishes (immediately for
+	// NewService); Submit sheds RecoveringError until then.
+	ready     chan struct{}
+	recReport *RecoveryReport
 
 	workerWG sync.WaitGroup
 	jobWG    sync.WaitGroup
 }
 
 // NewService starts a service over store (which may be nil for a
-// purely in-memory, restart-amnesiac service; tests use that).
+// purely in-memory, restart-amnesiac service; tests use that). For a
+// journaled, crash-recoverable service use OpenService.
 func NewService(store *Store, cfg Config) *Service {
+	s := newService(store, nil, cfg)
+	close(s.ready) // no journal, nothing to replay
+	return s
+}
+
+func newService(store *Store, wal *WAL, cfg Config) *Service {
 	s := &Service{
 		cfg:        cfg.withDefaults(),
 		store:      store,
+		wal:        wal,
 		bus:        obs.NewBus(simtime.NewEngine()),
 		inflight:   map[Key]*job{},
 		tenantLoad: map[string]int{},
 		quarantine: map[Key]*QuarantinedError{},
 		workers:    map[int]*worker{},
+		idem:       map[string]Key{},
+		ready:      make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.bus.SetHistBuckets(HistAttempts, []float64{1, 2, 3, 4, 5, 8, 16})
@@ -195,14 +262,24 @@ func (s *Service) Submit(req Request) (*Ticket, error) {
 	key := req.Key()
 
 	s.mu.Lock()
-	if s.closed || s.draining {
-		s.bus.Add(CtrShedDraining, 1)
+	if ok, err := s.admissibleLocked(key); !ok {
 		s.mu.Unlock()
-		return nil, &ShutdownError{Key: key}
+		return nil, err
 	}
-	if qe := s.quarantine[key]; qe != nil {
-		s.mu.Unlock()
-		return nil, qe
+	// Idempotency fast path: a known Idem either attaches to its
+	// in-flight job or falls through to the store lookup (terminal).
+	if req.Idem != "" {
+		if have, ok := s.idem[req.Idem]; ok {
+			if have != key {
+				s.mu.Unlock()
+				return nil, &IdemConflictError{Idem: req.Idem, Have: have, Got: key}
+			}
+			if j := s.inflight[key]; j != nil {
+				s.bus.Add(CtrDedupeIdem, 1)
+				s.mu.Unlock()
+				return &Ticket{j: j}, nil
+			}
+		}
 	}
 	s.mu.Unlock()
 
@@ -230,31 +307,118 @@ func (s *Service) Submit(req Request) (*Ticket, error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed || s.draining {
-		s.bus.Add(CtrShedDraining, 1)
-		return nil, &ShutdownError{Key: key}
+	if ok, err := s.admissibleLocked(key); !ok {
+		s.mu.Unlock()
+		return nil, err
 	}
 	if j := s.inflight[key]; j != nil {
 		s.bus.Add(CtrDedupeInflight, 1)
+		if req.Idem != "" {
+			s.idem[req.Idem] = key
+		}
+		s.mu.Unlock()
 		return &Ticket{j: j}, nil
 	}
 	if s.cfg.TenantQuota > 0 && s.tenantLoad[req.Tenant] >= s.cfg.TenantQuota {
 		s.bus.Add(CtrShedQuota, 1)
+		s.mu.Unlock()
 		return nil, &QuotaExceededError{Tenant: req.Tenant, Limit: s.cfg.TenantQuota}
 	}
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.bus.Add(CtrShedOverload, 1)
+		s.mu.Unlock()
 		return nil, &OverloadedError{Depth: s.cfg.QueueDepth}
 	}
+	// Reserve the admission slot before the journal fsync so a
+	// concurrent duplicate attaches instead of double-accepting.
 	j := &job{req: req, key: key, done: make(chan struct{})}
 	s.inflight[key] = j
 	s.tenantLoad[req.Tenant]++
+	if req.Idem != "" {
+		s.idem[req.Idem] = key
+	}
 	s.jobWG.Add(1)
+	s.mu.Unlock()
+
+	// Durability boundary: the ack below is a promise the journal must
+	// back. Crash-point "accept" models dying before the record lands
+	// (nothing acked, nothing owed); "journal" models dying after (the
+	// record is durable, recovery owes the client this result even
+	// though the ack never made it back).
+	if s.crashAt(CrashAccept, key) {
+		return nil, &KilledError{Key: key, Point: CrashAccept}
+	}
+	if s.wal != nil {
+		err := s.wal.Append(WALRecord{
+			Type: RecAccepted, Key: key.String(), Req: &req, Idem: req.Idem,
+		}, true)
+		if err != nil {
+			s.mu.Lock()
+			killed := s.killed
+			s.mu.Unlock()
+			if killed || errors.Is(err, ErrWALFrozen) {
+				return nil, &KilledError{Key: key}
+			}
+			// Journal write failed on a live daemon: roll the
+			// reservation back and refuse the ack we cannot back.
+			s.fail(j, err)
+			return nil, err
+		}
+		s.bus.Add(CtrJournalRecords, 1)
+	}
+	if s.crashAt(CrashJournal, key) {
+		return nil, &KilledError{Key: key, Point: CrashJournal}
+	}
+
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return nil, &KilledError{Key: key}
+	}
+	if s.closed {
+		s.mu.Unlock()
+		s.fail(j, &ShutdownError{Key: key})
+		return nil, &ShutdownError{Key: key}
+	}
 	s.enqueueLocked(j)
 	s.bus.Add(CtrAccepted, 1)
 	s.bus.Add(CtrDedupeMiss, 1)
+	s.mu.Unlock()
 	return &Ticket{j: j}, nil
+}
+
+// admissibleLocked gates every Submit entry: the daemon must be alive,
+// ready (journal replay done), not draining, and the key not poisoned.
+func (s *Service) admissibleLocked(key Key) (bool, error) {
+	if s.killed {
+		return false, &KilledError{Key: key}
+	}
+	if s.closed || s.draining {
+		s.bus.Add(CtrShedDraining, 1)
+		return false, &ShutdownError{Key: key}
+	}
+	select {
+	case <-s.ready:
+	default:
+		s.bus.Add(CtrShedRecovering, 1)
+		return false, &RecoveringError{}
+	}
+	if qe := s.quarantine[key]; qe != nil {
+		return false, qe
+	}
+	return true, nil
+}
+
+// crashAt consults the chaos hook at a durability boundary. When the
+// hook fires the daemon dies on the spot — journal frozen, workers
+// abandoned, pending tickets torn — exactly as SIGKILL would land
+// between the two instructions. Callers unwind with KilledError.
+func (s *Service) crashAt(point string, key Key) bool {
+	if s.cfg.CrashHook == nil || !s.cfg.CrashHook(point, key) {
+		return false
+	}
+	s.Kill()
+	return true
 }
 
 // SubmitBatch admits a batch, returning one ticket-or-error per
@@ -287,10 +451,10 @@ func (s *Service) workerLoop(w *worker) {
 	defer s.workerWG.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed && !w.dying {
+		for len(s.queue) == 0 && !s.closed && !s.killed && !w.dying {
 			s.cond.Wait()
 		}
-		if s.closed || w.dying {
+		if s.closed || s.killed || w.dying {
 			s.workerExitedLocked(w)
 			s.mu.Unlock()
 			return
@@ -298,19 +462,38 @@ func (s *Service) workerLoop(w *worker) {
 		j := s.queue[0]
 		s.queue = s.queue[1:]
 		s.bus.Add(CtrQueueDepth, -1)
+		s.leaseSeq++
+		j.lease = s.leaseSeq
+		attempt := j.attempts + 1
 		ctx, cancel := context.WithCancelCause(context.Background())
 		w.cancel = cancel
 		s.mu.Unlock()
+
+		// Journal the lease (async: losing it only widens replay back
+		// to the accepted record), then honor the "start" crash point —
+		// SIGKILL between taking the lease and doing the work.
+		if s.wal != nil {
+			if err := s.wal.Append(WALRecord{
+				Type: RecStarted, Key: j.key.String(), Lease: j.lease, Attempt: attempt,
+			}, false); err == nil {
+				s.bus.Add(CtrJournalRecords, 1)
+			}
+		}
+		if s.crashAt(CrashStart, j.key) {
+			cancel(errDaemonKilled)
+			continue // loop observes killed and exits
+		}
 
 		s.execute(w, j, ctx, cancel)
 	}
 }
 
-// workerExitedLocked retires w and, unless the service is closing,
-// starts a replacement: a killed worker is a fault, not a downsize.
+// workerExitedLocked retires w and, unless the service is closing or
+// the daemon is dead, starts a replacement: a killed worker is a
+// fault, not a downsize.
 func (s *Service) workerExitedLocked(w *worker) {
 	delete(s.workers, w.id)
-	if !s.closed && w.dying {
+	if !s.closed && !s.killed && w.dying {
 		s.startWorkerLocked()
 		s.bus.Add(CtrWorkerRestarts, 1)
 	}
@@ -335,6 +518,7 @@ func (s *Service) execute(w *worker, j *job, ctx context.Context, cancel context
 		runCtx, cancelTimeout = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	}
 	start := time.Now()
+	s.bus.Add(CtrExecutions, 1)
 	res, err := s.runGuarded(runCtx, j.req)
 	s.bus.Observe(HistExecuteSecs, time.Since(start).Seconds())
 	if cancelTimeout != nil {
@@ -349,7 +533,14 @@ func (s *Service) execute(w *worker, j *job, ctx context.Context, cancel context
 	s.mu.Lock()
 	w.cancel = nil
 	killed := context.Cause(ctx) == errWorkerKilled
+	daemonDead := s.killed || context.Cause(ctx) == errDaemonKilled
+	lease := j.lease
 	s.mu.Unlock()
+	if daemonDead {
+		// kill -9 landed mid-run: no store write, no journal record,
+		// no resolution. The next incarnation replays from accepted.
+		return
+	}
 
 	switch {
 	case err == nil:
@@ -362,6 +553,23 @@ func (s *Service) execute(w *worker, j *job, ctx context.Context, cancel context
 				s.fail(j, perr)
 				return
 			}
+		}
+		// "store-write": dead after the result landed but before the
+		// completed record — recovery must dedupe against the store
+		// instead of re-running. "resolve": dead after the completed
+		// record — recovery marks the key terminal, clients re-attach.
+		if s.crashAt(CrashStoreWrite, j.key) {
+			return
+		}
+		if s.wal != nil {
+			if werr := s.wal.Append(WALRecord{
+				Type: RecCompleted, Key: j.key.String(), Lease: lease,
+			}, false); werr == nil {
+				s.bus.Add(CtrJournalRecords, 1)
+			}
+		}
+		if s.crashAt(CrashResolve, j.key) {
+			return
 		}
 		s.complete(j, res)
 	case killed:
@@ -396,6 +604,15 @@ func (s *Service) retryOrQuarantine(j *job, err error) {
 		s.quarantine[j.key] = qe
 		s.mu.Unlock()
 		s.bus.Add(CtrQuarantined, 1)
+		// Terminal-without-result: journal the shed so recovery does
+		// not resurrect a poison request into a fresh worker pool.
+		if s.wal != nil {
+			if werr := s.wal.Append(WALRecord{
+				Type: RecShed, Key: j.key.String(), Reason: qe.Error(),
+			}, false); werr == nil {
+				s.bus.Add(CtrJournalRecords, 1)
+			}
+		}
 		s.fail(j, qe)
 		return
 	}
@@ -429,7 +646,7 @@ func retryJitter(key Key, attempt int, backoff time.Duration) time.Duration {
 // work). A closed service fails it instead.
 func (s *Service) requeueNow(j *job) {
 	s.mu.Lock()
-	if j.completed {
+	if j.completed || s.killed {
 		s.mu.Unlock()
 		return
 	}
@@ -578,4 +795,138 @@ func (s *Service) Close() {
 		s.fail(j, &ShutdownError{Key: j.key})
 	}
 	s.workerWG.Wait()
+	if s.wal != nil {
+		s.wal.Close()
+	}
 }
+
+// Kill is the in-process kill -9: the journal freezes mid-air (no shed
+// records, no final sync), workers are torn down without post-
+// processing, the store sees no further writes from this incarnation,
+// and every pending ticket fails with KilledError so in-process
+// clients unblock (the stand-in for their connection resetting). What
+// Close leaves consistent, Kill leaves merely recoverable — which is
+// the property the journal exists to guarantee. Idempotent.
+func (s *Service) Kill() {
+	s.mu.Lock()
+	if s.killed || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.killed = true
+	pending := make([]*job, 0, len(s.inflight))
+	for _, j := range s.inflight {
+		pending = append(pending, j)
+	}
+	s.bus.Add(CtrQueueDepth, -int64(len(s.queue)))
+	s.queue = nil
+	var cancels []context.CancelCauseFunc
+	for _, w := range s.workers {
+		if w.cancel != nil {
+			cancels = append(cancels, w.cancel)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	if s.wal != nil {
+		s.wal.Freeze()
+	}
+	for _, cancel := range cancels {
+		cancel(errDaemonKilled)
+	}
+	for _, j := range pending {
+		s.fail(j, &KilledError{Key: j.key})
+	}
+}
+
+// Killed reports whether Kill has fired.
+func (s *Service) Killed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
+}
+
+// State names the service's lifecycle phase for readiness probes:
+// "recovering" (journal replay in progress), "ready", "draining"
+// (graceful shutdown), "closed", or "killed".
+func (s *Service) State() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.killed:
+		return "killed"
+	case s.closed:
+		return "closed"
+	case s.draining:
+		return "draining"
+	}
+	select {
+	case <-s.ready:
+		return "ready"
+	default:
+		return "recovering"
+	}
+}
+
+// WaitReady blocks until journal replay finishes (immediately for
+// services with no journal) or ctx expires.
+func (s *Service) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.ready:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Attach returns a ticket for key without submitting anything: the
+// in-flight (possibly journal-recovered) job if one exists, else a
+// completed ticket served from the store, else a terminal quarantine
+// error, else (nil, false). This is how a client that lost its
+// connection to a killed daemon re-joins its acked work after restart
+// — no resubmission, recovery alone carries the request.
+func (s *Service) Attach(key Key) (*Ticket, bool, error) {
+	s.mu.Lock()
+	if j := s.inflight[key]; j != nil {
+		s.mu.Unlock()
+		return &Ticket{j: j}, true, nil
+	}
+	qe := s.quarantine[key]
+	s.mu.Unlock()
+	if qe != nil {
+		return nil, true, qe
+	}
+	if s.store != nil {
+		payload, err := s.store.Get(key)
+		if err != nil && !errAsBool[*CorruptEntryError](err) {
+			return nil, false, err
+		}
+		if payload != nil {
+			j := &job{key: key, completed: true, result: payload, done: make(chan struct{})}
+			close(j.done)
+			return &Ticket{j: j}, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// AttachIdem is Attach addressed by client idempotency key.
+func (s *Service) AttachIdem(idem string) (*Ticket, bool, error) {
+	s.mu.Lock()
+	key, ok := s.idem[idem]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	return s.Attach(key)
+}
+
+// errAsBool is errors.As as a predicate.
+func errAsBool[T error](err error) bool {
+	var t T
+	return errors.As(err, &t)
+}
+
+// Journal exposes the write-ahead journal (nil for NewService).
+func (s *Service) Journal() *WAL { return s.wal }

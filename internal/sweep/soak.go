@@ -3,8 +3,8 @@ package sweep
 import (
 	"bytes"
 	"context"
-	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,11 +12,12 @@ import (
 
 // SoakOptions tunes one chaos campaign (see Soak).
 type SoakOptions struct {
-	// Dir is the store directory (required; persists across the
-	// mid-campaign daemon restart).
+	// Dir is the service directory (required; store + journal persist
+	// across every daemon kill in the campaign).
 	Dir string
 	// Seed drives the deterministic chaos schedule (which workers die,
-	// which entries are corrupted, how the offered load is shuffled).
+	// which entries are corrupted, where the daemon crashes, how the
+	// offered load is shuffled).
 	Seed uint64
 	// Offered is the total number of submissions (default 200). The
 	// request population is two overlapping grids, so offered load
@@ -32,9 +33,13 @@ type SoakOptions struct {
 	Kills int
 	// Corruptions is how many store-corruption injections (default 6).
 	Corruptions int
-	// Restart, when true (the default via DefaultSoakOptions), kills
-	// and restarts the daemon mid-campaign.
+	// Restart, when true (the default via the CLI), kills the daemon
+	// abruptly mid-campaign — kill -9, not a drain — at seeded
+	// durability boundaries, and requires journal recovery alone to
+	// finish every acked request: clients re-attach, they do not
+	// resubmit. Crashes sets how many such kills (default 3).
 	Restart bool
+	Crashes int
 	// Timeout bounds the whole campaign (default 3m).
 	Timeout time.Duration
 	// Log, when non-nil, receives progress lines.
@@ -50,8 +55,21 @@ type SoakReport struct {
 	Corruptions    int
 	StoreEvictions int64
 	DaemonRestarts int
-	DedupeHitRate  float64
-	Violations     []string
+	// CrashPoints counts where the seeded kill -9s landed
+	// (accept/journal/start/store-write/resolve).
+	CrashPoints map[string]int
+	// Recovered counts requests the journal re-enqueued or repaired
+	// across all restarts — the work a crash used to drop.
+	Recovered int
+	// ResubmitExecutions is the negative control: executions caused by
+	// resubmitting the whole campaign after recovery finished. Must be
+	// zero — recovery alone, not client resubmission, completes work.
+	ResubmitExecutions int64
+	// LiveSegments is the journal segment count after the final
+	// graceful drain (compaction bound: <= 2).
+	LiveSegments  int
+	DedupeHitRate float64
+	Violations    []string
 }
 
 // Ok reports whether every invariant held.
@@ -75,6 +93,12 @@ func (o SoakOptions) withDefaults() SoakOptions {
 	if o.Corruptions == 0 {
 		o.Corruptions = 6
 	}
+	if o.Restart && o.Crashes <= 0 {
+		o.Crashes = 3
+	}
+	if !o.Restart {
+		o.Crashes = 0
+	}
 	if o.Timeout <= 0 {
 		o.Timeout = 3 * time.Minute
 	}
@@ -96,7 +120,9 @@ func (r *soakRNG) intn(n int) int { return int(r.next() % uint64(n)) }
 // soakPopulation builds the offered load: two overlapping grids of
 // small, fast simulations, cycled and shuffled to the offered count.
 // The overlap plus the cycling guarantees a dedupe hit-rate well above
-// the 30% acceptance bar once the store warms.
+// the 30% acceptance bar once the store warms. Every index gets its
+// own client idempotency key, so a client that cannot tell whether an
+// ack landed (the daemon died under the submit) can safely retry.
 func soakPopulation(r *soakRNG, offered int) []Request {
 	gridA := Grid{
 		Tenant: "team-a",
@@ -119,20 +145,131 @@ func soakPopulation(r *soakRNG, offered int) []Request {
 		j := r.intn(i + 1)
 		out[i], out[j] = out[j], out[i]
 	}
+	for i := range out {
+		out[i].Idem = fmt.Sprintf("soak-%d", i)
+	}
 	return out
 }
 
+// crashSchedule arms a Config.CrashHook with a seeded plan: for each
+// budgeted kill, wait out a countdown of boundary events, then die at
+// the first occurrence of the chosen boundary point. Deterministic in
+// the seed up to goroutine interleaving — which is the point: the
+// crash lands wherever the race actually is.
+type crashSchedule struct {
+	mu        sync.Mutex
+	countdown int
+	point     string
+	remaining int
+	rng       *soakRNG
+	fired     map[string]int
+}
+
+func newCrashSchedule(seed uint64, crashes int) *crashSchedule {
+	cs := &crashSchedule{
+		remaining: crashes,
+		rng:       &soakRNG{x: seed ^ 0x2545f4914f6cdd1d},
+		fired:     map[string]int{},
+	}
+	cs.arm()
+	return cs
+}
+
+func (cs *crashSchedule) arm() {
+	if cs.remaining <= 0 {
+		return
+	}
+	cs.countdown = 8 + cs.rng.intn(48)
+	cs.point = CrashPoints[cs.rng.intn(len(CrashPoints))]
+}
+
+// hook is the Config.CrashHook.
+func (cs *crashSchedule) hook(point string, key Key) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.remaining <= 0 {
+		return false
+	}
+	if cs.countdown > 0 {
+		cs.countdown--
+		return false
+	}
+	if point != cs.point {
+		return false // wait for the chosen boundary to come around
+	}
+	cs.remaining--
+	cs.fired[point]++
+	cs.arm()
+	return true
+}
+
+// disarm ends the chaos window: any unspent crash budget is dropped so
+// the verification phases (healing pass, negative control, compaction
+// check) run against a daemon that stays up.
+func (cs *crashSchedule) disarm() {
+	cs.mu.Lock()
+	cs.remaining = 0
+	cs.mu.Unlock()
+}
+
+func (cs *crashSchedule) firedPoints() map[string]int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make(map[string]int, len(cs.fired))
+	for k, v := range cs.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// counterRollup accumulates bus counters across daemon incarnations.
+type counterRollup struct {
+	mu     sync.Mutex
+	totals map[string]int64
+}
+
+func (cr *counterRollup) fold(s *Service) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if cr.totals == nil {
+		cr.totals = map[string]int64{}
+	}
+	for _, name := range []string{
+		CtrDedupeStore, CtrDedupeInflight, CtrDedupeIdem, CtrDedupeMiss,
+		CtrStoreEvictions, CtrWorkerKills, CtrExecutions,
+		CtrRecoveryRequeued, CtrRecoveryFromStore,
+	} {
+		cr.totals[name] += s.Bus().Counter(name)
+	}
+}
+
+func (cr *counterRollup) get(name string) int64 {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.totals[name]
+}
+
 // Soak runs the service-level chaos campaign: offered load far above
-// capacity, worker kills, store corruption injected mid-sweep, and
-// (optionally) an abrupt daemon kill/restart halfway — then checks the
-// contract that justifies all the machinery:
+// capacity, worker kills, store corruption, and — with Restart —
+// seeded kill -9s of the whole daemon at durability boundaries
+// (accept/journal/start/store-write/resolve), then checks the contract
+// that justifies all the machinery:
 //
-//   - every accepted request resolves exactly once, with bytes
-//     identical to a clean serial run of the same request;
+//   - every acked request completes across any number of daemon
+//     crashes with NO client resubmission: after a restart the client
+//     re-attaches to its acked work (journal recovery re-enqueued it)
+//     and the bytes match a clean serial run;
+//   - a submission the daemon died under (ack unknown) is safely
+//     retried by idempotency key — never lost, never double-accepted,
+//     never double-resolved;
 //   - shed requests fail with typed Overloaded/QuotaExceeded errors
 //     and succeed on client retry;
 //   - corruption is never served: a damaged entry is evicted and
 //     recomputed, and the recomputed bytes match the baseline;
+//   - the resubmit path is a pure negative control: re-offering the
+//     whole campaign after recovery causes zero executions;
+//   - journal compaction holds: <= 2 live segments after the final
+//     graceful drain;
 //   - the dedupe hit-rate over the overlapping grids clears 30%.
 //
 // Violations are collected, not panicked, so the CI job can print them
@@ -146,63 +283,89 @@ func Soak(opt SoakOptions) (*SoakReport, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	rep := &SoakReport{Offered: opt.Offered}
+	rep := &SoakReport{Offered: opt.Offered, CrashPoints: map[string]int{}}
+	violate := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
 	r := &soakRNG{x: opt.Seed ^ 0xda3e39cb94b95bdb}
 	reqs := soakPopulation(r, opt.Offered)
+	keys := make([]Key, len(reqs))
+	for i := range reqs {
+		keys[i] = reqs[i].Key()
+	}
 
 	// Clean serial baseline: one plain Simulate per unique key, no
 	// service anywhere near it.
 	baseline := map[Key][]byte{}
-	for _, req := range reqs {
-		k := req.Key()
-		if _, ok := baseline[k]; ok {
+	for i, req := range reqs {
+		if _, ok := baseline[keys[i]]; ok {
 			continue
 		}
 		payload, err := Simulate(context.Background(), req)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: serial baseline for %s: %w", k, err)
+			return nil, fmt.Errorf("sweep: serial baseline for %s: %w", keys[i], err)
 		}
-		baseline[k] = payload
+		baseline[keys[i]] = payload
 	}
 	rep.UniqueKeys = len(baseline)
 	logf("soak: %d offered over %d unique keys, baseline done", opt.Offered, rep.UniqueKeys)
 
-	store, scav, err := OpenStore(opt.Dir)
-	if err != nil {
-		return nil, err
-	}
-	logf("soak: store opened (kept %d, scavenged %d corrupt, %d torn)",
-		scav.Kept, scav.Corrupt, scav.Torn)
+	crashes := newCrashSchedule(opt.Seed, opt.Crashes)
 	cfg := Config{
 		Workers:      opt.Workers,
 		QueueDepth:   opt.QueueDepth,
 		TenantQuota:  max(opt.QueueDepth/2, 2),
 		MaxAttempts:  5,
 		RetryBackoff: 500 * time.Microsecond,
+		CrashHook:    crashes.hook,
 	}
-	svc := NewService(store, cfg)
-	var svcMu sync.Mutex // guards svc across the daemon restart
+	deadline := time.Now().Add(opt.Timeout)
+	rollup := &counterRollup{}
+
+	open := func() (*Service, error) {
+		svc, err := OpenService(opt.Dir, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		defer cancel()
+		recRep, err := svc.RecoveryReport(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: recovery never finished: %w", err)
+		}
+		rep.Recovered += recRep.Requeued + recRep.FromStore
+		logf("soak: daemon up (scavenged %d corrupt/%d torn; journal %d records, %d truncated; "+
+			"requeued %d, repaired-from-store %d)",
+			recRep.Scavenge.Corrupt, recRep.Scavenge.Torn,
+			recRep.Journal.Records, recRep.Journal.Truncated,
+			recRep.Requeued, recRep.FromStore)
+		return svc, nil
+	}
+	svc, err := open()
+	if err != nil {
+		return nil, err
+	}
+	var svcMu sync.Mutex // guards svc across daemon restarts
 	current := func() *Service {
 		svcMu.Lock()
 		defer svcMu.Unlock()
 		return svc
 	}
 
-	deadline := time.Now().Add(opt.Timeout)
 	var shed, killsDone, corruptionsDone atomic.Int64
-	var resolved atomic.Int64
 	stopChaos := make(chan struct{})
 	var chaosWG sync.WaitGroup
 
 	// Chaos injector: kills workers and corrupts store entries while
-	// the sweep is in flight.
+	// the sweep is in flight. Daemon kills are NOT injected here —
+	// those fire at seeded durability boundaries via the CrashHook.
 	chaosWG.Add(1)
 	go func() {
 		defer chaosWG.Done()
 		cr := &soakRNG{x: opt.Seed ^ 0xa0761d6478bd642f}
-		keys := make([]Key, 0, len(baseline))
+		bkeys := make([]Key, 0, len(baseline))
 		for k := range baseline {
-			keys = append(keys, k)
+			bkeys = append(bkeys, k)
 		}
 		for {
 			select {
@@ -218,8 +381,8 @@ func Soak(opt SoakOptions) (*SoakReport, error) {
 					}
 				}
 			}
-			if int(corruptionsDone.Load()) < opt.Corruptions && len(keys) > 0 {
-				k := keys[cr.intn(len(keys))]
+			if int(corruptionsDone.Load()) < opt.Corruptions && len(bkeys) > 0 {
+				k := bkeys[cr.intn(len(bkeys))]
 				// Corrupt through the current incarnation's store so the
 				// daemon restart (which swaps stores) stays race-free.
 				if ok, _ := s.Store().CorruptEntry(k, uint(cr.next()%4096)); ok {
@@ -229,159 +392,247 @@ func Soak(opt SoakOptions) (*SoakReport, error) {
 		}
 	}()
 
-	// Client: submit everything, retrying shed requests — the contract
-	// is explicit rejection now, success on retry, never silent loss.
-	verify := func(i int, req Request, payload []byte, err error) {
+	// Per-index client ledger. acked[i] is set the moment Submit
+	// returns a ticket — from that point on the request must complete
+	// without resubmission. resolutions[i] counts terminal outcomes
+	// the client observed (>1 is a duplicate-resolution violation).
+	acked := make([]*Ticket, len(reqs))
+	done := make([]bool, len(reqs))
+	resolutions := make([]int, len(reqs))
+	verify := func(i int, key Key, payload []byte, err error) {
 		if err != nil {
-			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("request %d (%s): terminal error: %v", i, req.Key(), err))
+			violate("request %d (%s): terminal error: %v", i, key, err)
 			return
 		}
-		if want := baseline[req.Key()]; !bytes.Equal(payload, want) {
-			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("request %d (%s): result differs from clean serial run (%d vs %d bytes)",
-					i, req.Key(), len(payload), len(want)))
+		if want := baseline[key]; !bytes.Equal(payload, want) {
+			violate("request %d (%s): result differs from clean serial run (%d vs %d bytes)",
+				i, key, len(payload), len(want))
 		}
 	}
-	submitAll := func(indices []int) (tickets map[int]*Ticket, failed []int) {
-		tickets = map[int]*Ticket{}
-		for _, i := range indices {
-			req := reqs[i]
-		attempt:
-			for {
-				if time.Now().After(deadline) {
-					rep.Violations = append(rep.Violations,
-						fmt.Sprintf("request %d: campaign deadline exceeded during submit", i))
-					return tickets, failed
-				}
-				t, err := current().Submit(req)
-				if err == nil {
-					tickets[i] = t
-					break attempt
-				}
-				var over *OverloadedError
-				var quota *QuotaExceededError
-				var down *ShutdownError
-				switch {
-				case errors.As(err, &over), errors.As(err, &quota):
-					shed.Add(1)
-					time.Sleep(time.Duration(200+r.intn(400)) * time.Microsecond)
-				case errors.As(err, &down):
-					// Mid-restart; try again on the new incarnation.
-					time.Sleep(time.Millisecond)
-				default:
-					rep.Violations = append(rep.Violations,
-						fmt.Sprintf("request %d: unexpected submit error: %v", i, err))
-					failed = append(failed, i)
-					break attempt
-				}
-			}
+
+	// restart replaces the dead daemon and re-attaches every acked,
+	// unresolved request — by key, through Attach, with no resubmit.
+	// An acked request the new daemon cannot account for is the bug
+	// this whole PR exists to prevent.
+	restart := func() error {
+		rollup.fold(current())
+		rep.DaemonRestarts++
+		logf("soak: daemon killed (restart %d), reopening", rep.DaemonRestarts)
+		next, err := open()
+		if err != nil {
+			return err
 		}
-		return tickets, failed
-	}
-	collect := func(tickets map[int]*Ticket) (outstanding []int) {
-		ctx, cancel := context.WithDeadline(context.Background(), deadline)
-		defer cancel()
-		for i, t := range tickets {
-			payload, err := t.Wait(ctx)
-			var down *ShutdownError
-			if errors.As(err, &down) {
-				// Daemon was killed under this request: the client
-				// resubmits after restart, as a real client would.
-				outstanding = append(outstanding, i)
+		svcMu.Lock()
+		svc = next
+		svcMu.Unlock()
+		for i := range reqs {
+			if done[i] || acked[i] == nil {
 				continue
 			}
-			resolved.Add(1)
-			verify(i, reqs[i], payload, err)
+			t, ok, err := next.Attach(keys[i])
+			if err != nil {
+				violate("request %d (%s): attach after restart: %v", i, keys[i], err)
+				done[i] = true
+				continue
+			}
+			if !ok {
+				violate("request %d (%s): ACKED REQUEST LOST — journal recovery does not know it",
+					i, keys[i])
+				done[i] = true
+				continue
+			}
+			acked[i] = t
 		}
-		return outstanding
+		return nil
 	}
 
-	all := make([]int, len(reqs))
-	for i := range all {
-		all[i] = i
+	// submitAll walks every unacked index: shed requests retry with
+	// backoff, a recovering daemon is waited out, and a KilledError —
+	// the daemon died under the submit, ack unknown — leaves the index
+	// unacked for an idempotent retry against the next incarnation.
+	submitAll := func() (daemonDied bool) {
+		for i := range reqs {
+			if done[i] || acked[i] != nil {
+				continue
+			}
+			for {
+				if time.Now().After(deadline) {
+					violate("request %d: campaign deadline exceeded during submit", i)
+					return false
+				}
+				s := current()
+				t, err := s.Submit(reqs[i])
+				if err == nil {
+					acked[i] = t
+					break
+				}
+				switch {
+				case errAsBool[*OverloadedError](err), errAsBool[*QuotaExceededError](err):
+					shed.Add(1)
+					time.Sleep(time.Duration(200+r.intn(400)) * time.Microsecond)
+				case errAsBool[*RecoveringError](err):
+					time.Sleep(time.Millisecond)
+				case errAsBool[*KilledError](err):
+					return true
+				case errAsBool[*ShutdownError](err):
+					violate("request %d: unexpected drain shed mid-campaign: %v", i, err)
+					done[i] = true
+					return false
+				default:
+					violate("request %d: unexpected submit error: %v", i, err)
+					done[i] = true
+					break
+				}
+				if done[i] {
+					break
+				}
+			}
+		}
+		return false
 	}
 
-	if opt.Restart {
-		half := all[:len(all)/2]
-		rest := all[len(all)/2:]
-		tickets, _ := submitAll(half)
-		// Let roughly half of the first tranche land, then kill the
-		// daemon abruptly — no drain, running requests torn down. The
-		// wait is time-bounded: on a warm store most tickets complete as
-		// dedupe hits that never touch the completion counter.
-		settle := time.Now().Add(5 * time.Second)
-		for time.Now().Before(settle) && current().Bus().Counter(CtrCompleted) < int64(len(tickets)/2) {
-			time.Sleep(time.Millisecond)
+	// collect resolves every outstanding ticket. A KilledError means
+	// the daemon died under the pending work: the ticket is discarded
+	// but the index stays acked — restart() re-attaches it.
+	collect := func() (daemonDied bool) {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		defer cancel()
+		for i := range reqs {
+			if done[i] || acked[i] == nil {
+				continue
+			}
+			payload, err := acked[i].Wait(ctx)
+			if errAsBool[*KilledError](err) {
+				daemonDied = true
+				continue
+			}
+			if err != nil && ctx.Err() != nil {
+				violate("request %d: campaign deadline exceeded awaiting result", i)
+				return false
+			}
+			resolutions[i]++
+			if resolutions[i] > 1 {
+				violate("request %d (%s): DUPLICATE RESOLUTION (%d)", i, keys[i], resolutions[i])
+			}
+			verify(i, keys[i], payload, err)
+			done[i] = true
 		}
-		logf("soak: killing daemon with %d tickets in flight", len(tickets))
-		current().Close()
-		outstanding := collect(tickets)
-		rep.DaemonRestarts++
+		return daemonDied
+	}
 
-		// Restart: reopen (and rescavenge) the same store, then
-		// resubmit everything still owed plus the rest of the load.
-		store2, scav2, err := OpenStore(opt.Dir)
-		if err != nil {
-			return nil, err
+	allDone := func() bool {
+		for i := range reqs {
+			if !done[i] {
+				return false
+			}
 		}
-		logf("soak: store reopened after daemon kill (kept %d, scavenged %d corrupt, %d torn)",
-			scav2.Kept, scav2.Corrupt, scav2.Torn)
-		svcMu.Lock()
-		oldBus := svc.Bus()
-		store = store2
-		svc = NewService(store2, cfg)
-		svcMu.Unlock()
-		// Fold the first incarnation's dedupe and shed history into
-		// the report before it is dropped.
-		rep.StoreEvictions += oldBus.Counter(CtrStoreEvictions)
-		tickets2, _ := submitAll(append(outstanding, rest...))
-		if more := collect(tickets2); len(more) > 0 {
-			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("%d requests still unresolved after restart", len(more)))
+		return true
+	}
+
+	for !allDone() && time.Now().Before(deadline) {
+		died := submitAll()
+		died = collect() || died
+		if died || current().Killed() {
+			if err := restart(); err != nil {
+				return nil, err
+			}
 		}
-	} else {
-		tickets, _ := submitAll(all)
-		if more := collect(tickets); len(more) > 0 {
-			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("%d requests unresolved with no restart in play", len(more)))
+	}
+	if n := func() int {
+		c := 0
+		for i := range done {
+			if !done[i] {
+				c++
+			}
 		}
+		return c
+	}(); n > 0 {
+		violate("%d requests never resolved before the campaign deadline", n)
 	}
 
 	close(stopChaos)
 	chaosWG.Wait()
+	crashes.disarm()
+	if current().Killed() {
+		// A crash fired on the campaign's last boundary event; bring up
+		// one final incarnation for the verification phases.
+		if err := restart(); err != nil {
+			return nil, err
+		}
+		collect()
+	}
 	final := current()
 	final.Drain()
 
-	// One more pass: every unique key must now be servable from the
-	// store, byte-identical to the baseline, even after the injected
-	// corruption (evict-and-recompute may run here — that's the point).
-	for _, req := range reqs[:min(len(reqs), 64)] {
+	// Healing pass: after the chaos stops, every unique key must be
+	// servable byte-identical to the baseline even where corruption
+	// landed (evict-and-recompute may run here — that's the point).
+	for i, req := range reqs[:min(len(reqs), 64)] {
+		req.Idem = "" // pure content-address path
 		t, err := final.Submit(req)
 		if err != nil {
-			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("post-pass submit %s: %v", req.Key(), err))
+			violate("healing pass submit %s: %v", keys[i], err)
 			continue
 		}
 		payload, err := t.Result()
-		verify(-1, req, payload, err)
+		verify(-1, keys[i], payload, err)
 	}
-	final.Close()
+	final.Drain()
 
+	// Negative control: the pre-journal soak had clients resubmit
+	// after a restart to paper over dropped work. Resubmitting the
+	// entire campaign now must be pure cache — zero executions — or
+	// recovery did not actually complete something.
+	before := final.Bus().Counter(CtrExecutions)
+	for i := range reqs {
+		t, err := final.Submit(reqs[i])
+		if err != nil {
+			violate("negative-control resubmit %d: %v", i, err)
+			continue
+		}
+		payload, err := t.Result()
+		verify(i, keys[i], payload, err)
+	}
+	final.Drain()
+	rep.ResubmitExecutions = final.Bus().Counter(CtrExecutions) - before
+	if rep.ResubmitExecutions != 0 {
+		violate("negative control: resubmission caused %d executions (recovery left work undone)",
+			rep.ResubmitExecutions)
+	}
+
+	// Graceful drain, then the compaction bound: with every journaled
+	// key terminal, at most the active segment and one predecessor may
+	// remain on disk.
+	final.Shutdown()
+	segs, _ := filepath.Glob(filepath.Join(opt.Dir, "wal", walSegPrefix+"*"+walSegExt))
+	rep.LiveSegments = len(segs)
+	if rep.LiveSegments > 2 {
+		violate("journal compaction bound broken: %d live segments after a fully-terminal sweep",
+			rep.LiveSegments)
+	}
+
+	rollup.fold(final)
 	rep.Shed = int(shed.Load())
 	rep.Kills = int(killsDone.Load())
 	rep.Corruptions = int(corruptionsDone.Load())
-	rep.StoreEvictions += final.Bus().Counter(CtrStoreEvictions)
-	rep.DedupeHitRate = final.DedupeHitRate()
+	rep.StoreEvictions = rollup.get(CtrStoreEvictions)
+	rep.CrashPoints = crashes.firedPoints()
+	hits := rollup.get(CtrDedupeStore) + rollup.get(CtrDedupeInflight) + rollup.get(CtrDedupeIdem)
+	if total := hits + rollup.get(CtrDedupeMiss); total > 0 {
+		rep.DedupeHitRate = float64(hits) / float64(total)
+	}
 	if rep.DedupeHitRate < 0.30 {
-		rep.Violations = append(rep.Violations,
-			fmt.Sprintf("dedupe hit-rate %.2f below the 0.30 bar", rep.DedupeHitRate))
+		violate("dedupe hit-rate %.2f below the 0.30 bar", rep.DedupeHitRate)
 	}
 	if opt.QueueDepth < opt.Offered/2 && rep.Shed == 0 {
-		rep.Violations = append(rep.Violations,
-			"offered load exceeded capacity but nothing was shed — admission control is asleep")
+		violate("offered load exceeded capacity but nothing was shed — admission control is asleep")
 	}
-	logf("soak: done — %d resolved, %d shed (retried), %d kills, %d corruptions, dedupe %.0f%%",
-		resolved.Load(), rep.Shed, rep.Kills, rep.Corruptions, 100*rep.DedupeHitRate)
+	if opt.Crashes > 0 && rep.DaemonRestarts == 0 {
+		violate("crash budget %d but the daemon never died — the campaign proved nothing", opt.Crashes)
+	}
+	logf("soak: done — %d shed (retried), %d worker kills, %d corruptions, %d daemon kills at %v, "+
+		"%d recovered, dedupe %.0f%%, %d journal segments",
+		rep.Shed, rep.Kills, rep.Corruptions, rep.DaemonRestarts, rep.CrashPoints,
+		rep.Recovered, 100*rep.DedupeHitRate, rep.LiveSegments)
 	return rep, nil
 }

@@ -45,6 +45,13 @@ type Request struct {
 	// Tenant is the admission-control bucket the request is charged to.
 	// It is not part of the result key.
 	Tenant string `json:"tenant,omitempty"`
+	// Idem is an optional client idempotency key, journaled with the
+	// accepted record. Resubmitting the same Idem — after a shaky
+	// connection, a daemon crash, or out of simple caution — attaches
+	// to the original execution instead of being accepted twice;
+	// reusing an Idem for a different request is an error. Like Tenant
+	// it is not part of the result key.
+	Idem string `json:"idem,omitempty"`
 	// Op names the collective benchmark to run (see Ops).
 	Op string `json:"op"`
 	// Procs and PPN shape the job: Procs ranks, PPN per node.
@@ -217,6 +224,46 @@ func (e *ShutdownError) Error() string {
 	return fmt.Sprintf("sweep: service shut down before request %s completed", e.Key)
 }
 
+// RecoveringError reports a submission shed because the service is
+// still replaying its journal. Transient by construction: retry after
+// readiness (the daemon's /readyz flips from "recovering" to "ready").
+type RecoveringError struct{}
+
+func (e *RecoveringError) Error() string {
+	return "sweep: service recovering (journal replay in progress), retry shortly"
+}
+
+// KilledError reports the daemon dying abruptly (the in-process
+// kill -9 of the chaos harness) under a submission or a pending
+// ticket. The client cannot know whether the ack landed: resubmit the
+// same idempotency key against the restarted daemon — journal recovery
+// plus idempotent admission make the retry safe either way.
+type KilledError struct {
+	Key Key
+	// Point names the crash boundary that fired (chaos campaigns).
+	Point string
+}
+
+func (e *KilledError) Error() string {
+	if e.Point != "" {
+		return fmt.Sprintf("sweep: daemon killed at %q boundary under request %s", e.Point, e.Key)
+	}
+	return fmt.Sprintf("sweep: daemon killed under request %s", e.Key)
+}
+
+// IdemConflictError reports an idempotency key reused for a different
+// request — a client bug the service refuses to paper over.
+type IdemConflictError struct {
+	Idem string
+	Have Key
+	Got  Key
+}
+
+func (e *IdemConflictError) Error() string {
+	return fmt.Sprintf("sweep: idempotency key %q already names request %s, not %s",
+		e.Idem, e.Have, e.Got)
+}
+
 // Telemetry metric names (see Service.WriteStats).
 const (
 	CtrAccepted       = "sweep.requests.accepted"
@@ -235,7 +282,20 @@ const (
 	CtrWorkerRestarts = "sweep.worker.restarts"
 	CtrStoreEvictions = "sweep.store.corrupt_evicted"
 	CtrQueueDepth     = "sweep.queue.depth"
-	HistAttempts      = "sweep.attempts_per_request"
-	HistQueueWaitSecs = "sweep.queue_wait_seconds"
-	HistExecuteSecs   = "sweep.execute_seconds"
+	CtrExecutions     = "sweep.requests.executed"
+	CtrShedRecovering = "sweep.shed.recovering"
+	CtrDedupeIdem     = "sweep.dedupe.hits.idem"
+
+	// Journal and recovery counters (services opened via OpenService).
+	CtrJournalRecords    = "sweep.journal.records"
+	CtrJournalSyncs      = "sweep.journal.syncs"
+	CtrRecoveryReplayed  = "sweep.recovery.records_replayed"
+	CtrRecoveryRequeued  = "sweep.recovery.requeued"
+	CtrRecoveryFromStore = "sweep.recovery.completed_from_store"
+	CtrRecoveryShed      = "sweep.recovery.shed_restored"
+	CtrRecoveryTruncated = "sweep.recovery.truncated_segments"
+	CtrRecoveryLeases    = "sweep.recovery.interrupted_leases"
+	HistAttempts         = "sweep.attempts_per_request"
+	HistQueueWaitSecs    = "sweep.queue_wait_seconds"
+	HistExecuteSecs      = "sweep.execute_seconds"
 )

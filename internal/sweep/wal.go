@@ -1,0 +1,489 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The write-ahead journal makes an ack durable: once Submit returns a
+// ticket, the accepted request is on disk and survives any number of
+// daemon crashes. The journal is a sequence of segment files, each a
+// magic header followed by length-prefixed, CRC-checksummed records.
+// Disks tear and flip bits, so decode is defensive: a segment is
+// trusted exactly up to its first bad frame (torn tail, zero or
+// oversized length, checksum mismatch) and logically truncated there;
+// a record with a valid frame but an unknown type is skipped, not
+// fatal, so a newer daemon's records do not brick an older one.
+//
+// Durability split: accepted records are fsynced before the ack (the
+// contract), via group commit so concurrent submitters share one disk
+// flush. Started/completed/shed records are appended without an
+// immediate fsync — losing them only widens replay from "resume where
+// we were" to "re-run from accepted", and the content-addressed store
+// turns that at-least-once replay back into exactly-once effects.
+//
+// Compaction: a segment whose accepted keys have all reached a
+// terminal record (completed or shed, in any segment) holds nothing
+// replay needs and is deleted on the spot. Terminal records orphaned
+// by that deletion are ignored at replay. After a fully-terminal sweep
+// at most the active segment and one predecessor remain.
+
+const (
+	walMagic      = "paccwal/v1\n"
+	walSegPrefix  = "wal-"
+	walSegExt     = ".seg"
+	walFrameBytes = 8 // u32 length + u32 crc32, little-endian
+	// MaxWALRecord bounds one record's payload; a larger length prefix
+	// is corruption, not a big record.
+	MaxWALRecord = 1 << 20
+	// DefaultSegmentRecords rotates the active segment after this many
+	// records (Config.SegmentRecords overrides).
+	DefaultSegmentRecords = 1024
+)
+
+// ErrWALFrozen reports an append to a journal frozen by Freeze — the
+// in-process stand-in for the daemon being dead.
+var ErrWALFrozen = errors.New("sweep: journal frozen")
+
+// RecType tags a journal record.
+type RecType string
+
+const (
+	// RecAccepted is written (and fsynced) before Submit acks: the
+	// request, its key, and its client idempotency key.
+	RecAccepted RecType = "accepted"
+	// RecStarted marks a worker taking a lease on the request.
+	RecStarted RecType = "started"
+	// RecCompleted marks the result durably in the content-addressed
+	// store; replay treats the key as terminal.
+	RecCompleted RecType = "completed"
+	// RecShed marks a terminal non-result outcome (quarantine): replay
+	// must not resurrect the key.
+	RecShed RecType = "shed"
+)
+
+// WALRecord is one journal entry. Key is always present; the other
+// fields depend on Type.
+type WALRecord struct {
+	Type RecType `json:"t"`
+	Key  string  `json:"k"`
+	// Req is the full request, carried only by accepted records so
+	// replay can re-enqueue without any other state.
+	Req *Request `json:"req,omitempty"`
+	// Idem is the client idempotency key (accepted records).
+	Idem string `json:"idem,omitempty"`
+	// Lease identifies which worker lease produced a started or
+	// completed record; recovery counts interrupted leases.
+	Lease uint64 `json:"lease,omitempty"`
+	// Attempt is the execution attempt the lease covers (started).
+	Attempt int `json:"attempt,omitempty"`
+	// Reason explains a shed record (quarantine cause).
+	Reason string `json:"reason,omitempty"`
+}
+
+// encodeWALRecord frames one record: u32 payload length, u32 CRC32
+// (IEEE) of the payload, then the JSON payload.
+func encodeWALRecord(rec WALRecord) []byte {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		// A struct of scalars and a validated Request cannot fail.
+		panic(err)
+	}
+	out := make([]byte, walFrameBytes+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[walFrameBytes:], payload)
+	return out
+}
+
+// decodeSegment walks one segment's bytes and returns every decodable
+// record, the byte offset up to which the segment is trustworthy, how
+// many validly-framed records were skipped (unknown type or
+// undecodable payload — mixed-version tolerance), and the reason
+// decoding stopped short ("" when the segment is clean to the end).
+func decodeSegment(raw []byte) (recs []WALRecord, goodLen int, skipped int, reason string) {
+	if !bytes.HasPrefix(raw, []byte(walMagic)) {
+		return nil, 0, 0, "bad segment magic"
+	}
+	off := len(walMagic)
+	for off < len(raw) {
+		if len(raw)-off < walFrameBytes {
+			return recs, off, skipped, "torn frame header"
+		}
+		length := binary.LittleEndian.Uint32(raw[off : off+4])
+		sum := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+		if length == 0 {
+			return recs, off, skipped, "zero-length prefix"
+		}
+		if length > MaxWALRecord {
+			return recs, off, skipped, fmt.Sprintf("oversized length prefix %d", length)
+		}
+		body := off + walFrameBytes
+		if len(raw)-body < int(length) {
+			return recs, off, skipped, "torn payload"
+		}
+		payload := raw[body : body+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, skipped, "checksum mismatch"
+		}
+		var rec WALRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// Valid frame, alien payload: a future record format.
+			skipped++
+		} else {
+			switch rec.Type {
+			case RecAccepted, RecStarted, RecCompleted, RecShed:
+				recs = append(recs, rec)
+			default:
+				skipped++ // frame intact, type from another era
+			}
+		}
+		off = body + int(length)
+	}
+	return recs, off, skipped, ""
+}
+
+// WALReplayReport summarizes what OpenWAL found on disk.
+type WALReplayReport struct {
+	// Segments is how many live segment files were read.
+	Segments int
+	// Records is how many valid records were replayed.
+	Records int
+	// Skipped counts validly-framed records of unknown type/version.
+	Skipped int
+	// Truncated counts segments physically truncated at a bad record
+	// (torn tail or bit flip).
+	Truncated int
+	// Removed counts segments discarded wholesale (bad magic).
+	Removed int
+	// Compacted counts fully-terminal segments deleted at open.
+	Compacted int
+}
+
+const (
+	keyLive     = 1
+	keyTerminal = 2
+)
+
+// WAL is the segmented write-ahead journal. Safe for concurrent use.
+type WAL struct {
+	dir        string
+	maxRecords int
+
+	mu       sync.Mutex
+	syncCond *sync.Cond
+	f        *os.File
+	seq      int // active segment number
+	recs     int // records in the active segment
+	frozen   bool
+	closed   bool
+
+	// Group commit: appendSeq numbers buffered appends, syncedSeq is
+	// the highest append known flushed. One appender becomes the sync
+	// leader; the rest wait on syncCond.
+	appendSeq uint64
+	syncedSeq uint64
+	syncing   bool
+	syncs     int64 // fsyncs issued (telemetry)
+
+	// Compaction bookkeeping: where each key was accepted, its
+	// lifecycle state, and per-segment live counts.
+	acceptedIn map[string]int
+	keyState   map[string]uint8
+	livePerSeg map[int]int
+	segs       map[int]bool // non-active live segments
+}
+
+func segName(seq int) string {
+	return fmt.Sprintf("%s%08d%s", walSegPrefix, seq, walSegExt)
+}
+
+func parseSegName(name string) (int, bool) {
+	if !strings.HasPrefix(name, walSegPrefix) || !strings.HasSuffix(name, walSegExt) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, walSegPrefix), walSegExt))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// OpenWAL opens (creating if needed) the journal at dir, replays every
+// live segment in order, physically truncates torn tails so future
+// replays are clean, deletes segments that are wholly corrupt or fully
+// terminal, and starts a fresh active segment. The returned records are
+// in append order across segments.
+func OpenWAL(dir string, maxRecords int) (*WAL, []WALRecord, WALReplayReport, error) {
+	var rep WALReplayReport
+	if maxRecords <= 0 {
+		maxRecords = DefaultSegmentRecords
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, rep, err
+	}
+	w := &WAL{
+		dir:        dir,
+		maxRecords: maxRecords,
+		acceptedIn: map[string]int{},
+		keyState:   map[string]uint8{},
+		livePerSeg: map[int]int{},
+		segs:       map[int]bool{},
+	}
+	w.syncCond = sync.NewCond(&w.mu)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	var seqs []int
+	for _, de := range entries {
+		if n, ok := parseSegName(de.Name()); ok {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Ints(seqs)
+
+	var all []WALRecord
+	maxSeq := -1
+	for _, seq := range seqs {
+		maxSeq = seq
+		path := filepath.Join(dir, segName(seq))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, rep, err
+		}
+		recs, goodLen, skipped, reason := decodeSegment(raw)
+		rep.Skipped += skipped
+		if reason == "bad segment magic" {
+			// Nothing in the file is trustworthy; drop it whole.
+			os.Remove(path)
+			rep.Removed++
+			continue
+		}
+		if reason != "" {
+			// Cut the rot off so the next replay never re-reads it.
+			if err := os.Truncate(path, int64(goodLen)); err != nil {
+				return nil, nil, rep, err
+			}
+			rep.Truncated++
+		}
+		rep.Segments++
+		rep.Records += len(recs)
+		w.segs[seq] = true
+		for _, rec := range recs {
+			w.applyLocked(rec, seq)
+		}
+		all = append(all, recs...)
+	}
+	rep.Compacted = w.compactLocked()
+
+	// Fresh active segment: torn history stays immutable behind us.
+	w.seq = maxSeq + 1
+	if err := w.openActiveLocked(); err != nil {
+		return nil, nil, rep, err
+	}
+	return w, all, rep, nil
+}
+
+// applyLocked folds one record into the compaction bookkeeping.
+func (w *WAL) applyLocked(rec WALRecord, seq int) {
+	switch rec.Type {
+	case RecAccepted:
+		if w.keyState[rec.Key] == keyLive {
+			return // duplicate accept of a live key; first wins
+		}
+		// First accept, or a recovery re-accept of a key whose result
+		// the store lost: live again, owned by this segment.
+		w.keyState[rec.Key] = keyLive
+		w.acceptedIn[rec.Key] = seq
+		w.livePerSeg[seq]++
+	case RecCompleted, RecShed:
+		if w.keyState[rec.Key] != keyLive {
+			return // orphan terminal (its accept segment was compacted)
+		}
+		w.keyState[rec.Key] = keyTerminal
+		w.livePerSeg[w.acceptedIn[rec.Key]]--
+	}
+}
+
+// compactLocked deletes every non-active segment with no live accepted
+// keys and returns how many it removed.
+func (w *WAL) compactLocked() int {
+	n := 0
+	for seq := range w.segs {
+		if w.livePerSeg[seq] > 0 {
+			continue
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(seq))); err == nil || os.IsNotExist(err) {
+			delete(w.segs, seq)
+			delete(w.livePerSeg, seq)
+			n++
+		}
+	}
+	return n
+}
+
+func (w *WAL) openActiveLocked() error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seq)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.recs = 0
+	return nil
+}
+
+// rotateLocked seals the active segment (fsynced) and opens the next.
+func (w *WAL) rotateLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.syncs++
+	w.syncedSeq = w.appendSeq
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.segs[w.seq] = true
+	w.seq++
+	if err := w.openActiveLocked(); err != nil {
+		return err
+	}
+	w.compactLocked()
+	return nil
+}
+
+// Append writes one record. With sync true it does not return until
+// the record is fsynced (group commit: concurrent appenders share one
+// flush); with sync false the record rides to disk with the next sync,
+// rotation, or Close. Returns ErrWALFrozen after Freeze.
+func (w *WAL) Append(rec WALRecord, sync bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.frozen || w.closed {
+		return ErrWALFrozen
+	}
+	if w.recs >= w.maxRecords {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.f.Write(encodeWALRecord(rec)); err != nil {
+		return err
+	}
+	w.recs++
+	w.appendSeq++
+	my := w.appendSeq
+	w.applyLocked(rec, w.seq)
+	if rec.Type == RecCompleted || rec.Type == RecShed {
+		w.compactLocked()
+	}
+	if !sync {
+		return nil
+	}
+	for w.syncedSeq < my {
+		if w.frozen || w.closed {
+			return ErrWALFrozen
+		}
+		if w.syncing {
+			w.syncCond.Wait()
+			continue
+		}
+		// Become the sync leader for everything appended so far.
+		w.syncing = true
+		target := w.appendSeq
+		f := w.f
+		w.mu.Unlock()
+		err := f.Sync()
+		w.mu.Lock()
+		w.syncing = false
+		if err == nil {
+			w.syncs++
+			if target > w.syncedSeq {
+				w.syncedSeq = target
+			}
+		}
+		w.syncCond.Broadcast()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes every buffered (async) append to disk.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.frozen || w.closed {
+		return ErrWALFrozen
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.syncs++
+	w.syncedSeq = w.appendSeq
+	return nil
+}
+
+// Freeze stops the journal cold — no further appends, no further
+// fsyncs — simulating the daemon dying mid-air. Blocked group-commit
+// waiters return ErrWALFrozen.
+func (w *WAL) Freeze() {
+	w.mu.Lock()
+	w.frozen = true
+	w.syncCond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Close syncs and closes the active segment (no-op if frozen).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.syncCond.Broadcast()
+	if w.frozen {
+		return w.f.Close()
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	w.syncs++
+	return w.f.Close()
+}
+
+// SegmentCount reports live segment files including the active one.
+func (w *WAL) SegmentCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.segs) + 1
+}
+
+// Syncs reports how many fsyncs the journal has issued.
+func (w *WAL) Syncs() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
+}
+
+// Dir returns the journal directory.
+func (w *WAL) Dir() string { return w.dir }

@@ -1,0 +1,411 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// seg builds a segment image from raw record frames.
+func seg(frames ...[]byte) []byte {
+	out := []byte(walMagic)
+	for _, f := range frames {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// frame builds one raw frame around an arbitrary payload.
+func frame(payload []byte) []byte {
+	out := make([]byte, walFrameBytes+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[walFrameBytes:], payload)
+	return out
+}
+
+func recFrame(t RecType, key string) []byte {
+	return encodeWALRecord(WALRecord{Type: t, Key: key})
+}
+
+// TestWALDecodeHardening is the torn-and-flipped-bits table: every way
+// a segment can rot on disk must decode to "trust the prefix, stop at
+// the rot" — never a panic, never a record past the damage.
+func TestWALDecodeHardening(t *testing.T) {
+	a := recFrame(RecAccepted, "k1")
+	b := recFrame(RecCompleted, "k1")
+
+	bitFlipped := append([]byte(nil), b...)
+	bitFlipped[walFrameBytes+2] ^= 0x40 // flip a payload bit; CRC now lies
+
+	zeroLen := make([]byte, walFrameBytes)
+
+	oversized := make([]byte, walFrameBytes)
+	binary.LittleEndian.PutUint32(oversized[0:4], MaxWALRecord+1)
+
+	futureType := frame([]byte(`{"t":"paused","k":"k9"}`))
+	alienJSON := frame([]byte(`this is not json`))
+
+	cases := []struct {
+		name       string
+		raw        []byte
+		wantRecs   int
+		wantSkip   int
+		wantReason string
+		// wantGood, when >= 0, pins the trustworthy byte offset.
+		wantGood int
+	}{
+		{"empty segment", seg(), 0, 0, "", -1},
+		{"clean pair", seg(a, b), 2, 0, "", -1},
+		{"bad magic", []byte("paccwal/v9\n" + "junk"), 0, 0, "bad segment magic", 0},
+		{"no magic at all", []byte{0x00, 0x01}, 0, 0, "bad segment magic", 0},
+		{"torn frame header", seg(a, b[:walFrameBytes-3]), 1, 0, "torn frame header", len(walMagic) + len(a)},
+		{"torn payload", seg(a, b[:len(b)-4]), 1, 0, "torn payload", len(walMagic) + len(a)},
+		{"bit-flipped payload", seg(a, bitFlipped, b), 1, 0, "checksum mismatch", len(walMagic) + len(a)},
+		{"zero-length prefix", seg(a, zeroLen, b), 1, 0, "zero-length prefix", len(walMagic) + len(a)},
+		{"oversized length prefix", seg(a, oversized), 1, 0, fmt.Sprintf("oversized length prefix %d", MaxWALRecord+1), len(walMagic) + len(a)},
+		{"unknown record type skipped", seg(a, futureType, b), 2, 1, "", -1},
+		{"alien payload skipped", seg(a, alienJSON, b), 2, 1, "", -1},
+		{"damage shadows later good records", seg(bitFlipped, a, b), 0, 0, "checksum mismatch", len(walMagic)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, good, skipped, reason := decodeSegment(tc.raw)
+			if len(recs) != tc.wantRecs {
+				t.Errorf("records = %d, want %d", len(recs), tc.wantRecs)
+			}
+			if skipped != tc.wantSkip {
+				t.Errorf("skipped = %d, want %d", skipped, tc.wantSkip)
+			}
+			if reason != tc.wantReason {
+				t.Errorf("reason = %q, want %q", reason, tc.wantReason)
+			}
+			if tc.wantGood >= 0 && good != tc.wantGood {
+				t.Errorf("goodLen = %d, want %d", good, tc.wantGood)
+			}
+			// Decode must be idempotent over its own truncation: the
+			// trusted prefix re-decodes to exactly the same records.
+			if reason != "bad segment magic" {
+				again, g2, _, r2 := decodeSegment(tc.raw[:good])
+				if len(again) != len(recs) || g2 != good {
+					t.Errorf("re-decode of trusted prefix: %d recs good=%d, want %d/%d",
+						len(again), g2, len(recs), good)
+				}
+				if r2 != "" && r2 != reason {
+					t.Errorf("re-decode reason %q", r2)
+				}
+			}
+		})
+	}
+}
+
+// FuzzWALDecode throws arbitrary bytes at the segment decoder: it must
+// never panic, never claim more trustworthy bytes than exist, and must
+// be stable over its own truncation (replay-after-truncate sees the
+// same records).
+func FuzzWALDecode(f *testing.F) {
+	f.Add([]byte(walMagic))
+	f.Add(seg(recFrame(RecAccepted, "k"), recFrame(RecCompleted, "k")))
+	f.Add(seg(recFrame(RecAccepted, "k")[:5]))
+	f.Add([]byte("paccwal/v2\nfuture"))
+	corrupt := seg(recFrame(RecShed, "kk"))
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		recs, good, skipped, reason := decodeSegment(raw)
+		if good < 0 || good > len(raw) {
+			t.Fatalf("goodLen %d out of range [0,%d]", good, len(raw))
+		}
+		if reason == "bad segment magic" {
+			return
+		}
+		if good < len(walMagic) {
+			t.Fatalf("accepted magic but goodLen %d < header", good)
+		}
+		recs2, good2, skipped2, reason2 := decodeSegment(raw[:good])
+		if len(recs2) != len(recs) || good2 != good || skipped2 != skipped {
+			t.Fatalf("unstable decode: (%d,%d,%d) then (%d,%d,%d) reason=%q/%q",
+				len(recs), good, skipped, len(recs2), good2, skipped2, reason, reason2)
+		}
+	})
+}
+
+// TestWALTornTailPhysicallyTruncated writes a segment, tears its tail
+// on disk, and reopens: the good prefix replays, the file is cut back
+// to it, and a third open sees a clean (untruncated) journal.
+func TestWALTornTailPhysicallyTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(WALRecord{Type: RecAccepted, Key: fmt.Sprintf("k%d", i)}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, segName(0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs, rep, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Errorf("replayed %d records from torn segment, want 4", len(recs))
+	}
+	if rep.Truncated != 1 {
+		t.Errorf("Truncated = %d, want 1", rep.Truncated)
+	}
+	w2.Close()
+
+	if fi, err := os.Stat(path); err != nil || fi.Size() >= int64(len(raw)) {
+		t.Errorf("segment not physically truncated: %v size %d", err, fi.Size())
+	}
+	_, recs3, rep3, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Truncated != 0 || len(recs3) != 4 {
+		t.Errorf("third open: truncated=%d recs=%d, want 0/4", rep3.Truncated, len(recs3))
+	}
+}
+
+// TestWALBadMagicSegmentRemoved: a segment with garbage where the magic
+// should be is untrustworthy wholesale and removed on open.
+func TestWALBadMagicSegmentRemoved(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(3)), []byte("not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, recs, rep, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if rep.Removed != 1 || len(recs) != 0 {
+		t.Errorf("removed=%d recs=%d, want 1/0", rep.Removed, len(recs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(3))); !os.IsNotExist(err) {
+		t.Error("bad-magic segment still on disk")
+	}
+	// The fresh active segment must start past the dead one's number.
+	if _, err := os.Stat(filepath.Join(dir, segName(4))); err != nil {
+		t.Errorf("active segment: %v", err)
+	}
+}
+
+// TestWALRotationAndCompaction drives enough terminal pairs through a
+// tiny segment size to force rotation, then checks fully-terminal
+// segments are deleted: at most active + one predecessor remain.
+func TestWALRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, err := OpenWAL(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := w.Append(WALRecord{Type: RecAccepted, Key: key}, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(WALRecord{Type: RecCompleted, Key: key}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.SegmentCount(); got > 2 {
+		t.Errorf("live segments = %d after fully-terminal run, want <= 2", got)
+	}
+	w.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, walSegPrefix+"*"+walSegExt))
+	if len(segs) > 2 {
+		t.Errorf("%d segment files on disk, want <= 2: %v", len(segs), segs)
+	}
+
+	// Reopen: nothing live to replay.
+	_, recs, rep, err := OpenWAL(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := 0
+	state := map[string]bool{}
+	for _, r := range recs {
+		switch r.Type {
+		case RecAccepted:
+			state[r.Key] = true
+		case RecCompleted, RecShed:
+			state[r.Key] = false
+		}
+	}
+	for _, v := range state {
+		if v {
+			live++
+		}
+	}
+	if live != 0 {
+		t.Errorf("replay found %d live keys, want 0 (rep %+v)", live, rep)
+	}
+}
+
+// TestWALLiveKeyPinsSegment: a segment with one live accepted key must
+// survive compaction until that key goes terminal.
+func TestWALLiveKeyPinsSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, err := OpenWAL(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(WALRecord{Type: RecAccepted, Key: "pinned"}, false) // segment 0
+	w.Append(WALRecord{Type: RecAccepted, Key: "other"}, false)
+	for i := 0; i < 6; i++ { // rotate a few times
+		key := fmt.Sprintf("x%d", i)
+		w.Append(WALRecord{Type: RecAccepted, Key: key}, false)
+		w.Append(WALRecord{Type: RecCompleted, Key: key}, false)
+	}
+	w.Append(WALRecord{Type: RecCompleted, Key: "other"}, false)
+	if _, err := os.Stat(filepath.Join(dir, segName(0))); err != nil {
+		t.Fatalf("segment 0 compacted away while key %q still live: %v", "pinned", err)
+	}
+	w.Append(WALRecord{Type: RecCompleted, Key: "pinned"}, false)
+	if _, err := os.Stat(filepath.Join(dir, segName(0))); !os.IsNotExist(err) {
+		t.Error("segment 0 survives with no live keys")
+	}
+	w.Close()
+}
+
+// TestWALGroupCommit hammers sync appends from many goroutines: every
+// append must be durable on return, and group commit must issue far
+// fewer fsyncs than appends.
+func TestWALGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := w.Append(WALRecord{Type: RecAccepted, Key: fmt.Sprintf("g%d", i)}, true); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	syncs := w.Syncs()
+	w.Close()
+	if syncs > n {
+		t.Errorf("%d fsyncs for %d concurrent sync appends; group commit is not grouping", syncs, n)
+	}
+	_, recs, _, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Errorf("replayed %d records, want %d", len(recs), n)
+	}
+	t.Logf("%d appends, %d fsyncs", n, syncs)
+}
+
+// TestWALFreeze: appends and blocked group-commit waiters fail with
+// ErrWALFrozen after Freeze, and the file is never written again.
+func TestWALFreeze(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(WALRecord{Type: RecAccepted, Key: "k"}, true)
+	w.Freeze()
+	if err := w.Append(WALRecord{Type: RecShed, Key: "k"}, false); err != ErrWALFrozen {
+		t.Errorf("append after freeze: %v, want ErrWALFrozen", err)
+	}
+	if err := w.Sync(); err != ErrWALFrozen {
+		t.Errorf("sync after freeze: %v, want ErrWALFrozen", err)
+	}
+	w.Close()
+	_, recs, _, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Key != "k" {
+		t.Errorf("replay after freeze: %+v", recs)
+	}
+}
+
+// TestWALRoundTrip: full records (request, idem, lease, reason) survive
+// the encode/append/replay cycle byte-exactly where it matters.
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Tenant: "t", Op: "allreduce", Procs: 8, PPN: 4, Bytes: 1024, Mode: "proposed"}
+	key := req.Key().String()
+	w.Append(WALRecord{Type: RecAccepted, Key: key, Req: &req, Idem: "idem-1"}, true)
+	w.Append(WALRecord{Type: RecStarted, Key: key, Lease: 7, Attempt: 2}, false)
+	w.Append(WALRecord{Type: RecShed, Key: key, Reason: "poison"}, false)
+	w.Close()
+
+	_, recs, rep, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 3 || len(recs) != 3 {
+		t.Fatalf("replayed %d records (rep %+v), want 3", len(recs), rep)
+	}
+	if recs[0].Req == nil || recs[0].Req.Op != "allreduce" || recs[0].Idem != "idem-1" {
+		t.Errorf("accepted record mangled: %+v", recs[0])
+	}
+	if recs[0].Req.Key().String() != key {
+		t.Error("replayed request hashes to a different key")
+	}
+	if recs[1].Lease != 7 || recs[1].Attempt != 2 {
+		t.Errorf("started record mangled: %+v", recs[1])
+	}
+	if recs[2].Reason != "poison" {
+		t.Errorf("shed record mangled: %+v", recs[2])
+	}
+}
+
+// TestWALMixedVersionSegment: a segment interleaving current records
+// with validly-framed future-format ones replays the current records
+// and counts the rest as skipped — no truncation, no error.
+func TestWALMixedVersionSegment(t *testing.T) {
+	dir := t.TempDir()
+	image := seg(
+		recFrame(RecAccepted, "k1"),
+		frame([]byte(`{"t":"lease-renewed","k":"k1","epoch":9}`)),
+		recFrame(RecCompleted, "k1"),
+		frame([]byte(`{"v2":{"nested":"format"}}`)),
+	)
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), image, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, recs, rep, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(recs) != 2 || rep.Skipped != 2 || rep.Truncated != 0 {
+		t.Errorf("recs=%d skipped=%d truncated=%d, want 2/2/0", len(recs), rep.Skipped, rep.Truncated)
+	}
+}

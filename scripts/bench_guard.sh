@@ -24,6 +24,12 @@
 #     cost <=1% simulated latency — and is expected to cost exactly 0,
 #     since the scoreboard is bookkeeping that never advances virtual
 #     time.
+#  6. Sweep journal overhead (BENCH_10.json): healthy-path submits
+#     through a journaled service (durable ack: accepted record fsynced
+#     before the ticket returns) vs an unjournaled one, against real
+#     simulation work, min-of-5 interleaved. Budget 50% — loose by
+#     design, because CI fsync latency varies; the gate catches the
+#     journal landing on the execution path, not disk speed.
 cd "$(dirname "$0")/.."
 
 run() {
@@ -226,3 +232,18 @@ if ! awk -v o="$d_overhead" 'BEGIN {exit !(o <= 0.01 && o >= 0)}'; then
 	exit 1
 fi
 echo "bench guard: fail-slow detection overhead $d_overhead within the 1% budget; wrote BENCH_9.json"
+
+# --- 6. sweep journal (durable ack) overhead -------------------------------
+# The test both measures and gates (DESIGN.md §14): a failure here means
+# durable acks got expensive enough to suggest the journal is doing work
+# it shouldn't on the healthy path.
+journal_rc=0
+PACC_BENCH_OUT="$PWD/bench10_overhead.json" \
+	go test ./internal/sweep -run TestJournalOverheadBudget -count=1 -v ||
+	journal_rc=$?
+mv bench10_overhead.json BENCH_10.json
+if [ "$journal_rc" -ne 0 ]; then
+	echo "bench guard: sweep journal overhead exceeded the 50% budget (see BENCH_10.json)" >&2
+	exit 1
+fi
+echo "bench guard: sweep journal overhead within the 50% budget; wrote BENCH_10.json"
